@@ -1,0 +1,94 @@
+/// \file bench_baseline_second_harmonic.cpp
+/// Experiment BASE1 — paper section 3.2: "Since the analogue output
+/// consists only of one digital compatible signal, a complicated
+/// AD-converter is not necessary, which would have been the case for
+/// methods based on second harmonic measurements." Implements that
+/// second-harmonic readout (S/H + SAR ADC + Goertzel bin) and compares
+/// it with the pulse-position chain on field accuracy, linear range and
+/// hardware cost.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/second_harmonic.hpp"
+#include "core/compass.hpp"
+#include "sog/cell_library.hpp"
+#include "util/statistics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fxg;
+
+int main() {
+    std::puts("=== BASE1: pulse-position vs second-harmonic readout ===\n");
+
+    // Field-measurement accuracy of both single-axis readouts.
+    baseline::SecondHarmonicReadout harmonic;
+    harmonic.calibrate(15.0);
+
+    compass::CompassConfig cfg;
+    compass::Compass pp(cfg);
+    const double ha = cfg.front_end.oscillator.amplitude_a *
+                      cfg.front_end.sensor.field_per_amp();
+    const double counts_per_apm = cfg.counter_clock_hz * cfg.periods_per_axis *
+                                  (1.0 / cfg.front_end.oscillator.frequency_hz) / ha;
+
+    util::Table table("single-axis field estimate [A/m]");
+    table.set_header({"true H", "pulse-position", "pp err", "2nd harmonic",
+                      "2h err"});
+    util::RunningStats pp_err;
+    util::RunningStats sh_err;
+    for (double h : {-16.0, -10.0, -4.0, 4.0, 10.0, 16.0}) {
+        pp.set_axis_fields(h, 0.0);
+        const double pp_est =
+            static_cast<double>(pp.measure().count_x) / counts_per_apm;
+        const auto sh = harmonic.measure(h);
+        pp_err.add(pp_est - h);
+        sh_err.add(sh.field_estimate_a_per_m - h);
+        table.add_row_values(
+            {h, pp_est, pp_est - h, sh.field_estimate_a_per_m,
+             sh.field_estimate_a_per_m - h},
+            4);
+    }
+    table.print();
+    std::printf("\nrms field error: pulse-position %.3f A/m, second-harmonic "
+                "%.3f A/m\n",
+                pp_err.rms(), sh_err.rms());
+
+    // Linear range: the harmonic readout compresses near the knee.
+    util::Table range("large-field behaviour");
+    range.set_header({"true H", "pulse-position est", "2nd harmonic est"});
+    for (double h : {20.0, 25.0, 30.0}) {
+        pp.set_axis_fields(h, 0.0);
+        const double pp_est =
+            static_cast<double>(pp.measure().count_x) / counts_per_apm;
+        const auto sh = harmonic.measure(h);
+        range.add_row_values({h, pp_est, sh.field_estimate_a_per_m}, 4);
+    }
+    range.print();
+
+    // Hardware cost: the whole point of the paper's method.
+    const auto sh_probe = harmonic.measure(5.0);
+    util::Table hw("interface hardware per measurement");
+    hw.set_header({"metric", "pulse-position (paper)", "second-harmonic baseline"});
+    hw.add_row({"analogue->digital interface", "1 digital-compatible signal",
+                util::format("%d-bit SAR ADC", harmonic.config().adc.bits)});
+    hw.add_row({"comparators", "2 (pulse edges)",
+                "1 + S/H + capacitive DAC"});
+    hw.add_row({"ADC conversions / axis", "0",
+                std::to_string(sh_probe.adc_conversions)});
+    hw.add_row({"comparator decisions / axis", "~32 (edge events)",
+                std::to_string(sh_probe.comparator_decisions)});
+    hw.add_row({"digital post-processing", "up/down counter (16 flops)",
+                "multiply-accumulate Goertzel"});
+    // Pair estimates: counter vs a 10-bit SAR (logic + DAC area) and a
+    // serial MAC unit.
+    hw.add_row({"est. interface area [pairs]", "~900 (counter + 2 comparators)",
+                "~6500 (SAR logic + DAC + MAC)"});
+    hw.print();
+
+    std::puts("\npaper claim: pulse position needs no complicated AD-converter");
+    std::printf("while matching accuracy in the operating range  ->  %s\n",
+                pp_err.rms() < 1.5 * sh_err.rms() + 0.2 ? "REPRODUCED" : "CHECK");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/// \file bench_core_models.cpp
+/// Ablation ABL4 — core-model sensitivity. The paper's ELDO sensor
+/// model was "based on realisable specifications"; the exact shape of
+/// the magnetisation curve is uncertain, so this bench re-runs the
+/// heading-accuracy experiment with three different core physics
+/// (anhysteretic tanh, anhysteretic Langevin, full Jiles-Atherton
+/// hysteresis) to show which conclusions survive the model choice.
+
+#include <cstdio>
+
+#include "core/compass.hpp"
+#include "core/error_analysis.hpp"
+#include "magnetics/units.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fxg;
+
+int main() {
+    std::puts("=== ABL4: compass accuracy vs core magnetisation model ===\n");
+
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+
+    util::Table table("24-heading sweep per core model");
+    table.set_header({"core model", "max |err| [deg]", "rms [deg]", "meets 1 deg",
+                      "note"});
+    struct Row {
+        sensor::CoreKind kind;
+        const char* name;
+        const char* note;
+    };
+    const Row rows[] = {
+        {sensor::CoreKind::Tanh, "tanh (anhysteretic)", "design workhorse"},
+        {sensor::CoreKind::Langevin, "Langevin (anhysteretic)", "softer knee"},
+        {sensor::CoreKind::JilesAtherton, "Jiles-Atherton (hysteretic)",
+         "k=4 A/m pinning"},
+    };
+    for (const Row& r : rows) {
+        compass::CompassConfig cfg;
+        cfg.front_end.core_kind = r.kind;
+        // One comparator threshold for all three models: above the JA
+        // core's ~31 mV reversible-magnetisation plateau, below every
+        // model's pulse peak (~95 mV for the anhysteretic cores).
+        cfg.front_end.detector.threshold_v = 50e-3;
+        compass::Compass compass(cfg);
+        const compass::HeadingSweep sweep = compass::sweep_heading(compass, field, 15.0);
+        table.add_row({r.name, util::format("%.3f", sweep.max_abs_error_deg()),
+                       util::format("%.3f", sweep.rms_error_deg()),
+                       sweep.meets_one_degree() ? "yes" : "NO", r.note});
+    }
+    table.print();
+
+    std::puts("\nshape: the pulse-position readout is anhysteretic-model-agnostic");
+    std::puts("(tanh vs Langevin agree); real hysteresis distorts the transfer via");
+    std::puts("biased minor loops and eats into the budget — consistent with the");
+    std::puts("paper's preference for soft (low-coercivity) permalloy cores.");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/// \file bench_fig4_sensor_waveforms.cpp
+/// Experiment FIG4 — reproduces the paper's Figure 4: "real fluxgate
+/// sensor data, without and with a field applied", measured on the
+/// [Kaw95] part driven by the 12 mA pp / 8 kHz triangle. Here the same
+/// measurement runs on the circuit-level fluxgate device inside the
+/// spice:: engine (our ELDO stand-in). The two features the paper calls
+/// out: (1) "the pulse shift is clearly visible"; (2) "notice also the
+/// change in impedance of the excitation coil when saturation is
+/// reached".
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sensor/fluxgate_device.hpp"
+#include "sensor/pulse_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fxg;
+
+namespace {
+
+struct Run {
+    std::vector<double> t;
+    std::vector<double> v_pickup;
+    std::vector<double> v_excitation;
+    std::vector<double> i_excitation;
+};
+
+Run simulate(double h_ext, const sensor::FluxgateParams& params) {
+    spice::Circuit ckt;
+    const int ep = ckt.node("ep");
+    const int pp = ckt.node("pp");
+    auto& src = ckt.add<spice::CurrentSource>(
+        "iexc", spice::kGround, ep,
+        std::make_unique<spice::TriangleWave>(0.0, 6e-3, 8000.0));
+    (void)src;
+    auto& fg = ckt.add<sensor::FluxgateDevice>("xfg", ep, spice::kGround, pp,
+                                               spice::kGround, params);
+    fg.set_external_field(h_ext);
+    ckt.add<spice::Resistor>("rload", pp, spice::kGround, 1e6);
+
+    spice::TransientSpec spec;
+    spec.tstop = 4 * 125e-6;
+    spec.dt = 125e-6 / 2048;
+    spec.method = spice::Method::BackwardEuler;
+    spec.start_from_op = false;
+    const spice::TransientResult result = run_transient(ckt, spec);
+    Run run;
+    run.t = result.time();
+    run.v_pickup = result.node_voltage(ckt, "pp");
+    run.v_excitation = result.node_voltage(ckt, "ep");
+    run.i_excitation = result.trace(fg.excitation_branch());
+    return run;
+}
+
+/// Extra (non-resistive) excitation-coil voltage at a given |H|/Hk band.
+double inductive_excess(const Run& run, const sensor::FluxgateParams& params,
+                        double h_lo_ratio, double h_hi_ratio) {
+    double excess = 0.0;
+    for (std::size_t i = 4; i < run.t.size(); ++i) {
+        const double h = params.field_per_amp() * run.i_excitation[i];
+        const double ratio = std::fabs(h) / params.hk_a_per_m;
+        if (ratio < h_lo_ratio || ratio > h_hi_ratio) continue;
+        const double resistive = params.r_excitation_ohm * run.i_excitation[i];
+        excess = std::max(excess, std::fabs(run.v_excitation[i] - resistive));
+    }
+    return excess;
+}
+
+}  // namespace
+
+int main() {
+    std::puts("=== FIG4: circuit-level sensor measurement (paper Figure 4) ===");
+    std::puts("measured [Kaw95] sensor model, 12 mA pp / 8 kHz triangle, solved");
+    std::puts("in the MNA engine (ELDO stand-in)\n");
+
+    const sensor::FluxgateParams params = sensor::FluxgateParams::measured_kaw95();
+    std::printf("sensor: HK = 1 Oe = %.1f A/m, winding R = %.0f ohm\n\n",
+                params.hk_a_per_m, params.r_excitation_ohm);
+
+    const Run without = simulate(0.0, params);
+    // Earth-scale applied field: ~0.25 x HK.
+    const double h_applied = 0.25 * params.hk_a_per_m;
+    const Run with = simulate(h_applied, params);
+
+    const auto pulses_without = sensor::find_pulses(without.t, without.v_pickup, 20e-3);
+    const auto pulses_with = sensor::find_pulses(with.t, with.v_pickup, 20e-3);
+
+    double vp_peak = 0.0;
+    for (double v : without.v_pickup) vp_peak = std::max(vp_peak, std::fabs(v));
+    double ve_peak = 0.0;
+    for (double v : without.v_excitation) ve_peak = std::max(ve_peak, std::fabs(v));
+
+    util::Table table("Figure 4 observables");
+    table.set_header({"quantity", "value", "paper shape"});
+    table.add_row({"pickup pulse peak", util::format("%.0f mV", vp_peak * 1e3),
+                   "~100 mV/div scale"});
+    table.add_row({"excitation voltage peak", util::format("%.0f mV", ve_peak * 1e3),
+                   "R*i triangle, ~460 mV"});
+    const double shift = sensor::pulse_shift_seconds(pulses_without, pulses_with);
+    table.add_row({util::format("pulse shift at %.1f A/m", h_applied),
+                   util::format("%.2f us", shift * 1e6), "clearly visible"});
+    const double excess_permeable = inductive_excess(without, params, 0.0, 0.7);
+    const double excess_saturated = inductive_excess(without, params, 1.8, 10.0);
+    table.add_row({"inductive excess, permeable region",
+                   util::format("%.1f mV", excess_permeable * 1e3),
+                   "impedance high near H=0"});
+    table.add_row({"inductive excess, saturated region",
+                   util::format("%.1f mV", excess_saturated * 1e3),
+                   "impedance collapses"});
+    table.print();
+
+    const double expected_shift =
+        125e-6 / 4.0 * h_applied / (params.field_per_amp() * 6e-3);
+    std::printf("\npulse shift: measured %.2f us vs analytic %.2f us\n",
+                std::fabs(shift) * 1e6, expected_shift * 1e6);
+    std::printf("impedance-change contrast (permeable / saturated): %.1fx\n",
+                excess_permeable / std::max(excess_saturated, 1e-9));
+    const bool ok = std::fabs(std::fabs(shift) - expected_shift) < 0.35 * expected_shift &&
+                    excess_permeable > 3.0 * excess_saturated;
+    std::printf("paper shape (visible shift + impedance change)  ->  %s\n",
+                ok ? "REPRODUCED" : "NOT reproduced");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/// \file bench_offset_correction.cpp
+/// Ablation ABL2 — paper section 3.1: "The linearity of the waveform is
+/// not very essential but the dc-offset is, and is therefore corrected
+/// by measuring the average of the excitation current." Injects dc
+/// offset and ramp-curvature errors into the triangle generator and
+/// shows (a) offset without correction destroys the heading, (b) the
+/// correction loop restores it, and (c) even gross curvature barely
+/// matters — exactly the paper's design argument.
+
+#include <cstdio>
+
+#include "core/compass.hpp"
+#include "core/error_analysis.hpp"
+#include "magnetics/units.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fxg;
+
+namespace {
+
+double max_err(double offset_a, double curvature, bool correction) {
+    compass::CompassConfig cfg;
+    cfg.front_end.oscillator.dc_offset_a = offset_a;
+    cfg.front_end.oscillator.curvature = curvature;
+    cfg.front_end.oscillator.offset_correction = correction;
+    compass::Compass compass(cfg);
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    const compass::HeadingSweep sweep = compass::sweep_heading(compass, field, 30.0);
+    return sweep.error_stats.max_abs();
+}
+
+}  // namespace
+
+int main() {
+    std::puts("=== ABL2: dc-offset correction vs waveform linearity ===\n");
+
+    util::Table offs("dc offset of the excitation current");
+    offs.set_header({"offset [uA]", "offset as % of Ha", "max err, no corr [deg]",
+                     "max err, corrected [deg]"});
+    for (double uA : {0.0, 50.0, 100.0, 200.0, 400.0}) {
+        const double a = uA * 1e-6;
+        offs.add_row({util::format("%.0f", uA), util::format("%.1f%%", uA / 60.0),
+                      util::format("%.3f", max_err(a, 0.0, false)),
+                      util::format("%.3f", max_err(a, 0.0, true))});
+    }
+    offs.print();
+
+    util::Table lin("ramp curvature (cubic bowing), no dc error");
+    lin.set_header({"curvature", "max |err| [deg]", "meets 1 deg"});
+    for (double c : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+        const double e = max_err(0.0, c, true);
+        lin.add_row({util::format("%.2f", c), util::format("%.3f", e),
+                     e <= 1.0 ? "yes" : "NO"});
+    }
+    lin.print();
+
+    const double uncorrected = max_err(200e-6, 0.0, false);
+    const double corrected = max_err(200e-6, 0.0, true);
+    const double curved = max_err(0.0, 0.2, true);
+    std::printf("\n200 uA offset: %.2f deg uncorrected -> %.2f deg with the "
+                "averaging loop (%.0fx better)\n",
+                uncorrected, corrected, uncorrected / corrected);
+    std::printf("20%% ramp curvature costs only %.2f deg.\n", curved);
+    std::printf("\npaper claim (offset matters and is corrected; linearity is "
+                "not essential)  ->  %s\n",
+                uncorrected > 2.0 && corrected < 1.0 && curved < 1.0 ? "REPRODUCED"
+                                                                     : "CHECK");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/// \file bench_perf_engines.cpp
+/// PERF — google-benchmark timings of the simulation substrates
+/// themselves: the MNA transient engine, the event-driven digital
+/// kernel (gate-level CORDIC), the behavioural sensor model and the
+/// CORDIC unit. These are engineering metrics of the reproduction, not
+/// paper results; they bound how fast the experiment suite can sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/compass.hpp"
+#include "digital/cordic.hpp"
+#include "digital/cordic_gate.hpp"
+#include "magnetics/units.hpp"
+#include "sensor/fluxgate.hpp"
+#include "sensor/fluxgate_device.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+
+using namespace fxg;
+
+namespace {
+
+void BM_SpiceRcTransient(benchmark::State& state) {
+    for (auto _ : state) {
+        spice::Circuit ckt;
+        const int in = ckt.node("in");
+        const int out = ckt.node("out");
+        ckt.add<spice::VoltageSource>("v1", in, spice::kGround,
+                                      std::make_unique<spice::SinWave>(0.0, 1.0, 1e4));
+        ckt.add<spice::Resistor>("r1", in, out, 1e3);
+        ckt.add<spice::Capacitor>("c1", out, spice::kGround, 10e-9);
+        spice::TransientSpec spec;
+        spec.tstop = 1e-3;
+        spec.dt = 1e-6;
+        spec.start_from_op = false;
+        benchmark::DoNotOptimize(run_transient(ckt, spec));
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);  // steps per run
+}
+BENCHMARK(BM_SpiceRcTransient)->Unit(benchmark::kMillisecond);
+
+void BM_SpiceFluxgatePeriod(benchmark::State& state) {
+    spice::Circuit ckt;
+    const int ep = ckt.node("ep");
+    const int pp = ckt.node("pp");
+    ckt.add<spice::CurrentSource>(
+        "iexc", spice::kGround, ep,
+        std::make_unique<spice::TriangleWave>(0.0, 6e-3, 8000.0));
+    ckt.add<sensor::FluxgateDevice>("xfg", ep, spice::kGround, pp, spice::kGround,
+                                    sensor::FluxgateParams::design_target());
+    ckt.add<spice::Resistor>("rload", pp, spice::kGround, 1e6);
+    spice::TransientSpec spec;
+    spec.tstop = 125e-6;
+    spec.dt = 125e-6 / 1024;
+    spec.method = spice::Method::BackwardEuler;
+    spec.start_from_op = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_transient(ckt, spec));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SpiceFluxgatePeriod)->Unit(benchmark::kMillisecond);
+
+void BM_BehaviouralSensorStep(benchmark::State& state) {
+    sensor::FluxgateSensor fg(sensor::FluxgateParams::design_target());
+    fg.set_external_field(15.0);
+    double t = 0.0;
+    const double dt = 125e-6 / 2048;
+    for (auto _ : state) {
+        t += dt;
+        double phase = t * 8000.0;
+        phase -= std::floor(phase);
+        const double unit = phase < 0.25   ? 4.0 * phase
+                            : phase < 0.75 ? 2.0 - 4.0 * phase
+                                           : -4.0 + 4.0 * phase;
+        benchmark::DoNotOptimize(fg.step(6e-3 * unit, dt));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BehaviouralSensorStep);
+
+void BM_CordicHeading(benchmark::State& state) {
+    const digital::CordicUnit unit(8, 7);
+    std::int64_t x = 1997;
+    std::int64_t y = -1234;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.heading_deg(x, y));
+        x = (x * 31 + 7) % 4000 + 1;
+        y = (y * 17 + 3) % 4000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CordicHeading);
+
+void BM_GateLevelCordic(benchmark::State& state) {
+    const digital::CordicNetlist unit = digital::build_cordic_netlist(12, 8, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(digital::simulate_cordic_netlist(unit, 523, 211));
+    }
+    state.SetItemsProcessed(state.iterations() * 9);  // clock cycles per op
+}
+BENCHMARK(BM_GateLevelCordic)->Unit(benchmark::kMillisecond);
+
+void BM_FullCompassMeasurement(benchmark::State& state) {
+    compass::Compass compass;
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    compass.set_environment(field, 123.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compass.measure());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCompassMeasurement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/// \file bench_sog_area.cpp
+/// Experiment SOG1 — paper section 2: "The digital part of the
+/// integrated compass occupies 3 quarters fully and the analogue part 1
+/// quarter for less than 15%" of the 200k-transistor fishbone array.
+/// Maps the gate netlists this library actually generates (counter,
+/// CORDIC, watch chain, display, control) plus the analogue macro
+/// estimates onto the 4-quarter array and reports the occupancy.
+///
+/// Honest scope note (also in EXPERIMENTS.md): our synthesisable subset
+/// covers the compass datapath and basic watch features; the authors'
+/// chip carried the full watch/LCD feature set and synthesis overhead,
+/// which is why their digital section fills 3 quarters where our subset
+/// needs less. The *shape* under test is the ordering: digital >>
+/// analogue, and analogue < 15% of its quarter.
+
+#include <cstdio>
+
+#include "sog/builders.hpp"
+#include "sog/cell_library.hpp"
+#include "sog/mcm.hpp"
+#include "sog/sog_array.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fxg;
+
+int main() {
+    std::puts("=== SOG1: Sea-of-Gates area (paper: digital 3 quarters, analogue "
+              "< 15% of one) ===\n");
+
+    const sog::MappingModel model;  // 35% site utilisation
+    sog::FishboneSogArray array;    // 4 x 50k pairs
+
+    util::Table blocks("generated digital blocks");
+    blocks.set_header({"block", "gates", "flops", "logic pairs", "array pairs"});
+    std::size_t digital_pairs = 0;
+    for (const auto& nl : sog::build_compass_digital_netlists()) {
+        const rtl::NetlistStats stats = nl.stats();
+        const std::size_t logic = sog::pairs_for_stats(stats);
+        const std::size_t mapped = model.effective_pairs(logic);
+        digital_pairs += mapped;
+        blocks.add_row({nl.name(), std::to_string(stats.gates),
+                        std::to_string(stats.sequential), std::to_string(logic),
+                        std::to_string(mapped)});
+        array.place({nl.name(), sog::Domain::Digital, mapped, -1});
+    }
+    blocks.print();
+
+    util::Table amac("analogue macros (one quarter, own supply)");
+    amac.set_header({"macro", "pairs"});
+    std::size_t analogue_pairs = 0;
+    for (const auto& m : sog::analogue_macros()) {
+        amac.add_row({m.name, std::to_string(m.pairs)});
+        analogue_pairs += m.pairs;
+        array.place(m);
+    }
+    amac.print();
+
+    util::Table quarters("array occupancy (fishbone SoG, 200k transistor pairs)");
+    quarters.set_header({"quarter", "supply domain", "used pairs", "capacity",
+                         "occupancy"});
+    for (const auto& q : array.quarter_reports()) {
+        quarters.add_row({std::to_string(q.index),
+                          q.domain == sog::Domain::Digital ? "digital" : "analogue",
+                          std::to_string(q.used_pairs),
+                          std::to_string(q.capacity_pairs),
+                          util::format("%.1f%%", 100.0 * q.occupancy())});
+    }
+    quarters.print();
+
+    const double analogue_occ = array.analogue_occupancy();
+    std::printf("\ndigital / analogue area ratio: %.1fx\n",
+                static_cast<double>(digital_pairs) /
+                    static_cast<double>(analogue_pairs));
+    std::printf("analogue quarter occupancy: %.1f%% (paper: < 15%%)  ->  %s\n",
+                100.0 * analogue_occ, analogue_occ < 0.15 ? "REPRODUCED" : "CHECK");
+    std::printf("digital pairs mapped: %zu of 150k digital capacity "
+                "(paper's full chip: 3 quarters incl. complete watch/LCD "
+                "features we did not replicate)\n",
+                digital_pairs);
+
+    // MCM context: what cannot live on the array.
+    sog::Mcm mcm = sog::Mcm::compass_reference();
+    std::printf("\nMCM substrate carries: ");
+    for (const auto& c : mcm.substrate()) std::printf("[%s] ", c.name.c_str());
+    std::printf("\n(paper: capacitors > 400 pF and large resistors go to the "
+                "substrate)\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/// \file field_calibration.cpp
+/// Field-calibration session: the compass ships on a product whose
+/// casing contains a magnetised clip (hard iron) and whose two sensors
+/// have a gain mismatch (soft iron). The user turns slowly in place;
+/// the calibration routines fit the count locus (circle, then ellipse)
+/// and install the corrections. Also prints the tilt-sensitivity table
+/// so the user knows how level to hold the device.
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/compass.hpp"
+#include "core/error_analysis.hpp"
+#include "core/tilt.hpp"
+#include "magnetics/units.hpp"
+
+int main() {
+    using namespace fxg;
+
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+
+    // A compass with both problems: soft iron (4% axis mismatch) and,
+    // emulated through an adversarial preloaded calibration, hard iron.
+    compass::CompassConfig cfg;
+    cfg.front_end.sensor_mismatch = 0.04;
+    compass::Compass compass(cfg);
+    compass.set_calibration({-250, 120, 1.0});  // the "magnetised clip"
+
+    auto report = [&](const char* stage) {
+        const compass::HeadingSweep sweep =
+            compass::sweep_heading(compass, field, 30.0);
+        std::printf("%-34s max |err| %7.2f deg, rms %6.2f deg\n", stage,
+                    sweep.max_abs_error_deg(), sweep.rms_error_deg());
+    };
+
+    std::puts("calibration session (turn slowly in place)\n");
+    report("as shipped (hard + soft iron):");
+
+    // Stage 1: hard-iron only (circle fit). Note: with the ellipse
+    // squash present, the circle fit centres but cannot round the locus.
+    compass::calibrate_hard_iron(compass, field, 12);
+    report("after hard-iron (circle) fit:");
+
+    // Stage 2: full soft-iron (ellipse) calibration.
+    const compass::CountCalibration cal =
+        compass::calibrate_soft_iron(compass, field, 16);
+    report("after soft-iron (ellipse) fit:");
+    std::printf("\ninstalled calibration: offset (%lld, %lld) counts, y-gain %.4f\n",
+                static_cast<long long>(cal.offset_x),
+                static_cast<long long>(cal.offset_y), cal.scale_y);
+
+    // How level must the user hold it? (dip 67 deg at this site)
+    std::puts("\nhold-it-level guide (worst-case extra error from case tilt):");
+    for (double pitch : {0.25, 0.5, 1.0, 2.0}) {
+        std::printf("  %4.2f deg tilt -> %5.2f deg heading error\n", pitch,
+                    compass::max_tilt_error_deg(field, pitch, 0.0));
+    }
+    std::puts("\n(the 2-axis design needs ~0.4 deg of levelness for the 1-degree");
+    std::puts("budget at this latitude — the paper's \"horizontal plane\" fine print)");
+    return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file comparator.hpp
+/// Latching comparator with offset, hysteresis and input-referred noise —
+/// the building block of the pulse-position detector's edge sensing.
+
+#include "analog/noise.hpp"
+
+namespace fxg::analog {
+
+/// Comparator non-idealities.
+struct ComparatorConfig {
+    double threshold_v = 0.0;   ///< nominal switching level
+    double offset_v = 0.0;      ///< static input offset error
+    double hysteresis_v = 0.0;  ///< total hysteresis width (centred on threshold)
+    double noise_rms_v = 0.0;   ///< input-referred RMS noise
+    std::uint64_t noise_seed = 7;
+};
+
+/// Two-state comparator: output true while input exceeds the (offset,
+/// hysteresis and noise adjusted) threshold.
+class Comparator {
+public:
+    explicit Comparator(const ComparatorConfig& config = {});
+
+    /// Evaluates one input sample; returns the new output state.
+    bool step(double v_in);
+
+    [[nodiscard]] bool output() const noexcept { return state_; }
+
+    void reset() noexcept { state_ = false; }
+
+    [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }
+
+private:
+    ComparatorConfig config_;
+    NoiseSource noise_;
+    bool state_ = false;
+};
+
+}  // namespace fxg::analog

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file detector.hpp
+/// The pulse-position detector (paper section 3.2): converts the pickup
+/// pulse train into ONE digital-compatible signal. Output goes high at
+/// the falling edge of the positive pickup pulse and low at the rising
+/// edge of the negative pulse; the high fraction of a period directly
+/// encodes the measured field component, so "a complicated AD-converter
+/// is not necessary" — this 1-bit interface is the paper's key analogue
+/// simplification over second-harmonic readouts (experiment BASE1).
+
+#include "analog/comparator.hpp"
+
+namespace fxg::analog {
+
+/// Detector configuration: one comparator per pulse polarity.
+struct DetectorConfig {
+    double threshold_v = 20.0e-3;  ///< |v| level that counts as a pulse
+    double comparator_offset_v = 0.0;
+    double comparator_hysteresis_v = 2.0e-3;
+    double noise_rms_v = 0.0;
+    std::uint64_t noise_seed = 11;
+};
+
+/// Stateful pulse-position detector.
+class PulsePositionDetector {
+public:
+    explicit PulsePositionDetector(const DetectorConfig& config = {});
+
+    /// Processes one pickup-voltage sample; returns the digital output.
+    bool step(double v_pickup);
+
+    [[nodiscard]] bool output() const noexcept { return out_; }
+
+    void reset();
+
+    [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }
+
+private:
+    DetectorConfig config_;
+    Comparator positive_;  ///< fires while v > +threshold
+    Comparator negative_;  ///< fires while v < -threshold (fed -v)
+    bool prev_pos_ = false;
+    bool prev_neg_ = false;
+    bool out_ = false;
+};
+
+}  // namespace fxg::analog

@@ -1,0 +1,112 @@
+#include "analog/front_end.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace fxg::analog {
+
+sensor::FluxgateParams FrontEnd::y_params(const FrontEndConfig& config) {
+    sensor::FluxgateParams p = config.sensor;
+    p.n_excitation *= (1.0 + config.sensor_mismatch);
+    p.label += " (y)";
+    return p;
+}
+
+FrontEnd::FrontEnd(const FrontEndConfig& config)
+    : config_(config), oscillator_(config.oscillator), oscillator_y_(config.oscillator),
+      vi_(config.vi),
+      sensors_{sensor::FluxgateSensor(config.sensor,
+                                      sensor::make_core(config.sensor,
+                                                        config.core_kind)),
+               sensor::FluxgateSensor(y_params(config),
+                                      sensor::make_core(y_params(config),
+                                                        config.core_kind))},
+      detectors_{PulsePositionDetector(config.detector),
+                 PulsePositionDetector(config.detector)},
+      mux_(config.mux_settle_s),
+      // Unit-variance source; noise_sample() applies the band-limited
+      // scaling per step.
+      pickup_noise_(config.pickup_noise_rms_v > 0.0 ? 1.0 : 0.0, config.noise_seed) {}
+
+double FrontEnd::noise_sample(double dt_s) {
+    if (config_.pickup_noise_rms_v == 0.0) return 0.0;
+    // AR(1) shaping: y += alpha (w - y), with the unit-variance white
+    // drive scaled so the stationary RMS of y equals the configured
+    // value regardless of the simulation step.
+    const double alpha = std::clamp(
+        1.0 - std::exp(-2.0 * std::numbers::pi * config_.pickup_noise_bandwidth_hz *
+                       dt_s),
+        1e-9, 1.0);
+    const double drive_rms =
+        config_.pickup_noise_rms_v * std::sqrt((2.0 - alpha) / alpha);
+    noise_state_ += alpha * (pickup_noise_.sample() * drive_rms - noise_state_);
+    return noise_state_;
+}
+
+void FrontEnd::set_field(Channel channel, double h_a_per_m) {
+    sensors_[static_cast<std::size_t>(channel)].set_external_field(h_a_per_m);
+}
+
+void FrontEnd::select(Channel channel) {
+    if (config_.mode == FrontEndMode::Multiplexed) mux_.select(channel);
+}
+
+double FrontEnd::momentary_power_w(double i_excitation_a) const {
+    if (!enabled_) return config_.leakage_a * config_.supply_v;
+    const int instances = config_.mode == FrontEndMode::Multiplexed ? 1 : 2;
+    const double bias = config_.osc_bias_a * oscillator_count() +
+                        (config_.vi_bias_a + config_.det_bias_a) * instances;
+    // The excitation current is sourced from the supply through the
+    // driver; in simultaneous mode both drivers deliver it at once.
+    const double drive = std::fabs(i_excitation_a) * instances;
+    return (bias + drive) * config_.supply_v;
+}
+
+FrontEndSample FrontEnd::step(double dt_s) {
+    FrontEndSample sample;
+    if (!enabled_) {
+        // Gated off: keep sensors relaxed, report leakage only.
+        for (auto& s : sensors_) s.step(0.0, dt_s);
+        sample.power_w = momentary_power_w(0.0);
+        return sample;
+    }
+    const double i_cmd = oscillator_.step(dt_s);
+    const double r_load = config_.sensor.r_excitation_ohm;
+    const double i_drive = vi_.drive(i_cmd, r_load);
+    sample.i_excitation_a = i_drive;
+
+    if (config_.mode == FrontEndMode::Multiplexed) {
+        const bool settled = mux_.step(dt_s);
+        const auto active = static_cast<std::size_t>(mux_.selected());
+        const auto idle = 1 - active;
+        const double v = sensors_[active].step(i_drive, dt_s) + noise_sample(dt_s);
+        sensors_[idle].step(0.0, dt_s);
+        sample.v_pickup[active] = v;
+        sample.detector[active] = detectors_[active].step(v);
+        sample.valid[active] = settled;
+    } else {
+        // Simultaneous baseline: an independent oscillator per channel.
+        const double i_cmd_y = oscillator_y_.step(dt_s);
+        const double i_drive_y = vi_.drive(i_cmd_y, r_load);
+        const double vx = sensors_[0].step(i_drive, dt_s) + noise_sample(dt_s);
+        const double vy = sensors_[1].step(i_drive_y, dt_s) + noise_sample(dt_s);
+        sample.v_pickup = {vx, vy};
+        sample.detector = {detectors_[0].step(vx), detectors_[1].step(vy)};
+        sample.valid = {true, true};
+    }
+    sample.power_w = momentary_power_w(i_drive);
+    return sample;
+}
+
+void FrontEnd::reset() {
+    noise_state_ = 0.0;
+    oscillator_.reset();
+    oscillator_y_.reset();
+    for (auto& s : sensors_) s.reset();
+    for (auto& d : detectors_) d.reset();
+    mux_.reset();
+    enabled_ = true;
+}
+
+}  // namespace fxg::analog

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file front_end.hpp
+/// The complete analogue section of the compass (paper Figure 1, left):
+/// triangle oscillator -> V-I converter -> multiplexed fluxgate sensors
+/// -> pulse-position detector, with power gating ("the digital control
+/// logic enables the analogue section ... only when needed") and a
+/// supply-current power model used by experiment MUX1.
+
+#include <array>
+#include <cstdint>
+
+#include "analog/detector.hpp"
+#include "analog/mux.hpp"
+#include "analog/noise.hpp"
+#include "analog/oscillator.hpp"
+#include "analog/vi_converter.hpp"
+#include "sensor/fluxgate.hpp"
+
+namespace fxg::analog {
+
+/// Front-end architecture: the paper's multiplexed design (one
+/// oscillator, one driver, one detector shared by both sensors) or the
+/// simultaneous baseline it argues against (everything duplicated).
+enum class FrontEndMode {
+    Multiplexed,
+    Simultaneous,
+};
+
+/// Front-end configuration.
+struct FrontEndConfig {
+    TriangleOscillatorConfig oscillator;
+    ViConverterConfig vi;
+    DetectorConfig detector;
+    sensor::FluxgateParams sensor = sensor::FluxgateParams::design_target();
+
+    /// Core magnetisation model both sensors are built with.
+    sensor::CoreKind core_kind = sensor::CoreKind::Tanh;
+
+    FrontEndMode mode = FrontEndMode::Multiplexed;
+    double mux_settle_s = 50.0e-6;
+
+    /// Fractional mismatch applied to the Y sensor's excitation winding
+    /// (models sensor-to-sensor process spread).
+    double sensor_mismatch = 0.0;
+
+    /// Pickup-referred noise (RMS volts), band-limited: the pickup coil
+    /// plus comparator input pole filter thermal noise to roughly the
+    /// signal bandwidth, so the noise entering the detector is shaped
+    /// with a one-pole response at this bandwidth, holding the
+    /// configured total RMS.
+    double pickup_noise_rms_v = 0.0;
+    double pickup_noise_bandwidth_hz = 100e3;
+    std::uint64_t noise_seed = 23;
+
+    // Supply-current power model (momentary, at 5 V).
+    double supply_v = 5.0;
+    double osc_bias_a = 150.0e-6;   ///< oscillator core bias
+    double vi_bias_a = 250.0e-6;    ///< V-I converter bias (per instance)
+    double det_bias_a = 160.0e-6;   ///< detector comparator pair (per instance)
+    double leakage_a = 2.0e-6;      ///< gated-off leakage
+};
+
+/// One front-end time step's outputs.
+struct FrontEndSample {
+    std::array<bool, 2> detector{};   ///< detector output per channel
+    std::array<bool, 2> valid{};      ///< channel carried a settled signal
+    std::array<double, 2> v_pickup{}; ///< pickup voltages [V]
+    double i_excitation_a = 0.0;      ///< delivered excitation current
+    double power_w = 0.0;             ///< momentary supply power
+};
+
+/// The analogue section.
+class FrontEnd {
+public:
+    explicit FrontEnd(const FrontEndConfig& config = {});
+
+    /// Sets the external axial field on a sensor [A/m].
+    void set_field(Channel channel, double h_a_per_m);
+
+    /// Routes the excitation to a channel (multiplexed mode only; the
+    /// call is accepted but ignored in simultaneous mode).
+    void select(Channel channel);
+    [[nodiscard]] Channel selected() const noexcept { return mux_.selected(); }
+
+    /// Power-gates the whole section.
+    void enable(bool on) noexcept { enabled_ = on; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    /// Advances the front end by dt and returns the sampled outputs.
+    FrontEndSample step(double dt_s);
+
+    /// Momentary supply power for the current enable/mode state [W].
+    [[nodiscard]] double momentary_power_w(double i_excitation_a) const;
+
+    /// Count of oscillators this architecture instantiates (1 for the
+    /// paper's multiplexed design, 2 for the simultaneous baseline).
+    [[nodiscard]] int oscillator_count() const noexcept {
+        return config_.mode == FrontEndMode::Multiplexed ? 1 : 2;
+    }
+
+    void reset();
+
+    [[nodiscard]] const FrontEndConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const sensor::FluxgateSensor& sensor(Channel ch) const {
+        return sensors_[static_cast<std::size_t>(ch)];
+    }
+
+private:
+    static sensor::FluxgateParams y_params(const FrontEndConfig& config);
+
+    FrontEndConfig config_;
+    TriangleOscillator oscillator_;
+    TriangleOscillator oscillator_y_;  ///< second oscillator (simultaneous mode)
+    ViConverter vi_;
+    std::array<sensor::FluxgateSensor, 2> sensors_;
+    std::array<PulsePositionDetector, 2> detectors_;
+    AnalogMux mux_;
+    NoiseSource pickup_noise_;
+    double noise_state_ = 0.0;  ///< one-pole noise-shaping filter state
+    bool enabled_ = true;
+
+    /// One band-limited noise sample for a step of length dt.
+    double noise_sample(double dt_s);
+};
+
+}  // namespace fxg::analog

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file mux.hpp
+/// Sensor multiplexer. The paper's system "uses a multiplexing technique
+/// by exciting one sensor at a time. This reduces both momental power
+/// consumption and chip area since only one oscillator is needed"
+/// (section 2). The mux routes the single excitation source to the x or
+/// y sensor and models the settling blanking time after a switch.
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace fxg::analog {
+
+/// Which sensor channel is being excited.
+enum class Channel : int { X = 0, Y = 1 };
+
+/// Analogue multiplexer with switchover settling.
+class AnalogMux {
+public:
+    /// \param settle_s dead time after a channel switch during which the
+    ///        routed signal is not yet valid (switch transients).
+    explicit AnalogMux(double settle_s = 50.0e-6);
+
+    /// Selects a channel; restarts the settling timer if it changed.
+    void select(Channel channel) noexcept;
+
+    [[nodiscard]] Channel selected() const noexcept { return channel_; }
+
+    /// Advances time; returns true when the routed path has settled.
+    bool step(double dt_s);
+
+    /// True when the output is valid (settled after the last switch).
+    [[nodiscard]] bool settled() const noexcept { return since_switch_s_ >= settle_s_; }
+
+    void reset() noexcept;
+
+private:
+    double settle_s_;
+    Channel channel_ = Channel::X;
+    double since_switch_s_ = 0.0;
+};
+
+}  // namespace fxg::analog

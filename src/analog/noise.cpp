@@ -1,0 +1,3 @@
+#include "analog/noise.hpp"
+
+// Header-only; anchors the translation unit for the analog target.

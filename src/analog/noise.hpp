@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file noise.hpp
+/// Gaussian noise injection for analogue non-ideality studies (ABL3).
+
+#include "util/rng.hpp"
+
+namespace fxg::analog {
+
+/// Additive white Gaussian noise source with deterministic seeding.
+class NoiseSource {
+public:
+    /// \param stddev RMS noise amplitude (same unit as the signal it is
+    ///        added to); 0 disables the source entirely.
+    explicit NoiseSource(double stddev = 0.0, std::uint64_t seed = 1)
+        : stddev_(stddev), rng_(seed) {}
+
+    /// One noise sample.
+    double sample() { return stddev_ == 0.0 ? 0.0 : rng_.gaussian(0.0, stddev_); }
+
+    [[nodiscard]] double stddev() const noexcept { return stddev_; }
+    void set_stddev(double s) noexcept { stddev_ = s; }
+
+private:
+    double stddev_;
+    util::Rng rng_;
+};
+
+}  // namespace fxg::analog

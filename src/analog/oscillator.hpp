@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file oscillator.hpp
+/// Triangular-waveform current generator (paper section 3.1): a 10 pF
+/// on-array capacitor charged through an external 12.5 Mohm resistor on
+/// the MCM substrate produces a 12 mA peak-to-peak, 8 kHz triangle after
+/// the V-I conversion. The paper notes that "the linearity of the
+/// waveform is not very essential but the dc-offset is, and is therefore
+/// corrected by measuring the average of the excitation current" — both
+/// non-idealities and the correction loop are modelled here and swept in
+/// experiment ABL2.
+
+namespace fxg::analog {
+
+/// Build-time configuration of the triangle generator.
+struct TriangleOscillatorConfig {
+    double amplitude_a = 6.0e-3;   ///< peak current (half of 12 mA pp)
+    double frequency_hz = 8.0e3;   ///< excitation frequency
+
+    // Non-idealities (error sources to study, all default to ideal).
+    double dc_offset_a = 0.0;      ///< additive offset error [A]
+    double amplitude_error = 0.0;  ///< fractional gain error
+    double curvature = 0.0;        ///< cubic bowing of the ramps (0 = linear)
+
+    // DC-offset correction loop (averages the excitation current over
+    // each period and integrates the error away).
+    bool offset_correction = true;
+    double correction_gain = 0.5;  ///< fraction of measured offset removed per period
+
+    // Physical realisation (reported, not simulated at circuit level here;
+    // the spice:: engine covers that in tests).
+    double timing_capacitor_f = 10.0e-12;    ///< on-array capacitor
+    double external_resistor_ohm = 12.5e6;   ///< resistor on the MCM substrate
+};
+
+/// Stateful triangle-current oscillator with a per-period offset
+/// correction loop.
+class TriangleOscillator {
+public:
+    explicit TriangleOscillator(const TriangleOscillatorConfig& config = {});
+
+    /// Advances by dt and returns the (corrected) output current [A].
+    double step(double dt_s);
+
+    /// Output of the last step [A].
+    [[nodiscard]] double output() const noexcept { return output_; }
+
+    /// Correction currently applied by the offset loop [A] (≈ minus the
+    /// configured dc offset once the loop has settled).
+    [[nodiscard]] double correction() const noexcept { return correction_a_; }
+
+    /// Elapsed oscillator time [s].
+    [[nodiscard]] double time() const noexcept { return time_s_; }
+
+    [[nodiscard]] const TriangleOscillatorConfig& config() const noexcept {
+        return config_;
+    }
+
+    void reset();
+
+private:
+    /// Ideal unit triangle (-1..+1) at a phase in [0, 1).
+    static double unit_triangle(double phase) noexcept;
+
+    TriangleOscillatorConfig config_;
+    double time_s_ = 0.0;
+    double phase_ = 0.0;
+    double output_ = 0.0;
+    double correction_a_ = 0.0;
+    // Per-period running average for the correction loop.
+    double period_integral_ = 0.0;
+    double period_time_ = 0.0;
+};
+
+}  // namespace fxg::analog

@@ -1,0 +1,37 @@
+#include "baseline/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::baseline {
+
+SarAdc::SarAdc(const SarAdcConfig& config)
+    : config_(config), noise_(config.noise_rms_v, config.noise_seed) {
+    if (config.bits < 1 || config.bits > 24) {
+        throw std::invalid_argument("SarAdc: bits 1..24");
+    }
+    if (!(config.vref_v > 0.0)) throw std::invalid_argument("SarAdc: vref must be > 0");
+}
+
+double SarAdc::lsb() const noexcept {
+    return 2.0 * config_.vref_v / static_cast<double>(std::int64_t{1} << config_.bits);
+}
+
+std::int32_t SarAdc::convert(double v_in) {
+    ++conversions_;
+    const double v =
+        (v_in + noise_.sample() + config_.offset_v) * (1.0 + config_.gain_error);
+    const double clipped = std::clamp(v, -config_.vref_v, config_.vref_v);
+    const auto max_code =
+        static_cast<std::int32_t>((std::int64_t{1} << (config_.bits - 1)) - 1);
+    const auto min_code = static_cast<std::int32_t>(-(std::int64_t{1} << (config_.bits - 1)));
+    const auto code = static_cast<std::int32_t>(std::floor(clipped / lsb()));
+    return std::clamp(code, min_code, max_code);
+}
+
+double SarAdc::convert_to_voltage(double v_in) {
+    return (static_cast<double>(convert(v_in)) + 0.5) * lsb();
+}
+
+}  // namespace fxg::baseline

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file adc.hpp
+/// Successive-approximation ADC model. The paper's point (section 3.2)
+/// is that second-harmonic fluxgate readouts need "a complicated
+/// AD-converter" where the pulse-position method needs a single
+/// digital-compatible signal; this model provides that converter for
+/// the baseline comparison (experiment BASE1), including the hardware
+/// complexity bookkeeping the SoG mapper consumes.
+
+#include <cstdint>
+
+#include "analog/noise.hpp"
+
+namespace fxg::baseline {
+
+/// SAR ADC configuration.
+struct SarAdcConfig {
+    int bits = 10;
+    double vref_v = 2.5;          ///< full-scale input range is +-vref
+    double offset_v = 0.0;        ///< input-referred offset
+    double gain_error = 0.0;      ///< fractional gain error
+    double noise_rms_v = 0.0;     ///< input-referred noise
+    std::uint64_t noise_seed = 31;
+};
+
+/// Bipolar SAR ADC: converts +-vref to a signed code of `bits` bits.
+class SarAdc {
+public:
+    explicit SarAdc(const SarAdcConfig& config = {});
+
+    /// Converts one sample; clips outside +-vref.
+    [[nodiscard]] std::int32_t convert(double v_in);
+
+    /// Converts and returns the quantised voltage (code * lsb).
+    [[nodiscard]] double convert_to_voltage(double v_in);
+
+    /// LSB size [V].
+    [[nodiscard]] double lsb() const noexcept;
+
+    /// Total conversions performed (each costs `bits` comparator
+    /// decisions — the power/complexity unit for BASE1).
+    [[nodiscard]] std::uint64_t conversions() const noexcept { return conversions_; }
+
+    /// Comparator decisions consumed so far.
+    [[nodiscard]] std::uint64_t comparator_decisions() const noexcept {
+        return conversions_ * static_cast<std::uint64_t>(config_.bits);
+    }
+
+    [[nodiscard]] const SarAdcConfig& config() const noexcept { return config_; }
+
+private:
+    SarAdcConfig config_;
+    analog::NoiseSource noise_;
+    std::uint64_t conversions_ = 0;
+};
+
+}  // namespace fxg::baseline

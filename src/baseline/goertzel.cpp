@@ -1,0 +1,46 @@
+#include "baseline/goertzel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fxg::baseline {
+
+GoertzelBin::GoertzelBin(double fs_hz, double frequency_hz) {
+    if (!(fs_hz > 0.0) || !(frequency_hz > 0.0) || frequency_hz >= fs_hz / 2.0) {
+        throw std::invalid_argument("GoertzelBin: need 0 < f < fs/2");
+    }
+    omega_ = 2.0 * std::numbers::pi * frequency_hz / fs_hz;
+    coeff_ = 2.0 * std::cos(omega_);
+}
+
+void GoertzelBin::push(double sample) {
+    const double s0 = sample + coeff_ * s1_ - s2_;
+    s2_ = s1_;
+    s1_ = s0;
+    ++n_;
+}
+
+std::complex<double> GoertzelBin::amplitude() const {
+    if (n_ == 0) return {0.0, 0.0};
+    // Standard Goertzel finalisation; scale 2/N gives the amplitude of
+    // a cosine component.
+    const std::complex<double> w(std::cos(omega_), std::sin(omega_));
+    const std::complex<double> y = s1_ - s2_ * std::conj(w);
+    return 2.0 / static_cast<double>(n_) * y;
+}
+
+void GoertzelBin::reset() {
+    s1_ = 0.0;
+    s2_ = 0.0;
+    n_ = 0;
+}
+
+std::complex<double> goertzel(const std::vector<double>& samples, double fs_hz,
+                              double frequency_hz) {
+    GoertzelBin bin(fs_hz, frequency_hz);
+    for (double s : samples) bin.push(s);
+    return bin.amplitude();
+}
+
+}  // namespace fxg::baseline

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file goertzel.hpp
+/// Single-bin DFT (Goertzel) for extracting one harmonic of a sampled
+/// waveform — the digital work a second-harmonic fluxgate readout must
+/// perform after its ADC (experiment BASE1).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace fxg::baseline {
+
+/// Complex amplitude of the component at `frequency_hz` in `samples`
+/// taken at `fs_hz`. Normalised so a pure cosine of amplitude A at the
+/// bin frequency returns magnitude A. The observation window should
+/// hold an integer number of cycles of the target frequency.
+std::complex<double> goertzel(const std::vector<double>& samples, double fs_hz,
+                              double frequency_hz);
+
+/// Streaming Goertzel filter (one multiplier-accumulator pair in
+/// hardware). Feed samples, then read the complex amplitude.
+class GoertzelBin {
+public:
+    GoertzelBin(double fs_hz, double frequency_hz);
+
+    /// Processes one sample.
+    void push(double sample);
+
+    /// Complex amplitude of the bin over the pushed samples.
+    [[nodiscard]] std::complex<double> amplitude() const;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+    void reset();
+
+private:
+    double omega_;   ///< radians per sample
+    double coeff_;   ///< 2 cos(omega)
+    double s1_ = 0.0;
+    double s2_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+}  // namespace fxg::baseline

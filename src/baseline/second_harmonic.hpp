@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file second_harmonic.hpp
+/// Second-harmonic fluxgate readout — the conventional method
+/// ([Rip92], [Got95], [Kaw95]) that the paper's pulse-position design
+/// competes with. The symmetric excitation produces only odd harmonics
+/// in the pickup voltage; an external axial field breaks the symmetry
+/// and creates even harmonics whose amplitude is proportional to the
+/// field and whose phase carries its sign. Recovering them requires
+/// sampling the pickup waveform with an ADC and computing a harmonic
+/// bin — exactly the hardware the paper's 1-bit interface avoids.
+
+#include <complex>
+
+#include "baseline/adc.hpp"
+#include "baseline/goertzel.hpp"
+#include "sensor/fluxgate.hpp"
+
+namespace fxg::baseline {
+
+/// Baseline readout configuration.
+struct SecondHarmonicConfig {
+    sensor::FluxgateParams sensor = sensor::FluxgateParams::design_target();
+    sensor::ExcitationSpec excitation;
+    SarAdcConfig adc;
+    /// ADC sample rate; 128 samples per excitation period by default
+    /// (8 kHz * 128 = 1.024 MHz — comparable to the paper's counter clock).
+    double samples_per_period = 128.0;
+    /// Excitation periods integrated per measurement.
+    int periods = 16;
+    /// Periods discarded up front while the core settles.
+    int warmup_periods = 2;
+};
+
+/// One measurement's internals (for reporting and tests).
+struct SecondHarmonicMeasurement {
+    double field_estimate_a_per_m = 0.0;
+    std::complex<double> harmonic;   ///< raw 2nd-harmonic complex amplitude
+    std::uint64_t adc_conversions = 0;
+    std::uint64_t comparator_decisions = 0;
+};
+
+/// Second-harmonic readout pipeline (sensor + ADC + Goertzel).
+class SecondHarmonicReadout {
+public:
+    explicit SecondHarmonicReadout(const SecondHarmonicConfig& config = {});
+
+    /// One-point calibration: measures a known reference field and
+    /// stores the complex scale that maps harmonic amplitude to field.
+    /// Must be called before measure(); `h_ref` must be non-zero and
+    /// small enough to stay in the linear region.
+    void calibrate(double h_ref_a_per_m);
+
+    /// Measures an unknown axial field [A/m].
+    [[nodiscard]] SecondHarmonicMeasurement measure(double h_ext_a_per_m);
+
+    [[nodiscard]] bool calibrated() const noexcept { return calibrated_; }
+    [[nodiscard]] const SecondHarmonicConfig& config() const noexcept { return config_; }
+
+private:
+    /// Runs the sensor + ADC chain and returns the 2nd-harmonic bin.
+    [[nodiscard]] std::complex<double> acquire(double h_ext_a_per_m,
+                                               std::uint64_t* conversions);
+
+    SecondHarmonicConfig config_;
+    SarAdc adc_;
+    std::complex<double> reference_{0.0, 0.0};
+    double h_reference_ = 0.0;
+    bool calibrated_ = false;
+};
+
+}  // namespace fxg::baseline

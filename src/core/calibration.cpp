@@ -1,0 +1,131 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/matrix.hpp"
+
+namespace fxg::compass {
+
+CircleFit fit_circle(const std::vector<CountSample>& samples) {
+    if (samples.size() < 3) throw std::invalid_argument("fit_circle: need >= 3 samples");
+    // Kasa fit: minimise sum (x^2 + y^2 + D x + E y + F)^2 over D, E, F;
+    // centre = (-D/2, -E/2), radius^2 = centre^2 - F. Solved via the
+    // 3x3 normal equations.
+    double sxx = 0, sxy = 0, syy = 0, sx = 0, sy = 0, n = 0;
+    double sxz = 0, syz = 0, sz = 0;
+    for (const CountSample& s : samples) {
+        const double z = s.x * s.x + s.y * s.y;
+        sxx += s.x * s.x;
+        sxy += s.x * s.y;
+        syy += s.y * s.y;
+        sx += s.x;
+        sy += s.y;
+        sxz += s.x * z;
+        syz += s.y * z;
+        sz += z;
+        n += 1.0;
+    }
+    spice::DenseMatrix a(3, 3);
+    a(0, 0) = sxx; a(0, 1) = sxy; a(0, 2) = sx;
+    a(1, 0) = sxy; a(1, 1) = syy; a(1, 2) = sy;
+    a(2, 0) = sx;  a(2, 1) = sy;  a(2, 2) = n;
+    const std::vector<double> rhs = {-sxz, -syz, -sz};
+    std::vector<double> def;
+    try {
+        def = spice::lu_solve(a, rhs);
+    } catch (const spice::SingularMatrixError&) {
+        throw std::invalid_argument("fit_circle: samples are collinear");
+    }
+    CircleFit fit;
+    fit.center_x = -def[0] / 2.0;
+    fit.center_y = -def[1] / 2.0;
+    const double r2 = fit.center_x * fit.center_x + fit.center_y * fit.center_y - def[2];
+    fit.radius = r2 > 0.0 ? std::sqrt(r2) : 0.0;
+    double ss = 0.0;
+    for (const CountSample& s : samples) {
+        const double d = std::hypot(s.x - fit.center_x, s.y - fit.center_y) - fit.radius;
+        ss += d * d;
+    }
+    fit.rms_residual = std::sqrt(ss / static_cast<double>(samples.size()));
+    return fit;
+}
+
+EllipseFit fit_ellipse(const std::vector<CountSample>& samples) {
+    if (samples.size() < 4) throw std::invalid_argument("fit_ellipse: need >= 4 samples");
+    // Least squares on A x^2 + C y^2 + D x + E y = 1 via the 4x4 normal
+    // equations M^T M p = M^T 1.
+    spice::DenseMatrix m(4, 4);
+    std::vector<double> rhs(4, 0.0);
+    for (const CountSample& s : samples) {
+        const double row[4] = {s.x * s.x, s.y * s.y, s.x, s.y};
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                m(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
+                    row[i] * row[j];
+            }
+            rhs[static_cast<std::size_t>(i)] += row[i];
+        }
+    }
+    std::vector<double> p;
+    try {
+        p = spice::lu_solve(m, rhs);
+    } catch (const spice::SingularMatrixError&) {
+        throw std::invalid_argument("fit_ellipse: degenerate sample set");
+    }
+    const double a = p[0];
+    const double c = p[1];
+    if (!(a > 0.0) || !(c > 0.0)) {
+        throw std::invalid_argument("fit_ellipse: samples do not describe an ellipse");
+    }
+    EllipseFit fit;
+    fit.center_x = -p[2] / (2.0 * a);
+    fit.center_y = -p[3] / (2.0 * c);
+    const double k = 1.0 + a * fit.center_x * fit.center_x +
+                     c * fit.center_y * fit.center_y;
+    fit.radius_x = std::sqrt(k / a);
+    fit.radius_y = std::sqrt(k / c);
+    return fit;
+}
+
+CountCalibration calibrate_soft_iron(Compass& compass,
+                                     const magnetics::EarthField& field, int points) {
+    if (points < 4) throw std::invalid_argument("calibrate_soft_iron: points >= 4");
+    compass.set_calibration({});
+    std::vector<CountSample> samples;
+    samples.reserve(static_cast<std::size_t>(points));
+    for (int k = 0; k < points; ++k) {
+        compass.set_environment(field, 360.0 * static_cast<double>(k) / points);
+        const Measurement m = compass.measure();
+        samples.push_back({static_cast<double>(m.count_x), static_cast<double>(m.count_y)});
+    }
+    const EllipseFit fit = fit_ellipse(samples);
+    CountCalibration cal;
+    cal.offset_x = static_cast<std::int64_t>(std::llround(fit.center_x));
+    cal.offset_y = static_cast<std::int64_t>(std::llround(fit.center_y));
+    cal.scale_y = fit.radius_x / fit.radius_y;
+    compass.set_calibration(cal);
+    return cal;
+}
+
+CountCalibration calibrate_hard_iron(Compass& compass,
+                                     const magnetics::EarthField& field, int points) {
+    if (points < 3) throw std::invalid_argument("calibrate_hard_iron: points >= 3");
+    compass.set_calibration({});
+    std::vector<CountSample> samples;
+    samples.reserve(static_cast<std::size_t>(points));
+    for (int k = 0; k < points; ++k) {
+        const double heading = 360.0 * static_cast<double>(k) / points;
+        compass.set_environment(field, heading);
+        const Measurement m = compass.measure();
+        samples.push_back({static_cast<double>(m.count_x), static_cast<double>(m.count_y)});
+    }
+    const CircleFit fit = fit_circle(samples);
+    CountCalibration cal;
+    cal.offset_x = static_cast<std::int64_t>(std::llround(fit.center_x));
+    cal.offset_y = static_cast<std::int64_t>(std::llround(fit.center_y));
+    compass.set_calibration(cal);
+    return cal;
+}
+
+}  // namespace fxg::compass

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Hard-iron calibration: a magnetised object near the compass adds a
+/// constant offset to both axis counts, which drags the (count_x,
+/// count_y) locus off-centre as the compass rotates. Collecting counts
+/// over a rotation and fitting a circle (Kasa least-squares) recovers
+/// the offset. This is the natural field-calibration extension of the
+/// paper's system (its arctan is already magnitude-insensitive, so only
+/// the centre matters).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compass.hpp"
+
+namespace fxg::compass {
+
+/// One calibration sample: raw counts at some (unknown) heading.
+struct CountSample {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/// Result of the circle fit.
+struct CircleFit {
+    double center_x = 0.0;
+    double center_y = 0.0;
+    double radius = 0.0;
+    double rms_residual = 0.0;  ///< RMS distance of samples from the circle
+};
+
+/// Kasa algebraic circle fit over >= 3 non-collinear samples.
+CircleFit fit_circle(const std::vector<CountSample>& samples);
+
+/// Rotates the compass through `points` evenly spaced headings in the
+/// given field, measures raw counts at each, fits the circle and
+/// returns the calibration that centres the locus. The compass's
+/// existing calibration is ignored during collection and replaced.
+CountCalibration calibrate_hard_iron(Compass& compass,
+                                     const magnetics::EarthField& field,
+                                     int points = 12);
+
+/// Result of the axis-aligned ellipse fit used for soft-iron
+/// calibration: A x^2 + C y^2 + D x + E y = 1 solved by least squares.
+struct EllipseFit {
+    double center_x = 0.0;
+    double center_y = 0.0;
+    double radius_x = 0.0;
+    double radius_y = 0.0;
+};
+
+/// Fits an axis-aligned ellipse to >= 4 samples spread around the
+/// locus. Soft iron near the sensors scales the axes unevenly, turning
+/// the count circle into exactly such an ellipse.
+EllipseFit fit_ellipse(const std::vector<CountSample>& samples);
+
+/// Full field calibration: rotate, fit the ellipse, and install
+/// offsets plus the y-gain that restores a circular locus.
+CountCalibration calibrate_soft_iron(Compass& compass,
+                                     const magnetics::EarthField& field,
+                                     int points = 16);
+
+}  // namespace fxg::compass

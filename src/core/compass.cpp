@@ -1,0 +1,105 @@
+#include "core/compass.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace fxg::compass {
+
+Compass::Compass(const CompassConfig& config)
+    : config_(config), front_end_(config.front_end),
+      counter_(config.counter_clock_hz),
+      cordic_(config.cordic_cycles, config.cordic_frac_bits),
+      watch_(static_cast<std::uint64_t>(config.counter_clock_hz)) {
+    if (config.periods_per_axis < 1 || config.settle_periods < 0) {
+        throw std::invalid_argument("Compass: bad period configuration");
+    }
+    if (config.steps_per_period < 64) {
+        throw std::invalid_argument("Compass: steps_per_period must be >= 64");
+    }
+}
+
+void Compass::set_environment(const magnetics::EarthField& field, double heading_deg) {
+    const magnetics::HorizontalField h = field.at_heading(heading_deg);
+    set_axis_fields(h.hx_a_per_m, h.hy_a_per_m);
+}
+
+void Compass::set_axis_fields(double hx_a_per_m, double hy_a_per_m) {
+    front_end_.set_field(analog::Channel::X, hx_a_per_m);
+    front_end_.set_field(analog::Channel::Y, hy_a_per_m);
+}
+
+std::int64_t Compass::integrate_axis(analog::Channel channel, double dt, double period,
+                                     Measurement& m) {
+    front_end_.select(channel);
+    const int settle_steps = config_.settle_periods * config_.steps_per_period;
+    for (int k = 0; k < settle_steps; ++k) {
+        const analog::FrontEndSample s = front_end_.step(dt);
+        m.energy_j += s.power_w * dt;
+    }
+    counter_.clear();
+    const int count_steps = config_.periods_per_axis * config_.steps_per_period;
+    const auto ch = static_cast<std::size_t>(channel);
+    for (int k = 0; k < count_steps; ++k) {
+        const analog::FrontEndSample s = front_end_.step(dt);
+        m.energy_j += s.power_w * dt;
+        if (s.valid[ch]) counter_.step(s.detector[ch], dt);
+    }
+    m.duration_s += (settle_steps + count_steps) * dt;
+    (void)period;
+    return counter_.count();
+}
+
+Measurement Compass::measure() {
+    Measurement m;
+    const double period = 1.0 / config_.front_end.oscillator.frequency_hz;
+    const double dt = period / config_.steps_per_period;
+
+    // Range check: the pulse-position method needs cleanly separated
+    // pulses, i.e. the core must pass well beyond its knee in both
+    // directions on each axis: |H_ext| + margin * Hk < Ha.
+    const double ha = config_.front_end.oscillator.amplitude_a *
+                      config_.front_end.sensor.field_per_amp();
+    const double hk = config_.front_end.sensor.hk_a_per_m;
+    for (auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        const double h = front_end_.sensor(ch).external_field();
+        if (std::fabs(h) + config_.saturation_margin * hk >= ha) {
+            m.field_in_range = false;
+        }
+    }
+
+    if (config_.power_gating) front_end_.enable(true);
+    counter_.enable(true);
+
+    m.count_x = integrate_axis(analog::Channel::X, dt, period, m) - calibration_.offset_x;
+    m.count_y = integrate_axis(analog::Channel::Y, dt, period, m) - calibration_.offset_y;
+    // Soft-iron correction: rescale y into the circular domain the
+    // arctan assumes (rounded back to the integer counts the hardware
+    // datapath would carry).
+    if (calibration_.scale_y != 1.0) {
+        m.count_y = static_cast<std::int64_t>(
+            std::llround(static_cast<double>(m.count_y) * calibration_.scale_y));
+    }
+
+    counter_.enable(false);
+    if (config_.power_gating) front_end_.enable(false);
+
+    m.heading_deg = cordic_.heading_deg(m.count_x, m.count_y);
+    m.heading_float_deg = magnetics::EarthField::heading_from_components(
+        static_cast<double>(m.count_x), static_cast<double>(m.count_y));
+    m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
+
+    display_.show_direction(m.heading_deg);
+    watch_.tick(static_cast<std::uint64_t>(
+        std::llround(m.duration_s * config_.counter_clock_hz)));
+    return m;
+}
+
+void Compass::idle(double seconds) {
+    if (!(seconds >= 0.0)) throw std::invalid_argument("Compass::idle: negative time");
+    watch_.tick(static_cast<std::uint64_t>(
+        std::llround(seconds * config_.counter_clock_hz)));
+}
+
+}  // namespace fxg::compass

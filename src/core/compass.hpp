@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file compass.hpp
+/// The integrated compass (paper Figure 1): the public API a user of
+/// this library interacts with. One Compass object owns the full
+/// mixed-signal pipeline —
+///
+///   earth field -> fluxgate sensors -> triangle excitation + V-I
+///   -> pulse-position detector -> 4.194304 MHz up/down counter
+///   -> CORDIC arctan (8 cycles) -> display driver / watch
+///
+/// and measure() runs one complete multiplexed measurement exactly the
+/// way the control logic sequences it: enable the analogue section,
+/// settle, integrate the x axis over N excitation periods, switch the
+/// multiplexer, integrate y, then compute arctan(x/y) digitally.
+
+#include <cstdint>
+
+#include "analog/front_end.hpp"
+#include "digital/cordic.hpp"
+#include "digital/counter.hpp"
+#include "digital/display.hpp"
+#include "digital/watch.hpp"
+#include "magnetics/earth_field.hpp"
+
+namespace fxg::compass {
+
+/// System-level configuration.
+struct CompassConfig {
+    analog::FrontEndConfig front_end;
+
+    /// Counting clock of the pulse-count part (paper: 4.194304 MHz).
+    double counter_clock_hz = 4194304.0;
+
+    /// Excitation periods integrated per axis (resolution vs. speed).
+    int periods_per_axis = 8;
+
+    /// Periods discarded after each multiplexer switch (settling).
+    int settle_periods = 1;
+
+    /// Analogue simulation step as a fraction of the excitation period.
+    int steps_per_period = 2048;
+
+    /// CORDIC geometry (paper: 8 cycles, x128 scaling).
+    int cordic_cycles = 8;
+    int cordic_frac_bits = 7;
+
+    /// Power-gate the front end between measurements (paper section 4).
+    bool power_gating = true;
+
+    /// Effective saturation margin of the soft (tanh) core: the pickup
+    /// pulse only falls below the detector threshold once |H| exceeds
+    /// roughly margin * Hk, so clean pulse separation needs
+    /// |H_ext| + margin * Hk < Ha. 1.5 is conservative for the default
+    /// 20 mV threshold.
+    double saturation_margin = 1.5;
+};
+
+/// Count-domain calibration applied to the raw counter values:
+/// hard-iron offsets plus a soft-iron gain correction that rescales the
+/// y axis so the count locus becomes a centred circle before the
+/// arctan (see calibration.hpp for the fitting routines).
+struct CountCalibration {
+    std::int64_t offset_x = 0;
+    std::int64_t offset_y = 0;
+    double scale_y = 1.0;  ///< multiplies (count_y - offset_y)
+};
+
+/// One complete compass measurement.
+struct Measurement {
+    double heading_deg = 0.0;        ///< digital (CORDIC) heading
+    double heading_float_deg = 0.0;  ///< atan2 of the same counts (reference)
+    std::int64_t count_x = 0;        ///< up/down counter result, x axis
+    std::int64_t count_y = 0;
+    double duration_s = 0.0;         ///< wall-clock time of the measurement
+    double energy_j = 0.0;           ///< front-end energy over the measurement
+    double avg_power_w = 0.0;        ///< mean front-end power while measuring
+    bool field_in_range = true;      ///< core saturated both ways on both axes
+};
+
+/// The integrated compass.
+class Compass {
+public:
+    explicit Compass(const CompassConfig& config = {});
+
+    /// Places the compass in an earth field at a physical heading [deg].
+    void set_environment(const magnetics::EarthField& field, double heading_deg);
+
+    /// Directly sets the two sensor-axis field components [A/m]
+    /// (for tests that bypass the EarthField geometry).
+    void set_axis_fields(double hx_a_per_m, double hy_a_per_m);
+
+    /// Runs one full measurement through the mixed-signal pipeline and
+    /// updates the display.
+    Measurement measure();
+
+    /// Applies a hard-iron count calibration to subsequent measurements.
+    void set_calibration(const CountCalibration& cal) noexcept { calibration_ = cal; }
+    [[nodiscard]] const CountCalibration& calibration() const noexcept {
+        return calibration_;
+    }
+
+    /// Advances the watch (and the idle power accounting) by real time
+    /// without measuring.
+    void idle(double seconds);
+
+    [[nodiscard]] const CompassConfig& config() const noexcept { return config_; }
+    [[nodiscard]] analog::FrontEnd& front_end() noexcept { return front_end_; }
+    [[nodiscard]] const digital::CordicUnit& cordic() const noexcept { return cordic_; }
+    [[nodiscard]] digital::DisplayDriver& display() noexcept { return display_; }
+    [[nodiscard]] digital::Watch& watch() noexcept { return watch_; }
+
+private:
+    /// Integrates one axis over the configured periods; returns counts.
+    std::int64_t integrate_axis(analog::Channel channel, double dt, double period,
+                                Measurement& m);
+
+    CompassConfig config_;
+    analog::FrontEnd front_end_;
+    digital::UpDownCounter counter_;
+    digital::CordicUnit cordic_;
+    digital::DisplayDriver display_;
+    digital::Watch watch_;
+    CountCalibration calibration_;
+};
+
+}  // namespace fxg::compass

@@ -1,0 +1,38 @@
+#include "core/error_analysis.hpp"
+
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace fxg::compass {
+
+HeadingSweep sweep_headings(Compass& compass, const magnetics::EarthField& field,
+                            const std::vector<double>& headings_deg) {
+    HeadingSweep sweep;
+    sweep.points.reserve(headings_deg.size());
+    for (double heading : headings_deg) {
+        compass.set_environment(field, heading);
+        const Measurement m = compass.measure();
+        SweepPoint p;
+        p.true_heading_deg = util::wrap_deg_360(heading);
+        p.measured_deg = m.heading_deg;
+        p.measured_float_deg = m.heading_float_deg;
+        p.error_deg = util::angular_diff_deg(m.heading_deg, heading);
+        p.in_range = m.field_in_range;
+        sweep.error_stats.add(p.error_deg);
+        sweep.float_error_stats.add(
+            util::angular_diff_deg(m.heading_float_deg, heading));
+        sweep.points.push_back(p);
+    }
+    return sweep;
+}
+
+HeadingSweep sweep_heading(Compass& compass, const magnetics::EarthField& field,
+                           double step_deg) {
+    if (!(step_deg > 0.0)) throw std::invalid_argument("sweep_heading: step must be > 0");
+    std::vector<double> headings;
+    for (double h = 0.0; h < 360.0 - 1e-9; h += step_deg) headings.push_back(h);
+    return sweep_headings(compass, field, headings);
+}
+
+}  // namespace fxg::compass

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file error_analysis.hpp
+/// Heading-sweep harness shared by the accuracy experiments (ACC1,
+/// MAG1, ABL1-3) and the system tests: rotate the compass through a set
+/// of headings in a given field and collect the error statistics that
+/// decide the paper's one-degree claim.
+
+#include <vector>
+
+#include "core/compass.hpp"
+#include "util/statistics.hpp"
+
+namespace fxg::compass {
+
+/// One sweep point.
+struct SweepPoint {
+    double true_heading_deg = 0.0;
+    double measured_deg = 0.0;        ///< CORDIC pipeline output
+    double measured_float_deg = 0.0;  ///< float atan2 of the same counts
+    double error_deg = 0.0;           ///< wrapped signed error (CORDIC)
+    bool in_range = true;
+};
+
+/// Sweep result with error statistics.
+struct HeadingSweep {
+    std::vector<SweepPoint> points;
+    util::RunningStats error_stats;        ///< signed errors [deg]
+    util::RunningStats float_error_stats;  ///< errors of the float reference
+
+    [[nodiscard]] double max_abs_error_deg() const { return error_stats.max_abs(); }
+    [[nodiscard]] double rms_error_deg() const { return error_stats.rms(); }
+
+    /// True when every point met the paper's one-degree specification.
+    [[nodiscard]] bool meets_one_degree() const { return max_abs_error_deg() <= 1.0; }
+};
+
+/// Measures the compass at headings 0, step, 2*step ... < 360 in the
+/// given field.
+HeadingSweep sweep_heading(Compass& compass, const magnetics::EarthField& field,
+                           double step_deg = 15.0);
+
+/// Measures at explicit headings.
+HeadingSweep sweep_headings(Compass& compass, const magnetics::EarthField& field,
+                            const std::vector<double>& headings_deg);
+
+}  // namespace fxg::compass

@@ -1,0 +1,45 @@
+#include "core/heading_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace fxg::compass {
+
+HeadingFilter::HeadingFilter(double alpha) : alpha_(alpha) {
+    if (!(alpha > 0.0) || alpha > 1.0) {
+        throw std::invalid_argument("HeadingFilter: alpha in (0, 1]");
+    }
+}
+
+double HeadingFilter::update(double new_heading_deg) {
+    const double rad = util::deg_to_rad(new_heading_deg);
+    if (!primed_) {
+        x_ = std::cos(rad);
+        y_ = std::sin(rad);
+        primed_ = true;
+    } else {
+        x_ += alpha_ * (std::cos(rad) - x_);
+        y_ += alpha_ * (std::sin(rad) - y_);
+    }
+    return *heading_deg();
+}
+
+std::optional<double> HeadingFilter::heading_deg() const {
+    if (!primed_) return std::nullopt;
+    return util::wrap_deg_360(util::rad_to_deg(std::atan2(y_, x_)));
+}
+
+double HeadingFilter::consistency() const {
+    if (!primed_) return 0.0;
+    return std::hypot(x_, y_);
+}
+
+void HeadingFilter::reset() noexcept {
+    x_ = 0.0;
+    y_ = 0.0;
+    primed_ = false;
+}
+
+}  // namespace fxg::compass

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file heading_filter.hpp
+/// Circular smoothing filter for heading streams. A naive EMA on the
+/// angle breaks at the 0/360 seam (averaging 359 and 1 must give 0, not
+/// 180); this filter averages the unit vector instead, which is seam-
+/// free and additionally yields a confidence measure (the vector length
+/// collapses when the inputs disagree). Used by navigation applications
+/// on top of Compass::measure().
+
+#include <optional>
+
+namespace fxg::compass {
+
+/// Seam-free exponential smoothing of headings [deg].
+class HeadingFilter {
+public:
+    /// \param alpha smoothing weight of each new sample in (0, 1].
+    explicit HeadingFilter(double alpha = 0.25);
+
+    /// Feeds one measurement; returns the filtered heading [0, 360).
+    double update(double heading_deg);
+
+    /// Filtered heading, or nullopt before the first sample.
+    [[nodiscard]] std::optional<double> heading_deg() const;
+
+    /// Length of the averaged unit vector in [0, 1]: 1 = perfectly
+    /// consistent inputs, -> 0 = the recent samples point everywhere.
+    [[nodiscard]] double consistency() const;
+
+    /// Clears the filter state.
+    void reset() noexcept;
+
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    double alpha_;
+    double x_ = 0.0;
+    double y_ = 0.0;
+    bool primed_ = false;
+};
+
+}  // namespace fxg::compass

@@ -1,0 +1,37 @@
+#include "core/power_budget.hpp"
+
+#include <stdexcept>
+
+namespace fxg::compass {
+
+PowerBudget estimate_power_budget(Compass& compass, const PowerProfile& profile) {
+    if (!(profile.fixes_per_second > 0.0) || !(profile.battery_capacity_mah > 0.0) ||
+        !(profile.battery_voltage_v > 0.0)) {
+        throw std::invalid_argument("estimate_power_budget: bad profile");
+    }
+    const Measurement m = compass.measure();
+    if (m.duration_s * profile.fixes_per_second > 1.0) {
+        throw std::invalid_argument(
+            "estimate_power_budget: fix rate exceeds measurement duration");
+    }
+    PowerBudget budget;
+    budget.energy_per_fix_j = m.energy_j;
+    // Gated leakage between fixes.
+    const auto& fe = compass.front_end();
+    const double leak = compass.config().power_gating
+                            ? compass.config().front_end.leakage_a *
+                                  compass.config().front_end.supply_v
+                            : m.avg_power_w;
+    (void)fe;
+    budget.front_end_leakage_w = leak;
+    budget.duty_cycle = m.duration_s * profile.fixes_per_second;
+    budget.average_power_w = profile.digital_idle_w +
+                             budget.energy_per_fix_j * profile.fixes_per_second +
+                             leak * (1.0 - budget.duty_cycle);
+    const double battery_j =
+        profile.battery_capacity_mah * 3.6 * profile.battery_voltage_v;
+    budget.battery_life_hours = battery_j / budget.average_power_w / 3600.0;
+    return budget;
+}
+
+}  // namespace fxg::compass

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file power_budget.hpp
+/// Battery-life estimation for the duty-cycled compass watch — the
+/// practical pay-off of the paper's power measures (multiplexing, power
+/// gating, supply scaling): a wristwatch must live years on a coin
+/// cell, and this model turns the measured per-fix energy and gated
+/// leakage into hours of operation.
+
+#include "core/compass.hpp"
+
+namespace fxg::compass {
+
+/// Operating profile of the watch.
+struct PowerProfile {
+    double fixes_per_second = 1.0;      ///< compass update rate
+    double battery_capacity_mah = 230;  ///< e.g. a CR2477 coin cell
+    double battery_voltage_v = 5.0;     ///< after boost (matches supply)
+    /// Digital always-on power (watch divider + LCD), not part of the
+    /// front-end model.
+    double digital_idle_w = 4.0e-6;
+};
+
+/// Result of the budget evaluation.
+struct PowerBudget {
+    double energy_per_fix_j = 0.0;
+    double front_end_leakage_w = 0.0;
+    double average_power_w = 0.0;
+    double battery_life_hours = 0.0;
+    double duty_cycle = 0.0;  ///< fraction of time the front end is on
+};
+
+/// Measures one fix on `compass` (in its current environment) and
+/// extrapolates the average power and battery life for the profile.
+/// Requires power gating to be representative of watch operation.
+PowerBudget estimate_power_budget(Compass& compass, const PowerProfile& profile = {});
+
+}  // namespace fxg::compass

@@ -1,0 +1,69 @@
+#include "core/tilt.hpp"
+
+#include <cmath>
+
+#include "magnetics/units.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::compass {
+
+TiltedAxisFields tilted_axis_fields(const magnetics::EarthField& field,
+                                    double heading_deg, double pitch_deg,
+                                    double roll_deg) {
+    // Earth (NED) frame: x north, y east, z down.
+    const double b = magnetics::tesla_to_a_per_m(field.magnitude_tesla());
+    const double dip = util::deg_to_rad(field.inclination_deg());
+    const double bn = b * std::cos(dip);
+    const double bd = b * std::sin(dip);
+
+    const double psi = util::deg_to_rad(heading_deg);
+    const double theta = util::deg_to_rad(pitch_deg);
+    const double phi = util::deg_to_rad(roll_deg);
+
+    // Body = Rx(phi) Ry(theta) Rz(psi) * earth.
+    const double ex = bn;
+    const double ey = 0.0;
+    const double ez = bd;
+    // Yaw.
+    const double x1 = std::cos(psi) * ex + std::sin(psi) * ey;
+    const double y1 = -std::sin(psi) * ex + std::cos(psi) * ey;
+    const double z1 = ez;
+    // Pitch about y.
+    const double x2 = std::cos(theta) * x1 - std::sin(theta) * z1;
+    const double y2 = y1;
+    const double z2 = std::sin(theta) * x1 + std::cos(theta) * z1;
+    // Roll about x.
+    const double x3 = x2;
+    const double y3 = std::cos(phi) * y2 + std::sin(phi) * z2;
+    const double z3 = -std::sin(phi) * y2 + std::cos(phi) * z2;
+
+    TiltedAxisFields out;
+    out.hx_a_per_m = x3;
+    // The compass y axis is 90 deg clockwise from x — exactly the body
+    // "right" axis, so the projection carries over directly (at level
+    // attitude this reproduces EarthField::at_heading bit for bit).
+    out.hy_a_per_m = y3;
+    out.hz_a_per_m = z3;
+    return out;
+}
+
+double tilt_heading_error_deg(const magnetics::EarthField& field, double heading_deg,
+                              double pitch_deg, double roll_deg) {
+    const TiltedAxisFields f =
+        tilted_axis_fields(field, heading_deg, pitch_deg, roll_deg);
+    const double apparent =
+        magnetics::EarthField::heading_from_components(f.hx_a_per_m, f.hy_a_per_m);
+    return util::angular_diff_deg(apparent, heading_deg);
+}
+
+double max_tilt_error_deg(const magnetics::EarthField& field, double pitch_deg,
+                          double roll_deg, double heading_step_deg) {
+    double worst = 0.0;
+    for (double h = 0.0; h < 360.0; h += heading_step_deg) {
+        worst = std::max(worst,
+                         std::fabs(tilt_heading_error_deg(field, h, pitch_deg, roll_deg)));
+    }
+    return worst;
+}
+
+}  // namespace fxg::compass

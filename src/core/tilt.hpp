@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file tilt.hpp
+/// Tilt sensitivity analysis. The paper's compass "functions by
+/// measuring the magnetic field in a horizontal plane" — an assumption,
+/// not a guarantee, for a wristwatch. When the case pitches or rolls,
+/// the two sensors pick up part of the vertical field component
+/// (B sin(dip)), which at mid-latitude dips is 2-3x the horizontal
+/// component: a few degrees of tilt cost several degrees of heading.
+/// These helpers quantify that, both in pure geometry and end-to-end
+/// through the compass pipeline.
+
+#include "magnetics/earth_field.hpp"
+
+namespace fxg::compass {
+
+/// Field components along the (tilted) case axes [A/m].
+struct TiltedAxisFields {
+    double hx_a_per_m = 0.0;
+    double hy_a_per_m = 0.0;
+    double hz_a_per_m = 0.0;  ///< along the case normal (not sensed)
+};
+
+/// Projects the earth field onto the sensor axes of a case at the given
+/// heading, pitched by `pitch_deg` (nose-down positive, about the case
+/// y axis) and rolled by `roll_deg` (right-side-down positive, about
+/// the case x axis). Rotation order: yaw (heading), then pitch, then
+/// roll — the aerospace convention.
+TiltedAxisFields tilted_axis_fields(const magnetics::EarthField& field,
+                                    double heading_deg, double pitch_deg,
+                                    double roll_deg);
+
+/// Heading error [deg, signed] a perfect 2-axis compass makes at this
+/// attitude: atan2 of the tilted axis fields vs the true heading.
+double tilt_heading_error_deg(const magnetics::EarthField& field, double heading_deg,
+                              double pitch_deg, double roll_deg);
+
+/// Worst-case |error| over a full turn at fixed pitch/roll.
+double max_tilt_error_deg(const magnetics::EarthField& field, double pitch_deg,
+                          double roll_deg, double heading_step_deg = 5.0);
+
+}  // namespace fxg::compass

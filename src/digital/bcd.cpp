@@ -1,0 +1,87 @@
+#include "digital/bcd.hpp"
+
+#include <stdexcept>
+
+namespace fxg::digital {
+
+namespace st = rtl::structural;
+
+std::uint64_t binary_to_bcd(std::uint64_t value, int digits) {
+    if (digits < 1 || digits > 16) throw std::invalid_argument("binary_to_bcd: digits 1..16");
+    std::uint64_t limit = 1;
+    for (int i = 0; i < digits; ++i) limit *= 10;
+    if (value >= limit) throw std::out_of_range("binary_to_bcd: value too wide");
+    std::uint64_t bcd = 0;
+    for (int bit = 63; bit >= 0; --bit) {
+        // Add 3 to every digit >= 5, then shift in the next binary bit.
+        for (int d = 0; d < digits; ++d) {
+            const std::uint64_t nibble = (bcd >> (4 * d)) & 0xF;
+            if (nibble >= 5) bcd += std::uint64_t{3} << (4 * d);
+        }
+        bcd = (bcd << 1) | ((value >> bit) & 1u);
+        bcd &= (std::uint64_t{1} << (4 * digits)) - 1;
+    }
+    return bcd;
+}
+
+int bcd_digit(std::uint64_t packed, int digit) {
+    if (digit < 0 || digit > 15) throw std::out_of_range("bcd_digit: digit 0..15");
+    return static_cast<int>((packed >> (4 * digit)) & 0xF);
+}
+
+namespace {
+
+/// One add-3 cell: out = d >= 5 ? d + 3 : d (4 bits).
+st::Bus add3_cell(rtl::Netlist& nl, const st::Bus& d, rtl::NetId one, rtl::NetId zero,
+                  const std::string& prefix) {
+    // ge5 = d3 | (d2 & d1) | (d2 & d0).
+    const rtl::NetId a21 = nl.add_net(prefix + ".a21");
+    nl.add_gate(rtl::GateKind::And2, {d[2], d[1]}, a21);
+    const rtl::NetId a20 = nl.add_net(prefix + ".a20");
+    nl.add_gate(rtl::GateKind::And2, {d[2], d[0]}, a20);
+    const rtl::NetId or1 = nl.add_net(prefix + ".or1");
+    nl.add_gate(rtl::GateKind::Or2, {a21, a20}, or1);
+    const rtl::NetId ge5 = nl.add_net(prefix + ".ge5");
+    nl.add_gate(rtl::GateKind::Or2, {d[3], or1}, ge5);
+    // d + 3 (carry beyond 4 bits impossible for d <= 9).
+    const st::Bus three{one, one, zero, zero};
+    const st::AdderOut plus3 = st::ripple_adder(nl, d, three, zero, prefix + ".p3");
+    return st::mux_bus(nl, d, plus3.sum, ge5, prefix + ".sel");
+}
+
+}  // namespace
+
+BcdNetlistPorts build_bcd_converter(rtl::Netlist& nl, int in_bits, int digits,
+                                    const std::string& prefix) {
+    if (in_bits < 1 || in_bits > 32 || digits < 1 || digits > 8) {
+        throw std::invalid_argument("build_bcd_converter: bad geometry");
+    }
+    BcdNetlistPorts ports;
+    ports.input = nl.add_bus(prefix + ".in", static_cast<std::size_t>(in_bits));
+    const rtl::NetId zero = st::tie0(nl, prefix);
+    const rtl::NetId one = st::tie1(nl, prefix);
+
+    // The scratchpad: `digits` nibbles, all zero before the first shift.
+    std::vector<st::Bus> nibbles(static_cast<std::size_t>(digits), st::Bus(4, zero));
+
+    for (int bit = in_bits - 1; bit >= 0; --bit) {
+        // Adjust every nibble, then shift the whole scratchpad left by
+        // one, pulling in the next input bit (MSB first).
+        std::vector<st::Bus> adjusted;
+        adjusted.reserve(nibbles.size());
+        for (std::size_t d = 0; d < nibbles.size(); ++d) {
+            adjusted.push_back(add3_cell(nl, nibbles[d], one, zero,
+                                         prefix + ".b" + std::to_string(bit) + ".d" +
+                                             std::to_string(d)));
+        }
+        rtl::NetId carry = ports.input[static_cast<std::size_t>(bit)];
+        for (std::size_t d = 0; d < nibbles.size(); ++d) {
+            nibbles[d] = st::Bus{carry, adjusted[d][0], adjusted[d][1], adjusted[d][2]};
+            carry = adjusted[d][3];
+        }
+    }
+    ports.digits = std::move(nibbles);
+    return ports;
+}
+
+}  // namespace fxg::digital

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file bcd.hpp
+/// Binary to BCD conversion — the missing link between the arctan
+/// result (an integer number of degrees) and the LCD digit drivers.
+/// Provides the behavioural double-dabble algorithm and a structural
+/// generator emitting the classic combinational add-3/shift network,
+/// sized for the compass display (0..999 -> three BCD digits) but
+/// parameterised for any width.
+
+#include <cstdint>
+
+#include "rtl/netlist.hpp"
+#include "rtl/structural.hpp"
+
+namespace fxg::digital {
+
+/// Double-dabble binary to BCD: returns packed BCD, one nibble per
+/// decimal digit (LSD in bits 3..0). `value` must fit `digits` digits.
+std::uint64_t binary_to_bcd(std::uint64_t value, int digits);
+
+/// Unpacks one decimal digit (0 = least significant) from packed BCD.
+int bcd_digit(std::uint64_t packed, int digit);
+
+/// Gate-level double-dabble network: combinational, `in_bits` wide
+/// input, `digits` BCD output digits (4 bits each, LSD first). Built
+/// from the standard add-3 cell (compare >= 5, conditional +3) per
+/// digit per shift stage.
+struct BcdNetlistPorts {
+    rtl::structural::Bus input;                 ///< binary input (LSB first)
+    std::vector<rtl::structural::Bus> digits;   ///< BCD digits, LSD first
+};
+BcdNetlistPorts build_bcd_converter(rtl::Netlist& nl, int in_bits, int digits,
+                                    const std::string& prefix);
+
+}  // namespace fxg::digital

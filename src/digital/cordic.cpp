@@ -1,0 +1,104 @@
+#include "digital/cordic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace fxg::digital {
+
+CordicUnit::CordicUnit(int cycles, int frac_bits) : cycles_(cycles), frac_bits_(frac_bits) {
+    if (cycles < 1 || cycles > 30) throw std::invalid_argument("CordicUnit: cycles 1..30");
+    if (frac_bits < 0 || frac_bits > 20) {
+        throw std::invalid_argument("CordicUnit: frac_bits 0..20");
+    }
+    rom_.reserve(static_cast<std::size_t>(cycles));
+    const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+    for (int i = 0; i < cycles; ++i) {
+        const double atan_deg = util::rad_to_deg(std::atan(std::ldexp(1.0, -i)));
+        rom_.push_back(static_cast<std::int64_t>(std::llround(atan_deg * scale)));
+    }
+}
+
+CordicResult CordicUnit::arctan(std::int64_t y, std::int64_t x) const {
+    if (y < 0 || x <= 0) {
+        throw std::domain_error("CordicUnit::arctan: needs x > 0, y >= 0");
+    }
+    // "y_reg := y * 128; x_reg := x * 128"
+    std::int64_t y_reg = y << frac_bits_;
+    std::int64_t x_reg = x << frac_bits_;
+    std::int64_t res = 0;
+    int rotations = 0;
+    for (int i = 0; i < cycles_; ++i) {
+        const std::int64_t x_shifted = x_reg >> i;  // x_reg / shift
+        if (y_reg >= x_shifted) {
+            const std::int64_t y_prev = y_reg;
+            const std::int64_t x_prev = x_reg;
+            y_reg = y_prev - (x_prev >> i);
+            x_reg = x_prev + (y_prev >> i);
+            res += rom_[static_cast<std::size_t>(i)];
+            ++rotations;
+        }
+    }
+    CordicResult r;
+    r.res_raw = res;
+    r.angle_deg = static_cast<double>(res) /
+                  static_cast<double>(std::int64_t{1} << frac_bits_);
+    r.rotations = rotations;
+    r.x_final = x_reg;
+    r.y_final = y_reg;
+    return r;
+}
+
+double CordicUnit::heading_deg(std::int64_t x, std::int64_t y) const {
+    // heading = atan2(v, u) with u = x, v = -y (see EarthField).
+    const std::int64_t u = x;
+    const std::int64_t v = -y;
+    if (u == 0 && v == 0) return 0.0;
+    const std::int64_t a = std::llabs(v);
+    const std::int64_t b = std::llabs(u);
+    // Octant folding: run the core on the smaller/larger ratio so the
+    // input angle is always in [0, 45] where the greedy loop is tightest.
+    double ang;
+    if (a <= b) {
+        ang = arctan(a, b == 0 ? 1 : b).angle_deg;
+    } else {
+        ang = 90.0 - arctan(b, a).angle_deg;
+    }
+    double heading;
+    if (u >= 0 && v >= 0) {
+        heading = ang;
+    } else if (u < 0 && v >= 0) {
+        heading = 180.0 - ang;
+    } else if (u < 0) {
+        heading = 180.0 + ang;
+    } else {
+        heading = 360.0 - ang;
+    }
+    return util::wrap_deg_360(heading);
+}
+
+double CordicUnit::error_bound_deg() const {
+    const double lsb = 1.0 / static_cast<double>(std::int64_t{1} << frac_bits_);
+    return static_cast<double>(rom_.back()) * lsb + lsb;
+}
+
+double cordic_arctan_reference(double y, double x, int cycles) {
+    if (y < 0.0 || x <= 0.0) {
+        throw std::domain_error("cordic_arctan_reference: needs x > 0, y >= 0");
+    }
+    double res = 0.0;
+    for (int i = 0; i < cycles; ++i) {
+        const double pow2 = std::ldexp(1.0, -i);
+        if (y >= x * pow2) {
+            const double y_prev = y;
+            const double x_prev = x;
+            y = y_prev - x_prev * pow2;
+            x = x_prev + y_prev * pow2;
+            res += util::rad_to_deg(std::atan(pow2));
+        }
+    }
+    return res;
+}
+
+}  // namespace fxg::digital

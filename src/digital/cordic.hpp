@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file cordic.hpp
+/// The paper's arctangent unit (Figure 8): a CORDIC-like greedy
+/// pseudo-rotation algorithm that computes arctan(y/x) in 8 cycles to
+/// one-degree accuracy. Faithful to the published VHDL:
+///
+///   y_reg := y * 128;  x_reg := x * 128;  res := 0;  shift := 1;
+///   loop 8 times:
+///     if y_reg >= x_reg / shift then
+///       y_reg := y_reg - x_reg / shift;
+///       x_reg := x_reg + y_reg_prev / shift;
+///       res   := res + atanrom(shift);
+///     shift := shift * 2;
+///
+/// Iteration i (shift = 2^i) rotates by atan(2^-i): 45 deg, 26.57 deg,
+/// ... 0.448 deg. Because rotations only fire while they do not
+/// overshoot (y stays >= 0), the residual error is bounded by the last
+/// ROM angle, atan(1/128) = 0.448 deg — which is where the paper's
+/// "8 cycles for one degree" comes from (experiment FIG8 sweeps this).
+///
+/// Three equivalent implementations exist in this library:
+///  * CordicUnit (this file)  — bit-exact fixed-point behavioural model;
+///  * CordicRtl               — cycle-accurate clocked model on rtl::Kernel;
+///  * build_cordic_netlist    — gate-level datapath + FSM (cordic_gate.hpp).
+/// Tests prove all three agree bit for bit.
+
+#include <cstdint>
+#include <vector>
+
+namespace fxg::digital {
+
+/// Result of one arctan computation.
+struct CordicResult {
+    double angle_deg = 0.0;     ///< accumulated angle, first quadrant
+    std::int64_t res_raw = 0;   ///< fixed-point accumulator (degrees * 2^frac)
+    int rotations = 0;          ///< pseudo-rotations actually applied
+    std::int64_t x_final = 0;   ///< datapath registers after the loop
+    std::int64_t y_final = 0;
+};
+
+/// Bit-exact behavioural model of the Figure 8 unit.
+class CordicUnit {
+public:
+    /// \param cycles loop iterations (the paper uses 8)
+    /// \param frac_bits fixed-point fraction of the angle accumulator
+    ///        and the input scaling (the paper's "* 128" = 7 bits)
+    explicit CordicUnit(int cycles = 8, int frac_bits = 7);
+
+    /// arctan(y/x) for x > 0, y >= 0 (first quadrant), inputs as raw
+    /// integers (e.g. up/down-counter outputs).
+    [[nodiscard]] CordicResult arctan(std::int64_t y, std::int64_t x) const;
+
+    /// Full-circle compass heading [deg, 0..360) from signed counter
+    /// values, with octant folding around the first-quadrant core.
+    /// Convention matches magnetics::EarthField::heading_from_components:
+    /// heading = atan2(-y, x).
+    [[nodiscard]] double heading_deg(std::int64_t x, std::int64_t y) const;
+
+    [[nodiscard]] int cycles() const noexcept { return cycles_; }
+    [[nodiscard]] int frac_bits() const noexcept { return frac_bits_; }
+
+    /// ROM contents: atan(2^-i) in degrees, fixed point with `frac_bits`
+    /// fraction, for i = 0 .. cycles-1. Shared with the RTL and
+    /// gate-level implementations so all three use identical constants.
+    [[nodiscard]] const std::vector<std::int64_t>& atan_rom() const noexcept {
+        return rom_;
+    }
+
+    /// Worst-case angle error bound of the greedy recurrence [deg]:
+    /// the final ROM entry (plus one LSB of the accumulator).
+    [[nodiscard]] double error_bound_deg() const;
+
+private:
+    int cycles_;
+    int frac_bits_;
+    std::vector<std::int64_t> rom_;
+};
+
+/// Floating-point reference of the same greedy recurrence (no
+/// quantisation), for separating algorithmic from quantisation error.
+double cordic_arctan_reference(double y, double x, int cycles = 8);
+
+}  // namespace fxg::digital

@@ -1,0 +1,216 @@
+#include "digital/cordic_gate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rtl/gates.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::digital {
+
+namespace st = rtl::structural;
+
+CordicCorePorts emit_cordic_core(rtl::Netlist& nl, rtl::NetId clk, rtl::NetId rst_n,
+                                 rtl::NetId start, const st::Bus& x_in,
+                                 const st::Bus& y_in, int cycles, int frac_bits,
+                                 const std::string& prefix) {
+    if (x_in.size() != y_in.size() || x_in.size() < 2 || x_in.size() > 32) {
+        throw std::invalid_argument("emit_cordic_core: operand width 2..32");
+    }
+    if (cycles < 1 || cycles > 16) {
+        throw std::invalid_argument("emit_cordic_core: cycles 1..16");
+    }
+    const int in_bits = static_cast<int>(x_in.size());
+    CordicCorePorts p;
+    // Datapath: operands grow by the CORDIC gain (< 1.65) and one extra
+    // add; 3 bits of headroom over in_bits + frac_bits keeps the
+    // subtract's sign bit meaningful.
+    p.width = in_bits + frac_bits + 3;
+    p.res_bits = frac_bits + 8;  // accumulates < 101 deg * 2^frac
+    p.count_bits = 1;
+    while ((1 << p.count_bits) < cycles) ++p.count_bits;
+
+    const rtl::NetId zero = st::tie0(nl, prefix);
+    const rtl::NetId one = st::tie1(nl, prefix);
+
+    const auto W = static_cast<std::size_t>(p.width);
+    const auto R = static_cast<std::size_t>(p.res_bits);
+    const auto CB = static_cast<std::size_t>(p.count_bits);
+
+    // Registers are declared d-first so the feedback logic can close the
+    // loop with buffers at the end.
+    auto make_reg = [&](const std::string& name, std::size_t n, st::Bus& d_out) {
+        d_out.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            d_out.push_back(nl.add_net(prefix + "." + name + "_d[" + std::to_string(i) + "]"));
+        }
+        return st::register_bus(nl, d_out, clk, rst_n, prefix + "." + name);
+    };
+    st::Bus x_d, y_d, res_d, count_d, running_d, ready_d;
+    const st::Bus x_q = make_reg("x", W, x_d);
+    const st::Bus y_q = make_reg("y", W, y_d);
+    const st::Bus res_q = make_reg("res", R, res_d);
+    const st::Bus count_q = make_reg("count", CB, count_d);
+    const st::Bus running_q = make_reg("running", 1, running_d);
+    const st::Bus ready_q = make_reg("ready", 1, ready_d);
+    p.res = res_q;
+    p.ready = ready_q[0];
+    p.busy = running_q[0];
+
+    // ------------------------------------------------------------ control
+    const rtl::NetId not_running = st::invert(nl, running_q[0], prefix + ".ctl.nrun");
+    const rtl::NetId load_en = nl.add_net(prefix + ".ctl.load_en");
+    nl.add_gate(rtl::GateKind::And2, {start, not_running}, load_en);
+    const rtl::NetId last_iter = st::equals_const(
+        nl, count_q, static_cast<std::uint64_t>(cycles - 1), prefix + ".ctl.last");
+    const rtl::NetId not_last = st::invert(nl, last_iter, prefix + ".ctl.nlast");
+    const rtl::NetId keep_running = nl.add_net(prefix + ".ctl.keep_running");
+    nl.add_gate(rtl::GateKind::And2, {running_q[0], not_last}, keep_running);
+    nl.add_gate(rtl::GateKind::Or2, {load_en, keep_running}, running_d[0]);
+    const rtl::NetId finish = nl.add_net(prefix + ".ctl.finish");
+    nl.add_gate(rtl::GateKind::And2, {running_q[0], last_iter}, finish);
+    const rtl::NetId not_load = st::invert(nl, load_en, prefix + ".ctl.nload");
+    const rtl::NetId hold_ready = nl.add_net(prefix + ".ctl.hold_ready");
+    nl.add_gate(rtl::GateKind::And2, {ready_q[0], not_load}, hold_ready);
+    nl.add_gate(rtl::GateKind::Or2, {finish, hold_ready}, ready_d[0]);
+
+    // Counter: 0 on load, +1 while running, hold otherwise.
+    const st::Bus count_zeros(CB, zero);
+    const st::AdderOut count_inc =
+        st::ripple_adder(nl, count_q, count_zeros, one, prefix + ".cnt");
+    const st::Bus count_run =
+        st::mux_bus(nl, count_q, count_inc.sum, running_q[0], prefix + ".cnt.run");
+    const st::Bus count_sel =
+        st::mux_bus(nl, count_run, count_zeros, load_en, prefix + ".cnt.load");
+    for (std::size_t i = 0; i < CB; ++i) {
+        nl.add_gate(rtl::GateKind::Buf, {count_sel[i]}, count_d[i]);
+    }
+
+    // ----------------------------------------------------------- datapath
+    // Barrel shifters implement "x_reg / shift" (shift = 2^count).
+    const st::Bus xs = st::barrel_shifter_asr(nl, x_q, count_q, prefix + ".bsx");
+    const st::Bus ys = st::barrel_shifter_asr(nl, y_q, count_q, prefix + ".bsy");
+    // diff = y_reg - xs; its sign decides the pseudo-rotation.
+    const st::AdderOut diff = st::add_sub(nl, y_q, xs, one, prefix + ".diff");
+    const rtl::NetId rotate = st::invert(nl, diff.sum[W - 1], prefix + ".rot");
+    // x_rot = x_reg + ys.
+    const st::AdderOut x_rot = st::ripple_adder(nl, x_q, ys, zero, prefix + ".xrot");
+    // res_rot = res + atanrom(count).
+    std::vector<std::uint64_t> rom_words;
+    rom_words.reserve(static_cast<std::size_t>(cycles));
+    const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+    for (int i = 0; i < cycles; ++i) {
+        rom_words.push_back(static_cast<std::uint64_t>(
+            std::llround(util::rad_to_deg(std::atan(std::ldexp(1.0, -i))) * scale)));
+    }
+    const st::Bus rom_out = st::rom(nl, count_q, rom_words, R, prefix + ".rom");
+    const st::AdderOut res_rot = st::ripple_adder(nl, res_q, rom_out, zero, prefix + ".rrot");
+
+    const st::Bus x_iter = st::mux_bus(nl, x_q, x_rot.sum, rotate, prefix + ".xit");
+    const st::Bus y_iter = st::mux_bus(nl, y_q, diff.sum, rotate, prefix + ".yit");
+    const st::Bus res_iter = st::mux_bus(nl, res_q, res_rot.sum, rotate, prefix + ".rit");
+
+    // Load values: operands shifted left by frac_bits (pure wiring).
+    auto load_bus = [&](const st::Bus& in) {
+        st::Bus out(W, zero);
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            const std::size_t pos = i + static_cast<std::size_t>(frac_bits);
+            if (pos < W) out[pos] = in[i];
+        }
+        return out;
+    };
+    const st::Bus x_load = load_bus(x_in);
+    const st::Bus y_load = load_bus(y_in);
+    const st::Bus res_load(R, zero);
+
+    auto close_reg = [&](const st::Bus& q, const st::Bus& iter, const st::Bus& load,
+                         st::Bus& d, const std::string& tag) {
+        const st::Bus run_sel =
+            st::mux_bus(nl, q, iter, running_q[0], prefix + "." + tag + ".run");
+        const st::Bus load_sel =
+            st::mux_bus(nl, run_sel, load, load_en, prefix + "." + tag + ".load");
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            nl.add_gate(rtl::GateKind::Buf, {load_sel[i]}, d[i]);
+        }
+    };
+    close_reg(x_q, x_iter, x_load, x_d, "xr");
+    close_reg(y_q, y_iter, y_load, y_d, "yr");
+    close_reg(res_q, res_iter, res_load, res_d, "rr");
+
+    return p;
+}
+
+CordicNetlist build_cordic_netlist(int in_bits, int cycles, int frac_bits) {
+    if (in_bits < 2 || in_bits > 32) {
+        throw std::invalid_argument("build_cordic_netlist: in_bits 2..32");
+    }
+    if (cycles < 1 || cycles > 16) {
+        throw std::invalid_argument("build_cordic_netlist: cycles 1..16");
+    }
+    CordicNetlist u;
+    u.in_bits = in_bits;
+    u.cycles = cycles;
+    u.frac_bits = frac_bits;
+
+    rtl::Netlist& nl = u.netlist;
+    u.clk = nl.add_net("clk");
+    u.rst_n = nl.add_net("rst_n");
+    u.start = nl.add_net("start");
+    u.x_in = nl.add_bus("x_in", static_cast<std::size_t>(in_bits));
+    u.y_in = nl.add_bus("y_in", static_cast<std::size_t>(in_bits));
+    const CordicCorePorts core =
+        emit_cordic_core(nl, u.clk, u.rst_n, u.start, u.x_in, u.y_in, cycles,
+                         frac_bits, "cordic");
+    u.ready = core.ready;
+    u.busy = core.busy;
+    u.res = core.res;
+    u.width = core.width;
+    u.res_bits = core.res_bits;
+    u.count_bits = core.count_bits;
+    return u;
+}
+
+CordicGateRun simulate_cordic_netlist(const CordicNetlist& unit, std::int64_t x,
+                                      std::int64_t y) {
+    if (y < 0 || x <= 0) {
+        throw std::domain_error("simulate_cordic_netlist: needs x > 0, y >= 0");
+    }
+    rtl::Kernel kernel;
+    const rtl::Elaboration elab = rtl::elaborate(unit.netlist, kernel, rtl::kNs);
+    const rtl::SignalId clk = elab.signal(unit.clk);
+    const rtl::SignalId rst_n = elab.signal(unit.rst_n);
+    const rtl::SignalId start = elab.signal(unit.start);
+    const rtl::SignalId ready = elab.signal(unit.ready);
+
+    const rtl::Time half = 500 * rtl::kNs;  // 1 MHz test clock
+    kernel.deposit(clk, rtl::Logic::L0);
+    kernel.deposit(rst_n, rtl::Logic::L0);
+    kernel.deposit(start, rtl::Logic::L0);
+    rtl::drive_bus(kernel, elab, unit.x_in, static_cast<std::uint64_t>(x));
+    rtl::drive_bus(kernel, elab, unit.y_in, static_cast<std::uint64_t>(y));
+    kernel.run_for(2 * half);
+    kernel.deposit(rst_n, rtl::Logic::L1);
+    kernel.run_for(2 * half);
+
+    kernel.deposit(start, rtl::Logic::L1);
+    kernel.run_for(half);  // setup: let load_en settle before the edge
+    CordicGateRun run;
+    // Clock until ready re-asserts (bounded for safety).
+    for (int edge = 0; edge < 4 * unit.cycles + 8; ++edge) {
+        kernel.deposit(clk, rtl::Logic::L1);
+        kernel.run_for(half);
+        ++run.clock_cycles;
+        if (edge == 0) kernel.deposit(start, rtl::Logic::L0);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.run_for(half);
+        if (kernel.read(ready) == rtl::Logic::L1) break;
+    }
+    bool known = false;
+    run.res_raw = static_cast<std::int64_t>(rtl::read_bus(kernel, elab, unit.res, &known));
+    if (!known) throw std::runtime_error("simulate_cordic_netlist: X on result bus");
+    run.angle_deg = static_cast<double>(run.res_raw) /
+                    static_cast<double>(std::int64_t{1} << unit.frac_bits);
+    return run;
+}
+
+}  // namespace fxg::digital

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file cordic_gate.hpp
+/// Gate-level generator for the Figure 8 arctan unit: full datapath
+/// (two barrel shifters, three ripple adders, the atan mux-ROM) plus the
+/// load/iterate/ready control — the netlist a 1997 module generator
+/// would have emitted for the fishbone Sea-of-Gates. Its statistics feed
+/// the SOG1 area experiment, and tests prove it bit-equivalent to
+/// CordicUnit and CordicRtl.
+
+#include <cstdint>
+
+#include "rtl/netlist.hpp"
+#include "rtl/structural.hpp"
+
+namespace fxg::digital {
+
+/// A generated CORDIC netlist with its port nets.
+struct CordicNetlist {
+    rtl::Netlist netlist{"cordic"};
+
+    // Ports.
+    rtl::NetId clk{};
+    rtl::NetId rst_n{};
+    rtl::NetId start{};                ///< load strobe (sampled when idle)
+    rtl::structural::Bus x_in;         ///< unsigned operand, first quadrant
+    rtl::structural::Bus y_in;
+    rtl::NetId ready{};                ///< result valid
+    rtl::NetId busy{};                 ///< iterating
+    rtl::structural::Bus res;          ///< angle accumulator [deg * 2^frac]
+
+    // Geometry.
+    int in_bits = 0;
+    int cycles = 0;
+    int frac_bits = 0;
+    int width = 0;      ///< internal datapath width
+    int res_bits = 0;
+    int count_bits = 0;
+};
+
+/// Emits the gate-level unit. Defaults match the paper: 8 cycles,
+/// x/y scaled by 128 (7 fractional bits).
+CordicNetlist build_cordic_netlist(int in_bits = 16, int cycles = 8, int frac_bits = 7);
+
+/// First-quadrant CORDIC core emitted into an EXISTING netlist (used by
+/// the full heading unit in heading_gate.hpp to compose the core with
+/// its octant-folding wrapper). The caller provides clock/reset/start
+/// and the unsigned operand buses; returns the result ports.
+struct CordicCorePorts {
+    rtl::NetId ready{};
+    rtl::NetId busy{};
+    rtl::structural::Bus res;
+    int res_bits = 0;
+    int count_bits = 0;
+    int width = 0;
+};
+CordicCorePorts emit_cordic_core(rtl::Netlist& nl, rtl::NetId clk, rtl::NetId rst_n,
+                                 rtl::NetId start, const rtl::structural::Bus& x_in,
+                                 const rtl::structural::Bus& y_in, int cycles,
+                                 int frac_bits, const std::string& prefix);
+
+/// Result of simulating one computation on an elaborated gate netlist.
+struct CordicGateRun {
+    std::int64_t res_raw = 0;
+    double angle_deg = 0.0;
+    std::uint64_t clock_cycles = 0;  ///< rising edges from start to ready
+};
+
+/// Convenience testbench: elaborates the netlist into a fresh kernel,
+/// clocks one computation through it and returns the result.
+CordicGateRun simulate_cordic_netlist(const CordicNetlist& unit, std::int64_t x,
+                                      std::int64_t y);
+
+}  // namespace fxg::digital

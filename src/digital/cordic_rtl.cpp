@@ -1,0 +1,71 @@
+#include "digital/cordic_rtl.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace fxg::digital {
+
+CordicRtl::CordicRtl(rtl::Kernel& kernel, rtl::SignalId clk, int cycles, int frac_bits)
+    : clk_(clk), cycles_(cycles), frac_bits_(frac_bits) {
+    if (cycles < 1 || cycles > 30) throw std::invalid_argument("CordicRtl: cycles 1..30");
+    start_ = kernel.create_signal("cordic.start", rtl::Logic::L0);
+    ready_ = kernel.create_signal("cordic.ready", rtl::Logic::L0);
+    busy_ = kernel.create_signal("cordic.busy", rtl::Logic::L0);
+    const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+    rom_.reserve(static_cast<std::size_t>(cycles));
+    for (int i = 0; i < cycles; ++i) {
+        rom_.push_back(static_cast<std::int64_t>(
+            std::llround(util::rad_to_deg(std::atan(std::ldexp(1.0, -i))) * scale)));
+    }
+    kernel.add_process("cordic_rtl", {clk_},
+                       [this](rtl::Kernel& k) { on_clock(k); });
+}
+
+void CordicRtl::set_operands(std::int64_t x, std::int64_t y) {
+    if (y < 0 || x <= 0) {
+        throw std::domain_error("CordicRtl::set_operands: needs x > 0, y >= 0");
+    }
+    x_in_ = x;
+    y_in_ = y;
+}
+
+double CordicRtl::angle_deg() const noexcept {
+    return static_cast<double>(res_) / static_cast<double>(std::int64_t{1} << frac_bits_);
+}
+
+void CordicRtl::on_clock(rtl::Kernel& k) {
+    if (!k.rising_edge(clk_)) return;
+    if (!running_) {
+        if (k.read(start_) == rtl::Logic::L1) {
+            // Load cycle: latch operands, clear the accumulator.
+            x_reg_ = x_in_ << frac_bits_;
+            y_reg_ = y_in_ << frac_bits_;
+            res_ = 0;
+            count_ = 0;
+            running_ = true;
+            k.schedule(ready_, rtl::Logic::L0);
+            k.schedule(busy_, rtl::Logic::L1);
+        }
+        return;
+    }
+    // One pseudo-rotation per clock edge.
+    ++iteration_edges_;
+    const std::int64_t x_shifted = x_reg_ >> count_;
+    if (y_reg_ >= x_shifted) {
+        const std::int64_t y_prev = y_reg_;
+        const std::int64_t x_prev = x_reg_;
+        y_reg_ = y_prev - (x_prev >> count_);
+        x_reg_ = x_prev + (y_prev >> count_);
+        res_ += rom_[static_cast<std::size_t>(count_)];
+    }
+    ++count_;
+    if (count_ == cycles_) {
+        running_ = false;
+        k.schedule(ready_, rtl::Logic::L1);
+        k.schedule(busy_, rtl::Logic::L0);
+    }
+}
+
+}  // namespace fxg::digital

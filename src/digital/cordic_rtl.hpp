@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file cordic_rtl.hpp
+/// Cycle-accurate clocked model of the Figure 8 arctan unit on the
+/// event-driven kernel: one pseudo-rotation per rising clock edge, a
+/// start strobe, and a ready flag that asserts exactly `cycles` clock
+/// edges after the operands are latched — reproducing the paper's
+/// "only 8 cycles to calculate the direction" timing claim.
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+
+namespace fxg::digital {
+
+/// Clocked arctan unit (first quadrant, x > 0, y >= 0).
+class CordicRtl {
+public:
+    /// Attaches the unit to a kernel and a clock signal.
+    CordicRtl(rtl::Kernel& kernel, rtl::SignalId clk, int cycles = 8,
+              int frac_bits = 7);
+
+    /// Stages operand values; they are latched at the rising clock edge
+    /// where `start` is high and the unit is idle.
+    void set_operands(std::int64_t x, std::int64_t y);
+
+    /// Start strobe signal (drive with kernel.deposit / schedule).
+    [[nodiscard]] rtl::SignalId start() const noexcept { return start_; }
+
+    /// Ready flag: L1 once the result is valid, cleared on the next load.
+    [[nodiscard]] rtl::SignalId ready() const noexcept { return ready_; }
+
+    /// Busy flag: L1 while iterating.
+    [[nodiscard]] rtl::SignalId busy() const noexcept { return busy_; }
+
+    /// Raw fixed-point angle accumulator (valid when ready).
+    [[nodiscard]] std::int64_t res_raw() const noexcept { return res_; }
+
+    /// Result in degrees (valid when ready).
+    [[nodiscard]] double angle_deg() const noexcept;
+
+    /// Clock edges consumed by completed computations (latency check).
+    [[nodiscard]] std::uint64_t iteration_edges() const noexcept {
+        return iteration_edges_;
+    }
+
+    [[nodiscard]] int cycles() const noexcept { return cycles_; }
+
+private:
+    void on_clock(rtl::Kernel& k);
+
+    rtl::SignalId clk_;
+    rtl::SignalId start_;
+    rtl::SignalId ready_;
+    rtl::SignalId busy_;
+    int cycles_;
+    int frac_bits_;
+    std::vector<std::int64_t> rom_;
+
+    // Staged operands and datapath registers.
+    std::int64_t x_in_ = 1;
+    std::int64_t y_in_ = 0;
+    std::int64_t x_reg_ = 0;
+    std::int64_t y_reg_ = 0;
+    std::int64_t res_ = 0;
+    int count_ = 0;
+    bool running_ = false;
+    std::uint64_t iteration_edges_ = 0;
+};
+
+}  // namespace fxg::digital

@@ -1,0 +1,32 @@
+#include "digital/counter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::digital {
+
+UpDownCounter::UpDownCounter(double clock_hz) : clock_hz_(clock_hz) {
+    if (!(clock_hz > 0.0)) throw std::invalid_argument("UpDownCounter: clock must be > 0");
+}
+
+void UpDownCounter::step(bool high, double dt_s) {
+    if (!(dt_s > 0.0)) throw std::invalid_argument("UpDownCounter: dt must be > 0");
+    if (!enabled_) return;
+    // Emit the integer clock edges falling inside [t, t+dt), carrying
+    // the fractional remainder so long runs stay exact.
+    tick_accumulator_ += dt_s * clock_hz_;
+    const double whole = std::floor(tick_accumulator_);
+    tick_accumulator_ -= whole;
+    const auto ticks = static_cast<std::int64_t>(whole);
+    count_ += high ? ticks : -ticks;
+    active_ticks_ += static_cast<std::uint64_t>(ticks);
+}
+
+void UpDownCounter::reset() noexcept {
+    tick_accumulator_ = 0.0;
+    count_ = 0;
+    active_ticks_ = 0;
+    enabled_ = true;
+}
+
+}  // namespace fxg::digital

@@ -1,0 +1,97 @@
+#include "digital/display.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace fxg::digital {
+
+namespace {
+
+// Segment patterns for hex digits, bits g f e d c b a.
+constexpr std::uint8_t kFont[16] = {
+    0b0111111,  // 0
+    0b0000110,  // 1
+    0b1011011,  // 2
+    0b1001111,  // 3
+    0b1100110,  // 4
+    0b1101101,  // 5
+    0b1111101,  // 6
+    0b0000111,  // 7
+    0b1111111,  // 8
+    0b1101111,  // 9
+    0b1110111,  // A
+    0b1111100,  // b
+    0b0111001,  // C
+    0b1011110,  // d
+    0b1111001,  // E
+    0b1110001,  // F
+};
+
+constexpr const char* kCardinals[16] = {
+    "N", "NNE", "NE", "ENE", "E", "ESE", "SE", "SSE",
+    "S", "SSW", "SW", "WSW", "W", "WNW", "NW", "NNW",
+};
+
+}  // namespace
+
+SegmentPattern encode_digit(int digit) {
+    if (digit < 0 || digit > 15) throw std::out_of_range("encode_digit: 0..15");
+    return kFont[digit];
+}
+
+void DisplayDriver::show_direction(double heading_deg) {
+    mode_ = DisplayMode::Direction;
+    const int deg = static_cast<int>(std::lround(util::wrap_deg_360(heading_deg))) % 360;
+    values_ = {-1, deg / 100, (deg / 10) % 10, deg % 10};
+    // Blank leading zeros: "275", " 45", "  7".
+    if (values_[1] == 0) {
+        values_[1] = -1;
+        if (values_[2] == 0) values_[2] = -1;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        digits_[i] = values_[i] < 0 ? kBlank : encode_digit(values_[i]);
+    }
+}
+
+void DisplayDriver::show_time(int hours, int minutes) {
+    if (hours < 0 || hours > 23 || minutes < 0 || minutes > 59) {
+        throw std::out_of_range("show_time: hours 0..23, minutes 0..59");
+    }
+    mode_ = DisplayMode::Time;
+    values_ = {hours / 10, hours % 10, minutes / 10, minutes % 10};
+    for (std::size_t i = 0; i < 4; ++i) digits_[i] = encode_digit(values_[i]);
+}
+
+std::string DisplayDriver::text() const {
+    std::string s;
+    for (int v : values_) s += v < 0 ? ' ' : static_cast<char>('0' + v);
+    return s;
+}
+
+std::string DisplayDriver::ascii_art() const {
+    // Three text rows per digit:  _   |_|  etc.
+    std::string rows[3];
+    for (SegmentPattern p : digits_) {
+        const bool a = p & 0b0000001;
+        const bool b = p & 0b0000010;
+        const bool c = p & 0b0000100;
+        const bool d = p & 0b0001000;
+        const bool e = p & 0b0010000;
+        const bool f = p & 0b0100000;
+        const bool g = p & 0b1000000;
+        rows[0] += std::string(" ") + (a ? "_" : " ") + " " + " ";
+        rows[1] += std::string(f ? "|" : " ") + (g ? "_" : " ") + (b ? "|" : " ") + " ";
+        rows[2] += std::string(e ? "|" : " ") + (d ? "_" : " ") + (c ? "|" : " ") + " ";
+    }
+    return rows[0] + "\n" + rows[1] + "\n" + rows[2] + "\n";
+}
+
+const char* DisplayDriver::cardinal_name(double heading_deg) {
+    const double wrapped = util::wrap_deg_360(heading_deg + 11.25);
+    const auto sector = static_cast<int>(wrapped / 22.5) % 16;
+    return kCardinals[sector];
+}
+
+}  // namespace fxg::digital

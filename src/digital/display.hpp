@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file display.hpp
+/// LCD display driver (paper section 4: "The display driver selects
+/// either the direction or the time to display", plus "common watch
+/// options as added features"). Four 7-segment digits; direction mode
+/// shows the heading in degrees (and exposes the 16-point cardinal
+/// name), time mode shows HH:MM.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fxg::digital {
+
+/// Segment bit assignment: bit0=a (top), b, c, d (bottom), e, f, g (middle).
+using SegmentPattern = std::uint8_t;
+
+/// 7-segment encoding of a hex digit (0..15). Throws on out-of-range.
+SegmentPattern encode_digit(int digit);
+
+/// Blank pattern (all segments off).
+inline constexpr SegmentPattern kBlank = 0;
+
+/// What the display is currently showing.
+enum class DisplayMode {
+    Direction,
+    Time,
+};
+
+/// Four-digit LCD driver.
+class DisplayDriver {
+public:
+    DisplayDriver() = default;
+
+    /// Shows a heading in degrees (wrapped to 0..359, right-aligned over
+    /// three digits; the leftmost digit is blanked).
+    void show_direction(double heading_deg);
+
+    /// Shows a time as HH MM.
+    void show_time(int hours, int minutes);
+
+    [[nodiscard]] DisplayMode mode() const noexcept { return mode_; }
+
+    /// Raw segment patterns, leftmost digit first.
+    [[nodiscard]] const std::array<SegmentPattern, 4>& segments() const noexcept {
+        return digits_;
+    }
+
+    /// The displayed characters as text, e.g. " 275" or "1230".
+    [[nodiscard]] std::string text() const;
+
+    /// Multi-line ASCII rendering of the segment patterns (3 rows), for
+    /// the compass_watch example.
+    [[nodiscard]] std::string ascii_art() const;
+
+    /// 16-point cardinal name ("N", "NNE", ..., "NNW") for a heading.
+    static const char* cardinal_name(double heading_deg);
+
+private:
+    DisplayMode mode_ = DisplayMode::Direction;
+    std::array<SegmentPattern, 4> digits_{kBlank, kBlank, kBlank, kBlank};
+    std::array<int, 4> values_{-1, -1, -1, -1};  ///< -1 = blank
+};
+
+}  // namespace fxg::digital

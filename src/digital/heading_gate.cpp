@@ -1,0 +1,164 @@
+#include "digital/heading_gate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "digital/cordic_gate.hpp"
+#include "rtl/gates.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::digital {
+
+namespace st = rtl::structural;
+
+namespace {
+
+/// Constant bus from shared tie nets.
+st::Bus const_bus(std::uint64_t value, std::size_t width, rtl::NetId zero,
+                  rtl::NetId one) {
+    st::Bus bus;
+    bus.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        bus.push_back(((value >> i) & 1u) ? one : zero);
+    }
+    return bus;
+}
+
+}  // namespace
+
+HeadingNetlist build_heading_netlist(int in_bits, int cycles, int frac_bits) {
+    if (in_bits < 3 || in_bits > 24) {
+        throw std::invalid_argument("build_heading_netlist: in_bits 3..24");
+    }
+    HeadingNetlist u;
+    u.in_bits = in_bits;
+    u.cycles = cycles;
+    u.frac_bits = frac_bits;
+    u.heading_bits = frac_bits + 10;  // holds 360 * 2^frac with margin
+
+    rtl::Netlist& nl = u.netlist;
+    u.clk = nl.add_net("clk");
+    u.rst_n = nl.add_net("rst_n");
+    u.start = nl.add_net("start");
+    u.x_in = nl.add_bus("x_in", static_cast<std::size_t>(in_bits));
+    u.y_in = nl.add_bus("y_in", static_cast<std::size_t>(in_bits));
+
+    const rtl::NetId zero = st::tie0(nl, "hd");
+    const rtl::NetId one = st::tie1(nl, "hd");
+    const auto N = static_cast<std::size_t>(in_bits);
+    const st::Bus zeros(N, zero);
+
+    // ----------------------------------------------------------- pre-fold
+    // u = x, v = -y; heading = atan2(v, u) in compass convention.
+    const st::Bus neg_y = st::add_sub(nl, zeros, u.y_in, one, "hd.negy").sum;
+    const st::Bus& uu = u.x_in;
+    const st::Bus& vv = neg_y;
+    const rtl::NetId sign_u = uu[N - 1];
+    const rtl::NetId sign_v = vv[N - 1];
+
+    const st::Bus neg_u = st::add_sub(nl, zeros, uu, one, "hd.negu").sum;
+    const st::Bus neg_v = st::add_sub(nl, zeros, vv, one, "hd.negv").sum;
+    const st::Bus au = st::mux_bus(nl, uu, neg_u, sign_u, "hd.au");
+    const st::Bus av = st::mux_bus(nl, vv, neg_v, sign_v, "hd.av");
+
+    // swap = av > au  <=>  (au - av) < 0.
+    const st::AdderOut d = st::add_sub(nl, au, av, one, "hd.cmp");
+    const rtl::NetId swap = d.sum[N - 1];
+    const st::Bus core_x = st::mux_bus(nl, au, av, swap, "hd.cx");
+    const st::Bus core_y = st::mux_bus(nl, av, au, swap, "hd.cy");
+
+    // The fold bits must survive until the core finishes: latch them at
+    // the load edge (when start is accepted).
+    st::Bus fold_d;
+    for (int i = 0; i < 3; ++i) {
+        fold_d.push_back(nl.add_net("hd.fold_d[" + std::to_string(i) + "]"));
+    }
+    const st::Bus fold_q = st::register_bus(nl, fold_d, u.clk, u.rst_n, "hd.fold");
+    const st::Bus fold_now{swap, sign_u, sign_v};
+    const st::Bus fold_sel = st::mux_bus(nl, fold_q, fold_now, u.start, "hd.fsel");
+    for (int i = 0; i < 3; ++i) {
+        nl.add_gate(rtl::GateKind::Buf, {fold_sel[static_cast<std::size_t>(i)]},
+                    fold_d[static_cast<std::size_t>(i)]);
+    }
+    const rtl::NetId swap_q = fold_q[0];
+    const rtl::NetId sign_u_q = fold_q[1];
+    const rtl::NetId sign_v_q = fold_q[2];
+
+    // --------------------------------------------------------------- core
+    const CordicCorePorts core = emit_cordic_core(nl, u.clk, u.rst_n, u.start, core_x,
+                                                  core_y, cycles, frac_bits, "hd.core");
+    u.ready = core.ready;
+
+    // ---------------------------------------------------------- post-fold
+    const auto H = static_cast<std::size_t>(u.heading_bits);
+    st::Bus ang(H, zero);
+    for (std::size_t i = 0; i < core.res.size() && i < H; ++i) ang[i] = core.res[i];
+    const std::uint64_t f = std::uint64_t{1} << frac_bits;
+    const st::Bus c90 = const_bus(90 * f, H, zero, one);
+    const st::Bus c180 = const_bus(180 * f, H, zero, one);
+    const st::Bus c360 = const_bus(360 * f, H, zero, one);
+    const st::Bus c0 = const_bus(0, H, zero, one);
+
+    // a1 = swap ? 90 - ang : ang (octant unfold).
+    const st::Bus sub90 = st::add_sub(nl, c90, ang, one, "hd.s90").sum;
+    const st::Bus a1 = st::mux_bus(nl, ang, sub90, swap_q, "hd.a1");
+
+    // base = sign_u ? 180 : (sign_v ? 360 : 0); negate = sign_u ^ sign_v.
+    const st::Bus b0 = st::mux_bus(nl, c0, c360, sign_v_q, "hd.b0");
+    const st::Bus base = st::mux_bus(nl, b0, c180, sign_u_q, "hd.base");
+    const rtl::NetId negate = nl.add_net("hd.negate");
+    nl.add_gate(rtl::GateKind::Xor2, {sign_u_q, sign_v_q}, negate);
+    u.heading = st::add_sub(nl, base, a1, negate, "hd.out").sum;
+    return u;
+}
+
+HeadingGateRun simulate_heading_netlist(const HeadingNetlist& unit, std::int64_t x,
+                                        std::int64_t y) {
+    const std::int64_t limit = std::int64_t{1} << (unit.in_bits - 1);
+    if (x <= -limit || x >= limit || y <= -limit || y >= limit) {
+        throw std::domain_error("simulate_heading_netlist: operand out of range");
+    }
+    if (x == 0 && y == 0) {
+        throw std::domain_error("simulate_heading_netlist: (0,0) has no heading");
+    }
+    rtl::Kernel kernel;
+    const rtl::Elaboration elab = rtl::elaborate(unit.netlist, kernel, rtl::kNs);
+    const rtl::SignalId clk = elab.signal(unit.clk);
+    const rtl::SignalId rst_n = elab.signal(unit.rst_n);
+    const rtl::SignalId start = elab.signal(unit.start);
+    const rtl::SignalId ready = elab.signal(unit.ready);
+
+    const std::uint64_t mask = (std::uint64_t{1} << unit.in_bits) - 1;
+    const rtl::Time half = 500 * rtl::kNs;
+    kernel.deposit(clk, rtl::Logic::L0);
+    kernel.deposit(rst_n, rtl::Logic::L0);
+    kernel.deposit(start, rtl::Logic::L0);
+    rtl::drive_bus(kernel, elab, unit.x_in, static_cast<std::uint64_t>(x) & mask);
+    rtl::drive_bus(kernel, elab, unit.y_in, static_cast<std::uint64_t>(y) & mask);
+    kernel.run_for(2 * half);
+    kernel.deposit(rst_n, rtl::Logic::L1);
+    kernel.run_for(2 * half);
+
+    kernel.deposit(start, rtl::Logic::L1);
+    kernel.run_for(half);
+    HeadingGateRun run;
+    for (int edge = 0; edge < 4 * unit.cycles + 8; ++edge) {
+        kernel.deposit(clk, rtl::Logic::L1);
+        kernel.run_for(half);
+        ++run.clock_cycles;
+        if (edge == 0) kernel.deposit(start, rtl::Logic::L0);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.run_for(half);
+        if (kernel.read(ready) == rtl::Logic::L1) break;
+    }
+    bool known = false;
+    run.heading_raw =
+        static_cast<std::int64_t>(rtl::read_bus(kernel, elab, unit.heading, &known));
+    if (!known) throw std::runtime_error("simulate_heading_netlist: X on heading bus");
+    run.heading_deg = util::wrap_deg_360(
+        static_cast<double>(run.heading_raw) /
+        static_cast<double>(std::int64_t{1} << unit.frac_bits));
+    return run;
+}
+
+}  // namespace fxg::digital

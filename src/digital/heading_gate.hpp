@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file heading_gate.hpp
+/// The complete gate-level heading unit: octant folding around the
+/// Figure 8 CORDIC core. Takes the two signed up/down-counter values,
+/// computes |u|,|v| (u = x, v = -y), swaps them into the first octant,
+/// runs the CORDIC, and reassembles the full-circle heading
+/// (0..360 deg, fixed point) from the quadrant/swap bits — the whole
+/// digital angle path of the paper's compass in synthesisable gates,
+/// bit-identical to CordicUnit::heading_deg.
+
+#include <cstdint>
+
+#include "rtl/netlist.hpp"
+#include "rtl/structural.hpp"
+
+namespace fxg::digital {
+
+/// Generated heading unit with its port nets.
+struct HeadingNetlist {
+    rtl::Netlist netlist{"heading"};
+
+    rtl::NetId clk{};
+    rtl::NetId rst_n{};
+    rtl::NetId start{};
+    rtl::structural::Bus x_in;      ///< signed counter value, two's complement
+    rtl::structural::Bus y_in;
+    rtl::NetId ready{};
+    rtl::structural::Bus heading;   ///< degrees * 2^frac, 0..360*2^frac
+
+    int in_bits = 0;
+    int cycles = 0;
+    int frac_bits = 0;
+    int heading_bits = 0;
+};
+
+/// Emits the full heading unit. `in_bits` includes the sign bit; the
+/// most negative value (-2^(in_bits-1)) is outside the supported range
+/// (its magnitude does not fit), matching the counter which saturates
+/// well before it.
+HeadingNetlist build_heading_netlist(int in_bits = 14, int cycles = 8,
+                                     int frac_bits = 7);
+
+/// Result of simulating one heading computation.
+struct HeadingGateRun {
+    std::int64_t heading_raw = 0;  ///< degrees * 2^frac (360 deg = full scale)
+    double heading_deg = 0.0;      ///< wrapped to [0, 360)
+    std::uint64_t clock_cycles = 0;
+};
+
+/// Testbench: elaborates the unit, clocks one computation and returns
+/// the heading. Inputs are the signed counter values.
+HeadingGateRun simulate_heading_netlist(const HeadingNetlist& unit, std::int64_t x,
+                                        std::int64_t y);
+
+}  // namespace fxg::digital

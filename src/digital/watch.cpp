@@ -1,0 +1,85 @@
+#include "digital/watch.hpp"
+
+#include <stdexcept>
+
+namespace fxg::digital {
+
+Watch::Watch(std::uint64_t clock_hz) : clock_hz_(clock_hz) {
+    if (clock_hz == 0) throw std::invalid_argument("Watch: clock must be > 0");
+}
+
+void Watch::tick(std::uint64_t cycles) {
+    phase_ += cycles;
+    advance_seconds(phase_ / clock_hz_);
+    phase_ %= clock_hz_;
+}
+
+void Watch::advance_seconds(std::uint64_t seconds) {
+    const int before = second_of_day();
+    std::uint64_t total = static_cast<std::uint64_t>(seconds_) + seconds;
+    seconds_ = static_cast<int>(total % 60);
+    total = static_cast<std::uint64_t>(minutes_) + total / 60;
+    minutes_ = static_cast<int>(total % 60);
+    total = static_cast<std::uint64_t>(hours_) + total / 60;
+    hours_ = static_cast<int>(total % 24);
+    rollovers_ += total / 24;
+    if (alarm_armed_ && seconds > 0) {
+        // Fired if the alarm second lies in the advanced window
+        // (before, before + seconds], evaluated modulo one day.
+        if (seconds >= 86400ULL) {
+            alarm_fired_ = true;
+        } else {
+            const auto advanced = static_cast<int>(seconds);
+            int delta = alarm_second_ - before;
+            if (delta <= 0) delta += 86400;
+            if (delta <= advanced) alarm_fired_ = true;
+        }
+    }
+}
+
+void Watch::set_alarm(int hours, int minutes) {
+    if (hours < 0 || hours > 23 || minutes < 0 || minutes > 59) {
+        throw std::out_of_range("Watch::set_alarm: invalid time");
+    }
+    alarm_armed_ = true;
+    alarm_fired_ = false;
+    alarm_second_ = (hours * 60 + minutes) * 60;
+}
+
+void Watch::clear_alarm() noexcept {
+    alarm_armed_ = false;
+    alarm_fired_ = false;
+}
+
+Stopwatch::Stopwatch(std::uint64_t clock_hz) : clock_hz_(clock_hz) {
+    if (clock_hz == 0) throw std::invalid_argument("Stopwatch: clock must be > 0");
+}
+
+void Stopwatch::tick(std::uint64_t cycles) noexcept {
+    if (running_) cycles_ += cycles;
+}
+
+void Stopwatch::lap() { laps_.push_back(elapsed_ms()); }
+
+void Stopwatch::reset() noexcept {
+    cycles_ = 0;
+    running_ = false;
+    laps_.clear();
+}
+
+std::uint64_t Stopwatch::elapsed_ms() const noexcept {
+    return cycles_ * 1000ULL / clock_hz_;
+}
+
+void Watch::set_time(int hours, int minutes, int seconds) {
+    if (hours < 0 || hours > 23 || minutes < 0 || minutes > 59 || seconds < 0 ||
+        seconds > 59) {
+        throw std::out_of_range("Watch::set_time: invalid time");
+    }
+    hours_ = hours;
+    minutes_ = minutes;
+    seconds_ = seconds;
+    phase_ = 0;
+}
+
+}  // namespace fxg::digital

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file watch.hpp
+/// Timekeeping from the 4.194304 MHz system clock — "the digital part
+/// contains also common watch options as added features" (paper section
+/// 4). 4.194304 MHz is 2^22 Hz, i.e. 128x the classic 32.768 kHz watch
+/// crystal, so a 22-stage binary divider yields exact 1 Hz ticks.
+
+#include <cstdint>
+#include <vector>
+
+namespace fxg::digital {
+
+/// Watch counter chain: clock cycles -> seconds -> HH:MM:SS, with the
+/// "common watch options" of the era: a daily alarm and a stopwatch
+/// (see Stopwatch below).
+class Watch {
+public:
+    /// \param clock_hz must be a positive integer number of Hz; the
+    ///        divider is exact when it is (the paper's 2^22 Hz is).
+    explicit Watch(std::uint64_t clock_hz = 4194304ULL);
+
+    /// Advances by a number of raw clock cycles.
+    void tick(std::uint64_t cycles);
+
+    /// Advances by seconds (convenience for tests/examples).
+    void advance_seconds(std::uint64_t seconds);
+
+    /// Sets the displayed time; clears the sub-second phase.
+    void set_time(int hours, int minutes, int seconds);
+
+    [[nodiscard]] int hours() const noexcept { return hours_; }
+    [[nodiscard]] int minutes() const noexcept { return minutes_; }
+    [[nodiscard]] int seconds() const noexcept { return seconds_; }
+
+    /// Clock cycles accumulated toward the next second.
+    [[nodiscard]] std::uint64_t subsecond_cycles() const noexcept { return phase_; }
+
+    /// Days elapsed since the time was last set (midnight rollovers).
+    [[nodiscard]] std::uint64_t rollovers() const noexcept { return rollovers_; }
+
+    [[nodiscard]] std::uint64_t clock_hz() const noexcept { return clock_hz_; }
+
+    // ------------------------------------------------------------- alarm
+
+    /// Arms a daily alarm at HH:MM (fires at :00 seconds).
+    void set_alarm(int hours, int minutes);
+
+    /// Disarms the alarm and clears any pending fire.
+    void clear_alarm() noexcept;
+
+    /// True once the armed alarm time has been crossed; stays set until
+    /// acknowledged.
+    [[nodiscard]] bool alarm_fired() const noexcept { return alarm_fired_; }
+
+    /// Clears the fired flag (the alarm stays armed for the next day).
+    void acknowledge_alarm() noexcept { alarm_fired_ = false; }
+
+    [[nodiscard]] bool alarm_armed() const noexcept { return alarm_armed_; }
+
+private:
+    [[nodiscard]] int second_of_day() const noexcept {
+        return (hours_ * 60 + minutes_) * 60 + seconds_;
+    }
+
+    std::uint64_t clock_hz_;
+    std::uint64_t phase_ = 0;
+    int hours_ = 0;
+    int minutes_ = 0;
+    int seconds_ = 0;
+    std::uint64_t rollovers_ = 0;
+    bool alarm_armed_ = false;
+    bool alarm_fired_ = false;
+    int alarm_second_ = 0;
+};
+
+/// Stopwatch driven by the same 2^22 Hz clock: start/stop/reset/lap
+/// with millisecond display resolution.
+class Stopwatch {
+public:
+    explicit Stopwatch(std::uint64_t clock_hz = 4194304ULL);
+
+    /// Advances by raw clock cycles (accumulates only while running).
+    void tick(std::uint64_t cycles) noexcept;
+
+    void start() noexcept { running_ = true; }
+    void stop() noexcept { running_ = false; }
+    [[nodiscard]] bool running() const noexcept { return running_; }
+
+    /// Records the current elapsed time as a lap.
+    void lap();
+
+    /// Clears elapsed time and laps.
+    void reset() noexcept;
+
+    /// Elapsed time in milliseconds.
+    [[nodiscard]] std::uint64_t elapsed_ms() const noexcept;
+
+    /// Lap times in milliseconds, in recording order.
+    [[nodiscard]] const std::vector<std::uint64_t>& laps() const noexcept {
+        return laps_;
+    }
+
+private:
+    std::uint64_t clock_hz_;
+    std::uint64_t cycles_ = 0;
+    bool running_ = false;
+    std::vector<std::uint64_t> laps_;
+};
+
+}  // namespace fxg::digital

@@ -1,0 +1,141 @@
+#include "magnetics/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::magnetics {
+
+namespace {
+
+void require_positive(double v, const char* what) {
+    if (!(v > 0.0)) throw std::invalid_argument(std::string(what) + " must be > 0");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TanhCore
+
+TanhCore::TanhCore(double ms, double hk) : ms_(ms), hk_(hk) {
+    require_positive(ms, "TanhCore ms");
+    require_positive(hk, "TanhCore hk");
+}
+
+double TanhCore::magnetisation(double h) const { return ms_ * std::tanh(h / hk_); }
+
+double TanhCore::advance(double h) {
+    last_h_ = h;
+    return magnetisation(h);
+}
+
+double TanhCore::susceptibility() const {
+    const double t = std::tanh(last_h_ / hk_);
+    return (ms_ / hk_) * (1.0 - t * t);
+}
+
+void TanhCore::reset() { last_h_ = 0.0; }
+
+std::unique_ptr<CoreModel> TanhCore::clone() const {
+    return std::make_unique<TanhCore>(*this);
+}
+
+// ------------------------------------------------------------ LangevinCore
+
+namespace {
+
+/// Langevin function L(x) = coth(x) - 1/x with a series fallback near 0.
+double langevin(double x) {
+    if (std::fabs(x) < 1e-4) return x / 3.0 - x * x * x / 45.0;
+    return 1.0 / std::tanh(x) - 1.0 / x;
+}
+
+/// dL/dx = 1/x^2 - csch^2(x).
+double langevin_slope(double x) {
+    if (std::fabs(x) < 1e-4) return 1.0 / 3.0 - x * x / 15.0;
+    const double s = std::sinh(x);
+    return 1.0 / (x * x) - 1.0 / (s * s);
+}
+
+}  // namespace
+
+LangevinCore::LangevinCore(double ms, double a) : ms_(ms), a_(a) {
+    require_positive(ms, "LangevinCore ms");
+    require_positive(a, "LangevinCore a");
+}
+
+double LangevinCore::magnetisation(double h) const { return ms_ * langevin(h / a_); }
+
+double LangevinCore::advance(double h) {
+    last_h_ = h;
+    return magnetisation(h);
+}
+
+double LangevinCore::susceptibility() const {
+    return (ms_ / a_) * langevin_slope(last_h_ / a_);
+}
+
+void LangevinCore::reset() { last_h_ = 0.0; }
+
+std::unique_ptr<CoreModel> LangevinCore::clone() const {
+    return std::make_unique<LangevinCore>(*this);
+}
+
+// ------------------------------------------------------- JilesAthertonCore
+
+JilesAthertonCore::JilesAthertonCore(const JilesAthertonParams& p) : p_(p) {
+    require_positive(p.ms, "JilesAtherton ms");
+    require_positive(p.a, "JilesAtherton a");
+    require_positive(p.k, "JilesAtherton k");
+    if (p.c < 0.0 || p.c > 1.0) throw std::invalid_argument("JilesAtherton c in [0,1]");
+    if (p.alpha < 0.0) throw std::invalid_argument("JilesAtherton alpha >= 0");
+}
+
+double JilesAthertonCore::anhysteretic(double he) const {
+    return p_.ms * langevin(he / p_.a);
+}
+
+double JilesAthertonCore::anhysteretic_slope(double he) const {
+    return (p_.ms / p_.a) * langevin_slope(he / p_.a);
+}
+
+double JilesAthertonCore::advance(double h) {
+    // Sub-step the field change so the explicit integration of dM/dH stays
+    // stable across large excitation steps. The pinning denominator can
+    // approach zero near turning points; it is floored to keep dM/dH finite.
+    const double dh_total = h - h_;
+    if (dh_total == 0.0) return m_;
+    const double max_step = p_.a / 10.0;
+    const int n_sub = std::max(1, static_cast<int>(std::ceil(std::fabs(dh_total) / max_step)));
+    const double dh = dh_total / n_sub;
+    const double delta = dh > 0.0 ? 1.0 : -1.0;
+    for (int i = 0; i < n_sub; ++i) {
+        const double he = h_ + p_.alpha * m_;
+        const double man = anhysteretic(he);
+        const double dman = anhysteretic_slope(he);
+        double denom = delta * p_.k - p_.alpha * (man - m_);
+        const double floor_mag = 0.01 * p_.k;
+        if (std::fabs(denom) < floor_mag) denom = (denom >= 0.0 ? floor_mag : -floor_mag);
+        double dmirr_dh = (man - m_) / denom;
+        // Physical constraint: irreversible change cannot oppose the
+        // direction toward the anhysteretic curve.
+        if (dmirr_dh * delta * (man - m_) < 0.0) dmirr_dh = 0.0;
+        const double dmdh = (dmirr_dh + p_.c * dman) / (1.0 + p_.c);
+        m_ += dmdh * dh;
+        h_ += dh;
+        last_dmdh_ = dmdh;
+    }
+    m_ = std::clamp(m_, -p_.ms, p_.ms);
+    return m_;
+}
+
+void JilesAthertonCore::reset() {
+    m_ = 0.0;
+    h_ = 0.0;
+    last_dmdh_ = 0.0;
+}
+
+std::unique_ptr<CoreModel> JilesAthertonCore::clone() const {
+    return std::make_unique<JilesAthertonCore>(*this);
+}
+
+}  // namespace fxg::magnetics

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file core_model.hpp
+/// Ferromagnetic core magnetisation models for the fluxgate sensor.
+///
+/// A fluxgate is a transformer whose permalloy core is driven into
+/// saturation periodically (paper section 2.1.1). The pickup voltage is
+/// v = -N A dB/dt with B = mu0 (H + M(H)); the pulse shape therefore
+/// depends entirely on the shape of M(H) near saturation. Three models
+/// with a common interface are provided:
+///
+///  * TanhCore      — anhysteretic, M = Ms tanh(H/Hk). This is the
+///                    behavioural workhorse: fast, smooth and monotone.
+///  * LangevinCore  — anhysteretic Langevin function, a slightly softer
+///                    knee; used for model-sensitivity checks.
+///  * JilesAthertonCore — full hysteresis ODE model; used to verify that
+///                    the pulse-position readout is insensitive to the
+///                    (small) hysteresis of real permalloy.
+///
+/// All models are stateful via advance(): hysteretic cores remember
+/// their magnetisation history; anhysteretic cores simply evaluate.
+
+#include <memory>
+
+namespace fxg::magnetics {
+
+/// Interface of a scalar core magnetisation model (single easy axis).
+/// Fields in A/m, magnetisation in A/m.
+class CoreModel {
+public:
+    virtual ~CoreModel() = default;
+
+    /// Advances the model to applied field `h` [A/m] and returns the
+    /// magnetisation M [A/m]. For hysteretic models the path matters, so
+    /// callers must feed a time-ordered sequence of fields.
+    virtual double advance(double h) = 0;
+
+    /// Differential susceptibility dM/dH at the current state (used for
+    /// the small-signal inductance of the excitation coil, which the
+    /// paper's Figure 4 shows collapsing at saturation).
+    [[nodiscard]] virtual double susceptibility() const = 0;
+
+    /// Resets history to the demagnetised state.
+    virtual void reset() = 0;
+
+    /// Saturation magnetisation Ms [A/m].
+    [[nodiscard]] virtual double saturation_magnetisation() const = 0;
+
+    /// Field scale at which the knee of the curve sits [A/m]; the
+    /// pulse-position method keys off this threshold.
+    [[nodiscard]] virtual double knee_field() const = 0;
+
+    /// Deep copy (models are value-like but used polymorphically).
+    [[nodiscard]] virtual std::unique_ptr<CoreModel> clone() const = 0;
+};
+
+/// Anhysteretic hyperbolic-tangent core: M(H) = Ms * tanh(H / Hk).
+class TanhCore final : public CoreModel {
+public:
+    /// \param ms saturation magnetisation [A/m]
+    /// \param hk knee field [A/m] — M reaches 76% Ms at H = Hk.
+    TanhCore(double ms, double hk);
+
+    double advance(double h) override;
+    [[nodiscard]] double susceptibility() const override;
+    void reset() override;
+    [[nodiscard]] double saturation_magnetisation() const override { return ms_; }
+    [[nodiscard]] double knee_field() const override { return hk_; }
+    [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
+
+    /// Closed-form magnetisation (stateless evaluation).
+    [[nodiscard]] double magnetisation(double h) const;
+
+private:
+    double ms_;
+    double hk_;
+    double last_h_ = 0.0;
+};
+
+/// Anhysteretic Langevin core: M(H) = Ms * (coth(H/a) - a/H).
+class LangevinCore final : public CoreModel {
+public:
+    LangevinCore(double ms, double a);
+
+    double advance(double h) override;
+    [[nodiscard]] double susceptibility() const override;
+    void reset() override;
+    [[nodiscard]] double saturation_magnetisation() const override { return ms_; }
+    [[nodiscard]] double knee_field() const override { return 3.0 * a_; }
+    [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
+
+    [[nodiscard]] double magnetisation(double h) const;
+
+private:
+    double ms_;
+    double a_;
+    double last_h_ = 0.0;
+};
+
+/// Jiles–Atherton hysteresis model parameters.
+struct JilesAthertonParams {
+    double ms = 4.0e5;    ///< saturation magnetisation [A/m]
+    double a = 30.0;      ///< anhysteretic shape parameter [A/m]
+    double k = 15.0;      ///< pinning-site density (coercivity) [A/m]
+    double c = 0.2;       ///< reversibility coefficient [0..1]
+    double alpha = 1e-4;  ///< inter-domain coupling
+};
+
+/// Jiles–Atherton hysteresis model. Integrates
+///   dM/dH = ((Man-M)/(delta k - alpha (Man-M)) + c dMan/dHe) / (1 + c ... )
+/// with an explicit sub-stepped update; accurate enough for waveform-
+/// level studies at the excitation frequencies of interest (8 kHz).
+class JilesAthertonCore final : public CoreModel {
+public:
+    explicit JilesAthertonCore(const JilesAthertonParams& p);
+
+    double advance(double h) override;
+    [[nodiscard]] double susceptibility() const override { return last_dmdh_; }
+    void reset() override;
+    [[nodiscard]] double saturation_magnetisation() const override { return p_.ms; }
+    [[nodiscard]] double knee_field() const override { return 3.0 * p_.a; }
+    [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
+
+    [[nodiscard]] const JilesAthertonParams& params() const noexcept { return p_; }
+
+private:
+    /// Anhysteretic (Langevin) magnetisation at effective field he.
+    [[nodiscard]] double anhysteretic(double he) const;
+    [[nodiscard]] double anhysteretic_slope(double he) const;
+
+    JilesAthertonParams p_;
+    double m_ = 0.0;
+    double h_ = 0.0;
+    double last_dmdh_ = 0.0;
+};
+
+}  // namespace fxg::magnetics

@@ -1,0 +1,50 @@
+#include "magnetics/earth_field.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "magnetics/units.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::magnetics {
+
+std::vector<EarthFieldSite> paper_sites() {
+    return {
+        {"South America (weakest, paper sec. 4)", microtesla(25.0), 0.0},
+        {"Mid-latitude Europe (design site)", microtesla(48.0), 67.0},
+        {"Near south pole (strongest, paper sec. 4)", microtesla(65.0), 80.0},
+    };
+}
+
+EarthField::EarthField(double magnitude_tesla, double inclination_deg)
+    : magnitude_tesla_(magnitude_tesla), inclination_deg_(inclination_deg) {
+    if (!(magnitude_tesla > 0.0)) {
+        throw std::invalid_argument("EarthField: magnitude must be > 0");
+    }
+    if (inclination_deg < -90.0 || inclination_deg > 90.0) {
+        throw std::invalid_argument("EarthField: inclination in [-90, 90]");
+    }
+}
+
+EarthField::EarthField(const EarthFieldSite& site)
+    : EarthField(site.magnitude_tesla, site.inclination_deg) {}
+
+double EarthField::horizontal_tesla() const noexcept {
+    return magnitude_tesla_ * std::cos(util::deg_to_rad(inclination_deg_));
+}
+
+double EarthField::horizontal_a_per_m() const noexcept {
+    return tesla_to_a_per_m(horizontal_tesla());
+}
+
+HorizontalField EarthField::at_heading(double heading_deg) const noexcept {
+    const double hh = horizontal_a_per_m();
+    const double th = util::deg_to_rad(heading_deg);
+    return {hh * std::cos(th), -hh * std::sin(th)};
+}
+
+double EarthField::heading_from_components(double hx, double hy) noexcept {
+    return util::wrap_deg_360(util::rad_to_deg(std::atan2(-hy, hx)));
+}
+
+}  // namespace fxg::magnetics

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file earth_field.hpp
+/// Model of the geomagnetic field as seen by a horizontally-held compass.
+///
+/// The paper's compass measures the horizontal field in two perpendicular
+/// directions and computes the heading as arctan of their ratio (section
+/// 2). Its calculation "is insensitive to local variations of the
+/// magnitude of the earth's magnetic field ... between 25 uT in South
+/// America and 65 uT near the south pole" (section 4). This model
+/// produces the two sensor-axis field components for a given heading,
+/// total magnitude, and inclination (dip), plus the site presets used by
+/// experiment MAG1.
+
+#include <string>
+#include <vector>
+
+namespace fxg::magnetics {
+
+/// Geomagnetic environment at one site.
+struct EarthFieldSite {
+    std::string name;          ///< human-readable site label
+    double magnitude_tesla;    ///< total field magnitude |B| [T]
+    double inclination_deg;    ///< dip angle from horizontal [deg]
+};
+
+/// The sites the paper names, plus mid-latitude Europe where the chip
+/// was designed.
+std::vector<EarthFieldSite> paper_sites();
+
+/// Horizontal field components along the compass sensor axes.
+struct HorizontalField {
+    double hx_a_per_m;  ///< component along the x sensor axis [A/m]
+    double hy_a_per_m;  ///< component along the y sensor axis [A/m]
+};
+
+/// Earth-field generator for compass experiments.
+///
+/// Conventions: heading is the angle from magnetic north to the
+/// compass x axis, measured clockwise (the navigation convention);
+/// the y axis is 90 deg clockwise from x. With that convention
+///   Hx = Hh cos(heading),   Hy = -Hh sin(heading)
+/// and heading = atan2(-Hy_measured, Hx_measured).
+class EarthField {
+public:
+    /// \param magnitude_tesla total |B| in tesla
+    /// \param inclination_deg dip angle; horizontal component is
+    ///        |B| cos(dip). 0 = equator-like, 90 = at the magnetic pole
+    ///        (where a compass stops working).
+    explicit EarthField(double magnitude_tesla, double inclination_deg = 0.0);
+
+    /// Builds from a site preset.
+    explicit EarthField(const EarthFieldSite& site);
+
+    /// Horizontal field magnitude [A/m].
+    [[nodiscard]] double horizontal_a_per_m() const noexcept;
+
+    /// Horizontal field magnitude [T].
+    [[nodiscard]] double horizontal_tesla() const noexcept;
+
+    /// Sensor-axis components for a compass at the given heading [deg].
+    [[nodiscard]] HorizontalField at_heading(double heading_deg) const noexcept;
+
+    /// Recovers the heading [deg, 0..360) from measured axis components.
+    /// This is the ideal (floating-point) reference the digital CORDIC
+    /// result is compared against.
+    static double heading_from_components(double hx, double hy) noexcept;
+
+    [[nodiscard]] double magnitude_tesla() const noexcept { return magnitude_tesla_; }
+    [[nodiscard]] double inclination_deg() const noexcept { return inclination_deg_; }
+
+private:
+    double magnitude_tesla_;
+    double inclination_deg_;
+};
+
+}  // namespace fxg::magnetics

@@ -1,0 +1,3 @@
+#include "magnetics/units.hpp"
+
+// Header-only; anchors the translation unit for the magnetics target.

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file units.hpp
+/// Magnetic unit conversions. The library works in SI internally
+/// (H in A/m, B in tesla); the paper quotes fields in oersted
+/// (HK = 1 Oe) and microtesla (earth field 25 uT ... 65 uT), so both
+/// conversions appear throughout the experiment harnesses.
+
+#include <numbers>
+
+namespace fxg::magnetics {
+
+/// Vacuum permeability [H/m].
+inline constexpr double kMu0 = 4.0e-7 * std::numbers::pi;
+
+/// Converts oersted to A/m (1 Oe = 1000/(4*pi) A/m ~ 79.577 A/m).
+constexpr double oersted_to_a_per_m(double oe) noexcept {
+    return oe * (1000.0 / (4.0 * std::numbers::pi));
+}
+
+/// Converts A/m to oersted.
+constexpr double a_per_m_to_oersted(double a_per_m) noexcept {
+    return a_per_m / (1000.0 / (4.0 * std::numbers::pi));
+}
+
+/// Converts a flux density in tesla to the equivalent free-space field
+/// strength H = B / mu0 [A/m]. The earth's field is quoted in tesla but
+/// drives the sensor core as an H field.
+constexpr double tesla_to_a_per_m(double tesla) noexcept { return tesla / kMu0; }
+
+/// Converts a field strength H [A/m] to free-space flux density [T].
+constexpr double a_per_m_to_tesla(double a_per_m) noexcept { return a_per_m * kMu0; }
+
+/// Converts gauss to tesla.
+constexpr double gauss_to_tesla(double gauss) noexcept { return gauss * 1e-4; }
+
+/// Converts microtesla to tesla — the unit the paper quotes the earth
+/// field span in (25 uT South America ... 65 uT near the pole).
+constexpr double microtesla(double ut) noexcept { return ut * 1e-6; }
+
+}  // namespace fxg::magnetics

@@ -1,0 +1,112 @@
+#include "rtl/gates.hpp"
+
+#include <stdexcept>
+
+namespace fxg::rtl {
+
+namespace {
+
+Logic eval_combinational(GateKind kind, const std::vector<Logic>& in) {
+    switch (kind) {
+        case GateKind::Tie0: return Logic::L0;
+        case GateKind::Tie1: return Logic::L1;
+        case GateKind::Buf: return is_known(in[0]) ? in[0] : Logic::X;
+        case GateKind::Inv: return logic_not(in[0]);
+        case GateKind::And2: return logic_and(in[0], in[1]);
+        case GateKind::Or2: return logic_or(in[0], in[1]);
+        case GateKind::Nand2: return logic_not(logic_and(in[0], in[1]));
+        case GateKind::Nor2: return logic_not(logic_or(in[0], in[1]));
+        case GateKind::Xor2: return logic_xor(in[0], in[1]);
+        case GateKind::Xnor2: return logic_not(logic_xor(in[0], in[1]));
+        case GateKind::And3: return logic_and(logic_and(in[0], in[1]), in[2]);
+        case GateKind::Or3: return logic_or(logic_or(in[0], in[1]), in[2]);
+        case GateKind::Mux2:
+            if (in[2] == Logic::L1) return is_known(in[1]) ? in[1] : Logic::X;
+            if (in[2] == Logic::L0) return is_known(in[0]) ? in[0] : Logic::X;
+            // Unknown select: output known only if both inputs agree.
+            return (in[0] == in[1] && is_known(in[0])) ? in[0] : Logic::X;
+        case GateKind::Dff:
+        case GateKind::DffR: break;
+    }
+    throw std::logic_error("eval_combinational: sequential gate");
+}
+
+}  // namespace
+
+Elaboration elaborate(const Netlist& netlist, Kernel& kernel, Time gate_delay) {
+    Elaboration elab;
+    elab.net_to_signal.reserve(netlist.net_count());
+    for (NetId n = 0; n < netlist.net_count(); ++n) {
+        elab.net_to_signal.push_back(
+            kernel.create_signal(netlist.name() + "." + netlist.net_name(n)));
+    }
+    for (const Gate& g : netlist.gates()) {
+        std::vector<SignalId> ins;
+        ins.reserve(g.inputs.size());
+        for (NetId n : g.inputs) ins.push_back(elab.signal(n));
+        const SignalId out = elab.signal(g.output);
+        const GateKind kind = g.kind;
+        if (kind == GateKind::Dff || kind == GateKind::DffR) {
+            // ins: {d, clk [, rst_n]}. Sensitivity: clock and async reset.
+            const SignalId d = ins[0];
+            const SignalId clk = ins[1];
+            const SignalId rst_n = (kind == GateKind::DffR) ? ins[2] : SignalId{0};
+            std::vector<SignalId> sens{clk};
+            if (kind == GateKind::DffR) sens.push_back(rst_n);
+            kernel.add_process(
+                "dff:" + netlist.net_name(g.output), sens,
+                [d, clk, rst_n, out, kind, gate_delay](Kernel& k) {
+                    if (kind == GateKind::DffR && k.read(rst_n) == Logic::L0) {
+                        k.schedule(out, Logic::L0, gate_delay);
+                        return;
+                    }
+                    if (k.rising_edge(clk)) {
+                        const Logic dv = k.read(d);
+                        k.schedule(out, is_known(dv) ? dv : Logic::X, gate_delay);
+                    }
+                });
+        } else {
+            kernel.add_process(
+                std::string(gate_name(kind)) + ":" + netlist.net_name(g.output), ins,
+                [ins, out, kind, gate_delay](Kernel& k) {
+                    std::vector<Logic> v;
+                    v.reserve(ins.size());
+                    for (SignalId s : ins) v.push_back(k.read(s));
+                    k.schedule(out, eval_combinational(kind, v), gate_delay);
+                });
+        }
+    }
+    return elab;
+}
+
+void drive_bus(Kernel& kernel, const Elaboration& elab, const std::vector<NetId>& bus,
+               std::uint64_t value) {
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+        kernel.deposit(elab.signal(bus[i]), to_logic((value >> i) & 1u));
+    }
+}
+
+std::uint64_t read_bus(const Kernel& kernel, const Elaboration& elab,
+                       const std::vector<NetId>& bus, bool* known) {
+    std::uint64_t value = 0;
+    bool all_known = true;
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+        const Logic v = kernel.read(elab.signal(bus[i]));
+        if (!is_known(v)) all_known = false;
+        if (v == Logic::L1) value |= (std::uint64_t{1} << i);
+    }
+    if (known) *known = all_known;
+    return value;
+}
+
+std::int64_t read_bus_signed(const Kernel& kernel, const Elaboration& elab,
+                             const std::vector<NetId>& bus, bool* known) {
+    std::uint64_t raw = read_bus(kernel, elab, bus, known);
+    const std::size_t n = bus.size();
+    if (n < 64 && (raw & (std::uint64_t{1} << (n - 1)))) {
+        raw |= ~((std::uint64_t{1} << n) - 1);  // sign-extend
+    }
+    return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace fxg::rtl

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file gates.hpp
+/// Elaboration of a gate-level Netlist onto the event kernel, plus
+/// helpers for driving and reading elaborated buses from testbenches.
+
+#include <vector>
+
+#include "rtl/kernel.hpp"
+#include "rtl/netlist.hpp"
+
+namespace fxg::rtl {
+
+/// Result of elaborating a netlist: net -> kernel signal mapping.
+struct Elaboration {
+    std::vector<SignalId> net_to_signal;
+
+    [[nodiscard]] SignalId signal(NetId net) const { return net_to_signal.at(net); }
+};
+
+/// Instantiates every gate of `netlist` as a kernel process.
+/// Combinational gates drive their output after `gate_delay`;
+/// flip-flops have clk->q delay `gate_delay` as well. Nets become
+/// kernel signals named "<netlist>.<net>".
+Elaboration elaborate(const Netlist& netlist, Kernel& kernel, Time gate_delay = kNs);
+
+/// Testbench helper: deposits an unsigned value onto a bus (LSB first).
+void drive_bus(Kernel& kernel, const Elaboration& elab, const std::vector<NetId>& bus,
+               std::uint64_t value);
+
+/// Testbench helper: reads a bus as unsigned (X/Z bits read as 0;
+/// returns false in *known if any bit was unknown).
+std::uint64_t read_bus(const Kernel& kernel, const Elaboration& elab,
+                       const std::vector<NetId>& bus, bool* known = nullptr);
+
+/// Reads a bus as two's-complement signed.
+std::int64_t read_bus_signed(const Kernel& kernel, const Elaboration& elab,
+                             const std::vector<NetId>& bus, bool* known = nullptr);
+
+}  // namespace fxg::rtl

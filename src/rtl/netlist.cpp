@@ -1,0 +1,93 @@
+#include "rtl/netlist.hpp"
+
+#include <stdexcept>
+
+namespace fxg::rtl {
+
+int gate_arity(GateKind kind) noexcept {
+    switch (kind) {
+        case GateKind::Tie0:
+        case GateKind::Tie1: return 0;
+        case GateKind::Buf:
+        case GateKind::Inv: return 1;
+        case GateKind::And2:
+        case GateKind::Or2:
+        case GateKind::Nand2:
+        case GateKind::Nor2:
+        case GateKind::Xor2:
+        case GateKind::Xnor2: return 2;
+        case GateKind::And3:
+        case GateKind::Or3:
+        case GateKind::Mux2: return 3;
+        case GateKind::Dff: return 2;
+        case GateKind::DffR: return 3;
+    }
+    return -1;
+}
+
+const char* gate_name(GateKind kind) noexcept {
+    switch (kind) {
+        case GateKind::Tie0: return "tie0";
+        case GateKind::Tie1: return "tie1";
+        case GateKind::Buf: return "buf";
+        case GateKind::Inv: return "inv";
+        case GateKind::And2: return "and2";
+        case GateKind::Or2: return "or2";
+        case GateKind::Nand2: return "nand2";
+        case GateKind::Nor2: return "nor2";
+        case GateKind::Xor2: return "xor2";
+        case GateKind::Xnor2: return "xnor2";
+        case GateKind::And3: return "and3";
+        case GateKind::Or3: return "or3";
+        case GateKind::Mux2: return "mux2";
+        case GateKind::Dff: return "dff";
+        case GateKind::DffR: return "dffr";
+    }
+    return "?";
+}
+
+bool gate_is_sequential(GateKind kind) noexcept {
+    return kind == GateKind::Dff || kind == GateKind::DffR;
+}
+
+NetId Netlist::add_net(std::string name) {
+    net_names_.push_back(std::move(name));
+    return static_cast<NetId>(net_names_.size() - 1);
+}
+
+std::vector<NetId> Netlist::add_bus(const std::string& name, std::size_t n) {
+    std::vector<NetId> bus;
+    bus.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        bus.push_back(add_net(name + "[" + std::to_string(i) + "]"));
+    }
+    return bus;
+}
+
+std::size_t Netlist::add_gate(GateKind kind, std::vector<NetId> inputs, NetId output) {
+    if (static_cast<int>(inputs.size()) != gate_arity(kind)) {
+        throw std::invalid_argument(std::string("Netlist::add_gate: arity mismatch for ") +
+                                    gate_name(kind));
+    }
+    for (NetId in : inputs) {
+        if (in >= net_names_.size()) throw std::out_of_range("Netlist: bad input net");
+    }
+    if (output >= net_names_.size()) throw std::out_of_range("Netlist: bad output net");
+    gates_.push_back({kind, std::move(inputs), output});
+    return gates_.size() - 1;
+}
+
+const std::string& Netlist::net_name(NetId id) const { return net_names_.at(id); }
+
+NetlistStats Netlist::stats() const {
+    NetlistStats s;
+    s.nets = net_names_.size();
+    s.gates = gates_.size();
+    for (const Gate& g : gates_) {
+        ++s.by_kind[g.kind];
+        if (gate_is_sequential(g.kind)) ++s.sequential;
+    }
+    return s;
+}
+
+}  // namespace fxg::rtl

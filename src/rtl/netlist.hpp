@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file netlist.hpp
+/// Gate-level netlist representation.
+///
+/// The compass back-end is generated structurally (counters, add/sub
+/// datapaths, registers) into this netlist form, which serves two
+/// purposes: (1) it can be elaborated onto the event kernel and
+/// simulated, letting tests prove the gate-level hardware equals the
+/// behavioural models bit for bit; (2) its gate statistics feed the
+/// Sea-of-Gates technology mapper that regenerates the paper's area
+/// claim (experiment SOG1).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fxg::rtl {
+
+/// Handle to a net within a Netlist.
+using NetId = std::uint32_t;
+
+/// Cell kinds available to the generators. Input ordering conventions
+/// are documented per kind in gate_arity().
+enum class GateKind : std::uint8_t {
+    Tie0,   ///< constant 0, no inputs
+    Tie1,   ///< constant 1, no inputs
+    Buf,    ///< buffer
+    Inv,    ///< inverter
+    And2,
+    Or2,
+    Nand2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    And3,
+    Or3,
+    Mux2,   ///< inputs {a, b, sel}: out = sel ? b : a
+    Dff,    ///< inputs {d, clk}: rising-edge D flip-flop
+    DffR,   ///< inputs {d, clk, rst_n}: DFF with async active-low reset
+};
+
+/// Number of inputs for a gate kind.
+int gate_arity(GateKind kind) noexcept;
+
+/// Short cell name ("nand2", "dffr", ...), used in reports.
+const char* gate_name(GateKind kind) noexcept;
+
+/// True for the sequential cells (Dff, DffR).
+bool gate_is_sequential(GateKind kind) noexcept;
+
+/// One gate instance.
+struct Gate {
+    GateKind kind;
+    std::vector<NetId> inputs;
+    NetId output;
+};
+
+/// Per-kind gate counts plus totals; the unit the SoG mapper consumes.
+struct NetlistStats {
+    std::map<GateKind, std::size_t> by_kind;
+    std::size_t gates = 0;
+    std::size_t nets = 0;
+    std::size_t sequential = 0;
+};
+
+/// A flat gate-level netlist.
+class Netlist {
+public:
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    /// Creates a named net and returns its handle.
+    NetId add_net(std::string name);
+
+    /// Creates `n` nets "name[0..n-1]", LSB first.
+    std::vector<NetId> add_bus(const std::string& name, std::size_t n);
+
+    /// Adds a gate; validates arity. Returns the gate index.
+    std::size_t add_gate(GateKind kind, std::vector<NetId> inputs, NetId output);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+    [[nodiscard]] std::size_t net_count() const noexcept { return net_names_.size(); }
+    [[nodiscard]] const std::string& net_name(NetId id) const;
+
+    /// Gate statistics for reports and SoG mapping.
+    [[nodiscard]] NetlistStats stats() const;
+
+private:
+    std::string name_;
+    std::vector<std::string> net_names_;
+    std::vector<Gate> gates_;
+};
+
+}  // namespace fxg::rtl

@@ -1,0 +1,297 @@
+#include "rtl/structural.hpp"
+
+#include <stdexcept>
+
+namespace fxg::rtl::structural {
+
+namespace {
+
+void require_same_width(const Bus& a, const Bus& b, const char* what) {
+    if (a.size() != b.size() || a.empty()) {
+        throw std::invalid_argument(std::string(what) + ": bus width mismatch");
+    }
+}
+
+}  // namespace
+
+NetId tie0(Netlist& nl, const std::string& prefix) {
+    const NetId n = nl.add_net(prefix + ".zero");
+    nl.add_gate(GateKind::Tie0, {}, n);
+    return n;
+}
+
+NetId tie1(Netlist& nl, const std::string& prefix) {
+    const NetId n = nl.add_net(prefix + ".one");
+    nl.add_gate(GateKind::Tie1, {}, n);
+    return n;
+}
+
+NetId invert(Netlist& nl, NetId a, const std::string& prefix) {
+    const NetId n = nl.add_net(prefix + ".n");
+    nl.add_gate(GateKind::Inv, {a}, n);
+    return n;
+}
+
+AdderOut ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                      const std::string& prefix) {
+    require_same_width(a, b, "ripple_adder");
+    AdderOut out;
+    out.sum.reserve(a.size());
+    NetId carry = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::string bit = prefix + ".fa" + std::to_string(i);
+        const NetId axb = nl.add_net(bit + ".axb");
+        nl.add_gate(GateKind::Xor2, {a[i], b[i]}, axb);
+        const NetId sum = nl.add_net(bit + ".s");
+        nl.add_gate(GateKind::Xor2, {axb, carry}, sum);
+        const NetId ab = nl.add_net(bit + ".ab");
+        nl.add_gate(GateKind::And2, {a[i], b[i]}, ab);
+        const NetId cx = nl.add_net(bit + ".cx");
+        nl.add_gate(GateKind::And2, {axb, carry}, cx);
+        const NetId cout = nl.add_net(bit + ".co");
+        nl.add_gate(GateKind::Or2, {ab, cx}, cout);
+        out.sum.push_back(sum);
+        carry = cout;
+    }
+    out.carry_out = carry;
+    return out;
+}
+
+AdderOut add_sub(Netlist& nl, const Bus& a, const Bus& b, NetId sub,
+                 const std::string& prefix) {
+    require_same_width(a, b, "add_sub");
+    Bus bx;
+    bx.reserve(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        const NetId n = nl.add_net(prefix + ".bx" + std::to_string(i));
+        nl.add_gate(GateKind::Xor2, {b[i], sub}, n);
+        bx.push_back(n);
+    }
+    return ripple_adder(nl, a, bx, sub, prefix);
+}
+
+Bus mux_bus(Netlist& nl, const Bus& a, const Bus& b, NetId sel,
+            const std::string& prefix) {
+    require_same_width(a, b, "mux_bus");
+    Bus out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const NetId n = nl.add_net(prefix + ".m" + std::to_string(i));
+        nl.add_gate(GateKind::Mux2, {a[i], b[i], sel}, n);
+        out.push_back(n);
+    }
+    return out;
+}
+
+Bus register_bus(Netlist& nl, const Bus& d, NetId clk, NetId rst_n,
+                 const std::string& prefix) {
+    Bus q;
+    q.reserve(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const NetId n = nl.add_net(prefix + ".q" + std::to_string(i));
+        nl.add_gate(GateKind::DffR, {d[i], clk, rst_n}, n);
+        q.push_back(n);
+    }
+    return q;
+}
+
+Bus shift_right_arith_const(const Bus& a, unsigned k) {
+    if (a.empty()) throw std::invalid_argument("shift_right_arith_const: empty bus");
+    Bus out(a.size());
+    const NetId sign = a.back();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::size_t src = i + k;
+        out[i] = src < a.size() ? a[src] : sign;
+    }
+    return out;
+}
+
+Bus barrel_shifter_asr(Netlist& nl, const Bus& a, const Bus& shamt,
+                       const std::string& prefix) {
+    Bus cur = a;
+    for (std::size_t layer = 0; layer < shamt.size(); ++layer) {
+        const Bus shifted = shift_right_arith_const(cur, 1u << layer);
+        cur = mux_bus(nl, cur, shifted, shamt[layer],
+                      prefix + ".l" + std::to_string(layer));
+    }
+    return cur;
+}
+
+Bus updown_counter(Netlist& nl, std::size_t n, NetId clk, NetId rst_n, NetId up,
+                   NetId enable, const std::string& prefix) {
+    if (n == 0) throw std::invalid_argument("updown_counter: zero width");
+    // Increment operand: +1 = 00..01, -1 = 11..11. Bit 0 is always 1 and
+    // the remaining bits are !up, so one inverter serves the whole bus.
+    const NetId one = tie1(nl, prefix);
+    const NetId not_up = invert(nl, up, prefix + ".up");
+    const NetId zero = tie0(nl, prefix);
+
+    // Registers first (their outputs feed the adder).
+    Bus q;
+    q.reserve(n);
+    Bus d_nets;
+    d_nets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        d_nets.push_back(nl.add_net(prefix + ".d" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const NetId qn = nl.add_net(prefix + ".q" + std::to_string(i));
+        nl.add_gate(GateKind::DffR, {d_nets[i], clk, rst_n}, qn);
+        q.push_back(qn);
+    }
+
+    Bus delta;
+    delta.reserve(n);
+    delta.push_back(one);
+    for (std::size_t i = 1; i < n; ++i) delta.push_back(not_up);
+
+    const AdderOut next = ripple_adder(nl, q, delta, zero, prefix + ".add");
+    const Bus selected = mux_bus(nl, q, next.sum, enable, prefix + ".en");
+    for (std::size_t i = 0; i < n; ++i) {
+        nl.add_gate(GateKind::Buf, {selected[i]}, d_nets[i]);
+    }
+    return q;
+}
+
+Bus binary_counter(Netlist& nl, std::size_t n, NetId clk, NetId rst_n, NetId enable,
+                   const std::string& prefix) {
+    if (n == 0) throw std::invalid_argument("binary_counter: zero width");
+    const NetId zero = tie0(nl, prefix);
+    const NetId one = tie1(nl, prefix);
+    Bus d_nets;
+    d_nets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        d_nets.push_back(nl.add_net(prefix + ".d" + std::to_string(i)));
+    }
+    Bus q;
+    q.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const NetId qn = nl.add_net(prefix + ".q" + std::to_string(i));
+        nl.add_gate(GateKind::DffR, {d_nets[i], clk, rst_n}, qn);
+        q.push_back(qn);
+    }
+    Bus zeros(n, zero);
+    const AdderOut next = ripple_adder(nl, q, zeros, one, prefix + ".inc");
+    const Bus selected = mux_bus(nl, q, next.sum, enable, prefix + ".en");
+    for (std::size_t i = 0; i < n; ++i) {
+        nl.add_gate(GateKind::Buf, {selected[i]}, d_nets[i]);
+    }
+    return q;
+}
+
+Bus modulo_counter(Netlist& nl, std::size_t n, std::uint64_t modulo, NetId clk,
+                   NetId rst_n, NetId enable, const std::string& prefix,
+                   NetId* carry_out) {
+    if (n == 0 || modulo < 2 || modulo > (std::uint64_t{1} << n)) {
+        throw std::invalid_argument("modulo_counter: bad width/modulo");
+    }
+    const NetId zero = tie0(nl, prefix);
+    const NetId one = tie1(nl, prefix);
+    Bus d_nets;
+    d_nets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        d_nets.push_back(nl.add_net(prefix + ".d" + std::to_string(i)));
+    }
+    Bus q;
+    q.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const NetId qn = nl.add_net(prefix + ".q" + std::to_string(i));
+        nl.add_gate(GateKind::DffR, {d_nets[i], clk, rst_n}, qn);
+        q.push_back(qn);
+    }
+    const Bus zeros(n, zero);
+    const AdderOut inc = ripple_adder(nl, q, zeros, one, prefix + ".inc");
+    const NetId at_top = equals_const(nl, q, modulo - 1, prefix + ".top");
+    const Bus wrapped = mux_bus(nl, inc.sum, zeros, at_top, prefix + ".wrap");
+    const Bus selected = mux_bus(nl, q, wrapped, enable, prefix + ".en");
+    for (std::size_t i = 0; i < n; ++i) {
+        nl.add_gate(GateKind::Buf, {selected[i]}, d_nets[i]);
+    }
+    if (carry_out) {
+        const NetId tc = nl.add_net(prefix + ".tc");
+        nl.add_gate(GateKind::And2, {at_top, enable}, tc);
+        *carry_out = tc;
+    }
+    return q;
+}
+
+NetId reduce_or(Netlist& nl, const Bus& a, const std::string& prefix) {
+    if (a.empty()) throw std::invalid_argument("reduce_or: empty bus");
+    NetId acc = a[0];
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const NetId n = nl.add_net(prefix + ".or" + std::to_string(i));
+        nl.add_gate(GateKind::Or2, {acc, a[i]}, n);
+        acc = n;
+    }
+    return acc;
+}
+
+NetId reduce_and(Netlist& nl, const Bus& a, const std::string& prefix) {
+    if (a.empty()) throw std::invalid_argument("reduce_and: empty bus");
+    NetId acc = a[0];
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const NetId n = nl.add_net(prefix + ".and" + std::to_string(i));
+        nl.add_gate(GateKind::And2, {acc, a[i]}, n);
+        acc = n;
+    }
+    return acc;
+}
+
+NetId equals_const(Netlist& nl, const Bus& a, std::uint64_t value,
+                   const std::string& prefix) {
+    Bus matched;
+    matched.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if ((value >> i) & 1u) {
+            matched.push_back(a[i]);
+        } else {
+            matched.push_back(invert(nl, a[i], prefix + ".b" + std::to_string(i)));
+        }
+    }
+    return reduce_and(nl, matched, prefix);
+}
+
+Bus rom(Netlist& nl, const Bus& addr, const std::vector<std::uint64_t>& contents,
+        std::size_t width, const std::string& prefix) {
+    if (contents.empty() || width == 0 || addr.empty()) {
+        throw std::invalid_argument("rom: empty contents/width/addr");
+    }
+    const std::size_t depth = std::size_t{1} << addr.size();
+    if (contents.size() > depth) {
+        throw std::invalid_argument("rom: contents exceed addressable depth");
+    }
+    const NetId zero = tie0(nl, prefix);
+    const NetId one = tie1(nl, prefix);
+    Bus out;
+    out.reserve(width);
+    for (std::size_t bit = 0; bit < width; ++bit) {
+        // Leaves for this output bit, then a mux tree folding on the
+        // address bits from LSB to MSB.
+        std::vector<NetId> level;
+        level.reserve(depth);
+        for (std::size_t entry = 0; entry < depth; ++entry) {
+            const std::uint64_t word = entry < contents.size() ? contents[entry] : 0;
+            level.push_back(((word >> bit) & 1u) ? one : zero);
+        }
+        for (std::size_t layer = 0; layer < addr.size(); ++layer) {
+            std::vector<NetId> next;
+            next.reserve(level.size() / 2);
+            for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+                if (level[i] == level[i + 1]) {
+                    next.push_back(level[i]);  // constant-folded mux
+                    continue;
+                }
+                const NetId n = nl.add_net(prefix + ".b" + std::to_string(bit) + ".l" +
+                                           std::to_string(layer) + "." +
+                                           std::to_string(i / 2));
+                nl.add_gate(GateKind::Mux2, {level[i], level[i + 1], addr[layer]}, n);
+                next.push_back(n);
+            }
+            level = std::move(next);
+        }
+        out.push_back(level.front());
+    }
+    return out;
+}
+
+}  // namespace fxg::rtl::structural

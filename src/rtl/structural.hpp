@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file structural.hpp
+/// Structural generators: parameterised hardware blocks emitted as gates
+/// into a Netlist. These generate the compass back-end datapaths (the
+/// 4.194304 MHz up/down counter, the CORDIC add/sub stages, the atan
+/// ROM) the same way a 1997 module generator targeting the fishbone
+/// Sea-of-Gates would have.
+///
+/// Convention: buses are LSB-first vectors of NetId; signed values are
+/// two's complement with the MSB as sign.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace fxg::rtl::structural {
+
+/// A bus of nets, LSB first.
+using Bus = std::vector<NetId>;
+
+/// Creates a constant-0 net driven by a tie cell.
+NetId tie0(Netlist& nl, const std::string& prefix);
+/// Creates a constant-1 net driven by a tie cell.
+NetId tie1(Netlist& nl, const std::string& prefix);
+
+/// Creates an inverted copy of a net.
+NetId invert(Netlist& nl, NetId a, const std::string& prefix);
+
+/// Sum and carry-out of a ripple adder.
+struct AdderOut {
+    Bus sum;
+    NetId carry_out;
+};
+
+/// Ripple-carry adder: sum = a + b + cin. Buses must be equal width.
+/// 5 gates per bit (2 xor2, 2 and2, 1 or2).
+AdderOut ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                      const std::string& prefix);
+
+/// Adder/subtractor: out = sub ? a - b : a + b (two's complement;
+/// b is XOR-inverted and sub feeds carry-in).
+AdderOut add_sub(Netlist& nl, const Bus& a, const Bus& b, NetId sub,
+                 const std::string& prefix);
+
+/// Per-bit 2:1 mux: out = sel ? b : a.
+Bus mux_bus(Netlist& nl, const Bus& a, const Bus& b, NetId sel,
+            const std::string& prefix);
+
+/// Register bank with async active-low reset: q <= d on rising clk.
+Bus register_bus(Netlist& nl, const Bus& d, NetId clk, NetId rst_n,
+                 const std::string& prefix);
+
+/// Fixed arithmetic right shift by `k` — pure wiring (zero gates): the
+/// result bus reuses the input nets with the sign bit replicated. This
+/// mirrors hardware where constant shifts cost no logic.
+Bus shift_right_arith_const(const Bus& a, unsigned k);
+
+/// Barrel arithmetic-right shifter: one mux layer per shamt bit, shifting
+/// by 2^layer. Output width = input width.
+Bus barrel_shifter_asr(Netlist& nl, const Bus& a, const Bus& shamt,
+                       const std::string& prefix);
+
+/// Up/down counter (paper section 4: the pulse-count part). Counts up
+/// when `up`=1 and down when `up`=0 on each rising clock edge while
+/// `enable`=1; async active-low reset clears to 0. Two's complement.
+Bus updown_counter(Netlist& nl, std::size_t n, NetId clk, NetId rst_n, NetId up,
+                   NetId enable, const std::string& prefix);
+
+/// Simple binary up counter with enable and async reset.
+Bus binary_counter(Netlist& nl, std::size_t n, NetId clk, NetId rst_n, NetId enable,
+                   const std::string& prefix);
+
+/// Modulo-M up counter: counts 0..modulo-1 and wraps. Returns the count
+/// bus; `carry_out` (if non-null) receives the terminal-count net that
+/// pulses in the cycle the counter wraps — the building block of the
+/// watch divider chain (seconds, minutes, hours).
+Bus modulo_counter(Netlist& nl, std::size_t n, std::uint64_t modulo, NetId clk,
+                   NetId rst_n, NetId enable, const std::string& prefix,
+                   NetId* carry_out = nullptr);
+
+/// OR-reduction of a bus.
+NetId reduce_or(Netlist& nl, const Bus& a, const std::string& prefix);
+/// AND-reduction of a bus.
+NetId reduce_and(Netlist& nl, const Bus& a, const std::string& prefix);
+
+/// Combinational equality-with-constant comparator.
+NetId equals_const(Netlist& nl, const Bus& a, std::uint64_t value,
+                   const std::string& prefix);
+
+/// Mux-tree ROM: `contents[addr]` of the given bit width appears on the
+/// output bus. Address width is ceil(log2(contents.size())); entries
+/// beyond contents.size() read 0. Built from shared tie cells and a
+/// (2^k - 1)-deep mux tree per output bit, the standard Sea-of-Gates
+/// realisation of a small constant table (the CORDIC atan ROM).
+Bus rom(Netlist& nl, const Bus& addr, const std::vector<std::uint64_t>& contents,
+        std::size_t width, const std::string& prefix);
+
+}  // namespace fxg::rtl::structural

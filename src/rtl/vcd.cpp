@@ -1,0 +1,71 @@
+#include "rtl/vcd.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxg::rtl {
+
+namespace {
+
+/// VCD identifier characters start at '!' (33).
+std::string vcd_id(std::size_t index) {
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+}  // namespace
+
+VcdRecorder::VcdRecorder(Kernel& kernel, std::vector<SignalId> signals)
+    : kernel_(kernel), signals_(std::move(signals)) {
+    initial_.reserve(signals_.size());
+    for (SignalId id : signals_) initial_.push_back(kernel_.read(id));
+    kernel_.set_change_hook([this](SignalId id, Logic value, Time time) {
+        const auto it = std::find(signals_.begin(), signals_.end(), id);
+        if (it == signals_.end()) return;
+        changes_.push_back({time, static_cast<std::size_t>(it - signals_.begin()), value});
+    });
+}
+
+std::string VcdRecorder::to_string() const {
+    std::ostringstream out;
+    out << "$timescale 1ps $end\n$scope module compass $end\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        std::string name = kernel_.signal_name(signals_[i]);
+        std::replace(name.begin(), name.end(), ' ', '_');
+        out << "$var wire 1 " << vcd_id(i) << ' ' << name << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        out << logic_char(initial_[i]) << vcd_id(i) << '\n';
+    }
+    out << "$end\n";
+    Time last_time = 0;
+    bool first = true;
+    for (const Change& c : changes_) {
+        if (first || c.time != last_time) {
+            out << '#' << c.time << '\n';
+            last_time = c.time;
+            first = false;
+        }
+        char v = logic_char(c.value);
+        if (v == 'X') v = 'x';
+        if (v == 'Z') v = 'z';
+        out << v << vcd_id(c.index) << '\n';
+    }
+    return out.str();
+}
+
+void VcdRecorder::write(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("VcdRecorder: cannot open " + path);
+    f << to_string();
+    if (!f) throw std::runtime_error("VcdRecorder: write failed for " + path);
+}
+
+}  // namespace fxg::rtl

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file vcd.hpp
+/// Value-change-dump (VCD) writer for kernel signals, so digital traces
+/// from the compass back-end can be inspected in any waveform viewer.
+
+#include <string>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+
+namespace fxg::rtl {
+
+/// Records value changes of selected signals and renders a VCD file.
+/// Attach before running the kernel:
+///   VcdRecorder vcd(kernel, {clk, data});
+///   kernel.run_for(...);
+///   vcd.write("trace.vcd");
+class VcdRecorder {
+public:
+    /// Starts recording the given signals. Installs itself as the
+    /// kernel's change hook (replacing any previous hook).
+    VcdRecorder(Kernel& kernel, std::vector<SignalId> signals);
+
+    /// Renders the recorded changes as VCD text (timescale 1 ps).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Writes the VCD to a file; throws std::runtime_error on failure.
+    void write(const std::string& path) const;
+
+    /// Number of recorded change events.
+    [[nodiscard]] std::size_t events() const noexcept { return changes_.size(); }
+
+private:
+    struct Change {
+        Time time;
+        std::size_t index;  ///< index into signals_
+        Logic value;
+    };
+
+    Kernel& kernel_;
+    std::vector<SignalId> signals_;
+    std::vector<Logic> initial_;
+    std::vector<Change> changes_;
+};
+
+}  // namespace fxg::rtl

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file verilog.hpp
+/// Structural Verilog export of a gate Netlist — the hand-off artefact
+/// a 1997 Sea-of-Gates flow would pass to placement ([Gro93]'s Ocean
+/// took exactly this kind of flat structural netlist). Emits one module
+/// with primitive-gate instantiations; DFFs become behavioural
+/// always-blocks so the output simulates under any Verilog simulator.
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace fxg::rtl {
+
+/// Options for the Verilog writer.
+struct VerilogOptions {
+    /// Nets to expose as module inputs (everything else undriven by a
+    /// gate is also promoted to an input automatically).
+    std::vector<NetId> inputs;
+    /// Nets to expose as module outputs.
+    std::vector<NetId> outputs;
+};
+
+/// Renders the netlist as a single structural Verilog module named
+/// after the netlist. Net names are sanitised to Verilog identifiers.
+std::string to_verilog(const Netlist& netlist, const VerilogOptions& options = {});
+
+/// Writes the Verilog to a file; throws std::runtime_error on failure.
+void write_verilog(const Netlist& netlist, const std::string& path,
+                   const VerilogOptions& options = {});
+
+}  // namespace fxg::rtl

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file fluxgate.hpp
+/// Behavioural (time-stepped) fluxgate sensor model.
+///
+/// Physics (paper section 2.1.1): the core is driven by the excitation
+/// field H_exc = N_exc * i / l plus the external axial field H_ext. The
+/// magnetisation follows the core model; the pickup coil sees
+///   v_pick = -N_pick * A * dB/dt,   B = mu0 (H + M(H)).
+/// With triangular excitation the pickup voltage is a train of pulses
+/// centred where the core transits its permeable region; an external
+/// field shifts the transit — and hence the pulses — in time. That
+/// pulse-position shift is the measurand of the whole compass.
+
+#include <functional>
+#include <memory>
+
+#include "magnetics/core_model.hpp"
+#include "sensor/fluxgate_params.hpp"
+
+namespace fxg::sensor {
+
+/// Time-stepped fluxgate element driven by an excitation current.
+class FluxgateSensor {
+public:
+    /// Builds a sensor; by default the core is a TanhCore with the
+    /// parameter set's Ms and Hk. Pass a custom core (e.g. a
+    /// JilesAthertonCore) to study model sensitivity.
+    explicit FluxgateSensor(FluxgateParams params,
+                            std::unique_ptr<magnetics::CoreModel> core = nullptr);
+
+    FluxgateSensor(const FluxgateSensor& other);
+    FluxgateSensor& operator=(const FluxgateSensor&) = delete;
+
+    /// Sets the external field component along the sensor axis [A/m].
+    void set_external_field(double h_a_per_m) noexcept { h_ext_ = h_a_per_m; }
+    [[nodiscard]] double external_field() const noexcept { return h_ext_; }
+
+    /// Advances one time step with the given excitation current [A].
+    /// Returns the open-circuit pickup voltage [V] over this step.
+    double step(double i_excitation_a, double dt_s);
+
+    /// Open-circuit pickup voltage of the last step [V].
+    [[nodiscard]] double pickup_voltage() const noexcept { return v_pickup_; }
+
+    /// Voltage across the excitation coil over the last step [V]:
+    /// resistive drop plus d(lambda_exc)/dt. Reproduces the impedance
+    /// collapse at saturation visible in the paper's Figure 4.
+    [[nodiscard]] double excitation_voltage() const noexcept { return v_excitation_; }
+
+    /// Total core field H of the last step [A/m].
+    [[nodiscard]] double core_field() const noexcept { return h_core_; }
+
+    /// Core flux density B of the last step [T].
+    [[nodiscard]] double flux_density() const noexcept { return b_core_; }
+
+    /// True while |H| exceeds the knee field (core saturated).
+    [[nodiscard]] bool saturated() const noexcept;
+
+    /// Clears all dynamic state back to the demagnetised condition.
+    void reset();
+
+    [[nodiscard]] const FluxgateParams& params() const noexcept { return params_; }
+    [[nodiscard]] const magnetics::CoreModel& core() const noexcept { return *core_; }
+
+private:
+    FluxgateParams params_;
+    std::unique_ptr<magnetics::CoreModel> core_;
+    double h_ext_ = 0.0;
+    double h_core_ = 0.0;
+    double b_core_ = 0.0;
+    double v_pickup_ = 0.0;
+    double v_excitation_ = 0.0;
+    double lambda_pickup_prev_ = 0.0;
+    double lambda_exc_prev_ = 0.0;
+    bool first_step_ = true;
+};
+
+/// Analytic prediction of the pulse-position detector duty cycle for a
+/// triangular excitation field of amplitude `ha` and a core knee `hk`
+/// with axial external field `hext` (all A/m):
+///     D = 1/2 + hext / (2 ha)
+/// Valid while |hext| + hk < ha (the core still saturates both ways).
+/// Derivation in DESIGN.md section 5.
+double ideal_duty_cycle(double ha, double hk, double hext);
+
+}  // namespace fxg::sensor

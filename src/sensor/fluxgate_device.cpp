@@ -1,0 +1,123 @@
+#include "sensor/fluxgate_device.hpp"
+
+#include "magnetics/units.hpp"
+#include "spice/ac_analysis.hpp"
+
+namespace fxg::sensor {
+
+FluxgateDevice::FluxgateDevice(std::string name, int ep, int en, int pp, int pn,
+                               FluxgateParams params,
+                               std::unique_ptr<magnetics::CoreModel> core)
+    : spice::Device(std::move(name)), ep_(ep), en_(en), pp_(pp), pn_(pn),
+      params_(std::move(params)), core_(std::move(core)) {
+    if (!core_) {
+        core_ = std::make_unique<magnetics::TanhCore>(params_.ms_a_per_m,
+                                                      params_.hk_a_per_m);
+    }
+}
+
+FluxgateDevice::CoreEval FluxgateDevice::evaluate(double i1, double i2) const {
+    const double n1 = params_.n_excitation;
+    const double n2 = params_.n_pickup;
+    const double area = params_.core_area_m2;
+    const double len = params_.core_length_m;
+    const double h = (n1 * i1 + n2 * i2) / len + h_ext_;
+    // Scratch clone: Newton probes many candidate currents per step and
+    // must not disturb the committed (possibly hysteretic) core history.
+    const auto scratch = core_->clone();
+    const double m = scratch->advance(h);
+    const double chi = scratch->susceptibility();
+    const double b = magnetics::kMu0 * (h + m);
+    const double perm = magnetics::kMu0 * (1.0 + chi);  // dB/dH
+    CoreEval e;
+    e.lambda1 = n1 * area * b;
+    e.lambda2 = n2 * area * b;
+    e.l11 = n1 * area * perm * n1 / len;
+    e.l12 = n1 * area * perm * n2 / len;
+    e.l21 = n2 * area * perm * n1 / len;
+    e.l22 = n2 * area * perm * n2 / len;
+    return e;
+}
+
+void FluxgateDevice::stamp(spice::Stamp& s, const spice::DeviceContext& ctx) {
+    const int r1 = excitation_branch();
+    const int r2 = pickup_branch();
+    // KCL: winding currents leave the + terminals.
+    s.entry(ep_, r1, 1.0);
+    s.entry(en_, r1, -1.0);
+    s.entry(pp_, r2, 1.0);
+    s.entry(pn_, r2, -1.0);
+    // Branch voltage rows.
+    s.entry(r1, ep_, 1.0);
+    s.entry(r1, en_, -1.0);
+    s.entry(r2, pp_, 1.0);
+    s.entry(r2, pn_, -1.0);
+    s.entry(r1, r1, -params_.r_excitation_ohm);
+    s.entry(r2, r2, -params_.r_pickup_ohm);
+    if (ctx.dc) return;  // dX/dt = 0: pure winding resistance at DC
+
+    const double i1 = unknown(ctx, r1);
+    const double i2 = unknown(ctx, r2);
+    const CoreEval e = evaluate(i1, i2);
+    const double inv_dt = 1.0 / ctx.dt;
+    // Backward-Euler residual for winding k:
+    //   F_k = v_k - R_k i_k - (lambda_k - lambda_k_prev)/dt
+    // Linearised in (i1, i2): subtract L_kj/dt terms from the matrix and
+    // put J x* - F(x*) on the RHS (the v and R terms cancel there).
+    s.entry(r1, r1, -e.l11 * inv_dt);
+    s.entry(r1, r2, -e.l12 * inv_dt);
+    s.entry(r2, r1, -e.l21 * inv_dt);
+    s.entry(r2, r2, -e.l22 * inv_dt);
+    const double lambda1_prev = history_valid_ ? lambda1_prev_ : e.lambda1;
+    const double lambda2_prev = history_valid_ ? lambda2_prev_ : e.lambda2;
+    s.rhs(r1, (e.lambda1 - lambda1_prev) * inv_dt -
+                  (e.l11 * i1 + e.l12 * i2) * inv_dt);
+    s.rhs(r2, (e.lambda2 - lambda2_prev) * inv_dt -
+                  (e.l21 * i1 + e.l22 * i2) * inv_dt);
+}
+
+void FluxgateDevice::stamp_ac(spice::AcStamp& s, const spice::AcContext& ctx) {
+    const int r1 = excitation_branch();
+    const int r2 = pickup_branch();
+    s.entry(ep_, r1, 1.0);
+    s.entry(en_, r1, -1.0);
+    s.entry(pp_, r2, 1.0);
+    s.entry(pn_, r2, -1.0);
+    s.entry(r1, ep_, 1.0);
+    s.entry(r1, en_, -1.0);
+    s.entry(r2, pp_, 1.0);
+    s.entry(r2, pn_, -1.0);
+    s.entry(r1, r1, -params_.r_excitation_ohm);
+    s.entry(r2, r2, -params_.r_pickup_ohm);
+    // Incremental inductances at the DC bias currents.
+    const double i1 = (*ctx.op)[static_cast<std::size_t>(r1)];
+    const double i2 = (*ctx.op)[static_cast<std::size_t>(r2)];
+    const CoreEval e = evaluate(i1, i2);
+    const std::complex<double> jw{0.0, ctx.omega};
+    s.entry(r1, r1, -jw * e.l11);
+    s.entry(r1, r2, -jw * e.l12);
+    s.entry(r2, r1, -jw * e.l21);
+    s.entry(r2, r2, -jw * e.l22);
+}
+
+void FluxgateDevice::commit(const spice::DeviceContext& ctx) {
+    const double i1 = unknown(ctx, excitation_branch());
+    const double i2 = unknown(ctx, pickup_branch());
+    const double h =
+        (params_.n_excitation * i1 + params_.n_pickup * i2) / params_.core_length_m +
+        h_ext_;
+    const double m = core_->advance(h);
+    const double b = magnetics::kMu0 * (h + m);
+    lambda1_prev_ = params_.n_excitation * params_.core_area_m2 * b;
+    lambda2_prev_ = params_.n_pickup * params_.core_area_m2 * b;
+    history_valid_ = true;
+}
+
+void FluxgateDevice::reset() {
+    core_->reset();
+    lambda1_prev_ = 0.0;
+    lambda2_prev_ = 0.0;
+    history_valid_ = false;
+}
+
+}  // namespace fxg::sensor

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file fluxgate_device.hpp
+/// Circuit-level fluxgate element for the spice:: engine — the
+/// counterpart of the authors' custom ELDO sensor model (paper section
+/// 2.1.1: "An ELDO model was derived from these measurements").
+///
+/// Four terminals: excitation+/-, pickup+/-. Both windings couple
+/// through the shared saturating core:
+///   H      = (N1 i1 + N2 i2) / l + H_ext
+///   B      = mu0 (H + M(H))
+///   lambda_k = N_k A B,   v_k = R_k i_k + d(lambda_k)/dt
+/// Discretised with backward Euler and solved by Newton with the exact
+/// winding Jacobian (the incremental inductance matrix), so the
+/// impedance collapse at saturation emerges from the solve.
+
+#include <memory>
+
+#include "magnetics/core_model.hpp"
+#include "sensor/fluxgate_params.hpp"
+#include "spice/circuit.hpp"
+
+namespace fxg::sensor {
+
+/// Nonlinear coupled-winding fluxgate device.
+class FluxgateDevice final : public spice::Device {
+public:
+    /// \param ep,en excitation terminals; \param pp,pn pickup terminals.
+    FluxgateDevice(std::string name, int ep, int en, int pp, int pn,
+                   FluxgateParams params,
+                   std::unique_ptr<magnetics::CoreModel> core = nullptr);
+
+    [[nodiscard]] int branch_count() const override { return 2; }
+    void stamp(spice::Stamp& s, const spice::DeviceContext& ctx) override;
+    /// Small-signal model: the incremental winding-inductance matrix at
+    /// the bias point (winding resistances in series).
+    void stamp_ac(spice::AcStamp& s, const spice::AcContext& ctx) override;
+    void commit(const spice::DeviceContext& ctx) override;
+    void reset() override;
+
+    /// Sets the external axial field [A/m] for subsequent steps.
+    void set_external_field(double h_a_per_m) noexcept { h_ext_ = h_a_per_m; }
+    [[nodiscard]] double external_field() const noexcept { return h_ext_; }
+
+    /// Branch unknown index of the excitation winding current.
+    [[nodiscard]] int excitation_branch() const { return branch(0); }
+    /// Branch unknown index of the pickup winding current.
+    [[nodiscard]] int pickup_branch() const { return branch(1); }
+
+    [[nodiscard]] const FluxgateParams& params() const noexcept { return params_; }
+
+private:
+    /// Flux linkages and incremental inductances at winding currents
+    /// (i1, i2), evaluated on a scratch clone of the committed core.
+    struct CoreEval {
+        double lambda1;
+        double lambda2;
+        double l11, l12, l21, l22;
+    };
+    [[nodiscard]] CoreEval evaluate(double i1, double i2) const;
+
+    int ep_, en_, pp_, pn_;
+    FluxgateParams params_;
+    std::unique_ptr<magnetics::CoreModel> core_;  ///< committed history
+    double h_ext_ = 0.0;
+    double lambda1_prev_ = 0.0;
+    double lambda2_prev_ = 0.0;
+    bool history_valid_ = false;
+};
+
+}  // namespace fxg::sensor

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file fluxgate_params.hpp
+/// Physical parameter sets for the micro-machined fluxgate sensing
+/// element (paper section 2.1.2: permalloy core sandwiched between two
+/// metal layers, excitation coil + pickup coil).
+///
+/// Two presets reproduce the paper's narrative:
+///  * measured_kaw95() — the real fabricated sensor [Kaw95] the authors
+///    characterised: it "reached saturation at 15 times the magnitude of
+///    the earth's magnetic field (HK = 1 Oe)" and its winding resistance
+///    (77 ohm) "proved to be too high for low power applications".
+///  * design_target() — the ELDO model with "HK adapted to obtain a
+///    saturation level suitable for our application", i.e. the knee
+///    sized so the 12 mA pp excitation drives the core to twice the
+///    saturation field (the paper's best-sensitivity point).
+
+#include <memory>
+#include <string>
+
+#include "magnetics/core_model.hpp"
+
+namespace fxg::sensor {
+
+/// Geometry and material parameters of one fluxgate element.
+struct FluxgateParams {
+    std::string label;
+
+    // Windings.
+    double n_excitation = 40.0;      ///< excitation coil turns
+    double n_pickup = 150.0;         ///< pickup coil turns
+    double r_excitation_ohm = 77.0;  ///< excitation winding resistance
+    double r_pickup_ohm = 120.0;     ///< pickup winding resistance
+
+    // Core (electroplated permalloy film).
+    double core_area_m2 = 1.0e-8;    ///< magnetic cross-section
+    double core_length_m = 3.0e-3;   ///< magnetic path length
+    double ms_a_per_m = 8.0e5;       ///< saturation magnetisation
+    double hk_a_per_m = 40.0;        ///< knee (saturation threshold) field
+
+    /// Field produced per ampere of excitation current [A/m per A].
+    [[nodiscard]] double field_per_amp() const noexcept {
+        return n_excitation / core_length_m;
+    }
+
+    /// Excitation current needed to reach `ratio` x the knee field [A].
+    [[nodiscard]] double current_for_field_ratio(double ratio) const noexcept {
+        return ratio * hk_a_per_m / field_per_amp();
+    }
+
+    /// Unsaturated small-signal inductance of the excitation coil [H].
+    [[nodiscard]] double unsaturated_inductance() const noexcept;
+
+    /// The fabricated sensor of [Kaw95] as measured by the authors.
+    static FluxgateParams measured_kaw95();
+
+    /// The adapted design-target model used for the compass system.
+    static FluxgateParams design_target();
+};
+
+/// Selects which magnetisation model a sensor is built with (the
+/// model-sensitivity ablation of experiment ABL4).
+enum class CoreKind {
+    Tanh,           ///< anhysteretic tanh (the default workhorse)
+    Langevin,       ///< anhysteretic Langevin (softer knee)
+    JilesAtherton,  ///< full hysteresis
+};
+
+/// Builds a core model for the given parameters. Langevin/JA shape
+/// parameters are derived so the knee field matches params.hk_a_per_m.
+std::unique_ptr<magnetics::CoreModel> make_core(const FluxgateParams& params,
+                                                CoreKind kind);
+
+/// The paper's excitation stimulus: triangular current, 12 mA peak to
+/// peak (i.e. +-6 mA) at 8 kHz (section 3.1).
+struct ExcitationSpec {
+    double amplitude_a = 6.0e-3;  ///< peak amplitude (half of peak-to-peak)
+    double frequency_hz = 8.0e3;
+
+    [[nodiscard]] double period_s() const noexcept { return 1.0 / frequency_hz; }
+};
+
+}  // namespace fxg::sensor

@@ -1,0 +1,99 @@
+#include "sensor/pulse_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::sensor {
+
+std::vector<Pulse> find_pulses(const std::vector<double>& time,
+                               const std::vector<double>& v, double threshold) {
+    if (time.size() != v.size()) {
+        throw std::invalid_argument("find_pulses: time/value length mismatch");
+    }
+    if (!(threshold > 0.0)) throw std::invalid_argument("find_pulses: threshold <= 0");
+    std::vector<Pulse> pulses;
+    bool in_pulse = false;
+    Pulse cur;
+    double weight_sum = 0.0;
+    double weighted_time = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        const double mag = std::fabs(v[i]);
+        if (!in_pulse) {
+            if (mag > threshold) {
+                in_pulse = true;
+                cur = Pulse{};
+                cur.t_start = time[i];
+                cur.t_peak = time[i];
+                cur.peak = v[i];
+                weight_sum = mag;
+                weighted_time = mag * time[i];
+            }
+        } else {
+            if (mag > threshold) {
+                if (mag > std::fabs(cur.peak)) {
+                    cur.peak = v[i];
+                    cur.t_peak = time[i];
+                }
+                weight_sum += mag;
+                weighted_time += mag * time[i];
+            } else {
+                cur.t_end = time[i];
+                cur.t_centroid = weighted_time / weight_sum;
+                cur.positive = cur.peak > 0.0;
+                pulses.push_back(cur);
+                in_pulse = false;
+            }
+        }
+    }
+    return pulses;
+}
+
+double detector_duty_cycle(const std::vector<Pulse>& pulses) {
+    // Walk pulse end times; a positive end sets the detector, a negative
+    // end clears it. Average duty over complete set->clear->set cycles.
+    double duty_sum = 0.0;
+    int cycles = 0;
+    double t_set = -1.0;
+    double t_clear = -1.0;
+    for (const Pulse& p : pulses) {
+        if (p.positive) {
+            if (t_set >= 0.0 && t_clear > t_set) {
+                const double period = p.t_end - t_set;
+                if (period > 0.0) {
+                    duty_sum += (t_clear - t_set) / period;
+                    ++cycles;
+                }
+            }
+            t_set = p.t_end;
+        } else {
+            if (t_set >= 0.0) t_clear = p.t_end;
+        }
+    }
+    if (cycles == 0) return -1.0;
+    return duty_sum / cycles;
+}
+
+double pulse_shift_seconds(const std::vector<Pulse>& a, const std::vector<Pulse>& b) {
+    std::vector<double> ca;
+    std::vector<double> cb;
+    for (const Pulse& p : a) {
+        if (p.positive) ca.push_back(p.t_centroid);
+    }
+    for (const Pulse& p : b) {
+        if (p.positive) cb.push_back(p.t_centroid);
+    }
+    const std::size_t n = std::min(ca.size(), cb.size());
+    if (n == 0) {
+        throw std::invalid_argument("pulse_shift_seconds: no positive pulse pairs");
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += cb[i] - ca[i];
+    return sum / static_cast<double>(n);
+}
+
+double measure_duty_cycle(const std::vector<double>& time, const std::vector<double>& v,
+                          double threshold) {
+    return detector_duty_cycle(find_pulses(time, v, threshold));
+}
+
+}  // namespace fxg::sensor

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file pulse_analysis.hpp
+/// Offline analysis of sampled pickup-coil waveforms: pulse extraction,
+/// pulse-position detector emulation and duty-cycle measurement. These
+/// are the measurement tools behind experiments FIG3, FIG4 and CNT1.
+
+#include <vector>
+
+namespace fxg::sensor {
+
+/// One detected pickup pulse (contiguous region where |v| > threshold).
+struct Pulse {
+    double t_start = 0.0;    ///< first sample above threshold [s]
+    double t_end = 0.0;      ///< first sample back below threshold [s]
+    double t_peak = 0.0;     ///< time of the extreme value [s]
+    double t_centroid = 0.0; ///< |v|-weighted centroid time [s]
+    double peak = 0.0;       ///< signed extreme value [V]
+    bool positive = false;   ///< polarity of the pulse
+};
+
+/// Finds all pulses in a sampled waveform. `threshold` is the absolute
+/// comparator level [V]; samples with |v| > threshold belong to a pulse.
+/// Pulses still open at the end of the record are dropped.
+std::vector<Pulse> find_pulses(const std::vector<double>& time,
+                               const std::vector<double>& v, double threshold);
+
+/// Emulates the paper's pulse-position detector (section 3.2): output
+/// becomes 1 at the falling edge of each positive pulse (its end) and 0
+/// at the rising edge of each negative pulse (its end). Returns the mean
+/// high fraction over all complete high+low cycles, or -1 if fewer than
+/// two positive pulses were seen.
+double detector_duty_cycle(const std::vector<Pulse>& pulses);
+
+/// Mean time offset of positive-pulse centroids between two waveform
+/// records (B relative to A), pairing pulses in order. This is the
+/// "pulse shift" visible in the paper's Figure 4. Requires at least one
+/// pair; extra unpaired pulses are ignored.
+double pulse_shift_seconds(const std::vector<Pulse>& a, const std::vector<Pulse>& b);
+
+/// Convenience: detector duty cycle straight from a sampled waveform.
+double measure_duty_cycle(const std::vector<double>& time, const std::vector<double>& v,
+                          double threshold);
+
+}  // namespace fxg::sensor

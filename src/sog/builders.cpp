@@ -1,0 +1,145 @@
+#include "sog/builders.hpp"
+
+#include "digital/cordic_gate.hpp"
+#include "digital/heading_gate.hpp"
+#include "rtl/structural.hpp"
+
+namespace fxg::sog {
+
+namespace st = rtl::structural;
+
+rtl::Netlist build_updown_counter_netlist(std::size_t bits) {
+    rtl::Netlist nl("updown_counter" + std::to_string(bits));
+    const rtl::NetId clk = nl.add_net("clk");
+    const rtl::NetId rst_n = nl.add_net("rst_n");
+    const rtl::NetId up = nl.add_net("up");
+    const rtl::NetId enable = nl.add_net("enable");
+    st::updown_counter(nl, bits, clk, rst_n, up, enable, "cnt");
+    return nl;
+}
+
+rtl::Netlist build_watch_netlist() {
+    rtl::Netlist nl("watch");
+    const rtl::NetId clk = nl.add_net("clk");
+    const rtl::NetId rst_n = nl.add_net("rst_n");
+    const rtl::NetId one = st::tie1(nl, "watch");
+    // 2^22 Hz -> 1 Hz: a 22-bit binary divider; its terminal count
+    // enables the seconds counter once per second.
+    const st::Bus divider = st::binary_counter(nl, 22, clk, rst_n, one, "div");
+    const rtl::NetId second_tick = st::reduce_and(nl, divider, "div.tc");
+    rtl::NetId minute_tick{};
+    st::modulo_counter(nl, 6, 60, clk, rst_n, second_tick, "sec", &minute_tick);
+    rtl::NetId hour_tick{};
+    st::modulo_counter(nl, 6, 60, clk, rst_n, minute_tick, "min", &hour_tick);
+    st::modulo_counter(nl, 5, 24, clk, rst_n, hour_tick, "hour", nullptr);
+    return nl;
+}
+
+rtl::Netlist build_display_netlist() {
+    rtl::Netlist nl("display");
+    const rtl::NetId clk = nl.add_net("clk");
+    const rtl::NetId rst_n = nl.add_net("rst_n");
+    const rtl::NetId mode = nl.add_net("mode");  // 0 = direction, 1 = time
+    // Two 16-bit BCD-ish sources (4 digits x 4 bits) muxed by mode, then
+    // a 7-segment decoder ROM and a hold register per digit.
+    const st::Bus dir_digits = nl.add_bus("dir", 16);
+    const st::Bus time_digits = nl.add_bus("time", 16);
+    const st::Bus selected = st::mux_bus(nl, dir_digits, time_digits, mode, "sel");
+    const std::vector<std::uint64_t> font = {
+        0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110, 0b1101101,
+        0b1111101, 0b0000111, 0b1111111, 0b1101111, 0b1110111, 0b1111100,
+        0b0111001, 0b1011110, 0b1111001, 0b1110001,
+    };
+    for (int digit = 0; digit < 4; ++digit) {
+        const st::Bus addr(selected.begin() + digit * 4,
+                           selected.begin() + digit * 4 + 4);
+        const st::Bus seg =
+            st::rom(nl, addr, font, 7, "font" + std::to_string(digit));
+        st::register_bus(nl, seg, clk, rst_n, "seg" + std::to_string(digit));
+    }
+    return nl;
+}
+
+ControlNetlist build_control_fsm(std::uint64_t phase_ticks) {
+    ControlNetlist c;
+    rtl::Netlist& nl = c.netlist;
+    c.clk = nl.add_net("clk");
+    c.rst_n = nl.add_net("rst_n");
+    const rtl::NetId one = st::tie1(nl, "ctl");
+
+    // Interval timer: measurement phases last `phase_ticks` clock
+    // cycles; 12 bits covers one excitation period at 4.19 MHz.
+    std::size_t timer_bits = 1;
+    while ((std::uint64_t{1} << timer_bits) < phase_ticks) ++timer_bits;
+    rtl::NetId phase_done{};
+    st::modulo_counter(nl, timer_bits, phase_ticks, c.clk, c.rst_n, one, "timer",
+                       &phase_done);
+
+    // Sequencer: 3-bit state register walking idle -> enable-analogue ->
+    // settle -> count-x -> count-y -> arctan -> display -> idle on each
+    // timer tick. Next-state and output decoding via a small ROM.
+    st::Bus state_d;
+    state_d.reserve(3);
+    for (int i = 0; i < 3; ++i) state_d.push_back(nl.add_net("fsm.d" + std::to_string(i)));
+    const st::Bus state_q = st::register_bus(nl, state_d, c.clk, c.rst_n, "fsm");
+    // next = state + 1 mod 7 when phase_done, else hold.
+    const std::vector<std::uint64_t> next_rom = {1, 2, 3, 4, 5, 6, 0, 0};
+    const st::Bus next_state = st::rom(nl, state_q, next_rom, 3, "fsm.next");
+    const st::Bus advanced = st::mux_bus(nl, state_q, next_state, phase_done, "fsm.adv");
+    for (int i = 0; i < 3; ++i) {
+        nl.add_gate(rtl::GateKind::Buf, {advanced[static_cast<std::size_t>(i)]},
+                    state_d[static_cast<std::size_t>(i)]);
+    }
+    // Output decode: {analogue_en, counter_en, count_sel_y, cordic_start,
+    // display_latch} per state.
+    const std::vector<std::uint64_t> out_rom = {
+        0b00000,  // idle
+        0b00001,  // enable analogue
+        0b00001,  // settle
+        0b00011,  // count x
+        0b00111,  // count y
+        0b01000,  // arctan
+        0b10000,  // display
+        0b00000,
+    };
+    const st::Bus outs = st::rom(nl, state_q, out_rom, 5, "fsm.out");
+    c.outputs = st::register_bus(nl, outs, c.clk, c.rst_n, "fsm.oreg");
+    c.state = state_q;
+    return c;
+}
+
+rtl::Netlist build_control_netlist() {
+    return std::move(build_control_fsm().netlist);
+}
+
+std::vector<rtl::Netlist> build_compass_digital_netlists(std::size_t counter_bits,
+                                                         int cordic_cycles) {
+    std::vector<rtl::Netlist> nets;
+    nets.push_back(build_updown_counter_netlist(counter_bits));
+    // The arctan part as the full heading unit (octant fold + core).
+    nets.push_back(std::move(
+        digital::build_heading_netlist(16, cordic_cycles).netlist));
+    nets.push_back(build_watch_netlist());
+    nets.push_back(build_display_netlist());
+    nets.push_back(build_control_netlist());
+    return nets;
+}
+
+std::vector<Macro> analogue_macros() {
+    // Pair-site estimates for the analogue blocks. Active devices come
+    // from [Haa95]-style analogue-on-SoG sizing; the 10 pF metal-metal
+    // timing capacitor consumes array *area* (site-equivalents) though
+    // no transistors. The external 12.5 Mohm resistor lives on the MCM
+    // substrate (see Mcm), not here.
+    return {
+        {"triangle oscillator core", Domain::Analogue, 650, -1},
+        {"timing capacitor 10pF (metal-metal)", Domain::Analogue, 2800, -1},
+        {"V-I converter x", Domain::Analogue, 420, -1},
+        {"V-I converter y", Domain::Analogue, 420, -1},
+        {"pulse detector comparators", Domain::Analogue, 360, -1},
+        {"sensor multiplexer switches", Domain::Analogue, 140, -1},
+        {"bias + offset-correction loop", Domain::Analogue, 540, -1},
+    };
+}
+
+}  // namespace fxg::sog

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file builders.hpp
+/// Gate-level netlist builders for every block of the compass digital
+/// section, plus the analogue-section macro estimates — the inputs the
+/// SOG1 area experiment maps onto the fishbone array. All digital
+/// blocks are real, simulatable netlists emitted through the
+/// rtl::structural generators (the same netlists the equivalence tests
+/// exercise), not hand-waved gate counts.
+
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/structural.hpp"
+#include "sog/sog_array.hpp"
+
+namespace fxg::sog {
+
+/// Pulse-count part: the 4.194304 MHz up/down counter (paper sec. 4).
+rtl::Netlist build_updown_counter_netlist(std::size_t bits = 16);
+
+/// Watch timekeeping chain: 22-stage binary divider (2^22 Hz -> 1 Hz)
+/// plus modulo-60 seconds/minutes and modulo-24 hours counters.
+rtl::Netlist build_watch_netlist();
+
+/// Display driver: mode mux (direction/time), four 7-segment decoder
+/// ROMs and output hold registers.
+rtl::Netlist build_display_netlist();
+
+/// Measurement sequencer FSM (enable analogue section, settle, count x,
+/// count y, run arctan, update display) with its interval timer.
+rtl::Netlist build_control_netlist();
+
+/// The same sequencer with its port nets exposed and a configurable
+/// phase length (timer ticks per state), so tests can simulate full
+/// sequences quickly. Output bus decode, LSB first: {analogue_en,
+/// counter_en, count_sel_y, cordic_start, display_latch}.
+struct ControlNetlist {
+    rtl::Netlist netlist{"control"};
+    rtl::NetId clk{};
+    rtl::NetId rst_n{};
+    rtl::structural::Bus state;    ///< 3-bit sequencer state
+    rtl::structural::Bus outputs;  ///< registered control outputs (5 bits)
+};
+ControlNetlist build_control_fsm(std::uint64_t phase_ticks = 4096);
+
+/// All digital blocks incl. the CORDIC from digital/cordic_gate.hpp.
+std::vector<rtl::Netlist> build_compass_digital_netlists(std::size_t counter_bits = 16,
+                                                         int cordic_cycles = 8);
+
+/// Analogue-section macros with documented pair-area estimates
+/// (oscillator + 10 pF metal-metal capacitor, two V-I converters,
+/// detector comparators, multiplexer switches, bias). These populate
+/// the analogue quarter — the paper reports it below 15% occupied.
+std::vector<Macro> analogue_macros();
+
+}  // namespace fxg::sog

@@ -1,0 +1,38 @@
+#include "sog/cell_library.hpp"
+
+namespace fxg::sog {
+
+std::size_t pairs_for_gate(rtl::GateKind kind) noexcept {
+    switch (kind) {
+        case rtl::GateKind::Tie0:
+        case rtl::GateKind::Tie1: return 0;  // a strap, no active sites
+        case rtl::GateKind::Inv: return 1;
+        case rtl::GateKind::Buf: return 2;
+        case rtl::GateKind::Nand2:
+        case rtl::GateKind::Nor2: return 2;
+        case rtl::GateKind::And2:
+        case rtl::GateKind::Or2: return 3;   // nand/nor + inverter
+        case rtl::GateKind::Xor2:
+        case rtl::GateKind::Xnor2: return 5;
+        case rtl::GateKind::And3:
+        case rtl::GateKind::Or3: return 4;
+        case rtl::GateKind::Mux2: return 4;  // 2 transmission gates + select inv
+        case rtl::GateKind::Dff: return 12;  // master-slave, ~24 transistors
+        case rtl::GateKind::DffR: return 14;
+    }
+    return 0;
+}
+
+std::size_t pairs_for_stats(const rtl::NetlistStats& stats) noexcept {
+    std::size_t total = 0;
+    for (const auto& [kind, count] : stats.by_kind) {
+        total += pairs_for_gate(kind) * count;
+    }
+    return total;
+}
+
+std::size_t map_netlist_pairs(const rtl::Netlist& netlist, const MappingModel& model) {
+    return model.effective_pairs(pairs_for_stats(netlist.stats()));
+}
+
+}  // namespace fxg::sog

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file cell_library.hpp
+/// Sea-of-Gates cell library: the cost of each logical cell in
+/// pmos/nmos transistor pairs, the area unit of the fishbone array
+/// ("4 quarters, each with circa 50k pmos/nmos pairs", paper section 2).
+
+#include <cstddef>
+
+#include "rtl/netlist.hpp"
+
+namespace fxg::sog {
+
+/// Transistor-pair cost of one gate kind when mapped onto the array
+/// (static CMOS realisations; a pair is one pmos + one nmos site).
+std::size_t pairs_for_gate(rtl::GateKind kind) noexcept;
+
+/// Total transistor pairs needed by a netlist's gates (logic only;
+/// routing overhead is applied by the mapper).
+std::size_t pairs_for_stats(const rtl::NetlistStats& stats) noexcept;
+
+/// Technology-mapping model: logic pairs are inflated by the routing /
+/// placement utilisation of a channel-less gate array (sea-of-gates
+/// designs of the era achieved roughly 30-45% raw-site utilisation).
+struct MappingModel {
+    double utilisation = 0.35;  ///< usable fraction of raw sites
+
+    /// Effective (array) pairs occupied by the given logic pairs.
+    [[nodiscard]] std::size_t effective_pairs(std::size_t logic_pairs) const {
+        return static_cast<std::size_t>(
+            static_cast<double>(logic_pairs) / utilisation + 0.5);
+    }
+};
+
+/// Map a netlist to effective array pairs.
+std::size_t map_netlist_pairs(const rtl::Netlist& netlist, const MappingModel& model);
+
+}  // namespace fxg::sog

@@ -1,0 +1,163 @@
+#include "sog/interconnect_test.hpp"
+
+#include <stdexcept>
+
+namespace fxg::sog {
+
+namespace {
+
+using digital::BoundaryScan;
+using digital::TapInstruction;
+
+/// Loads a 4-bit instruction into one TAP (reset-safe sequence).
+void load_instruction(BoundaryScan& tap, TapInstruction instruction) {
+    tap.reset();
+    tap.clock(false, false);  // run-test/idle
+    tap.clock(true, false);   // select-dr
+    tap.clock(true, false);   // select-ir
+    tap.clock(false, false);  // -> capture-ir
+    tap.clock(false, false);  // capture executes, -> shift-ir
+    const auto bits = static_cast<std::uint8_t>(instruction);
+    for (int i = 0; i < 3; ++i) tap.clock(false, (bits >> i) & 1u);
+    tap.clock(true, (bits >> 3) & 1u);  // last bit, -> exit1-ir
+    tap.clock(true, false);             // update-ir
+    tap.clock(false, false);            // idle
+}
+
+/// Shifts `drive` into the boundary register and applies Update-DR;
+/// returns the bits captured from the pins at Capture-DR (i.e. the
+/// previous pin state — callers that only want to drive ignore it).
+std::vector<bool> scan_dr(BoundaryScan& tap, const std::vector<bool>& drive) {
+    if (drive.size() != tap.boundary_cells()) {
+        throw std::invalid_argument("scan_dr: drive width != boundary cells");
+    }
+    tap.clock(true, false);   // sel-dr
+    tap.clock(false, false);  // -> capture-dr
+    tap.clock(false, false);  // capture executes, -> shift-dr
+    std::vector<bool> captured;
+    captured.reserve(drive.size());
+    for (std::size_t i = 0; i < drive.size(); ++i) {
+        const bool last = i + 1 == drive.size();
+        captured.push_back(tap.clock(last, drive[i]));  // exit1 on the last bit
+    }
+    tap.clock(true, false);   // update-dr
+    tap.clock(false, false);  // idle
+    return captured;
+}
+
+}  // namespace
+
+InterconnectTestResult run_interconnect_test(Mcm& mcm,
+                                             const std::vector<InterconnectNet>& nets,
+                                             const InterconnectFault& fault) {
+    if (nets.empty()) throw std::invalid_argument("run_interconnect_test: no nets");
+    for (const InterconnectNet& n : nets) {
+        if (n.from_die >= mcm.chain_length() || n.to_die >= mcm.chain_length()) {
+            throw std::out_of_range("run_interconnect_test: die index");
+        }
+    }
+    // Every TAP runs EXTEST: boundary cells drive the substrate and
+    // capture the pins.
+    for (std::size_t d = 0; d < mcm.chain_length(); ++d) {
+        load_instruction(mcm.tap(d), TapInstruction::Extest);
+    }
+
+    // Patterns over the nets: all-0, all-1, walking-1, walking-0.
+    std::vector<std::vector<bool>> patterns;
+    patterns.emplace_back(nets.size(), false);
+    patterns.emplace_back(nets.size(), true);
+    for (std::size_t w = 0; w < nets.size(); ++w) {
+        std::vector<bool> p(nets.size(), false);
+        p[w] = true;
+        patterns.push_back(p);
+        std::vector<bool> q(nets.size(), true);
+        q[w] = false;
+        patterns.push_back(q);
+    }
+
+    InterconnectTestResult result;
+    for (const auto& pattern : patterns) {
+        ++result.patterns_applied;
+        // 1. Load the drive values into every die's update latch.
+        for (std::size_t d = 0; d < mcm.chain_length(); ++d) {
+            std::vector<bool> drive(mcm.tap(d).boundary_cells(), false);
+            for (std::size_t n = 0; n < nets.size(); ++n) {
+                if (nets[n].from_die == d) drive[nets[n].from_cell] = pattern[n];
+            }
+            scan_dr(mcm.tap(d), drive);
+        }
+        // 2. The substrate propagates driver -> receiver pin, with the
+        //    injected fault applied to its net.
+        for (std::size_t n = 0; n < nets.size(); ++n) {
+            bool level = mcm.tap(nets[n].from_die).driven(nets[n].from_cell);
+            if (fault.kind != InterconnectFault::Kind::None && fault.net == n) {
+                switch (fault.kind) {
+                    case InterconnectFault::Kind::StuckAt0: level = false; break;
+                    case InterconnectFault::Kind::StuckAt1: level = true; break;
+                    case InterconnectFault::Kind::Open:
+                        level = fault.open_reads_as;
+                        break;
+                    case InterconnectFault::Kind::None: break;
+                }
+            }
+            mcm.tap(nets[n].to_die).set_pin(nets[n].to_cell, level);
+        }
+        // 3. Capture the receiver pins and compare with the expectation.
+        //    (Re-driving the same pattern keeps the update latches put.)
+        for (std::size_t d = 0; d < mcm.chain_length(); ++d) {
+            std::vector<bool> drive(mcm.tap(d).boundary_cells(), false);
+            for (std::size_t n = 0; n < nets.size(); ++n) {
+                if (nets[n].from_die == d) drive[nets[n].from_cell] = pattern[n];
+            }
+            const std::vector<bool> captured = scan_dr(mcm.tap(d), drive);
+            for (std::size_t n = 0; n < nets.size(); ++n) {
+                if (nets[n].to_die != d) continue;
+                if (captured[nets[n].to_cell] != pattern[n]) {
+                    ++result.mismatches;
+                    if (result.failing_nets.empty() ||
+                        result.failing_nets.back() != nets[n].name) {
+                        result.failing_nets.push_back(nets[n].name);
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<InterconnectNet> compass_interconnect() {
+    // Die 0 = SoG, die 1 = sensor x, die 2 = sensor y (chain order of
+    // Mcm::compass_reference()).
+    return {
+        {"excitation drive -> sensor x", 0, 0, 1, 0},
+        {"pickup return <- sensor x", 1, 1, 0, 1},
+        {"excitation drive -> sensor y", 0, 2, 2, 0},
+        {"pickup return <- sensor y", 2, 1, 0, 3},
+    };
+}
+
+std::pair<int, int> interconnect_fault_coverage(Mcm& mcm,
+                                                const std::vector<InterconnectNet>& nets) {
+    int faults = 0;
+    int detected = 0;
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+        for (const auto kind : {InterconnectFault::Kind::StuckAt0,
+                                InterconnectFault::Kind::StuckAt1,
+                                InterconnectFault::Kind::Open}) {
+            for (const bool open_level : {false, true}) {
+                if (kind != InterconnectFault::Kind::Open && open_level) continue;
+                InterconnectFault fault;
+                fault.kind = kind;
+                fault.net = n;
+                fault.open_reads_as = open_level;
+                ++faults;
+                if (run_interconnect_test(mcm, nets, fault).fault_detected()) {
+                    ++detected;
+                }
+            }
+        }
+    }
+    return {faults, detected};
+}
+
+}  // namespace fxg::sog

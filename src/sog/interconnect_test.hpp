@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file interconnect_test.hpp
+/// MCM interconnect testing through the boundary-scan chain — the
+/// reason the paper's module carries test structures at all ([Oli96],
+/// "Test Structures on MCM Active Substrate: Is it Worthwhile?", by the
+/// same group). Models the die-to-die substrate nets between boundary
+/// cells, injects the classic interconnect faults (stuck-at-0/1, open)
+/// and runs an EXTEST-style walking-pattern test through the TAP chain,
+/// reporting which faults the scan test detects.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sog/mcm.hpp"
+
+namespace fxg::sog {
+
+/// One substrate net: driven by a boundary cell of one die, sampled by
+/// a boundary cell of another.
+struct InterconnectNet {
+    std::string name;
+    std::size_t from_die = 0;   ///< chain index of the driving TAP
+    std::size_t from_cell = 0;  ///< boundary cell driving the net
+    std::size_t to_die = 0;     ///< chain index of the sampling TAP
+    std::size_t to_cell = 0;    ///< boundary cell sampling the net
+};
+
+/// Interconnect fault model.
+struct InterconnectFault {
+    enum class Kind {
+        None,
+        StuckAt0,
+        StuckAt1,
+        Open,  ///< receiver floats; reads a constant leakage level
+    };
+    Kind kind = Kind::None;
+    std::size_t net = 0;  ///< index into the net list
+    /// Level an open input floats to (process-dependent; both values
+    /// are exercised by the coverage experiment).
+    bool open_reads_as = false;
+};
+
+/// Result of one EXTEST campaign.
+struct InterconnectTestResult {
+    int patterns_applied = 0;
+    int mismatches = 0;            ///< sampled-vs-driven disagreements
+    std::vector<std::string> failing_nets;
+
+    [[nodiscard]] bool fault_detected() const noexcept { return mismatches > 0; }
+};
+
+/// Drives walking-1 and walking-0 patterns (plus all-0/all-1) across
+/// the nets via EXTEST through the TAP chain of `mcm`, with `fault`
+/// injected on the substrate, and compares what the receiving dies
+/// capture against what was driven.
+InterconnectTestResult run_interconnect_test(Mcm& mcm,
+                                             const std::vector<InterconnectNet>& nets,
+                                             const InterconnectFault& fault = {});
+
+/// The compass MCM's substrate nets: the SoG die's excitation drive and
+/// detector input to/from each sensor die (4 nets, matching the chain
+/// built by Mcm::compass_reference()).
+std::vector<InterconnectNet> compass_interconnect();
+
+/// Fault-coverage sweep: injects every stuck/open fault on every net
+/// and counts how many the scan test detects. Returns {faults, detected}.
+std::pair<int, int> interconnect_fault_coverage(Mcm& mcm,
+                                                const std::vector<InterconnectNet>& nets);
+
+}  // namespace fxg::sog

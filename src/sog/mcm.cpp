@@ -1,0 +1,66 @@
+#include "sog/mcm.hpp"
+
+namespace fxg::sog {
+
+void Mcm::add_die(McmDie die, std::size_t scan_cells) {
+    if (die.has_boundary_scan) {
+        taps_.emplace_back(scan_cells,
+                           0x1A57'0F01u + static_cast<std::uint32_t>(taps_.size()) * 2u);
+    }
+    dies_.push_back(std::move(die));
+}
+
+void Mcm::add_substrate_component(SubstrateComponent component) {
+    substrate_.push_back(std::move(component));
+}
+
+bool Mcm::validate(std::vector<std::string>* violations) const {
+    bool ok = true;
+    auto report = [&](const std::string& msg) {
+        ok = false;
+        if (violations) violations->push_back(msg);
+    };
+    if (dies_.empty()) report("MCM carries no dies");
+    for (const McmDie& d : dies_) {
+        if (!(d.area_mm2 > 0.0)) report("die '" + d.name + "' has no area");
+    }
+    for (const SubstrateComponent& c : substrate_) {
+        if (!(c.value > 0.0)) {
+            report("substrate component '" + c.name + "' has non-positive value");
+        }
+    }
+    return ok;
+}
+
+bool Mcm::clock_chain(bool tms, bool tdi) {
+    // All TAPs clock on the same TCK edge: each receives its upstream
+    // neighbour's TDO from the PREVIOUS cycle (TDO changes on the
+    // falling edge, TDI samples on the rising one).
+    if (tdo_latch_.size() != taps_.size()) tdo_latch_.assign(taps_.size(), false);
+    std::vector<bool> next(taps_.size(), false);
+    for (std::size_t i = 0; i < taps_.size(); ++i) {
+        const bool in = i == 0 ? tdi : tdo_latch_[i - 1];
+        next[i] = taps_[i].clock(tms, in);
+    }
+    tdo_latch_ = std::move(next);
+    return tdo_latch_.empty() ? tdi : tdo_latch_.back();
+}
+
+void Mcm::reset_chain() {
+    for (digital::BoundaryScan& tap : taps_) tap.reset();
+    tdo_latch_.assign(taps_.size(), false);
+}
+
+Mcm Mcm::compass_reference() {
+    Mcm mcm("integrated-compass");
+    mcm.add_die({"fishbone SoG (analogue + digital)", 64.0, true}, 16);
+    mcm.add_die({"fluxgate sensor x", 6.0, true}, 4);
+    mcm.add_die({"fluxgate sensor y", 6.0, true}, 4);
+    mcm.add_substrate_component(
+        {"oscillator external resistor", SubstrateComponent::Kind::Resistor, 12.5e6});
+    mcm.add_substrate_component(
+        {"supply decoupling capacitor", SubstrateComponent::Kind::Capacitor, 470e-12});
+    return mcm;
+}
+
+}  // namespace fxg::sog

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file mcm.hpp
+/// Multi-chip-module model: the SoG die plus the two micro-machined
+/// sensor dies on a silicon substrate that also carries the large
+/// passives ("very large capacitors (> 400 pF) and resistors should be
+/// realised on the substrate of the MCM", paper section 2 — e.g. the
+/// oscillator's external 12.5 Mohm resistor) and boundary-scan test
+/// structures [Oli96].
+
+#include <string>
+#include <vector>
+
+#include "digital/boundary_scan.hpp"
+
+namespace fxg::sog {
+
+/// A die mounted on the MCM substrate.
+struct McmDie {
+    std::string name;
+    double area_mm2 = 0.0;
+    bool has_boundary_scan = false;
+};
+
+/// A passive component realised on the substrate.
+struct SubstrateComponent {
+    enum class Kind { Resistor, Capacitor };
+    std::string name;
+    Kind kind = Kind::Resistor;
+    double value = 0.0;  ///< ohms or farads
+};
+
+/// Largest capacitor realisable on the SoG array itself (metal2 over
+/// metal1); anything bigger must go to the substrate.
+inline constexpr double kMaxOnArrayCapacitanceF = 400e-12;
+
+/// The MCM: dies, substrate passives and a daisy-chained boundary-scan
+/// path through every scan-equipped die.
+class Mcm {
+public:
+    explicit Mcm(std::string name = "compass-mcm") : name_(std::move(name)) {}
+
+    /// Mounts a die; dies with boundary scan join the TAP chain in
+    /// mounting order.
+    void add_die(McmDie die, std::size_t scan_cells = 8);
+
+    /// Places a passive on the substrate.
+    void add_substrate_component(SubstrateComponent component);
+
+    /// Checks the paper's design rules; returns true when clean and
+    /// otherwise appends human-readable violations to `violations`.
+    /// Rules: at least one die; every capacitor above the on-array limit
+    /// must be a substrate component (trivially true for components
+    /// added here) and substrate resistors must be positive.
+    [[nodiscard]] bool validate(std::vector<std::string>* violations = nullptr) const;
+
+    /// Clocks the whole boundary-scan chain one TCK with shared TMS;
+    /// TDI enters the first die, the return value is the last die's TDO.
+    bool clock_chain(bool tms, bool tdi);
+
+    /// Resets every TAP in the chain.
+    void reset_chain();
+
+    [[nodiscard]] const std::vector<McmDie>& dies() const noexcept { return dies_; }
+    [[nodiscard]] const std::vector<SubstrateComponent>& substrate() const noexcept {
+        return substrate_;
+    }
+    [[nodiscard]] std::size_t chain_length() const noexcept { return taps_.size(); }
+    [[nodiscard]] digital::BoundaryScan& tap(std::size_t i) { return taps_.at(i); }
+
+    /// Builds the paper's compass MCM: SoG die, two fluxgate dies, the
+    /// 12.5 Mohm oscillator resistor and a 470 pF supply decoupler.
+    static Mcm compass_reference();
+
+private:
+    std::string name_;
+    std::vector<McmDie> dies_;
+    std::vector<SubstrateComponent> substrate_;
+    std::vector<digital::BoundaryScan> taps_;
+    std::vector<bool> tdo_latch_;  ///< per-TAP TDO from the previous TCK
+};
+
+}  // namespace fxg::sog

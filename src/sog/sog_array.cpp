@@ -1,0 +1,88 @@
+#include "sog/sog_array.hpp"
+
+#include <stdexcept>
+
+namespace fxg::sog {
+
+FishboneSogArray::FishboneSogArray(std::size_t pairs_per_quarter, int digital_quarters)
+    : pairs_per_quarter_(pairs_per_quarter) {
+    if (pairs_per_quarter == 0) {
+        throw std::invalid_argument("FishboneSogArray: empty quarters");
+    }
+    if (digital_quarters < 0 || digital_quarters > 4) {
+        throw std::invalid_argument("FishboneSogArray: digital_quarters 0..4");
+    }
+    for (int q = 0; q < 4; ++q) {
+        quarter_domain_.push_back(q < digital_quarters ? Domain::Digital
+                                                       : Domain::Analogue);
+        quarter_used_.push_back(0);
+    }
+}
+
+void FishboneSogArray::place(Macro macro) {
+    for (std::size_t q = 0; q < quarter_domain_.size(); ++q) {
+        if (quarter_domain_[q] != macro.domain) continue;
+        if (quarter_used_[q] + macro.pairs <= pairs_per_quarter_) {
+            quarter_used_[q] += macro.pairs;
+            macro.quarter = static_cast<int>(q);
+            macros_.push_back(std::move(macro));
+            return;
+        }
+    }
+    throw std::runtime_error("FishboneSogArray: no room for macro '" + macro.name +
+                             "' (" + std::to_string(macro.pairs) + " pairs)");
+}
+
+std::size_t FishboneSogArray::total_pairs() const noexcept {
+    return pairs_per_quarter_ * quarter_domain_.size();
+}
+
+std::vector<QuarterReport> FishboneSogArray::quarter_reports() const {
+    std::vector<QuarterReport> reports;
+    for (std::size_t q = 0; q < quarter_domain_.size(); ++q) {
+        QuarterReport r;
+        r.index = static_cast<int>(q);
+        r.domain = quarter_domain_[q];
+        r.capacity_pairs = pairs_per_quarter_;
+        r.used_pairs = quarter_used_[q];
+        reports.push_back(r);
+    }
+    return reports;
+}
+
+std::size_t FishboneSogArray::used_pairs(Domain domain) const noexcept {
+    std::size_t total = 0;
+    for (std::size_t q = 0; q < quarter_domain_.size(); ++q) {
+        if (quarter_domain_[q] == domain) total += quarter_used_[q];
+    }
+    return total;
+}
+
+int FishboneSogArray::quarters_filled(Domain domain, double threshold) const {
+    int filled = 0;
+    for (std::size_t q = 0; q < quarter_domain_.size(); ++q) {
+        if (quarter_domain_[q] != domain) continue;
+        const double occ = static_cast<double>(quarter_used_[q]) /
+                           static_cast<double>(pairs_per_quarter_);
+        if (occ >= threshold) ++filled;
+    }
+    return filled;
+}
+
+double FishboneSogArray::analogue_occupancy() const {
+    std::size_t cap = 0;
+    std::size_t used = 0;
+    for (std::size_t q = 0; q < quarter_domain_.size(); ++q) {
+        if (quarter_domain_[q] != Domain::Analogue) continue;
+        cap += pairs_per_quarter_;
+        used += quarter_used_[q];
+    }
+    return cap == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(cap);
+}
+
+double FishboneSogArray::dynamic_power_w(double toggles_per_second, double supply_v,
+                                         double c_node_f) {
+    return toggles_per_second * c_node_f * supply_v * supply_v;
+}
+
+}  // namespace fxg::sog

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file sog_array.hpp
+/// Model of the fishbone Sea-of-Gates array (paper Figure 2, [Fre94]):
+/// four quarters of ~50k pmos/nmos pairs each, each quarter with its own
+/// power supply — which is how the design separates the digital supply
+/// (3 quarters) from the analogue one (1 quarter, <15% used). On-array
+/// capacitors are built by stacking metal2 over metal1; "very large
+/// capacitors (> 400 pF) and resistors should be realised on the
+/// substrate of the MCM", a rule the MCM model enforces.
+
+#include <string>
+#include <vector>
+
+namespace fxg::sog {
+
+/// Supply domain of a quarter or macro.
+enum class Domain {
+    Digital,
+    Analogue,
+};
+
+/// A placed macro (one functional block).
+struct Macro {
+    std::string name;
+    Domain domain = Domain::Digital;
+    std::size_t pairs = 0;   ///< effective transistor pairs (post mapping)
+    int quarter = -1;        ///< assigned quarter, -1 until placed
+};
+
+/// Per-quarter occupancy report.
+struct QuarterReport {
+    int index = 0;
+    Domain domain = Domain::Digital;
+    std::size_t capacity_pairs = 0;
+    std::size_t used_pairs = 0;
+    [[nodiscard]] double occupancy() const noexcept {
+        return capacity_pairs == 0
+                   ? 0.0
+                   : static_cast<double>(used_pairs) / static_cast<double>(capacity_pairs);
+    }
+};
+
+/// The four-quarter array with greedy first-fit placement inside the
+/// matching supply domain.
+class FishboneSogArray {
+public:
+    /// \param pairs_per_quarter the paper's "circa 50k" default
+    /// \param digital_quarters how many quarters run on the digital
+    ///        supply (the paper uses 3 digital + 1 analogue).
+    explicit FishboneSogArray(std::size_t pairs_per_quarter = 50'000,
+                              int digital_quarters = 3);
+
+    /// Places a macro; throws std::runtime_error if no quarter of the
+    /// right domain has room.
+    void place(Macro macro);
+
+    /// Total pairs on the array (the paper's "200k transistors").
+    [[nodiscard]] std::size_t total_pairs() const noexcept;
+
+    [[nodiscard]] std::vector<QuarterReport> quarter_reports() const;
+
+    [[nodiscard]] const std::vector<Macro>& macros() const noexcept { return macros_; }
+
+    /// Used pairs in a domain.
+    [[nodiscard]] std::size_t used_pairs(Domain domain) const noexcept;
+
+    /// Number of quarters whose occupancy exceeds `threshold` (counts
+    /// "full" quarters for the paper's 3-quarter claim).
+    [[nodiscard]] int quarters_filled(Domain domain, double threshold = 0.5) const;
+
+    /// Occupancy of the analogue quarter (paper: < 15%).
+    [[nodiscard]] double analogue_occupancy() const;
+
+    /// Estimated dynamic power of the placed digital logic [W]:
+    /// P = toggles_per_second * c_node * v^2 (lumped node capacitance
+    /// per toggling site).
+    [[nodiscard]] static double dynamic_power_w(double toggles_per_second,
+                                                double supply_v = 5.0,
+                                                double c_node_f = 150e-15);
+
+private:
+    std::size_t pairs_per_quarter_;
+    std::vector<Domain> quarter_domain_;
+    std::vector<std::size_t> quarter_used_;
+    std::vector<Macro> macros_;
+};
+
+}  // namespace fxg::sog

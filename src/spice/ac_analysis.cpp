@@ -1,0 +1,150 @@
+#include "spice/ac_analysis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "spice/matrix.hpp"
+
+namespace fxg::spice {
+
+std::vector<std::complex<double>> lu_solve_complex(ComplexMatrix a,
+                                                   std::vector<std::complex<double>> b) {
+    const std::size_t n = a.rows();
+    if (b.size() != n) throw std::invalid_argument("lu_solve_complex: shape mismatch");
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::abs(a(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::abs(a(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) throw SingularMatrixError(k);
+        if (pivot != k) {
+            for (std::size_t c = k; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+            std::swap(b[k], b[pivot]);
+        }
+        const std::complex<double> inv_pivot = 1.0 / a(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const std::complex<double> factor = a(r, k) * inv_pivot;
+            if (factor == 0.0) continue;
+            a(r, k) = 0.0;
+            for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= factor * a(k, c);
+            b[r] -= factor * b[k];
+        }
+    }
+    std::vector<std::complex<double>> x(n, {0.0, 0.0});
+    for (std::size_t i = n; i-- > 0;) {
+        std::complex<double> sum = b[i];
+        for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+        x[i] = sum / a(i, i);
+    }
+    return x;
+}
+
+void AcStamp::admittance(int na, int nb, std::complex<double> y) {
+    if (na != kGround) {
+        a_(static_cast<std::size_t>(na), static_cast<std::size_t>(na)) += y;
+        if (nb != kGround) {
+            a_(static_cast<std::size_t>(na), static_cast<std::size_t>(nb)) -= y;
+        }
+    }
+    if (nb != kGround) {
+        a_(static_cast<std::size_t>(nb), static_cast<std::size_t>(nb)) += y;
+        if (na != kGround) {
+            a_(static_cast<std::size_t>(nb), static_cast<std::size_t>(na)) -= y;
+        }
+    }
+}
+
+void AcStamp::rhs_current(int n, std::complex<double> i) {
+    if (n != kGround) z_[static_cast<std::size_t>(n)] += i;
+}
+
+void AcStamp::entry(int row, int col, std::complex<double> v) {
+    if (row == kGround || col == kGround) return;
+    a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+}
+
+void AcStamp::rhs(int row, std::complex<double> v) {
+    if (row == kGround) return;
+    z_[static_cast<std::size_t>(row)] += v;
+}
+
+// Default AC stamp: replay the DC linearisation at the operating point
+// into the real parts and discard the RHS (independent DC excitations
+// must not appear in the small-signal system).
+void Device::stamp_ac(AcStamp& s, const AcContext& ctx) {
+    const std::size_t n = ctx.op->size();
+    DenseMatrix a(n, n);
+    std::vector<double> z(n, 0.0);
+    Stamp real_stamp(a, z);
+    DeviceContext dc;
+    dc.dc = true;
+    dc.x = ctx.op;
+    stamp(real_stamp, dc);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            if (a(r, c) != 0.0) {
+                s.entry(static_cast<int>(r), static_cast<int>(c), a(r, c));
+            }
+        }
+    }
+}
+
+AcResult run_ac(Circuit& circuit, const AcSpec& spec) {
+    if (!(spec.f_start_hz > 0.0) || !(spec.f_stop_hz >= spec.f_start_hz) ||
+        spec.points_per_decade < 1) {
+        throw std::invalid_argument("run_ac: bad sweep specification");
+    }
+    circuit.prepare();
+    const OperatingPointResult op = dc_operating_point(circuit, spec.newton);
+    const auto n = static_cast<std::size_t>(circuit.unknown_count());
+    const auto nodes = static_cast<std::size_t>(circuit.node_count());
+
+    AcResult result;
+    result.traces_.assign(n, {});
+    AcContext ctx;
+    ctx.op = &op.x;
+
+    const double decades = std::log10(spec.f_stop_hz / spec.f_start_hz);
+    const int total = std::max(1, static_cast<int>(
+                                      std::ceil(decades * spec.points_per_decade))) +
+                      1;
+    for (int k = 0; k < total; ++k) {
+        const double f =
+            spec.f_start_hz *
+            std::pow(10.0, decades * static_cast<double>(k) / (total - 1 == 0 ? 1 : total - 1));
+        ctx.omega = 2.0 * std::numbers::pi * f;
+        ComplexMatrix a(n, n);
+        std::vector<std::complex<double>> z(n, {0.0, 0.0});
+        for (std::size_t i = 0; i < nodes; ++i) a(i, i) += spec.newton.gmin;
+        AcStamp stamp(a, z);
+        for (auto& dev : circuit.devices()) dev->stamp_ac(stamp, ctx);
+        const auto x = lu_solve_complex(std::move(a), std::move(z));
+        result.freq_.push_back(f);
+        for (std::size_t i = 0; i < n; ++i) result.traces_[i].push_back(x[i]);
+    }
+    return result;
+}
+
+std::vector<std::complex<double>> AcResult::node_voltage(const Circuit& circuit,
+                                                         const std::string& node) const {
+    const int idx = circuit.find_node(node);
+    if (idx == kGround) {
+        return std::vector<std::complex<double>>(freq_.size(), {0.0, 0.0});
+    }
+    return traces_.at(static_cast<std::size_t>(idx));
+}
+
+double AcResult::magnitude_db(int unknown, std::size_t point) const {
+    return 20.0 * std::log10(std::abs(trace(unknown).at(point)));
+}
+
+double AcResult::phase_deg(int unknown, std::size_t point) const {
+    return std::arg(trace(unknown).at(point)) * 180.0 / std::numbers::pi;
+}
+
+}  // namespace fxg::spice

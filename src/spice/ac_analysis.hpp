@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file ac_analysis.hpp
+/// Small-signal AC analysis: linearises the circuit around its DC
+/// operating point and solves the complex MNA system over a log
+/// frequency sweep — the ELDO/SPICE ".ac" the paper's analogue
+/// designers would have used on the oscillator and V-I converter.
+///
+/// Sources contribute their *AC magnitude* (set via
+/// VoltageSource/CurrentSource::set_ac_magnitude, default 0); every
+/// nonlinear device is represented by its conductances at the operating
+/// point; capacitors and inductors become jwC / jwL.
+
+#include <complex>
+#include <vector>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+
+namespace fxg::spice {
+
+/// Complex dense matrix for the AC system.
+class ComplexMatrix {
+public:
+    ComplexMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+        data_.assign(rows * cols, {0.0, 0.0});
+    }
+
+    void clear() { data_.assign(data_.size(), {0.0, 0.0}); }
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+    std::complex<double>& operator()(std::size_t r, std::size_t c) {
+        return data_[r * cols_ + c];
+    }
+    std::complex<double> operator()(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+
+private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<std::complex<double>> data_;
+};
+
+/// Solves the complex system by LU with partial pivoting (consumes the
+/// inputs). Throws SingularMatrixError.
+std::vector<std::complex<double>> lu_solve_complex(ComplexMatrix a,
+                                                   std::vector<std::complex<double>> b);
+
+/// Write-view of the complex MNA system, mirroring spice::Stamp.
+class AcStamp {
+public:
+    AcStamp(ComplexMatrix& a, std::vector<std::complex<double>>& z) : a_(a), z_(z) {}
+
+    void admittance(int na, int nb, std::complex<double> y);
+    void rhs_current(int n, std::complex<double> i);
+    void entry(int row, int col, std::complex<double> v);
+    void rhs(int row, std::complex<double> v);
+
+private:
+    ComplexMatrix& a_;
+    std::vector<std::complex<double>>& z_;
+};
+
+/// Context for Device::stamp_ac.
+struct AcContext {
+    double omega = 0.0;                       ///< angular frequency [rad/s]
+    const std::vector<double>* op = nullptr;  ///< DC operating point
+};
+
+/// Sweep specification: logarithmic from f_start to f_stop.
+struct AcSpec {
+    double f_start_hz = 1.0;
+    double f_stop_hz = 1e6;
+    int points_per_decade = 10;
+    NewtonOptions newton;  ///< used for the operating-point solve
+};
+
+/// Result: complex node voltages / branch currents per frequency.
+class AcResult {
+public:
+    [[nodiscard]] const std::vector<double>& frequency_hz() const noexcept {
+        return freq_;
+    }
+    [[nodiscard]] std::size_t points() const noexcept { return freq_.size(); }
+
+    /// Complex trace of one unknown across the sweep.
+    [[nodiscard]] const std::vector<std::complex<double>>& trace(int unknown) const {
+        return traces_.at(static_cast<std::size_t>(unknown));
+    }
+
+    /// Node-voltage trace by name.
+    [[nodiscard]] std::vector<std::complex<double>> node_voltage(
+        const Circuit& circuit, const std::string& node) const;
+
+    /// Magnitude in dB of one unknown at one point.
+    [[nodiscard]] double magnitude_db(int unknown, std::size_t point) const;
+
+    /// Phase in degrees of one unknown at one point.
+    [[nodiscard]] double phase_deg(int unknown, std::size_t point) const;
+
+private:
+    friend AcResult run_ac(Circuit&, const AcSpec&);
+    std::vector<double> freq_;
+    std::vector<std::vector<std::complex<double>>> traces_;
+};
+
+/// Runs the AC sweep (computes the operating point internally).
+AcResult run_ac(Circuit& circuit, const AcSpec& spec);
+
+}  // namespace fxg::spice

@@ -1,0 +1,185 @@
+#include "spice/analysis.hpp"
+
+#include <cmath>
+
+#include "spice/matrix.hpp"
+
+namespace fxg::spice {
+
+namespace {
+
+/// One Newton solve of F(x) = 0 for the given context template.
+/// Returns true on convergence; x holds the final iterate either way.
+bool newton_solve(Circuit& circuit, DeviceContext ctx, std::vector<double>& x,
+                  const NewtonOptions& opt, int* iterations_out = nullptr) {
+    const auto n = static_cast<std::size_t>(circuit.unknown_count());
+    const auto nodes = static_cast<std::size_t>(circuit.node_count());
+    DenseMatrix a(n, n);
+    std::vector<double> z(n, 0.0);
+    for (int iter = 0; iter < opt.max_iterations; ++iter) {
+        a.clear();
+        z.assign(n, 0.0);
+        // Conditioning: gmin from every node to ground.
+        for (std::size_t i = 0; i < nodes; ++i) a(i, i) += opt.gmin;
+        Stamp stamp(a, z);
+        ctx.x = &x;
+        for (auto& dev : circuit.devices()) dev->stamp(stamp, ctx);
+        std::vector<double> x_new = lu_solve(a, z);
+        // Damping: scale the update so no node voltage jumps more than
+        // the step limit (keeps high-gain stages from oscillating).
+        if (opt.v_step_limit > 0.0) {
+            double worst = 0.0;
+            for (std::size_t i = 0; i < nodes; ++i) {
+                worst = std::max(worst, std::fabs(x_new[i] - x[i]));
+            }
+            if (worst > opt.v_step_limit) {
+                const double scale = opt.v_step_limit / worst;
+                for (std::size_t i = 0; i < n; ++i) {
+                    x_new[i] = x[i] + scale * (x_new[i] - x[i]);
+                }
+            }
+        }
+        bool converged = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double abstol = i < nodes ? opt.v_abstol : opt.i_abstol;
+            const double tol =
+                abstol + opt.reltol * std::max(std::fabs(x_new[i]), std::fabs(x[i]));
+            if (std::fabs(x_new[i] - x[i]) > tol) {
+                converged = false;
+                break;
+            }
+        }
+        x = std::move(x_new);
+        if (converged) {
+            if (iterations_out) *iterations_out = iter + 1;
+            return true;
+        }
+    }
+    if (iterations_out) *iterations_out = opt.max_iterations;
+    return false;
+}
+
+}  // namespace
+
+OperatingPointResult dc_operating_point(Circuit& circuit, const NewtonOptions& options,
+                                        const std::vector<double>* initial_guess) {
+    circuit.prepare();
+    OperatingPointResult result;
+    const auto n = static_cast<std::size_t>(circuit.unknown_count());
+    if (initial_guess && initial_guess->size() == n) {
+        result.x = *initial_guess;
+    } else {
+        result.x.assign(n, 0.0);
+    }
+
+    DeviceContext ctx;
+    ctx.dc = true;
+    if (newton_solve(circuit, ctx, result.x, options, &result.iterations)) {
+        return result;
+    }
+
+    // Source stepping: ramp the independent sources from 10% to 100%,
+    // reusing each converged point as the next starting guess.
+    result.used_source_stepping = true;
+    std::vector<double> x(static_cast<std::size_t>(circuit.unknown_count()), 0.0);
+    for (int step = 1; step <= 10; ++step) {
+        ctx.source_scale = static_cast<double>(step) / 10.0;
+        NewtonOptions relaxed = options;
+        relaxed.max_iterations = options.max_iterations * 2;
+        if (!newton_solve(circuit, ctx, x, relaxed, &result.iterations)) {
+            throw ConvergenceError("dc_operating_point: source stepping failed at " +
+                                   std::to_string(ctx.source_scale));
+        }
+    }
+    result.x = std::move(x);
+    return result;
+}
+
+namespace {
+
+/// Advances the circuit state from t0 to t1, subdividing on failure.
+void transient_step(Circuit& circuit, const TransientSpec& spec,
+                    std::vector<double>& x, double t0, double t1, int depth) {
+    DeviceContext ctx;
+    ctx.dc = false;
+    // The very first step runs backward Euler even under trapezoidal:
+    // the companion history seeded from the initial state is not
+    // consistent with dX/dt, and trapezoidal would ring that error for
+    // a time constant; BE damps it in one step (standard SPICE practice).
+    ctx.method = t0 == 0.0 ? Method::BackwardEuler : spec.method;
+    ctx.time = t1;
+    ctx.dt = t1 - t0;
+    std::vector<double> trial = x;
+    if (newton_solve(circuit, ctx, trial, spec.newton)) {
+        x = std::move(trial);
+        ctx.x = &x;
+        for (auto& dev : circuit.devices()) dev->commit(ctx);
+        return;
+    }
+    if (depth >= spec.max_subdivisions) {
+        throw ConvergenceError("run_transient: no convergence at t = " +
+                               std::to_string(t1) + " s even after " +
+                               std::to_string(depth) + " subdivisions");
+    }
+    const double mid = 0.5 * (t0 + t1);
+    transient_step(circuit, spec, x, t0, mid, depth + 1);
+    transient_step(circuit, spec, x, mid, t1, depth + 1);
+}
+
+}  // namespace
+
+TransientResult run_transient(Circuit& circuit, const TransientSpec& spec) {
+    if (!(spec.tstop > 0.0) || !(spec.dt > 0.0)) {
+        throw std::invalid_argument("run_transient: tstop and dt must be > 0");
+    }
+    circuit.prepare();
+    circuit.reset_devices();
+    const auto n = static_cast<std::size_t>(circuit.unknown_count());
+
+    std::vector<double> x(n, 0.0);
+    if (spec.start_from_op) {
+        OperatingPointResult op = dc_operating_point(circuit, spec.newton);
+        x = std::move(op.x);
+        // Seed companion-model history with the operating point. (UIC
+        // runs keep the per-device initial conditions that
+        // reset_devices() restored instead.)
+        DeviceContext ctx;
+        ctx.dc = true;
+        ctx.x = &x;
+        for (auto& dev : circuit.devices()) dev->commit(ctx);
+    }
+
+    TransientResult result;
+    result.traces_.assign(n, {});
+    auto record = [&](double t) {
+        result.time_.push_back(t);
+        for (std::size_t i = 0; i < n; ++i) result.traces_[i].push_back(x[i]);
+    };
+    record(0.0);
+
+    const auto steps = static_cast<std::size_t>(std::ceil(spec.tstop / spec.dt - 1e-9));
+    for (std::size_t k = 0; k < steps; ++k) {
+        const double t0 = static_cast<double>(k) * spec.dt;
+        const double t1 = std::min(static_cast<double>(k + 1) * spec.dt, spec.tstop);
+        transient_step(circuit, spec, x, t0, t1, 0);
+        record(t1);
+    }
+    return result;
+}
+
+std::vector<double> TransientResult::node_voltage(const Circuit& circuit,
+                                                  const std::string& node) const {
+    const int idx = circuit.find_node(node);
+    if (idx == kGround) return std::vector<double>(time_.size(), 0.0);
+    return traces_.at(static_cast<std::size_t>(idx));
+}
+
+const std::vector<double>& TransientResult::branch_current(const Device& dev) const {
+    if (dev.branch_count() == 0) {
+        throw std::invalid_argument("branch_current: device '" + dev.name() +
+                                    "' has no branch unknown");
+    }
+    return traces_.at(static_cast<std::size_t>(dev.branch()));
+}
+
+}  // namespace fxg::spice

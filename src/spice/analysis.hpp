@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file analysis.hpp
+/// DC operating-point and transient analyses over a Circuit — the
+/// engine's equivalent of the paper's ELDO runs.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace fxg::spice {
+
+/// Thrown when Newton iteration fails to converge after all fallbacks.
+class ConvergenceError : public std::runtime_error {
+public:
+    explicit ConvergenceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Newton-iteration tuning.
+struct NewtonOptions {
+    int max_iterations = 100;
+    double reltol = 1e-4;      ///< relative tolerance on every unknown
+    double v_abstol = 1e-6;    ///< absolute tolerance for node voltages [V]
+    double i_abstol = 1e-9;    ///< absolute tolerance for branch currents [A]
+    double gmin = 1e-12;       ///< conductance to ground on every node
+    /// Damping: if any node voltage would move more than this in one
+    /// Newton step, the whole update is scaled down (0 disables).
+    /// Essential for high-gain stages like CMOS inverters mid-transition.
+    double v_step_limit = 2.0;
+};
+
+/// Result of a DC operating-point analysis.
+struct OperatingPointResult {
+    std::vector<double> x;     ///< converged unknown vector
+    int iterations = 0;        ///< Newton iterations of the final solve
+    bool used_source_stepping = false;
+
+    /// Voltage of a node by circuit index (kGround -> 0).
+    [[nodiscard]] double node_voltage(int node) const {
+        return node == kGround ? 0.0 : x.at(static_cast<std::size_t>(node));
+    }
+};
+
+/// Computes the DC operating point (capacitors open, inductors short).
+/// Falls back to source stepping if plain Newton fails. An optional
+/// initial guess (e.g. a neighbouring sweep point) accelerates and
+/// stabilises convergence.
+OperatingPointResult dc_operating_point(Circuit& circuit,
+                                        const NewtonOptions& options = {},
+                                        const std::vector<double>* initial_guess = nullptr);
+
+/// Transient analysis parameters.
+struct TransientSpec {
+    double tstop = 0.0;        ///< end time [s]
+    double dt = 0.0;           ///< output/base step [s]
+    Method method = Method::Trapezoidal;
+    NewtonOptions newton;
+    bool start_from_op = true; ///< false = UIC: start from all-zero state
+    int max_subdivisions = 12; ///< binary step-halving depth on Newton failure
+};
+
+/// Recorded transient traces: one row per base time step, one trace per
+/// MNA unknown (node voltages then branch currents).
+class TransientResult {
+public:
+    [[nodiscard]] const std::vector<double>& time() const noexcept { return time_; }
+    [[nodiscard]] std::size_t steps() const noexcept { return time_.size(); }
+
+    /// Trace of an arbitrary unknown index.
+    [[nodiscard]] const std::vector<double>& trace(int unknown) const {
+        return traces_.at(static_cast<std::size_t>(unknown));
+    }
+
+    /// Trace of a node voltage by name (all-zero trace for ground).
+    [[nodiscard]] std::vector<double> node_voltage(const Circuit& circuit,
+                                                   const std::string& node) const;
+
+    /// Trace of a device's branch current (device must own a branch).
+    [[nodiscard]] const std::vector<double>& branch_current(const Device& dev) const;
+
+    /// Value of one unknown at one step.
+    [[nodiscard]] double value(int unknown, std::size_t step) const {
+        return traces_.at(static_cast<std::size_t>(unknown)).at(step);
+    }
+
+private:
+    friend TransientResult run_transient(Circuit&, const TransientSpec&);
+    std::vector<double> time_;
+    std::vector<std::vector<double>> traces_;
+};
+
+/// Runs a fixed-base-step transient with Newton per step and automatic
+/// binary step subdivision where convergence fails (e.g. at fluxgate
+/// saturation corners).
+TransientResult run_transient(Circuit& circuit, const TransientSpec& spec);
+
+}  // namespace fxg::spice

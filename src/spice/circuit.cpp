@@ -1,0 +1,85 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace fxg::spice {
+
+void Stamp::admittance(int na, int nb, double g) {
+    if (na != kGround) {
+        a_(static_cast<std::size_t>(na), static_cast<std::size_t>(na)) += g;
+        if (nb != kGround) {
+            a_(static_cast<std::size_t>(na), static_cast<std::size_t>(nb)) -= g;
+        }
+    }
+    if (nb != kGround) {
+        a_(static_cast<std::size_t>(nb), static_cast<std::size_t>(nb)) += g;
+        if (na != kGround) {
+            a_(static_cast<std::size_t>(nb), static_cast<std::size_t>(na)) -= g;
+        }
+    }
+}
+
+void Stamp::rhs_current(int n, double i) {
+    if (n != kGround) z_[static_cast<std::size_t>(n)] += i;
+}
+
+void Stamp::entry(int row, int col, double v) {
+    if (row == kGround || col == kGround) return;
+    a_(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+}
+
+void Stamp::rhs(int row, double v) {
+    if (row == kGround) return;
+    z_[static_cast<std::size_t>(row)] += v;
+}
+
+int Circuit::node(const std::string& name) {
+    const std::string key = util::to_lower(util::trim(name));
+    if (key == "0" || key == "gnd" || key == "ground") return kGround;
+    for (std::size_t i = 0; i < node_names_.size(); ++i) {
+        if (node_names_[i] == key) return static_cast<int>(i);
+    }
+    node_names_.push_back(key);
+    prepared_ = false;
+    return static_cast<int>(node_names_.size() - 1);
+}
+
+int Circuit::find_node(const std::string& name) const {
+    const std::string key = util::to_lower(util::trim(name));
+    if (key == "0" || key == "gnd" || key == "ground") return kGround;
+    for (std::size_t i = 0; i < node_names_.size(); ++i) {
+        if (node_names_[i] == key) return static_cast<int>(i);
+    }
+    throw std::out_of_range("Circuit::find_node: unknown node '" + name + "'");
+}
+
+const std::string& Circuit::node_name(int index) const {
+    static const std::string ground = "0";
+    if (index == kGround) return ground;
+    return node_names_.at(static_cast<std::size_t>(index));
+}
+
+Device* Circuit::find_device(const std::string& name) {
+    for (auto& d : devices_) {
+        if (d->name() == name) return d.get();
+    }
+    return nullptr;
+}
+
+void Circuit::prepare() {
+    int next = node_count();
+    for (auto& d : devices_) {
+        d->set_branch_base(next);
+        next += d->branch_count();
+    }
+    unknown_count_ = next;
+    prepared_ = true;
+}
+
+void Circuit::reset_devices() {
+    for (auto& d : devices_) d->reset();
+}
+
+}  // namespace fxg::spice

@@ -1,0 +1,309 @@
+#include "spice/devices.hpp"
+
+#include "spice/ac_analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::spice {
+
+namespace {
+
+void require(bool cond, const char* what) {
+    if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, int a, int b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
+    require(ohms > 0.0, "Resistor: ohms must be > 0");
+}
+
+void Resistor::stamp(Stamp& s, const DeviceContext&) {
+    s.admittance(a_, b_, 1.0 / ohms_);
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, int a, int b, double farads, double v_initial)
+    : Device(std::move(name)), a_(a), b_(b), farads_(farads), v_init_(v_initial),
+      v_prev_(v_initial) {
+    require(farads > 0.0, "Capacitor: farads must be > 0");
+}
+
+void Capacitor::stamp(Stamp& s, const DeviceContext& ctx) {
+    if (ctx.dc) return;  // open circuit at DC
+    double geq;
+    double i0;  // history current, flowing a->b
+    if (ctx.method == Method::BackwardEuler) {
+        geq = farads_ / ctx.dt;
+        i0 = -geq * v_prev_;
+    } else {
+        geq = 2.0 * farads_ / ctx.dt;
+        i0 = -(geq * v_prev_ + i_prev_);
+    }
+    s.admittance(a_, b_, geq);
+    s.rhs_current(a_, -i0);
+    s.rhs_current(b_, i0);
+}
+
+void Capacitor::stamp_ac(AcStamp& s, const AcContext& ctx) {
+    s.admittance(a_, b_, {0.0, ctx.omega * farads_});
+}
+
+void Capacitor::commit(const DeviceContext& ctx) {
+    if (ctx.dc) {
+        v_prev_ = voltage(ctx, a_) - voltage(ctx, b_);
+        i_prev_ = 0.0;
+        return;
+    }
+    const double v = voltage(ctx, a_) - voltage(ctx, b_);
+    if (ctx.method == Method::BackwardEuler) {
+        i_prev_ = farads_ / ctx.dt * (v - v_prev_);
+    } else {
+        const double geq = 2.0 * farads_ / ctx.dt;
+        i_prev_ = geq * (v - v_prev_) - i_prev_;
+    }
+    v_prev_ = v;
+}
+
+void Capacitor::reset() {
+    v_prev_ = v_init_;
+    i_prev_ = 0.0;
+}
+
+// ---------------------------------------------------------------- Inductor
+
+Inductor::Inductor(std::string name, int a, int b, double henries, double i_initial)
+    : Device(std::move(name)), a_(a), b_(b), henries_(henries), i_init_(i_initial),
+      i_prev_(i_initial) {
+    require(henries > 0.0, "Inductor: henries must be > 0");
+}
+
+void Inductor::stamp(Stamp& s, const DeviceContext& ctx) {
+    const int r = branch();
+    s.entry(a_, r, 1.0);
+    s.entry(b_, r, -1.0);
+    s.entry(r, a_, 1.0);
+    s.entry(r, b_, -1.0);
+    if (ctx.dc) {
+        // Short at DC, with a tiny series resistance for conditioning.
+        s.entry(r, r, -1e-6);
+        return;
+    }
+    if (ctx.method == Method::BackwardEuler) {
+        const double k = henries_ / ctx.dt;
+        s.entry(r, r, -k);
+        s.rhs(r, -k * i_prev_);
+    } else {
+        const double k = 2.0 * henries_ / ctx.dt;
+        s.entry(r, r, -k);
+        s.rhs(r, -k * i_prev_ - v_prev_);
+    }
+}
+
+void Inductor::stamp_ac(AcStamp& s, const AcContext& ctx) {
+    const int r = branch();
+    s.entry(a_, r, 1.0);
+    s.entry(b_, r, -1.0);
+    s.entry(r, a_, 1.0);
+    s.entry(r, b_, -1.0);
+    s.entry(r, r, {0.0, -ctx.omega * henries_});
+}
+
+void Inductor::commit(const DeviceContext& ctx) {
+    i_prev_ = unknown(ctx, branch());
+    v_prev_ = voltage(ctx, a_) - voltage(ctx, b_);
+}
+
+void Inductor::reset() {
+    i_prev_ = i_init_;
+    v_prev_ = 0.0;
+}
+
+// ----------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(std::string name, int a, int b,
+                             std::unique_ptr<Waveform> wave)
+    : Device(std::move(name)), a_(a), b_(b), wave_(std::move(wave)) {
+    require(wave_ != nullptr, "VoltageSource: null waveform");
+}
+
+VoltageSource::VoltageSource(std::string name, int a, int b, double dc_volts)
+    : VoltageSource(std::move(name), a, b, std::make_unique<DcWave>(dc_volts)) {}
+
+void VoltageSource::stamp(Stamp& s, const DeviceContext& ctx) {
+    const int r = branch();
+    s.entry(a_, r, 1.0);
+    s.entry(b_, r, -1.0);
+    s.entry(r, a_, 1.0);
+    s.entry(r, b_, -1.0);
+    const double v = ctx.dc ? wave_->dc_value() : wave_->value(ctx.time);
+    s.rhs(r, v * ctx.source_scale);
+}
+
+void VoltageSource::stamp_ac(AcStamp& s, const AcContext&) {
+    const int r = branch();
+    s.entry(a_, r, 1.0);
+    s.entry(b_, r, -1.0);
+    s.entry(r, a_, 1.0);
+    s.entry(r, b_, -1.0);
+    s.rhs(r, ac_magnitude_);
+}
+
+// ----------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(std::string name, int a, int b,
+                             std::unique_ptr<Waveform> wave)
+    : Device(std::move(name)), a_(a), b_(b), wave_(std::move(wave)) {
+    require(wave_ != nullptr, "CurrentSource: null waveform");
+}
+
+CurrentSource::CurrentSource(std::string name, int a, int b, double dc_amps)
+    : CurrentSource(std::move(name), a, b, std::make_unique<DcWave>(dc_amps)) {}
+
+void CurrentSource::stamp(Stamp& s, const DeviceContext& ctx) {
+    const double i =
+        (ctx.dc ? wave_->dc_value() : wave_->value(ctx.time)) * ctx.source_scale;
+    s.rhs_current(a_, -i);
+    s.rhs_current(b_, i);
+}
+
+void CurrentSource::stamp_ac(AcStamp& s, const AcContext&) {
+    s.rhs_current(a_, -ac_magnitude_);
+    s.rhs_current(b_, ac_magnitude_);
+}
+
+// ------------------------------------------------------------------- Diode
+
+Diode::Diode(std::string name, int a, int b, double is_sat, double n)
+    : Device(std::move(name)), a_(a), b_(b), is_(is_sat), n_vt_(n * 0.025852) {
+    require(is_sat > 0.0, "Diode: Is must be > 0");
+    require(n > 0.0, "Diode: n must be > 0");
+}
+
+void Diode::stamp(Stamp& s, const DeviceContext& ctx) {
+    const double v = voltage(ctx, a_) - voltage(ctx, b_);
+    const double v_max = 40.0 * n_vt_;
+    double i;
+    double g;
+    if (v <= v_max) {
+        const double e = std::exp(v / n_vt_);
+        i = is_ * (e - 1.0);
+        g = is_ / n_vt_ * e;
+    } else {
+        // Linear continuation keeps the Jacobian finite far forward.
+        const double e = std::exp(40.0);
+        const double g_max = is_ / n_vt_ * e;
+        i = is_ * (e - 1.0) + g_max * (v - v_max);
+        g = g_max;
+    }
+    g = std::max(g, 1e-12);
+    const double ieq = i - g * v;  // Newton linearisation: i ~ g v + ieq
+    s.admittance(a_, b_, g);
+    s.rhs_current(a_, -ieq);
+    s.rhs_current(b_, ieq);
+}
+
+// -------------------------------------------------------------------- Vcvs
+
+Vcvs::Vcvs(std::string name, int a, int b, int c, int d, double gain)
+    : Device(std::move(name)), a_(a), b_(b), c_(c), d_(d), gain_(gain) {}
+
+void Vcvs::stamp(Stamp& s, const DeviceContext&) {
+    const int r = branch();
+    s.entry(a_, r, 1.0);
+    s.entry(b_, r, -1.0);
+    s.entry(r, a_, 1.0);
+    s.entry(r, b_, -1.0);
+    s.entry(r, c_, -gain_);
+    s.entry(r, d_, gain_);
+}
+
+// -------------------------------------------------------------------- Vccs
+
+Vccs::Vccs(std::string name, int a, int b, int c, int d, double gm)
+    : Device(std::move(name)), a_(a), b_(b), c_(c), d_(d), gm_(gm) {}
+
+void Vccs::stamp(Stamp& s, const DeviceContext&) {
+    s.entry(a_, c_, gm_);
+    s.entry(a_, d_, -gm_);
+    s.entry(b_, c_, -gm_);
+    s.entry(b_, d_, gm_);
+}
+
+// -------------------------------------------------------------------- Cccs
+
+Cccs::Cccs(std::string name, int a, int b, const Device* control, double gain)
+    : Device(std::move(name)), a_(a), b_(b), control_(control), gain_(gain) {
+    require(control != nullptr, "Cccs: null control device");
+    require(control->branch_count() > 0, "Cccs: control has no branch current");
+}
+
+void Cccs::stamp(Stamp& s, const DeviceContext&) {
+    const int rc = control_->branch();
+    s.entry(a_, rc, gain_);
+    s.entry(b_, rc, -gain_);
+}
+
+// -------------------------------------------------------------------- Ccvs
+
+Ccvs::Ccvs(std::string name, int a, int b, const Device* control, double rm)
+    : Device(std::move(name)), a_(a), b_(b), control_(control), rm_(rm) {
+    require(control != nullptr, "Ccvs: null control device");
+    require(control->branch_count() > 0, "Ccvs: control has no branch current");
+}
+
+void Ccvs::stamp(Stamp& s, const DeviceContext&) {
+    const int r = branch();
+    const int rc = control_->branch();
+    s.entry(a_, r, 1.0);
+    s.entry(b_, r, -1.0);
+    s.entry(r, a_, 1.0);
+    s.entry(r, b_, -1.0);
+    s.entry(r, rc, -rm_);
+}
+
+// ----------------------------------------------------------------- VSwitch
+
+VSwitch::VSwitch(std::string name, int a, int b, int c, int d, double ron,
+                 double roff, double vt, double vw)
+    : Device(std::move(name)), a_(a), b_(b), c_(c), d_(d), g_on_(1.0 / ron),
+      g_off_(1.0 / roff), vt_(vt), vw_(vw) {
+    require(ron > 0.0 && roff > 0.0, "VSwitch: ron/roff must be > 0");
+    require(vw > 0.0, "VSwitch: vw must be > 0");
+}
+
+double VSwitch::conductance(double vc) const {
+    const double s = 1.0 / (1.0 + std::exp(-(vc - vt_) / vw_));
+    return g_off_ + (g_on_ - g_off_) * s;
+}
+
+double VSwitch::conductance_slope(double vc) const {
+    const double e = std::exp(-(vc - vt_) / vw_);
+    const double s = 1.0 / (1.0 + e);
+    return (g_on_ - g_off_) * s * (1.0 - s) / vw_;
+}
+
+void VSwitch::stamp(Stamp& s, const DeviceContext& ctx) {
+    // i(v_ab, vc) = g(vc) * v_ab, linearised around the Newton iterate.
+    const double vab = voltage(ctx, a_) - voltage(ctx, b_);
+    const double vc = voltage(ctx, c_) - voltage(ctx, d_);
+    const double g = conductance(vc);
+    const double k = conductance_slope(vc) * vab;
+    const double i_star = g * vab;
+    const double residual = i_star - g * vab - k * vc;  // == -k * vc
+    s.admittance(a_, b_, g);
+    // Cross terms toward the control nodes.
+    s.entry(a_, c_, k);
+    s.entry(a_, d_, -k);
+    s.entry(b_, c_, -k);
+    s.entry(b_, d_, k);
+    s.rhs_current(a_, -residual);
+    s.rhs_current(b_, residual);
+}
+
+}  // namespace fxg::spice

@@ -1,0 +1,47 @@
+#include "spice/matrix.hpp"
+
+#include <cmath>
+
+namespace fxg::spice {
+
+std::vector<double> lu_solve(DenseMatrix a, std::vector<double> b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) {
+        throw std::invalid_argument("lu_solve: shape mismatch");
+    }
+    // Forward elimination with partial pivoting.
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double best = std::fabs(a(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::fabs(a(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300) throw SingularMatrixError(k);
+        if (pivot != k) {
+            for (std::size_t c = k; c < n; ++c) std::swap(a(k, c), a(pivot, c));
+            std::swap(b[k], b[pivot]);
+        }
+        const double inv_pivot = 1.0 / a(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = a(r, k) * inv_pivot;
+            if (factor == 0.0) continue;
+            a(r, k) = 0.0;
+            for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= factor * a(k, c);
+            b[r] -= factor * b[k];
+        }
+    }
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+        x[i] = sum / a(i, i);
+    }
+    return x;
+}
+
+}  // namespace fxg::spice

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense linear algebra for the MNA solver. Compass-scale circuits have
+/// tens of unknowns, so a dense LU with partial pivoting is both simpler
+/// and faster than a sparse solver here.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace fxg::spice {
+
+/// Thrown when LU factorisation meets a (numerically) singular matrix —
+/// usually a floating node or a loop of ideal voltage sources.
+class SingularMatrixError : public std::runtime_error {
+public:
+    explicit SingularMatrixError(std::size_t pivot_row)
+        : std::runtime_error("singular MNA matrix at pivot row " +
+                             std::to_string(pivot_row)),
+          pivot_row_(pivot_row) {}
+
+    [[nodiscard]] std::size_t pivot_row() const noexcept { return pivot_row_; }
+
+private:
+    std::size_t pivot_row_;
+};
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+public:
+    DenseMatrix() = default;
+    DenseMatrix(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+    void resize(std::size_t rows, std::size_t cols) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0);
+    }
+
+    /// Zeroes all entries, keeping the shape.
+    void clear() { data_.assign(data_.size(), 0.0); }
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves A x = b by LU with partial pivoting. `a` and `b` are consumed
+/// (factorised/permuted in place). Throws SingularMatrixError.
+std::vector<double> lu_solve(DenseMatrix a, std::vector<double> b);
+
+}  // namespace fxg::spice

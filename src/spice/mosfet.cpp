@@ -1,0 +1,91 @@
+#include "spice/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::spice {
+
+Mosfet::Mosfet(std::string name, int d, int g, int s, const MosParams& params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params) {
+    if (!(params.vt > 0.0)) throw std::invalid_argument("Mosfet: vt must be > 0");
+    if (!(params.kp > 0.0)) throw std::invalid_argument("Mosfet: kp must be > 0");
+    if (params.lambda < 0.0) throw std::invalid_argument("Mosfet: lambda >= 0");
+}
+
+Mosfet::SmallSignal Mosfet::evaluate(double vgs, double vds) const {
+    // NMOS-orientation equations; callers handle polarity.
+    SmallSignal ss{0.0, 0.0, 0.0};
+    const double vov = vgs - params_.vt;
+    if (vov <= 0.0) return ss;  // cutoff
+    // The model is defined for vds >= 0 (drain/source swap for vds < 0 is
+    // not needed by the compass circuits and is rejected by clamping).
+    const double vd = std::max(vds, 0.0);
+    const double clm = 1.0 + params_.lambda * vd;
+    if (vd < vov) {
+        // Linear (triode) region.
+        ss.id = params_.kp * (vov * vd - 0.5 * vd * vd) * clm;
+        ss.gm = params_.kp * vd * clm;
+        ss.gds = params_.kp * (vov - vd) * clm +
+                 params_.kp * (vov * vd - 0.5 * vd * vd) * params_.lambda;
+    } else {
+        // Saturation.
+        const double base = 0.5 * params_.kp * vov * vov;
+        ss.id = base * clm;
+        ss.gm = params_.kp * vov * clm;
+        ss.gds = base * params_.lambda;
+    }
+    return ss;
+}
+
+double Mosfet::drain_current(double vd, double vg, double vs) const {
+    if (params_.type == MosType::Nmos) {
+        return evaluate(vg - vs, vd - vs).id;
+    }
+    // PMOS: mirror the voltages; the current leaves the drain node
+    // negatively (it flows source -> drain).
+    return -evaluate(vs - vg, vs - vd).id;
+}
+
+void Mosfet::stamp(Stamp& s, const DeviceContext& ctx) {
+    const double vd = voltage(ctx, d_);
+    const double vg = voltage(ctx, g_);
+    const double vs = voltage(ctx, s_);
+    SmallSignal ss;
+    double i_d;  // current leaving the drain node
+    if (params_.type == MosType::Nmos) {
+        ss = evaluate(vg - vs, vd - vs);
+        i_d = ss.id;
+    } else {
+        ss = evaluate(vs - vg, vs - vd);
+        i_d = -ss.id;
+    }
+    // For both polarities the Jacobian pattern is identical:
+    //   d i_d/d vg = gm, d i_d/d vd = gds, d i_d/d vs = -(gm + gds).
+    const double gm = ss.gm;
+    const double gds = std::max(ss.gds, 1e-9);
+    s.entry(d_, d_, gds);
+    s.entry(d_, g_, gm);
+    s.entry(d_, s_, -(gm + gds));
+    s.entry(s_, d_, -gds);
+    s.entry(s_, g_, -gm);
+    s.entry(s_, s_, gm + gds);
+    const double ieq = i_d - gm * vg - gds * vd + (gm + gds) * vs;
+    s.rhs_current(d_, -ieq);
+    s.rhs_current(s_, ieq);
+}
+
+DcSweepResult dc_sweep(Circuit& circuit, VoltageSource& source, double from, double to,
+                       double step, const NewtonOptions& options) {
+    if (!(step > 0.0) || to < from) throw std::invalid_argument("dc_sweep: bad range");
+    DcSweepResult result;
+    const std::vector<double>* warm_start = nullptr;
+    for (double v = from; v <= to + 1e-12; v += step) {
+        source.set_waveform(std::make_unique<DcWave>(v));
+        result.sweep_value.push_back(v);
+        result.points.push_back(dc_operating_point(circuit, options, warm_start));
+        warm_start = &result.points.back().x;  // continue from the neighbour
+    }
+    return result;
+}
+
+}  // namespace fxg::spice

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file mosfet.hpp
+/// Level-1 (Shichman-Hodges) MOSFET for the MNA engine. The paper's
+/// analogue section is built from the SoG array's pmos/nmos pairs
+/// ([Haa95], [Don94]); this model lets those circuits — current
+/// mirrors, differential pairs, the V-I output stage — be simulated at
+/// transistor level instead of behaviourally.
+///
+/// Model (bulk tied to source, no body effect):
+///   cutoff  (vgs <= vt):        id = 0
+///   linear  (vds < vgs - vt):   id = kp (vov vds - vds^2/2)(1 + lambda vds)
+///   saturation:                 id = kp/2 vov^2 (1 + lambda vds)
+/// PMOS uses the same equations on negated terminal voltages.
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+
+namespace fxg::spice {
+
+/// Transistor polarity.
+enum class MosType {
+    Nmos,
+    Pmos,
+};
+
+/// Level-1 model parameters.
+struct MosParams {
+    MosType type = MosType::Nmos;
+    double vt = 0.8;        ///< threshold voltage [V] (magnitude)
+    double kp = 100e-6;     ///< transconductance kp' * W/L [A/V^2]
+    double lambda = 0.02;   ///< channel-length modulation [1/V]
+};
+
+/// Three-terminal MOSFET (drain, gate, source; bulk at source).
+class Mosfet final : public Device {
+public:
+    Mosfet(std::string name, int d, int g, int s, const MosParams& params = {});
+
+    void stamp(Stamp& s, const DeviceContext& ctx) override;
+
+    /// Drain current for given terminal voltages (sign per device type:
+    /// positive current flows drain -> source for NMOS and source ->
+    /// drain for PMOS). Exposed for tests.
+    [[nodiscard]] double drain_current(double vd, double vg, double vs) const;
+
+    [[nodiscard]] const MosParams& params() const noexcept { return params_; }
+
+private:
+    struct SmallSignal {
+        double id;   ///< channel current (NMOS orientation)
+        double gm;   ///< d id / d vgs
+        double gds;  ///< d id / d vds
+    };
+    [[nodiscard]] SmallSignal evaluate(double vgs, double vds) const;
+
+    int d_, g_, s_;
+    MosParams params_;
+};
+
+/// DC transfer sweep helper: steps the waveform value of `source`
+/// through [from, to] and records the operating point at each step —
+/// the engine's ".dc" (used for inverter VTCs and bias curves).
+struct DcSweepResult {
+    std::vector<double> sweep_value;
+    std::vector<OperatingPointResult> points;
+};
+DcSweepResult dc_sweep(Circuit& circuit, VoltageSource& source, double from, double to,
+                       double step, const NewtonOptions& options = {});
+
+}  // namespace fxg::spice

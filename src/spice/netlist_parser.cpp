@@ -1,0 +1,335 @@
+#include "spice/netlist_parser.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+#include "util/strings.hpp"
+
+namespace fxg::spice {
+
+namespace {
+
+using util::parse_spice_number;
+using util::split;
+using util::starts_with;
+using util::to_lower;
+using util::trim;
+
+double number_or_throw(const std::string& tok, std::size_t line) {
+    const auto v = parse_spice_number(tok);
+    if (!v) throw ParseError(line, "bad number '" + tok + "'");
+    return *v;
+}
+
+/// Extracts "key=value" parameters from tokens[from..]; returns lowercase
+/// key -> numeric value. Throws on non key=value trailing tokens.
+std::map<std::string, double> parse_params(const std::vector<std::string>& tokens,
+                                           std::size_t from, std::size_t line) {
+    std::map<std::string, double> params;
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+            throw ParseError(line, "expected key=value, got '" + tokens[i] + "'");
+        }
+        params[to_lower(tokens[i].substr(0, eq))] =
+            number_or_throw(tokens[i].substr(eq + 1), line);
+    }
+    return params;
+}
+
+/// Builds a waveform from tokens beginning at `from` (after the nodes).
+std::unique_ptr<Waveform> parse_waveform(const std::vector<std::string>& tokens,
+                                         std::size_t from, std::size_t line) {
+    if (from >= tokens.size()) throw ParseError(line, "missing source value");
+    const std::string kind = to_lower(tokens[from]);
+    auto arg = [&](std::size_t k) -> double {
+        const std::size_t idx = from + 1 + k;
+        if (idx >= tokens.size()) throw ParseError(line, "missing waveform argument");
+        return number_or_throw(tokens[idx], line);
+    };
+    auto argc = [&]() { return tokens.size() - from - 1; };
+    if (kind == "dc") {
+        return std::make_unique<DcWave>(arg(0));
+    }
+    if (kind == "pulse") {
+        if (argc() < 7) throw ParseError(line, "pulse needs 7 arguments");
+        return std::make_unique<PulseWave>(arg(0), arg(1), arg(2), arg(3), arg(4),
+                                           arg(5), arg(6));
+    }
+    if (kind == "sin") {
+        if (argc() < 3) throw ParseError(line, "sin needs >= 3 arguments");
+        const double td = argc() > 3 ? arg(3) : 0.0;
+        const double th = argc() > 4 ? arg(4) : 0.0;
+        return std::make_unique<SinWave>(arg(0), arg(1), arg(2), td, th);
+    }
+    if (kind == "pwl") {
+        if (argc() < 4 || argc() % 2 != 0) {
+            throw ParseError(line, "pwl needs an even number (>=4) of arguments");
+        }
+        std::vector<std::pair<double, double>> pts;
+        for (std::size_t k = 0; k + 1 < argc(); k += 2) {
+            pts.emplace_back(arg(k), arg(k + 1));
+        }
+        return std::make_unique<PwlWave>(std::move(pts));
+    }
+    if (kind == "tri") {
+        if (argc() < 3) throw ParseError(line, "tri needs >= 3 arguments");
+        const double phase = argc() > 3 ? arg(3) : 0.0;
+        return std::make_unique<TriangleWave>(arg(0), arg(1), arg(2), phase);
+    }
+    // Bare number: DC value.
+    return std::make_unique<DcWave>(number_or_throw(tokens[from], line));
+}
+
+/// Removes a trailing "ac <magnitude>" pair from a source card's tokens
+/// (SPICE convention: "V1 in 0 DC 5 AC 1").
+void strip_ac_suffix(std::vector<std::string>& tokens, std::size_t line,
+                     double* ac_mag) {
+    for (std::size_t i = 3; i + 1 < tokens.size(); ++i) {
+        if (to_lower(tokens[i]) == "ac") {
+            *ac_mag = number_or_throw(tokens[i + 1], line);
+            tokens.erase(tokens.begin() + static_cast<long>(i), tokens.end());
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+ParsedNetlist parse_netlist(const std::string& text) {
+    // Join continuation lines, strip comments, remember line numbers.
+    std::vector<std::pair<std::size_t, std::string>> cards;
+    {
+        std::istringstream in(text);
+        std::string raw;
+        std::size_t lineno = 0;
+        bool first = true;
+        while (std::getline(in, raw)) {
+            ++lineno;
+            std::string l = trim(raw);
+            if (first) {  // title line
+                first = false;
+                continue;
+            }
+            if (l.empty() || l[0] == '*') continue;
+            // Inline comment.
+            if (const auto semi = l.find(';'); semi != std::string::npos) {
+                l = trim(l.substr(0, semi));
+                if (l.empty()) continue;
+            }
+            if (l[0] == '+') {
+                if (cards.empty()) throw ParseError(lineno, "continuation before any card");
+                cards.back().second += " " + trim(l.substr(1));
+            } else {
+                cards.emplace_back(lineno, l);
+            }
+        }
+    }
+
+    ParsedNetlist out;
+    Circuit& ckt = out.circuit;
+    // Deferred F/H elements: the controlling device may appear later.
+    struct DeferredCtrl {
+        std::size_t line;
+        char kind;  // 'f' or 'h'
+        std::string name;
+        std::string na, nb, ctrl;
+        double value;
+    };
+    std::vector<DeferredCtrl> deferred;
+
+    for (const auto& [line, card] : cards) {
+        // Treat parentheses and commas as separators so "pulse(0 5 ..."
+        // and "pwl(0,0 1u,5)" both tokenise cleanly.
+        std::string clean = card;
+        for (char& c : clean) {
+            if (c == '(' || c == ')' || c == ',') c = ' ';
+        }
+        std::vector<std::string> tok = split(clean);
+        if (tok.empty()) continue;
+        const std::string head = to_lower(tok[0]);
+
+        if (head[0] == '.') {
+            if (head == ".end") break;
+            if (head == ".ac") {
+                if (tok.size() < 5 || to_lower(tok[1]) != "dec") {
+                    throw ParseError(line, ".ac needs: dec points fstart fstop");
+                }
+                AcSpec spec;
+                spec.points_per_decade =
+                    static_cast<int>(number_or_throw(tok[2], line));
+                spec.f_start_hz = number_or_throw(tok[3], line);
+                spec.f_stop_hz = number_or_throw(tok[4], line);
+                out.ac = spec;
+                continue;
+            }
+            if (head == ".dc") {
+                if (tok.size() < 5) throw ParseError(line, ".dc needs: src from to step");
+                DcDirective dc;
+                dc.source = to_lower(tok[1]);
+                dc.from = number_or_throw(tok[2], line);
+                dc.to = number_or_throw(tok[3], line);
+                dc.step = number_or_throw(tok[4], line);
+                out.dc = dc;
+                continue;
+            }
+            if (head == ".tran") {
+                if (tok.size() < 3) throw ParseError(line, ".tran needs dt and tstop");
+                TransientSpec spec;
+                spec.dt = number_or_throw(tok[1], line);
+                spec.tstop = number_or_throw(tok[2], line);
+                if (tok.size() > 3) {
+                    const std::string m = to_lower(tok[3]);
+                    if (m == "be") {
+                        spec.method = Method::BackwardEuler;
+                    } else if (m == "trap") {
+                        spec.method = Method::Trapezoidal;
+                    } else {
+                        throw ParseError(line, "unknown method '" + tok[3] + "'");
+                    }
+                }
+                out.tran = spec;
+                continue;
+            }
+            throw ParseError(line, "unknown directive '" + tok[0] + "'");
+        }
+
+        auto need = [&](std::size_t n) {
+            if (tok.size() < n) throw ParseError(line, "too few fields");
+        };
+        const std::string name = head;
+        switch (head[0]) {
+            case 'r': {
+                need(4);
+                ckt.add<Resistor>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                                  number_or_throw(tok[3], line));
+                break;
+            }
+            case 'c': {
+                need(4);
+                const auto params = parse_params(tok, 4, line);
+                const double ic = params.count("ic") ? params.at("ic") : 0.0;
+                ckt.add<Capacitor>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                                   number_or_throw(tok[3], line), ic);
+                break;
+            }
+            case 'l': {
+                need(4);
+                const auto params = parse_params(tok, 4, line);
+                const double ic = params.count("ic") ? params.at("ic") : 0.0;
+                ckt.add<Inductor>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                                  number_or_throw(tok[3], line), ic);
+                break;
+            }
+            case 'v': {
+                need(4);
+                double ac_mag = 0.0;
+                strip_ac_suffix(tok, line, &ac_mag);
+                auto& src = ckt.add<VoltageSource>(name, ckt.node(tok[1]),
+                                                   ckt.node(tok[2]),
+                                                   parse_waveform(tok, 3, line));
+                src.set_ac_magnitude(ac_mag);
+                break;
+            }
+            case 'i': {
+                need(4);
+                double ac_mag = 0.0;
+                strip_ac_suffix(tok, line, &ac_mag);
+                auto& src = ckt.add<CurrentSource>(name, ckt.node(tok[1]),
+                                                   ckt.node(tok[2]),
+                                                   parse_waveform(tok, 3, line));
+                src.set_ac_magnitude(ac_mag);
+                break;
+            }
+            case 'd': {
+                need(3);
+                const auto params = parse_params(tok, 3, line);
+                const double is = params.count("is") ? params.at("is") : 1e-14;
+                const double n = params.count("n") ? params.at("n") : 1.0;
+                ckt.add<Diode>(name, ckt.node(tok[1]), ckt.node(tok[2]), is, n);
+                break;
+            }
+            case 'e': {
+                need(6);
+                ckt.add<Vcvs>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                              ckt.node(tok[3]), ckt.node(tok[4]),
+                              number_or_throw(tok[5], line));
+                break;
+            }
+            case 'g': {
+                need(6);
+                ckt.add<Vccs>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                              ckt.node(tok[3]), ckt.node(tok[4]),
+                              number_or_throw(tok[5], line));
+                break;
+            }
+            case 'f':
+            case 'h': {
+                need(5);
+                deferred.push_back({line, head[0], name, tok[1], tok[2],
+                                    to_lower(tok[3]), number_or_throw(tok[4], line)});
+                break;
+            }
+            case 'm': {
+                need(5);
+                MosParams mp;
+                const std::string kind = to_lower(tok[4]);
+                if (kind == "nmos") {
+                    mp.type = MosType::Nmos;
+                } else if (kind == "pmos") {
+                    mp.type = MosType::Pmos;
+                } else {
+                    throw ParseError(line, "mosfet type must be nmos or pmos");
+                }
+                const auto params = parse_params(tok, 5, line);
+                if (params.count("vt")) mp.vt = params.at("vt");
+                if (params.count("kp")) mp.kp = params.at("kp");
+                if (params.count("lambda")) mp.lambda = params.at("lambda");
+                ckt.add<Mosfet>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                                ckt.node(tok[3]), mp);
+                break;
+            }
+            case 's': {
+                need(5);
+                const auto params = parse_params(tok, 5, line);
+                auto param = [&](const char* key, double dflt) {
+                    const auto it = params.find(key);
+                    return it != params.end() ? it->second : dflt;
+                };
+                if (!params.count("ron") || !params.count("roff") || !params.count("vt")) {
+                    throw ParseError(line, "switch needs ron=, roff=, vt=");
+                }
+                ckt.add<VSwitch>(name, ckt.node(tok[1]), ckt.node(tok[2]),
+                                 ckt.node(tok[3]), ckt.node(tok[4]), params.at("ron"),
+                                 params.at("roff"), params.at("vt"), param("vw", 0.1));
+                break;
+            }
+            default:
+                throw ParseError(line, "unknown element '" + tok[0] + "'");
+        }
+    }
+
+    for (const auto& d : deferred) {
+        Device* ctrl = ckt.find_device(d.ctrl);
+        if (!ctrl) throw ParseError(d.line, "unknown control device '" + d.ctrl + "'");
+        if (d.kind == 'f') {
+            ckt.add<Cccs>(d.name, ckt.node(d.na), ckt.node(d.nb), ctrl, d.value);
+        } else {
+            ckt.add<Ccvs>(d.name, ckt.node(d.na), ckt.node(d.nb), ctrl, d.value);
+        }
+    }
+    return out;
+}
+
+ParsedNetlist parse_netlist_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("parse_netlist_file: cannot open " + path);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parse_netlist(buf.str());
+}
+
+}  // namespace fxg::spice

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file netlist_parser.hpp
+/// SPICE-style netlist text front-end for the circuit engine, so test
+/// circuits and the `spice_netlist` example can be written in the same
+/// card format the paper's ELDO decks used.
+///
+/// Supported cards (case-insensitive; '*' comments; '+' continuations):
+///   Rname a b value
+///   Cname a b value [ic=v0]
+///   Lname a b value [ic=i0]
+///   Vname a b [dc v | pulse(v1 v2 td tr tf pw per) | sin(vo va f [td th])
+///              | pwl(t1 v1 t2 v2 ...) | tri(off amp freq [phase])]
+///   Iname a b <same waveforms>
+///   Dname a b [is=..] [n=..]
+///   Ename a b c d gain          (VCVS)
+///   Gname a b c d gm            (VCCS)
+///   Fname a b Vctrl gain        (CCCS)
+///   Hname a b Vctrl rm          (CCVS)
+///   Sname a b c d ron=.. roff=.. vt=.. [vw=..]   (smooth switch)
+///   Mname d g s nmos|pmos [vt=..] [kp=..] [lambda=..]  (level-1 MOSFET)
+///   .tran dt tstop [be|trap]
+///   .ac dec points fstart fstop      (V/I cards take a trailing "AC mag")
+///   .dc Vname from to step
+///   .end
+
+#include <optional>
+#include <string>
+
+#include "spice/ac_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+
+namespace fxg::spice {
+
+/// Thrown on malformed netlist input, with a 1-based line number.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(std::size_t line, const std::string& what)
+        : std::runtime_error("netlist line " + std::to_string(line) + ": " + what),
+          line_(line) {}
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// A .dc sweep directive.
+struct DcDirective {
+    std::string source;  ///< name of the swept voltage source
+    double from = 0.0;
+    double to = 0.0;
+    double step = 0.0;
+};
+
+/// A parsed deck: the circuit plus any analysis directives present.
+struct ParsedNetlist {
+    Circuit circuit;
+    std::optional<TransientSpec> tran;
+    std::optional<AcSpec> ac;
+    std::optional<DcDirective> dc;
+};
+
+/// Parses netlist text. The first line is the title (SPICE convention).
+ParsedNetlist parse_netlist(const std::string& text);
+
+/// Parses a netlist file from disk.
+ParsedNetlist parse_netlist_file(const std::string& path);
+
+}  // namespace fxg::spice

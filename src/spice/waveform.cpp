@@ -1,0 +1,89 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fxg::spice {
+
+PulseWave::PulseWave(double v1, double v2, double delay, double rise, double fall,
+                     double width, double period)
+    : v1_(v1), v2_(v2), delay_(delay), rise_(rise), fall_(fall), width_(width),
+      period_(period) {
+    if (period <= 0.0) throw std::invalid_argument("PulseWave: period must be > 0");
+    if (rise < 0.0 || fall < 0.0 || width < 0.0) {
+        throw std::invalid_argument("PulseWave: negative edge/width");
+    }
+}
+
+double PulseWave::value(double t) const {
+    if (t < delay_) return v1_;
+    const double tp = std::fmod(t - delay_, period_);
+    if (tp < rise_) {
+        return rise_ > 0.0 ? v1_ + (v2_ - v1_) * tp / rise_ : v2_;
+    }
+    if (tp < rise_ + width_) return v2_;
+    if (tp < rise_ + width_ + fall_) {
+        return v2_ + (v1_ - v2_) * (tp - rise_ - width_) / fall_;
+    }
+    return v1_;
+}
+
+SinWave::SinWave(double offset, double amplitude, double freq_hz, double delay,
+                 double damping)
+    : offset_(offset), amplitude_(amplitude), freq_(freq_hz), delay_(delay),
+      damping_(damping) {
+    if (freq_hz <= 0.0) throw std::invalid_argument("SinWave: freq must be > 0");
+}
+
+double SinWave::value(double t) const {
+    if (t < delay_) return offset_;
+    const double tau = t - delay_;
+    return offset_ + amplitude_ * std::exp(-damping_ * tau) *
+                         std::sin(2.0 * std::numbers::pi * freq_ * tau);
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points) : pts_(std::move(points)) {
+    if (pts_.size() < 2) throw std::invalid_argument("PwlWave: need >= 2 points");
+    if (!std::is_sorted(pts_.begin(), pts_.end(),
+                        [](const auto& a, const auto& b) { return a.first < b.first; })) {
+        throw std::invalid_argument("PwlWave: times must be ascending");
+    }
+}
+
+double PwlWave::value(double t) const {
+    if (t <= pts_.front().first) return pts_.front().second;
+    if (t >= pts_.back().first) return pts_.back().second;
+    const auto it = std::upper_bound(
+        pts_.begin(), pts_.end(), t,
+        [](double tv, const auto& p) { return tv < p.first; });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double frac = (t - lo.first) / (hi.first - lo.first);
+    return lo.second + frac * (hi.second - lo.second);
+}
+
+TriangleWave::TriangleWave(double offset, double amplitude, double freq_hz,
+                           double phase_deg)
+    : offset_(offset), amplitude_(amplitude), freq_(freq_hz), phase_deg_(phase_deg) {
+    if (freq_hz <= 0.0) throw std::invalid_argument("TriangleWave: freq must be > 0");
+}
+
+double TriangleWave::value(double t) const {
+    // Phase 0: starts at offset, rising. Map t to phase in [0, 1).
+    double phase = t * freq_ + phase_deg_ / 360.0;
+    phase -= std::floor(phase);
+    // 0..0.25 rise to +A, 0.25..0.75 fall to -A, 0.75..1 rise back to 0.
+    double unit;
+    if (phase < 0.25) {
+        unit = 4.0 * phase;
+    } else if (phase < 0.75) {
+        unit = 2.0 - 4.0 * phase;
+    } else {
+        unit = -4.0 + 4.0 * phase;
+    }
+    return offset_ + amplitude_ * unit;
+}
+
+}  // namespace fxg::spice

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file waveform.hpp
+/// Time-domain stimulus waveforms for independent sources. Includes the
+/// standard SPICE shapes (DC, PULSE, SIN, PWL) plus TRI, the symmetric
+/// triangle the paper's excitation current source produces (12 mA peak
+/// to peak at 8 kHz, section 3.1).
+
+#include <memory>
+#include <vector>
+
+namespace fxg::spice {
+
+/// A scalar function of time, used as the value of a V or I source.
+class Waveform {
+public:
+    virtual ~Waveform() = default;
+
+    /// Value at time t [s].
+    [[nodiscard]] virtual double value(double t) const = 0;
+
+    /// Value used during DC operating-point analysis (t-independent).
+    [[nodiscard]] virtual double dc_value() const { return value(0.0); }
+
+    [[nodiscard]] virtual std::unique_ptr<Waveform> clone() const = 0;
+};
+
+/// Constant value.
+class DcWave final : public Waveform {
+public:
+    explicit DcWave(double v) : v_(v) {}
+    [[nodiscard]] double value(double) const override { return v_; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<DcWave>(*this);
+    }
+
+private:
+    double v_;
+};
+
+/// SPICE PULSE(v1 v2 td tr tf pw per).
+class PulseWave final : public Waveform {
+public:
+    PulseWave(double v1, double v2, double delay, double rise, double fall,
+              double width, double period);
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double dc_value() const override { return v1_; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<PulseWave>(*this);
+    }
+
+private:
+    double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// SPICE SIN(vo va freq [td] [theta]).
+class SinWave final : public Waveform {
+public:
+    SinWave(double offset, double amplitude, double freq_hz, double delay = 0.0,
+            double damping = 0.0);
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double dc_value() const override { return offset_; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<SinWave>(*this);
+    }
+
+private:
+    double offset_, amplitude_, freq_, delay_, damping_;
+};
+
+/// Piecewise-linear wave from (t, v) points; clamps outside the range.
+class PwlWave final : public Waveform {
+public:
+    explicit PwlWave(std::vector<std::pair<double, double>> points);
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<PwlWave>(*this);
+    }
+
+private:
+    std::vector<std::pair<double, double>> pts_;
+};
+
+/// Symmetric triangle: offset +- amplitude at frequency f, starting at
+/// the offset and rising. TRI(offset amplitude freq [phase_deg]).
+/// Peak-to-peak swing is 2*amplitude.
+class TriangleWave final : public Waveform {
+public:
+    TriangleWave(double offset, double amplitude, double freq_hz,
+                 double phase_deg = 0.0);
+    [[nodiscard]] double value(double t) const override;
+    [[nodiscard]] double dc_value() const override { return offset_; }
+    [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+        return std::make_unique<TriangleWave>(*this);
+    }
+
+private:
+    double offset_, amplitude_, freq_, phase_deg_;
+};
+
+}  // namespace fxg::spice

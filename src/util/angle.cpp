@@ -1,0 +1,27 @@
+#include "util/angle.hpp"
+
+#include <cmath>
+
+namespace fxg::util {
+
+double wrap_deg_360(double deg) noexcept {
+    double w = std::fmod(deg, 360.0);
+    if (w < 0.0) w += 360.0;
+    return w;
+}
+
+double wrap_deg_180(double deg) noexcept {
+    double w = std::fmod(deg + 180.0, 360.0);
+    if (w < 0.0) w += 360.0;
+    return w - 180.0;
+}
+
+double angular_diff_deg(double a, double b) noexcept {
+    return wrap_deg_180(a - b);
+}
+
+double angular_abs_diff_deg(double a, double b) noexcept {
+    return std::fabs(angular_diff_deg(a, b));
+}
+
+}  // namespace fxg::util

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file angle.hpp
+/// Angle helpers used across the compass pipeline: conversions between
+/// degrees and radians, wrapping to canonical ranges, and signed angular
+/// differences (the metric used for every heading-accuracy experiment).
+
+#include <numbers>
+
+namespace fxg::util {
+
+/// Converts degrees to radians.
+constexpr double deg_to_rad(double deg) noexcept {
+    return deg * std::numbers::pi / 180.0;
+}
+
+/// Converts radians to degrees.
+constexpr double rad_to_deg(double rad) noexcept {
+    return rad * 180.0 / std::numbers::pi;
+}
+
+/// Wraps an angle in degrees into [0, 360).
+double wrap_deg_360(double deg) noexcept;
+
+/// Wraps an angle in degrees into [-180, 180).
+double wrap_deg_180(double deg) noexcept;
+
+/// Signed smallest difference a - b in degrees, result in [-180, 180).
+/// This is the error metric for heading comparisons: it is immune to the
+/// 0/360 seam (difference of 359 deg and 1 deg is -2 deg, not 358 deg).
+double angular_diff_deg(double a, double b) noexcept;
+
+/// Absolute smallest difference |a - b| in degrees, in [0, 180].
+double angular_abs_diff_deg(double a, double b) noexcept;
+
+}  // namespace fxg::util

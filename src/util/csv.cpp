@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxg::util {
+
+std::size_t CsvWriter::add_column(std::string name) {
+    names_.push_back(std::move(name));
+    data_.emplace_back();
+    return names_.size() - 1;
+}
+
+void CsvWriter::append(std::size_t column, double value) {
+    data_.at(column).push_back(value);
+}
+
+void CsvWriter::append_row(const std::vector<double>& values) {
+    if (values.size() != data_.size()) {
+        throw std::invalid_argument("CsvWriter::append_row: value count != column count");
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) data_[i].push_back(values[i]);
+}
+
+std::size_t CsvWriter::rows() const noexcept {
+    std::size_t r = 0;
+    for (const auto& col : data_) r = std::max(r, col.size());
+    return r;
+}
+
+std::string CsvWriter::to_string() const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (i) out << ',';
+        out << names_[i];
+    }
+    out << '\n';
+    const std::size_t nrows = rows();
+    char buf[64];
+    for (std::size_t r = 0; r < nrows; ++r) {
+        for (std::size_t c = 0; c < data_.size(); ++c) {
+            if (c) out << ',';
+            if (r < data_[c].size()) {
+                std::snprintf(buf, sizeof buf, "%.9g", data_[c][r]);
+                out << buf;
+            }
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("CsvWriter: cannot open " + path);
+    f << to_string();
+    if (!f) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace fxg::util

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file csv.hpp
+/// Column-oriented CSV writer. The waveform benches and the
+/// `waveform_dump` example emit traces in this format so the paper's
+/// figures can be re-plotted with any external tool.
+
+#include <string>
+#include <vector>
+
+namespace fxg::util {
+
+/// Accumulates named columns of doubles and writes them as CSV.
+/// Columns may have different lengths; short columns are padded with
+/// empty cells on output.
+class CsvWriter {
+public:
+    /// Declares a column and returns its index.
+    std::size_t add_column(std::string name);
+
+    /// Appends a value to the column with the given index.
+    void append(std::size_t column, double value);
+
+    /// Appends one value per column, in declaration order.
+    void append_row(const std::vector<double>& values);
+
+    [[nodiscard]] std::size_t columns() const noexcept { return names_.size(); }
+    [[nodiscard]] std::size_t rows() const noexcept;
+
+    /// Renders the full table as CSV text (header + rows).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Writes to a file; throws std::runtime_error on I/O failure.
+    void write_file(const std::string& path) const;
+
+private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<double>> data_;
+};
+
+}  // namespace fxg::util

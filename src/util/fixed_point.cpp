@@ -1,0 +1,10 @@
+#include "util/fixed_point.hpp"
+
+// All of Fixed<> is header-only; this translation unit pins the template
+// for the common Q7 instantiation so its symbols live in one place.
+
+namespace fxg::util {
+
+template class Fixed<7>;
+
+}  // namespace fxg::util

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// Signed fixed-point arithmetic used by the bit-exact CORDIC model.
+///
+/// The paper's Figure 8 scales the counter outputs by 128 before the
+/// CORDIC loop ("y-reg := y * 128"), i.e. it works in a Q*.7 format.
+/// Fixed<F> is a thin strong type over a 64-bit integer with F fractional
+/// bits; arithmetic is exact (no hidden rounding) so the behavioural model
+/// matches the RTL model bit for bit.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fxg::util {
+
+/// Signed fixed-point value with `FracBits` fractional bits stored in a
+/// 64-bit integer. Division by powers of two uses arithmetic shift with
+/// floor semantics, exactly like a hardware arithmetic right shifter.
+template <int FracBits>
+class Fixed {
+    static_assert(FracBits >= 0 && FracBits < 62, "fractional width out of range");
+
+public:
+    using raw_type = std::int64_t;
+
+    constexpr Fixed() = default;
+
+    /// Builds a fixed-point value from a raw integer bit pattern.
+    static constexpr Fixed from_raw(raw_type raw) noexcept {
+        Fixed f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    /// Builds a fixed-point value from an integer (shifts left by FracBits).
+    static constexpr Fixed from_int(std::int64_t v) noexcept {
+        return from_raw(v << FracBits);
+    }
+
+    /// Builds a fixed-point value from a double, rounding to nearest.
+    static Fixed from_double(double v);
+
+    [[nodiscard]] constexpr raw_type raw() const noexcept { return raw_; }
+
+    [[nodiscard]] constexpr double to_double() const noexcept {
+        return static_cast<double>(raw_) / static_cast<double>(raw_type{1} << FracBits);
+    }
+
+    /// Arithmetic right shift (floor division by 2^n) — hardware ">> n".
+    [[nodiscard]] constexpr Fixed asr(int n) const noexcept {
+        return from_raw(raw_ >> n);
+    }
+
+    constexpr Fixed operator+(Fixed o) const noexcept { return from_raw(raw_ + o.raw_); }
+    constexpr Fixed operator-(Fixed o) const noexcept { return from_raw(raw_ - o.raw_); }
+    constexpr Fixed operator-() const noexcept { return from_raw(-raw_); }
+
+    constexpr Fixed& operator+=(Fixed o) noexcept {
+        raw_ += o.raw_;
+        return *this;
+    }
+    constexpr Fixed& operator-=(Fixed o) noexcept {
+        raw_ -= o.raw_;
+        return *this;
+    }
+
+    constexpr bool operator==(const Fixed&) const = default;
+    constexpr auto operator<=>(const Fixed&) const = default;
+
+    /// Human-readable decimal rendering, for debugging and traces.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    raw_type raw_ = 0;
+};
+
+template <int FracBits>
+Fixed<FracBits> Fixed<FracBits>::from_double(double v) {
+    const double scaled = v * static_cast<double>(raw_type{1} << FracBits);
+    constexpr double limit = 9.0e18;
+    if (scaled > limit || scaled < -limit) {
+        throw std::out_of_range("Fixed::from_double overflow: " + std::to_string(v));
+    }
+    return from_raw(static_cast<raw_type>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+}
+
+template <int FracBits>
+std::string Fixed<FracBits>::to_string() const {
+    return std::to_string(to_double());
+}
+
+/// The format used by the paper's Figure 8 datapath (×128 scaling).
+using Q7 = Fixed<7>;
+
+}  // namespace fxg::util

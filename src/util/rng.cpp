@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Rng is header-only; this file exists so the util target owns a symbol
+// per public header, keeping link diagnostics readable.

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation for noise injection.
+/// All stochastic experiments take an explicit seed so every bench run
+/// is reproducible.
+
+#include <cstdint>
+#include <random>
+
+namespace fxg::util {
+
+/// Seedable RNG wrapper with the distributions the models need.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eed'c0de'f1ab'ca7eULL) : engine_(seed) {}
+
+    /// Gaussian sample with the given mean and standard deviation.
+    double gaussian(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Uniform sample in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Bernoulli trial with probability p of returning true.
+    bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    /// Access to the raw engine for std distributions not wrapped here.
+    std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace fxg::util

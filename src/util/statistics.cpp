@@ -1,0 +1,103 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fxg::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_sq_ += x * x;
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::rms() const noexcept {
+    if (n_ == 0) return 0.0;
+    return std::sqrt(sum_sq_ / static_cast<double>(n_));
+}
+
+double RunningStats::max_abs() const noexcept {
+    return std::max(std::fabs(min()), std::fabs(max()));
+}
+
+double percentile(std::vector<double> samples, double p) {
+    if (samples.empty()) throw std::invalid_argument("percentile: empty sample set");
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1) return samples.front();
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("linear_fit: need >= 2 equal-length series");
+    }
+    const auto n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-300) {
+        throw std::invalid_argument("linear_fit: degenerate x values");
+    }
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    double ss_res = 0;
+    const double ybar = sy / n;
+    double ss_tot = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = fit.intercept + fit.slope * x[i];
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - ybar) * (y[i] - ybar);
+    }
+    fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: bad range/bins");
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+    bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+}  // namespace fxg::util

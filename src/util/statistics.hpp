@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file statistics.hpp
+/// Streaming and batch statistics used by the experiment harnesses:
+/// every accuracy bench reports max / RMS / mean error over a sweep.
+
+#include <cstddef>
+#include <vector>
+
+namespace fxg::util {
+
+/// Streaming accumulator: mean/variance via Welford's algorithm plus
+/// min, max, RMS and count. Cheap enough to keep per-sample in benches.
+class RunningStats {
+public:
+    /// Adds one sample.
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance (0 for fewer than two samples).
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+    /// Root mean square of the samples (not of deviations from the mean).
+    [[nodiscard]] double rms() const noexcept;
+    /// Largest absolute sample value.
+    [[nodiscard]] double max_abs() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_sq_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) of the samples using linear
+/// interpolation between closest ranks. The input is copied and sorted.
+double percentile(std::vector<double> samples, double p);
+
+/// Least-squares fit of y = a + b*x; returns {a, b}. Used to verify the
+/// linearity of the pulse-position counter transfer (experiment CNT1).
+struct LinearFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+    /// Coefficient of determination, 1.0 = perfect line.
+    double r_squared = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into
+/// the first/last bin. Used for error-distribution reporting.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    /// Center of the given bin.
+    [[nodiscard]] double bin_center(std::size_t bin) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace fxg::util

@@ -1,0 +1,94 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fxg::util {
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < s.size()) {
+        const std::size_t end = s.find_first_of(delims, start);
+        if (end == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        if (end > start) out.emplace_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_spice_number(std::string_view s) {
+    const std::string str = trim(s);
+    if (str.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double base = std::strtod(str.c_str(), &end);
+    if (end == str.c_str()) return std::nullopt;
+    std::string suffix = to_lower(std::string_view(end));
+    double scale = 1.0;
+    if (!suffix.empty()) {
+        if (starts_with(suffix, "meg")) {
+            scale = 1e6;
+        } else {
+            switch (suffix[0]) {
+                case 't': scale = 1e12; break;
+                case 'g': scale = 1e9; break;
+                case 'k': scale = 1e3; break;
+                case 'm': scale = 1e-3; break;
+                case 'u': scale = 1e-6; break;
+                case 'n': scale = 1e-9; break;
+                case 'p': scale = 1e-12; break;
+                case 'f': scale = 1e-15; break;
+                default:
+                    // Unit letters like "v"/"a"/"hz" with no scale factor.
+                    if (std::isalpha(static_cast<unsigned char>(suffix[0]))) {
+                        scale = 1.0;
+                    } else {
+                        return std::nullopt;
+                    }
+            }
+        }
+    }
+    return base * scale;
+}
+
+std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(args);
+    return out;
+}
+
+}  // namespace fxg::util

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities shared by the SPICE netlist parser and the
+/// report writers.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fxg::util {
+
+/// Removes leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Lower-cases ASCII characters (netlists are case-insensitive).
+std::string to_lower(std::string_view s);
+
+/// Splits on any of the given delimiter characters, dropping empty tokens.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t");
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a SPICE-style scaled number: "1k" = 1e3, "10u" = 1e-5 * 10 ...
+/// Supported suffixes: T G MEG K M U N P F (case-insensitive; MEG=1e6,
+/// M=1e-3 per SPICE convention). Trailing unit letters after the scale
+/// factor are ignored ("10uF" == "10u"). Returns nullopt on parse failure.
+std::optional<double> parse_spice_number(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fxg::util

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace fxg::util {
+
+void Table::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (!header_.empty() && cells.size() != header_.size()) {
+        throw std::invalid_argument("Table::add_row: width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double v : cells) formatted.push_back(format("%.*g", precision, v));
+    add_row(std::move(formatted));
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i >= widths.size()) widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out << (i ? "  " : "");
+            out << format("%*s", static_cast<int>(widths[i]), row[i].c_str());
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit_row(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace fxg::util

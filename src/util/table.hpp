@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table formatter. Every bench binary prints its results as one
+/// of these tables so the output reads like the rows of the paper's
+/// figures/claims (see EXPERIMENTS.md).
+
+#include <string>
+#include <vector>
+
+namespace fxg::util {
+
+/// Right-aligned, padded text table with a title and a header row.
+class Table {
+public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /// Sets the header row (defines the column count).
+    void set_header(std::vector<std::string> header);
+
+    /// Adds a row of pre-formatted cells; must match the header width.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    void add_row_values(const std::vector<double>& cells, int precision = 4);
+
+    /// Renders the table with box-drawing rules.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Prints to stdout.
+    void print() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fxg::util

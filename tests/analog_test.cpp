@@ -1,0 +1,319 @@
+// Tests for the analogue front-end blocks: triangle oscillator (incl.
+// the paper's dc-offset correction loop), V-I converter compliance
+// (the 800 ohm / 5 V claim), comparators, the pulse-position detector
+// semantics, the multiplexer and the composed FrontEnd with its power
+// model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/comparator.hpp"
+#include "analog/detector.hpp"
+#include "analog/front_end.hpp"
+#include "analog/mux.hpp"
+#include "analog/oscillator.hpp"
+#include "analog/vi_converter.hpp"
+
+namespace fxg::analog {
+namespace {
+
+// -------------------------------------------------------------oscillator
+
+TEST(Oscillator, FrequencyAndAmplitude) {
+    TriangleOscillator osc;
+    const double dt = 1.0 / 8000.0 / 1024;
+    double vmax = -1.0;
+    double vmin = 1.0;
+    int sign_changes = 0;
+    double prev = 0.0;
+    for (int i = 0; i < 8 * 1024; ++i) {
+        const double v = osc.step(dt);
+        vmax = std::max(vmax, v);
+        vmin = std::min(vmin, v);
+        if (i > 0 && (v > 0) != (prev > 0)) ++sign_changes;
+        prev = v;
+    }
+    EXPECT_NEAR(vmax, 6e-3, 1e-5);
+    EXPECT_NEAR(vmin, -6e-3, 1e-5);
+    EXPECT_EQ(sign_changes, 16);  // 2 zero crossings per period, 8 periods
+}
+
+TEST(Oscillator, OffsetCorrectionLoopConverges) {
+    TriangleOscillatorConfig cfg;
+    cfg.dc_offset_a = 0.5e-3;  // sizeable offset error
+    cfg.offset_correction = true;
+    TriangleOscillator osc(cfg);
+    const double dt = 1.0 / 8000.0 / 512;
+    // Let the loop settle over 30 periods, then measure the mean.
+    for (int i = 0; i < 30 * 512; ++i) osc.step(dt);
+    double sum = 0.0;
+    for (int i = 0; i < 8 * 512; ++i) sum += osc.step(dt);
+    EXPECT_NEAR(sum / (8 * 512), 0.0, 10e-6);  // offset suppressed >50x
+    EXPECT_NEAR(osc.correction(), -0.5e-3, 30e-6);
+}
+
+TEST(Oscillator, WithoutCorrectionOffsetRemains) {
+    TriangleOscillatorConfig cfg;
+    cfg.dc_offset_a = 0.5e-3;
+    cfg.offset_correction = false;
+    TriangleOscillator osc(cfg);
+    const double dt = 1.0 / 8000.0 / 512;
+    for (int i = 0; i < 10 * 512; ++i) osc.step(dt);
+    double sum = 0.0;
+    for (int i = 0; i < 8 * 512; ++i) sum += osc.step(dt);
+    EXPECT_NEAR(sum / (8 * 512), 0.5e-3, 20e-6);
+}
+
+TEST(Oscillator, CurvatureKeepsZeroMean) {
+    // "Linearity is not very essential": the bowing term must distort
+    // the ramps without introducing a dc component.
+    TriangleOscillatorConfig cfg;
+    cfg.curvature = 0.2;
+    cfg.offset_correction = false;
+    TriangleOscillator osc(cfg);
+    const double dt = 1.0 / 8000.0 / 1024;
+    double sum = 0.0;
+    for (int i = 0; i < 8 * 1024; ++i) sum += osc.step(dt);
+    EXPECT_NEAR(sum / (8 * 1024), 0.0, 5e-6);
+}
+
+TEST(Oscillator, Validates) {
+    TriangleOscillatorConfig cfg;
+    cfg.amplitude_a = 0.0;
+    EXPECT_THROW(TriangleOscillator{cfg}, std::invalid_argument);
+    cfg = {};
+    cfg.correction_gain = 1.5;
+    EXPECT_THROW(TriangleOscillator{cfg}, std::invalid_argument);
+    TriangleOscillator ok;
+    EXPECT_THROW(ok.step(0.0), std::invalid_argument);
+}
+
+// Amplitude/frequency property: the oscillator hits its configured
+// extremes and period for any setting.
+class OscillatorSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(OscillatorSweep, AmplitudeAndPeriodHold) {
+    const auto [amplitude, freq] = GetParam();
+    TriangleOscillatorConfig cfg;
+    cfg.amplitude_a = amplitude;
+    cfg.frequency_hz = freq;
+    TriangleOscillator osc(cfg);
+    const double dt = 1.0 / freq / 512;
+    double vmax = -1e9;
+    double vmin = 1e9;
+    double sum = 0.0;
+    const int steps = 4 * 512;
+    for (int i = 0; i < steps; ++i) {
+        const double v = osc.step(dt);
+        vmax = std::max(vmax, v);
+        vmin = std::min(vmin, v);
+        sum += v;
+    }
+    EXPECT_NEAR(vmax, amplitude, amplitude * 0.01);
+    EXPECT_NEAR(vmin, -amplitude, amplitude * 0.01);
+    EXPECT_NEAR(sum / steps, 0.0, amplitude * 0.01);
+    EXPECT_NEAR(osc.time(), 4.0 / freq, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Settings, OscillatorSweep,
+                         ::testing::Values(std::make_pair(6e-3, 8e3),
+                                           std::make_pair(3e-3, 8e3),
+                                           std::make_pair(12e-3, 4e3),
+                                           std::make_pair(1e-3, 32e3)));
+
+// ---------------------------------------------------------- VI converter
+
+TEST(ViConverter, PaperComplianceClaim) {
+    // "With the supply voltage at 5 Volt, sensors with a resistance as
+    // high as 800 ohm can be driven" (at the 6 mA peak excitation).
+    ViConverter vi;
+    EXPECT_GE(vi.max_drivable_resistance(6e-3), 800.0);
+    // At 800 ohm the full 6 mA still flows undistorted.
+    EXPECT_NEAR(vi.drive(6e-3, 800.0), 6e-3, 1e-9);
+}
+
+TEST(ViConverter, ClipsAboveCompliance) {
+    ViConverter vi;
+    const double limit = vi.compliance_limit(1600.0);
+    EXPECT_LT(limit, 6e-3);
+    EXPECT_DOUBLE_EQ(vi.drive(6e-3, 1600.0), limit);
+    EXPECT_DOUBLE_EQ(vi.drive(-6e-3, 1600.0), -limit);
+}
+
+TEST(ViConverter, SingleEndedHasHalfSwing) {
+    ViConverterConfig cfg;
+    cfg.balanced_differential = false;
+    ViConverter single(cfg);
+    ViConverter balanced;
+    EXPECT_NEAR(single.max_drivable_resistance(6e-3),
+                balanced.max_drivable_resistance(6e-3) / 2.0, 1e-9);
+}
+
+TEST(ViConverter, SensorResistanceLinearises) {
+    ViConverterConfig cfg;
+    cfg.nonlinearity = 0.05;
+    ViConverter vi(cfg);
+    // Cubic error at full scale, normalised: bigger load -> smaller error.
+    const double err_low_r = std::fabs(vi.drive(6e-3, 1.0) - 6e-3);
+    const double err_sensor = std::fabs(vi.drive(6e-3, 770.0) - 6e-3);
+    EXPECT_LT(err_sensor, err_low_r / 1.8);
+}
+
+TEST(ViConverter, Validates) {
+    ViConverterConfig cfg;
+    cfg.headroom_v = 3.0;  // 2x headroom exceeds the 5 V supply
+    EXPECT_THROW(ViConverter{cfg}, std::invalid_argument);
+    ViConverter ok;
+    EXPECT_THROW((void)ok.drive(1e-3, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)ok.max_drivable_resistance(0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ comparator
+
+TEST(Comparator, ThresholdAndHysteresis) {
+    ComparatorConfig cfg;
+    cfg.threshold_v = 1.0;
+    cfg.hysteresis_v = 0.2;
+    Comparator cmp(cfg);
+    EXPECT_FALSE(cmp.step(1.05));  // below the rising threshold (1.1)
+    EXPECT_TRUE(cmp.step(1.15));
+    EXPECT_TRUE(cmp.step(0.95));   // above the falling threshold (0.9)
+    EXPECT_FALSE(cmp.step(0.85));
+}
+
+TEST(Comparator, OffsetShiftsThreshold) {
+    ComparatorConfig cfg;
+    cfg.threshold_v = 1.0;
+    cfg.offset_v = 0.3;
+    Comparator cmp(cfg);
+    EXPECT_FALSE(cmp.step(1.2));  // 1.2 - 0.3 < 1.0
+    EXPECT_TRUE(cmp.step(1.4));
+}
+
+// -------------------------------------------------------------- detector
+
+TEST(Detector, PaperSemantics) {
+    // Output 1 after the falling edge of the positive pulse, 0 after the
+    // rising edge of the negative pulse (paper section 3.2).
+    DetectorConfig cfg;
+    cfg.threshold_v = 0.5;
+    cfg.comparator_hysteresis_v = 0.0;
+    PulsePositionDetector det(cfg);
+    EXPECT_FALSE(det.step(0.0));
+    EXPECT_FALSE(det.step(1.0));   // inside the positive pulse
+    EXPECT_TRUE(det.step(0.0));    // positive pulse ended -> set
+    EXPECT_TRUE(det.step(-1.0));   // inside the negative pulse: still set
+    EXPECT_FALSE(det.step(0.0));   // negative pulse ended -> cleared
+    EXPECT_FALSE(det.step(0.2));
+}
+
+TEST(Detector, IgnoresSubThresholdWiggle) {
+    DetectorConfig cfg;
+    cfg.threshold_v = 0.5;
+    PulsePositionDetector det(cfg);
+    for (double v : {0.1, 0.4, -0.3, 0.45, -0.45}) EXPECT_FALSE(det.step(v));
+}
+
+TEST(Detector, DutyOnSyntheticTrain) {
+    DetectorConfig cfg;
+    cfg.threshold_v = 0.5;
+    PulsePositionDetector det(cfg);
+    // Period 100 samples: positive pulse ends at 20, negative at 70 ->
+    // duty 0.5.
+    int high = 0;
+    const int periods = 10;
+    for (int p = 0; p < periods; ++p) {
+        for (int i = 0; i < 100; ++i) {
+            double v = 0.0;
+            if (i >= 10 && i < 20) v = 1.0;
+            if (i >= 60 && i < 70) v = -1.0;
+            if (det.step(v) && p > 0) ++high;  // skip warmup period
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(high) / (100 * (periods - 1)), 0.5, 0.02);
+}
+
+// ------------------------------------------------------------------- mux
+
+TEST(Mux, SettlingBehaviour) {
+    AnalogMux mux(50e-6);
+    EXPECT_EQ(mux.selected(), Channel::X);
+    mux.step(60e-6);
+    EXPECT_TRUE(mux.settled());
+    mux.select(Channel::Y);
+    EXPECT_FALSE(mux.settled());
+    mux.step(30e-6);
+    EXPECT_FALSE(mux.settled());
+    mux.step(30e-6);
+    EXPECT_TRUE(mux.settled());
+    // Re-selecting the same channel does not restart the timer.
+    mux.select(Channel::Y);
+    EXPECT_TRUE(mux.settled());
+}
+
+// -------------------------------------------------------------- frontend
+
+TEST(FrontEnd, MultiplexedProducesDetectorActivity) {
+    FrontEnd fe;
+    fe.set_field(Channel::X, 15.0);
+    const double dt = 125e-6 / 2048;
+    int transitions = 0;
+    bool prev = false;
+    for (int i = 0; i < 4 * 2048; ++i) {
+        const FrontEndSample s = fe.step(dt);
+        if (s.detector[0] != prev) ++transitions;
+        prev = s.detector[0];
+    }
+    EXPECT_GE(transitions, 6);  // toggles once per half excitation period
+}
+
+TEST(FrontEnd, PowerGatingDropsToLeakage) {
+    FrontEndConfig cfg;
+    FrontEnd fe(cfg);
+    fe.enable(false);
+    const FrontEndSample s = fe.step(1e-6);
+    EXPECT_NEAR(s.power_w, cfg.leakage_a * cfg.supply_v, 1e-9);
+    fe.enable(true);
+    const FrontEndSample on = fe.step(1e-6);
+    EXPECT_GT(on.power_w, 20.0 * s.power_w);
+}
+
+TEST(FrontEnd, SimultaneousModeUsesTwoOscillators) {
+    FrontEndConfig multiplexed;
+    FrontEndConfig simultaneous;
+    simultaneous.mode = FrontEndMode::Simultaneous;
+    FrontEnd fe_mux(multiplexed);
+    FrontEnd fe_sim(simultaneous);
+    EXPECT_EQ(fe_mux.oscillator_count(), 1);
+    EXPECT_EQ(fe_sim.oscillator_count(), 2);
+    // Momentary power at the same excitation current is higher when
+    // everything is duplicated (the paper's argument for multiplexing).
+    EXPECT_GT(fe_sim.momentary_power_w(6e-3), 1.5 * fe_mux.momentary_power_w(6e-3));
+}
+
+TEST(FrontEnd, SimultaneousModeServesBothChannels) {
+    FrontEndConfig cfg;
+    cfg.mode = FrontEndMode::Simultaneous;
+    FrontEnd fe(cfg);
+    const FrontEndSample s = fe.step(1e-6);
+    EXPECT_TRUE(s.valid[0]);
+    EXPECT_TRUE(s.valid[1]);
+}
+
+TEST(FrontEnd, MultiplexedInvalidWhileSettling) {
+    FrontEndConfig cfg;
+    cfg.mux_settle_s = 50e-6;
+    FrontEnd fe(cfg);
+    // Run long enough to settle channel X, then switch to Y.
+    for (int i = 0; i < 100; ++i) fe.step(1e-6);
+    fe.select(Channel::Y);
+    const FrontEndSample s = fe.step(1e-6);
+    EXPECT_FALSE(s.valid[1]);  // still settling
+    for (int i = 0; i < 100; ++i) fe.step(1e-6);
+    const FrontEndSample s2 = fe.step(1e-6);
+    EXPECT_TRUE(s2.valid[1]);
+}
+
+}  // namespace
+}  // namespace fxg::analog

@@ -1,0 +1,237 @@
+// Tests for the tilt-geometry analysis and the soft-iron (ellipse)
+// calibration extensions of the core compass.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "core/compass.hpp"
+#include "core/error_analysis.hpp"
+#include "core/heading_filter.hpp"
+#include "core/power_budget.hpp"
+#include "core/tilt.hpp"
+#include "magnetics/units.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::compass {
+namespace {
+
+magnetics::EarthField europe() {
+    return magnetics::EarthField(magnetics::microtesla(48.0), 67.0);
+}
+
+// -------------------------------------------------------------------- tilt
+
+TEST(Tilt, LevelAttitudeMatchesEarthFieldGeometry) {
+    const auto field = europe();
+    for (double heading : {0.0, 45.0, 137.0, 263.0}) {
+        const TiltedAxisFields t = tilted_axis_fields(field, heading, 0.0, 0.0);
+        const magnetics::HorizontalField h = field.at_heading(heading);
+        EXPECT_NEAR(t.hx_a_per_m, h.hx_a_per_m, 1e-9);
+        EXPECT_NEAR(t.hy_a_per_m, h.hy_a_per_m, 1e-9);
+        EXPECT_NEAR(tilt_heading_error_deg(field, heading, 0.0, 0.0), 0.0, 1e-9);
+    }
+}
+
+TEST(Tilt, VerticalComponentAppearsAlongCaseNormal) {
+    const auto field = europe();
+    const TiltedAxisFields t = tilted_axis_fields(field, 0.0, 0.0, 0.0);
+    const double bv = magnetics::tesla_to_a_per_m(field.magnitude_tesla()) *
+                      std::sin(util::deg_to_rad(67.0));
+    EXPECT_NEAR(t.hz_a_per_m, bv, 1e-9);
+}
+
+TEST(Tilt, PitchLeaksVerticalFieldIntoX) {
+    // Nose-down pitch mixes -sin(theta) * B_down into the x sensor.
+    const auto field = europe();
+    const TiltedAxisFields level = tilted_axis_fields(field, 90.0, 0.0, 0.0);
+    const TiltedAxisFields tilted = tilted_axis_fields(field, 90.0, 5.0, 0.0);
+    EXPECT_NEAR(level.hx_a_per_m, 0.0, 1e-9);
+    EXPECT_GT(std::fabs(tilted.hx_a_per_m), 2.0);  // several A/m of leakage
+}
+
+TEST(Tilt, ErrorGrowsWithDipAndTilt) {
+    // At 67 deg dip the vertical field is 2.4x the horizontal one, so
+    // every degree of tilt costs ~2.4 deg of worst-case heading error.
+    const auto steep = europe();
+    const magnetics::EarthField shallow(magnetics::microtesla(48.0), 20.0);
+    const double e_steep = max_tilt_error_deg(steep, 2.0, 0.0);
+    const double e_shallow = max_tilt_error_deg(shallow, 2.0, 0.0);
+    EXPECT_GT(e_steep, 3.0);            // far beyond the 1-degree budget
+    EXPECT_LT(e_shallow, e_steep / 3.0);  // shallow dip is far kinder
+    EXPECT_NEAR(e_steep, 2.0 * std::tan(util::deg_to_rad(67.0)), 1.2);
+}
+
+TEST(Tilt, EndToEndThroughPipeline) {
+    // Feed the tilted projections through the full compass: the
+    // hardware faithfully reports the geometric error.
+    const auto field = europe();
+    Compass compass;
+    const double heading = 90.0;
+    const TiltedAxisFields t = tilted_axis_fields(field, heading, 3.0, 0.0);
+    compass.set_axis_fields(t.hx_a_per_m, t.hy_a_per_m);
+    const Measurement m = compass.measure();
+    const double geometric = tilt_heading_error_deg(field, heading, 3.0, 0.0);
+    EXPECT_NEAR(util::angular_diff_deg(m.heading_deg, heading), geometric, 0.8);
+    EXPECT_GT(std::fabs(geometric), 2.0);
+}
+
+// --------------------------------------------------------------- soft iron
+
+TEST(SoftIron, EllipseFitRecoversParameters) {
+    std::vector<CountSample> samples;
+    for (int k = 0; k < 16; ++k) {
+        const double a = util::deg_to_rad(22.5 * k);
+        samples.push_back({50.0 + 200.0 * std::cos(a), -30.0 + 150.0 * std::sin(a)});
+    }
+    const EllipseFit fit = fit_ellipse(samples);
+    EXPECT_NEAR(fit.center_x, 50.0, 1e-6);
+    EXPECT_NEAR(fit.center_y, -30.0, 1e-6);
+    EXPECT_NEAR(fit.radius_x, 200.0, 1e-6);
+    EXPECT_NEAR(fit.radius_y, 150.0, 1e-6);
+}
+
+TEST(SoftIron, EllipseFitValidates) {
+    EXPECT_THROW(fit_ellipse({{0, 0}, {1, 1}, {2, 2}}), std::invalid_argument);
+    // Collinear points cannot define an ellipse.
+    std::vector<CountSample> line;
+    for (int i = 0; i < 8; ++i) line.push_back({static_cast<double>(i), 2.0 * i});
+    EXPECT_THROW(fit_ellipse(line), std::invalid_argument);
+}
+
+TEST(SoftIron, CalibrationRestoresAccuracy) {
+    // A 6% sensor mismatch squashes the count locus into an ellipse and
+    // costs ~1.7 deg; the soft-iron calibration recovers the budget.
+    CompassConfig cfg;
+    cfg.front_end.sensor_mismatch = 0.06;
+    Compass compass(cfg);
+    const auto field = europe();
+
+    compass.set_calibration({});
+    const HeadingSweep before = sweep_heading(compass, field, 30.0);
+    EXPECT_GT(before.max_abs_error_deg(), 1.2);
+
+    const CountCalibration cal = calibrate_soft_iron(compass, field, 16);
+    EXPECT_NEAR(cal.scale_y, 1.06, 0.02);  // recovers the injected mismatch
+    const HeadingSweep after = sweep_heading(compass, field, 30.0);
+    EXPECT_LE(after.max_abs_error_deg(), 1.0);
+    EXPECT_LT(after.max_abs_error_deg(), before.max_abs_error_deg() / 1.5);
+}
+
+// ----------------------------------------------------------- heading filter
+
+TEST(HeadingFilter, SmoothsAcrossTheSeam) {
+    HeadingFilter f(0.5);
+    f.update(359.0);
+    const double h = f.update(1.0);
+    // Circular average of 359 and 1 is 0, never 180.
+    EXPECT_LE(util::angular_abs_diff_deg(h, 0.0), 1.0);
+}
+
+TEST(HeadingFilter, ConvergesToConstantInput) {
+    HeadingFilter f(0.3);
+    double h = 0.0;
+    for (int i = 0; i < 40; ++i) h = f.update(222.5);
+    EXPECT_NEAR(h, 222.5, 1e-9);
+    EXPECT_NEAR(f.consistency(), 1.0, 1e-9);
+}
+
+TEST(HeadingFilter, ConsistencyDropsOnScatter) {
+    HeadingFilter f(0.5);
+    for (int i = 0; i < 50; ++i) f.update((i % 2) ? 0.0 : 180.0);
+    EXPECT_LT(f.consistency(), 0.5);
+}
+
+TEST(HeadingFilter, ReducesMeasurementNoise) {
+    // Feed noisy compass fixes; the filtered stream must be tighter.
+    Compass compass;
+    const auto field = europe();
+    HeadingFilter f(0.3);
+    double raw_worst = 0.0;
+    double filt_worst = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        compass.set_environment(field, 222.5);
+        const Measurement m = compass.measure();
+        const double filtered = f.update(m.heading_deg);
+        raw_worst = std::max(raw_worst,
+                             util::angular_abs_diff_deg(m.heading_deg, 222.5));
+        if (i >= 5) {
+            filt_worst =
+                std::max(filt_worst, util::angular_abs_diff_deg(filtered, 222.5));
+        }
+    }
+    EXPECT_LE(filt_worst, raw_worst + 1e-12);
+}
+
+TEST(HeadingFilter, ResetAndValidation) {
+    HeadingFilter f(0.2);
+    EXPECT_FALSE(f.heading_deg().has_value());
+    f.update(10.0);
+    EXPECT_TRUE(f.heading_deg().has_value());
+    f.reset();
+    EXPECT_FALSE(f.heading_deg().has_value());
+    EXPECT_THROW(HeadingFilter(0.0), std::invalid_argument);
+    EXPECT_THROW(HeadingFilter(1.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ power budget
+
+TEST(PowerBudget, GatedWatchLivesLong) {
+    Compass compass;
+    compass.set_environment(europe(), 123.0);
+    PowerProfile profile;  // 1 fix/s, 230 mAh cell
+    const PowerBudget b = estimate_power_budget(compass, profile);
+    EXPECT_NEAR(b.energy_per_fix_j, 40e-6, 6e-6);   // ~40 uJ per fix
+    EXPECT_NEAR(b.duty_cycle, 0.00225, 5e-4);       // 2.25 ms per second
+    // ~54 uW total -> a coin cell lasts years.
+    EXPECT_GT(b.battery_life_hours, 10'000.0);
+    EXPECT_LT(b.battery_life_hours, 200'000.0);
+}
+
+TEST(PowerBudget, FixRateScalesPower) {
+    Compass a;
+    Compass b;
+    a.set_environment(europe(), 0.0);
+    b.set_environment(europe(), 0.0);
+    PowerProfile slow;
+    slow.fixes_per_second = 0.2;
+    PowerProfile fast;
+    fast.fixes_per_second = 4.0;
+    const PowerBudget pb_slow = estimate_power_budget(a, slow);
+    const PowerBudget pb_fast = estimate_power_budget(b, fast);
+    EXPECT_GT(pb_fast.average_power_w, 3.0 * pb_slow.average_power_w);
+    EXPECT_LT(pb_fast.battery_life_hours, pb_slow.battery_life_hours);
+}
+
+TEST(PowerBudget, UngatedFrontEndDominates) {
+    CompassConfig cfg;
+    cfg.power_gating = false;
+    Compass hot(cfg);
+    hot.set_environment(europe(), 0.0);
+    Compass cold;
+    cold.set_environment(europe(), 0.0);
+    const PowerBudget hot_b = estimate_power_budget(hot);
+    const PowerBudget cold_b = estimate_power_budget(cold);
+    // Without gating the front end burns ~18 mW continuously.
+    EXPECT_GT(hot_b.average_power_w, 100.0 * cold_b.average_power_w);
+}
+
+TEST(PowerBudget, Validates) {
+    Compass compass;
+    compass.set_environment(europe(), 0.0);
+    PowerProfile bad;
+    bad.fixes_per_second = 0.0;
+    EXPECT_THROW(estimate_power_budget(compass, bad), std::invalid_argument);
+    bad = {};
+    bad.fixes_per_second = 1000.0;  // faster than a fix takes
+    EXPECT_THROW(estimate_power_budget(compass, bad), std::invalid_argument);
+}
+
+TEST(SoftIron, CalibrateValidates) {
+    Compass compass;
+    EXPECT_THROW(calibrate_soft_iron(compass, europe(), 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxg::compass

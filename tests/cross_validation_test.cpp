@@ -1,0 +1,196 @@
+// Cross-validation between independent engine layers that have no code
+// in common: (1) transient steady-state amplitude vs the AC solution of
+// the same network; (2) wide gate-level datapaths vs integer arithmetic
+// on random vectors; (3) file-writer round trips (CSV, VCD, Verilog).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <fstream>
+#include <numbers>
+
+#include "rtl/gates.hpp"
+#include "rtl/structural.hpp"
+#include "rtl/vcd.hpp"
+#include "rtl/verilog.hpp"
+#include "spice/ac_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace fxg {
+namespace {
+
+// --------------------------------------------- transient vs AC agreement
+
+// Drive the same RC network with a sine in the time domain and compare
+// the settled amplitude/phase with the AC solution at that frequency.
+class TransientVsAc : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransientVsAc, RcNetworkAgrees) {
+    const double freq = GetParam();
+    auto build = [] {
+        spice::Circuit ckt;
+        const int in = ckt.node("in");
+        const int mid = ckt.node("mid");
+        const int out = ckt.node("out");
+        // Two-pole ladder: 1k/100n then 2.2k/47n.
+        ckt.add<spice::Resistor>("r1", in, mid, 1e3);
+        ckt.add<spice::Capacitor>("c1", mid, spice::kGround, 100e-9);
+        ckt.add<spice::Resistor>("r2", mid, out, 2.2e3);
+        ckt.add<spice::Capacitor>("c2", out, spice::kGround, 47e-9);
+        return ckt;
+    };
+
+    // AC solution.
+    spice::Circuit ac_ckt = build();
+    auto& vac = ac_ckt.add<spice::VoltageSource>("vin", ac_ckt.find_node("in"),
+                                                 spice::kGround, 0.0);
+    vac.set_ac_magnitude(1.0);
+    spice::AcSpec ac_spec;
+    ac_spec.f_start_hz = freq;
+    ac_spec.f_stop_hz = freq;
+    const spice::AcResult ac = run_ac(ac_ckt, ac_spec);
+    const std::complex<double> h = ac.node_voltage(ac_ckt, "out")[0];
+
+    // Transient steady state (8 periods warmup, 4 measured).
+    spice::Circuit tr_ckt = build();
+    tr_ckt.add<spice::VoltageSource>(
+        "vin", tr_ckt.find_node("in"), spice::kGround,
+        std::make_unique<spice::SinWave>(0.0, 1.0, freq));
+    spice::TransientSpec tr_spec;
+    const double period = 1.0 / freq;
+    tr_spec.dt = period / 200.0;
+    tr_spec.tstop = 12.0 * period;
+    tr_spec.start_from_op = false;
+    const spice::TransientResult tr = run_transient(tr_ckt, tr_spec);
+    const auto v = tr.node_voltage(tr_ckt, "out");
+    // Correlate the last 4 periods against sin/cos to get the phasor.
+    double re = 0.0;
+    double im = 0.0;
+    int count = 0;
+    for (std::size_t i = 0; i < tr.steps(); ++i) {
+        if (tr.time()[i] < 8.0 * period) continue;
+        const double w = 2.0 * std::numbers::pi * freq * tr.time()[i];
+        re += v[i] * std::sin(w);
+        im += v[i] * std::cos(w);
+        ++count;
+    }
+    // v(t) = A sin(wt + phi): correlation yields A/2 (cos phi, sin phi).
+    const std::complex<double> measured(2.0 * re / count, 2.0 * im / count);
+    EXPECT_NEAR(std::abs(measured), std::abs(h), 0.02 * std::abs(h) + 2e-3)
+        << "f = " << freq;
+    // Phase comparison (AC phasor is cos-referenced; the sine drive's
+    // response phase equals arg(h)).
+    const double phase_ac = std::arg(h);
+    const double phase_tr = std::atan2(measured.imag(), measured.real());
+    EXPECT_NEAR(std::remainder(phase_tr - phase_ac, 2.0 * std::numbers::pi), 0.0, 0.05)
+        << "f = " << freq;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, TransientVsAc,
+                         ::testing::Values(200.0, 1000.0, 5000.0, 20000.0));
+
+// ------------------------------------------ random vectors on wide gates
+
+TEST(RandomVectors, WideAddSubAgainstIntegers) {
+    constexpr std::size_t kBits = 24;
+    rtl::Netlist nl("addsub24");
+    const auto a = nl.add_bus("a", kBits);
+    const auto b = nl.add_bus("b", kBits);
+    const rtl::NetId sub = nl.add_net("sub");
+    const auto out = rtl::structural::add_sub(nl, a, b, sub, "as");
+    rtl::Kernel k;
+    const rtl::Elaboration elab = rtl::elaborate(nl, k);
+    util::Rng rng(20260705);
+    const std::int64_t mask = (std::int64_t{1} << kBits) - 1;
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::int64_t av = rng.uniform_int(-(1 << 22), (1 << 22) - 1);
+        const std::int64_t bv = rng.uniform_int(-(1 << 22), (1 << 22) - 1);
+        const bool do_sub = rng.chance(0.5);
+        rtl::drive_bus(k, elab, a, static_cast<std::uint64_t>(av) & mask);
+        rtl::drive_bus(k, elab, b, static_cast<std::uint64_t>(bv) & mask);
+        k.deposit(elab.signal(sub), rtl::to_logic(do_sub));
+        k.run_for(rtl::kUs);
+        std::int64_t expect = do_sub ? av - bv : av + bv;
+        expect = ((expect + (std::int64_t{1} << (kBits - 1))) & mask) -
+                 (std::int64_t{1} << (kBits - 1));
+        EXPECT_EQ(rtl::read_bus_signed(k, elab, out.sum), expect)
+            << av << (do_sub ? " - " : " + ") << bv;
+    }
+}
+
+TEST(RandomVectors, WideBarrelShifter) {
+    constexpr std::size_t kBits = 20;
+    rtl::Netlist nl("bs20");
+    const auto a = nl.add_bus("a", kBits);
+    const auto sh = nl.add_bus("sh", 4);
+    const auto out = rtl::structural::barrel_shifter_asr(nl, a, sh, "bs");
+    rtl::Kernel k;
+    const rtl::Elaboration elab = rtl::elaborate(nl, k);
+    util::Rng rng(7);
+    const std::int64_t mask = (std::int64_t{1} << kBits) - 1;
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::int64_t av = rng.uniform_int(-(1 << 18), (1 << 18) - 1);
+        const std::int64_t shamt = rng.uniform_int(0, 15);
+        rtl::drive_bus(k, elab, a, static_cast<std::uint64_t>(av) & mask);
+        rtl::drive_bus(k, elab, sh, static_cast<std::uint64_t>(shamt));
+        k.run_for(rtl::kUs);
+        EXPECT_EQ(rtl::read_bus_signed(k, elab, out), av >> shamt)
+            << av << " >> " << shamt;
+    }
+}
+
+// ------------------------------------------------------ file round trips
+
+TEST(FileOutput, CsvWritesToDisk) {
+    util::CsvWriter csv;
+    csv.add_column("x");
+    csv.append_row({42.5});
+    const std::string path = ::testing::TempDir() + "fxg_csv_test.csv";
+    csv.write_file(path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string header;
+    std::getline(f, header);
+    EXPECT_EQ(header, "x");
+    std::remove(path.c_str());
+    EXPECT_THROW(csv.write_file("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(FileOutput, VcdWritesToDisk) {
+    rtl::Kernel k;
+    const rtl::SignalId s = k.create_signal("sig", rtl::Logic::L0);
+    rtl::VcdRecorder vcd(k, {s});
+    k.schedule(s, rtl::Logic::L1, rtl::kNs);
+    k.run_for(rtl::kUs);
+    const std::string path = ::testing::TempDir() + "fxg_vcd_test.vcd";
+    vcd.write(path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string first;
+    std::getline(f, first);
+    EXPECT_EQ(first, "$timescale 1ps $end");
+    std::remove(path.c_str());
+}
+
+TEST(FileOutput, VerilogWritesToDisk) {
+    rtl::Netlist nl("filetest");
+    const rtl::NetId a = nl.add_net("a");
+    nl.add_gate(rtl::GateKind::Inv, {a}, nl.add_net("y"));
+    const std::string path = ::testing::TempDir() + "fxg_verilog_test.v";
+    rtl::write_verilog(nl, path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string content((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("module filetest"), std::string::npos);
+    std::remove(path.c_str());
+    EXPECT_THROW(rtl::write_verilog(nl, "/nonexistent-dir/x.v"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fxg

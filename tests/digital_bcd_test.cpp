@@ -1,0 +1,164 @@
+// Tests for the binary->BCD converter (behavioural double-dabble,
+// exhaustive) and its gate-level add-3/shift network, plus the watch
+// alarm and stopwatch options.
+
+#include <gtest/gtest.h>
+
+#include "digital/bcd.hpp"
+#include "digital/watch.hpp"
+#include "rtl/gates.hpp"
+#include "rtl/kernel.hpp"
+
+namespace fxg::digital {
+namespace {
+
+// --------------------------------------------------------------------- BCD
+
+TEST(Bcd, ExhaustiveThreeDigits) {
+    for (std::uint64_t v = 0; v < 1000; ++v) {
+        const std::uint64_t packed = binary_to_bcd(v, 3);
+        EXPECT_EQ(static_cast<std::uint64_t>(bcd_digit(packed, 0)), v % 10);
+        EXPECT_EQ(static_cast<std::uint64_t>(bcd_digit(packed, 1)), (v / 10) % 10);
+        EXPECT_EQ(static_cast<std::uint64_t>(bcd_digit(packed, 2)), v / 100);
+    }
+}
+
+TEST(Bcd, WideValues) {
+    EXPECT_EQ(binary_to_bcd(65535, 5), 0x65535u);
+    EXPECT_EQ(binary_to_bcd(0, 1), 0u);
+    EXPECT_EQ(binary_to_bcd(9, 1), 9u);
+}
+
+TEST(Bcd, Validates) {
+    EXPECT_THROW(binary_to_bcd(1000, 3), std::out_of_range);
+    EXPECT_THROW(binary_to_bcd(10, 1), std::out_of_range);
+    EXPECT_THROW(binary_to_bcd(1, 0), std::invalid_argument);
+    EXPECT_THROW(bcd_digit(0, 16), std::out_of_range);
+}
+
+TEST(Bcd, GateLevelMatchesBehavioural) {
+    // 10-bit converter (covers the 0..359 heading range with margin),
+    // compared against the behavioural model on a value sweep.
+    rtl::Netlist nl("bcd10");
+    const BcdNetlistPorts ports = build_bcd_converter(nl, 10, 3, "dd");
+    EXPECT_GT(nl.stats().gates, 300u);  // a real add-3 network
+    rtl::Kernel kernel;
+    const rtl::Elaboration elab = rtl::elaborate(nl, kernel, rtl::kNs);
+    for (std::uint64_t v = 0; v < 1000; v += 13) {
+        rtl::drive_bus(kernel, elab, ports.input, v);
+        kernel.run_for(2 * rtl::kUs);  // deep combinational chain
+        const std::uint64_t expect = binary_to_bcd(v, 3);
+        for (int d = 0; d < 3; ++d) {
+            bool known = false;
+            const std::uint64_t got =
+                rtl::read_bus(kernel, elab, ports.digits[static_cast<std::size_t>(d)],
+                              &known);
+            EXPECT_TRUE(known);
+            EXPECT_EQ(got, static_cast<std::uint64_t>(bcd_digit(expect, d)))
+                << "value " << v << " digit " << d;
+        }
+    }
+}
+
+TEST(Bcd, GeneratorValidates) {
+    rtl::Netlist nl("x");
+    EXPECT_THROW(build_bcd_converter(nl, 0, 3, "p"), std::invalid_argument);
+    EXPECT_THROW(build_bcd_converter(nl, 8, 0, "p"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- alarm
+
+TEST(WatchAlarm, FiresWhenCrossed) {
+    Watch w;
+    w.set_time(6, 59, 50);
+    w.set_alarm(7, 0);
+    EXPECT_FALSE(w.alarm_fired());
+    w.advance_seconds(9);
+    EXPECT_FALSE(w.alarm_fired());  // 06:59:59
+    w.advance_seconds(1);
+    EXPECT_TRUE(w.alarm_fired());   // 07:00:00 exactly
+    w.acknowledge_alarm();
+    EXPECT_FALSE(w.alarm_fired());
+    EXPECT_TRUE(w.alarm_armed());
+}
+
+TEST(WatchAlarm, FiresInsideLargeJump) {
+    Watch w;
+    w.set_time(6, 0, 0);
+    w.set_alarm(7, 30);
+    w.advance_seconds(2 * 3600);  // jump to 08:00
+    EXPECT_TRUE(w.alarm_fired());
+}
+
+TEST(WatchAlarm, FiresAcrossMidnight) {
+    Watch w;
+    w.set_time(23, 50, 0);
+    w.set_alarm(0, 5);
+    w.advance_seconds(20 * 60);  // to 00:10 next day
+    EXPECT_TRUE(w.alarm_fired());
+}
+
+TEST(WatchAlarm, DoesNotFireOutsideWindow) {
+    Watch w;
+    w.set_time(10, 0, 0);
+    w.set_alarm(9, 0);           // already passed today
+    w.advance_seconds(3600);     // to 11:00
+    EXPECT_FALSE(w.alarm_fired());
+    w.advance_seconds(23 * 3600);  // wraps past 09:00 tomorrow
+    EXPECT_TRUE(w.alarm_fired());
+}
+
+TEST(WatchAlarm, ClearAndValidate) {
+    Watch w;
+    w.set_alarm(12, 0);
+    w.clear_alarm();
+    EXPECT_FALSE(w.alarm_armed());
+    w.advance_seconds(86400);
+    EXPECT_FALSE(w.alarm_fired());
+    EXPECT_THROW(w.set_alarm(24, 0), std::out_of_range);
+}
+
+// --------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, AccumulatesOnlyWhileRunning) {
+    Stopwatch sw;  // 2^22 Hz
+    sw.tick(4194304);             // not running: ignored
+    EXPECT_EQ(sw.elapsed_ms(), 0u);
+    sw.start();
+    sw.tick(4194304);             // 1 s
+    EXPECT_EQ(sw.elapsed_ms(), 1000u);
+    sw.stop();
+    sw.tick(4194304);
+    EXPECT_EQ(sw.elapsed_ms(), 1000u);
+    sw.start();
+    sw.tick(4194304 / 2);         // +500 ms
+    EXPECT_EQ(sw.elapsed_ms(), 1500u);
+}
+
+TEST(Stopwatch, LapsAndReset) {
+    Stopwatch sw;
+    sw.start();
+    sw.tick(4194304);
+    sw.lap();
+    sw.tick(4194304 * 2);
+    sw.lap();
+    ASSERT_EQ(sw.laps().size(), 2u);
+    EXPECT_EQ(sw.laps()[0], 1000u);
+    EXPECT_EQ(sw.laps()[1], 3000u);
+    sw.reset();
+    EXPECT_EQ(sw.elapsed_ms(), 0u);
+    EXPECT_TRUE(sw.laps().empty());
+    EXPECT_FALSE(sw.running());
+}
+
+TEST(Stopwatch, MillisecondResolution) {
+    Stopwatch sw;
+    sw.start();
+    sw.tick(4194);  // just under 1 ms at 2^22 Hz (4194.3 cycles/ms)
+    EXPECT_EQ(sw.elapsed_ms(), 0u);
+    sw.tick(101);
+    EXPECT_EQ(sw.elapsed_ms(), 1u);
+}
+
+}  // namespace
+}  // namespace fxg::digital

@@ -1,0 +1,333 @@
+// Tests for the Figure 8 arctan unit in all three implementations:
+// the bit-exact behavioural model, the cycle-accurate RTL model and the
+// gate-level netlist — including the paper's "8 cycles for one degree"
+// accuracy claim and the three-way bit equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "digital/cordic.hpp"
+#include "digital/cordic_gate.hpp"
+#include "digital/cordic_rtl.hpp"
+#include "digital/heading_gate.hpp"
+#include "util/angle.hpp"
+#include "util/statistics.hpp"
+
+namespace fxg::digital {
+namespace {
+
+// ------------------------------------------------------------ behavioural
+
+TEST(Cordic, RomHoldsAtanConstants) {
+    const CordicUnit unit(8, 7);
+    const auto& rom = unit.atan_rom();
+    ASSERT_EQ(rom.size(), 8u);
+    EXPECT_EQ(rom[0], 45 * 128);  // atan(1) = 45 deg exactly
+    EXPECT_EQ(rom[1], std::llround(26.565051 * 128));
+    EXPECT_EQ(rom[7], std::llround(0.447614 * 128));
+}
+
+TEST(Cordic, ExactAxes) {
+    const CordicUnit unit;
+    EXPECT_NEAR(unit.arctan(0, 1000).angle_deg, 0.0, 1e-12);
+    EXPECT_NEAR(unit.heading_deg(1000, 0), 0.0, 1e-12);
+    EXPECT_NEAR(unit.heading_deg(0, -1000), 90.0, 0.5);
+    EXPECT_NEAR(unit.heading_deg(-1000, 0), 180.0, 0.5);
+    EXPECT_NEAR(unit.heading_deg(0, 1000), 270.0, 0.5);
+}
+
+TEST(Cordic, FortyFiveDegrees) {
+    const CordicUnit unit;
+    EXPECT_NEAR(unit.arctan(1000, 1000).angle_deg, 45.0, unit.error_bound_deg());
+}
+
+TEST(Cordic, DomainChecks) {
+    const CordicUnit unit;
+    EXPECT_THROW((void)unit.arctan(-1, 10), std::domain_error);
+    EXPECT_THROW((void)unit.arctan(1, 0), std::domain_error);
+    EXPECT_THROW(CordicUnit(0, 7), std::invalid_argument);
+    EXPECT_THROW(CordicUnit(8, 40), std::invalid_argument);
+}
+
+TEST(Cordic, ZeroInputDefinedAsZero) {
+    const CordicUnit unit;
+    EXPECT_DOUBLE_EQ(unit.heading_deg(0, 0), 0.0);
+}
+
+// The paper's claim: 8 cycles suffice for one-degree accuracy. Sweep
+// every integer degree with realistic counter magnitudes.
+TEST(Cordic, PaperClaimEightCyclesOneDegree) {
+    const CordicUnit unit(8, 7);
+    util::RunningStats err;
+    for (int deg = 0; deg < 360; ++deg) {
+        const double rad = util::deg_to_rad(static_cast<double>(deg));
+        // Counter values as the compass would produce them (|v| ~ 2000).
+        const auto x = static_cast<std::int64_t>(std::llround(2000.0 * std::cos(rad)));
+        const auto y = static_cast<std::int64_t>(std::llround(-2000.0 * std::sin(rad)));
+        const double measured = unit.heading_deg(x, y);
+        err.add(util::angular_diff_deg(measured, static_cast<double>(deg)));
+    }
+    EXPECT_LE(err.max_abs(), 1.0) << "paper claim violated";
+    EXPECT_LE(err.rms(), 0.35);
+}
+
+// Error must fall roughly in half per added cycle until quantisation.
+TEST(Cordic, ErrorShrinksWithCycles) {
+    double prev_err = 1e9;
+    for (int cycles = 4; cycles <= 10; ++cycles) {
+        const CordicUnit unit(cycles, 12);  // wide fraction isolates algorithm
+        util::RunningStats err;
+        for (int deg = 0; deg <= 90; ++deg) {
+            const double rad = util::deg_to_rad(static_cast<double>(deg));
+            const auto x =
+                static_cast<std::int64_t>(std::llround(100000.0 * std::cos(rad))) + 1;
+            const auto y =
+                static_cast<std::int64_t>(std::llround(100000.0 * std::sin(rad)));
+            if (y < 0 || x <= 0) continue;
+            const double a = unit.heading_deg(x, -y);
+            err.add(util::angular_diff_deg(a, static_cast<double>(deg)));
+        }
+        EXPECT_LT(err.max_abs(), prev_err * 0.75) << "cycles " << cycles;
+        EXPECT_LE(err.max_abs(), unit.error_bound_deg() + 0.01);
+        prev_err = err.max_abs();
+    }
+}
+
+TEST(Cordic, MagnitudeInvariance) {
+    // Same direction at very different counter magnitudes (the paper's
+    // 25 uT vs 65 uT argument reduced to the digital domain).
+    const CordicUnit unit;
+    const double a1 = unit.heading_deg(400, -300);
+    const double a2 = unit.heading_deg(4000, -3000);
+    const double a3 = unit.heading_deg(40000, -30000);
+    EXPECT_NEAR(a1, a2, 0.2);
+    EXPECT_NEAR(a2, a3, 0.1);
+}
+
+TEST(Cordic, ReferenceModelAgreesWhenUnquantised) {
+    const CordicUnit unit(8, 16);
+    for (int deg = 1; deg < 90; deg += 7) {
+        const double rad = util::deg_to_rad(static_cast<double>(deg));
+        const double x = 1.0;
+        const double y = std::tan(rad);
+        const double ref = cordic_arctan_reference(y, x, 8);
+        const auto xi = static_cast<std::int64_t>(100000);
+        const auto yi = static_cast<std::int64_t>(std::llround(100000.0 * y));
+        const double fix = unit.arctan(yi, xi).angle_deg;
+        EXPECT_NEAR(ref, fix, 0.05) << deg;
+    }
+}
+
+// Octant symmetry property: heading(x,y) and heading reflected through
+// the axes must be consistent.
+class CordicOctantSymmetry : public ::testing::TestWithParam<int> {};
+
+TEST_P(CordicOctantSymmetry, ReflectionIdentities) {
+    const CordicUnit unit;
+    const int deg = GetParam();
+    const double rad = util::deg_to_rad(static_cast<double>(deg));
+    const auto x = static_cast<std::int64_t>(std::llround(3000.0 * std::cos(rad)));
+    const auto y = static_cast<std::int64_t>(std::llround(-3000.0 * std::sin(rad)));
+    const double h = unit.heading_deg(x, y);
+    // Mirror across north (negate y): heading -> 360 - heading.
+    const double h_mirror = unit.heading_deg(x, -y);
+    EXPECT_NEAR(util::wrap_deg_360(h + h_mirror), 0.0, 1.0);
+    // Rotate 180 degrees (negate both).
+    const double h_opp = unit.heading_deg(-x, -y);
+    EXPECT_NEAR(util::angular_abs_diff_deg(h_opp, h + 180.0), 0.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, CordicOctantSymmetry,
+                         ::testing::Values(3, 17, 44, 46, 88, 91, 133, 179, 181, 272,
+                                           359));
+
+// Accumulator-width property: more fractional bits cannot make the
+// worst-case error larger (quantisation shrinks, algorithm unchanged).
+class CordicFracBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(CordicFracBits, ErrorBoundedByRomPlusLsb) {
+    const int frac = GetParam();
+    const CordicUnit unit(8, frac);
+    util::RunningStats err;
+    for (int deg = 0; deg < 360; deg += 5) {
+        const double rad = util::deg_to_rad(static_cast<double>(deg));
+        const auto x = static_cast<std::int64_t>(std::llround(3000.0 * std::cos(rad)));
+        const auto y = static_cast<std::int64_t>(std::llround(-3000.0 * std::sin(rad)));
+        err.add(util::angular_diff_deg(unit.heading_deg(x, y),
+                                       static_cast<double>(deg)));
+    }
+    // Worst case <= greedy bound + ROM/input quantisation allowance.
+    EXPECT_LE(err.max_abs(), unit.error_bound_deg() + 8.0 / (1 << frac) + 0.06)
+        << "frac bits " << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CordicFracBits, ::testing::Values(5, 6, 7, 8, 10, 12));
+
+// ------------------------------------------------------------------- RTL
+
+TEST(CordicRtl, BitExactVsBehavioural) {
+    rtl::Kernel kernel;
+    const rtl::SignalId clk = kernel.create_signal("clk", rtl::Logic::L0);
+    CordicRtl unit(kernel, clk, 8, 7);
+    const CordicUnit behavioural(8, 7);
+    const rtl::Time half = 119209;  // ~4.194304 MHz half period in ps
+
+    auto clock_once = [&] {
+        kernel.deposit(clk, rtl::Logic::L1);
+        kernel.run_for(half);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.run_for(half);
+    };
+
+    const std::pair<std::int64_t, std::int64_t> cases[] = {
+        {100, 0}, {100, 100}, {523, 211}, {2048, 1}, {1, 2048}, {777, 3141}};
+    for (const auto& [x, y] : cases) {
+        unit.set_operands(x, y);
+        kernel.deposit(unit.start(), rtl::Logic::L1);
+        clock_once();  // load
+        kernel.deposit(unit.start(), rtl::Logic::L0);
+        for (int i = 0; i < 8; ++i) clock_once();
+        EXPECT_EQ(kernel.read(unit.ready()), rtl::Logic::L1);
+        EXPECT_EQ(unit.res_raw(), behavioural.arctan(y, x).res_raw)
+            << "x=" << x << " y=" << y;
+    }
+}
+
+TEST(CordicRtl, LatencyIsExactlyEightCycles) {
+    rtl::Kernel kernel;
+    const rtl::SignalId clk = kernel.create_signal("clk", rtl::Logic::L0);
+    CordicRtl unit(kernel, clk, 8, 7);
+    const rtl::Time half = 119209;
+    auto clock_once = [&] {
+        kernel.deposit(clk, rtl::Logic::L1);
+        kernel.run_for(half);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.run_for(half);
+    };
+    unit.set_operands(300, 200);
+    kernel.deposit(unit.start(), rtl::Logic::L1);
+    clock_once();  // load edge
+    kernel.deposit(unit.start(), rtl::Logic::L0);
+    int cycles = 0;
+    while (kernel.read(unit.ready()) != rtl::Logic::L1 && cycles < 20) {
+        clock_once();
+        ++cycles;
+    }
+    EXPECT_EQ(cycles, 8);  // the paper's "only 8 cycles"
+    EXPECT_EQ(unit.iteration_edges(), 8u);
+}
+
+TEST(CordicRtl, ValidatesOperands) {
+    rtl::Kernel kernel;
+    const rtl::SignalId clk = kernel.create_signal("clk", rtl::Logic::L0);
+    CordicRtl unit(kernel, clk);
+    EXPECT_THROW(unit.set_operands(0, 1), std::domain_error);
+    EXPECT_THROW(unit.set_operands(1, -1), std::domain_error);
+}
+
+// ------------------------------------------------------------ gate level
+
+TEST(CordicGate, NetlistGeometry) {
+    const CordicNetlist unit = build_cordic_netlist(16, 8, 7);
+    EXPECT_EQ(unit.width, 26);
+    EXPECT_EQ(unit.res_bits, 15);
+    EXPECT_EQ(unit.count_bits, 3);
+    const rtl::NetlistStats stats = unit.netlist.stats();
+    EXPECT_GT(stats.gates, 500u);      // a real datapath
+    EXPECT_GT(stats.sequential, 60u);  // x, y, res, count, ctl registers
+}
+
+TEST(CordicGate, BitExactVsBehavioural) {
+    const CordicNetlist unit = build_cordic_netlist(12, 8, 7);
+    const CordicUnit behavioural(8, 7);
+    const std::pair<std::int64_t, std::int64_t> cases[] = {
+        {100, 0}, {100, 100}, {523, 211}, {2047, 1}, {1, 2047}, {1234, 987}};
+    for (const auto& [x, y] : cases) {
+        const CordicGateRun run = simulate_cordic_netlist(unit, x, y);
+        EXPECT_EQ(run.res_raw, behavioural.arctan(y, x).res_raw)
+            << "x=" << x << " y=" << y;
+        EXPECT_EQ(run.clock_cycles, 9u);  // 1 load + 8 iterations
+    }
+}
+
+TEST(CordicGate, FourCycleVariant) {
+    // The paper notes the parts "can be modified easily to compute the
+    // direction with an arbitrary precision" — the generator is
+    // parameterised the same way.
+    const CordicNetlist unit = build_cordic_netlist(12, 4, 7);
+    const CordicUnit behavioural(4, 7);
+    const CordicGateRun run = simulate_cordic_netlist(unit, 900, 333);
+    EXPECT_EQ(run.res_raw, behavioural.arctan(333, 900).res_raw);
+    EXPECT_EQ(run.clock_cycles, 5u);
+}
+
+// ------------------------------------------------- full heading unit
+
+TEST(HeadingGate, BitExactAgainstBehaviouralAcrossTheCircle) {
+    // The gate-level octant folding + CORDIC core must reproduce
+    // CordicUnit::heading_deg exactly (both compute in the same fixed
+    // point) at headings spread over all eight octants.
+    const HeadingNetlist unit = build_heading_netlist(14, 8, 7);
+    const CordicUnit behavioural(8, 7);
+    for (int deg = 3; deg < 360; deg += 23) {
+        const double rad = util::deg_to_rad(static_cast<double>(deg));
+        const auto x = static_cast<std::int64_t>(std::llround(2000.0 * std::cos(rad)));
+        const auto y = static_cast<std::int64_t>(std::llround(-2000.0 * std::sin(rad)));
+        if (x == 0 && y == 0) continue;
+        const HeadingGateRun run = simulate_heading_netlist(unit, x, y);
+        const double expect = behavioural.heading_deg(x, y);
+        EXPECT_NEAR(util::angular_abs_diff_deg(run.heading_deg, expect), 0.0, 1e-9)
+            << "deg=" << deg << " x=" << x << " y=" << y;
+        EXPECT_LE(util::angular_abs_diff_deg(run.heading_deg,
+                                             static_cast<double>(deg)),
+                  1.0)
+            << deg;
+    }
+}
+
+TEST(HeadingGate, AxesAndDiagonals) {
+    const HeadingNetlist unit = build_heading_netlist(12, 8, 7);
+    const struct {
+        std::int64_t x, y;
+        double expect;
+    } cases[] = {
+        {1000, 0, 0.0},    {0, -1000, 90.0},  {-1000, 0, 180.0},
+        {0, 1000, 270.0},  {1000, -1000, 45.0}, {-1000, 1000, 225.0},
+    };
+    for (const auto& c : cases) {
+        const HeadingGateRun run = simulate_heading_netlist(unit, c.x, c.y);
+        EXPECT_LE(util::angular_abs_diff_deg(run.heading_deg, c.expect), 0.5)
+            << c.x << "," << c.y;
+    }
+}
+
+TEST(HeadingGate, LatencyMatchesCore) {
+    const HeadingNetlist unit = build_heading_netlist(12, 8, 7);
+    const HeadingGateRun run = simulate_heading_netlist(unit, 700, -300);
+    EXPECT_EQ(run.clock_cycles, 9u);  // load + 8 iterations; folding is free
+}
+
+TEST(HeadingGate, NetlistIsSubstantial) {
+    const HeadingNetlist unit = build_heading_netlist(14, 8, 7);
+    const rtl::NetlistStats stats = unit.netlist.stats();
+    EXPECT_GT(stats.gates, 1100u);     // core + fold datapath
+    EXPECT_GT(stats.sequential, 70u);  // core registers + fold bits
+}
+
+TEST(HeadingGate, Validates) {
+    EXPECT_THROW(build_heading_netlist(2, 8, 7), std::invalid_argument);
+    const HeadingNetlist unit = build_heading_netlist(8, 4, 7);
+    EXPECT_THROW(simulate_heading_netlist(unit, 0, 0), std::domain_error);
+    EXPECT_THROW(simulate_heading_netlist(unit, 1 << 10, 0), std::domain_error);
+}
+
+TEST(CordicGate, Validates) {
+    EXPECT_THROW(build_cordic_netlist(1, 8, 7), std::invalid_argument);
+    EXPECT_THROW(build_cordic_netlist(16, 0, 7), std::invalid_argument);
+    const CordicNetlist unit = build_cordic_netlist(8, 4, 7);
+    EXPECT_THROW(simulate_cordic_netlist(unit, 0, 1), std::domain_error);
+}
+
+}  // namespace
+}  // namespace fxg::digital

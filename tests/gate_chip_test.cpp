@@ -1,0 +1,139 @@
+// "Virtual chip" integration test: the gate-level digital back-end
+// (structural up/down counter + generated CORDIC netlist) is driven by
+// the real analogue front end's detector stream — analogue behavioural
+// models and gate-level hardware co-simulated across the clock-domain
+// boundary, exactly the mixed-signal split of the paper's system.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/front_end.hpp"
+#include "digital/cordic.hpp"
+#include "digital/cordic_gate.hpp"
+#include "digital/counter.hpp"
+#include "magnetics/earth_field.hpp"
+#include "magnetics/units.hpp"
+#include "rtl/gates.hpp"
+#include "rtl/structural.hpp"
+#include "util/angle.hpp"
+
+namespace fxg {
+namespace {
+
+namespace st = rtl::structural;
+
+// Gate-level up/down counter wrapped for streaming use.
+struct GateCounter {
+    rtl::Netlist nl{"chip_counter"};
+    rtl::Kernel kernel;
+    rtl::Elaboration elab;
+    rtl::SignalId clk{}, rst_n{}, up{}, enable{};
+    st::Bus q;
+
+    explicit GateCounter(std::size_t bits) {
+        const rtl::NetId clk_n = nl.add_net("clk");
+        const rtl::NetId rst_n_n = nl.add_net("rst_n");
+        const rtl::NetId up_n = nl.add_net("up");
+        const rtl::NetId en_n = nl.add_net("enable");
+        q = st::updown_counter(nl, bits, clk_n, rst_n_n, up_n, en_n, "c");
+        elab = rtl::elaborate(nl, kernel, rtl::kNs);
+        clk = elab.signal(clk_n);
+        rst_n = elab.signal(rst_n_n);
+        up = elab.signal(up_n);
+        enable = elab.signal(en_n);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.deposit(rst_n, rtl::Logic::L0);
+        kernel.deposit(enable, rtl::Logic::L1);
+        kernel.run_for(rtl::kUs);
+        kernel.deposit(rst_n, rtl::Logic::L1);
+        kernel.run_for(rtl::kUs);
+    }
+
+    // One counting clock with the detector value as direction.
+    void tick(bool detector_high) {
+        kernel.deposit(up, rtl::to_logic(detector_high));
+        kernel.run_for(rtl::kUs);  // setup
+        kernel.deposit(clk, rtl::Logic::L1);
+        kernel.run_for(rtl::kUs);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.run_for(rtl::kUs);
+    }
+
+    [[nodiscard]] std::int64_t count() const {
+        return rtl::read_bus_signed(kernel, elab, q);
+    }
+};
+
+TEST(GateChip, FullBackEndMatchesBehaviouralPipeline) {
+    // Heading 30 deg keeps both axis counts in the CORDIC's first
+    // quadrant after the -y mapping (x > 0, y < 0).
+    const double heading = 30.0;
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    const magnetics::HorizontalField h = field.at_heading(heading);
+
+    // Clocking scheme: exactly one counter tick per analogue step so the
+    // behavioural and gate counters see the identical sample stream.
+    const int steps_per_period = 512;
+    const double f_exc = 8000.0;
+    const double dt = 1.0 / f_exc / steps_per_period;
+    const double f_clk = f_exc * steps_per_period;  // 4.096 MHz
+    const int settle_periods = 1;
+    const int count_periods = 2;
+
+    analog::FrontEndConfig cfg;
+    analog::FrontEnd fe(cfg);
+    fe.set_field(analog::Channel::X, h.hx_a_per_m);
+    fe.set_field(analog::Channel::Y, h.hy_a_per_m);
+
+    std::int64_t counts_beh[2];
+    std::int64_t counts_gate[2];
+    for (int axis = 0; axis < 2; ++axis) {
+        const auto ch = static_cast<analog::Channel>(axis);
+        fe.select(ch);
+        for (int k = 0; k < settle_periods * steps_per_period; ++k) fe.step(dt);
+        digital::UpDownCounter behavioural(f_clk);
+        GateCounter gate(14);
+        for (int k = 0; k < count_periods * steps_per_period; ++k) {
+            const analog::FrontEndSample s = fe.step(dt);
+            const bool det = s.detector[static_cast<std::size_t>(axis)];
+            behavioural.step(det, dt);
+            gate.tick(det);
+        }
+        counts_beh[axis] = behavioural.count();
+        counts_gate[axis] = gate.count();
+        EXPECT_EQ(counts_gate[axis], counts_beh[axis]) << "axis " << axis;
+    }
+
+    // CORDIC stage: gate-level unit vs behavioural on the same counts,
+    // first-quadrant core (x > 0, -y > 0 at heading 30).
+    ASSERT_GT(counts_gate[0], 0);
+    ASSERT_LT(counts_gate[1], 0);
+    const digital::CordicUnit behavioural_cordic(8, 7);
+    const digital::CordicNetlist unit = digital::build_cordic_netlist(12, 8, 7);
+    const std::int64_t x = counts_gate[0];
+    const std::int64_t y = -counts_gate[1];
+    const digital::CordicGateRun run = digital::simulate_cordic_netlist(unit, x, y);
+    EXPECT_EQ(run.res_raw, behavioural_cordic.arctan(y, x).res_raw);
+
+    // And the heading the virtual chip computed is the physical one.
+    EXPECT_LE(util::angular_abs_diff_deg(run.angle_deg, heading), 1.0)
+        << "x=" << x << " y=" << y;
+}
+
+TEST(GateChip, GateCounterTracksDutyCycleSign) {
+    // Negative field -> duty < 1/2 -> the gate counter must go negative.
+    analog::FrontEnd fe;
+    fe.set_field(analog::Channel::X, -12.0);
+    const int steps_per_period = 512;
+    const double dt = 1.0 / 8000.0 / steps_per_period;
+    for (int k = 0; k < steps_per_period; ++k) fe.step(dt);  // settle
+    GateCounter gate(12);
+    for (int k = 0; k < 2 * steps_per_period; ++k) {
+        gate.tick(fe.step(dt).detector[0]);
+    }
+    EXPECT_LT(gate.count(), -50);
+}
+
+}  // namespace
+}  // namespace fxg

@@ -1,0 +1,208 @@
+// Cross-module integration tests: the same quantity computed through
+// independent layers of the stack must agree — behavioural sensor vs.
+// circuit-level sensor vs. the analytic law; behavioural counter vs.
+// gate-level counter; the three CORDIC implementations on random
+// operands; and the full compass pipeline against the EarthField
+// reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compass.hpp"
+#include "core/error_analysis.hpp"
+#include "digital/cordic.hpp"
+#include "digital/cordic_gate.hpp"
+#include "digital/cordic_rtl.hpp"
+#include "magnetics/units.hpp"
+#include "rtl/gates.hpp"
+#include "rtl/structural.hpp"
+#include "sensor/fluxgate.hpp"
+#include "sensor/fluxgate_device.hpp"
+#include "sensor/pulse_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "util/angle.hpp"
+#include "util/rng.hpp"
+
+namespace fxg {
+namespace {
+
+// Three-way CORDIC equivalence on random operands: behavioural,
+// clocked-RTL and gate-level must agree bit for bit.
+TEST(Integration, CordicThreeWayBitEquivalence) {
+    const digital::CordicUnit behavioural(8, 7);
+    const digital::CordicNetlist gate = digital::build_cordic_netlist(12, 8, 7);
+
+    rtl::Kernel kernel;
+    const rtl::SignalId clk = kernel.create_signal("clk", rtl::Logic::L0);
+    digital::CordicRtl rtl_unit(kernel, clk, 8, 7);
+    auto clock_once = [&] {
+        kernel.deposit(clk, rtl::Logic::L1);
+        kernel.run_for(100 * rtl::kNs);
+        kernel.deposit(clk, rtl::Logic::L0);
+        kernel.run_for(100 * rtl::kNs);
+    };
+
+    util::Rng rng(2024);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::int64_t x = rng.uniform_int(1, 4095);
+        const std::int64_t y = rng.uniform_int(0, 4095);
+        const std::int64_t expect = behavioural.arctan(y, x).res_raw;
+
+        rtl_unit.set_operands(x, y);
+        kernel.deposit(rtl_unit.start(), rtl::Logic::L1);
+        clock_once();
+        kernel.deposit(rtl_unit.start(), rtl::Logic::L0);
+        for (int i = 0; i < 8; ++i) clock_once();
+        EXPECT_EQ(rtl_unit.res_raw(), expect) << "rtl x=" << x << " y=" << y;
+
+        const digital::CordicGateRun run = digital::simulate_cordic_netlist(gate, x, y);
+        EXPECT_EQ(run.res_raw, expect) << "gate x=" << x << " y=" << y;
+    }
+}
+
+// The behavioural UpDownCounter and the gate-level updown_counter must
+// agree when fed the same up/down tick sequence.
+TEST(Integration, CounterBehaviouralVsGateLevel) {
+    constexpr std::size_t kBits = 10;
+    rtl::Netlist nl("cnt");
+    const rtl::NetId clk_n = nl.add_net("clk");
+    const rtl::NetId rst_n = nl.add_net("rst_n");
+    const rtl::NetId up_n = nl.add_net("up");
+    const rtl::NetId en_n = nl.add_net("en");
+    const auto q = rtl::structural::updown_counter(nl, kBits, clk_n, rst_n, up_n, en_n,
+                                                   "c");
+    rtl::Kernel k;
+    const rtl::Elaboration elab = rtl::elaborate(nl, k);
+    const rtl::SignalId clk = elab.signal(clk_n);
+    k.deposit(clk, rtl::Logic::L0);
+    k.deposit(elab.signal(rst_n), rtl::Logic::L0);
+    k.run_for(rtl::kUs);
+    k.deposit(elab.signal(rst_n), rtl::Logic::L1);
+    k.deposit(elab.signal(en_n), rtl::Logic::L1);
+    k.run_for(rtl::kUs);
+
+    std::int64_t reference = 0;
+    util::Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const bool up = rng.chance(0.6);
+        k.deposit(elab.signal(up_n), rtl::to_logic(up));
+        k.run_for(rtl::kUs);  // setup before the edge
+        k.deposit(clk, rtl::Logic::L1);
+        k.run_for(rtl::kUs);
+        k.deposit(clk, rtl::Logic::L0);
+        k.run_for(rtl::kUs);
+        reference += up ? 1 : -1;
+        EXPECT_EQ(rtl::read_bus_signed(k, elab, q), reference) << "tick " << i;
+    }
+}
+
+// Behavioural sensor, circuit-level sensor and the analytic transfer law
+// all produce the same duty cycle at the same operating point.
+TEST(Integration, SensorThreeWayDutyAgreement) {
+    const double hext = 18.0;
+    const sensor::FluxgateParams params = sensor::FluxgateParams::design_target();
+    const double ha = params.field_per_amp() * 6e-3;
+    const double analytic = sensor::ideal_duty_cycle(ha, params.hk_a_per_m, hext);
+
+    // Behavioural.
+    sensor::FluxgateSensor fg(params);
+    fg.set_external_field(hext);
+    std::vector<double> t, v;
+    const double dt = 125e-6 / 2048;
+    for (int kstep = 0; kstep < 6 * 2048; ++kstep) {
+        const double time = (kstep + 1) * dt;
+        double phase = time * 8000.0;
+        phase -= std::floor(phase);
+        double unit = phase < 0.25   ? 4.0 * phase
+                      : phase < 0.75 ? 2.0 - 4.0 * phase
+                                     : -4.0 + 4.0 * phase;
+        fg.step(6e-3 * unit, dt);
+        t.push_back(time);
+        v.push_back(fg.pickup_voltage());
+    }
+    const double duty_behavioural = sensor::measure_duty_cycle(t, v, 20e-3);
+
+    // Circuit level.
+    spice::Circuit ckt;
+    const int ep = ckt.node("ep");
+    const int pp = ckt.node("pp");
+    ckt.add<spice::CurrentSource>(
+        "iexc", spice::kGround, ep,
+        std::make_unique<spice::TriangleWave>(0.0, 6e-3, 8000.0));
+    auto& dev = ckt.add<sensor::FluxgateDevice>("xfg", ep, spice::kGround, pp,
+                                                spice::kGround, params);
+    dev.set_external_field(hext);
+    ckt.add<spice::Resistor>("rload", pp, spice::kGround, 1e6);
+    spice::TransientSpec spec;
+    spec.tstop = 6 * 125e-6;
+    spec.dt = dt;
+    spec.method = spice::Method::BackwardEuler;
+    spec.start_from_op = false;
+    const auto result = run_transient(ckt, spec);
+    const double duty_circuit = sensor::measure_duty_cycle(
+        result.time(), result.node_voltage(ckt, "pp"), 20e-3);
+
+    EXPECT_NEAR(duty_behavioural, analytic, 0.005);
+    EXPECT_NEAR(duty_circuit, analytic, 0.006);
+    EXPECT_NEAR(duty_behavioural, duty_circuit, 0.006);
+}
+
+// Full pipeline vs. pure geometry: for random headings and sites the
+// compass tracks the EarthField reference within the paper's degree.
+TEST(Integration, FullPipelineTracksGeometry) {
+    compass::Compass cmp;
+    util::Rng rng(11);
+    for (int trial = 0; trial < 6; ++trial) {
+        const double heading = rng.uniform(0.0, 360.0);
+        // Horizontal component stays inside the clean pulse-separation
+        // range (|H| + margin*Hk < Ha).
+        const double magnitude = rng.uniform(20e-6, 35e-6);
+        const magnetics::EarthField field(magnitude, 45.0);
+        cmp.set_environment(field, heading);
+        const compass::Measurement m = cmp.measure();
+        ASSERT_TRUE(m.field_in_range) << magnitude;
+        EXPECT_LE(util::angular_abs_diff_deg(m.heading_deg, heading), 1.0)
+            << "heading " << heading << " |B| " << magnitude;
+    }
+}
+
+// Sensor mismatch between the two axes distorts the heading smoothly —
+// the system degrades gracefully rather than failing.
+TEST(Integration, SensorMismatchDegradesGracefully) {
+    compass::CompassConfig cfg;
+    cfg.front_end.sensor_mismatch = 0.02;  // 2% winding mismatch on Y
+    compass::Compass cmp(cfg);
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    const compass::HeadingSweep sweep = sweep_heading(cmp, field, 30.0);
+    // 2% gain error maps to at most ~0.6 deg of heading error, on top of
+    // the pipeline's own budget.
+    EXPECT_LE(sweep.max_abs_error_deg(), 1.6);
+    EXPECT_GT(sweep.max_abs_error_deg(), 0.05);
+}
+
+// Power gating is externally visible end to end: a gated compass spends
+// less energy per measurement-plus-idle cycle than an ungated one.
+TEST(Integration, GatedDutyCycledOperationSavesEnergy) {
+    compass::CompassConfig gated;
+    gated.power_gating = true;
+    compass::CompassConfig hot;
+    hot.power_gating = false;
+    compass::Compass a(gated);
+    compass::Compass b(hot);
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    a.set_environment(field, 0.0);
+    b.set_environment(field, 0.0);
+    const auto ma = a.measure();
+    const auto mb = b.measure();
+    // During the measurement itself both draw the same power...
+    EXPECT_NEAR(ma.avg_power_w, mb.avg_power_w, 1e-6);
+    // ...but afterwards the gated front end sits at leakage.
+    const auto sa = a.front_end().step(1e-6);
+    const auto sb = b.front_end().step(1e-6);
+    EXPECT_LT(sa.power_w, sb.power_w / 20.0);
+}
+
+}  // namespace
+}  // namespace fxg

@@ -1,0 +1,188 @@
+// Tests for the event-driven digital kernel: 4-state logic algebra,
+// scheduling/delta-cycle semantics, edge detection, oscillation guard
+// and toggle accounting, plus the VCD recorder.
+
+#include <gtest/gtest.h>
+
+#include "rtl/kernel.hpp"
+#include "rtl/logic.hpp"
+#include "rtl/vcd.hpp"
+
+namespace fxg::rtl {
+namespace {
+
+// ----------------------------------------------------------------- logic
+
+TEST(Logic, AndTruthTable) {
+    EXPECT_EQ(logic_and(Logic::L0, Logic::X), Logic::L0);  // 0 dominates
+    EXPECT_EQ(logic_and(Logic::L1, Logic::L1), Logic::L1);
+    EXPECT_EQ(logic_and(Logic::L1, Logic::X), Logic::X);
+    EXPECT_EQ(logic_and(Logic::Z, Logic::L1), Logic::X);
+}
+
+TEST(Logic, OrTruthTable) {
+    EXPECT_EQ(logic_or(Logic::L1, Logic::X), Logic::L1);  // 1 dominates
+    EXPECT_EQ(logic_or(Logic::L0, Logic::L0), Logic::L0);
+    EXPECT_EQ(logic_or(Logic::L0, Logic::Z), Logic::X);
+}
+
+TEST(Logic, XorAndNot) {
+    EXPECT_EQ(logic_xor(Logic::L1, Logic::L0), Logic::L1);
+    EXPECT_EQ(logic_xor(Logic::L1, Logic::L1), Logic::L0);
+    EXPECT_EQ(logic_xor(Logic::L1, Logic::X), Logic::X);
+    EXPECT_EQ(logic_not(Logic::L0), Logic::L1);
+    EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+}
+
+TEST(Logic, Rendering) {
+    EXPECT_EQ(logic_char(Logic::L0), '0');
+    EXPECT_EQ(logic_char(Logic::Z), 'Z');
+}
+
+// ---------------------------------------------------------------- kernel
+
+TEST(Kernel, ScheduleAndRun) {
+    Kernel k;
+    const SignalId s = k.create_signal("s", Logic::L0);
+    k.schedule(s, Logic::L1, 10 * kNs);
+    k.run_until(5 * kNs);
+    EXPECT_EQ(k.read(s), Logic::L0);  // not yet
+    k.run_until(20 * kNs);
+    EXPECT_EQ(k.read(s), Logic::L1);
+    EXPECT_EQ(k.now(), 20 * kNs);
+}
+
+TEST(Kernel, ProcessWakesOnChange) {
+    Kernel k;
+    const SignalId in = k.create_signal("in", Logic::L0);
+    const SignalId out = k.create_signal("out", Logic::X);
+    k.add_process("inv", {in}, [in, out](Kernel& kk) {
+        kk.schedule(out, logic_not(kk.read(in)), kNs);
+    });
+    k.run_until(1 * kNs);  // initialisation pass runs the process once
+    EXPECT_EQ(k.read(out), Logic::L1);
+    k.schedule(in, Logic::L1, kNs);
+    k.run_until(10 * kNs);
+    EXPECT_EQ(k.read(out), Logic::L0);
+}
+
+TEST(Kernel, DeltaCycleChainsSettleAtSameTime) {
+    // a -> b -> c through two zero-delay processes: all settle without
+    // advancing time.
+    Kernel k;
+    const SignalId a = k.create_signal("a", Logic::L0);
+    const SignalId b = k.create_signal("b", Logic::L0);
+    const SignalId c = k.create_signal("c", Logic::L0);
+    k.add_process("p1", {a}, [a, b](Kernel& kk) { kk.schedule(b, kk.read(a)); });
+    k.add_process("p2", {b}, [b, c](Kernel& kk) { kk.schedule(c, kk.read(b)); });
+    k.initialise();
+    k.deposit(a, Logic::L1);
+    k.run_until(0);
+    EXPECT_EQ(k.read(c), Logic::L1);
+    EXPECT_EQ(k.now(), 0u);
+    EXPECT_GE(k.delta_cycles(), 2u);
+}
+
+TEST(Kernel, RisingEdgeVisibleToProcess) {
+    Kernel k;
+    const SignalId clk = k.create_signal("clk", Logic::L0);
+    int edges = 0;
+    k.add_process("edge", {clk}, [clk, &edges](Kernel& kk) {
+        if (kk.rising_edge(clk)) ++edges;
+    });
+    for (int i = 0; i < 3; ++i) {
+        k.schedule(clk, Logic::L1, (2 * i + 1) * kUs);
+        k.schedule(clk, Logic::L0, (2 * i + 2) * kUs);
+    }
+    k.run_until(10 * kUs);
+    EXPECT_EQ(edges, 3);
+}
+
+TEST(Kernel, FallingEdge) {
+    Kernel k;
+    const SignalId s = k.create_signal("s", Logic::L1);
+    int falls = 0;
+    k.add_process("fall", {s}, [s, &falls](Kernel& kk) {
+        if (kk.falling_edge(s)) ++falls;
+    });
+    k.schedule(s, Logic::L0, kUs);
+    k.schedule(s, Logic::L1, 2 * kUs);
+    k.schedule(s, Logic::L0, 3 * kUs);
+    k.run_until(5 * kUs);
+    EXPECT_EQ(falls, 2);
+}
+
+TEST(Kernel, LastWriteWinsWithinDelta) {
+    Kernel k;
+    const SignalId s = k.create_signal("s", Logic::L0);
+    k.schedule(s, Logic::L1, kNs);
+    k.schedule(s, Logic::L0, kNs);  // same instant, later write wins
+    k.run_until(kUs);
+    EXPECT_EQ(k.read(s), Logic::L0);
+}
+
+TEST(Kernel, WriteBackToSameValueIsNoChange) {
+    Kernel k;
+    const SignalId s = k.create_signal("s", Logic::L0);
+    int wakes = 0;
+    k.add_process("watch", {s}, [&wakes](Kernel&) { ++wakes; });
+    k.initialise();
+    const int init_wakes = wakes;
+    k.schedule(s, Logic::L0, kNs);  // no-op transaction
+    k.run_until(kUs);
+    EXPECT_EQ(wakes, init_wakes);
+    EXPECT_EQ(k.toggle_count(s), 0u);
+}
+
+TEST(Kernel, OscillationGuardThrows) {
+    // A zero-delay inverter feeding itself never settles.
+    Kernel k;
+    const SignalId s = k.create_signal("s", Logic::L0);
+    k.add_process("osc", {s}, [s](Kernel& kk) {
+        kk.schedule(s, logic_not(kk.read(s)));
+    });
+    EXPECT_THROW(k.run_until(kNs), std::runtime_error);
+}
+
+TEST(Kernel, ToggleCounts) {
+    Kernel k;
+    const SignalId s = k.create_signal("s", Logic::L0);
+    for (int i = 1; i <= 6; ++i) {
+        k.schedule(s, (i % 2) ? Logic::L1 : Logic::L0, i * kNs);
+    }
+    k.run_until(kUs);
+    EXPECT_EQ(k.toggle_count(s), 6u);
+}
+
+TEST(Kernel, PeriodFromHz) {
+    EXPECT_EQ(period_from_hz(1e6), 1000000u);  // 1 us in ps
+    EXPECT_EQ(period_from_hz(4194304.0), 238419u);
+    EXPECT_THROW(period_from_hz(0.0), std::invalid_argument);
+}
+
+TEST(Kernel, SignalNamesAndBounds) {
+    Kernel k;
+    const SignalId s = k.create_signal("clk");
+    EXPECT_EQ(k.signal_name(s), "clk");
+    EXPECT_THROW(k.schedule(99, Logic::L1, 0), std::out_of_range);
+}
+
+// ------------------------------------------------------------------- vcd
+
+TEST(Vcd, RecordsChanges) {
+    Kernel k;
+    const SignalId a = k.create_signal("a", Logic::L0);
+    const SignalId b = k.create_signal("b", Logic::L1);
+    VcdRecorder vcd(k, {a, b});
+    k.schedule(a, Logic::L1, kNs);
+    k.schedule(b, Logic::L0, 2 * kNs);
+    k.run_until(kUs);
+    EXPECT_EQ(vcd.events(), 2u);
+    const std::string text = vcd.to_string();
+    EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 1 ! a $end"), std::string::npos);
+    EXPECT_NE(text.find("#1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxg::rtl

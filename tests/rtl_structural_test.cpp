@@ -1,0 +1,342 @@
+// Tests for the gate-level layer: netlist bookkeeping, elaboration onto
+// the kernel, and every structural generator (adders exhaustively at
+// small widths, counters, shifters, ROMs) — the hardware the compass
+// back-end is generated from.
+
+#include <gtest/gtest.h>
+
+#include "rtl/gates.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/structural.hpp"
+
+namespace fxg::rtl {
+namespace {
+
+namespace st = structural;
+
+// Clocked testbench helper around an elaborated netlist.
+struct Bench {
+    Kernel kernel;
+    Elaboration elab;
+    SignalId clk{};
+
+    explicit Bench(const Netlist& nl, NetId clk_net) {
+        elab = elaborate(nl, kernel, kNs);
+        clk = elab.signal(clk_net);
+        kernel.deposit(clk, Logic::L0);
+    }
+
+    void tick() {
+        kernel.deposit(clk, Logic::L1);
+        kernel.run_for(500 * kNs);
+        kernel.deposit(clk, Logic::L0);
+        kernel.run_for(500 * kNs);
+    }
+
+    void settle() { kernel.run_for(500 * kNs); }
+};
+
+// --------------------------------------------------------------- netlist
+
+TEST(Netlist, ArityValidation) {
+    Netlist nl("t");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    EXPECT_THROW(nl.add_gate(GateKind::Inv, {a, b}, b), std::invalid_argument);
+    EXPECT_THROW(nl.add_gate(GateKind::And2, {a}, b), std::invalid_argument);
+    EXPECT_NO_THROW(nl.add_gate(GateKind::And2, {a, b}, nl.add_net("c")));
+}
+
+TEST(Netlist, StatsCountKindsAndSequential) {
+    Netlist nl("t");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    const NetId q = nl.add_net("q");
+    nl.add_gate(GateKind::Inv, {a}, b);
+    nl.add_gate(GateKind::Dff, {b, a}, q);
+    const NetlistStats s = nl.stats();
+    EXPECT_EQ(s.gates, 2u);
+    EXPECT_EQ(s.sequential, 1u);
+    EXPECT_EQ(s.by_kind.at(GateKind::Inv), 1u);
+    EXPECT_EQ(s.nets, 3u);
+}
+
+TEST(Netlist, BusNaming) {
+    Netlist nl("t");
+    const auto bus = nl.add_bus("data", 3);
+    EXPECT_EQ(nl.net_name(bus[0]), "data[0]");
+    EXPECT_EQ(nl.net_name(bus[2]), "data[2]");
+}
+
+// ----------------------------------------------------------- elaboration
+
+TEST(Gates, CombinationalEvaluation) {
+    Netlist nl("comb");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    const NetId x = nl.add_net("xor");
+    const NetId m = nl.add_net("mux");
+    const NetId sel = nl.add_net("sel");
+    nl.add_gate(GateKind::Xor2, {a, b}, x);
+    nl.add_gate(GateKind::Mux2, {a, b, sel}, m);
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    for (int av = 0; av <= 1; ++av) {
+        for (int bv = 0; bv <= 1; ++bv) {
+            for (int sv = 0; sv <= 1; ++sv) {
+                k.deposit(elab.signal(a), to_logic(av));
+                k.deposit(elab.signal(b), to_logic(bv));
+                k.deposit(elab.signal(sel), to_logic(sv));
+                k.run_for(100 * kNs);
+                EXPECT_EQ(to_bool(k.read(elab.signal(x))), av != bv);
+                EXPECT_EQ(to_bool(k.read(elab.signal(m))), sv ? bv : av);
+            }
+        }
+    }
+}
+
+TEST(Gates, DffCapturesOnRisingEdgeOnly) {
+    Netlist nl("dff");
+    const NetId d = nl.add_net("d");
+    const NetId clk = nl.add_net("clk");
+    const NetId rst_n = nl.add_net("rst_n");
+    const NetId q = nl.add_net("q");
+    nl.add_gate(GateKind::DffR, {d, clk, rst_n}, q);
+    Bench tb(nl, clk);
+    tb.kernel.deposit(tb.elab.signal(rst_n), Logic::L0);
+    tb.settle();
+    EXPECT_EQ(tb.kernel.read(tb.elab.signal(q)), Logic::L0);  // async reset
+    tb.kernel.deposit(tb.elab.signal(rst_n), Logic::L1);
+    tb.kernel.deposit(tb.elab.signal(d), Logic::L1);
+    tb.settle();
+    EXPECT_EQ(tb.kernel.read(tb.elab.signal(q)), Logic::L0);  // no edge yet
+    tb.tick();
+    EXPECT_EQ(tb.kernel.read(tb.elab.signal(q)), Logic::L1);
+    // Changing d without a clock edge must not propagate.
+    tb.kernel.deposit(tb.elab.signal(d), Logic::L0);
+    tb.settle();
+    EXPECT_EQ(tb.kernel.read(tb.elab.signal(q)), Logic::L1);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(Structural, RippleAdderExhaustive4Bit) {
+    Netlist nl("add4");
+    const auto a = nl.add_bus("a", 4);
+    const auto b = nl.add_bus("b", 4);
+    const NetId cin = nl.add_net("cin");
+    const st::AdderOut out = st::ripple_adder(nl, a, b, cin, "add");
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    for (std::uint64_t av = 0; av < 16; ++av) {
+        for (std::uint64_t bv = 0; bv < 16; ++bv) {
+            for (std::uint64_t cv = 0; cv <= 1; ++cv) {
+                drive_bus(k, elab, a, av);
+                drive_bus(k, elab, b, bv);
+                k.deposit(elab.signal(cin), to_logic(cv != 0));
+                k.run_for(100 * kNs);
+                const std::uint64_t expect = av + bv + cv;
+                EXPECT_EQ(read_bus(k, elab, out.sum), expect & 0xF);
+                EXPECT_EQ(to_bool(k.read(elab.signal(out.carry_out))), (expect >> 4) != 0);
+            }
+        }
+    }
+}
+
+TEST(Structural, AddSubTwosComplement) {
+    Netlist nl("addsub");
+    const auto a = nl.add_bus("a", 5);
+    const auto b = nl.add_bus("b", 5);
+    const NetId sub = nl.add_net("sub");
+    const st::AdderOut out = st::add_sub(nl, a, b, sub, "as");
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    for (std::int64_t av : {-16, -7, -1, 0, 3, 15}) {
+        for (std::int64_t bv : {-16, -5, 0, 1, 15}) {
+            for (int sv = 0; sv <= 1; ++sv) {
+                drive_bus(k, elab, a, static_cast<std::uint64_t>(av) & 0x1F);
+                drive_bus(k, elab, b, static_cast<std::uint64_t>(bv) & 0x1F);
+                k.deposit(elab.signal(sub), to_logic(sv != 0));
+                k.run_for(100 * kNs);
+                std::int64_t expect = sv ? av - bv : av + bv;
+                // Wrap to 5-bit two's complement.
+                expect = ((expect + 16) & 0x1F) - 16;
+                EXPECT_EQ(read_bus_signed(k, elab, out.sum), expect)
+                    << av << (sv ? " - " : " + ") << bv;
+            }
+        }
+    }
+}
+
+class UpDownCounterWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UpDownCounterWidth, CountsBothWaysAndWraps) {
+    const std::size_t bits = GetParam();
+    Netlist nl("updown");
+    const NetId clk = nl.add_net("clk");
+    const NetId rst_n = nl.add_net("rst_n");
+    const NetId up = nl.add_net("up");
+    const NetId enable = nl.add_net("enable");
+    const st::Bus q = st::updown_counter(nl, bits, clk, rst_n, up, enable, "c");
+    Bench tb(nl, clk);
+    auto& k = tb.kernel;
+    k.deposit(tb.elab.signal(rst_n), Logic::L0);
+    tb.settle();
+    k.deposit(tb.elab.signal(rst_n), Logic::L1);
+    k.deposit(tb.elab.signal(enable), Logic::L1);
+    k.deposit(tb.elab.signal(up), Logic::L1);
+    tb.settle();
+    for (int i = 1; i <= 5; ++i) {
+        tb.tick();
+        EXPECT_EQ(read_bus(k, tb.elab, q), static_cast<std::uint64_t>(i));
+    }
+    k.deposit(tb.elab.signal(up), Logic::L0);
+    tb.settle();  // direction change needs setup time before the edge
+    for (int i = 4; i >= -2; --i) {
+        tb.tick();
+        EXPECT_EQ(read_bus_signed(k, tb.elab, q), i);
+    }
+    // Enable low freezes the count.
+    k.deposit(tb.elab.signal(enable), Logic::L0);
+    tb.settle();
+    tb.tick();
+    tb.tick();
+    EXPECT_EQ(read_bus_signed(k, tb.elab, q), -2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, UpDownCounterWidth, ::testing::Values(4u, 8u, 16u));
+
+TEST(Structural, BinaryCounterRollsOver) {
+    Netlist nl("bin");
+    const NetId clk = nl.add_net("clk");
+    const NetId rst_n = nl.add_net("rst_n");
+    const NetId en = nl.add_net("en");
+    const st::Bus q = st::binary_counter(nl, 3, clk, rst_n, en, "c");
+    Bench tb(nl, clk);
+    tb.kernel.deposit(tb.elab.signal(rst_n), Logic::L0);
+    tb.settle();
+    tb.kernel.deposit(tb.elab.signal(rst_n), Logic::L1);
+    tb.kernel.deposit(tb.elab.signal(en), Logic::L1);
+    tb.settle();
+    for (int i = 1; i <= 10; ++i) {
+        tb.tick();
+        EXPECT_EQ(read_bus(tb.kernel, tb.elab, q), static_cast<std::uint64_t>(i % 8));
+    }
+}
+
+TEST(Structural, ModuloCounterWrapsAndPulsesCarry) {
+    Netlist nl("mod");
+    const NetId clk = nl.add_net("clk");
+    const NetId rst_n = nl.add_net("rst_n");
+    const NetId en = nl.add_net("en");
+    NetId carry{};
+    const st::Bus q = st::modulo_counter(nl, 4, 10, clk, rst_n, en, "m", &carry);
+    Bench tb(nl, clk);
+    tb.kernel.deposit(tb.elab.signal(rst_n), Logic::L0);
+    tb.settle();
+    tb.kernel.deposit(tb.elab.signal(rst_n), Logic::L1);
+    tb.kernel.deposit(tb.elab.signal(en), Logic::L1);
+    tb.settle();
+    int carries = 0;
+    for (int i = 1; i <= 25; ++i) {
+        tb.tick();
+        EXPECT_EQ(read_bus(tb.kernel, tb.elab, q), static_cast<std::uint64_t>(i % 10));
+        if (to_bool(tb.kernel.read(tb.elab.signal(carry)))) ++carries;
+    }
+    EXPECT_EQ(carries, 2);  // counts 9 twice in 25 ticks
+}
+
+TEST(Structural, ConstShiftIsWiring) {
+    Netlist nl("shift");
+    const auto a = nl.add_bus("a", 6);
+    const std::size_t gates_before = nl.gates().size();
+    const st::Bus shifted = st::shift_right_arith_const(a, 2);
+    EXPECT_EQ(nl.gates().size(), gates_before);  // zero gates
+    EXPECT_EQ(shifted[0], a[2]);
+    EXPECT_EQ(shifted[3], a[5]);
+    EXPECT_EQ(shifted[4], a[5]);  // sign fill
+    EXPECT_EQ(shifted[5], a[5]);
+}
+
+TEST(Structural, BarrelShifterArithmetic) {
+    Netlist nl("barrel");
+    const auto a = nl.add_bus("a", 8);
+    const auto sh = nl.add_bus("sh", 3);
+    const st::Bus out = st::barrel_shifter_asr(nl, a, sh, "bs");
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    for (std::int64_t value : {37, -100, -1, 0, 127, -128}) {
+        for (std::uint64_t shamt = 0; shamt < 8; ++shamt) {
+            drive_bus(k, elab, a, static_cast<std::uint64_t>(value) & 0xFF);
+            drive_bus(k, elab, sh, shamt);
+            k.run_for(200 * kNs);
+            EXPECT_EQ(read_bus_signed(k, elab, out), value >> shamt)
+                << value << " >> " << shamt;
+        }
+    }
+}
+
+TEST(Structural, RomReadsContents) {
+    Netlist nl("rom");
+    const auto addr = nl.add_bus("addr", 3);
+    const std::vector<std::uint64_t> contents = {5, 0, 255, 128, 1, 77};
+    const st::Bus out = st::rom(nl, addr, contents, 8, "r");
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    for (std::uint64_t av = 0; av < 8; ++av) {
+        drive_bus(k, elab, addr, av);
+        k.run_for(200 * kNs);
+        const std::uint64_t expect = av < contents.size() ? contents[av] : 0;
+        EXPECT_EQ(read_bus(k, elab, out), expect) << "addr " << av;
+    }
+}
+
+TEST(Structural, EqualsConst) {
+    Netlist nl("eq");
+    const auto a = nl.add_bus("a", 4);
+    const NetId hit = st::equals_const(nl, a, 11, "eq");
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    for (std::uint64_t av = 0; av < 16; ++av) {
+        drive_bus(k, elab, a, av);
+        k.run_for(100 * kNs);
+        EXPECT_EQ(to_bool(k.read(elab.signal(hit))), av == 11);
+    }
+}
+
+TEST(Structural, ReduceOrAnd) {
+    Netlist nl("red");
+    const auto a = nl.add_bus("a", 4);
+    const NetId any = st::reduce_or(nl, a, "or");
+    const NetId all = st::reduce_and(nl, a, "and");
+    Kernel k;
+    const Elaboration elab = elaborate(nl, k);
+    drive_bus(k, elab, a, 0b0000);
+    k.run_for(100 * kNs);
+    EXPECT_FALSE(to_bool(k.read(elab.signal(any))));
+    EXPECT_FALSE(to_bool(k.read(elab.signal(all))));
+    drive_bus(k, elab, a, 0b0100);
+    k.run_for(100 * kNs);
+    EXPECT_TRUE(to_bool(k.read(elab.signal(any))));
+    EXPECT_FALSE(to_bool(k.read(elab.signal(all))));
+    drive_bus(k, elab, a, 0b1111);
+    k.run_for(100 * kNs);
+    EXPECT_TRUE(to_bool(k.read(elab.signal(all))));
+}
+
+TEST(Structural, ValidatesInputs) {
+    Netlist nl("v");
+    const auto a = nl.add_bus("a", 4);
+    const auto b3 = nl.add_bus("b", 3);
+    const NetId cin = nl.add_net("cin");
+    EXPECT_THROW(st::ripple_adder(nl, a, b3, cin, "x"), std::invalid_argument);
+    EXPECT_THROW(st::updown_counter(nl, 0, cin, cin, cin, cin, "x"),
+                 std::invalid_argument);
+    EXPECT_THROW(st::modulo_counter(nl, 3, 9, cin, cin, cin, "x"),
+                 std::invalid_argument);  // 9 > 2^3
+    EXPECT_THROW(st::rom(nl, a, {}, 4, "x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxg::rtl

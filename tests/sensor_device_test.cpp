@@ -1,0 +1,172 @@
+// Tests for the circuit-level fluxgate device (the ELDO-model stand-in):
+// the full sensor element solved inside the MNA engine, checked against
+// the same analytic pulse-position law as the behavioural model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensor/fluxgate.hpp"
+#include "sensor/fluxgate_device.hpp"
+#include "sensor/pulse_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+
+namespace fxg::sensor {
+namespace {
+
+struct DeviceRun {
+    std::vector<double> t;
+    std::vector<double> v_pickup;
+    std::vector<double> v_excitation;
+};
+
+// Triangle current source into the excitation winding; pickup loaded
+// with 1 Mohm (effectively open).
+DeviceRun run_device(double h_ext, int periods, int steps_per_period,
+                     const FluxgateParams& params = FluxgateParams::design_target()) {
+    spice::Circuit ckt;
+    const int ep = ckt.node("ep");
+    const int pp = ckt.node("pp");
+    ckt.add<spice::CurrentSource>(
+        "iexc", spice::kGround, ep,
+        std::make_unique<spice::TriangleWave>(0.0, 6e-3, 8000.0));
+    auto& fg = ckt.add<FluxgateDevice>("xfg", ep, spice::kGround, pp, spice::kGround,
+                                       params);
+    fg.set_external_field(h_ext);
+    ckt.add<spice::Resistor>("rload", pp, spice::kGround, 1e6);
+
+    spice::TransientSpec spec;
+    spec.tstop = periods * 125e-6;
+    spec.dt = 125e-6 / steps_per_period;
+    spec.method = spice::Method::BackwardEuler;
+    spec.start_from_op = false;
+    const spice::TransientResult result = run_transient(ckt, spec);
+
+    DeviceRun run;
+    run.t = result.time();
+    run.v_pickup = result.node_voltage(ckt, "pp");
+    run.v_excitation = result.node_voltage(ckt, "ep");
+    return run;
+}
+
+TEST(FluxgateDevice, ProducesPulseTrain) {
+    const DeviceRun run = run_device(0.0, 4, 2048);
+    const auto pulses = find_pulses(run.t, run.v_pickup, 20e-3);
+    ASSERT_GE(pulses.size(), 6u);
+    for (std::size_t i = 1; i < pulses.size(); ++i) {
+        EXPECT_NE(pulses[i].positive, pulses[i - 1].positive);
+    }
+}
+
+TEST(FluxgateDevice, ZeroFieldDutyIsHalf) {
+    const DeviceRun run = run_device(0.0, 6, 2048);
+    const double duty = measure_duty_cycle(run.t, run.v_pickup, 20e-3);
+    EXPECT_NEAR(duty, 0.5, 0.005);
+}
+
+class DeviceDutyTransfer : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeviceDutyTransfer, MatchesAnalyticLaw) {
+    const double hext = GetParam();
+    const FluxgateParams params = FluxgateParams::design_target();
+    const double ha = params.field_per_amp() * 6e-3;
+    const DeviceRun run = run_device(hext, 6, 2048);
+    const double duty = measure_duty_cycle(run.t, run.v_pickup, 20e-3);
+    EXPECT_NEAR(duty, ideal_duty_cycle(ha, params.hk_a_per_m, hext), 0.006)
+        << "hext = " << hext;
+}
+
+// Range limited to clean pulse separation, as in the behavioural sweep.
+INSTANTIATE_TEST_SUITE_P(FieldSweep, DeviceDutyTransfer,
+                         ::testing::Values(-18.0, -12.0, 0.0, 12.0, 18.0));
+
+TEST(FluxgateDevice, AgreesWithBehaviouralModel) {
+    // Same field, same excitation: circuit-level and behavioural duty
+    // cycles must coincide.
+    const double hext = 16.0;
+    const FluxgateParams params = FluxgateParams::design_target();
+    const DeviceRun dev = run_device(hext, 6, 2048);
+    const double duty_dev = measure_duty_cycle(dev.t, dev.v_pickup, 20e-3);
+
+    FluxgateSensor fg(params);
+    fg.set_external_field(hext);
+    std::vector<double> t, v;
+    const double dt = 125e-6 / 2048;
+    for (int k = 0; k < 6 * 2048; ++k) {
+        const double time = (k + 1) * dt;
+        double phase = time * 8000.0;
+        phase -= std::floor(phase);
+        double unit;
+        if (phase < 0.25) {
+            unit = 4.0 * phase;
+        } else if (phase < 0.75) {
+            unit = 2.0 - 4.0 * phase;
+        } else {
+            unit = -4.0 + 4.0 * phase;
+        }
+        fg.step(6e-3 * unit, dt);
+        t.push_back(time);
+        v.push_back(fg.pickup_voltage());
+    }
+    const double duty_beh = measure_duty_cycle(t, v, 20e-3);
+    EXPECT_NEAR(duty_dev, duty_beh, 0.006);
+}
+
+TEST(FluxgateDevice, ExcitationVoltageDominatedByResistance) {
+    // 77 ohm * 6 mA = 462 mV resistive peak; the inductive contribution
+    // appears only around the permeable crossings (paper Figure 4).
+    const DeviceRun run = run_device(0.0, 2, 2048);
+    double vmax = 0.0;
+    for (double v : run.v_excitation) vmax = std::max(vmax, std::fabs(v));
+    EXPECT_NEAR(vmax, 0.462, 0.08);
+}
+
+TEST(FluxgateDevice, DcAnalysisSeesWindingResistance) {
+    spice::Circuit ckt;
+    const int ep = ckt.node("ep");
+    const int pp = ckt.node("pp");
+    ckt.add<spice::CurrentSource>("idc", spice::kGround, ep, 1e-3);
+    ckt.add<FluxgateDevice>("xfg", ep, spice::kGround, pp, spice::kGround,
+                            FluxgateParams::design_target());
+    ckt.add<spice::Resistor>("rload", pp, spice::kGround, 1e6);
+    const auto op = dc_operating_point(ckt);
+    // 1 mA through the 77 ohm excitation winding.
+    EXPECT_NEAR(op.node_voltage(ep), 77e-3, 1e-5);
+    // No coupling at DC: pickup sits at 0.
+    EXPECT_NEAR(op.node_voltage(pp), 0.0, 1e-6);
+}
+
+TEST(FluxgateDevice, PickupLoadingReducesAmplitude) {
+    // A heavy load on the pickup draws current and loses EMF across the
+    // winding resistance: peak amplitude must drop vs. the open case.
+    auto peak_with_load = [](double r_load) {
+        spice::Circuit ckt;
+        const int ep = ckt.node("ep");
+        const int pp = ckt.node("pp");
+        ckt.add<spice::CurrentSource>(
+            "iexc", spice::kGround, ep,
+            std::make_unique<spice::TriangleWave>(0.0, 6e-3, 8000.0));
+        ckt.add<FluxgateDevice>("xfg", ep, spice::kGround, pp, spice::kGround,
+                                FluxgateParams::design_target());
+        ckt.add<spice::Resistor>("rload", pp, spice::kGround, r_load);
+        spice::TransientSpec spec;
+        spec.tstop = 2 * 125e-6;
+        spec.dt = 125e-6 / 2048;
+        spec.method = spice::Method::BackwardEuler;
+        spec.start_from_op = false;
+        const auto result = run_transient(ckt, spec);
+        double peak = 0.0;
+        for (double v : result.node_voltage(ckt, "pp")) {
+            peak = std::max(peak, std::fabs(v));
+        }
+        return peak;
+    };
+    const double open = peak_with_load(1e6);
+    const double loaded = peak_with_load(120.0);  // equal to winding R
+    EXPECT_LT(loaded, 0.65 * open);
+    EXPECT_GT(loaded, 0.25 * open);
+}
+
+}  // namespace
+}  // namespace fxg::sensor

@@ -1,0 +1,283 @@
+// Tests for the Sea-of-Gates model: cell costs, technology mapping,
+// the four-quarter array with separate supply domains, the generated
+// compass netlists and the MCM with its boundary-scan chain.
+
+#include <gtest/gtest.h>
+
+#include "digital/cordic_gate.hpp"
+#include "rtl/gates.hpp"
+#include "rtl/kernel.hpp"
+#include "sog/builders.hpp"
+#include "sog/interconnect_test.hpp"
+#include "sog/cell_library.hpp"
+#include "sog/mcm.hpp"
+#include "sog/sog_array.hpp"
+
+namespace fxg::sog {
+namespace {
+
+// ----------------------------------------------------------- cell library
+
+TEST(CellLibrary, CostsAreOrdered) {
+    EXPECT_EQ(pairs_for_gate(rtl::GateKind::Tie0), 0u);
+    EXPECT_EQ(pairs_for_gate(rtl::GateKind::Inv), 1u);
+    EXPECT_LT(pairs_for_gate(rtl::GateKind::Nand2), pairs_for_gate(rtl::GateKind::And2));
+    EXPECT_LT(pairs_for_gate(rtl::GateKind::And2), pairs_for_gate(rtl::GateKind::Xor2));
+    EXPECT_GT(pairs_for_gate(rtl::GateKind::DffR), pairs_for_gate(rtl::GateKind::Dff) - 3);
+}
+
+TEST(CellLibrary, StatsMapping) {
+    rtl::Netlist nl("t");
+    const auto a = nl.add_net("a");
+    const auto b = nl.add_net("b");
+    nl.add_gate(rtl::GateKind::Inv, {a}, b);
+    nl.add_gate(rtl::GateKind::Xor2, {a, b}, nl.add_net("c"));
+    EXPECT_EQ(pairs_for_stats(nl.stats()), 6u);  // 1 + 5
+    MappingModel model;
+    model.utilisation = 0.5;
+    EXPECT_EQ(map_netlist_pairs(nl, model), 12u);
+}
+
+// ------------------------------------------------------------------ array
+
+TEST(SogArray, PaperGeometry) {
+    FishboneSogArray array;
+    EXPECT_EQ(array.total_pairs(), 200'000u);  // "200k transistors"
+    const auto reports = array.quarter_reports();
+    ASSERT_EQ(reports.size(), 4u);
+    EXPECT_EQ(reports[0].domain, Domain::Digital);
+    EXPECT_EQ(reports[2].domain, Domain::Digital);
+    EXPECT_EQ(reports[3].domain, Domain::Analogue);
+}
+
+TEST(SogArray, PlacementRespectsDomains) {
+    FishboneSogArray array(1000, 3);
+    array.place({"digital blob", Domain::Digital, 900, -1});
+    array.place({"digital blob 2", Domain::Digital, 900, -1});  // goes to q1
+    array.place({"analogue blob", Domain::Analogue, 100, -1});
+    const auto reports = array.quarter_reports();
+    EXPECT_EQ(reports[0].used_pairs, 900u);
+    EXPECT_EQ(reports[1].used_pairs, 900u);
+    EXPECT_EQ(reports[3].used_pairs, 100u);
+    EXPECT_EQ(array.macros()[2].quarter, 3);
+    EXPECT_NEAR(array.analogue_occupancy(), 0.1, 1e-12);
+}
+
+TEST(SogArray, OverflowThrows) {
+    FishboneSogArray array(100, 3);
+    array.place({"a", Domain::Analogue, 90, -1});
+    EXPECT_THROW(array.place({"b", Domain::Analogue, 20, -1}), std::runtime_error);
+}
+
+TEST(SogArray, QuartersFilledThreshold) {
+    FishboneSogArray array(100, 3);
+    array.place({"a", Domain::Digital, 80, -1});
+    array.place({"b", Domain::Digital, 80, -1});
+    array.place({"c", Domain::Digital, 10, -1});
+    EXPECT_EQ(array.quarters_filled(Domain::Digital, 0.5), 2);
+    EXPECT_EQ(array.used_pairs(Domain::Digital), 170u);
+}
+
+TEST(SogArray, DynamicPowerModel) {
+    // 1e6 toggles/s at 5 V with 150 fF per node: 37.5 uW.
+    EXPECT_NEAR(FishboneSogArray::dynamic_power_w(1e6), 3.75e-6, 1e-12);
+}
+
+TEST(SogArray, Validates) {
+    EXPECT_THROW(FishboneSogArray(0), std::invalid_argument);
+    EXPECT_THROW(FishboneSogArray(100, 5), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- builders
+
+TEST(Builders, CounterNetlistScalesWithWidth) {
+    const auto n8 = build_updown_counter_netlist(8).stats();
+    const auto n16 = build_updown_counter_netlist(16).stats();
+    EXPECT_EQ(n8.sequential, 8u);
+    EXPECT_EQ(n16.sequential, 16u);
+    EXPECT_GT(n16.gates, n8.gates);
+}
+
+TEST(Builders, AllCompassBlocksAreNonTrivial) {
+    const auto nets = build_compass_digital_netlists();
+    ASSERT_EQ(nets.size(), 5u);
+    for (const auto& nl : nets) {
+        const auto stats = nl.stats();
+        EXPECT_GT(stats.gates, 50u) << nl.name();
+        EXPECT_GT(stats.sequential, 0u) << nl.name();
+    }
+}
+
+TEST(Builders, WatchChainHasDividerDepth) {
+    const auto stats = build_watch_netlist().stats();
+    // 22 divider + 6 + 6 + 5 time bits = 39 flops minimum.
+    EXPECT_GE(stats.sequential, 39u);
+}
+
+TEST(Builders, AnalogueMacrosFitUnderPaperBudget) {
+    std::size_t total = 0;
+    for (const auto& m : analogue_macros()) {
+        EXPECT_EQ(m.domain, Domain::Analogue);
+        total += m.pairs;
+    }
+    // Paper: analogue uses less than 15% of one 50k quarter.
+    EXPECT_LT(total, 7500u);
+    EXPECT_GT(total, 1000u);  // but it is not negligible either
+}
+
+TEST(Builders, FullCompassMapsOntoArray) {
+    FishboneSogArray array;
+    MappingModel model;
+    for (const auto& nl : build_compass_digital_netlists()) {
+        array.place({nl.name(), Domain::Digital, map_netlist_pairs(nl, model), -1});
+    }
+    for (const auto& m : analogue_macros()) array.place(m);
+    EXPECT_GT(array.used_pairs(Domain::Digital), 10u * array.used_pairs(Domain::Analogue) / 15u);
+    EXPECT_LT(array.analogue_occupancy(), 0.15);  // the paper's claim
+}
+
+// ------------------------------------------------------------------- mcm
+
+TEST(Mcm, ReferenceDesignValidates) {
+    Mcm mcm = Mcm::compass_reference();
+    std::vector<std::string> violations;
+    EXPECT_TRUE(mcm.validate(&violations)) << violations.size();
+    EXPECT_EQ(mcm.dies().size(), 3u);
+    EXPECT_EQ(mcm.chain_length(), 3u);
+    // The oscillator resistor is on the substrate, as the paper requires.
+    bool found = false;
+    for (const auto& c : mcm.substrate()) {
+        if (c.kind == SubstrateComponent::Kind::Resistor && c.value == 12.5e6) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Mcm, ValidateCatchesProblems) {
+    Mcm empty("x");
+    std::vector<std::string> violations;
+    EXPECT_FALSE(empty.validate(&violations));
+    EXPECT_FALSE(violations.empty());
+
+    Mcm bad("y");
+    bad.add_die({"die", 0.0, false});
+    bad.add_substrate_component({"r", SubstrateComponent::Kind::Resistor, -1.0});
+    violations.clear();
+    EXPECT_FALSE(bad.validate(&violations));
+    EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(Mcm, ChainShiftsIdcodesInSeries) {
+    // Three TAPs in BYPASS... simpler: after reset all hold IDCODE; the
+    // chain's total DR length is 96 bits and the LAST die's IDCODE comes
+    // out first.
+    Mcm mcm = Mcm::compass_reference();
+    mcm.reset_chain();
+    mcm.clock_chain(false, false);  // idle
+    mcm.clock_chain(true, false);   // sel-dr
+    mcm.clock_chain(false, false);  // -> capture
+    mcm.clock_chain(false, false);  // capture executes, -> shift
+    // Shift 32 bits: the first 32 TDO bits are the last TAP's IDCODE.
+    std::uint32_t out = 0;
+    for (int i = 0; i < 32; ++i) {
+        out |= (mcm.clock_chain(false, false) ? 1u : 0u) << i;
+    }
+    EXPECT_EQ(out, mcm.tap(2).idcode());
+}
+
+TEST(Builders, ControlFsmSequencesThroughStates) {
+    // Gate-level simulation of the measurement sequencer with a short
+    // (4-tick) phase timer: the state must walk idle -> ... -> display
+    // -> idle, and the registered outputs must decode per the ROM.
+    const ControlNetlist c = build_control_fsm(4);
+    rtl::Kernel k;
+    const rtl::Elaboration elab = rtl::elaborate(c.netlist, k, rtl::kNs);
+    const rtl::SignalId clk = elab.signal(c.clk);
+    k.deposit(clk, rtl::Logic::L0);
+    k.deposit(elab.signal(c.rst_n), rtl::Logic::L0);
+    k.run_for(rtl::kUs);
+    k.deposit(elab.signal(c.rst_n), rtl::Logic::L1);
+    k.run_for(rtl::kUs);
+    auto tick = [&] {
+        k.deposit(clk, rtl::Logic::L1);
+        k.run_for(rtl::kUs);
+        k.deposit(clk, rtl::Logic::L0);
+        k.run_for(rtl::kUs);
+    };
+    // Expected outputs per state (the builder's out_rom).
+    const std::uint64_t out_rom[] = {0b00000, 0b00001, 0b00001, 0b00011,
+                                     0b00111, 0b01000, 0b10000};
+    std::vector<std::uint64_t> seen_states;
+    std::uint64_t prev_state = 99;
+    for (int t = 0; t < 4 * 7 + 2; ++t) {
+        const std::uint64_t state = rtl::read_bus(k, elab, c.state);
+        if (state != prev_state) {
+            seen_states.push_back(state);
+            prev_state = state;
+        }
+        ASSERT_LT(state, 7u);
+        // Registered outputs lag the state by one clock; compare where
+        // both are stable (mid-phase, ticks 1..3 of each 4-tick phase).
+        if (t % 4 == 2) {
+            EXPECT_EQ(rtl::read_bus(k, elab, c.outputs), out_rom[state])
+                << "state " << state << " tick " << t;
+        }
+        tick();
+    }
+    // One full cycle through all seven states, wrapping back to idle.
+    ASSERT_GE(seen_states.size(), 8u);
+    for (int s = 0; s < 7; ++s) {
+        EXPECT_EQ(seen_states[static_cast<std::size_t>(s)],
+                  static_cast<std::uint64_t>(s));
+    }
+    EXPECT_EQ(seen_states[7], 0u);  // wrapped
+}
+
+// ------------------------------------------------------- interconnect test
+
+TEST(Interconnect, CleanSubstratePasses) {
+    Mcm mcm = Mcm::compass_reference();
+    const auto nets = compass_interconnect();
+    const auto r = run_interconnect_test(mcm, nets);
+    EXPECT_FALSE(r.fault_detected());
+    EXPECT_EQ(r.patterns_applied, 2 + 2 * static_cast<int>(nets.size()));
+}
+
+TEST(Interconnect, DetectsEveryFaultKind) {
+    Mcm mcm = Mcm::compass_reference();
+    const auto nets = compass_interconnect();
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+        for (auto kind : {InterconnectFault::Kind::StuckAt0,
+                          InterconnectFault::Kind::StuckAt1}) {
+            InterconnectFault f;
+            f.kind = kind;
+            f.net = n;
+            const auto r = run_interconnect_test(mcm, nets, f);
+            EXPECT_TRUE(r.fault_detected()) << nets[n].name;
+            EXPECT_FALSE(r.failing_nets.empty());
+            EXPECT_EQ(r.failing_nets.front(), nets[n].name);
+        }
+    }
+}
+
+TEST(Interconnect, FullCoverage) {
+    Mcm mcm = Mcm::compass_reference();
+    const auto [faults, detected] = interconnect_fault_coverage(mcm, compass_interconnect());
+    EXPECT_EQ(faults, 16);
+    EXPECT_EQ(detected, faults);
+}
+
+TEST(Interconnect, Validates) {
+    Mcm mcm = Mcm::compass_reference();
+    EXPECT_THROW(run_interconnect_test(mcm, {}), std::invalid_argument);
+    std::vector<InterconnectNet> bad{{"x", 7, 0, 0, 0}};
+    EXPECT_THROW(run_interconnect_test(mcm, bad), std::out_of_range);
+}
+
+TEST(Mcm, OnArrayCapacitorLimitConstant) {
+    EXPECT_DOUBLE_EQ(kMaxOnArrayCapacitanceF, 400e-12);  // paper value
+}
+
+}  // namespace
+}  // namespace fxg::sog

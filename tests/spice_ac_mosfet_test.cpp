@@ -1,0 +1,319 @@
+// Tests for the AC small-signal analysis and the level-1 MOSFET:
+// canonical filter responses against closed-form transfer functions,
+// small-signal behaviour of nonlinear devices at their operating point
+// (diode, fluxgate incremental inductance), and transistor-level
+// circuits (common-source stage, CMOS inverter VTC).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sensor/fluxgate_device.hpp"
+#include "spice/ac_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace fxg::spice {
+namespace {
+
+// ------------------------------------------------------------- complex LU
+
+TEST(ComplexLu, SolvesKnownSystem) {
+    ComplexMatrix a(2, 2);
+    a(0, 0) = {1.0, 1.0};
+    a(0, 1) = {0.0, -1.0};
+    a(1, 0) = {2.0, 0.0};
+    a(1, 1) = {1.0, 0.0};
+    // x = (1, j): b0 = (1+j) + (-j)(j) = 2+j ; b1 = 2 + j.
+    const auto x = lu_solve_complex(std::move(a), {{2.0, 1.0}, {2.0, 1.0}});
+    EXPECT_NEAR(std::abs(x[0] - std::complex<double>(1.0, 0.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(x[1] - std::complex<double>(0.0, 1.0)), 0.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- AC: RC
+
+TEST(Ac, RcLowPassBode) {
+    // R = 1k, C = 159.155 nF -> corner at ~1 kHz.
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    auto& vin = ckt.add<VoltageSource>("vin", in, kGround, 0.0);
+    vin.set_ac_magnitude(1.0);
+    ckt.add<Resistor>("r1", in, out, 1e3);
+    ckt.add<Capacitor>("c1", out, kGround, 159.155e-9);
+    AcSpec spec;
+    spec.f_start_hz = 10.0;
+    spec.f_stop_hz = 100e3;
+    spec.points_per_decade = 20;
+    const AcResult ac = run_ac(ckt, spec);
+    const auto v = ac.node_voltage(ckt, "out");
+    const double fc = 1.0 / (2.0 * std::numbers::pi * 1e3 * 159.155e-9);
+    for (std::size_t i = 0; i < ac.points(); ++i) {
+        const double f = ac.frequency_hz()[i];
+        const std::complex<double> expect =
+            1.0 / std::complex<double>(1.0, f / fc);
+        EXPECT_NEAR(std::abs(v[i] - expect), 0.0, 2e-3) << "f=" << f;
+    }
+    // Find the point closest to the corner: -3 dB and -45 degrees.
+    std::size_t corner = 0;
+    double best = 1e9;
+    for (std::size_t i = 0; i < ac.points(); ++i) {
+        const double d = std::fabs(std::log10(ac.frequency_hz()[i] / fc));
+        if (d < best) {
+            best = d;
+            corner = i;
+        }
+    }
+    EXPECT_NEAR(20.0 * std::log10(std::abs(v[corner])), -3.01, 0.35);
+    EXPECT_NEAR(std::arg(v[corner]) * 180.0 / std::numbers::pi, -45.0, 3.0);
+}
+
+TEST(Ac, RlcSeriesResonance) {
+    // L = 1 mH, C = 1 uF, R = 10: f0 ~ 5.03 kHz, Q ~ 3.16.
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int a = ckt.node("a");
+    const int out = ckt.node("out");
+    auto& vin = ckt.add<VoltageSource>("vin", in, kGround, 0.0);
+    vin.set_ac_magnitude(1.0);
+    ckt.add<Resistor>("r1", in, a, 10.0);
+    ckt.add<Inductor>("l1", a, out, 1e-3);
+    ckt.add<Capacitor>("c1", out, kGround, 1e-6);
+    AcSpec spec;
+    spec.f_start_hz = 500.0;
+    spec.f_stop_hz = 50e3;
+    spec.points_per_decade = 60;
+    const AcResult ac = run_ac(ckt, spec);
+    const auto v = ac.node_voltage(ckt, "out");
+    // Peak |v(out)| sits at the resonance and equals Q.
+    double peak = 0.0;
+    double f_peak = 0.0;
+    for (std::size_t i = 0; i < ac.points(); ++i) {
+        if (std::abs(v[i]) > peak) {
+            peak = std::abs(v[i]);
+            f_peak = ac.frequency_hz()[i];
+        }
+    }
+    EXPECT_NEAR(f_peak, 5032.9, 250.0);
+    EXPECT_NEAR(peak, std::sqrt(1e-3 / 1e-6) / 10.0, 0.25);  // Q = 3.16
+}
+
+TEST(Ac, DiodeSmallSignalResistance) {
+    // Diode biased at ~1 mA: rd = nVt/Id ~ 25.9 ohm. AC divider against
+    // the 1 kohm series resistor attenuates to rd/(R+rd).
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    auto& vin = ckt.add<VoltageSource>("vin", in, kGround, 0.65 + 1.0);
+    vin.set_ac_magnitude(1.0);
+    ckt.add<Resistor>("r1", in, out, 1e3);
+    ckt.add<Diode>("d1", out, kGround);
+    const auto op = dc_operating_point(ckt);
+    const double id = (op.node_voltage(in) - op.node_voltage(out)) / 1e3;
+    const double rd = 0.025852 / id;
+    AcSpec spec;
+    spec.f_start_hz = 1e3;
+    spec.f_stop_hz = 1e3;
+    const AcResult ac = run_ac(ckt, spec);
+    const double gain = std::abs(ac.node_voltage(ckt, "out")[0]);
+    EXPECT_NEAR(gain, rd / (1e3 + rd), 0.01 * gain + 1e-4);
+}
+
+TEST(Ac, SourcesWithoutAcMagnitudeAreQuiet) {
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add<VoltageSource>("vin", in, kGround, 5.0);  // DC only
+    ckt.add<Resistor>("r1", in, out, 1e3);
+    ckt.add<Resistor>("r2", out, kGround, 1e3);
+    AcSpec spec;
+    const AcResult ac = run_ac(ckt, spec);
+    for (const auto& v : ac.node_voltage(ckt, "out")) {
+        EXPECT_NEAR(std::abs(v), 0.0, 1e-12);
+    }
+}
+
+TEST(Ac, FluxgateIncrementalInductanceCollapses) {
+    // Frequency-domain view of the paper's Figure 4 impedance change:
+    // the excitation winding's small-signal impedance is large at zero
+    // bias and collapses when a DC bias saturates the core.
+    auto winding_impedance = [](double bias_a) {
+        Circuit ckt;
+        const int ep = ckt.node("ep");
+        const int pp = ckt.node("pp");
+        auto& ibias = ckt.add<CurrentSource>("ibias", kGround, ep, bias_a);
+        ibias.set_ac_magnitude(1.0);  // 1 A AC probe -> v(ep) = Z
+        ckt.add<sensor::FluxgateDevice>("xfg", ep, kGround, pp, kGround,
+                                        sensor::FluxgateParams::design_target());
+        ckt.add<Resistor>("rload", pp, kGround, 1e6);
+        AcSpec spec;
+        // Probe well above the excitation frequency so wL (~134 uH
+        // unsaturated) dominates the 77 ohm winding resistance.
+        spec.f_start_hz = 200e3;
+        spec.f_stop_hz = 200e3;
+        const AcResult ac = run_ac(ckt, spec);
+        return std::abs(ac.node_voltage(ckt, "ep")[0]);
+    };
+    const double z_unbiased = winding_impedance(0.0);
+    const double z_saturated = winding_impedance(12e-3);  // 4x knee
+    const double r = sensor::FluxgateParams::design_target().r_excitation_ohm;
+    EXPECT_GT(z_unbiased, 1.5 * r);         // inductive part dominates
+    EXPECT_NEAR(z_saturated, r, 1.0);       // core saturated: just the wire
+    EXPECT_GT(z_unbiased, z_saturated * 1.5);
+}
+
+TEST(Ac, ValidatesSpec) {
+    Circuit ckt;
+    ckt.add<Resistor>("r", ckt.node("a"), kGround, 1.0);
+    AcSpec bad;
+    bad.f_start_hz = 0.0;
+    EXPECT_THROW(run_ac(ckt, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- MOSFET
+
+TEST(Mosfet, SaturationCurrent) {
+    MosParams p;
+    p.vt = 0.8;
+    p.kp = 200e-6;
+    p.lambda = 0.0;
+    const Mosfet m("m1", 0, 1, 2, p);
+    // vgs = 1.8 (vov = 1), vds = 3 > vov: id = kp/2 = 100 uA.
+    EXPECT_NEAR(m.drain_current(3.0, 1.8, 0.0), 100e-6, 1e-12);
+}
+
+TEST(Mosfet, TriodeCurrent) {
+    MosParams p;
+    p.vt = 0.8;
+    p.kp = 200e-6;
+    p.lambda = 0.0;
+    const Mosfet m("m1", 0, 1, 2, p);
+    // vov = 1, vds = 0.5: id = kp (1*0.5 - 0.125) = 75 uA.
+    EXPECT_NEAR(m.drain_current(0.5, 1.8, 0.0), 75e-6, 1e-12);
+}
+
+TEST(Mosfet, CutoffAndPmosMirror) {
+    MosParams n;
+    const Mosfet mn("mn", 0, 1, 2, n);
+    EXPECT_DOUBLE_EQ(mn.drain_current(3.0, 0.5, 0.0), 0.0);  // vgs < vt
+    MosParams p;
+    p.type = MosType::Pmos;
+    const Mosfet mp("mp", 0, 1, 2, p);
+    // Source at 5 V, gate at 3 V (|vgs| = 2), drain at 0: conducting,
+    // current flows source->drain, i.e. negative out of the drain.
+    EXPECT_LT(mp.drain_current(0.0, 3.0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(mp.drain_current(0.0, 5.0, 5.0), 0.0);  // off
+}
+
+TEST(Mosfet, ValidatesParams) {
+    MosParams p;
+    p.kp = 0.0;
+    EXPECT_THROW(Mosfet("m", 0, 1, 2, p), std::invalid_argument);
+    p = {};
+    p.lambda = -1.0;
+    EXPECT_THROW(Mosfet("m", 0, 1, 2, p), std::invalid_argument);
+}
+
+TEST(Mosfet, DiodeConnectedBias) {
+    // Vdd -> R -> diode-connected NMOS: id = (vdd - vgs)/R must meet
+    // id = kp/2 (vgs-vt)^2.
+    Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int d = ckt.node("d");
+    ckt.add<VoltageSource>("v1", vdd, kGround, 5.0);
+    ckt.add<Resistor>("r1", vdd, d, 10e3);
+    MosParams p;
+    p.lambda = 0.0;
+    ckt.add<Mosfet>("m1", d, d, kGround, p);
+    const auto op = dc_operating_point(ckt);
+    const double vgs = op.node_voltage(d);
+    const double id_resistor = (5.0 - vgs) / 10e3;
+    const double id_mos = 0.5 * p.kp * (vgs - p.vt) * (vgs - p.vt);
+    EXPECT_NEAR(id_resistor, id_mos, 1e-8);
+    EXPECT_GT(vgs, p.vt);
+}
+
+TEST(Mosfet, CommonSourceGainMatchesGmRd) {
+    // NMOS with drain resistor; AC gain = -gm (RD || ro).
+    Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int g = ckt.node("g");
+    const int d = ckt.node("d");
+    ckt.add<VoltageSource>("vdd", vdd, kGround, 5.0);
+    auto& vg = ckt.add<VoltageSource>("vg", g, kGround, 1.5);
+    vg.set_ac_magnitude(1.0);
+    ckt.add<Resistor>("rd", vdd, d, 10e3);
+    MosParams p;
+    p.vt = 0.8;
+    p.kp = 200e-6;
+    p.lambda = 0.01;
+    ckt.add<Mosfet>("m1", d, g, kGround, p);
+    const auto op = dc_operating_point(ckt);
+    const double vds = op.node_voltage(d);
+    ASSERT_GT(vds, 1.5 - 0.8);  // saturation check
+    const double vov = 1.5 - p.vt;
+    const double id = 0.5 * p.kp * vov * vov * (1.0 + p.lambda * vds);
+    const double gm = p.kp * vov * (1.0 + p.lambda * vds);
+    const double ro = 1.0 / (0.5 * p.kp * vov * vov * p.lambda);
+    const double expect = gm * (10e3 * ro) / (10e3 + ro);
+    (void)id;
+    AcSpec spec;
+    spec.f_start_hz = 1e3;
+    spec.f_stop_hz = 1e3;
+    const AcResult ac = run_ac(ckt, spec);
+    const auto vout = ac.node_voltage(ckt, "d")[0];
+    EXPECT_NEAR(std::abs(vout), expect, 0.02 * expect);
+    // Inverting stage: output phase ~ 180 degrees.
+    EXPECT_NEAR(std::fabs(std::arg(vout)) * 180.0 / std::numbers::pi, 180.0, 1.0);
+}
+
+TEST(Mosfet, CmosInverterVtc) {
+    // Complementary pair: output swings rail to rail, crossing near
+    // mid-supply with matched devices; the VTC is monotone falling.
+    Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add<VoltageSource>("vdd", vdd, kGround, 5.0);
+    auto& vin = ckt.add<VoltageSource>("vin", in, kGround, 0.0);
+    MosParams n;
+    n.vt = 0.8;
+    n.kp = 200e-6;
+    MosParams p = n;
+    p.type = MosType::Pmos;
+    ckt.add<Mosfet>("mn", out, in, kGround, n);
+    ckt.add<Mosfet>("mp", out, in, vdd, p);
+    ckt.add<Resistor>("rload", out, kGround, 100e6);  // keep out defined
+    const DcSweepResult sweep = dc_sweep(ckt, vin, 0.0, 5.0, 0.25);
+    const int out_idx = ckt.find_node("out");
+    ASSERT_EQ(sweep.points.size(), 21u);
+    EXPECT_GT(sweep.points.front().node_voltage(out_idx), 4.9);  // input low
+    EXPECT_LT(sweep.points.back().node_voltage(out_idx), 0.1);   // input high
+    // Monotone falling within solver tolerance.
+    for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+        EXPECT_LE(sweep.points[i].node_voltage(out_idx),
+                  sweep.points[i - 1].node_voltage(out_idx) + 1e-6);
+    }
+    // Switching threshold near mid-supply (matched kp, symmetric vt).
+    double v_switch = 0.0;
+    for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+        if (sweep.points[i].node_voltage(out_idx) < 2.5) {
+            v_switch = sweep.sweep_value[i];
+            break;
+        }
+    }
+    EXPECT_NEAR(v_switch, 2.5, 0.5);
+}
+
+TEST(Mosfet, DcSweepValidates) {
+    Circuit ckt;
+    auto& v = ckt.add<VoltageSource>("v", ckt.node("a"), kGround, 0.0);
+    ckt.add<Resistor>("r", ckt.find_node("a"), kGround, 1e3);
+    EXPECT_THROW(dc_sweep(ckt, v, 1.0, 0.0, 0.1), std::invalid_argument);
+    EXPECT_THROW(dc_sweep(ckt, v, 0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxg::spice

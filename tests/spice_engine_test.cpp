@@ -1,0 +1,467 @@
+// Tests for the analogue circuit engine: linear algebra, waveforms,
+// device stamps (checked against closed-form circuit theory), DC
+// operating point and transient integration accuracy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+#include "spice/matrix.hpp"
+#include "spice/waveform.hpp"
+
+namespace fxg::spice {
+namespace {
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, SolvesKnownSystem) {
+    DenseMatrix a(3, 3);
+    a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = -1;
+    a(1, 0) = -3; a(1, 1) = -1; a(1, 2) = 2;
+    a(2, 0) = -2; a(2, 1) = 1; a(2, 2) = 2;
+    const auto x = lu_solve(a, {8, -11, -3});
+    ASSERT_EQ(x.size(), 3u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+    EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Matrix, PivotsOnZeroDiagonal) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 0;
+    const auto x = lu_solve(a, {3, 4});
+    EXPECT_NEAR(x[0], 4.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SingularThrows) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4;
+    EXPECT_THROW(lu_solve(a, {1, 2}), SingularMatrixError);
+}
+
+// ------------------------------------------------------------- waveforms
+
+TEST(Waveform, Pulse) {
+    PulseWave w(0.0, 5.0, 1e-6, 1e-6, 1e-6, 3e-6, 10e-6);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);       // before delay
+    EXPECT_DOUBLE_EQ(w.value(1.5e-6), 2.5);    // mid rise
+    EXPECT_DOUBLE_EQ(w.value(3e-6), 5.0);      // plateau
+    EXPECT_DOUBLE_EQ(w.value(5.5e-6), 2.5);    // mid fall
+    EXPECT_DOUBLE_EQ(w.value(8e-6), 0.0);      // off
+    EXPECT_NEAR(w.value(11.5e-6), 2.5, 1e-9);  // periodic repeat of mid rise
+    EXPECT_DOUBLE_EQ(w.value(13e-6), 5.0);     // periodic repeat of plateau
+}
+
+TEST(Waveform, Sin) {
+    SinWave w(1.0, 2.0, 1000.0);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);
+    EXPECT_NEAR(w.value(0.25e-3), 3.0, 1e-9);  // quarter period peak
+    EXPECT_DOUBLE_EQ(w.dc_value(), 1.0);
+}
+
+TEST(Waveform, Pwl) {
+    PwlWave w({{0.0, 0.0}, {1.0, 10.0}, {2.0, -10.0}});
+    EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(w.value(1.5), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(9.0), -10.0);
+    EXPECT_THROW(PwlWave({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+}
+
+TEST(Waveform, TriangleShape) {
+    // The paper's excitation: 12 mA pp at 8 kHz -> amplitude 6 mA.
+    TriangleWave w(0.0, 6e-3, 8000.0);
+    const double T = 1.0 / 8000.0;
+    EXPECT_NEAR(w.value(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(w.value(T / 4), 6e-3, 1e-12);
+    EXPECT_NEAR(w.value(T / 2), 0.0, 1e-12);
+    EXPECT_NEAR(w.value(3 * T / 4), -6e-3, 1e-12);
+    EXPECT_NEAR(w.value(T), 0.0, 1e-12);
+    // Linear ramps between the extremes.
+    EXPECT_NEAR(w.value(T / 8), 3e-3, 1e-12);
+}
+
+TEST(Waveform, TriangleMeanIsOffset) {
+    TriangleWave w(1e-3, 6e-3, 8000.0);
+    double sum = 0.0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) sum += w.value(i / 8000.0 / n);
+    EXPECT_NEAR(sum / n, 1e-3, 1e-6);
+}
+
+// ----------------------------------------------------- DC operating point
+
+TEST(Dc, VoltageDivider) {
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int mid = ckt.node("mid");
+    ckt.add<VoltageSource>("v1", in, kGround, 10.0);
+    ckt.add<Resistor>("r1", in, mid, 1e3);
+    ckt.add<Resistor>("r2", mid, kGround, 3e3);
+    const auto op = dc_operating_point(ckt);
+    EXPECT_NEAR(op.node_voltage(mid), 7.5, 1e-6);  // gmin loads the divider slightly
+    EXPECT_NEAR(op.node_voltage(in), 10.0, 1e-12);
+}
+
+TEST(Dc, SourceCurrentConvention) {
+    // 5 V across 1 kohm: SPICE reports I(V1) = -5 mA.
+    Circuit ckt;
+    const int a = ckt.node("a");
+    auto& v1 = ckt.add<VoltageSource>("v1", a, kGround, 5.0);
+    ckt.add<Resistor>("r1", a, kGround, 1e3);
+    const auto op = dc_operating_point(ckt);
+    EXPECT_NEAR(op.x[static_cast<std::size_t>(v1.branch())], -5e-3, 1e-9);
+}
+
+TEST(Dc, DiodeForwardDrop) {
+    Circuit ckt;
+    const int a = ckt.node("a");
+    const int b = ckt.node("b");
+    ckt.add<VoltageSource>("v1", a, kGround, 5.0);
+    ckt.add<Resistor>("r1", a, b, 1e3);
+    ckt.add<Diode>("d1", b, kGround);
+    const auto op = dc_operating_point(ckt);
+    // ~0.6-0.7 V forward drop, rest across the resistor.
+    EXPECT_GT(op.node_voltage(b), 0.5);
+    EXPECT_LT(op.node_voltage(b), 0.75);
+}
+
+TEST(Dc, DiodeReverseBlocks) {
+    Circuit ckt;
+    const int a = ckt.node("a");
+    const int b = ckt.node("b");
+    ckt.add<VoltageSource>("v1", a, kGround, -5.0);
+    ckt.add<Resistor>("r1", a, b, 1e3);
+    ckt.add<Diode>("d1", b, kGround);
+    const auto op = dc_operating_point(ckt);
+    EXPECT_NEAR(op.node_voltage(b), -5.0, 1e-3);  // no current, no drop
+}
+
+TEST(Dc, InductorIsShort) {
+    Circuit ckt;
+    const int a = ckt.node("a");
+    const int b = ckt.node("b");
+    ckt.add<VoltageSource>("v1", a, kGround, 2.0);
+    ckt.add<Resistor>("r1", a, b, 1e3);
+    ckt.add<Inductor>("l1", b, kGround, 1e-3);
+    const auto op = dc_operating_point(ckt);
+    EXPECT_NEAR(op.node_voltage(b), 0.0, 1e-3);
+}
+
+TEST(Dc, ControlledSources) {
+    // VCVS doubling a divider tap; VCCS injecting proportional current.
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int mid = ckt.node("mid");
+    const int out = ckt.node("out");
+    ckt.add<VoltageSource>("v1", in, kGround, 4.0);
+    ckt.add<Resistor>("r1", in, mid, 1e3);
+    ckt.add<Resistor>("r2", mid, kGround, 1e3);
+    ckt.add<Vcvs>("e1", out, kGround, mid, kGround, 2.0);
+    const auto op = dc_operating_point(ckt);
+    EXPECT_NEAR(op.node_voltage(out), 4.0, 1e-6);
+
+    Circuit ckt2;
+    const int c = ckt2.node("c");
+    const int o = ckt2.node("o");
+    ckt2.add<VoltageSource>("v1", c, kGround, 1.0);
+    ckt2.add<Vccs>("g1", kGround, o, c, kGround, 1e-3);  // 1 mA into o
+    ckt2.add<Resistor>("r1", o, kGround, 2e3);
+    const auto op2 = dc_operating_point(ckt2);
+    EXPECT_NEAR(op2.node_voltage(o), 2.0, 1e-6);
+}
+
+TEST(Dc, CurrentControlledSources) {
+    // F element mirrors the current of a 0 V sense source.
+    Circuit ckt;
+    const int a = ckt.node("a");
+    const int s = ckt.node("s");
+    const int o = ckt.node("o");
+    ckt.add<VoltageSource>("vin", a, kGround, 5.0);
+    auto& sense = ckt.add<VoltageSource>("vsense", a, s, 0.0);
+    ckt.add<Resistor>("r1", s, kGround, 1e3);  // 5 mA through the sense source
+    ckt.add<Cccs>("f1", kGround, o, &sense, 2.0);
+    ckt.add<Resistor>("ro", o, kGround, 1e3);
+    const auto op = dc_operating_point(ckt);
+    // 5 mA enters the sense source at its + terminal, so its branch
+    // current is +5 mA; gain 2 drives 10 mA from ground into node o.
+    EXPECT_NEAR(op.node_voltage(o), 10.0, 1e-5);
+
+    Circuit ckt2;
+    const int a2 = ckt2.node("a");
+    const int s2 = ckt2.node("s");
+    const int o2 = ckt2.node("o");
+    ckt2.add<VoltageSource>("vin", a2, kGround, 5.0);
+    auto& sense2 = ckt2.add<VoltageSource>("vsense", a2, s2, 0.0);
+    ckt2.add<Resistor>("r1", s2, kGround, 1e3);
+    ckt2.add<Ccvs>("h1", o2, kGround, &sense2, 1e3);
+    ckt2.add<Resistor>("ro", o2, kGround, 1e6);
+    const auto op2 = dc_operating_point(ckt2);
+    EXPECT_NEAR(op2.node_voltage(o2), 5.0, 1e-5);  // rm * (+5 mA)
+}
+
+TEST(Dc, SwitchOnOff) {
+    Circuit ckt;
+    const int c = ckt.node("ctl");
+    const int a = ckt.node("a");
+    const int b = ckt.node("b");
+    ckt.add<VoltageSource>("vc", c, kGround, 5.0);  // control above vt
+    ckt.add<VoltageSource>("va", a, kGround, 1.0);
+    ckt.add<VSwitch>("s1", a, b, c, kGround, 10.0, 1e9, 2.5);
+    ckt.add<Resistor>("rl", b, kGround, 90.0);
+    const auto op = dc_operating_point(ckt);
+    EXPECT_NEAR(op.node_voltage(b), 0.9, 1e-3);  // on: 10/90 divider
+
+    Circuit ckt2;
+    const int c2 = ckt2.node("ctl");
+    const int a2 = ckt2.node("a");
+    const int b2 = ckt2.node("b");
+    ckt2.add<VoltageSource>("vc", c2, kGround, 0.0);  // control below vt
+    ckt2.add<VoltageSource>("va", a2, kGround, 1.0);
+    ckt2.add<VSwitch>("s2", a2, b2, c2, kGround, 10.0, 1e9, 2.5);
+    ckt2.add<Resistor>("rl", b2, kGround, 90.0);
+    const auto op2 = dc_operating_point(ckt2);
+    EXPECT_LT(op2.node_voltage(b2), 1e-3);  // off: load pulled to ground
+}
+
+// -------------------------------------------------------------- transient
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+    // 1 V step into R = 1k, C = 1 uF: v(t) = 1 - exp(-t/tau), tau = 1 ms.
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add<VoltageSource>("v1", in, kGround,
+                           std::make_unique<PulseWave>(0.0, 1.0, 0.0, 1e-9, 1e-9,
+                                                       1.0, 2.0));
+    ckt.add<Resistor>("r1", in, out, 1e3);
+    ckt.add<Capacitor>("c1", out, kGround, 1e-6);
+    TransientSpec spec;
+    spec.tstop = 5e-3;
+    spec.dt = 10e-6;
+    spec.start_from_op = false;
+    const TransientResult result = run_transient(ckt, spec);
+    const auto v = result.node_voltage(ckt, "out");
+    // Skip the first two points: the source discontinuity falls inside
+    // step one and trapezoidal averages across it.
+    for (std::size_t i = 2; i < result.steps(); ++i) {
+        const double t = result.time()[i];
+        const double expect = 1.0 - std::exp(-t / 1e-3);
+        EXPECT_NEAR(v[i], expect, 2e-3) << "t=" << t;
+    }
+}
+
+TEST(Transient, RlCurrentRampMatchesAnalytic) {
+    // 1 V into R = 10, L = 10 mH: i(t) = 0.1 (1 - exp(-t/1ms)).
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int mid = ckt.node("mid");
+    ckt.add<VoltageSource>("v1", in, kGround,
+                           std::make_unique<PulseWave>(0.0, 1.0, 0.0, 1e-9, 1e-9,
+                                                       1.0, 2.0));
+    ckt.add<Resistor>("r1", in, mid, 10.0);
+    auto& l1 = ckt.add<Inductor>("l1", mid, kGround, 10e-3);
+    TransientSpec spec;
+    spec.tstop = 5e-3;
+    spec.dt = 5e-6;
+    spec.start_from_op = false;
+    const TransientResult result = run_transient(ckt, spec);
+    const auto& i = result.branch_current(l1);
+    for (std::size_t k = 2; k < result.steps(); ++k) {
+        const double t = result.time()[k];
+        const double expect = 0.1 * (1.0 - std::exp(-t / 1e-3));
+        EXPECT_NEAR(i[k], expect, 5e-4) << "t=" << t;
+    }
+}
+
+TEST(Transient, LcOscillationFrequency) {
+    // L = 1 mH, C = 1 uF resonates at ~5.03 kHz; trapezoidal keeps the
+    // amplitude (it is non-dissipative).
+    Circuit ckt;
+    const int n1 = ckt.node("n1");
+    ckt.add<Capacitor>("c1", n1, kGround, 1e-6, /*v_initial=*/1.0);
+    ckt.add<Inductor>("l1", n1, kGround, 1e-3);
+    TransientSpec spec;
+    spec.tstop = 2e-3;
+    spec.dt = 1e-6;
+    spec.method = Method::Trapezoidal;
+    spec.start_from_op = false;
+    const TransientResult result = run_transient(ckt, spec);
+    const auto v = result.node_voltage(ckt, "n1");
+    // Count zero crossings: f = crossings / (2 * tstop).
+    int crossings = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        if ((v[i - 1] > 0) != (v[i] > 0)) ++crossings;
+    }
+    const double f = crossings / (2.0 * spec.tstop);
+    // Crossing counting quantises to 1/(2*tstop) = 250 Hz.
+    EXPECT_NEAR(f, 5032.9, 300.0);
+    // Trapezoidal preserves amplitude within a few percent.
+    double peak = 0.0;
+    for (std::size_t i = v.size() / 2; i < v.size(); ++i) {
+        peak = std::max(peak, std::fabs(v[i]));
+    }
+    EXPECT_GT(peak, 0.95);
+}
+
+TEST(Transient, DiodeHalfWaveRectifier) {
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add<VoltageSource>("v1", in, kGround,
+                           std::make_unique<SinWave>(0.0, 5.0, 1e3));
+    ckt.add<Diode>("d1", in, out);
+    ckt.add<Resistor>("rl", out, kGround, 1e3);
+    TransientSpec spec;
+    spec.tstop = 2e-3;
+    spec.dt = 2e-6;
+    const TransientResult result = run_transient(ckt, spec);
+    const auto v = result.node_voltage(ckt, "out");
+    double vmin = 1e9;
+    double vmax = -1e9;
+    for (double x : v) {
+        vmin = std::min(vmin, x);
+        vmax = std::max(vmax, x);
+    }
+    EXPECT_GT(vmax, 4.0);   // passes positive peaks minus the drop
+    EXPECT_GT(vmin, -0.1);  // blocks negative half-waves
+}
+
+TEST(Transient, EnergyConservationRcDischarge) {
+    // C discharging into R: dissipated energy equals initial 0.5 C V^2.
+    Circuit ckt;
+    const int n1 = ckt.node("n1");
+    ckt.add<Capacitor>("c1", n1, kGround, 1e-6, 5.0);
+    ckt.add<Resistor>("r1", n1, kGround, 1e3);
+    TransientSpec spec;
+    spec.tstop = 10e-3;  // 10 tau
+    spec.dt = 5e-6;
+    spec.start_from_op = false;
+    const TransientResult result = run_transient(ckt, spec);
+    const auto v = result.node_voltage(ckt, "n1");
+    double energy = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        const double vm = 0.5 * (v[i] + v[i - 1]);
+        energy += vm * vm / 1e3 * (result.time()[i] - result.time()[i - 1]);
+    }
+    EXPECT_NEAR(energy, 0.5 * 1e-6 * 25.0, 0.5 * 1e-6 * 25.0 * 0.01);
+}
+
+// BE vs trapezoidal on the same stiff-ish problem: both converge, BE
+// shows first-order error, TRAP second-order (error ratio check).
+TEST(Transient, MethodOrderComparison) {
+    auto run_rc = [](Method method, double dt) {
+        Circuit ckt;
+        const int in = ckt.node("in");
+        const int out = ckt.node("out");
+        ckt.add<VoltageSource>("v1", in, kGround,
+                               std::make_unique<PulseWave>(0.0, 1.0, 0.0, 1e-12,
+                                                           1e-12, 1.0, 2.0));
+        ckt.add<Resistor>("r1", in, out, 1e3);
+        ckt.add<Capacitor>("c1", out, kGround, 1e-6);
+        TransientSpec spec;
+        spec.tstop = 1e-3;
+        spec.dt = dt;
+        spec.method = method;
+        spec.start_from_op = false;
+        const TransientResult r = run_transient(ckt, spec);
+        const auto v = r.node_voltage(ckt, "out");
+        const double expect = 1.0 - std::exp(-1.0);  // at t = tau
+        return std::fabs(v.back() - expect);
+    };
+    const double be_err = run_rc(Method::BackwardEuler, 20e-6);
+    const double trap_err = run_rc(Method::Trapezoidal, 20e-6);
+    EXPECT_LT(trap_err, be_err / 5.0);  // trapezoidal is much tighter
+}
+
+TEST(Transient, ValidatesSpec) {
+    Circuit ckt;
+    ckt.add<Resistor>("r1", ckt.node("a"), kGround, 1.0);
+    TransientSpec bad;
+    EXPECT_THROW(run_transient(ckt, bad), std::invalid_argument);
+}
+
+TEST(Transient, BranchCurrentRequiresBranch) {
+    Circuit ckt;
+    auto& r = ckt.add<Resistor>("r1", ckt.node("a"), kGround, 1.0);
+    ckt.add<VoltageSource>("v1", ckt.find_node("a"), kGround, 1.0);
+    TransientSpec spec;
+    spec.tstop = 1e-6;
+    spec.dt = 1e-7;
+    const TransientResult result = run_transient(ckt, spec);
+    EXPECT_THROW((void)result.branch_current(r), std::invalid_argument);
+}
+
+// Linear-circuit property: superposition. The response of a random
+// resistive ladder to two sources together equals the sum of the
+// responses to each source alone.
+class Superposition : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Superposition, HoldsOnRandomLadders) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> res(100.0, 10e3);
+    std::uniform_real_distribution<double> volt(-5.0, 5.0);
+
+    auto build = [&](double v1, double i2, std::mt19937 seed_rng) {
+        auto local = seed_rng;  // identical topology per call
+        Circuit ckt;
+        int prev = ckt.node("n0");
+        ckt.add<VoltageSource>("v1", prev, kGround, v1);
+        for (int k = 1; k <= 6; ++k) {
+            const int node = ckt.node("n" + std::to_string(k));
+            ckt.add<Resistor>("rs" + std::to_string(k), prev, node, res(local));
+            ckt.add<Resistor>("rg" + std::to_string(k), node, kGround, res(local));
+            prev = node;
+        }
+        ckt.add<CurrentSource>("i2", kGround, prev, i2);
+        return ckt;
+    };
+    const double v1 = volt(rng);
+    const double i2 = volt(rng) * 1e-3;
+    std::mt19937 topo = rng;  // frozen topology seed
+
+    Circuit both = build(v1, i2, topo);
+    Circuit only_v = build(v1, 0.0, topo);
+    Circuit only_i = build(0.0, i2, topo);
+    const auto op_both = dc_operating_point(both);
+    const auto op_v = dc_operating_point(only_v);
+    const auto op_i = dc_operating_point(only_i);
+    for (int n = 0; n < both.node_count(); ++n) {
+        EXPECT_NEAR(op_both.node_voltage(n),
+                    op_v.node_voltage(n) + op_i.node_voltage(n), 1e-9)
+            << "node " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Superposition, ::testing::Values(1u, 7u, 42u, 1997u));
+
+TEST(Circuit, NodeAliasesAndLookup) {
+    Circuit ckt;
+    EXPECT_EQ(ckt.node("0"), kGround);
+    EXPECT_EQ(ckt.node("GND"), kGround);
+    const int a = ckt.node("N1");
+    EXPECT_EQ(ckt.node("n1"), a);  // case-insensitive
+    EXPECT_THROW((void)ckt.find_node("missing"), std::out_of_range);
+}
+
+TEST(Devices, ValidateParameters) {
+    Circuit ckt;
+    const int a = ckt.node("a");
+    EXPECT_THROW(ckt.add<Resistor>("r", a, kGround, 0.0), std::invalid_argument);
+    EXPECT_THROW(ckt.add<Capacitor>("c", a, kGround, -1e-9), std::invalid_argument);
+    EXPECT_THROW(ckt.add<Inductor>("l", a, kGround, 0.0), std::invalid_argument);
+    EXPECT_THROW(ckt.add<Diode>("d", a, kGround, -1e-14), std::invalid_argument);
+    EXPECT_THROW(ckt.add<VSwitch>("s", a, kGround, a, kGround, 0.0, 1.0, 0.5),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxg::spice

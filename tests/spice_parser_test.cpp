@@ -1,0 +1,199 @@
+// Tests for the SPICE-style netlist parser: element cards, waveforms,
+// continuations, comments, directives and error reporting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/ac_analysis.hpp"
+#include "spice/analysis.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/netlist_parser.hpp"
+
+namespace fxg::spice {
+namespace {
+
+TEST(Parser, DividerEndToEnd) {
+    const std::string deck = R"(simple divider
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    const auto op = dc_operating_point(parsed.circuit);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("mid")), 7.5, 1e-6);
+}
+
+TEST(Parser, CommentsContinuationsAndInlineComments) {
+    const std::string deck = R"(title
+* a full-line comment
+V1 in 0
++ PULSE(0 5 0 1u 1u 10u 20u)  ; inline comment
+R1 in 0 2k
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    EXPECT_EQ(parsed.circuit.devices().size(), 2u);
+    auto* v1 = parsed.circuit.find_device("v1");
+    ASSERT_NE(v1, nullptr);
+}
+
+TEST(Parser, AllWaveforms) {
+    const std::string deck = R"(waves
+V1 a 0 DC 3
+V2 b 0 SIN(0 1 1k)
+V3 c 0 PWL(0 0 1m 5)
+V4 d 0 TRI(0 6m 8k)
+V5 e 0 2.5
+I1 f 0 DC 1m
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+R5 e 0 1k
+R6 f 0 1k
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    EXPECT_EQ(parsed.circuit.devices().size(), 12u);
+    const auto op = dc_operating_point(parsed.circuit);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("a")), 3.0, 1e-9);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("e")), 2.5, 1e-9);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("f")), -1.0, 1e-6);
+}
+
+TEST(Parser, TranDirective) {
+    const std::string deck = R"(tran test
+V1 in 0 DC 1
+R1 in out 1k
+C1 out 0 1u
+.tran 1u 2m BE
+.end
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    ASSERT_TRUE(parsed.tran.has_value());
+    EXPECT_DOUBLE_EQ(parsed.tran->dt, 1e-6);
+    EXPECT_DOUBLE_EQ(parsed.tran->tstop, 2e-3);
+    EXPECT_EQ(parsed.tran->method, Method::BackwardEuler);
+}
+
+TEST(Parser, ControlledSourcesIncludingForwardReference) {
+    // F references VS which appears LATER in the deck.
+    const std::string deck = R"(ctl
+F1 0 out VS 2
+VIN a 0 DC 5
+VS a s 0
+R1 s 0 1k
+RO out 0 1k
+E1 e 0 s 0 3
+RE e 0 1k
+G1 0 g s 0 1m
+RG g 0 1k
+H1 h 0 VS 1k
+RH h 0 1meg
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    const auto op = dc_operating_point(parsed.circuit);
+    // +5 mA enters VS at its + terminal (branch current +5 mA).
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("out")), 10.0, 1e-5);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("e")), 15.0, 1e-5);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("h")), 5.0, 1e-5);
+}
+
+TEST(Parser, SwitchCard) {
+    const std::string deck = R"(sw
+VC ctl 0 DC 5
+VA a 0 DC 1
+S1 a b ctl 0 RON=10 ROFF=1g VT=2.5
+RL b 0 90
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    const auto op = dc_operating_point(parsed.circuit);
+    EXPECT_NEAR(op.node_voltage(parsed.circuit.find_node("b")), 0.9, 1e-3);
+}
+
+TEST(Parser, CapacitorInitialCondition) {
+    const std::string deck = R"(ic
+C1 n 0 1u IC=5
+R1 n 0 1k
+.tran 10u 1m
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    ASSERT_TRUE(parsed.tran.has_value());
+    TransientSpec spec = *parsed.tran;
+    spec.start_from_op = false;
+    const TransientResult r = run_transient(parsed.circuit, spec);
+    const auto v = r.node_voltage(parsed.circuit, "n");
+    EXPECT_NEAR(v[1], 5.0, 0.1);                  // starts near the IC
+    EXPECT_NEAR(v.back(), 5.0 * std::exp(-1.0), 0.05);  // decays with tau = 1 ms
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+    const std::string bad_element = "t\nQ1 a b c\n";
+    try {
+        parse_netlist(bad_element);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+    EXPECT_THROW(parse_netlist("t\nR1 a 0 abc\n"), ParseError);
+    EXPECT_THROW(parse_netlist("t\nV1 a 0 PULSE(1 2)\n"), ParseError);
+    EXPECT_THROW(parse_netlist("t\nF1 a 0 VMISSING 2\n"), ParseError);
+    EXPECT_THROW(parse_netlist("t\nS1 a b c 0 RON=1\n"), ParseError);
+    EXPECT_THROW(parse_netlist("t\n.unknown\n"), ParseError);
+    EXPECT_THROW(parse_netlist("t\n+R1 a 0 1k\n"), ParseError);
+}
+
+TEST(Parser, AcDirectiveAndSourceMagnitude) {
+    const std::string deck = R"(ac deck
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 159.155n
+.ac dec 10 10 100k
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    ASSERT_TRUE(parsed.ac.has_value());
+    EXPECT_EQ(parsed.ac->points_per_decade, 10);
+    EXPECT_DOUBLE_EQ(parsed.ac->f_start_hz, 10.0);
+    EXPECT_DOUBLE_EQ(parsed.ac->f_stop_hz, 100e3);
+    const AcResult ac = run_ac(parsed.circuit, *parsed.ac);
+    const auto v = ac.node_voltage(parsed.circuit, "out");
+    // Low-frequency gain ~1 (corner at 1 kHz), high-frequency rolled off.
+    EXPECT_NEAR(std::abs(v.front()), 1.0, 0.01);
+    EXPECT_LT(std::abs(v.back()), 0.02);
+    EXPECT_THROW(parse_netlist("t\n.ac lin 5 1 10\n"), ParseError);
+}
+
+TEST(Parser, MosfetCardAndDcDirective) {
+    const std::string deck = R"(mos deck
+VDD vdd 0 DC 5
+VIN in 0 DC 0
+M1 out in 0 NMOS VT=0.8 KP=200u LAMBDA=0
+M2 out in vdd PMOS VT=0.8 KP=200u LAMBDA=0
+RL out 0 100meg
+.dc VIN 0 5 0.5
+)";
+    ParsedNetlist parsed = parse_netlist(deck);
+    ASSERT_TRUE(parsed.dc.has_value());
+    EXPECT_EQ(parsed.dc->source, "vin");
+    EXPECT_DOUBLE_EQ(parsed.dc->step, 0.5);
+    auto* vin = dynamic_cast<VoltageSource*>(parsed.circuit.find_device("vin"));
+    ASSERT_NE(vin, nullptr);
+    const DcSweepResult sweep =
+        dc_sweep(parsed.circuit, *vin, parsed.dc->from, parsed.dc->to, parsed.dc->step);
+    const int out = parsed.circuit.find_node("out");
+    EXPECT_GT(sweep.points.front().node_voltage(out), 4.9);
+    EXPECT_LT(sweep.points.back().node_voltage(out), 0.1);
+    EXPECT_THROW(parse_netlist("t\nM1 a b c NFET\n"), ParseError);
+}
+
+TEST(Parser, EndStopsParsing) {
+    const std::string deck = R"(t
+R1 a 0 1k
+.end
+GARBAGE LINE THAT WOULD FAIL
+)";
+    EXPECT_NO_THROW(parse_netlist(deck));
+}
+
+}  // namespace
+}  // namespace fxg::spice
