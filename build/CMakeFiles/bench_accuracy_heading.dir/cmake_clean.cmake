@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_heading.dir/bench/bench_accuracy_heading.cpp.o"
+  "CMakeFiles/bench_accuracy_heading.dir/bench/bench_accuracy_heading.cpp.o.d"
+  "bench/bench_accuracy_heading"
+  "bench/bench_accuracy_heading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_heading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

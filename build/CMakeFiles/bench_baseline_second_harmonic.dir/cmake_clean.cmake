@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_second_harmonic.dir/bench/bench_baseline_second_harmonic.cpp.o"
+  "CMakeFiles/bench_baseline_second_harmonic.dir/bench/bench_baseline_second_harmonic.cpp.o.d"
+  "bench/bench_baseline_second_harmonic"
+  "bench/bench_baseline_second_harmonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_second_harmonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

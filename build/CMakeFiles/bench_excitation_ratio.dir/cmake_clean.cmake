@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_excitation_ratio.dir/bench/bench_excitation_ratio.cpp.o"
+  "CMakeFiles/bench_excitation_ratio.dir/bench/bench_excitation_ratio.cpp.o.d"
+  "bench/bench_excitation_ratio"
+  "bench/bench_excitation_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_excitation_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

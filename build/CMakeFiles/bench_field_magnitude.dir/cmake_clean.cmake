@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_field_magnitude.dir/bench/bench_field_magnitude.cpp.o"
+  "CMakeFiles/bench_field_magnitude.dir/bench/bench_field_magnitude.cpp.o.d"
+  "bench/bench_field_magnitude"
+  "bench/bench_field_magnitude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_field_magnitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pulse_position.dir/bench/bench_fig3_pulse_position.cpp.o"
+  "CMakeFiles/bench_fig3_pulse_position.dir/bench/bench_fig3_pulse_position.cpp.o.d"
+  "bench/bench_fig3_pulse_position"
+  "bench/bench_fig3_pulse_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pulse_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sensor_waveforms.dir/bench/bench_fig4_sensor_waveforms.cpp.o"
+  "CMakeFiles/bench_fig4_sensor_waveforms.dir/bench/bench_fig4_sensor_waveforms.cpp.o.d"
+  "bench/bench_fig4_sensor_waveforms"
+  "bench/bench_fig4_sensor_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sensor_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

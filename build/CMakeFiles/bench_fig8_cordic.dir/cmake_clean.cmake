@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cordic.dir/bench/bench_fig8_cordic.cpp.o"
+  "CMakeFiles/bench_fig8_cordic.dir/bench/bench_fig8_cordic.cpp.o.d"
+  "bench/bench_fig8_cordic"
+  "bench/bench_fig8_cordic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cordic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

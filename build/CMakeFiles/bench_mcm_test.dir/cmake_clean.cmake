@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcm_test.dir/bench/bench_mcm_test.cpp.o"
+  "CMakeFiles/bench_mcm_test.dir/bench/bench_mcm_test.cpp.o.d"
+  "bench/bench_mcm_test"
+  "bench/bench_mcm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

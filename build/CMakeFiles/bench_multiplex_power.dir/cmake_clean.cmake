@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiplex_power.dir/bench/bench_multiplex_power.cpp.o"
+  "CMakeFiles/bench_multiplex_power.dir/bench/bench_multiplex_power.cpp.o.d"
+  "bench/bench_multiplex_power"
+  "bench/bench_multiplex_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplex_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

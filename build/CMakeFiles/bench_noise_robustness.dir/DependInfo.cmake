@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_noise_robustness.cpp" "CMakeFiles/bench_noise_robustness.dir/bench/bench_noise_robustness.cpp.o" "gcc" "CMakeFiles/bench_noise_robustness.dir/bench/bench_noise_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fxg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sog/CMakeFiles/fxg_sog.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fxg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fxg_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/fxg_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fxg_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/fxg_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/fxg_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnetics/CMakeFiles/fxg_magnetics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offset_correction.dir/bench/bench_offset_correction.cpp.o"
+  "CMakeFiles/bench_offset_correction.dir/bench/bench_offset_correction.cpp.o.d"
+  "bench/bench_offset_correction"
+  "bench/bench_offset_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offset_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

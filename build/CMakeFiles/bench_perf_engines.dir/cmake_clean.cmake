@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_engines.dir/bench/bench_perf_engines.cpp.o"
+  "CMakeFiles/bench_perf_engines.dir/bench/bench_perf_engines.cpp.o.d"
+  "bench/bench_perf_engines"
+  "bench/bench_perf_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sog_area.dir/bench/bench_sog_area.cpp.o"
+  "CMakeFiles/bench_sog_area.dir/bench/bench_sog_area.cpp.o.d"
+  "bench/bench_sog_area"
+  "bench/bench_sog_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sog_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tilt.dir/bench/bench_tilt.cpp.o"
+  "CMakeFiles/bench_tilt.dir/bench/bench_tilt.cpp.o.d"
+  "bench/bench_tilt"
+  "bench/bench_tilt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tilt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

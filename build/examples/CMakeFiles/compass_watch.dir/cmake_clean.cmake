@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_watch.dir/compass_watch.cpp.o"
+  "CMakeFiles/compass_watch.dir/compass_watch.cpp.o.d"
+  "compass_watch"
+  "compass_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_calibration.dir/field_calibration.cpp.o"
+  "CMakeFiles/field_calibration.dir/field_calibration.cpp.o.d"
+  "field_calibration"
+  "field_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

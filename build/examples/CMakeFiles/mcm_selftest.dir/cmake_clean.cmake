@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_selftest.dir/mcm_selftest.cpp.o"
+  "CMakeFiles/mcm_selftest.dir/mcm_selftest.cpp.o.d"
+  "mcm_selftest"
+  "mcm_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

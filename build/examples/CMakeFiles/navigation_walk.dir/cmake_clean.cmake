@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_walk.dir/navigation_walk.cpp.o"
+  "CMakeFiles/navigation_walk.dir/navigation_walk.cpp.o.d"
+  "navigation_walk"
+  "navigation_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_netlist.dir/spice_netlist.cpp.o"
+  "CMakeFiles/spice_netlist.dir/spice_netlist.cpp.o.d"
+  "spice_netlist"
+  "spice_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

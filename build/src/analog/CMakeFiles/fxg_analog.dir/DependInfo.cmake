@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/comparator.cpp" "src/analog/CMakeFiles/fxg_analog.dir/comparator.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/comparator.cpp.o.d"
+  "/root/repo/src/analog/detector.cpp" "src/analog/CMakeFiles/fxg_analog.dir/detector.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/detector.cpp.o.d"
+  "/root/repo/src/analog/front_end.cpp" "src/analog/CMakeFiles/fxg_analog.dir/front_end.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/front_end.cpp.o.d"
+  "/root/repo/src/analog/mux.cpp" "src/analog/CMakeFiles/fxg_analog.dir/mux.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/mux.cpp.o.d"
+  "/root/repo/src/analog/noise.cpp" "src/analog/CMakeFiles/fxg_analog.dir/noise.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/noise.cpp.o.d"
+  "/root/repo/src/analog/oscillator.cpp" "src/analog/CMakeFiles/fxg_analog.dir/oscillator.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/oscillator.cpp.o.d"
+  "/root/repo/src/analog/vi_converter.cpp" "src/analog/CMakeFiles/fxg_analog.dir/vi_converter.cpp.o" "gcc" "src/analog/CMakeFiles/fxg_analog.dir/vi_converter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnetics/CMakeFiles/fxg_magnetics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/fxg_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fxg_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_analog.dir/comparator.cpp.o"
+  "CMakeFiles/fxg_analog.dir/comparator.cpp.o.d"
+  "CMakeFiles/fxg_analog.dir/detector.cpp.o"
+  "CMakeFiles/fxg_analog.dir/detector.cpp.o.d"
+  "CMakeFiles/fxg_analog.dir/front_end.cpp.o"
+  "CMakeFiles/fxg_analog.dir/front_end.cpp.o.d"
+  "CMakeFiles/fxg_analog.dir/mux.cpp.o"
+  "CMakeFiles/fxg_analog.dir/mux.cpp.o.d"
+  "CMakeFiles/fxg_analog.dir/noise.cpp.o"
+  "CMakeFiles/fxg_analog.dir/noise.cpp.o.d"
+  "CMakeFiles/fxg_analog.dir/oscillator.cpp.o"
+  "CMakeFiles/fxg_analog.dir/oscillator.cpp.o.d"
+  "CMakeFiles/fxg_analog.dir/vi_converter.cpp.o"
+  "CMakeFiles/fxg_analog.dir/vi_converter.cpp.o.d"
+  "libfxg_analog.a"
+  "libfxg_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

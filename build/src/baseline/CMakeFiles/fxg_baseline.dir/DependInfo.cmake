@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/adc.cpp" "src/baseline/CMakeFiles/fxg_baseline.dir/adc.cpp.o" "gcc" "src/baseline/CMakeFiles/fxg_baseline.dir/adc.cpp.o.d"
+  "/root/repo/src/baseline/goertzel.cpp" "src/baseline/CMakeFiles/fxg_baseline.dir/goertzel.cpp.o" "gcc" "src/baseline/CMakeFiles/fxg_baseline.dir/goertzel.cpp.o.d"
+  "/root/repo/src/baseline/second_harmonic.cpp" "src/baseline/CMakeFiles/fxg_baseline.dir/second_harmonic.cpp.o" "gcc" "src/baseline/CMakeFiles/fxg_baseline.dir/second_harmonic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/fxg_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/fxg_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fxg_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnetics/CMakeFiles/fxg_magnetics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_baseline.dir/adc.cpp.o"
+  "CMakeFiles/fxg_baseline.dir/adc.cpp.o.d"
+  "CMakeFiles/fxg_baseline.dir/goertzel.cpp.o"
+  "CMakeFiles/fxg_baseline.dir/goertzel.cpp.o.d"
+  "CMakeFiles/fxg_baseline.dir/second_harmonic.cpp.o"
+  "CMakeFiles/fxg_baseline.dir/second_harmonic.cpp.o.d"
+  "libfxg_baseline.a"
+  "libfxg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

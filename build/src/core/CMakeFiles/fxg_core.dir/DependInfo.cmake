@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/fxg_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/fxg_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/compass.cpp" "src/core/CMakeFiles/fxg_core.dir/compass.cpp.o" "gcc" "src/core/CMakeFiles/fxg_core.dir/compass.cpp.o.d"
+  "/root/repo/src/core/error_analysis.cpp" "src/core/CMakeFiles/fxg_core.dir/error_analysis.cpp.o" "gcc" "src/core/CMakeFiles/fxg_core.dir/error_analysis.cpp.o.d"
+  "/root/repo/src/core/heading_filter.cpp" "src/core/CMakeFiles/fxg_core.dir/heading_filter.cpp.o" "gcc" "src/core/CMakeFiles/fxg_core.dir/heading_filter.cpp.o.d"
+  "/root/repo/src/core/power_budget.cpp" "src/core/CMakeFiles/fxg_core.dir/power_budget.cpp.o" "gcc" "src/core/CMakeFiles/fxg_core.dir/power_budget.cpp.o.d"
+  "/root/repo/src/core/tilt.cpp" "src/core/CMakeFiles/fxg_core.dir/tilt.cpp.o" "gcc" "src/core/CMakeFiles/fxg_core.dir/tilt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnetics/CMakeFiles/fxg_magnetics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/fxg_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/fxg_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/fxg_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fxg_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fxg_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_core.dir/calibration.cpp.o"
+  "CMakeFiles/fxg_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/fxg_core.dir/compass.cpp.o"
+  "CMakeFiles/fxg_core.dir/compass.cpp.o.d"
+  "CMakeFiles/fxg_core.dir/error_analysis.cpp.o"
+  "CMakeFiles/fxg_core.dir/error_analysis.cpp.o.d"
+  "CMakeFiles/fxg_core.dir/heading_filter.cpp.o"
+  "CMakeFiles/fxg_core.dir/heading_filter.cpp.o.d"
+  "CMakeFiles/fxg_core.dir/power_budget.cpp.o"
+  "CMakeFiles/fxg_core.dir/power_budget.cpp.o.d"
+  "CMakeFiles/fxg_core.dir/tilt.cpp.o"
+  "CMakeFiles/fxg_core.dir/tilt.cpp.o.d"
+  "libfxg_core.a"
+  "libfxg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/bcd.cpp" "src/digital/CMakeFiles/fxg_digital.dir/bcd.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/bcd.cpp.o.d"
+  "/root/repo/src/digital/boundary_scan.cpp" "src/digital/CMakeFiles/fxg_digital.dir/boundary_scan.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/boundary_scan.cpp.o.d"
+  "/root/repo/src/digital/cordic.cpp" "src/digital/CMakeFiles/fxg_digital.dir/cordic.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/cordic.cpp.o.d"
+  "/root/repo/src/digital/cordic_gate.cpp" "src/digital/CMakeFiles/fxg_digital.dir/cordic_gate.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/cordic_gate.cpp.o.d"
+  "/root/repo/src/digital/cordic_rtl.cpp" "src/digital/CMakeFiles/fxg_digital.dir/cordic_rtl.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/cordic_rtl.cpp.o.d"
+  "/root/repo/src/digital/counter.cpp" "src/digital/CMakeFiles/fxg_digital.dir/counter.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/counter.cpp.o.d"
+  "/root/repo/src/digital/display.cpp" "src/digital/CMakeFiles/fxg_digital.dir/display.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/display.cpp.o.d"
+  "/root/repo/src/digital/heading_gate.cpp" "src/digital/CMakeFiles/fxg_digital.dir/heading_gate.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/heading_gate.cpp.o.d"
+  "/root/repo/src/digital/watch.cpp" "src/digital/CMakeFiles/fxg_digital.dir/watch.cpp.o" "gcc" "src/digital/CMakeFiles/fxg_digital.dir/watch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fxg_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

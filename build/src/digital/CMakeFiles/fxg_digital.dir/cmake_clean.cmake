@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_digital.dir/bcd.cpp.o"
+  "CMakeFiles/fxg_digital.dir/bcd.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/boundary_scan.cpp.o"
+  "CMakeFiles/fxg_digital.dir/boundary_scan.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/cordic.cpp.o"
+  "CMakeFiles/fxg_digital.dir/cordic.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/cordic_gate.cpp.o"
+  "CMakeFiles/fxg_digital.dir/cordic_gate.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/cordic_rtl.cpp.o"
+  "CMakeFiles/fxg_digital.dir/cordic_rtl.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/counter.cpp.o"
+  "CMakeFiles/fxg_digital.dir/counter.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/display.cpp.o"
+  "CMakeFiles/fxg_digital.dir/display.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/heading_gate.cpp.o"
+  "CMakeFiles/fxg_digital.dir/heading_gate.cpp.o.d"
+  "CMakeFiles/fxg_digital.dir/watch.cpp.o"
+  "CMakeFiles/fxg_digital.dir/watch.cpp.o.d"
+  "libfxg_digital.a"
+  "libfxg_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/magnetics/core_model.cpp" "src/magnetics/CMakeFiles/fxg_magnetics.dir/core_model.cpp.o" "gcc" "src/magnetics/CMakeFiles/fxg_magnetics.dir/core_model.cpp.o.d"
+  "/root/repo/src/magnetics/earth_field.cpp" "src/magnetics/CMakeFiles/fxg_magnetics.dir/earth_field.cpp.o" "gcc" "src/magnetics/CMakeFiles/fxg_magnetics.dir/earth_field.cpp.o.d"
+  "/root/repo/src/magnetics/units.cpp" "src/magnetics/CMakeFiles/fxg_magnetics.dir/units.cpp.o" "gcc" "src/magnetics/CMakeFiles/fxg_magnetics.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_magnetics.dir/core_model.cpp.o"
+  "CMakeFiles/fxg_magnetics.dir/core_model.cpp.o.d"
+  "CMakeFiles/fxg_magnetics.dir/earth_field.cpp.o"
+  "CMakeFiles/fxg_magnetics.dir/earth_field.cpp.o.d"
+  "CMakeFiles/fxg_magnetics.dir/units.cpp.o"
+  "CMakeFiles/fxg_magnetics.dir/units.cpp.o.d"
+  "libfxg_magnetics.a"
+  "libfxg_magnetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_magnetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

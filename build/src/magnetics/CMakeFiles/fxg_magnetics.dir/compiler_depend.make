@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fxg_magnetics.
+# This may be replaced when dependencies are built.

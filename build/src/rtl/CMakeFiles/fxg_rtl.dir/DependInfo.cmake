@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/gates.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/gates.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/gates.cpp.o.d"
+  "/root/repo/src/rtl/kernel.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/kernel.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/kernel.cpp.o.d"
+  "/root/repo/src/rtl/logic.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/logic.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/logic.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/structural.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/structural.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/structural.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/vcd.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/fxg_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/fxg_rtl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

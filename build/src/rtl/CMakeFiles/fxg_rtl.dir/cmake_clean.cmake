@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_rtl.dir/gates.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/gates.cpp.o.d"
+  "CMakeFiles/fxg_rtl.dir/kernel.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/kernel.cpp.o.d"
+  "CMakeFiles/fxg_rtl.dir/logic.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/logic.cpp.o.d"
+  "CMakeFiles/fxg_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/fxg_rtl.dir/structural.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/structural.cpp.o.d"
+  "CMakeFiles/fxg_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/vcd.cpp.o.d"
+  "CMakeFiles/fxg_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/fxg_rtl.dir/verilog.cpp.o.d"
+  "libfxg_rtl.a"
+  "libfxg_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

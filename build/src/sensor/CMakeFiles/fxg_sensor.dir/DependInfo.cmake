@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/fluxgate.cpp" "src/sensor/CMakeFiles/fxg_sensor.dir/fluxgate.cpp.o" "gcc" "src/sensor/CMakeFiles/fxg_sensor.dir/fluxgate.cpp.o.d"
+  "/root/repo/src/sensor/fluxgate_device.cpp" "src/sensor/CMakeFiles/fxg_sensor.dir/fluxgate_device.cpp.o" "gcc" "src/sensor/CMakeFiles/fxg_sensor.dir/fluxgate_device.cpp.o.d"
+  "/root/repo/src/sensor/fluxgate_params.cpp" "src/sensor/CMakeFiles/fxg_sensor.dir/fluxgate_params.cpp.o" "gcc" "src/sensor/CMakeFiles/fxg_sensor.dir/fluxgate_params.cpp.o.d"
+  "/root/repo/src/sensor/pulse_analysis.cpp" "src/sensor/CMakeFiles/fxg_sensor.dir/pulse_analysis.cpp.o" "gcc" "src/sensor/CMakeFiles/fxg_sensor.dir/pulse_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/magnetics/CMakeFiles/fxg_magnetics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/fxg_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_sensor.dir/fluxgate.cpp.o"
+  "CMakeFiles/fxg_sensor.dir/fluxgate.cpp.o.d"
+  "CMakeFiles/fxg_sensor.dir/fluxgate_device.cpp.o"
+  "CMakeFiles/fxg_sensor.dir/fluxgate_device.cpp.o.d"
+  "CMakeFiles/fxg_sensor.dir/fluxgate_params.cpp.o"
+  "CMakeFiles/fxg_sensor.dir/fluxgate_params.cpp.o.d"
+  "CMakeFiles/fxg_sensor.dir/pulse_analysis.cpp.o"
+  "CMakeFiles/fxg_sensor.dir/pulse_analysis.cpp.o.d"
+  "libfxg_sensor.a"
+  "libfxg_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sog/builders.cpp" "src/sog/CMakeFiles/fxg_sog.dir/builders.cpp.o" "gcc" "src/sog/CMakeFiles/fxg_sog.dir/builders.cpp.o.d"
+  "/root/repo/src/sog/cell_library.cpp" "src/sog/CMakeFiles/fxg_sog.dir/cell_library.cpp.o" "gcc" "src/sog/CMakeFiles/fxg_sog.dir/cell_library.cpp.o.d"
+  "/root/repo/src/sog/interconnect_test.cpp" "src/sog/CMakeFiles/fxg_sog.dir/interconnect_test.cpp.o" "gcc" "src/sog/CMakeFiles/fxg_sog.dir/interconnect_test.cpp.o.d"
+  "/root/repo/src/sog/mcm.cpp" "src/sog/CMakeFiles/fxg_sog.dir/mcm.cpp.o" "gcc" "src/sog/CMakeFiles/fxg_sog.dir/mcm.cpp.o.d"
+  "/root/repo/src/sog/sog_array.cpp" "src/sog/CMakeFiles/fxg_sog.dir/sog_array.cpp.o" "gcc" "src/sog/CMakeFiles/fxg_sog.dir/sog_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fxg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fxg_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/fxg_digital.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_sog.dir/builders.cpp.o"
+  "CMakeFiles/fxg_sog.dir/builders.cpp.o.d"
+  "CMakeFiles/fxg_sog.dir/cell_library.cpp.o"
+  "CMakeFiles/fxg_sog.dir/cell_library.cpp.o.d"
+  "CMakeFiles/fxg_sog.dir/interconnect_test.cpp.o"
+  "CMakeFiles/fxg_sog.dir/interconnect_test.cpp.o.d"
+  "CMakeFiles/fxg_sog.dir/mcm.cpp.o"
+  "CMakeFiles/fxg_sog.dir/mcm.cpp.o.d"
+  "CMakeFiles/fxg_sog.dir/sog_array.cpp.o"
+  "CMakeFiles/fxg_sog.dir/sog_array.cpp.o.d"
+  "libfxg_sog.a"
+  "libfxg_sog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_sog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

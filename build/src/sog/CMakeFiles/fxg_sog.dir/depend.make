@@ -1,0 +1,2 @@
+# Empty dependencies file for fxg_sog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_spice.dir/ac_analysis.cpp.o"
+  "CMakeFiles/fxg_spice.dir/ac_analysis.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/analysis.cpp.o"
+  "CMakeFiles/fxg_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/circuit.cpp.o"
+  "CMakeFiles/fxg_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/devices.cpp.o"
+  "CMakeFiles/fxg_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/matrix.cpp.o"
+  "CMakeFiles/fxg_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/fxg_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/netlist_parser.cpp.o"
+  "CMakeFiles/fxg_spice.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/fxg_spice.dir/waveform.cpp.o"
+  "CMakeFiles/fxg_spice.dir/waveform.cpp.o.d"
+  "libfxg_spice.a"
+  "libfxg_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

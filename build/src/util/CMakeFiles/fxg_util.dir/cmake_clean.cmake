@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxg_util.dir/angle.cpp.o"
+  "CMakeFiles/fxg_util.dir/angle.cpp.o.d"
+  "CMakeFiles/fxg_util.dir/csv.cpp.o"
+  "CMakeFiles/fxg_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fxg_util.dir/fixed_point.cpp.o"
+  "CMakeFiles/fxg_util.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/fxg_util.dir/rng.cpp.o"
+  "CMakeFiles/fxg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fxg_util.dir/statistics.cpp.o"
+  "CMakeFiles/fxg_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/fxg_util.dir/strings.cpp.o"
+  "CMakeFiles/fxg_util.dir/strings.cpp.o.d"
+  "CMakeFiles/fxg_util.dir/table.cpp.o"
+  "CMakeFiles/fxg_util.dir/table.cpp.o.d"
+  "libfxg_util.a"
+  "libfxg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compass_test.dir/core_compass_test.cpp.o"
+  "CMakeFiles/core_compass_test.dir/core_compass_test.cpp.o.d"
+  "core_compass_test"
+  "core_compass_test.pdb"
+  "core_compass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

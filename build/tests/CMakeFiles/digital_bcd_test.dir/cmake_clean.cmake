@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_bcd_test.dir/digital_bcd_test.cpp.o"
+  "CMakeFiles/digital_bcd_test.dir/digital_bcd_test.cpp.o.d"
+  "digital_bcd_test"
+  "digital_bcd_test.pdb"
+  "digital_bcd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_bcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

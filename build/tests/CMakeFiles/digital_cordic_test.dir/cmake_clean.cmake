@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_cordic_test.dir/digital_cordic_test.cpp.o"
+  "CMakeFiles/digital_cordic_test.dir/digital_cordic_test.cpp.o.d"
+  "digital_cordic_test"
+  "digital_cordic_test.pdb"
+  "digital_cordic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_cordic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_misc_test.dir/digital_misc_test.cpp.o"
+  "CMakeFiles/digital_misc_test.dir/digital_misc_test.cpp.o.d"
+  "digital_misc_test"
+  "digital_misc_test.pdb"
+  "digital_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_structural_test.dir/rtl_structural_test.cpp.o"
+  "CMakeFiles/rtl_structural_test.dir/rtl_structural_test.cpp.o.d"
+  "rtl_structural_test"
+  "rtl_structural_test.pdb"
+  "rtl_structural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

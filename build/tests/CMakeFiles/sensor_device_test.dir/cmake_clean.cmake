@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_device_test.dir/sensor_device_test.cpp.o"
+  "CMakeFiles/sensor_device_test.dir/sensor_device_test.cpp.o.d"
+  "sensor_device_test"
+  "sensor_device_test.pdb"
+  "sensor_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

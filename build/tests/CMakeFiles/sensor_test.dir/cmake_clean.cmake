@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_test.dir/sensor_test.cpp.o"
+  "CMakeFiles/sensor_test.dir/sensor_test.cpp.o.d"
+  "sensor_test"
+  "sensor_test.pdb"
+  "sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

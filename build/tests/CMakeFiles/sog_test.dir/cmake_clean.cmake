@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sog_test.dir/sog_test.cpp.o"
+  "CMakeFiles/sog_test.dir/sog_test.cpp.o.d"
+  "sog_test"
+  "sog_test.pdb"
+  "sog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_parser_test.dir/spice_parser_test.cpp.o"
+  "CMakeFiles/spice_parser_test.dir/spice_parser_test.cpp.o.d"
+  "spice_parser_test"
+  "spice_parser_test.pdb"
+  "spice_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

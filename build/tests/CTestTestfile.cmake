@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/magnetics_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_structural_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_verilog_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_ac_mosfet_test[1]_include.cmake")
+include("/root/repo/build/tests/sensor_test[1]_include.cmake")
+include("/root/repo/build/tests/sensor_device_test[1]_include.cmake")
+include("/root/repo/build/tests/analog_test[1]_include.cmake")
+include("/root/repo/build/tests/digital_cordic_test[1]_include.cmake")
+include("/root/repo/build/tests/digital_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/digital_bcd_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/sog_test[1]_include.cmake")
+include("/root/repo/build/tests/core_compass_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tilt_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/gate_chip_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_validation_test[1]_include.cmake")
