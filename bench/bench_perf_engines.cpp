@@ -8,8 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/compass.hpp"
+#include "core/compass_fleet.hpp"
+#include "sim/engine.hpp"
 #include "digital/cordic.hpp"
 #include "digital/cordic_gate.hpp"
 #include "magnetics/units.hpp"
@@ -113,6 +116,67 @@ void BM_FullCompassMeasurement(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullCompassMeasurement)->Unit(benchmark::kMillisecond);
+
+// ---- simulation engines: scalar reference vs block stepping ----------
+//
+// Same measurement (paper design point), different engine underneath.
+// items/sec = analogue samples/sec; the measurements/s counter is the
+// end-to-end fix rate. The block engine is the bit-identical fast path,
+// so block/scalar is the headline speedup of the sim layer.
+
+void BM_CompassMeasureEngine(benchmark::State& state) {
+    const auto kind = state.range(0) == 0 ? sim::EngineKind::Scalar
+                                          : sim::EngineKind::Block;
+    compass::CompassConfig cfg;
+    cfg.engine = kind;
+    compass::Compass compass(cfg);
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    compass.set_environment(field, 123.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compass.measure());
+    }
+    const double samples_per_measurement =
+        2.0 * (cfg.settle_periods + cfg.periods_per_axis) * cfg.steps_per_period;
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        static_cast<double>(state.iterations()) * samples_per_measurement));
+    state.counters["measurements/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+    state.SetLabel(sim::to_string(kind));
+}
+BENCHMARK(BM_CompassMeasureEngine)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- fleet throughput: N compasses per batch, optional thread pool --
+//
+// Fixed fleet of 8 members (distinct headings), swept over worker
+// threads. measurements/s should scale near-linearly with threads up to
+// the core count; threads=1 is the serial baseline.
+
+void BM_FleetMeasure(benchmark::State& state) {
+    const int threads = static_cast<int>(state.range(0));
+    constexpr int kFleet = 8;
+    compass::CompassFleet fleet(kFleet);
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    std::vector<double> headings;
+    for (int i = 0; i < kFleet; ++i) headings.push_back(i * 45.0 + 3.0);
+    fleet.set_environments(field, headings);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fleet.measure_all(threads));
+    }
+    state.SetItemsProcessed(state.iterations() * kFleet);
+    state.counters["measurements/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * kFleet),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetMeasure)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -17,4 +17,36 @@ bool Comparator::step(double v_in) {
     return state_;
 }
 
+void Comparator::step_block(const double* v_in, double sign, int n, std::uint8_t* out) {
+    const double half_hyst = 0.5 * config_.hysteresis_v;
+    const double fall = config_.threshold_v - half_hyst;
+    const double rise = config_.threshold_v + half_hyst;
+    const double offset = config_.offset_v;
+    bool state = state_;
+    if (noise_.stddev() == 0.0) {
+        for (int k = 0; k < n; ++k) {
+            // sign is ±1.0, an exact scaling; + 0.0 noise is dropped
+            // (cannot change any threshold comparison).
+            const double v = sign * v_in[k] - offset;
+            if (state) {
+                if (v < fall) state = false;
+            } else {
+                if (v > rise) state = true;
+            }
+            out[k] = state ? 1 : 0;
+        }
+    } else {
+        for (int k = 0; k < n; ++k) {
+            const double v = sign * v_in[k] + noise_.sample() - offset;
+            if (state) {
+                if (v < fall) state = false;
+            } else {
+                if (v > rise) state = true;
+            }
+            out[k] = state ? 1 : 0;
+        }
+    }
+    state_ = state;
+}
+
 }  // namespace fxg::analog

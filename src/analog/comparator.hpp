@@ -4,6 +4,8 @@
 /// Latching comparator with offset, hysteresis and input-referred noise —
 /// the building block of the pulse-position detector's edge sensing.
 
+#include <cstdint>
+
 #include "analog/noise.hpp"
 
 namespace fxg::analog {
@@ -25,6 +27,13 @@ public:
 
     /// Evaluates one input sample; returns the new output state.
     bool step(double v_in);
+
+    /// Evaluates `n` samples of `sign * v_in[k]`, writing each output
+    /// state into `out` (0/1). Bit-identical to n step() calls fed the
+    /// pre-scaled input; thresholds are hoisted out of the loop. `sign`
+    /// lets the pulse-position detector run its inverted comparator off
+    /// the same voltage array.
+    void step_block(const double* v_in, double sign, int n, std::uint8_t* out);
 
     [[nodiscard]] bool output() const noexcept { return state_; }
 

@@ -9,6 +9,9 @@
 /// is not necessary" — this 1-bit interface is the paper's key analogue
 /// simplification over second-harmonic readouts (experiment BASE1).
 
+#include <cstdint>
+#include <vector>
+
 #include "analog/comparator.hpp"
 
 namespace fxg::analog {
@@ -30,6 +33,12 @@ public:
     /// Processes one pickup-voltage sample; returns the digital output.
     bool step(double v_pickup);
 
+    /// Processes `n` pickup samples, writing the digital output (0/1)
+    /// into `out`. Bit-identical to n step() calls: each comparator runs
+    /// the whole block (its private noise stream advances in the same
+    /// order), then the set/clear edge logic is replayed.
+    void step_block(const double* v_pickup, int n, std::uint8_t* out);
+
     [[nodiscard]] bool output() const noexcept { return out_; }
 
     void reset();
@@ -43,6 +52,9 @@ private:
     bool prev_pos_ = false;
     bool prev_neg_ = false;
     bool out_ = false;
+    // Scratch comparator outputs for step_block.
+    std::vector<std::uint8_t> blk_pos_;
+    std::vector<std::uint8_t> blk_neg_;
 };
 
 }  // namespace fxg::analog

@@ -6,6 +6,13 @@
 
 namespace fxg::analog {
 
+void FrontEndBlock::resize(int n) {
+    const auto sz = static_cast<std::size_t>(n < 0 ? 0 : n);
+    for (auto& d : detector) d.assign(sz, 0);
+    for (auto& v : valid) v.assign(sz, 0);
+    power_w.resize(sz);
+}
+
 sensor::FluxgateParams FrontEnd::y_params(const FrontEndConfig& config) {
     sensor::FluxgateParams p = config.sensor;
     p.n_excitation *= (1.0 + config.sensor_mismatch);
@@ -97,6 +104,93 @@ FrontEndSample FrontEnd::step(double dt_s) {
     }
     sample.power_w = momentary_power_w(i_drive);
     return sample;
+}
+
+void FrontEnd::add_noise_block(double dt_s, int n, double* v) {
+    if (config_.pickup_noise_rms_v == 0.0) return;
+    // Hoisted from noise_sample(): alpha and the drive scaling depend
+    // only on dt, so every sample of the block sees the same values the
+    // scalar path recomputes per call.
+    const double alpha = std::clamp(
+        1.0 - std::exp(-2.0 * std::numbers::pi * config_.pickup_noise_bandwidth_hz *
+                       dt_s),
+        1e-9, 1.0);
+    const double drive_rms =
+        config_.pickup_noise_rms_v * std::sqrt((2.0 - alpha) / alpha);
+    double state = noise_state_;
+    for (int k = 0; k < n; ++k) {
+        state += alpha * (pickup_noise_.sample() * drive_rms - state);
+        v[k] += state;
+    }
+    noise_state_ = state;
+}
+
+void FrontEnd::add_noise_block_pair(double dt_s, int n, double* vx, double* vy) {
+    if (config_.pickup_noise_rms_v == 0.0) return;
+    const double alpha = std::clamp(
+        1.0 - std::exp(-2.0 * std::numbers::pi * config_.pickup_noise_bandwidth_hz *
+                       dt_s),
+        1e-9, 1.0);
+    const double drive_rms =
+        config_.pickup_noise_rms_v * std::sqrt((2.0 - alpha) / alpha);
+    double state = noise_state_;
+    for (int k = 0; k < n; ++k) {
+        state += alpha * (pickup_noise_.sample() * drive_rms - state);
+        vx[k] += state;
+        state += alpha * (pickup_noise_.sample() * drive_rms - state);
+        vy[k] += state;
+    }
+    noise_state_ = state;
+}
+
+void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
+    out.resize(n);
+    if (n <= 0) return;
+    if (!enabled_) {
+        // Gated off: sensors relax at zero drive, leakage power only.
+        for (auto& s : sensors_) s.step_block_constant(0.0, dt_s, n);
+        const double leak = momentary_power_w(0.0);
+        std::fill(out.power_w.begin(), out.power_w.end(), leak);
+        return;
+    }
+    blk_i_.resize(static_cast<std::size_t>(n));
+    blk_v_.resize(static_cast<std::size_t>(n));
+    oscillator_.step_block(dt_s, n, blk_i_.data());
+    const double r_load = config_.sensor.r_excitation_ohm;
+    vi_.drive_block(blk_i_.data(), r_load, n, blk_i_.data());  // now i_drive
+
+    if (config_.mode == FrontEndMode::Multiplexed) {
+        const auto active = static_cast<std::size_t>(mux_.selected());
+        const auto idle = 1 - active;
+        mux_.step_block(dt_s, n, out.valid[active].data());
+        sensors_[active].step_block(blk_i_.data(), dt_s, n, blk_v_.data());
+        add_noise_block(dt_s, n, blk_v_.data());
+        sensors_[idle].step_block_constant(0.0, dt_s, n);
+        detectors_[active].step_block(blk_v_.data(), n, out.detector[active].data());
+    } else {
+        blk_iy_.resize(static_cast<std::size_t>(n));
+        blk_vy_.resize(static_cast<std::size_t>(n));
+        oscillator_y_.step_block(dt_s, n, blk_iy_.data());
+        vi_.drive_block(blk_iy_.data(), r_load, n, blk_iy_.data());
+        sensors_[0].step_block(blk_i_.data(), dt_s, n, blk_v_.data());
+        sensors_[1].step_block(blk_iy_.data(), dt_s, n, blk_vy_.data());
+        add_noise_block_pair(dt_s, n, blk_v_.data(), blk_vy_.data());
+        detectors_[0].step_block(blk_v_.data(), n, out.detector[0].data());
+        detectors_[1].step_block(blk_vy_.data(), n, out.detector[1].data());
+        std::fill(out.valid[0].begin(), out.valid[0].end(), std::uint8_t{1});
+        std::fill(out.valid[1].begin(), out.valid[1].end(), std::uint8_t{1});
+    }
+
+    // Supply power, same grouping as momentary_power_w().
+    const int instances = config_.mode == FrontEndMode::Multiplexed ? 1 : 2;
+    const double bias = config_.osc_bias_a * oscillator_count() +
+                        (config_.vi_bias_a + config_.det_bias_a) * instances;
+    const double supply = config_.supply_v;
+    const double* i_drive = blk_i_.data();
+    for (int k = 0; k < n; ++k) {
+        const double drive = std::fabs(i_drive[k]) * instances;
+        out.power_w[k] = (bias + drive) * supply;
+    }
 }
 
 void FrontEnd::reset() {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "analog/detector.hpp"
 #include "analog/mux.hpp"
@@ -70,6 +71,21 @@ struct FrontEndSample {
     double power_w = 0.0;             ///< momentary supply power
 };
 
+/// Flat-array outputs of one block of front-end steps (see
+/// FrontEnd::step_block). Element k of each array is what step() sample
+/// k of the block would have reported. Buffers keep their capacity
+/// across blocks, so a reused FrontEndBlock allocates only once.
+struct FrontEndBlock {
+    std::array<std::vector<std::uint8_t>, 2> detector;  ///< 0/1 per channel
+    std::array<std::vector<std::uint8_t>, 2> valid;     ///< 0/1 per channel
+    std::vector<double> power_w;                        ///< momentary power [W]
+
+    void resize(int n);
+    [[nodiscard]] int size() const noexcept {
+        return static_cast<int>(power_w.size());
+    }
+};
+
 /// The analogue section.
 class FrontEnd {
 public:
@@ -89,6 +105,14 @@ public:
 
     /// Advances the front end by dt and returns the sampled outputs.
     FrontEndSample step(double dt_s);
+
+    /// Advances `n` steps of dt in one block, filling `out` with the
+    /// per-sample detector/valid/power streams. State afterwards — and
+    /// every emitted sample — is bit-identical to n step() calls; the
+    /// block form hoists the enable/mode/noise branches, runs each stage
+    /// over flat arrays, and steps the de-selected sensor of the
+    /// multiplexed mode through an O(1) constant-drive fast path.
+    void step_block(double dt_s, int n, FrontEndBlock& out);
 
     /// Momentary supply power for the current enable/mode state [W].
     [[nodiscard]] double momentary_power_w(double i_excitation_a) const;
@@ -119,9 +143,22 @@ private:
     NoiseSource pickup_noise_;
     double noise_state_ = 0.0;  ///< one-pole noise-shaping filter state
     bool enabled_ = true;
+    // Scratch buffers for step_block (capacity persists across blocks).
+    std::vector<double> blk_i_;
+    std::vector<double> blk_iy_;
+    std::vector<double> blk_v_;
+    std::vector<double> blk_vy_;
 
     /// One band-limited noise sample for a step of length dt.
     double noise_sample(double dt_s);
+
+    /// Adds one noise sample per element to `v` (same stream/order as n
+    /// noise_sample() calls). No-op when noise is configured off.
+    void add_noise_block(double dt_s, int n, double* v);
+
+    /// Simultaneous-mode variant: per sample adds one noise draw to
+    /// vx[k] then one to vy[k], matching the scalar interleaving.
+    void add_noise_block_pair(double dt_s, int n, double* vx, double* vy);
 };
 
 }  // namespace fxg::analog

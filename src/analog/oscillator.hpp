@@ -42,6 +42,11 @@ public:
     /// Advances by dt and returns the (corrected) output current [A].
     double step(double dt_s);
 
+    /// Advances `n` steps of dt, writing each step's output current into
+    /// `out`. Bit-identical to n step() calls; config loads and the
+    /// offset-correction-enable test are hoisted out of the loop.
+    void step_block(double dt_s, int n, double* out);
+
     /// Output of the last step [A].
     [[nodiscard]] double output() const noexcept { return output_; }
 

@@ -11,7 +11,8 @@ Compass::Compass(const CompassConfig& config)
     : config_(config), front_end_(config.front_end),
       counter_(config.counter_clock_hz),
       cordic_(config.cordic_cycles, config.cordic_frac_bits),
-      watch_(static_cast<std::uint64_t>(config.counter_clock_hz)) {
+      watch_(static_cast<std::uint64_t>(config.counter_clock_hz)),
+      engine_(sim::make_engine(config.engine)) {
     if (config.periods_per_axis < 1 || config.settle_periods < 0) {
         throw std::invalid_argument("Compass: bad period configuration");
     }
@@ -30,24 +31,16 @@ void Compass::set_axis_fields(double hx_a_per_m, double hy_a_per_m) {
     front_end_.set_field(analog::Channel::Y, hy_a_per_m);
 }
 
-std::int64_t Compass::integrate_axis(analog::Channel channel, double dt, double period,
+std::int64_t Compass::integrate_axis(analog::Channel channel, double dt,
                                      Measurement& m) {
     front_end_.select(channel);
     const int settle_steps = config_.settle_periods * config_.steps_per_period;
-    for (int k = 0; k < settle_steps; ++k) {
-        const analog::FrontEndSample s = front_end_.step(dt);
-        m.energy_j += s.power_w * dt;
-    }
-    counter_.clear();
     const int count_steps = config_.periods_per_axis * config_.steps_per_period;
-    const auto ch = static_cast<std::size_t>(channel);
-    for (int k = 0; k < count_steps; ++k) {
-        const analog::FrontEndSample s = front_end_.step(dt);
-        m.energy_j += s.power_w * dt;
-        if (s.valid[ch]) counter_.step(s.detector[ch], dt);
-    }
+    // Settle (counter deaf), then count — one engine loop, two phases.
+    engine_->advance(front_end_, channel, settle_steps, dt, nullptr, m.energy_j);
+    counter_.clear();
+    engine_->advance(front_end_, channel, count_steps, dt, &counter_, m.energy_j);
     m.duration_s += (settle_steps + count_steps) * dt;
-    (void)period;
     return counter_.count();
 }
 
@@ -72,8 +65,8 @@ Measurement Compass::measure() {
     if (config_.power_gating) front_end_.enable(true);
     counter_.enable(true);
 
-    m.count_x = integrate_axis(analog::Channel::X, dt, period, m) - calibration_.offset_x;
-    m.count_y = integrate_axis(analog::Channel::Y, dt, period, m) - calibration_.offset_y;
+    m.count_x = integrate_axis(analog::Channel::X, dt, m) - calibration_.offset_x;
+    m.count_y = integrate_axis(analog::Channel::Y, dt, m) - calibration_.offset_y;
     // Soft-iron correction: rescale y into the circular domain the
     // arctan assumes (rounded back to the integer counts the hardware
     // datapath would carry).

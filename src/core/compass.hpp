@@ -15,6 +15,7 @@
 /// multiplexer, integrate y, then compute arctan(x/y) digitally.
 
 #include <cstdint>
+#include <memory>
 
 #include "analog/front_end.hpp"
 #include "digital/cordic.hpp"
@@ -22,6 +23,7 @@
 #include "digital/display.hpp"
 #include "digital/watch.hpp"
 #include "magnetics/earth_field.hpp"
+#include "sim/engine.hpp"
 
 namespace fxg::compass {
 
@@ -54,6 +56,11 @@ struct CompassConfig {
     /// |H_ext| + margin * Hk < Ha. 1.5 is conservative for the default
     /// 20 mV threshold.
     double saturation_margin = 1.5;
+
+    /// Simulation engine the measurement loop runs on. Both engines are
+    /// bit-identical in results (see src/sim/engine.hpp); Block is the
+    /// fast default, Scalar the per-sample reference.
+    sim::EngineKind engine = sim::EngineKind::Block;
 };
 
 /// Count-domain calibration applied to the raw counter values:
@@ -109,11 +116,13 @@ public:
     [[nodiscard]] const digital::CordicUnit& cordic() const noexcept { return cordic_; }
     [[nodiscard]] digital::DisplayDriver& display() noexcept { return display_; }
     [[nodiscard]] digital::Watch& watch() noexcept { return watch_; }
+    [[nodiscard]] const sim::SimEngine& engine() const noexcept { return *engine_; }
 
 private:
     /// Integrates one axis over the configured periods; returns counts.
-    std::int64_t integrate_axis(analog::Channel channel, double dt, double period,
-                                Measurement& m);
+    /// Settle and count phases are the same engine advance — the only
+    /// difference is whether the counter listens.
+    std::int64_t integrate_axis(analog::Channel channel, double dt, Measurement& m);
 
     CompassConfig config_;
     analog::FrontEnd front_end_;
@@ -122,6 +131,7 @@ private:
     digital::DisplayDriver display_;
     digital::Watch watch_;
     CountCalibration calibration_;
+    std::unique_ptr<sim::SimEngine> engine_;
 };
 
 }  // namespace fxg::compass

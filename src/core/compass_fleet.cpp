@@ -1,0 +1,81 @@
+#include "core/compass_fleet.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace fxg::compass {
+
+CompassFleet::CompassFleet(int count, const CompassConfig& config) {
+    if (count < 1) throw std::invalid_argument("CompassFleet: count must be >= 1");
+    members_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        members_.push_back(std::make_unique<Compass>(config));
+    }
+}
+
+Compass& CompassFleet::at(int i) {
+    return *members_.at(static_cast<std::size_t>(i));
+}
+
+const Compass& CompassFleet::at(int i) const {
+    return *members_.at(static_cast<std::size_t>(i));
+}
+
+void CompassFleet::set_environment(int i, const magnetics::EarthField& field,
+                                   double heading_deg) {
+    at(i).set_environment(field, heading_deg);
+}
+
+void CompassFleet::set_environments(const magnetics::EarthField& field,
+                                    const std::vector<double>& headings_deg) {
+    if (static_cast<int>(headings_deg.size()) != size()) {
+        throw std::invalid_argument(
+            "CompassFleet::set_environments: one heading per member required");
+    }
+    for (int i = 0; i < size(); ++i) at(i).set_environment(field, headings_deg[i]);
+}
+
+std::vector<Measurement> CompassFleet::measure_all(int threads) {
+    const int n = size();
+    std::vector<Measurement> results(static_cast<std::size_t>(n));
+    if (threads == 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (threads < 1) threads = 1;
+    }
+    if (threads > n) threads = n;
+    if (threads <= 1) {
+        for (int i = 0; i < n; ++i) results[static_cast<std::size_t>(i)] =
+            members_[static_cast<std::size_t>(i)]->measure();
+        return results;
+    }
+
+    // Work-stealing over an atomic cursor: members are independent, so
+    // the only shared state is the index and each worker's result slots.
+    std::atomic<int> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                results[static_cast<std::size_t>(i)] =
+                    members_[static_cast<std::size_t>(i)]->measure();
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+}
+
+}  // namespace fxg::compass

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file compass_fleet.hpp
+/// A fleet of independent simulated compasses batched through the
+/// simulation engine — the serving substrate for sweep benches and
+/// many-client workloads. Each member owns its full mixed-signal
+/// pipeline (distinct heading, field, calibration, noise stream), so a
+/// fleet measurement is embarrassingly parallel: measure_all() fans the
+/// members out over an optional thread pool and returns every result in
+/// member order. Results are identical to measuring each compass
+/// serially — threading changes wall-clock time, nothing else.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/compass.hpp"
+
+namespace fxg::compass {
+
+/// N independent compasses measured as one batch.
+class CompassFleet {
+public:
+    /// Builds `count` compasses, all from the same configuration
+    /// (members can be reconfigured individually through at()).
+    explicit CompassFleet(int count, const CompassConfig& config = {});
+
+    [[nodiscard]] int size() const noexcept {
+        return static_cast<int>(members_.size());
+    }
+
+    /// Member access (bounds-checked).
+    [[nodiscard]] Compass& at(int i);
+    [[nodiscard]] const Compass& at(int i) const;
+
+    /// Places member i in `field` at a physical heading [deg].
+    void set_environment(int i, const magnetics::EarthField& field,
+                         double heading_deg);
+
+    /// Places every member in `field`, member i at headings[i] (the
+    /// headings vector must match size()).
+    void set_environments(const magnetics::EarthField& field,
+                          const std::vector<double>& headings_deg);
+
+    /// Runs one measurement on every member and returns the results in
+    /// member order. `threads` <= 1 measures serially on the calling
+    /// thread; otherwise up to that many worker threads split the fleet
+    /// (0 = one per hardware thread). Exceptions from any member are
+    /// rethrown on the caller.
+    std::vector<Measurement> measure_all(int threads = 1);
+
+private:
+    // unique_ptr: Compass is neither copyable nor movable (it owns its
+    // engine), and fleet members must keep stable addresses for the
+    // worker threads.
+    std::vector<std::unique_ptr<Compass>> members_;
+};
+
+}  // namespace fxg::compass

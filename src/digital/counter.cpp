@@ -22,6 +22,30 @@ void UpDownCounter::step(bool high, double dt_s) {
     active_ticks_ += static_cast<std::uint64_t>(ticks);
 }
 
+void UpDownCounter::step_block(const std::uint8_t* high, const std::uint8_t* valid,
+                               double dt_s, int n) {
+    if (!(dt_s > 0.0)) throw std::invalid_argument("UpDownCounter: dt must be > 0");
+    if (!enabled_) return;
+    double acc = tick_accumulator_;
+    std::int64_t count = count_;
+    std::uint64_t active = active_ticks_;
+    // dt * clock is recomputed per call in step(); the product is the
+    // same every sample, so hoisting it preserves bit-identity.
+    const double inc = dt_s * clock_hz_;
+    for (int k = 0; k < n; ++k) {
+        if (!valid[k]) continue;
+        acc += inc;
+        const double whole = std::floor(acc);
+        acc -= whole;
+        const auto ticks = static_cast<std::int64_t>(whole);
+        count += high[k] ? ticks : -ticks;
+        active += static_cast<std::uint64_t>(ticks);
+    }
+    tick_accumulator_ = acc;
+    count_ = count;
+    active_ticks_ = active;
+}
+
 void UpDownCounter::reset() noexcept {
     tick_accumulator_ = 0.0;
     count_ = 0;

@@ -14,6 +14,10 @@ void require_positive(double v, const char* what) {
 
 }  // namespace
 
+void CoreModel::advance_block(const double* h, double* m_out, int n) {
+    for (int k = 0; k < n; ++k) m_out[k] = advance(h[k]);
+}
+
 // ---------------------------------------------------------------- TanhCore
 
 TanhCore::TanhCore(double ms, double hk) : ms_(ms), hk_(hk) {
@@ -26,6 +30,15 @@ double TanhCore::magnetisation(double h) const { return ms_ * std::tanh(h / hk_)
 double TanhCore::advance(double h) {
     last_h_ = h;
     return magnetisation(h);
+}
+
+void TanhCore::advance_block(const double* h, double* m_out, int n) {
+    if (n <= 0) return;
+    // Same expression as magnetisation(); the division is kept (not
+    // turned into a reciprocal multiply) so results stay bit-identical
+    // to the scalar path.
+    for (int k = 0; k < n; ++k) m_out[k] = ms_ * std::tanh(h[k] / hk_);
+    last_h_ = h[n - 1];
 }
 
 double TanhCore::susceptibility() const {
@@ -68,6 +81,12 @@ double LangevinCore::magnetisation(double h) const { return ms_ * langevin(h / a
 double LangevinCore::advance(double h) {
     last_h_ = h;
     return magnetisation(h);
+}
+
+void LangevinCore::advance_block(const double* h, double* m_out, int n) {
+    if (n <= 0) return;
+    for (int k = 0; k < n; ++k) m_out[k] = ms_ * langevin(h[k] / a_);
+    last_h_ = h[n - 1];
 }
 
 double LangevinCore::susceptibility() const {

@@ -35,6 +35,13 @@ public:
     /// callers must feed a time-ordered sequence of fields.
     virtual double advance(double h) = 0;
 
+    /// Advances through `n` time-ordered fields, writing the
+    /// magnetisation for each into `m_out`. Semantically identical to n
+    /// advance() calls (bit-identical results); concrete models override
+    /// it with a loop that skips the per-sample virtual dispatch, which
+    /// is what the block simulation engine runs on.
+    virtual void advance_block(const double* h, double* m_out, int n);
+
     /// Differential susceptibility dM/dH at the current state (used for
     /// the small-signal inductance of the excitation coil, which the
     /// paper's Figure 4 shows collapsing at saturation).
@@ -62,6 +69,7 @@ public:
     TanhCore(double ms, double hk);
 
     double advance(double h) override;
+    void advance_block(const double* h, double* m_out, int n) override;
     [[nodiscard]] double susceptibility() const override;
     void reset() override;
     [[nodiscard]] double saturation_magnetisation() const override { return ms_; }
@@ -83,6 +91,7 @@ public:
     LangevinCore(double ms, double a);
 
     double advance(double h) override;
+    void advance_block(const double* h, double* m_out, int n) override;
     [[nodiscard]] double susceptibility() const override;
     void reset() override;
     [[nodiscard]] double saturation_magnetisation() const override { return ms_; }

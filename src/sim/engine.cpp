@@ -1,0 +1,23 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace fxg::sim {
+
+const char* to_string(EngineKind kind) noexcept {
+    switch (kind) {
+        case EngineKind::Scalar: return "scalar";
+        case EngineKind::Block: return "block";
+    }
+    return "?";
+}
+
+std::unique_ptr<SimEngine> make_engine(EngineKind kind) {
+    switch (kind) {
+        case EngineKind::Scalar: return std::make_unique<ScalarEngine>();
+        case EngineKind::Block: return std::make_unique<BlockEngine>();
+    }
+    throw std::invalid_argument("make_engine: unknown EngineKind");
+}
+
+}  // namespace fxg::sim

@@ -1,0 +1,16 @@
+#include "sim/engine.hpp"
+
+namespace fxg::sim {
+
+void ScalarEngine::advance(analog::FrontEnd& front_end, analog::Channel channel,
+                           int steps, double dt_s, digital::UpDownCounter* counter,
+                           double& energy_j) {
+    const auto ch = static_cast<std::size_t>(channel);
+    for (int k = 0; k < steps; ++k) {
+        const analog::FrontEndSample s = front_end.step(dt_s);
+        energy_j += s.power_w * dt_s;
+        if (counter != nullptr && s.valid[ch]) counter->step(s.detector[ch], dt_s);
+    }
+}
+
+}  // namespace fxg::sim
