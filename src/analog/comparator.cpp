@@ -6,7 +6,7 @@ Comparator::Comparator(const ComparatorConfig& config)
     : config_(config), noise_(config.noise_rms_v, config.noise_seed) {}
 
 bool Comparator::step(double v_in) {
-    const double v = v_in + noise_.sample() - config_.offset_v;
+    const double v = v_in + noise_.sample() - (config_.offset_v + offset_fault_v_);
     const double half_hyst = 0.5 * config_.hysteresis_v;
     // Rising threshold above, falling threshold below the nominal level.
     if (state_) {
@@ -21,7 +21,7 @@ void Comparator::step_block(const double* v_in, double sign, int n, std::uint8_t
     const double half_hyst = 0.5 * config_.hysteresis_v;
     const double fall = config_.threshold_v - half_hyst;
     const double rise = config_.threshold_v + half_hyst;
-    const double offset = config_.offset_v;
+    const double offset = config_.offset_v + offset_fault_v_;
     bool state = state_;
     if (noise_.stddev() == 0.0) {
         for (int k = 0; k < n; ++k) {

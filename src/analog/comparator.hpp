@@ -37,6 +37,14 @@ public:
 
     [[nodiscard]] bool output() const noexcept { return state_; }
 
+    /// Additional input-referred offset drift [V] injected at run time
+    /// (fault seam, src/fault). Added to the configured offset
+    /// identically in step() and step_block(); 0 restores health.
+    void set_offset_fault(double extra_offset_v) noexcept {
+        offset_fault_v_ = extra_offset_v;
+    }
+    [[nodiscard]] double offset_fault() const noexcept { return offset_fault_v_; }
+
     void reset() noexcept { state_ = false; }
 
     [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }
@@ -44,6 +52,7 @@ public:
 private:
     ComparatorConfig config_;
     NoiseSource noise_;
+    double offset_fault_v_ = 0.0;
     bool state_ = false;
 };
 

@@ -55,6 +55,11 @@ void PulsePositionDetector::step_block(const double* v_pickup, int n, std::uint8
     out_ = o;
 }
 
+void PulsePositionDetector::set_comparator_offset_fault(double extra_offset_v) noexcept {
+    positive_.set_offset_fault(extra_offset_v);
+    negative_.set_offset_fault(extra_offset_v);
+}
+
 void PulsePositionDetector::reset() {
     positive_.reset();
     negative_.reset();

@@ -41,6 +41,13 @@ public:
 
     [[nodiscard]] bool output() const noexcept { return out_; }
 
+    /// Injects an input-referred offset drift [V] onto both comparators
+    /// (fault seam, src/fault). 0 restores the healthy detector.
+    void set_comparator_offset_fault(double extra_offset_v) noexcept;
+    [[nodiscard]] double comparator_offset_fault() const noexcept {
+        return positive_.offset_fault();
+    }
+
     void reset();
 
     [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }

@@ -56,7 +56,41 @@ void FrontEnd::set_field(Channel channel, double h_a_per_m) {
 }
 
 void FrontEnd::select(Channel channel) {
+    if (mux_stuck_) return;  // fault: the control logic's request is lost
     if (config_.mode == FrontEndMode::Multiplexed) mux_.select(channel);
+}
+
+void FrontEnd::set_mux_stuck(Channel channel) {
+    if (config_.mode == FrontEndMode::Multiplexed) mux_.select(channel);
+    mux_stuck_ = true;
+    mux_stuck_channel_ = channel;
+}
+
+void FrontEnd::clear_stream_stats() noexcept {
+    stats_ = {};
+    stats_prev_ = {};
+    stats_has_prev_ = {};
+}
+
+void FrontEnd::finish_samples(int n, std::uint8_t* det_x, std::uint8_t* det_y,
+                              std::uint8_t* valid_x, std::uint8_t* valid_y) {
+    if (tap_ != nullptr) tap_->on_samples(sample_index_, n, det_x, det_y, valid_x, valid_y);
+    sample_index_ += static_cast<std::uint64_t>(n);
+    const std::uint8_t* det[2] = {det_x, det_y};
+    const std::uint8_t* valid[2] = {valid_x, valid_y};
+    for (std::size_t ch = 0; ch < 2; ++ch) {
+        StreamStats& s = stats_[ch];
+        s.samples += static_cast<std::uint64_t>(n);
+        for (int k = 0; k < n; ++k) {
+            if (!valid[ch][k]) continue;
+            const std::uint8_t d = det[ch][k] ? 1 : 0;
+            ++s.valid_samples;
+            s.high_samples += d;
+            if (stats_has_prev_[ch] && d != stats_prev_[ch]) ++s.edges;
+            stats_prev_[ch] = d;
+            stats_has_prev_[ch] = true;
+        }
+    }
 }
 
 double FrontEnd::momentary_power_w(double i_excitation_a) const {
@@ -70,12 +104,39 @@ double FrontEnd::momentary_power_w(double i_excitation_a) const {
     return (bias + drive) * config_.supply_v;
 }
 
+namespace {
+
+/// Routes one scalar sample's streams through FrontEnd::finish_samples
+/// as a 1-sample block, so the tap and the statistics observe exactly
+/// the stream a block advance would have shown them.
+struct ScalarSampleBytes {
+    std::uint8_t det[2];
+    std::uint8_t valid[2];
+
+    explicit ScalarSampleBytes(const FrontEndSample& s)
+        : det{s.detector[0] ? std::uint8_t{1} : std::uint8_t{0},
+              s.detector[1] ? std::uint8_t{1} : std::uint8_t{0}},
+          valid{s.valid[0] ? std::uint8_t{1} : std::uint8_t{0},
+                s.valid[1] ? std::uint8_t{1} : std::uint8_t{0}} {}
+
+    void store(FrontEndSample& s) const {
+        s.detector = {det[0] != 0, det[1] != 0};
+        s.valid = {valid[0] != 0, valid[1] != 0};
+    }
+};
+
+}  // namespace
+
 FrontEndSample FrontEnd::step(double dt_s) {
     FrontEndSample sample;
     if (!enabled_) {
         // Gated off: keep sensors relaxed, report leakage only.
         for (auto& s : sensors_) s.step(0.0, dt_s);
         sample.power_w = momentary_power_w(0.0);
+        ScalarSampleBytes bytes(sample);
+        finish_samples(1, &bytes.det[0], &bytes.det[1], &bytes.valid[0],
+                       &bytes.valid[1]);
+        bytes.store(sample);
         return sample;
     }
     const double i_cmd = oscillator_.step(dt_s);
@@ -103,6 +164,9 @@ FrontEndSample FrontEnd::step(double dt_s) {
         sample.valid = {true, true};
     }
     sample.power_w = momentary_power_w(i_drive);
+    ScalarSampleBytes bytes(sample);
+    finish_samples(1, &bytes.det[0], &bytes.det[1], &bytes.valid[0], &bytes.valid[1]);
+    bytes.store(sample);
     return sample;
 }
 
@@ -151,6 +215,8 @@ void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
         for (auto& s : sensors_) s.step_block_constant(0.0, dt_s, n);
         const double leak = momentary_power_w(0.0);
         std::fill(out.power_w.begin(), out.power_w.end(), leak);
+        finish_samples(n, out.detector[0].data(), out.detector[1].data(),
+                       out.valid[0].data(), out.valid[1].data());
         return;
     }
     blk_i_.resize(static_cast<std::size_t>(n));
@@ -191,6 +257,9 @@ void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
         const double drive = std::fabs(i_drive[k]) * instances;
         out.power_w[k] = (bias + drive) * supply;
     }
+
+    finish_samples(n, out.detector[0].data(), out.detector[1].data(),
+                   out.valid[0].data(), out.valid[1].data());
 }
 
 void FrontEnd::reset() {
@@ -201,6 +270,13 @@ void FrontEnd::reset() {
     for (auto& d : detectors_) d.reset();
     mux_.reset();
     enabled_ = true;
+    // Deliberately NOT cleared: the tap, the monotone sample index and
+    // the mux-stuck fault — a power cycle does not repair a stuck mux,
+    // and stream-fault schedules are keyed on the absolute index.
+    if (mux_stuck_ && config_.mode == FrontEndMode::Multiplexed) {
+        mux_.select(mux_stuck_channel_);
+    }
+    clear_stream_stats();
 }
 
 }  // namespace fxg::analog

@@ -71,6 +71,50 @@ struct FrontEndSample {
     double power_w = 0.0;             ///< momentary supply power
 };
 
+/// Observation/override hook on the front end's emitted detector and
+/// valid streams — the seam the fault subsystem (src/fault) injects
+/// run-time stream faults through, and the reason fault injection is
+/// engine-agnostic: the hook runs on the per-sample streams AFTER the
+/// analogue stages, so a ScalarEngine (n = 1 per call) and a
+/// BlockEngine (n = block per call) present the identical sample
+/// sequence to the identical transform.
+///
+/// Contract: on_samples() must behave as a pure sequential function of
+/// the sample stream — sample `first_index + k` may depend only on the
+/// samples before it and on the hook's own sequential state, never on
+/// the block boundaries, so that any chunking of the stream produces
+/// bit-identical results.
+class SampleTap {
+public:
+    virtual ~SampleTap() = default;
+
+    /// Called once per advance with samples [first_index,
+    /// first_index + n). detector/valid are the per-channel 0/1 streams,
+    /// mutable in place.
+    virtual void on_samples(std::uint64_t first_index, int n,
+                            std::uint8_t* detector_x, std::uint8_t* detector_y,
+                            std::uint8_t* valid_x, std::uint8_t* valid_y) = 0;
+};
+
+/// Running statistics of one channel's (post-tap) detector stream over
+/// the current observation window — the raw material of the
+/// fault-subsystem health checks (toggle watchdog, duty-cycle sanity,
+/// edge-rate check). Collected by the FrontEnd itself so the numbers
+/// are identical under scalar and block stepping.
+struct StreamStats {
+    std::uint64_t samples = 0;        ///< samples emitted (valid or not)
+    std::uint64_t valid_samples = 0;  ///< samples with the valid flag set
+    std::uint64_t high_samples = 0;   ///< valid samples with detector high
+    std::uint64_t edges = 0;          ///< detector transitions between valid samples
+
+    /// High fraction of the valid window (the measured duty cycle).
+    [[nodiscard]] double duty() const noexcept {
+        return valid_samples > 0
+                   ? static_cast<double>(high_samples) / static_cast<double>(valid_samples)
+                   : 0.0;
+    }
+};
+
 /// Flat-array outputs of one block of front-end steps (see
 /// FrontEnd::step_block). Element k of each array is what step() sample
 /// k of the block would have reported. Buffers keep their capacity
@@ -125,6 +169,43 @@ public:
 
     void reset();
 
+    // --- Fault/observation seams (src/fault) -------------------------
+
+    /// Attaches a non-owning stream hook (nullptr detaches). Applied to
+    /// every emitted sample by both step() and step_block().
+    void set_sample_tap(SampleTap* tap) noexcept { tap_ = tap; }
+    [[nodiscard]] SampleTap* sample_tap() const noexcept { return tap_; }
+
+    /// Samples emitted since construction. Monotone — reset() does NOT
+    /// rewind it, so stream-fault schedules keyed on the absolute sample
+    /// position survive a re-excitation power cycle.
+    [[nodiscard]] std::uint64_t samples_stepped() const noexcept {
+        return sample_index_;
+    }
+
+    /// Stuck multiplexer fault: the mux latches onto `channel` and
+    /// further select() requests from the control logic are ignored
+    /// until clear_mux_stuck().
+    void set_mux_stuck(Channel channel);
+    void clear_mux_stuck() noexcept { mux_stuck_ = false; }
+    [[nodiscard]] bool mux_stuck() const noexcept { return mux_stuck_; }
+
+    /// Post-tap stream statistics of the current observation window
+    /// (what the digital control logic actually saw).
+    [[nodiscard]] const StreamStats& stream_stats(Channel ch) const noexcept {
+        return stats_[static_cast<std::size_t>(ch)];
+    }
+
+    /// Starts a fresh observation window (Compass::measure() calls this
+    /// so the stats always describe the latest measurement).
+    void clear_stream_stats() noexcept;
+
+    /// Mutable stage access for parametric fault injection.
+    [[nodiscard]] TriangleOscillator& oscillator() noexcept { return oscillator_; }
+    [[nodiscard]] PulsePositionDetector& detector(Channel ch) noexcept {
+        return detectors_[static_cast<std::size_t>(ch)];
+    }
+
     [[nodiscard]] const FrontEndConfig& config() const noexcept { return config_; }
     [[nodiscard]] const sensor::FluxgateSensor& sensor(Channel ch) const {
         return sensors_[static_cast<std::size_t>(ch)];
@@ -143,6 +224,13 @@ private:
     NoiseSource pickup_noise_;
     double noise_state_ = 0.0;  ///< one-pole noise-shaping filter state
     bool enabled_ = true;
+    SampleTap* tap_ = nullptr;          ///< non-owning stream hook
+    std::uint64_t sample_index_ = 0;    ///< samples emitted (monotone)
+    bool mux_stuck_ = false;            ///< select() frozen by a fault
+    Channel mux_stuck_channel_ = Channel::X;
+    std::array<StreamStats, 2> stats_{};
+    std::array<std::uint8_t, 2> stats_prev_{};      ///< last valid detector value
+    std::array<bool, 2> stats_has_prev_{};
     // Scratch buffers for step_block (capacity persists across blocks).
     std::vector<double> blk_i_;
     std::vector<double> blk_iy_;
@@ -159,6 +247,12 @@ private:
     /// Simultaneous-mode variant: per sample adds one noise draw to
     /// vx[k] then one to vy[k], matching the scalar interleaving.
     void add_noise_block_pair(double dt_s, int n, double* vx, double* vy);
+
+    /// Runs the sample tap (if attached) over a block of emitted
+    /// streams, advances the sample index and folds the (post-tap)
+    /// streams into the per-channel statistics.
+    void finish_samples(int n, std::uint8_t* det_x, std::uint8_t* det_y,
+                        std::uint8_t* valid_x, std::uint8_t* valid_y);
 };
 
 }  // namespace fxg::analog

@@ -28,7 +28,7 @@ double TriangleOscillator::unit_triangle(double phase) noexcept {
 double TriangleOscillator::step(double dt_s) {
     if (!(dt_s > 0.0)) throw std::invalid_argument("TriangleOscillator: dt must be > 0");
     time_s_ += dt_s;
-    phase_ += dt_s * config_.frequency_hz;
+    phase_ += dt_s * (config_.frequency_hz * fault_.frequency_scale);
     bool period_wrapped = false;
     if (phase_ >= 1.0) {
         phase_ -= std::floor(phase_);
@@ -38,14 +38,17 @@ double TriangleOscillator::step(double dt_s) {
     // Cubic bowing keeps the waveform odd-symmetric (no DC contribution)
     // while distorting the ramps — "linearity is not very essential".
     const double shaped = w + config_.curvature * (w * w * w - w);
-    double out = config_.amplitude_a * (1.0 + config_.amplitude_error) * shaped +
-                 config_.dc_offset_a + correction_a_;
+    double out = config_.amplitude_a * (1.0 + config_.amplitude_error) *
+                     fault_.amplitude_scale * shaped +
+                 (config_.dc_offset_a + fault_.extra_dc_a) + correction_a_;
 
     // Offset correction loop: average the delivered current over one
-    // period, remove a fraction of it at the period boundary.
+    // period, remove a fraction of it at the period boundary. A stuck
+    // loop (injected fault) holds its last correction forever.
     period_integral_ += out * dt_s;
     period_time_ += dt_s;
-    if (period_wrapped && config_.offset_correction && period_time_ > 0.0) {
+    if (period_wrapped && config_.offset_correction && !fault_.correction_stuck &&
+        period_time_ > 0.0) {
         const double mean = period_integral_ / period_time_;
         correction_a_ -= config_.correction_gain * mean;
         period_integral_ = 0.0;
@@ -68,11 +71,12 @@ void TriangleOscillator::step_block(double dt_s, int n, double* out) {
     double correction = correction_a_;
     double period_integral = period_integral_;
     double period_time = period_time_;
-    const double freq = config_.frequency_hz;
-    const double gain = config_.amplitude_a * (1.0 + config_.amplitude_error);
+    const double freq = config_.frequency_hz * fault_.frequency_scale;
+    const double gain =
+        config_.amplitude_a * (1.0 + config_.amplitude_error) * fault_.amplitude_scale;
     const double curvature = config_.curvature;
-    const double dc_offset = config_.dc_offset_a;
-    const bool correct = config_.offset_correction;
+    const double dc_offset = config_.dc_offset_a + fault_.extra_dc_a;
+    const bool correct = config_.offset_correction && !fault_.correction_stuck;
     const double correction_gain = config_.correction_gain;
     for (int k = 0; k < n; ++k) {
         time_s += dt_s;

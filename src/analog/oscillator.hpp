@@ -33,6 +33,19 @@ struct TriangleOscillatorConfig {
     double external_resistor_ohm = 12.5e6;   ///< resistor on the MCM substrate
 };
 
+/// Run-time degradation state of the oscillator — the fault seam the
+/// fault subsystem (src/fault) injects drifting-oscillator faults
+/// through. All members default to the healthy identity, and applying
+/// the identity is bit-identical to the pre-fault arithmetic, so a
+/// fault-free oscillator produces exactly the same sample stream
+/// whether or not faults are compiled in or armed.
+struct OscillatorFault {
+    double frequency_scale = 1.0;  ///< multiplies the configured frequency
+    double amplitude_scale = 1.0;  ///< multiplies the output amplitude (0 = excitation collapse)
+    double extra_dc_a = 0.0;       ///< additional drifted dc offset [A]
+    bool correction_stuck = false; ///< offset-correction loop frozen (holds its last value)
+};
+
 /// Stateful triangle-current oscillator with a per-period offset
 /// correction loop.
 class TriangleOscillator {
@@ -61,6 +74,12 @@ public:
         return config_;
     }
 
+    /// Engages (or, with a default-constructed value, clears) a run-time
+    /// fault on the generator. Applied identically per sample by step()
+    /// and step_block().
+    void set_fault(const OscillatorFault& fault) noexcept { fault_ = fault; }
+    [[nodiscard]] const OscillatorFault& fault() const noexcept { return fault_; }
+
     void reset();
 
 private:
@@ -68,6 +87,7 @@ private:
     static double unit_triangle(double phase) noexcept;
 
     TriangleOscillatorConfig config_;
+    OscillatorFault fault_;
     double time_s_ = 0.0;
     double phase_ = 0.0;
     double output_ = 0.0;

@@ -49,6 +49,11 @@ Measurement Compass::measure() {
     const double period = 1.0 / config_.front_end.oscillator.frequency_hz;
     const double dt = period / config_.steps_per_period;
 
+    // Fresh observation window: the front-end stream statistics (used by
+    // the fault subsystem's health checks) describe exactly this
+    // measurement.
+    front_end_.clear_stream_stats();
+
     // Range check: the pulse-position method needs cleanly separated
     // pulses, i.e. the core must pass well beyond its knee in both
     // directions on each axis: |H_ext| + margin * Hk < Ha.
@@ -87,6 +92,11 @@ Measurement Compass::measure() {
     watch_.tick(static_cast<std::uint64_t>(
         std::llround(m.duration_s * config_.counter_clock_hz)));
     return m;
+}
+
+void Compass::re_excite() {
+    front_end_.reset();
+    counter_.reset();
 }
 
 void Compass::idle(double seconds) {

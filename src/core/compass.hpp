@@ -111,8 +111,22 @@ public:
     /// without measuring.
     void idle(double seconds);
 
+    /// Re-excitation recovery action (fault supervision): power-cycles
+    /// the analogue section and fully resets the counter (including the
+    /// sticky overflow flag). Calibration, environment and any armed
+    /// fault state are untouched — a power cycle does not repair a
+    /// physically broken stage.
+    void re_excite();
+
     [[nodiscard]] const CompassConfig& config() const noexcept { return config_; }
     [[nodiscard]] analog::FrontEnd& front_end() noexcept { return front_end_; }
+    [[nodiscard]] const analog::FrontEnd& front_end() const noexcept {
+        return front_end_;
+    }
+    [[nodiscard]] digital::UpDownCounter& counter() noexcept { return counter_; }
+    [[nodiscard]] const digital::UpDownCounter& counter() const noexcept {
+        return counter_;
+    }
     [[nodiscard]] const digital::CordicUnit& cordic() const noexcept { return cordic_; }
     [[nodiscard]] digital::DisplayDriver& display() noexcept { return display_; }
     [[nodiscard]] digital::Watch& watch() noexcept { return watch_; }

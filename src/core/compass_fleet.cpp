@@ -38,44 +38,73 @@ void CompassFleet::set_environments(const magnetics::EarthField& field,
     for (int i = 0; i < size(); ++i) at(i).set_environment(field, headings_deg[i]);
 }
 
-std::vector<Measurement> CompassFleet::measure_all(int threads) {
+std::exception_ptr CompassFleet::measure_all_impl(int threads,
+                                                  std::vector<FleetResult>& results) {
     const int n = size();
-    std::vector<Measurement> results(static_cast<std::size_t>(n));
+    results.assign(static_cast<std::size_t>(n), FleetResult{});
     if (threads == 0) {
         threads = static_cast<int>(std::thread::hardware_concurrency());
         if (threads < 1) threads = 1;
     }
     if (threads > n) threads = n;
+
+    // One member's failure lands in its own slot only; the first caught
+    // exception is additionally kept for the throwing convenience API.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto measure_one = [&](int i) {
+        FleetResult& slot = results[static_cast<std::size_t>(i)];
+        try {
+            slot.measurement = members_[static_cast<std::size_t>(i)]->measure();
+            slot.ok = true;
+        } catch (const std::exception& e) {
+            slot.error = e.what();
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+        } catch (...) {
+            slot.error = "unknown error";
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+        }
+    };
+
     if (threads <= 1) {
-        for (int i = 0; i < n; ++i) results[static_cast<std::size_t>(i)] =
-            members_[static_cast<std::size_t>(i)]->measure();
-        return results;
+        for (int i = 0; i < n; ++i) measure_one(i);
+        return first_error;
     }
 
     // Work-stealing over an atomic cursor: members are independent, so
     // the only shared state is the index and each worker's result slots.
     std::atomic<int> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
     auto worker = [&] {
         for (;;) {
             const int i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n) return;
-            try {
-                results[static_cast<std::size_t>(i)] =
-                    members_[static_cast<std::size_t>(i)]->measure();
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) first_error = std::current_exception();
-            }
+            measure_one(i);
         }
     };
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
-    if (first_error) std::rethrow_exception(first_error);
+    return first_error;
+}
+
+std::vector<FleetResult> CompassFleet::measure_all_results(int threads) {
+    std::vector<FleetResult> results;
+    static_cast<void>(measure_all_impl(threads, results));
     return results;
+}
+
+std::vector<Measurement> CompassFleet::measure_all(int threads) {
+    std::vector<FleetResult> results;
+    if (std::exception_ptr error = measure_all_impl(threads, results)) {
+        std::rethrow_exception(error);
+    }
+    std::vector<Measurement> measurements;
+    measurements.reserve(results.size());
+    for (auto& r : results) measurements.push_back(r.measurement);
+    return measurements;
 }
 
 }  // namespace fxg::compass

@@ -11,11 +11,22 @@
 /// serially — threading changes wall-clock time, nothing else.
 
 #include <cstddef>
+#include <exception>
+#include <string>
 #include <vector>
 
 #include "core/compass.hpp"
 
 namespace fxg::compass {
+
+/// Outcome of one fleet member's measurement. A member that threw does
+/// not poison the batch: its slot carries ok = false plus the error
+/// text, and every other member's Measurement is still delivered.
+struct FleetResult {
+    Measurement measurement{};  ///< valid only when ok
+    bool ok = false;
+    std::string error;          ///< exception message when !ok
+};
 
 /// N independent compasses measured as one batch.
 class CompassFleet {
@@ -41,14 +52,26 @@ public:
     void set_environments(const magnetics::EarthField& field,
                           const std::vector<double>& headings_deg);
 
-    /// Runs one measurement on every member and returns the results in
-    /// member order. `threads` <= 1 measures serially on the calling
-    /// thread; otherwise up to that many worker threads split the fleet
-    /// (0 = one per hardware thread). Exceptions from any member are
-    /// rethrown on the caller.
+    /// Runs one measurement on every member and returns a per-member
+    /// FleetResult in member order. A member that throws is reported in
+    /// its own slot (ok = false + error text) and never aborts the rest
+    /// of the batch — one faulty compass cannot take the fleet down.
+    /// `threads` <= 1 measures serially on the calling thread; otherwise
+    /// up to that many worker threads split the fleet (0 = one per
+    /// hardware thread).
+    std::vector<FleetResult> measure_all_results(int threads = 1);
+
+    /// Throwing convenience for callers that expect an all-healthy
+    /// fleet: measures everything (every member still runs to
+    /// completion), then rethrows the first member's exception if any
+    /// failed, otherwise returns the bare Measurements in member order.
     std::vector<Measurement> measure_all(int threads = 1);
 
 private:
+    /// Shared batch driver: fills `results` in member order and returns
+    /// the first caught exception (nullptr when all ok).
+    std::exception_ptr measure_all_impl(int threads, std::vector<FleetResult>& results);
+
     // unique_ptr: Compass is neither copyable nor movable (it owns its
     // engine), and fleet members must keep stable addresses for the
     // worker threads.

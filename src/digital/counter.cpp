@@ -9,6 +9,45 @@ UpDownCounter::UpDownCounter(double clock_hz) : clock_hz_(clock_hz) {
     if (!(clock_hz > 0.0)) throw std::invalid_argument("UpDownCounter: clock must be > 0");
 }
 
+void UpDownCounter::set_hardware(const CounterHardware& hw) {
+    if (hw.width_bits != 0 && (hw.width_bits < 2 || hw.width_bits > 62)) {
+        throw std::invalid_argument("UpDownCounter: width_bits must be 0 or in [2, 62]");
+    }
+    const int bit_limit = hw.width_bits > 0 ? hw.width_bits : 63;
+    if (hw.stuck_bit < -1 || hw.stuck_bit >= bit_limit) {
+        throw std::invalid_argument("UpDownCounter: stuck_bit outside the register");
+    }
+    hardware_ = hw;
+    hardware_engaged_ = hw.width_bits > 0 || hw.stuck_bit >= 0;
+}
+
+std::int64_t UpDownCounter::apply_hardware(std::int64_t count) {
+    if (hardware_.width_bits > 0) {
+        // Two's-complement wrap into the register width (C++20 signed
+        // shifts are defined as exactly this).
+        const int shift = 64 - hardware_.width_bits;
+        const std::int64_t wrapped = (count << shift) >> shift;
+        if (wrapped != count) {
+            overflowed_ = true;
+            if (hardware_.trap_on_overflow) {
+                throw std::overflow_error("UpDownCounter: register overflow");
+            }
+            count = wrapped;
+        }
+    }
+    if (hardware_.stuck_bit >= 0) {
+        const std::uint64_t bit = std::uint64_t{1} << hardware_.stuck_bit;
+        auto raw = static_cast<std::uint64_t>(count);
+        raw = hardware_.stuck_high ? (raw | bit) : (raw & ~bit);
+        count = static_cast<std::int64_t>(raw);
+        if (hardware_.width_bits > 0) {
+            const int shift = 64 - hardware_.width_bits;
+            count = (count << shift) >> shift;  // re-extend the sign
+        }
+    }
+    return count;
+}
+
 void UpDownCounter::step(bool high, double dt_s) {
     if (!(dt_s > 0.0)) throw std::invalid_argument("UpDownCounter: dt must be > 0");
     if (!enabled_) return;
@@ -20,6 +59,7 @@ void UpDownCounter::step(bool high, double dt_s) {
     const auto ticks = static_cast<std::int64_t>(whole);
     count_ += high ? ticks : -ticks;
     active_ticks_ += static_cast<std::uint64_t>(ticks);
+    if (hardware_engaged_) count_ = apply_hardware(count_);
 }
 
 void UpDownCounter::step_block(const std::uint8_t* high, const std::uint8_t* valid,
@@ -32,6 +72,7 @@ void UpDownCounter::step_block(const std::uint8_t* high, const std::uint8_t* val
     // dt * clock is recomputed per call in step(); the product is the
     // same every sample, so hoisting it preserves bit-identity.
     const double inc = dt_s * clock_hz_;
+    const bool hw = hardware_engaged_;
     for (int k = 0; k < n; ++k) {
         if (!valid[k]) continue;
         acc += inc;
@@ -40,6 +81,7 @@ void UpDownCounter::step_block(const std::uint8_t* high, const std::uint8_t* val
         const auto ticks = static_cast<std::int64_t>(whole);
         count += high[k] ? ticks : -ticks;
         active += static_cast<std::uint64_t>(ticks);
+        if (hw) count = apply_hardware(count);
     }
     tick_accumulator_ = acc;
     count_ = count;
@@ -51,6 +93,7 @@ void UpDownCounter::reset() noexcept {
     count_ = 0;
     active_ticks_ = 0;
     enabled_ = true;
+    overflowed_ = false;
 }
 
 }  // namespace fxg::digital

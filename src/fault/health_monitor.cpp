@@ -1,0 +1,196 @@
+#include "fault/health_monitor.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "magnetics/units.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::fault {
+
+namespace {
+
+/// Small printf-style helper for finding details.
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    return buf;
+}
+
+const char* channel_name(analog::Channel ch) noexcept {
+    return ch == analog::Channel::X ? "x" : "y";
+}
+
+}  // namespace
+
+const char* to_string(FaultCode code) noexcept {
+    switch (code) {
+        case FaultCode::CountOutOfBounds: return "CountOutOfBounds";
+        case FaultCode::FieldLow: return "FieldLow";
+        case FaultCode::FieldHigh: return "FieldHigh";
+        case FaultCode::DetectorSilent: return "DetectorSilent";
+        case FaultCode::ChannelNeverValid: return "ChannelNeverValid";
+        case FaultCode::EdgeRateHigh: return "EdgeRateHigh";
+        case FaultCode::EdgeRateLow: return "EdgeRateLow";
+        case FaultCode::DutyOutOfRange: return "DutyOutOfRange";
+        case FaultCode::CountOverflow: return "CountOverflow";
+        case FaultCode::SaturationLost: return "SaturationLost";
+        case FaultCode::HeadingJump: return "HeadingJump";
+        case FaultCode::MeasurementAborted: return "MeasurementAborted";
+    }
+    return "?";
+}
+
+bool HealthReport::has(FaultCode code) const noexcept {
+    for (const HealthFinding& f : findings) {
+        if (f.code == code) return true;
+    }
+    return false;
+}
+
+bool HealthReport::implicates(analog::Channel ch) const noexcept {
+    for (const HealthFinding& f : findings) {
+        if (f.channel_specific && f.channel == ch) return true;
+    }
+    return false;
+}
+
+std::string HealthReport::summary() const {
+    if (ok) return "ok";
+    std::string out;
+    for (const HealthFinding& f : findings) {
+        if (!out.empty()) out += "; ";
+        out += to_string(f.code);
+        if (f.channel_specific) {
+            out += '(';
+            out += channel_name(f.channel);
+            out += ')';
+        }
+        if (!f.detail.empty()) {
+            out += ": ";
+            out += f.detail;
+        }
+    }
+    return out;
+}
+
+HealthMonitor::HealthMonitor(const HealthMonitorConfig& config)
+    : config_(config), filter_(config.filter_alpha) {}
+
+void HealthMonitor::reset() noexcept { filter_.reset(); }
+
+HealthReport HealthMonitor::check(const compass::Compass& compass,
+                                  const compass::Measurement& m) {
+    HealthReport report;
+    auto flag = [&](FaultCode code, std::string detail) {
+        report.ok = false;
+        report.findings.push_back({code, analog::Channel::X, false, std::move(detail)});
+    };
+    auto flag_channel = [&](FaultCode code, analog::Channel ch, std::string detail) {
+        report.ok = false;
+        report.findings.push_back({code, ch, true, std::move(detail)});
+    };
+
+    const compass::CompassConfig& cfg = compass.config();
+    // Transfer law (DESIGN.md section 5): count = N f_clk T Hext / Ha,
+    // so full scale (the count at Hext = Ha, which clean pulse
+    // separation can never reach half of) is N f_clk T.
+    const double full_scale = cfg.periods_per_axis * cfg.counter_clock_hz /
+                              cfg.front_end.oscillator.frequency_hz;
+    const double ha = cfg.front_end.oscillator.amplitude_a *
+                      cfg.front_end.sensor.field_per_amp();
+    const double count_bound = 0.5 * full_scale * (1.0 + config_.count_bound_tolerance);
+
+    // --- Count bound, per axis ---------------------------------------
+    const std::int64_t counts[2] = {m.count_x, m.count_y};
+    for (auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        const auto count = static_cast<double>(counts[static_cast<int>(ch)]);
+        if (std::fabs(count) > count_bound) {
+            flag_channel(FaultCode::CountOutOfBounds, ch,
+                         format("|%.0f| > %.0f", count, count_bound));
+        }
+    }
+
+    // --- Field plausibility ------------------------------------------
+    report.est_hx_a_per_m = static_cast<double>(m.count_x) * ha / full_scale;
+    report.est_hy_a_per_m = static_cast<double>(m.count_y) * ha / full_scale;
+    const double h_a_per_m =
+        std::hypot(report.est_hx_a_per_m, report.est_hy_a_per_m);
+    report.est_horizontal_ut = magnetics::a_per_m_to_tesla(h_a_per_m) * 1e6;
+    if (report.est_horizontal_ut < config_.min_horizontal_ut) {
+        flag(FaultCode::FieldLow, format("%.2f uT < %.2f uT", report.est_horizontal_ut,
+                                         config_.min_horizontal_ut));
+    } else if (report.est_horizontal_ut > config_.max_horizontal_ut) {
+        flag(FaultCode::FieldHigh, format("%.2f uT > %.2f uT", report.est_horizontal_ut,
+                                          config_.max_horizontal_ut));
+    }
+
+    // --- Stream checks, per channel ----------------------------------
+    const double steps_per_period = cfg.steps_per_period;
+    for (auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        const analog::StreamStats& stats = compass.front_end().stream_stats(ch);
+        double& duty = ch == analog::Channel::X ? report.duty_x : report.duty_y;
+        double& edge_rate =
+            ch == analog::Channel::X ? report.edge_rate_x : report.edge_rate_y;
+        duty = stats.duty();
+
+        if (stats.samples == 0) continue;  // nothing observed (no window yet)
+
+        const double valid_fraction = static_cast<double>(stats.valid_samples) /
+                                      static_cast<double>(stats.samples);
+        if (valid_fraction < config_.min_valid_fraction) {
+            flag_channel(FaultCode::ChannelNeverValid, ch,
+                         format("valid %.0f%% of window", 100.0 * valid_fraction));
+            continue;  // duty/edges are meaningless without a window
+        }
+
+        // Edge rate in transitions per excitation period of the valid
+        // window. A healthy pulse-position detector gives exactly 2.
+        const double periods = static_cast<double>(stats.valid_samples) /
+                               steps_per_period;
+        edge_rate = periods > 0.0 ? static_cast<double>(stats.edges) / periods : 0.0;
+        if (periods < 1.0) continue;  // window too short to judge
+
+        if (stats.edges == 0) {
+            flag_channel(FaultCode::DetectorSilent, ch,
+                         format("0 edges in %.1f periods", periods));
+        } else if (edge_rate > 2.0 * (1.0 + config_.edge_rate_tolerance)) {
+            flag_channel(FaultCode::EdgeRateHigh, ch,
+                         format("%.2f edges/period", edge_rate));
+        } else if (edge_rate < 2.0 * (1.0 - config_.edge_rate_tolerance)) {
+            flag_channel(FaultCode::EdgeRateLow, ch,
+                         format("%.2f edges/period", edge_rate));
+        }
+
+        if (duty < config_.min_duty || duty > config_.max_duty) {
+            flag_channel(FaultCode::DutyOutOfRange, ch, format("duty %.3f", duty));
+        }
+    }
+
+    // --- Digital flags -----------------------------------------------
+    if (compass.counter().overflowed()) {
+        flag(FaultCode::CountOverflow, "sticky register wrap flag set");
+    }
+    if (!m.field_in_range) {
+        flag(FaultCode::SaturationLost, "core not driven past both knees");
+    }
+
+    // --- Heading continuity (stationary mounts) ----------------------
+    if (config_.stationary) {
+        if (const auto tracked = filter_.heading_deg()) {
+            const double jump = util::angular_abs_diff_deg(m.heading_deg, *tracked);
+            if (jump > config_.max_heading_jump_deg) {
+                flag(FaultCode::HeadingJump,
+                     format("%.1f deg vs tracked %.1f deg", m.heading_deg, *tracked));
+            }
+        }
+        // Learn only from healthy measurements: one bad reading must not
+        // drag the reference toward itself.
+        if (report.ok) filter_.update(m.heading_deg);
+    }
+
+    return report;
+}
+
+}  // namespace fxg::fault

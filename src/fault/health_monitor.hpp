@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file health_monitor.hpp
+/// Physics-derived plausibility checks over one compass measurement.
+/// Every check is anchored in a quantity the design fixes (DESIGN.md
+/// section 5 and section 8):
+///
+///  - counts: |count| must stay below the transfer-law full scale
+///    N * f_clk * T / 2 (~2097 at the paper's defaults) — a stuck
+///    detector or counter bit blows straight through it;
+///  - field: the counts, inverted through count = N f T Hext / Ha, must
+///    land in the plausible horizontal earth-field window (the paper's
+///    25..65 uT total-field span, mapped to horizontal);
+///  - detector activity: a healthy pulse-position detector toggles
+///    exactly twice per excitation period at a duty near 1/2 +-
+///    Hext/(2 Ha); silence, chatter and extreme duty are all faults;
+///  - channel liveness: each channel must actually contribute valid
+///    samples (a stuck multiplexer starves one channel completely);
+///  - counter overflow: the sticky wrap flag of a finite-width register;
+///  - heading continuity (optional, for stationary mounts): a jump
+///    against a seam-free heading filter.
+///
+/// The monitor never looks at the injected fault state — it sees only
+/// what real supervision logic would see: counts, streams, flags.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analog/mux.hpp"
+#include "core/compass.hpp"
+#include "core/heading_filter.hpp"
+
+namespace fxg::fault {
+
+/// Typed diagnosis codes, one per failed check.
+enum class FaultCode {
+    CountOutOfBounds,   ///< |count| beyond the transfer-law full scale
+    FieldLow,           ///< reconstructed field below the plausible window
+    FieldHigh,          ///< reconstructed field above the plausible window
+    DetectorSilent,     ///< no detector transitions in the channel's window
+    ChannelNeverValid,  ///< channel contributed (almost) no valid samples
+    EdgeRateHigh,       ///< detector toggling faster than the excitation allows
+    EdgeRateLow,        ///< detector toggling, but below the expected rate
+    DutyOutOfRange,     ///< duty cycle outside the transfer-law span
+    CountOverflow,      ///< finite-width counter register wrapped
+    SaturationLost,     ///< core no longer saturates both ways (range check)
+    HeadingJump,        ///< heading moved implausibly fast (stationary mode)
+    MeasurementAborted, ///< measurement threw (e.g. counter overflow trap)
+};
+
+[[nodiscard]] const char* to_string(FaultCode code) noexcept;
+
+/// One failed check.
+struct HealthFinding {
+    FaultCode code = FaultCode::CountOutOfBounds;
+    analog::Channel channel = analog::Channel::X;
+    bool channel_specific = false;  ///< finding names one axis, not the system
+    std::string detail;
+};
+
+/// Result of checking one measurement.
+struct HealthReport {
+    bool ok = true;
+    std::vector<HealthFinding> findings;
+
+    // Reconstructed physics (valid whether or not ok).
+    double est_hx_a_per_m = 0.0;   ///< field inverted from count_x
+    double est_hy_a_per_m = 0.0;
+    double est_horizontal_ut = 0.0;  ///< |H| in microtesla
+    double duty_x = 0.0;             ///< measured detector duty per channel
+    double duty_y = 0.0;
+    double edge_rate_x = 0.0;        ///< detector edges per excitation period
+    double edge_rate_y = 0.0;
+
+    [[nodiscard]] bool has(FaultCode code) const noexcept;
+    /// True when some channel-specific finding names `ch`.
+    [[nodiscard]] bool implicates(analog::Channel ch) const noexcept;
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Check thresholds. Defaults are derived from the paper's numbers and
+/// sized to never fire on a healthy compass (verified by the zero-
+/// false-positive sweep in bench_fault_coverage / tests/fault_test.cpp).
+struct HealthMonitorConfig {
+    /// Plausible horizontal field window [uT]. The paper bounds the
+    /// total field to 25..65 uT; the horizontal part depends on the dip,
+    /// so the default window is wide (25 uT at 80 deg dip -> ~4 uT).
+    /// Site-aware deployments should narrow it (e.g. [10, 30] for the
+    /// 48 uT / 67 deg mid-latitude site).
+    double min_horizontal_ut = 4.0;
+    double max_horizontal_ut = 70.0;
+
+    /// Fractional slack on the count full scale N * f_clk * T / 2.
+    double count_bound_tolerance = 0.02;
+
+    /// Detector duty window. The transfer law keeps a healthy duty at
+    /// 1/2 +- Hext/(2 Ha); |Hext| < Ha/2 bounds it to (0.25, 0.75), so
+    /// [0.15, 0.85] only fires on genuinely broken streams.
+    double min_duty = 0.15;
+    double max_duty = 0.85;
+
+    /// Fractional tolerance on the detector edge rate around the ideal
+    /// 2 edges per excitation period (window [1.5, 2.5] at 0.25).
+    double edge_rate_tolerance = 0.25;
+
+    /// Minimum fraction of a measurement's samples a channel must have
+    /// been valid for. A multiplexed measurement gives each channel just
+    /// under half the samples, so 0.4 catches only starved channels.
+    double min_valid_fraction = 0.4;
+
+    /// Stationary-mount mode: also flag heading jumps against a
+    /// heading-filter track. Off by default — a rotating compass jumps
+    /// legitimately.
+    bool stationary = false;
+    double max_heading_jump_deg = 30.0;
+    double filter_alpha = 0.25;
+};
+
+/// Stateless checks plus (in stationary mode) a heading track. The
+/// track only learns from measurements that pass every other check, so
+/// a faulty reading cannot drag the reference with it.
+class HealthMonitor {
+public:
+    explicit HealthMonitor(const HealthMonitorConfig& config = {});
+
+    /// Checks one measurement against the compass it came from (counts,
+    /// per-channel stream statistics, sticky overflow flag).
+    HealthReport check(const compass::Compass& compass,
+                       const compass::Measurement& measurement);
+
+    /// Clears the heading track.
+    void reset() noexcept;
+
+    [[nodiscard]] const HealthMonitorConfig& config() const noexcept {
+        return config_;
+    }
+
+private:
+    HealthMonitorConfig config_;
+    compass::HeadingFilter filter_;
+};
+
+}  // namespace fxg::fault

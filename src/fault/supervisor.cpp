@@ -1,0 +1,138 @@
+#include "fault/supervisor.hpp"
+
+#include <cmath>
+#include <exception>
+
+#include "magnetics/earth_field.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::fault {
+
+const char* to_string(SupervisedStatus status) noexcept {
+    switch (status) {
+        case SupervisedStatus::Ok: return "Ok";
+        case SupervisedStatus::RecoveredRetry: return "RecoveredRetry";
+        case SupervisedStatus::DegradedSingleAxis: return "DegradedSingleAxis";
+        case SupervisedStatus::HoldLastGood: return "HoldLastGood";
+        case SupervisedStatus::Failed: return "Failed";
+    }
+    return "?";
+}
+
+MeasurementSupervisor::MeasurementSupervisor(compass::Compass& compass,
+                                             const SupervisorConfig& config)
+    : compass_(compass), config_(config), monitor_(config.health) {}
+
+void MeasurementSupervisor::reset() {
+    last_good_.reset();
+    staleness_s_ = 0.0;
+    monitor_.reset();
+}
+
+std::optional<double> MeasurementSupervisor::reconstruct_heading(
+    const compass::Measurement& m, const HealthReport& report) const {
+    if (!last_good_) return std::nullopt;
+    const bool bad_x = report.implicates(analog::Channel::X);
+    const bool bad_y = report.implicates(analog::Channel::Y);
+    if (bad_x == bad_y) return std::nullopt;  // need exactly one healthy axis
+
+    // The last good measurement pins the count-domain circle radius
+    // (heading extraction is magnitude-insensitive, so |H| is the one
+    // thing yesterday's measurement still tells us about today's).
+    const double radius =
+        std::hypot(static_cast<double>(last_good_->measurement.count_x),
+                   static_cast<double>(last_good_->measurement.count_y));
+    const double good =
+        static_cast<double>(bad_x ? m.count_y : m.count_x);
+    if (radius <= 0.0 || std::fabs(good) > radius * 1.05) {
+        return std::nullopt;  // healthy axis inconsistent with the circle
+    }
+    const double missing =
+        std::sqrt(std::fmax(0.0, radius * radius - good * good));
+
+    // Two sign candidates; heading continuity picks the branch.
+    double best = 0.0;
+    double best_err = 1e9;
+    for (const double sign : {+1.0, -1.0}) {
+        const double cx = bad_x ? sign * missing : good;
+        const double cy = bad_x ? good : sign * missing;
+        const double heading =
+            magnetics::EarthField::heading_from_components(cx, cy);
+        const double err =
+            util::angular_abs_diff_deg(heading, last_good_->heading_deg);
+        if (err < best_err) {
+            best_err = err;
+            best = heading;
+        }
+    }
+    return best;
+}
+
+SupervisedMeasurement MeasurementSupervisor::measure() {
+    SupervisedMeasurement out;
+    const int attempts_allowed = 1 + (config_.max_retries > 0 ? config_.max_retries : 0);
+
+    for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+        if (attempt > 0) {
+            compass_.re_excite();
+            out.diagnostics += " | re-excite";
+        }
+        ++out.attempts;
+        bool aborted = false;
+        try {
+            out.measurement = compass_.measure();
+        } catch (const std::exception& e) {
+            aborted = true;
+            out.health = HealthReport{};
+            out.health.ok = false;
+            out.health.findings.push_back(
+                {FaultCode::MeasurementAborted, analog::Channel::X, false, e.what()});
+        }
+        if (!aborted) out.health = monitor_.check(compass_, out.measurement);
+
+        if (!out.diagnostics.empty()) out.diagnostics += " -> ";
+        out.diagnostics += out.health.summary();
+
+        if (out.health.ok) {
+            out.status = attempt == 0 ? SupervisedStatus::Ok
+                                      : SupervisedStatus::RecoveredRetry;
+            out.heading_deg = out.measurement.heading_deg;
+            staleness_s_ = 0.0;
+            last_good_ = out;
+            return out;
+        }
+        // Failed attempts still consume simulated time toward staleness.
+        staleness_s_ += out.measurement.duration_s;
+    }
+
+    // Retries exhausted: degrade. Exactly one implicated axis plus a
+    // remembered field magnitude lets us keep producing live headings.
+    if (const auto heading = reconstruct_heading(out.measurement, out.health)) {
+        out.status = SupervisedStatus::DegradedSingleAxis;
+        out.heading_deg = *heading;
+        out.stale = false;
+        out.staleness_s = staleness_s_;
+        out.diagnostics += " | degraded: single-axis estimate";
+        return out;
+    }
+
+    // Both axes implicated (or nothing to reconstruct from): hold the
+    // last good heading while it is fresh enough to be better than
+    // nothing.
+    if (last_good_ && staleness_s_ <= config_.max_hold_s) {
+        out.status = SupervisedStatus::HoldLastGood;
+        out.heading_deg = last_good_->heading_deg;
+        out.stale = true;
+        out.staleness_s = staleness_s_;
+        out.diagnostics += " | hold last good";
+        return out;
+    }
+
+    out.status = SupervisedStatus::Failed;
+    out.stale = true;
+    out.staleness_s = staleness_s_;
+    out.diagnostics += " | failed";
+    return out;
+}
+
+}  // namespace fxg::fault

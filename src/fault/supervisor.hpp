@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file supervisor.hpp
+/// Supervised measurement path: wraps Compass::measure() in a
+/// HealthMonitor and walks a degradation ladder instead of handing a
+/// silently wrong heading to the application:
+///
+///   1. measure, health-check               -> Ok
+///   2. re-excite (power cycle) and retry,
+///      up to max_retries times             -> RecoveredRetry
+///   3. one axis bad, one good: reconstruct
+///      the missing axis from the last-good
+///      field magnitude                     -> DegradedSingleAxis
+///   4. hold the last good heading, flagged
+///      stale, up to max_hold_s             -> HoldLastGood
+///   5. give up with full diagnostics       -> Failed
+///
+/// The single-axis estimate uses that heading extraction is insensitive
+/// to the field magnitude (paper section 4): the last good measurement
+/// pins |H| in count units, so a healthy count on one axis plus the
+/// circle radius determines the other axis up to sign, and the sign is
+/// taken from heading continuity.
+
+#include <optional>
+#include <string>
+
+#include "core/compass.hpp"
+#include "fault/health_monitor.hpp"
+
+namespace fxg::fault {
+
+/// Ladder rung a supervised measurement ended on.
+enum class SupervisedStatus {
+    Ok,                 ///< first attempt healthy
+    RecoveredRetry,     ///< healthy after re-excitation
+    DegradedSingleAxis, ///< heading estimated from one healthy axis
+    HoldLastGood,       ///< last good heading held, stale
+    Failed,             ///< no usable heading
+};
+
+[[nodiscard]] const char* to_string(SupervisedStatus status) noexcept;
+
+struct SupervisorConfig {
+    /// Re-excitation retries after an unhealthy first attempt.
+    int max_retries = 2;
+    /// Longest the supervisor will keep serving a stale heading [s].
+    double max_hold_s = 30.0;
+    HealthMonitorConfig health;
+};
+
+/// One supervised measurement.
+struct SupervisedMeasurement {
+    compass::Measurement measurement;  ///< last attempt's raw measurement
+    HealthReport health;               ///< last attempt's health report
+    SupervisedStatus status = SupervisedStatus::Failed;
+    double heading_deg = 0.0;  ///< the heading to serve (per status)
+    int attempts = 0;          ///< measure() attempts consumed
+    bool stale = false;        ///< heading is not from this measurement
+    double staleness_s = 0.0;  ///< simulated time since the last good heading
+    std::string diagnostics;   ///< human-readable failure trail
+};
+
+/// Drives one Compass through the degradation ladder.
+class MeasurementSupervisor {
+public:
+    /// Non-owning: `compass` must outlive the supervisor.
+    explicit MeasurementSupervisor(compass::Compass& compass,
+                                   const SupervisorConfig& config = {});
+
+    /// Runs the ladder once and returns the outcome (never throws on
+    /// measurement faults — a trapping counter overflow becomes a
+    /// MeasurementAborted finding and consumes an attempt).
+    SupervisedMeasurement measure();
+
+    /// Last measurement that passed the health check, if any.
+    [[nodiscard]] const std::optional<SupervisedMeasurement>& last_good() const noexcept {
+        return last_good_;
+    }
+
+    /// Forgets the last-good state and heading track.
+    void reset();
+
+    [[nodiscard]] HealthMonitor& monitor() noexcept { return monitor_; }
+    [[nodiscard]] const SupervisorConfig& config() const noexcept { return config_; }
+
+private:
+    /// Attempts the single-axis reconstruction; nullopt when more or
+    /// fewer than exactly one axis is implicated or no last-good exists.
+    [[nodiscard]] std::optional<double> reconstruct_heading(
+        const compass::Measurement& m, const HealthReport& report) const;
+
+    compass::Compass& compass_;
+    SupervisorConfig config_;
+    HealthMonitor monitor_;
+    std::optional<SupervisedMeasurement> last_good_;
+    double staleness_s_ = 0.0;  ///< accumulated simulated time since last good
+};
+
+}  // namespace fxg::fault
