@@ -24,6 +24,8 @@
 #include "fault/supervisor.hpp"
 #include "magnetics/earth_field.hpp"
 #include "magnetics/units.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/probes.hpp"
 #include "util/angle.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -61,6 +63,11 @@ struct CampaignEntry {
 
 int main() {
     std::puts("=== ROB1: fault-detection coverage of the supervised path ===\n");
+
+    // Every pass/fail number below also lands in this registry, which
+    // is flattened into BENCH_fault.json at the end — the CI trajectory
+    // artifact mirrors exactly what the console run reports.
+    telemetry::MetricsRegistry registry;
 
     // --- 1. healthy sweep: false-positive rate -----------------------
     int false_positives = 0;
@@ -157,6 +164,11 @@ int main() {
         fault::SupervisorConfig cfg;
         cfg.health = site_monitor();
         fault::MeasurementSupervisor supervisor(compass, cfg);
+        // The supervisor reports through the compass's telemetry sink,
+        // so its ladder outcomes (supervisor.ok / degraded / ...) show
+        // up as event counters in the registry.
+        telemetry::PhysicsProbes probes(registry);
+        compass.set_telemetry(&probes);
         static_cast<void>(supervisor.measure());  // healthy baseline
         fault::FaultInjector injector;
         injector.add({.fault = FaultClass::DetectorStuckLow,
@@ -172,6 +184,18 @@ int main() {
     }
     degraded.print();
     std::printf("\nworst degraded-mode heading error: %.2f deg\n", worst_degraded_err);
+
+    registry.counter("fxg_fault_combinations_total", "combinations")
+        .inc(static_cast<std::uint64_t>(combos));
+    registry.counter("fxg_fault_detected_total", "combinations")
+        .inc(static_cast<std::uint64_t>(detected_total));
+    registry.counter("fxg_false_positives_total", "sweeps")
+        .inc(static_cast<std::uint64_t>(false_positives));
+    registry.gauge("fxg_fault_coverage_pct", "%").set(coverage);
+    registry.gauge("fxg_worst_degraded_err_deg", "deg").set(worst_degraded_err);
+    telemetry::write_bench_json("BENCH_fault.json",
+                                telemetry::bench_json_records(registry));
+    std::puts("\nwrote BENCH_fault.json");
 
     const bool pass = coverage >= 90.0 && false_positives == 0;
     std::printf("\npaper shape (supervision: detect implausible readings, stay "

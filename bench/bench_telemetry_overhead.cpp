@@ -1,0 +1,145 @@
+/// \file bench_telemetry_overhead.cpp
+/// Acceptance gate for the telemetry subsystem's zero-cost contract:
+/// with telemetry compiled in but NO sink attached, a Compass::measure()
+/// must be within 1 % of an uninstrumented build. CI runs this binary
+/// and fails the build on a violation (non-zero exit).
+///
+/// Methodology — the disabled path cannot be compiled out at run time,
+/// so the bench decomposes it:
+///
+///   1. t_measure: median wall time of a design-point measure() with no
+///      sink attached (this already INCLUDES the disabled touchpoints);
+///   2. touchpoints: spans + events + samples one traced measure()
+///      emits — the exact number of `sink != nullptr` tests paid;
+///   3. t_touch: measured cost of one disabled RAII Span (two pointer
+///      tests through an optimizer-opaque volatile load — an upper
+///      bound on any single touchpoint);
+///   4. disabled overhead = touchpoints * t_touch relative to the
+///      touchpoint-free remainder of t_measure.
+///
+/// The enabled-path cost (TraceSession + PhysicsProbes attached) is
+/// reported for information, and bit-identity of the measurement with
+/// and without a sink is asserted outright. Results go to
+/// BENCH_telemetry.json as {name, value, unit} records sourced from a
+/// telemetry MetricsRegistry.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/compass.hpp"
+#include "magnetics/earth_field.hpp"
+#include "magnetics/units.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/trace.hpp"
+
+using namespace fxg;
+
+namespace {
+
+double seconds_since(telemetry::Clock::time_point t0) {
+    return std::chrono::duration<double>(telemetry::Clock::now() - t0).count();
+}
+
+/// Median wall time of one measure() over `reps` batches of `n`.
+double time_measure_s(compass::Compass& compass, int n, int reps) {
+    std::vector<double> batches;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = telemetry::Clock::now();
+        for (int i = 0; i < n; ++i) static_cast<void>(compass.measure());
+        batches.push_back(seconds_since(t0) / n);
+    }
+    std::sort(batches.begin(), batches.end());
+    return batches[batches.size() / 2];
+}
+
+/// The optimiser must treat the sink pointer as unknown, or the whole
+/// disabled-span loop folds to nothing.
+telemetry::TelemetrySink* volatile g_null_sink = nullptr;
+
+}  // namespace
+
+int main() {
+    std::puts("=== telemetry overhead: disabled path must cost < 1% ===\n");
+
+    const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
+    compass::CompassConfig cfg;  // the paper's design point
+
+    // --- 1. base: measure() with telemetry compiled in, no sink ------
+    compass::Compass bare(cfg);
+    bare.set_environment(field, 123.0);
+    static_cast<void>(bare.measure());  // warm-up
+    constexpr int kPerBatch = 20;
+    constexpr int kBatches = 5;
+    const double t_measure = time_measure_s(bare, kPerBatch, kBatches);
+
+    // --- 2. touchpoints one traced measure() pays --------------------
+    telemetry::TraceSession session;
+    telemetry::MetricsRegistry registry;
+    telemetry::PhysicsProbes probes(registry);
+    telemetry::TeeSink tee({&session, &probes});
+    compass::Compass traced(cfg);
+    traced.set_environment(field, 123.0);
+    traced.set_telemetry(&tee);
+    static_cast<void>(traced.measure());
+    const std::size_t touchpoints =
+        session.span_count() + session.events().size() + 1 /* sample */;
+
+    // --- 3. cost of one disabled touchpoint --------------------------
+    constexpr int kNullSpans = 20'000'000;
+    const auto t0 = telemetry::Clock::now();
+    for (int i = 0; i < kNullSpans; ++i) {
+        telemetry::Span span(g_null_sink, "overhead.probe");
+        span.set_value(i);
+    }
+    const double t_touch = seconds_since(t0) / kNullSpans;
+
+    const double disabled_cost = static_cast<double>(touchpoints) * t_touch;
+    const double disabled_pct = 100.0 * disabled_cost / (t_measure - disabled_cost);
+
+    // --- 4. enabled path, for information ----------------------------
+    session.clear();
+    const double t_enabled = time_measure_s(traced, kPerBatch, kBatches);
+    const double enabled_pct = 100.0 * (t_enabled - t_measure) / t_measure;
+
+    // --- 5. telemetry must not perturb the physics -------------------
+    compass::Compass control(cfg);
+    control.set_environment(field, 123.0);
+    traced.set_telemetry(nullptr);
+    const compass::Measurement mc = control.measure();
+    compass::Compass resinked(cfg);
+    resinked.set_environment(field, 123.0);
+    telemetry::TraceSession check_session;
+    resinked.set_telemetry(&check_session);
+    const compass::Measurement mt = resinked.measure();
+    const bool bit_identical = mc.count_x == mt.count_x && mc.count_y == mt.count_y &&
+                               mc.heading_deg == mt.heading_deg &&
+                               mc.energy_j == mt.energy_j;
+
+    std::printf("measure() no sink        : %.3f ms\n", t_measure * 1e3);
+    std::printf("touchpoints per measure  : %zu\n", touchpoints);
+    std::printf("disabled touchpoint cost : %.2f ns\n", t_touch * 1e9);
+    std::printf("disabled-path overhead   : %.4f %%   (budget 1 %%)\n", disabled_pct);
+    std::printf("enabled-path overhead    : %.2f %%   (trace + probes attached)\n",
+                enabled_pct);
+    std::printf("bit-identical with sink  : %s\n", bit_identical ? "yes" : "NO");
+
+    // --- export: the metrics registry is the JSON source -------------
+    registry.gauge("fxg_overhead_disabled_pct", "%").set(disabled_pct);
+    registry.gauge("fxg_overhead_enabled_pct", "%").set(enabled_pct);
+    registry.gauge("fxg_touchpoints_per_measure", "touchpoints")
+        .set(static_cast<double>(touchpoints));
+    registry.gauge("fxg_disabled_touchpoint_ns", "ns").set(t_touch * 1e9);
+    registry.gauge("fxg_measure_no_sink_ms", "ms").set(t_measure * 1e3);
+    registry.gauge("fxg_measure_traced_ms", "ms").set(t_enabled * 1e3);
+    telemetry::write_bench_json("BENCH_telemetry.json",
+                                telemetry::bench_json_records(registry));
+    std::puts("\nwrote BENCH_telemetry.json");
+
+    const bool pass = disabled_pct < 1.0 && bit_identical;
+    std::printf("\nzero-cost contract (no sink => < 1%% measure() slowdown)  ->  %s\n",
+                pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

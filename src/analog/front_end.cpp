@@ -66,7 +66,7 @@ void FrontEnd::set_mux_stuck(Channel channel) {
     mux_stuck_channel_ = channel;
 }
 
-void FrontEnd::clear_stream_stats() noexcept {
+void FrontEnd::reset_window() noexcept {
     stats_ = {};
     stats_prev_ = {};
     stats_has_prev_ = {};

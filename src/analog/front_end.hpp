@@ -113,6 +113,29 @@ struct StreamStats {
                    ? static_cast<double>(high_samples) / static_cast<double>(valid_samples)
                    : 0.0;
     }
+
+    /// Normalised pulse-position shift: duty - 1/2. By the transfer law
+    /// (DESIGN.md section 5) this is Hext / (2 Ha) on a healthy channel,
+    /// so it is the dimensionless measurand itself — the telemetry
+    /// probes export it per measurement.
+    [[nodiscard]] double pulse_shift() const noexcept { return duty() - 0.5; }
+
+    /// Fraction of the window's samples that carried a settled signal.
+    [[nodiscard]] double valid_fraction() const noexcept {
+        return samples > 0
+                   ? static_cast<double>(valid_samples) / static_cast<double>(samples)
+                   : 0.0;
+    }
+};
+
+/// Copy of both channels' StreamStats at one instant — what snapshot()
+/// returns, so per-measurement statistics survive the next window reset.
+struct StreamStatsSnapshot {
+    std::array<StreamStats, 2> channel{};
+
+    [[nodiscard]] const StreamStats& operator[](Channel ch) const noexcept {
+        return channel[static_cast<std::size_t>(ch)];
+    }
 };
 
 /// Flat-array outputs of one block of front-end steps (see
@@ -196,9 +219,24 @@ public:
         return stats_[static_cast<std::size_t>(ch)];
     }
 
-    /// Starts a fresh observation window (Compass::measure() calls this
-    /// so the stats always describe the latest measurement).
-    void clear_stream_stats() noexcept;
+    /// Copies both channels' window statistics at this instant. Callers
+    /// that need a measurement's stats past the next reset_window()
+    /// (telemetry, post-hoc health analysis) take a snapshot instead of
+    /// holding references into the live accumulators.
+    [[nodiscard]] StreamStatsSnapshot snapshot() const noexcept {
+        return StreamStatsSnapshot{stats_};
+    }
+
+    /// Starts a fresh observation window: zeroes both channels' stats
+    /// AND the edge-detector memory, so the first valid sample of the
+    /// new window never pairs with the last sample of the old one.
+    /// Compass::measure() calls this on entry, which is what makes the
+    /// per-measurement duty/pulse statistics correct on every
+    /// measurement, not just the first.
+    void reset_window() noexcept;
+
+    /// Historic name of reset_window() (kept for call-site compat).
+    void clear_stream_stats() noexcept { reset_window(); }
 
     /// Mutable stage access for parametric fault injection.
     [[nodiscard]] TriangleOscillator& oscillator() noexcept { return oscillator_; }

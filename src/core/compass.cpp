@@ -33,15 +33,34 @@ void Compass::set_axis_fields(double hx_a_per_m, double hy_a_per_m) {
 
 std::int64_t Compass::integrate_axis(analog::Channel channel, double dt,
                                      Measurement& m) {
-    front_end_.select(channel);
+    const int ch = static_cast<int>(channel);
+    telemetry::Span axis(telemetry_, "axis", ch);
+    {
+        // Excite: route the excitation onto this channel (the per-axis
+        // power-up the control logic performs before the mux settles).
+        telemetry::Span excite(telemetry_, "excite", ch);
+        front_end_.select(channel);
+    }
     const int settle_steps = config_.settle_periods * config_.steps_per_period;
     const int count_steps = config_.periods_per_axis * config_.steps_per_period;
     // Settle (counter deaf), then count — one engine loop, two phases.
-    engine_->advance(front_end_, channel, settle_steps, dt, nullptr, m.energy_j);
+    {
+        telemetry::Span settle(telemetry_, "settle", ch);
+        settle.set_value(settle_steps);
+        engine_->advance(front_end_, channel, settle_steps, dt, nullptr, m.energy_j);
+    }
     counter_.clear();
-    engine_->advance(front_end_, channel, count_steps, dt, &counter_, m.energy_j);
+    std::int64_t count;
+    {
+        telemetry::Span count_span(telemetry_, "count", ch);
+        engine_->advance(front_end_, channel, count_steps, dt, &counter_,
+                         m.energy_j);
+        count = counter_.count();
+        count_span.set_value(count);
+    }
     m.duration_s += (settle_steps + count_steps) * dt;
-    return counter_.count();
+    axis.set_value(count);
+    return count;
 }
 
 Measurement Compass::measure() {
@@ -49,10 +68,17 @@ Measurement Compass::measure() {
     const double period = 1.0 / config_.front_end.oscillator.frequency_hz;
     const double dt = period / config_.steps_per_period;
 
+    // Wall-clock latency is only metered while someone listens — the
+    // disabled path must not even read a clock.
+    const bool traced = telemetry_ != nullptr;
+    const telemetry::Clock::time_point wall_start =
+        traced ? telemetry::Clock::now() : telemetry::Clock::time_point{};
+    telemetry::Span root(telemetry_, "measure");
+
     // Fresh observation window: the front-end stream statistics (used by
-    // the fault subsystem's health checks) describe exactly this
-    // measurement.
-    front_end_.clear_stream_stats();
+    // the fault subsystem's health checks and the telemetry probes)
+    // describe exactly this measurement.
+    front_end_.reset_window();
 
     // Range check: the pulse-position method needs cleanly separated
     // pulses, i.e. the core must pass well beyond its knee in both
@@ -70,8 +96,10 @@ Measurement Compass::measure() {
     if (config_.power_gating) front_end_.enable(true);
     counter_.enable(true);
 
-    m.count_x = integrate_axis(analog::Channel::X, dt, m) - calibration_.offset_x;
-    m.count_y = integrate_axis(analog::Channel::Y, dt, m) - calibration_.offset_y;
+    const std::int64_t raw_x = integrate_axis(analog::Channel::X, dt, m);
+    const std::int64_t raw_y = integrate_axis(analog::Channel::Y, dt, m);
+    m.count_x = raw_x - calibration_.offset_x;
+    m.count_y = raw_y - calibration_.offset_y;
     // Soft-iron correction: rescale y into the circular domain the
     // arctan assumes (rounded back to the integer counts the hardware
     // datapath would carry).
@@ -83,7 +111,13 @@ Measurement Compass::measure() {
     counter_.enable(false);
     if (config_.power_gating) front_end_.enable(false);
 
-    m.heading_deg = cordic_.heading_deg(m.count_x, m.count_y);
+    digital::CordicResult cordic_detail;
+    {
+        telemetry::Span cordic_span(telemetry_, "cordic");
+        m.heading_deg = cordic_.heading_deg(m.count_x, m.count_y,
+                                            traced ? &cordic_detail : nullptr);
+        cordic_span.set_value(cordic_detail.rotations);
+    }
     m.heading_float_deg = magnetics::EarthField::heading_from_components(
         static_cast<double>(m.count_x), static_cast<double>(m.count_y));
     m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
@@ -91,6 +125,37 @@ Measurement Compass::measure() {
     display_.show_direction(m.heading_deg);
     watch_.tick(static_cast<std::uint64_t>(
         std::llround(m.duration_s * config_.counter_clock_hz)));
+
+    if (traced) {
+        const analog::StreamStatsSnapshot stats = front_end_.snapshot();
+        const analog::StreamStats& sx = stats[analog::Channel::X];
+        const analog::StreamStats& sy = stats[analog::Channel::Y];
+        telemetry::MeasurementSample s;
+        s.member = telemetry_member_;
+        s.raw_count_x = raw_x;
+        s.raw_count_y = raw_y;
+        s.count_x = m.count_x;
+        s.count_y = m.count_y;
+        s.duty_x = sx.duty();
+        s.duty_y = sy.duty();
+        s.pulse_shift_x = sx.pulse_shift();
+        s.pulse_shift_y = sy.pulse_shift();
+        s.valid_fraction_x = sx.valid_fraction();
+        s.valid_fraction_y = sy.valid_fraction();
+        s.edges_x = sx.edges;
+        s.edges_y = sy.edges;
+        s.cordic_rotations = cordic_detail.rotations;
+        s.cordic_residual_deg =
+            util::angular_abs_diff_deg(m.heading_deg, m.heading_float_deg);
+        s.heading_deg = m.heading_deg;
+        s.duration_s = m.duration_s;
+        s.latency_s = std::chrono::duration<double>(telemetry::Clock::now() -
+                                                    wall_start)
+                          .count();
+        s.energy_j = m.energy_j;
+        s.field_in_range = m.field_in_range;
+        telemetry_->on_sample(s);
+    }
     return m;
 }
 

@@ -24,6 +24,7 @@
 #include "digital/watch.hpp"
 #include "magnetics/earth_field.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fxg::compass {
 
@@ -118,6 +119,28 @@ public:
     /// physically broken stage.
     void re_excite();
 
+    /// Attaches a non-owning telemetry sink (nullptr detaches). While a
+    /// sink is attached, measure() traces the full pipeline — nested
+    /// spans for each channel's excite/settle/count phases, the engine
+    /// advances underneath them and the CORDIC — and emits one
+    /// MeasurementSample of physics probes (raw counts, duty cycle,
+    /// pulse-position shift, CORDIC residual, latency). With no sink
+    /// attached every touchpoint is a single pointer test: no locks, no
+    /// allocation, no clocks (bench_telemetry_overhead holds this
+    /// under 1 % of a measure()).
+    void set_telemetry(telemetry::TelemetrySink* sink) noexcept {
+        telemetry_ = sink;
+        engine_->set_telemetry(sink);
+    }
+    [[nodiscard]] telemetry::TelemetrySink* telemetry() const noexcept {
+        return telemetry_;
+    }
+
+    /// Fleet member index reported in telemetry samples (0 standalone;
+    /// CompassFleet::set_telemetry assigns member positions).
+    void set_telemetry_member(int member) noexcept { telemetry_member_ = member; }
+    [[nodiscard]] int telemetry_member() const noexcept { return telemetry_member_; }
+
     [[nodiscard]] const CompassConfig& config() const noexcept { return config_; }
     [[nodiscard]] analog::FrontEnd& front_end() noexcept { return front_end_; }
     [[nodiscard]] const analog::FrontEnd& front_end() const noexcept {
@@ -146,6 +169,8 @@ private:
     digital::Watch watch_;
     CountCalibration calibration_;
     std::unique_ptr<sim::SimEngine> engine_;
+    telemetry::TelemetrySink* telemetry_ = nullptr;  ///< non-owning hook
+    int telemetry_member_ = 0;
 };
 
 }  // namespace fxg::compass

@@ -38,6 +38,13 @@ void CompassFleet::set_environments(const magnetics::EarthField& field,
     for (int i = 0; i < size(); ++i) at(i).set_environment(field, headings_deg[i]);
 }
 
+void CompassFleet::set_telemetry(telemetry::TelemetrySink* sink) noexcept {
+    for (int i = 0; i < size(); ++i) {
+        at(i).set_telemetry(sink);
+        at(i).set_telemetry_member(i);
+    }
+}
+
 std::exception_ptr CompassFleet::measure_all_impl(int threads,
                                                   std::vector<FleetResult>& results) {
     const int n = size();

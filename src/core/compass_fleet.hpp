@@ -52,6 +52,15 @@ public:
     void set_environments(const magnetics::EarthField& field,
                           const std::vector<double>& headings_deg);
 
+    /// Attaches one shared telemetry sink to every member (nullptr
+    /// detaches) and stamps each member's index into its samples, so
+    /// fleet-wide traces and per-member latency metrics aggregate in a
+    /// single sink. The sink must be thread-safe (TraceSession,
+    /// PhysicsProbes and TeeSink all are) — measure_all's workers feed
+    /// it concurrently; span nesting stays correct because sessions
+    /// track nesting per thread.
+    void set_telemetry(telemetry::TelemetrySink* sink) noexcept;
+
     /// Runs one measurement on every member and returns a per-member
     /// FleetResult in member order. A member that throws is reported in
     /// its own slot (ok = false + error text) and never aborts the rest

@@ -51,20 +51,32 @@ CordicResult CordicUnit::arctan(std::int64_t y, std::int64_t x) const {
 }
 
 double CordicUnit::heading_deg(std::int64_t x, std::int64_t y) const {
+    return heading_deg(x, y, nullptr);
+}
+
+double CordicUnit::heading_deg(std::int64_t x, std::int64_t y,
+                               CordicResult* detail) const {
     // heading = atan2(v, u) with u = x, v = -y (see EarthField).
     const std::int64_t u = x;
     const std::int64_t v = -y;
-    if (u == 0 && v == 0) return 0.0;
+    if (u == 0 && v == 0) {
+        if (detail != nullptr) *detail = CordicResult{};
+        return 0.0;
+    }
     const std::int64_t a = std::llabs(v);
     const std::int64_t b = std::llabs(u);
     // Octant folding: run the core on the smaller/larger ratio so the
     // input angle is always in [0, 45] where the greedy loop is tightest.
     double ang;
+    CordicResult core;
     if (a <= b) {
-        ang = arctan(a, b == 0 ? 1 : b).angle_deg;
+        core = arctan(a, b == 0 ? 1 : b);
+        ang = core.angle_deg;
     } else {
-        ang = 90.0 - arctan(b, a).angle_deg;
+        core = arctan(b, a);
+        ang = 90.0 - core.angle_deg;
     }
+    if (detail != nullptr) *detail = core;
     double heading;
     if (u >= 0 && v >= 0) {
         heading = ang;

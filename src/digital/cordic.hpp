@@ -57,6 +57,12 @@ public:
     /// heading = atan2(-y, x).
     [[nodiscard]] double heading_deg(std::int64_t x, std::int64_t y) const;
 
+    /// Same computation, additionally reporting the first-quadrant
+    /// core's datapath state (rotations applied, final registers) for
+    /// telemetry probes. `detail` may be null; the returned heading is
+    /// bit-identical to the plain overload either way.
+    double heading_deg(std::int64_t x, std::int64_t y, CordicResult* detail) const;
+
     [[nodiscard]] int cycles() const noexcept { return cycles_; }
     [[nodiscard]] int frac_bits() const noexcept { return frac_bits_; }
 

@@ -4,9 +4,28 @@
 #include <exception>
 
 #include "magnetics/earth_field.hpp"
+#include "telemetry/sink.hpp"
 #include "util/angle.hpp"
 
 namespace fxg::fault {
+
+namespace {
+
+/// Telemetry event name for a ladder outcome (string literals only —
+/// sinks store the pointer, not a copy).
+const char* status_event(SupervisedStatus status) noexcept {
+    switch (status) {
+        case SupervisedStatus::Ok: return "supervisor.ok";
+        case SupervisedStatus::RecoveredRetry: return "supervisor.recovered_retry";
+        case SupervisedStatus::DegradedSingleAxis:
+            return "supervisor.degraded_single_axis";
+        case SupervisedStatus::HoldLastGood: return "supervisor.hold_last_good";
+        case SupervisedStatus::Failed: return "supervisor.failed";
+    }
+    return "supervisor.unknown";
+}
+
+}  // namespace
 
 const char* to_string(SupervisedStatus status) noexcept {
     switch (status) {
@@ -72,8 +91,15 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
     SupervisedMeasurement out;
     const int attempts_allowed = 1 + (config_.max_retries > 0 ? config_.max_retries : 0);
 
+    // The supervisor reports through the compass's sink: health findings
+    // and every ladder transition become telemetry events, nested under
+    // one "supervise" span whose value is the final ladder status.
+    telemetry::TelemetrySink* sink = compass_.telemetry();
+    telemetry::Span ladder(sink, "supervise");
+
     for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
         if (attempt > 0) {
+            if (sink != nullptr) sink->event("supervisor.re_excite", attempt);
             compass_.re_excite();
             out.diagnostics += " | re-excite";
         }
@@ -90,6 +116,16 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
         }
         if (!aborted) out.health = monitor_.check(compass_, out.measurement);
 
+        if (sink != nullptr && !out.health.ok) {
+            // One event per finding; the name is the fault code, the
+            // value the implicated channel (kNoChannel for systemic).
+            for (const HealthFinding& f : out.health.findings) {
+                sink->event(to_string(f.code),
+                            f.channel_specific ? static_cast<int>(f.channel)
+                                               : telemetry::kNoChannel);
+            }
+        }
+
         if (!out.diagnostics.empty()) out.diagnostics += " -> ";
         out.diagnostics += out.health.summary();
 
@@ -99,6 +135,8 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
             out.heading_deg = out.measurement.heading_deg;
             staleness_s_ = 0.0;
             last_good_ = out;
+            if (sink != nullptr) sink->event(status_event(out.status), out.attempts);
+            ladder.set_value(static_cast<std::int64_t>(out.status));
             return out;
         }
         // Failed attempts still consume simulated time toward staleness.
@@ -113,6 +151,8 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
         out.stale = false;
         out.staleness_s = staleness_s_;
         out.diagnostics += " | degraded: single-axis estimate";
+        if (sink != nullptr) sink->event(status_event(out.status), out.attempts);
+        ladder.set_value(static_cast<std::int64_t>(out.status));
         return out;
     }
 
@@ -125,6 +165,8 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
         out.stale = true;
         out.staleness_s = staleness_s_;
         out.diagnostics += " | hold last good";
+        if (sink != nullptr) sink->event(status_event(out.status), out.attempts);
+        ladder.set_value(static_cast<std::int64_t>(out.status));
         return out;
     }
 
@@ -132,6 +174,8 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
     out.stale = true;
     out.staleness_s = staleness_s_;
     out.diagnostics += " | failed";
+    if (sink != nullptr) sink->event(status_event(out.status), out.attempts);
+    ladder.set_value(static_cast<std::int64_t>(out.status));
     return out;
 }
 

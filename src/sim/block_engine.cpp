@@ -14,6 +14,8 @@ BlockEngine::BlockEngine(int block_samples) : block_samples_(block_samples) {
 void BlockEngine::advance(analog::FrontEnd& front_end, analog::Channel channel,
                           int steps, double dt_s, digital::UpDownCounter* counter,
                           double& energy_j) {
+    telemetry::Span span(telemetry_, "engine.block", static_cast<int>(channel));
+    span.set_value(steps);
     const auto ch = static_cast<std::size_t>(channel);
     int done = 0;
     while (done < steps) {

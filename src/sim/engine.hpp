@@ -30,6 +30,7 @@
 #include "analog/front_end.hpp"
 #include "analog/mux.hpp"
 #include "digital/counter.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fxg::sim {
 
@@ -58,6 +59,20 @@ public:
     virtual void advance(analog::FrontEnd& front_end, analog::Channel channel,
                          int steps, double dt_s, digital::UpDownCounter* counter,
                          double& energy_j) = 0;
+
+    /// Attaches a non-owning telemetry sink (nullptr detaches). Each
+    /// advance() is then wrapped in an "engine.scalar" / "engine.block"
+    /// span carrying the step count, so a trace shows exactly which
+    /// substrate every settle/count phase ran on. Instrumentation never
+    /// touches simulation state — the engines' bit-identity contract is
+    /// unaffected (asserted by tests/telemetry_test.cpp).
+    void set_telemetry(telemetry::TelemetrySink* sink) noexcept { telemetry_ = sink; }
+    [[nodiscard]] telemetry::TelemetrySink* telemetry() const noexcept {
+        return telemetry_;
+    }
+
+protected:
+    telemetry::TelemetrySink* telemetry_ = nullptr;  ///< non-owning hook
 };
 
 /// Reference engine: delegates to FrontEnd::step() one sample at a time.

@@ -5,6 +5,8 @@ namespace fxg::sim {
 void ScalarEngine::advance(analog::FrontEnd& front_end, analog::Channel channel,
                            int steps, double dt_s, digital::UpDownCounter* counter,
                            double& energy_j) {
+    telemetry::Span span(telemetry_, "engine.scalar", static_cast<int>(channel));
+    span.set_value(steps);
     const auto ch = static_cast<std::size_t>(channel);
     for (int k = 0; k < steps; ++k) {
         const analog::FrontEndSample s = front_end.step(dt_s);

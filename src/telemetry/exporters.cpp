@@ -1,0 +1,241 @@
+#include "telemetry/exporters.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace fxg::telemetry {
+
+namespace {
+
+std::string json_escape(const char* s) {
+    std::string out;
+    for (const char* p = s; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string format_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+// ---- minimal JSONL field scanner (reads back our own output) --------
+
+/// Returns the raw token after `"key":` in `line`, or empty if absent.
+std::string raw_field(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) return {};
+    std::size_t i = pos + needle.size();
+    if (i < line.size() && line[i] == '"') {  // string value
+        std::string out;
+        for (++i; i < line.size() && line[i] != '"'; ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) ++i;
+            out.push_back(line[i]);
+        }
+        return out;
+    }
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    return line.substr(i, end - i);
+}
+
+std::int64_t int_field(const std::string& line, const std::string& key) {
+    const std::string raw = raw_field(line, key);
+    if (raw.empty()) throw std::runtime_error("trace JSONL: missing field " + key);
+    return std::strtoll(raw.c_str(), nullptr, 10);
+}
+
+double double_field(const std::string& line, const std::string& key) {
+    const std::string raw = raw_field(line, key);
+    if (raw.empty()) throw std::runtime_error("trace JSONL: missing field " + key);
+    return std::strtod(raw.c_str(), nullptr);
+}
+
+}  // namespace
+
+std::string trace_to_jsonl(const TraceSession& session) {
+    std::ostringstream out;
+    for (const SpanRecord& s : session.spans()) {
+        out << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
+            << ",\"name\":\"" << json_escape(s.name) << "\",\"ch\":" << s.channel
+            << ",\"start_ns\":" << s.start_ns << ",\"end_ns\":" << s.end_ns
+            << ",\"seq\":" << s.seq_begin << ",\"value\":" << s.value << "}\n";
+    }
+    for (const EventRecord& e : session.events()) {
+        out << "{\"type\":\"event\",\"parent\":" << e.parent << ",\"name\":\""
+            << json_escape(e.name) << "\",\"t_ns\":" << e.t_ns
+            << ",\"seq\":" << e.seq << ",\"value\":" << format_double(e.value)
+            << "}\n";
+    }
+    return out.str();
+}
+
+ParsedTrace parse_trace_jsonl(const std::string& text) {
+    ParsedTrace trace;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const std::string type = raw_field(line, "type");
+        if (type == "span") {
+            ParsedSpan s;
+            s.id = static_cast<SpanId>(int_field(line, "id"));
+            s.parent = static_cast<SpanId>(int_field(line, "parent"));
+            s.name = raw_field(line, "name");
+            s.channel = static_cast<int>(int_field(line, "ch"));
+            s.start_ns = static_cast<std::uint64_t>(int_field(line, "start_ns"));
+            s.end_ns = static_cast<std::uint64_t>(int_field(line, "end_ns"));
+            s.value = int_field(line, "value");
+            trace.spans.push_back(std::move(s));
+        } else if (type == "event") {
+            ParsedEvent e;
+            e.parent = static_cast<SpanId>(int_field(line, "parent"));
+            e.name = raw_field(line, "name");
+            e.t_ns = static_cast<std::uint64_t>(int_field(line, "t_ns"));
+            e.value = double_field(line, "value");
+            trace.events.push_back(std::move(e));
+        } else {
+            throw std::runtime_error("trace JSONL: unknown record type '" + type +
+                                     "'");
+        }
+    }
+    return trace;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+    std::ostringstream out;
+    std::set<std::string> typed;  // base names that already got a # TYPE line
+    for (const MetricsRegistry::Entry& e : registry.entries()) {
+        const std::string base = e.name.substr(0, e.name.find('{'));
+        const char* kind = e.kind == MetricKind::Counter   ? "counter"
+                           : e.kind == MetricKind::Gauge   ? "gauge"
+                                                           : "histogram";
+        if (typed.insert(base).second) {
+            out << "# TYPE " << base << ' ' << kind << '\n';
+        }
+        switch (e.kind) {
+            case MetricKind::Counter:
+                out << e.name << ' ' << e.counter->value() << '\n';
+                break;
+            case MetricKind::Gauge:
+                out << e.name << ' ' << format_double(e.gauge->value()) << '\n';
+                break;
+            case MetricKind::Histogram: {
+                const Histogram& h = *e.histogram;
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                    cumulative += h.bucket_count(i);
+                    out << base << "_bucket{le=\"" << format_double(h.bounds()[i])
+                        << "\"} " << cumulative << '\n';
+                }
+                out << base << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+                out << base << "_sum " << format_double(h.sum()) << '\n';
+                out << base << "_count " << h.count() << '\n';
+                break;
+            }
+        }
+    }
+    return out.str();
+}
+
+std::string metrics_csv(const MetricsRegistry& registry) {
+    util::CsvWriter csv;
+    std::vector<double> row;
+    for (const MetricsRegistry::Entry& e : registry.entries()) {
+        switch (e.kind) {
+            case MetricKind::Counter:
+                csv.add_column(e.name);
+                row.push_back(static_cast<double>(e.counter->value()));
+                break;
+            case MetricKind::Gauge:
+                csv.add_column(e.name);
+                row.push_back(e.gauge->value());
+                break;
+            case MetricKind::Histogram: {
+                const Histogram& h = *e.histogram;
+                for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                    csv.add_column(e.name + "_le_" + format_double(h.bounds()[i]));
+                    row.push_back(static_cast<double>(h.bucket_count(i)));
+                }
+                csv.add_column(e.name + "_overflow");
+                row.push_back(
+                    static_cast<double>(h.bucket_count(h.bounds().size())));
+                csv.add_column(e.name + "_sum");
+                row.push_back(h.sum());
+                csv.add_column(e.name + "_count");
+                row.push_back(static_cast<double>(h.count()));
+                break;
+            }
+        }
+    }
+    csv.append_row(row);
+    return csv.to_string();
+}
+
+std::vector<BenchRecord> bench_json_records(const MetricsRegistry& registry) {
+    std::vector<BenchRecord> records;
+    for (const MetricsRegistry::Entry& e : registry.entries()) {
+        switch (e.kind) {
+            case MetricKind::Counter:
+                records.push_back(
+                    {e.name, static_cast<double>(e.counter->value()), e.unit});
+                break;
+            case MetricKind::Gauge:
+                records.push_back({e.name, e.gauge->value(), e.unit});
+                break;
+            case MetricKind::Histogram: {
+                const Histogram& h = *e.histogram;
+                const auto count = static_cast<double>(h.count());
+                records.push_back({e.name + "_count", count, "samples"});
+                records.push_back({e.name + "_sum", h.sum(), e.unit});
+                records.push_back(
+                    {e.name + "_mean", count > 0.0 ? h.sum() / count : 0.0, e.unit});
+                break;
+            }
+        }
+    }
+    return records;
+}
+
+std::string bench_json_text(const std::vector<BenchRecord>& records) {
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord& r = records[i];
+        out << "  {\"name\":\"" << json_escape(r.name.c_str())
+            << "\",\"value\":" << format_double(r.value) << ",\"unit\":\""
+            << json_escape(r.unit.c_str()) << "\"}"
+            << (i + 1 < records.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+    return out.str();
+}
+
+void write_bench_json(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("write_bench_json: cannot open " + path);
+    f << bench_json_text(records);
+    if (!f) throw std::runtime_error("write_bench_json: write failed for " + path);
+}
+
+}  // namespace fxg::telemetry

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file exporters.hpp
+/// Render paths out of the telemetry subsystem:
+///
+///   * trace_to_jsonl / parse_trace_jsonl — one JSON object per line
+///     ("type":"span" | "event"), machine round-trippable (the parser
+///     is the same one tests and external tooling use);
+///   * prometheus_text — counters/gauges/histograms in the Prometheus
+///     exposition format (histograms with cumulative `le` buckets,
+///     `_sum` and `_count` series);
+///   * metrics_csv — one column per series via util::CsvWriter;
+///   * BenchRecord / bench_json_records / write_bench_json — the
+///     {name, value, unit} records the BENCH_*.json perf-trajectory
+///     files are made of.
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fxg::telemetry {
+
+// ------------------------------------------------------------ JSONL trace
+
+[[nodiscard]] std::string trace_to_jsonl(const TraceSession& session);
+
+/// A parsed span/event line (names become owned strings).
+struct ParsedSpan {
+    SpanId id = kNoSpan;
+    SpanId parent = kNoSpan;
+    std::string name;
+    int channel = kNoChannel;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::int64_t value = 0;
+};
+
+struct ParsedEvent {
+    SpanId parent = kNoSpan;
+    std::string name;
+    std::uint64_t t_ns = 0;
+    double value = 0.0;
+};
+
+struct ParsedTrace {
+    std::vector<ParsedSpan> spans;
+    std::vector<ParsedEvent> events;
+};
+
+/// Parses text produced by trace_to_jsonl. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] ParsedTrace parse_trace_jsonl(const std::string& text);
+
+// ------------------------------------------------------------ metrics
+
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+/// One row of values, one column per series (histograms expand to one
+/// column per bucket plus _sum/_count).
+[[nodiscard]] std::string metrics_csv(const MetricsRegistry& registry);
+
+// ------------------------------------------------------------ bench JSON
+
+/// One machine-readable bench data point.
+struct BenchRecord {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+};
+
+/// Flattens a registry into bench records (counters and gauges as-is;
+/// histograms as _count, _sum and _mean).
+[[nodiscard]] std::vector<BenchRecord> bench_json_records(
+    const MetricsRegistry& registry);
+
+/// Renders records as a JSON array, one record per line.
+[[nodiscard]] std::string bench_json_text(const std::vector<BenchRecord>& records);
+
+/// Writes bench_json_text to a file; throws std::runtime_error on
+/// failure.
+void write_bench_json(const std::string& path,
+                      const std::vector<BenchRecord>& records);
+
+}  // namespace fxg::telemetry

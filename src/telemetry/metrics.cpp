@@ -1,0 +1,101 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fxg::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (bounds_.empty()) {
+        throw std::invalid_argument("Histogram: needs at least one bucket bound");
+    }
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+        throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double x) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const auto i = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is C++20; relaxed is fine — exporters
+    // only need eventual consistency of the running sum.
+    sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
+    if (i > bounds_.size()) return 0;
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Slot& MetricsRegistry::find_or_create(const std::string& name,
+                                                       MetricKind kind,
+                                                       const std::string& unit,
+                                                       std::vector<double>* bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+        Slot& slot = *slots_[it->second];
+        if (slot.kind != kind) {
+            throw std::invalid_argument("MetricsRegistry: '" + name +
+                                        "' already registered with another kind");
+        }
+        return slot;
+    }
+    auto slot = std::make_unique<Slot>();
+    slot->name = name;
+    slot->unit = unit;
+    slot->kind = kind;
+    switch (kind) {
+        case MetricKind::Counter: slot->counter = std::make_unique<Counter>(); break;
+        case MetricKind::Gauge: slot->gauge = std::make_unique<Gauge>(); break;
+        case MetricKind::Histogram:
+            slot->histogram = std::make_unique<Histogram>(std::move(*bounds));
+            break;
+    }
+    index_.emplace(name, slots_.size());
+    slots_.push_back(std::move(slot));
+    return *slots_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& unit) {
+    return *find_or_create(name, MetricKind::Counter, unit, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& unit) {
+    return *find_or_create(name, MetricKind::Gauge, unit, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& unit) {
+    return *find_or_create(name, MetricKind::Histogram, unit, &bounds).histogram;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry> out;
+    out.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+        Entry e;
+        e.name = slot->name;
+        e.unit = slot->unit;
+        e.kind = slot->kind;
+        e.counter = slot->counter.get();
+        e.gauge = slot->gauge.get();
+        e.histogram = slot->histogram.get();
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+}  // namespace fxg::telemetry

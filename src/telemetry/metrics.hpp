@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named-metric registry: counters (monotone), gauges (last value) and
+/// fixed-bucket histograms, each carrying an optional unit string for
+/// the machine-readable bench exports. Registration is mutex-guarded
+/// and idempotent (same name returns the same instrument); updates are
+/// lock-free atomics, so a fleet's worker threads can feed one registry
+/// concurrently. Instruments have stable addresses for the lifetime of
+/// the registry — callers may cache the returned references.
+///
+/// Export paths (exporters.hpp): Prometheus text, CSV via util/csv and
+/// the {name, value, unit} JSON records the BENCH_*.json trajectory
+/// files are built from.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fxg::telemetry {
+
+/// Monotone event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value.
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of
+/// the finite buckets (must be strictly increasing); one overflow
+/// bucket (+Inf) is implicit. observe() is lock-free.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x) noexcept;
+
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+        return bounds_;
+    }
+    /// Per-bucket (non-cumulative) count; index bounds().size() is the
+    /// overflow bucket.
+    [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept;
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds+1 slots
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// What kind of instrument a registry entry is.
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// The registry. Lookup-or-create by name; re-registering a name with a
+/// different kind throws std::invalid_argument.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name, const std::string& unit = "");
+    Gauge& gauge(const std::string& name, const std::string& unit = "");
+    Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                         const std::string& unit = "");
+
+    /// One registered instrument, for exporters. Exactly one of the
+    /// three pointers is non-null, matching `kind`.
+    struct Entry {
+        std::string name;
+        std::string unit;
+        MetricKind kind = MetricKind::Counter;
+        const Counter* counter = nullptr;
+        const Gauge* gauge = nullptr;
+        const Histogram* histogram = nullptr;
+    };
+
+    /// Entries in registration order (stable across export calls).
+    [[nodiscard]] std::vector<Entry> entries() const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    struct Slot {
+        std::string name;
+        std::string unit;
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Slot& find_or_create(const std::string& name, MetricKind kind,
+                         const std::string& unit,
+                         std::vector<double>* bounds);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Slot>> slots_;  ///< registration order
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace fxg::telemetry

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file probes.hpp
+/// PhysicsProbes: the sink that turns raw telemetry into the metrics
+/// catalogue. Every MeasurementSample a Compass emits is folded into a
+/// MetricsRegistry:
+///
+///   counters    fxg_measurements_total, fxg_out_of_range_total and one
+///               fxg_event_<name>_total per distinct event (supervisor
+///               retries, health findings, ladder transitions);
+///   gauges      raw counts, duty cycle, pulse-position shift, valid
+///               fraction (per axis), CORDIC residual/rotations,
+///               heading, energy, per-member latency;
+///   histograms  fxg_measure_latency_seconds (wall-clock cost of a
+///               measure) and fxg_count_abs (|raw counts|, transfer-law
+///               full scale is ~2097 at the design point).
+///
+/// The probe layer deliberately takes only plain numbers (see
+/// MeasurementSample) — it has no view of the pipeline objects, so it
+/// sits below core/fault in the dependency order and any component can
+/// feed it.
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+
+namespace fxg::telemetry {
+
+class PhysicsProbes final : public TelemetrySink {
+public:
+    /// The registry must outlive the probes.
+    explicit PhysicsProbes(MetricsRegistry& registry);
+
+    /// Probes do not trace; spans pass through unrecorded.
+    SpanId begin_span(const char* name, int channel) override;
+    void end_span(SpanId id, std::int64_t value) override;
+
+    /// Each distinct event name gets a counter fxg_event_<name>_total
+    /// (dots mapped to underscores) plus a last-value gauge
+    /// fxg_event_<name>.
+    void event(const char* name, double value) override;
+
+    void on_sample(const MeasurementSample& sample) override;
+
+private:
+    MetricsRegistry& registry_;
+
+    // Hot instruments resolved once at construction (registry lookups
+    // take a lock; sample folding should not).
+    Counter& measurements_;
+    Counter& out_of_range_;
+    Gauge& count_raw_x_;
+    Gauge& count_raw_y_;
+    Gauge& duty_x_;
+    Gauge& duty_y_;
+    Gauge& pulse_shift_x_;
+    Gauge& pulse_shift_y_;
+    Gauge& valid_fraction_x_;
+    Gauge& valid_fraction_y_;
+    Gauge& cordic_rotations_;
+    Gauge& cordic_residual_deg_;
+    Gauge& heading_deg_;
+    Gauge& energy_j_;
+    Histogram& latency_;
+    Histogram& count_abs_;
+
+    std::mutex event_mutex_;
+    struct EventInstruments {
+        Counter* total;
+        Gauge* last;
+    };
+    std::unordered_map<std::string, EventInstruments> event_cache_;
+    std::mutex member_mutex_;
+    std::unordered_map<int, Gauge*> member_latency_;
+};
+
+}  // namespace fxg::telemetry

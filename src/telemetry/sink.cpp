@@ -1,0 +1,40 @@
+#include "telemetry/sink.hpp"
+
+namespace fxg::telemetry {
+
+TeeSink::TeeSink(std::vector<TelemetrySink*> children)
+    : children_(std::move(children)) {}
+
+SpanId TeeSink::begin_span(const char* name, int channel) {
+    std::vector<SpanId> child_ids;
+    child_ids.reserve(children_.size());
+    for (TelemetrySink* c : children_) child_ids.push_back(c->begin_span(name, channel));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SpanId id = next_id_++;
+    open_.emplace(id, std::move(child_ids));
+    return id;
+}
+
+void TeeSink::end_span(SpanId id, std::int64_t value) {
+    std::vector<SpanId> child_ids;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = open_.find(id);
+        if (it == open_.end()) return;
+        child_ids = std::move(it->second);
+        open_.erase(it);
+    }
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        children_[i]->end_span(child_ids[i], value);
+    }
+}
+
+void TeeSink::event(const char* name, double value) {
+    for (TelemetrySink* c : children_) c->event(name, value);
+}
+
+void TeeSink::on_sample(const MeasurementSample& sample) {
+    for (TelemetrySink* c : children_) c->on_sample(sample);
+}
+
+}  // namespace fxg::telemetry

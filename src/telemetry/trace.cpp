@@ -1,0 +1,86 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace fxg::telemetry {
+
+TraceSession::TraceSession() : t0_(Clock::now()) {}
+
+std::uint64_t TraceSession::now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0_)
+            .count());
+}
+
+SpanId TraceSession::begin_span(const char* name, int channel) {
+    const std::uint64_t t = now_ns();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& stack = stacks_[std::this_thread::get_id()];
+    SpanRecord rec;
+    rec.id = static_cast<SpanId>(spans_.size() + 1);
+    rec.parent = stack.empty() ? kNoSpan : stack.back();
+    rec.name = name;
+    rec.channel = channel;
+    rec.start_ns = t;
+    rec.seq_begin = ++seq_;
+    spans_.push_back(rec);
+    stack.push_back(rec.id);
+    return rec.id;
+}
+
+void TraceSession::end_span(SpanId id, std::int64_t value) {
+    const std::uint64_t t = now_ns();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id == kNoSpan || id > spans_.size()) return;
+    SpanRecord& rec = spans_[id - 1];
+    rec.end_ns = std::max(t, rec.start_ns);
+    rec.seq_end = ++seq_;
+    rec.value = value;
+    // Pop the opening thread's stack down through this span. A span that
+    // is not on the caller's stack (ended out of order / from another
+    // thread) is closed in place without disturbing any stack.
+    auto& stack = stacks_[std::this_thread::get_id()];
+    const auto it = std::find(stack.begin(), stack.end(), id);
+    if (it != stack.end()) stack.erase(it, stack.end());
+}
+
+void TraceSession::event(const char* name, double value) {
+    const std::uint64_t t = now_ns();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& stack = stacks_[std::this_thread::get_id()];
+    EventRecord rec;
+    rec.parent = stack.empty() ? kNoSpan : stack.back();
+    rec.name = name;
+    rec.t_ns = t;
+    rec.seq = ++seq_;
+    rec.value = value;
+    events_.push_back(rec);
+}
+
+void TraceSession::on_sample(const MeasurementSample&) {}
+
+std::vector<SpanRecord> TraceSession::spans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::vector<EventRecord> TraceSession::events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::size_t TraceSession::span_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void TraceSession::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    events_.clear();
+    stacks_.clear();
+    seq_ = 0;
+    t0_ = Clock::now();
+}
+
+}  // namespace fxg::telemetry

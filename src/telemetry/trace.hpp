@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file trace.hpp
+/// TraceSession: the span-recording TelemetrySink. Collects parent/child
+/// nested spans and instantaneous events with monotonic nanosecond
+/// timestamps (relative to session start) plus a global sequence number
+/// for deterministic ordering. Thread-safe: one session can be shared
+/// by a whole CompassFleet — nesting is tracked per calling thread, so
+/// concurrent members produce independent, correctly-nested trees.
+///
+/// Export paths: exporters.hpp renders a session as JSONL (one span or
+/// event per line, parse-back provided for tests/tooling) and
+/// vcd_bridge.hpp renders it as a VCD waveform through the existing
+/// rtl::VcdRecorder.
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/sink.hpp"
+
+namespace fxg::telemetry {
+
+/// One recorded span. `end_ns == 0 && seq_end == 0` marks a span still
+/// open (snapshot taken mid-measurement).
+struct SpanRecord {
+    SpanId id = kNoSpan;
+    SpanId parent = kNoSpan;   ///< enclosing span on the opening thread
+    const char* name = "";     ///< string literal supplied at the call site
+    int channel = kNoChannel;  ///< 0 = x, 1 = y, kNoChannel = systemic
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t seq_begin = 0;  ///< global begin order (deterministic)
+    std::uint64_t seq_end = 0;
+    std::int64_t value = 0;       ///< payload reported at end_span
+};
+
+/// One recorded event.
+struct EventRecord {
+    SpanId parent = kNoSpan;  ///< innermost open span of the calling thread
+    const char* name = "";
+    std::uint64_t t_ns = 0;
+    std::uint64_t seq = 0;
+    double value = 0.0;
+};
+
+/// Span/event recorder.
+class TraceSession final : public TelemetrySink {
+public:
+    TraceSession();
+
+    SpanId begin_span(const char* name, int channel) override;
+    void end_span(SpanId id, std::int64_t value) override;
+    void event(const char* name, double value) override;
+    /// Samples are the probe layer's concern; a trace ignores them.
+    void on_sample(const MeasurementSample& sample) override;
+
+    /// Snapshot of the records so far (copies under the lock, safe
+    /// while other threads keep tracing).
+    [[nodiscard]] std::vector<SpanRecord> spans() const;
+    [[nodiscard]] std::vector<EventRecord> events() const;
+    [[nodiscard]] std::size_t span_count() const;
+
+    /// Drops all records and restarts ids, sequence numbers and the
+    /// timestamp origin.
+    void clear();
+
+private:
+    [[nodiscard]] std::uint64_t now_ns() const;
+
+    mutable std::mutex mutex_;
+    Clock::time_point t0_;
+    std::vector<SpanRecord> spans_;    ///< index = id - 1
+    std::vector<EventRecord> events_;
+    std::unordered_map<std::thread::id, std::vector<SpanId>> stacks_;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace fxg::telemetry

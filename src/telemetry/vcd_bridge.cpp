@@ -1,0 +1,97 @@
+#include "telemetry/vcd_bridge.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+#include "rtl/vcd.hpp"
+
+namespace fxg::telemetry {
+
+namespace {
+
+/// Wire name for a span/event kind: "count" + channel 0 -> "count_x".
+std::string wire_name(const char* name, int channel) {
+    std::string s(name);
+    std::replace(s.begin(), s.end(), '.', '_');
+    if (channel == 0) s += "_x";
+    if (channel == 1) s += "_y";
+    return s;
+}
+
+struct Interval {
+    std::uint64_t start_ns;
+    std::uint64_t end_ns;
+};
+
+/// Sorts and coalesces overlapping/adjacent intervals so each wire gets
+/// a clean alternating 1/0 schedule (back-to-back spans of the same
+/// kind would otherwise race on the shared transition instant).
+std::vector<Interval> coalesce(std::vector<Interval> intervals) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                  return a.start_ns < b.start_ns;
+              });
+    std::vector<Interval> out;
+    for (const Interval& iv : intervals) {
+        if (!out.empty() && iv.start_ns <= out.back().end_ns) {
+            out.back().end_ns = std::max(out.back().end_ns, iv.end_ns);
+        } else {
+            out.push_back(iv);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string trace_to_vcd(const TraceSession& session) {
+    // Group span/event occupancy per wire, in first-appearance order so
+    // the VCD variable list mirrors the trace.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<Interval>> wires;
+    auto add = [&](const std::string& wire, std::uint64_t start_ns,
+                   std::uint64_t end_ns) {
+        auto [it, inserted] = wires.try_emplace(wire);
+        if (inserted) order.push_back(wire);
+        // Zero-length occupancy still deserves a visible blip.
+        it->second.push_back({start_ns, std::max(end_ns, start_ns + 1)});
+    };
+
+    for (const SpanRecord& s : session.spans()) {
+        const std::uint64_t end = s.end_ns != 0 ? s.end_ns : s.start_ns + 1;
+        add(wire_name(s.name, s.channel), s.start_ns, end);
+    }
+    for (const EventRecord& e : session.events()) {
+        add(wire_name(e.name, kNoChannel), e.t_ns, e.t_ns + 1);
+    }
+
+    rtl::Kernel kernel;
+    std::vector<rtl::SignalId> signals;
+    std::uint64_t t_max_ns = 0;
+    for (const std::string& wire : order) {
+        const rtl::SignalId id = kernel.create_signal(wire, rtl::Logic::L0);
+        signals.push_back(id);
+        for (const Interval& iv : coalesce(wires[wire])) {
+            kernel.schedule(id, rtl::Logic::L1, iv.start_ns * rtl::kNs);
+            kernel.schedule(id, rtl::Logic::L0, iv.end_ns * rtl::kNs);
+            t_max_ns = std::max(t_max_ns, iv.end_ns);
+        }
+    }
+
+    rtl::VcdRecorder vcd(kernel, signals);
+    kernel.run_until((t_max_ns + 1) * rtl::kNs);
+    return vcd.to_string();
+}
+
+void write_trace_vcd(const TraceSession& session, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("write_trace_vcd: cannot open " + path);
+    f << trace_to_vcd(session);
+    if (!f) throw std::runtime_error("write_trace_vcd: write failed for " + path);
+}
+
+}  // namespace fxg::telemetry

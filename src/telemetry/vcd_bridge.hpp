@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file vcd_bridge.hpp
+/// Bridges a recorded TraceSession onto the digital-waveform tooling
+/// that already exists in src/rtl: every distinct (span name, channel)
+/// pair becomes one wire that is high while a span of that kind is
+/// open, the transitions are replayed through an rtl::Kernel, and the
+/// existing VcdRecorder renders the result — so a traced measure() can
+/// be opened next to the compass's RTL dumps in any waveform viewer
+/// (gtkwave etc.). Events become 1 ns pulses on their own wires.
+///
+/// Trace timestamps are nanoseconds; the kernel runs in picoseconds, so
+/// the VCD timescale is the recorder's native 1 ps.
+
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace fxg::telemetry {
+
+/// Renders the session's spans and events as VCD text.
+[[nodiscard]] std::string trace_to_vcd(const TraceSession& session);
+
+/// Writes trace_to_vcd to a file; throws std::runtime_error on failure.
+void write_trace_vcd(const TraceSession& session, const std::string& path);
+
+}  // namespace fxg::telemetry

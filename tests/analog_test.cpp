@@ -301,6 +301,50 @@ TEST(FrontEnd, SimultaneousModeServesBothChannels) {
     EXPECT_TRUE(s.valid[1]);
 }
 
+TEST(FrontEnd, StreamStatsSnapshotSurvivesWindowReset) {
+    FrontEnd fe;
+    fe.set_field(Channel::X, 15.0);
+    const double dt = 125e-6 / 2048;
+    for (int i = 0; i < 4 * 2048; ++i) fe.step(dt);
+
+    const StreamStats& live = fe.stream_stats(Channel::X);
+    EXPECT_EQ(live.samples, 4u * 2048u);
+    EXPECT_GT(live.valid_samples, 0u);
+    EXPECT_GT(live.edges, 0u);
+    EXPECT_GT(live.duty(), 0.0);
+    EXPECT_LT(live.duty(), 1.0);
+    // pulse_shift is duty re-centred on the no-field point.
+    EXPECT_DOUBLE_EQ(live.pulse_shift(), live.duty() - 0.5);
+    EXPECT_NEAR(live.valid_fraction(),
+                static_cast<double>(live.valid_samples) /
+                    static_cast<double>(live.samples),
+                1e-12);
+
+    // A snapshot is a copy at this instant...
+    const StreamStatsSnapshot snap = fe.snapshot();
+    EXPECT_EQ(snap[Channel::X].samples, live.samples);
+    EXPECT_EQ(snap[Channel::X].high_samples, live.high_samples);
+    EXPECT_EQ(snap[Channel::X].edges, live.edges);
+    EXPECT_DOUBLE_EQ(snap[Channel::X].duty(), live.duty());
+
+    // ...so it survives the window reset that zeroes the live stats.
+    fe.reset_window();
+    EXPECT_EQ(fe.stream_stats(Channel::X).samples, 0u);
+    EXPECT_EQ(fe.stream_stats(Channel::X).edges, 0u);
+    EXPECT_EQ(snap[Channel::X].samples, 4u * 2048u);
+
+    // The reset also clears the edge-detector memory: the first sample
+    // of the new window must not pair with the last one of the old, so
+    // one step can contribute at most zero edges.
+    fe.step(dt);
+    EXPECT_EQ(fe.stream_stats(Channel::X).edges, 0u);
+
+    // And a fresh window accumulates the same statistics as the first
+    // (the oscillator keeps running, so duty matches to a tolerance).
+    for (int i = 1; i < 4 * 2048; ++i) fe.step(dt);
+    EXPECT_NEAR(fe.stream_stats(Channel::X).duty(), snap[Channel::X].duty(), 0.02);
+}
+
 TEST(FrontEnd, MultiplexedInvalidWhileSettling) {
     FrontEndConfig cfg;
     cfg.mux_settle_s = 50e-6;
