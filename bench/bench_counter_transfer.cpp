@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/compass.hpp"
+#include "harness.hpp"
 #include "magnetics/units.hpp"
 #include "util/statistics.hpp"
 #include "util/strings.hpp"
@@ -17,20 +17,11 @@
 
 using namespace fxg;
 
-namespace {
-
-std::int64_t counts_at(compass::Compass& compass, double h_a_per_m) {
-    compass.set_axis_fields(h_a_per_m, 0.0);
-    return compass.measure().count_x;
-}
-
-}  // namespace
-
 int main() {
     std::puts("=== CNT1: up/down counter transfer (paper section 4) ===\n");
 
     compass::CompassConfig cfg;
-    compass::Compass compass(cfg);
+    bench::PlanRunner runner(cfg);
     const double ha = cfg.front_end.oscillator.amplitude_a *
                       cfg.front_end.sensor.field_per_amp();
     const double t_period = 1.0 / cfg.front_end.oscillator.frequency_hz;
@@ -42,7 +33,7 @@ int main() {
     std::vector<double> xs;
     std::vector<double> ys;
     for (double h : {-20.0, -15.0, -10.0, -5.0, -2.0, 0.0, 2.0, 5.0, 10.0, 15.0, 20.0}) {
-        const auto c = counts_at(compass, h);
+        const auto c = runner.count_x_at(h);
         const double theory = slope_theory * h;
         table.add_row_values({h, static_cast<double>(c), theory,
                               static_cast<double>(c) - theory},
@@ -63,8 +54,8 @@ int main() {
     for (int periods : {1, 2, 4, 8, 16, 32}) {
         compass::CompassConfig c2;
         c2.periods_per_axis = periods;
-        compass::Compass cp(c2);
-        const auto count = counts_at(cp, 10.0);
+        bench::PlanRunner rp(c2);
+        const auto count = rp.count_x_at(10.0);
         const double per_apm = static_cast<double>(count) / 10.0;
         // One count out of the full-scale radius (15 A/m here) in angle.
         const double quant_deg = 57.2958 / (per_apm * 15.0);
@@ -79,9 +70,9 @@ int main() {
     for (double f : {1.048576e6, 2.097152e6, 4.194304e6, 8.388608e6}) {
         compass::CompassConfig c3;
         c3.counter_clock_hz = f;
-        compass::Compass cp(c3);
+        bench::PlanRunner rp(c3);
         clk.add_row({util::format("%.6f", f / 1e6),
-                     std::to_string(counts_at(cp, 10.0)),
+                     std::to_string(rp.count_x_at(10.0)),
                      f == 4.194304e6 ? "<- paper's clock (2^22 Hz)" : ""});
     }
     clk.print();

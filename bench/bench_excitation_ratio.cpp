@@ -9,8 +9,7 @@
 
 #include <cstdio>
 
-#include "core/compass.hpp"
-#include "core/error_analysis.hpp"
+#include "harness.hpp"
 #include "magnetics/units.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -32,8 +31,8 @@ int main() {
         const double hk = cfg.front_end.sensor.hk_a_per_m;
         cfg.front_end.oscillator.amplitude_a =
             ratio * hk / cfg.front_end.sensor.field_per_amp();
-        compass::Compass compass(cfg);
-        const compass::HeadingSweep sweep = compass::sweep_heading(compass, field, 15.0);
+        bench::PlanRunner runner(cfg);
+        const compass::HeadingSweep sweep = runner.sweep_heading(field, 15.0);
         // Sensitivity from the transfer law at this amplitude.
         const double counts_per_apm =
             cfg.counter_clock_hz * cfg.periods_per_axis *

@@ -14,8 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/compass.hpp"
-#include "core/error_analysis.hpp"
+#include "harness.hpp"
 #include "magnetics/units.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -34,10 +33,9 @@ double max_err(double noise_rms_v, int periods, bool scaled_hysteresis,
         cfg.front_end.detector.comparator_hysteresis_v =
             std::max(2e-3, 8.0 * noise_rms_v);
     }
-    compass::Compass compass(cfg);
+    bench::PlanRunner runner(cfg);
     const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
-    const compass::HeadingSweep sweep = compass::sweep_heading(compass, field, 30.0);
-    return sweep.error_stats.max_abs();
+    return runner.max_abs_error_deg(field, 30.0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/compass.hpp"
@@ -228,30 +229,42 @@ void write_perf_json() {
             .set(engine_ms[0] / engine_ms[1]);
     }
 
-    // Fleet throughput at full hardware concurrency; per-member latency
-    // gauges land in the registry through the member-stamped samples.
-    constexpr int kFleet = 8;
-    compass::CompassFleet fleet(kFleet);
-    std::vector<double> headings;
-    for (int i = 0; i < kFleet; ++i) headings.push_back(i * 45.0 + 3.0);
-    fleet.set_environments(field, headings);
-    fleet.set_telemetry(&probes);
-    static_cast<void>(fleet.measure_all(0));  // warm-up
-    const auto t0 = telemetry::Clock::now();
-    constexpr int kFleetReps = 5;
-    for (int r = 0; r < kFleetReps; ++r) static_cast<void>(fleet.measure_all(0));
-    const double elapsed =
-        std::chrono::duration<double>(telemetry::Clock::now() - t0).count();
-    fleet.set_telemetry(nullptr);
-    registry.gauge("fxg_fleet_measurements_per_s", "1/s")
-        .set(kFleetReps * kFleet / elapsed);
+    // Fleet throughput at full hardware concurrency, at both ends of the
+    // batch-size range: N=8 is dominated by dispatch overhead (where the
+    // persistent TaskPool earns its keep vs per-batch threads), N=64 by
+    // the simulation itself. Per-member latency gauges land in the
+    // registry through the member-stamped samples of the small fleet.
+    double fleet_meas_per_s = 0.0;
+    for (const int fleet_n : {8, 64}) {
+        compass::CompassFleet fleet(fleet_n);
+        std::vector<double> headings;
+        for (int i = 0; i < fleet_n; ++i) headings.push_back(i * 45.0 + 3.0);
+        fleet.set_environments(field, headings);
+        if (fleet_n == 8) fleet.set_telemetry(&probes);
+        static_cast<void>(fleet.measure_all(0));  // warm-up
+        const auto t0 = telemetry::Clock::now();
+        const int reps = fleet_n <= 8 ? 5 : 2;
+        for (int r = 0; r < reps; ++r) static_cast<void>(fleet.measure_all(0));
+        const double elapsed =
+            std::chrono::duration<double>(telemetry::Clock::now() - t0).count();
+        fleet.set_telemetry(nullptr);
+        const double rate = reps * fleet_n / elapsed;
+        registry
+            .gauge("fxg_fleet_n" + std::to_string(fleet_n) + "_measurements_per_s",
+                   "1/s")
+            .set(rate);
+        if (fleet_n == 8) {
+            fleet_meas_per_s = rate;  // historic headline gauge: the N=8 batch
+            registry.gauge("fxg_fleet_measurements_per_s", "1/s").set(rate);
+        }
+    }
 
     telemetry::write_bench_json("BENCH_perf.json",
                                 telemetry::bench_json_records(registry));
-    std::printf("\nscalar %.3f ms, block %.3f ms (%.2fx), fleet %.1f meas/s\n",
+    std::printf("\nscalar %.3f ms, block %.3f ms (%.2fx), fleet(n=8) %.1f meas/s\n",
                 engine_ms[0], engine_ms[1],
                 engine_ms[1] > 0.0 ? engine_ms[0] / engine_ms[1] : 0.0,
-                kFleetReps * kFleet / elapsed);
+                fleet_meas_per_s);
     std::puts("wrote BENCH_perf.json");
 }
 

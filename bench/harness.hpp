@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file harness.hpp
+/// Shared sweep scaffolding for the experiment benches, built on the
+/// measurement-plan API (core/plan.hpp). Before PR 4 every sweep bench
+/// re-stated the same loop — build a Compass from a tweaked config,
+/// rotate it through headings or fields, collect statistics. A
+/// PlanRunner owns one configured compass plus a PlanExecutor and
+/// exposes the three sweep shapes the benches actually use, each point
+/// being one execution of the compass's compiled plan.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compass.hpp"
+#include "core/error_analysis.hpp"
+#include "core/plan.hpp"
+#include "magnetics/earth_field.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::bench {
+
+/// One configured compass, measured point by point through its
+/// compiled plan.
+class PlanRunner {
+public:
+    explicit PlanRunner(const compass::CompassConfig& config)
+        : compass_(config), executor_(compass_) {}
+
+    [[nodiscard]] compass::Compass& compass() noexcept { return compass_; }
+
+    /// One plan execution at the compass's current environment.
+    compass::Measurement measure() { return executor_.run(compass_.plan()); }
+
+    /// Counter transfer point: count_x with the field applied entirely
+    /// on the x axis.
+    std::int64_t count_x_at(double h_a_per_m) {
+        compass_.set_axis_fields(h_a_per_m, 0.0);
+        return measure().count_x;
+    }
+
+    /// Rotates the compass through headings 0, step, ... < 360 in
+    /// `field`, one plan execution per heading, and returns the error
+    /// statistics that decide the paper's one-degree claim.
+    compass::HeadingSweep sweep_heading(const magnetics::EarthField& field,
+                                        double step_deg) {
+        compass::HeadingSweep sweep;
+        for (double heading = 0.0; heading < 360.0 - 1e-9; heading += step_deg) {
+            compass_.set_environment(field, heading);
+            const compass::Measurement m = measure();
+            compass::SweepPoint p;
+            p.true_heading_deg = util::wrap_deg_360(heading);
+            p.measured_deg = m.heading_deg;
+            p.measured_float_deg = m.heading_float_deg;
+            p.error_deg = util::angular_diff_deg(m.heading_deg, heading);
+            p.in_range = m.field_in_range;
+            sweep.error_stats.add(p.error_deg);
+            sweep.float_error_stats.add(
+                util::angular_diff_deg(m.heading_float_deg, heading));
+            sweep.points.push_back(p);
+        }
+        return sweep;
+    }
+
+    /// Worst |heading error| of a sweep — the single number most
+    /// ablation tables report per configuration.
+    double max_abs_error_deg(const magnetics::EarthField& field, double step_deg) {
+        return sweep_heading(field, step_deg).error_stats.max_abs();
+    }
+
+private:
+    compass::Compass compass_;
+    compass::PlanExecutor executor_;
+};
+
+}  // namespace fxg::bench

@@ -276,7 +276,7 @@ void FrontEnd::reset() {
     if (mux_stuck_ && config_.mode == FrontEndMode::Multiplexed) {
         mux_.select(mux_stuck_channel_);
     }
-    clear_stream_stats();
+    reset_window();
 }
 
 }  // namespace fxg::analog

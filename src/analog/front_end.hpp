@@ -235,9 +235,6 @@ public:
     /// measurement, not just the first.
     void reset_window() noexcept;
 
-    /// Historic name of reset_window() (kept for call-site compat).
-    void clear_stream_stats() noexcept { reset_window(); }
-
     /// Mutable stage access for parametric fault injection.
     [[nodiscard]] TriangleOscillator& oscillator() noexcept { return oscillator_; }
     [[nodiscard]] PulsePositionDetector& detector(Channel ch) noexcept {

@@ -3,8 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "util/angle.hpp"
-
 namespace fxg::compass {
 
 Compass::Compass(const CompassConfig& config)
@@ -19,6 +17,7 @@ Compass::Compass(const CompassConfig& config)
     if (config.steps_per_period < 64) {
         throw std::invalid_argument("Compass: steps_per_period must be >= 64");
     }
+    plan_ = compile_plan(config_);
 }
 
 void Compass::set_environment(const magnetics::EarthField& field, double heading_deg) {
@@ -31,132 +30,8 @@ void Compass::set_axis_fields(double hx_a_per_m, double hy_a_per_m) {
     front_end_.set_field(analog::Channel::Y, hy_a_per_m);
 }
 
-std::int64_t Compass::integrate_axis(analog::Channel channel, double dt,
-                                     Measurement& m) {
-    const int ch = static_cast<int>(channel);
-    telemetry::Span axis(telemetry_, "axis", ch);
-    {
-        // Excite: route the excitation onto this channel (the per-axis
-        // power-up the control logic performs before the mux settles).
-        telemetry::Span excite(telemetry_, "excite", ch);
-        front_end_.select(channel);
-    }
-    const int settle_steps = config_.settle_periods * config_.steps_per_period;
-    const int count_steps = config_.periods_per_axis * config_.steps_per_period;
-    // Settle (counter deaf), then count — one engine loop, two phases.
-    {
-        telemetry::Span settle(telemetry_, "settle", ch);
-        settle.set_value(settle_steps);
-        engine_->advance(front_end_, channel, settle_steps, dt, nullptr, m.energy_j);
-    }
-    counter_.clear();
-    std::int64_t count;
-    {
-        telemetry::Span count_span(telemetry_, "count", ch);
-        engine_->advance(front_end_, channel, count_steps, dt, &counter_,
-                         m.energy_j);
-        count = counter_.count();
-        count_span.set_value(count);
-    }
-    m.duration_s += (settle_steps + count_steps) * dt;
-    axis.set_value(count);
-    return count;
-}
-
 Measurement Compass::measure() {
-    Measurement m;
-    const double period = 1.0 / config_.front_end.oscillator.frequency_hz;
-    const double dt = period / config_.steps_per_period;
-
-    // Wall-clock latency is only metered while someone listens — the
-    // disabled path must not even read a clock.
-    const bool traced = telemetry_ != nullptr;
-    const telemetry::Clock::time_point wall_start =
-        traced ? telemetry::Clock::now() : telemetry::Clock::time_point{};
-    telemetry::Span root(telemetry_, "measure");
-
-    // Fresh observation window: the front-end stream statistics (used by
-    // the fault subsystem's health checks and the telemetry probes)
-    // describe exactly this measurement.
-    front_end_.reset_window();
-
-    // Range check: the pulse-position method needs cleanly separated
-    // pulses, i.e. the core must pass well beyond its knee in both
-    // directions on each axis: |H_ext| + margin * Hk < Ha.
-    const double ha = config_.front_end.oscillator.amplitude_a *
-                      config_.front_end.sensor.field_per_amp();
-    const double hk = config_.front_end.sensor.hk_a_per_m;
-    for (auto ch : {analog::Channel::X, analog::Channel::Y}) {
-        const double h = front_end_.sensor(ch).external_field();
-        if (std::fabs(h) + config_.saturation_margin * hk >= ha) {
-            m.field_in_range = false;
-        }
-    }
-
-    if (config_.power_gating) front_end_.enable(true);
-    counter_.enable(true);
-
-    const std::int64_t raw_x = integrate_axis(analog::Channel::X, dt, m);
-    const std::int64_t raw_y = integrate_axis(analog::Channel::Y, dt, m);
-    m.count_x = raw_x - calibration_.offset_x;
-    m.count_y = raw_y - calibration_.offset_y;
-    // Soft-iron correction: rescale y into the circular domain the
-    // arctan assumes (rounded back to the integer counts the hardware
-    // datapath would carry).
-    if (calibration_.scale_y != 1.0) {
-        m.count_y = static_cast<std::int64_t>(
-            std::llround(static_cast<double>(m.count_y) * calibration_.scale_y));
-    }
-
-    counter_.enable(false);
-    if (config_.power_gating) front_end_.enable(false);
-
-    digital::CordicResult cordic_detail;
-    {
-        telemetry::Span cordic_span(telemetry_, "cordic");
-        m.heading_deg = cordic_.heading_deg(m.count_x, m.count_y,
-                                            traced ? &cordic_detail : nullptr);
-        cordic_span.set_value(cordic_detail.rotations);
-    }
-    m.heading_float_deg = magnetics::EarthField::heading_from_components(
-        static_cast<double>(m.count_x), static_cast<double>(m.count_y));
-    m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
-
-    display_.show_direction(m.heading_deg);
-    watch_.tick(static_cast<std::uint64_t>(
-        std::llround(m.duration_s * config_.counter_clock_hz)));
-
-    if (traced) {
-        const analog::StreamStatsSnapshot stats = front_end_.snapshot();
-        const analog::StreamStats& sx = stats[analog::Channel::X];
-        const analog::StreamStats& sy = stats[analog::Channel::Y];
-        telemetry::MeasurementSample s;
-        s.member = telemetry_member_;
-        s.raw_count_x = raw_x;
-        s.raw_count_y = raw_y;
-        s.count_x = m.count_x;
-        s.count_y = m.count_y;
-        s.duty_x = sx.duty();
-        s.duty_y = sy.duty();
-        s.pulse_shift_x = sx.pulse_shift();
-        s.pulse_shift_y = sy.pulse_shift();
-        s.valid_fraction_x = sx.valid_fraction();
-        s.valid_fraction_y = sy.valid_fraction();
-        s.edges_x = sx.edges;
-        s.edges_y = sy.edges;
-        s.cordic_rotations = cordic_detail.rotations;
-        s.cordic_residual_deg =
-            util::angular_abs_diff_deg(m.heading_deg, m.heading_float_deg);
-        s.heading_deg = m.heading_deg;
-        s.duration_s = m.duration_s;
-        s.latency_s = std::chrono::duration<double>(telemetry::Clock::now() -
-                                                    wall_start)
-                          .count();
-        s.energy_j = m.energy_j;
-        s.field_in_range = m.field_in_range;
-        telemetry_->on_sample(s);
-    }
-    return m;
+    return PlanExecutor(*this).run(plan_);
 }
 
 void Compass::re_excite() {

@@ -13,11 +13,18 @@
 /// way the control logic sequences it: enable the analogue section,
 /// settle, integrate the x axis over N excitation periods, switch the
 /// multiplexer, integrate y, then compute arctan(x/y) digitally.
+///
+/// Since PR 4 the sequence itself is *data*: the constructor compiles
+/// the configuration into a MeasurementPlan (core/plan.hpp) and
+/// measure() hands that plan to a PlanExecutor. Schedulers, the fault
+/// supervisor and sweep harnesses run rewrites of the same plan through
+/// the same executor.
 
 #include <cstdint>
 #include <memory>
 
 #include "analog/front_end.hpp"
+#include "core/plan.hpp"
 #include "digital/cordic.hpp"
 #include "digital/counter.hpp"
 #include "digital/display.hpp"
@@ -99,8 +106,14 @@ public:
     void set_axis_fields(double hx_a_per_m, double hy_a_per_m);
 
     /// Runs one full measurement through the mixed-signal pipeline and
-    /// updates the display.
+    /// updates the display: executes the compiled plan() on the
+    /// simulation engine via a PlanExecutor.
     Measurement measure();
+
+    /// The control sequence this compass executes, compiled once from
+    /// the configuration at construction. Rewrites of it (retry,
+    /// single-axis truncation) run through PlanExecutor.
+    [[nodiscard]] const MeasurementPlan& plan() const noexcept { return plan_; }
 
     /// Applies a hard-iron count calibration to subsequent measurements.
     void set_calibration(const CountCalibration& cal) noexcept { calibration_ = cal; }
@@ -156,12 +169,12 @@ public:
     [[nodiscard]] const sim::SimEngine& engine() const noexcept { return *engine_; }
 
 private:
-    /// Integrates one axis over the configured periods; returns counts.
-    /// Settle and count phases are the same engine advance — the only
-    /// difference is whether the counter listens.
-    std::int64_t integrate_axis(analog::Channel channel, double dt, Measurement& m);
+    /// The executor drives the private pipeline stages on the plan's
+    /// behalf — it is the only component with that access.
+    friend class PlanExecutor;
 
     CompassConfig config_;
+    MeasurementPlan plan_;
     analog::FrontEnd front_end_;
     digital::UpDownCounter counter_;
     digital::CordicUnit cordic_;

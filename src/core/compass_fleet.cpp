@@ -1,6 +1,5 @@
 #include "core/compass_fleet.hpp"
 
-#include <atomic>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -8,7 +7,9 @@
 
 namespace fxg::compass {
 
-CompassFleet::CompassFleet(int count, const CompassConfig& config) {
+CompassFleet::CompassFleet(int count, const CompassConfig& config,
+                           util::TaskPool& pool)
+    : pool_(pool) {
     if (count < 1) throw std::invalid_argument("CompassFleet: count must be >= 1");
     members_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
@@ -75,25 +76,12 @@ std::exception_ptr CompassFleet::measure_all_impl(int threads,
         }
     };
 
-    if (threads <= 1) {
-        for (int i = 0; i < n; ++i) measure_one(i);
-        return first_error;
-    }
-
-    // Work-stealing over an atomic cursor: members are independent, so
-    // the only shared state is the index and each worker's result slots.
-    std::atomic<int> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const int i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) return;
-            measure_one(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
+    // Members are independent, so the only shared state is the pool's
+    // index cursor and each worker's result slots. The persistent pool
+    // replaces the per-call thread vector this class used to spin up:
+    // batches reuse the same workers, so small fleets no longer pay N
+    // thread creations per measure_all.
+    pool_.parallel_for(n, threads, measure_one);
     return first_error;
 }
 

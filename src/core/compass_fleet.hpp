@@ -6,9 +6,11 @@
 /// many-client workloads. Each member owns its full mixed-signal
 /// pipeline (distinct heading, field, calibration, noise stream), so a
 /// fleet measurement is embarrassingly parallel: measure_all() fans the
-/// members out over an optional thread pool and returns every result in
-/// member order. Results are identical to measuring each compass
-/// serially — threading changes wall-clock time, nothing else.
+/// members' plan executions out over a persistent util::TaskPool
+/// (shared across fleets and calls — no per-batch thread churn) and
+/// returns every result in member order. Results are identical to
+/// measuring each compass serially — threading changes wall-clock
+/// time, nothing else.
 
 #include <cstddef>
 #include <exception>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "core/compass.hpp"
+#include "util/task_pool.hpp"
 
 namespace fxg::compass {
 
@@ -33,7 +36,12 @@ class CompassFleet {
 public:
     /// Builds `count` compasses, all from the same configuration
     /// (members can be reconfigured individually through at()).
-    explicit CompassFleet(int count, const CompassConfig& config = {});
+    /// Batches are scheduled on `pool` — by default the process-wide
+    /// util::TaskPool::shared(), so every fleet in the process reuses
+    /// one persistent set of worker threads. The pool must outlive the
+    /// fleet.
+    explicit CompassFleet(int count, const CompassConfig& config = {},
+                          util::TaskPool& pool = util::TaskPool::shared());
 
     [[nodiscard]] int size() const noexcept {
         return static_cast<int>(members_.size());
@@ -66,8 +74,8 @@ public:
     /// its own slot (ok = false + error text) and never aborts the rest
     /// of the batch — one faulty compass cannot take the fleet down.
     /// `threads` <= 1 measures serially on the calling thread; otherwise
-    /// up to that many worker threads split the fleet (0 = one per
-    /// hardware thread).
+    /// up to that many workers from the persistent pool split the fleet
+    /// (0 = one per hardware thread).
     std::vector<FleetResult> measure_all_results(int threads = 1);
 
     /// Throwing convenience for callers that expect an all-healthy
@@ -85,6 +93,7 @@ private:
     // engine), and fleet members must keep stable addresses for the
     // worker threads.
     std::vector<std::unique_ptr<Compass>> members_;
+    util::TaskPool& pool_;  ///< non-owning; outlives the fleet
 };
 
 }  // namespace fxg::compass

@@ -1,0 +1,263 @@
+#include "core/plan.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/compass.hpp"
+#include "util/angle.hpp"
+
+namespace fxg::compass {
+
+const char* to_string(StageKind kind) noexcept {
+    switch (kind) {
+        case StageKind::PowerUp: return "PowerUp";
+        case StageKind::MuxSwitch: return "MuxSwitch";
+        case StageKind::Settle: return "Settle";
+        case StageKind::Count: return "Count";
+        case StageKind::PowerDown: return "PowerDown";
+        case StageKind::Cordic: return "Cordic";
+        case StageKind::ReExcite: return "ReExcite";
+    }
+    return "?";
+}
+
+bool MeasurementPlan::complete() const noexcept {
+    for (const PlanStage& s : stages) {
+        if (s.kind == StageKind::Cordic) return true;
+    }
+    return false;
+}
+
+bool MeasurementPlan::counts(analog::Channel channel) const noexcept {
+    for (const PlanStage& s : stages) {
+        if (s.kind == StageKind::Count && s.channel == channel) return true;
+    }
+    return false;
+}
+
+std::uint64_t MeasurementPlan::total_steps() const noexcept {
+    std::uint64_t steps = 0;
+    for (const PlanStage& s : stages) {
+        if (s.kind == StageKind::Settle || s.kind == StageKind::Count) {
+            steps += static_cast<std::uint64_t>(s.periods) *
+                     static_cast<std::uint64_t>(steps_per_period);
+        }
+    }
+    return steps;
+}
+
+MeasurementPlan compile_plan(const CompassConfig& config) {
+    if (config.periods_per_axis < 1 || config.settle_periods < 0) {
+        throw std::invalid_argument("compile_plan: bad period configuration");
+    }
+    if (config.steps_per_period < 64) {
+        throw std::invalid_argument("compile_plan: steps_per_period must be >= 64");
+    }
+    MeasurementPlan plan;
+    plan.steps_per_period = config.steps_per_period;
+    plan.dt_s = (1.0 / config.front_end.oscillator.frequency_hz) /
+                config.steps_per_period;
+    plan.stages.push_back({StageKind::PowerUp});
+    for (const auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        plan.stages.push_back({StageKind::MuxSwitch, ch});
+        plan.stages.push_back({StageKind::Settle, ch, config.settle_periods});
+        plan.stages.push_back({StageKind::Count, ch, config.periods_per_axis});
+    }
+    plan.stages.push_back({StageKind::PowerDown});
+    plan.stages.push_back({StageKind::Cordic});
+    return plan;
+}
+
+MeasurementPlan with_re_excite(const MeasurementPlan& plan) {
+    MeasurementPlan out = plan;
+    out.stages.insert(out.stages.begin(), PlanStage{StageKind::ReExcite});
+    return out;
+}
+
+MeasurementPlan truncate_to_axis(const MeasurementPlan& plan,
+                                 analog::Channel keep) {
+    MeasurementPlan out;
+    out.steps_per_period = plan.steps_per_period;
+    out.dt_s = plan.dt_s;
+    for (const PlanStage& s : plan.stages) {
+        switch (s.kind) {
+            case StageKind::MuxSwitch:
+            case StageKind::Settle:
+            case StageKind::Count:
+                if (s.channel == keep) out.stages.push_back(s);
+                break;
+            case StageKind::Cordic:
+                break;
+            default:
+                out.stages.push_back(s);
+        }
+    }
+    return out;
+}
+
+Measurement PlanExecutor::run(const MeasurementPlan& plan) {
+    Compass& c = compass_;
+    const CompassConfig& cfg = c.config_;
+    Measurement m;
+    telemetry::TelemetrySink* sink = c.telemetry_;
+
+    // Wall-clock latency is only metered while someone listens — the
+    // disabled path must not even read a clock.
+    const bool traced = sink != nullptr;
+    const telemetry::Clock::time_point wall_start =
+        traced ? telemetry::Clock::now() : telemetry::Clock::time_point{};
+    telemetry::Span root(sink, "measure");
+
+    // Fresh observation window: the front-end stream statistics (used by
+    // the fault subsystem's health checks and the telemetry probes)
+    // describe exactly this plan execution.
+    c.front_end_.reset_window();
+
+    // Range check: the pulse-position method needs cleanly separated
+    // pulses, i.e. the core must pass well beyond its knee in both
+    // directions on each axis: |H_ext| + margin * Hk < Ha.
+    const double ha = cfg.front_end.oscillator.amplitude_a *
+                      cfg.front_end.sensor.field_per_amp();
+    const double hk = cfg.front_end.sensor.hk_a_per_m;
+    for (const auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        const double h = c.front_end_.sensor(ch).external_field();
+        if (std::fabs(h) + cfg.saturation_margin * hk >= ha) {
+            m.field_in_range = false;
+        }
+    }
+
+    // Per-axis execution state. The "axis" span groups one channel's
+    // excite/settle/count stages exactly as the historical call sites
+    // nested them; settle steps are folded into the duration at the
+    // Count stage so the floating-point sum matches bit for bit.
+    std::optional<telemetry::Span> axis;
+    std::int64_t raw[2] = {0, 0};
+    int pending_settle_steps = 0;
+    digital::CordicResult cordic_detail;
+    bool ran_cordic = false;
+
+    for (const PlanStage& stage : plan.stages) {
+        switch (stage.kind) {
+            case StageKind::ReExcite:
+                c.re_excite();
+                break;
+            case StageKind::PowerUp:
+                if (cfg.power_gating) c.front_end_.enable(true);
+                c.counter_.enable(true);
+                break;
+            case StageKind::MuxSwitch: {
+                const int ch = static_cast<int>(stage.channel);
+                axis.emplace(sink, "axis", ch);
+                // Excite: route the excitation onto this channel (the
+                // per-axis power-up the control logic performs before
+                // the mux settles).
+                telemetry::Span excite(sink, "excite", ch);
+                c.front_end_.select(stage.channel);
+                break;
+            }
+            case StageKind::Settle: {
+                const int ch = static_cast<int>(stage.channel);
+                const int steps = stage.periods * plan.steps_per_period;
+                telemetry::Span settle(sink, "settle", ch);
+                settle.set_value(steps);
+                c.engine_->advance(c.front_end_, stage.channel, steps,
+                                   plan.dt_s, nullptr, m.energy_j);
+                pending_settle_steps += steps;
+                break;
+            }
+            case StageKind::Count: {
+                const int ch = static_cast<int>(stage.channel);
+                const int steps = stage.periods * plan.steps_per_period;
+                c.counter_.clear();
+                std::int64_t count;
+                {
+                    telemetry::Span count_span(sink, "count", ch);
+                    c.engine_->advance(c.front_end_, stage.channel, steps,
+                                       plan.dt_s, &c.counter_, m.energy_j);
+                    count = c.counter_.count();
+                    count_span.set_value(count);
+                }
+                m.duration_s += (pending_settle_steps + steps) * plan.dt_s;
+                pending_settle_steps = 0;
+                raw[ch] = count;
+                // Calibration (hard-iron offset; soft-iron rescale of y
+                // into the circular domain the arctan assumes, rounded
+                // back to the integer counts the hardware would carry).
+                if (stage.channel == analog::Channel::X) {
+                    m.count_x = count - c.calibration_.offset_x;
+                } else {
+                    m.count_y = count - c.calibration_.offset_y;
+                    if (c.calibration_.scale_y != 1.0) {
+                        m.count_y = static_cast<std::int64_t>(std::llround(
+                            static_cast<double>(m.count_y) *
+                            c.calibration_.scale_y));
+                    }
+                }
+                if (axis) {
+                    axis->set_value(count);
+                    axis.reset();
+                }
+                break;
+            }
+            case StageKind::PowerDown:
+                c.counter_.enable(false);
+                if (cfg.power_gating) c.front_end_.enable(false);
+                break;
+            case StageKind::Cordic: {
+                telemetry::Span cordic_span(sink, "cordic");
+                m.heading_deg = c.cordic_.heading_deg(
+                    m.count_x, m.count_y, traced ? &cordic_detail : nullptr);
+                cordic_span.set_value(cordic_detail.rotations);
+                m.heading_float_deg =
+                    magnetics::EarthField::heading_from_components(
+                        static_cast<double>(m.count_x),
+                        static_cast<double>(m.count_y));
+                c.display_.show_direction(m.heading_deg);
+                ran_cordic = true;
+                break;
+            }
+        }
+    }
+
+    m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
+    c.watch_.tick(static_cast<std::uint64_t>(
+        std::llround(m.duration_s * cfg.counter_clock_hz)));
+
+    // One MeasurementSample per completed (heading-producing) plan; a
+    // truncated plan has no heading and only one live channel, so its
+    // probes would be garbage.
+    if (traced && ran_cordic) {
+        const analog::StreamStatsSnapshot stats = c.front_end_.snapshot();
+        const analog::StreamStats& sx = stats[analog::Channel::X];
+        const analog::StreamStats& sy = stats[analog::Channel::Y];
+        telemetry::MeasurementSample s;
+        s.member = c.telemetry_member_;
+        s.raw_count_x = raw[0];
+        s.raw_count_y = raw[1];
+        s.count_x = m.count_x;
+        s.count_y = m.count_y;
+        s.duty_x = sx.duty();
+        s.duty_y = sy.duty();
+        s.pulse_shift_x = sx.pulse_shift();
+        s.pulse_shift_y = sy.pulse_shift();
+        s.valid_fraction_x = sx.valid_fraction();
+        s.valid_fraction_y = sy.valid_fraction();
+        s.edges_x = sx.edges;
+        s.edges_y = sy.edges;
+        s.cordic_rotations = cordic_detail.rotations;
+        s.cordic_residual_deg =
+            util::angular_abs_diff_deg(m.heading_deg, m.heading_float_deg);
+        s.heading_deg = m.heading_deg;
+        s.duration_s = m.duration_s;
+        s.latency_s =
+            std::chrono::duration<double>(telemetry::Clock::now() - wall_start)
+                .count();
+        s.energy_j = m.energy_j;
+        s.field_in_range = m.field_in_range;
+        sink->on_sample(s);
+    }
+    return m;
+}
+
+}  // namespace fxg::compass

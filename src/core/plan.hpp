@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file plan.hpp
+/// The measurement-plan layer: the compass control sequence as *data*.
+///
+/// The paper's control logic is a fixed sequencer — enable the front
+/// end, settle, count x, switch the multiplexer, count y, CORDIC.
+/// Instead of re-stating that sequence imperatively in every caller
+/// (Compass::measure, the supervisor's retry ladder, sweep benches),
+/// compile_plan() turns a CompassConfig into an explicit stage list,
+/// and PlanExecutor runs any such list over the compass's simulation
+/// engine. The executor — not the call sites — owns the per-stage
+/// telemetry spans, so every way of running a measurement traces
+/// identically.
+///
+/// Plan grammar (DESIGN.md section 10):
+///
+///   plan     := ReExcite? PowerUp axis+ PowerDown Cordic?
+///   axis     := MuxSwitch Settle Count        (all on one channel)
+///
+/// Rewrites produce the supervisor's degradation-ladder vocabulary
+/// from the same compiled plan:
+///   * with_re_excite(plan)          — retry: power-cycle, then the plan
+///   * truncate_to_axis(plan, ch)    — degraded mode: only the healthy
+///     axis is measured; no Cordic (a single count cannot make a
+///     heading — the supervisor reconstructs it from history).
+///
+/// Executing the full compiled plan is bit-identical — counter values,
+/// heading, energy — to the historical hand-sequenced measure() path on
+/// both engines (asserted by tests/plan_test.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/mux.hpp"
+
+namespace fxg::compass {
+
+struct CompassConfig;
+struct Measurement;
+class Compass;
+
+/// One step of the control sequence.
+enum class StageKind : std::uint8_t {
+    PowerUp,    ///< enable the analogue section (if gated) and the counter
+    MuxSwitch,  ///< route the excitation onto `channel`
+    Settle,     ///< advance `periods` excitation periods, counter deaf
+    Count,      ///< clear the counter, advance `periods` periods counting
+    PowerDown,  ///< gate the counter and the analogue section back off
+    Cordic,     ///< calibrated counts -> heading, update the display
+    ReExcite,   ///< power-cycle front end + counter (fault recovery)
+};
+
+[[nodiscard]] const char* to_string(StageKind kind) noexcept;
+
+/// One stage. `channel` and `periods` are meaningful only for the
+/// stage kinds that name them in the grammar above.
+struct PlanStage {
+    StageKind kind = StageKind::PowerUp;
+    analog::Channel channel = analog::Channel::X;  ///< MuxSwitch/Settle/Count
+    int periods = 0;                               ///< Settle/Count
+
+    friend bool operator==(const PlanStage&, const PlanStage&) = default;
+};
+
+/// A compiled measurement: the stage list plus the timing the stages
+/// execute under (both derived from the CompassConfig).
+struct MeasurementPlan {
+    std::vector<PlanStage> stages;
+    int steps_per_period = 0;  ///< analogue samples per excitation period
+    double dt_s = 0.0;         ///< analogue simulation step [s]
+
+    /// A complete plan ends in a Cordic stage and therefore yields a
+    /// heading; truncated (single-axis) plans do not.
+    [[nodiscard]] bool complete() const noexcept;
+
+    /// True when the plan contains a Count stage on `channel`.
+    [[nodiscard]] bool counts(analog::Channel channel) const noexcept;
+
+    /// Analogue samples the plan will consume when executed.
+    [[nodiscard]] std::uint64_t total_steps() const noexcept;
+};
+
+/// Compiles a configuration into the paper's canonical control
+/// sequence: PowerUp, then MuxSwitch/Settle/Count for x and y, then
+/// PowerDown and Cordic. Throws std::invalid_argument on the same
+/// configuration errors the Compass constructor rejects.
+[[nodiscard]] MeasurementPlan compile_plan(const CompassConfig& config);
+
+/// Retry rewrite: the same plan prefixed with a ReExcite power cycle.
+[[nodiscard]] MeasurementPlan with_re_excite(const MeasurementPlan& plan);
+
+/// Degraded-mode rewrite: drops every per-axis stage not on `keep` and
+/// the Cordic stage (one axis cannot produce a heading on its own).
+[[nodiscard]] MeasurementPlan truncate_to_axis(const MeasurementPlan& plan,
+                                               analog::Channel keep);
+
+/// Runs MeasurementPlans over one Compass's pipeline. The executor owns
+/// the per-stage telemetry spans ("measure" root, "axis" grouping with
+/// "excite"/"settle"/"count" children, "cordic") and emits the
+/// MeasurementSample for complete plans — call sites no longer place
+/// instrumentation by hand. Stateless between run() calls; constructing
+/// one is free (it holds a reference).
+class PlanExecutor {
+public:
+    /// Non-owning: `compass` must outlive the executor.
+    explicit PlanExecutor(Compass& compass) noexcept : compass_(compass) {}
+
+    /// Executes `plan` against the compass. For a complete plan the
+    /// returned Measurement is exactly what the historical measure()
+    /// produced; for a truncated plan only the counted axis' count (and
+    /// duration/energy) are meaningful and no heading is computed.
+    Measurement run(const MeasurementPlan& plan);
+
+private:
+    Compass& compass_;
+};
+
+}  // namespace fxg::compass

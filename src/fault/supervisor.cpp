@@ -40,7 +40,8 @@ const char* to_string(SupervisedStatus status) noexcept {
 
 MeasurementSupervisor::MeasurementSupervisor(compass::Compass& compass,
                                              const SupervisorConfig& config)
-    : compass_(compass), config_(config), monitor_(config.health) {}
+    : compass_(compass), config_(config), monitor_(config.health),
+      plan_(compass.plan()), retry_plan_(compass::with_re_excite(plan_)) {}
 
 void MeasurementSupervisor::reset() {
     last_good_.reset();
@@ -49,11 +50,8 @@ void MeasurementSupervisor::reset() {
 }
 
 std::optional<double> MeasurementSupervisor::reconstruct_heading(
-    const compass::Measurement& m, const HealthReport& report) const {
+    analog::Channel healthy, std::int64_t good_count) const {
     if (!last_good_) return std::nullopt;
-    const bool bad_x = report.implicates(analog::Channel::X);
-    const bool bad_y = report.implicates(analog::Channel::Y);
-    if (bad_x == bad_y) return std::nullopt;  // need exactly one healthy axis
 
     // The last good measurement pins the count-domain circle radius
     // (heading extraction is magnitude-insensitive, so |H| is the one
@@ -61,8 +59,7 @@ std::optional<double> MeasurementSupervisor::reconstruct_heading(
     const double radius =
         std::hypot(static_cast<double>(last_good_->measurement.count_x),
                    static_cast<double>(last_good_->measurement.count_y));
-    const double good =
-        static_cast<double>(bad_x ? m.count_y : m.count_x);
+    const double good = static_cast<double>(good_count);
     if (radius <= 0.0 || std::fabs(good) > radius * 1.05) {
         return std::nullopt;  // healthy axis inconsistent with the circle
     }
@@ -70,6 +67,7 @@ std::optional<double> MeasurementSupervisor::reconstruct_heading(
         std::sqrt(std::fmax(0.0, radius * radius - good * good));
 
     // Two sign candidates; heading continuity picks the branch.
+    const bool bad_x = healthy == analog::Channel::Y;
     double best = 0.0;
     double best_err = 1e9;
     for (const double sign : {+1.0, -1.0}) {
@@ -96,17 +94,22 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
     // one "supervise" span whose value is the final ladder status.
     telemetry::TelemetrySink* sink = compass_.telemetry();
     telemetry::Span ladder(sink, "supervise");
+    compass::PlanExecutor executor(compass_);
 
     for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+        // Retry rung = plan rewrite: the ReExcite-prefixed plan power-
+        // cycles the front end and counter before re-running the same
+        // stage list.
+        const compass::MeasurementPlan& attempt_plan =
+            attempt == 0 ? plan_ : retry_plan_;
         if (attempt > 0) {
             if (sink != nullptr) sink->event("supervisor.re_excite", attempt);
-            compass_.re_excite();
             out.diagnostics += " | re-excite";
         }
         ++out.attempts;
         bool aborted = false;
         try {
-            out.measurement = compass_.measure();
+            out.measurement = executor.run(attempt_plan);
         } catch (const std::exception& e) {
             aborted = true;
             out.health = HealthReport{};
@@ -144,16 +147,36 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
     }
 
     // Retries exhausted: degrade. Exactly one implicated axis plus a
-    // remembered field magnitude lets us keep producing live headings.
-    if (const auto heading = reconstruct_heading(out.measurement, out.health)) {
-        out.status = SupervisedStatus::DegradedSingleAxis;
-        out.heading_deg = *heading;
-        out.stale = false;
-        out.staleness_s = staleness_s_;
-        out.diagnostics += " | degraded: single-axis estimate";
-        if (sink != nullptr) sink->event(status_event(out.status), out.attempts);
-        ladder.set_value(static_cast<std::int64_t>(out.status));
-        return out;
+    // remembered field magnitude lets us keep producing live headings —
+    // re-plan onto the surviving axis: the truncated rewrite measures a
+    // fresh count on the healthy channel only (after a power cycle),
+    // and the remembered circle radius supplies the missing axis.
+    const bool bad_x = out.health.implicates(analog::Channel::X);
+    const bool bad_y = out.health.implicates(analog::Channel::Y);
+    if (last_good_ && bad_x != bad_y) {
+        const analog::Channel healthy =
+            bad_x ? analog::Channel::Y : analog::Channel::X;
+        const compass::MeasurementPlan degraded_plan =
+            compass::with_re_excite(compass::truncate_to_axis(plan_, healthy));
+        std::optional<double> heading;
+        try {
+            const compass::Measurement partial = executor.run(degraded_plan);
+            heading = reconstruct_heading(
+                healthy, healthy == analog::Channel::X ? partial.count_x
+                                                       : partial.count_y);
+        } catch (const std::exception&) {
+            // The surviving axis aborted too: fall through the ladder.
+        }
+        if (heading) {
+            out.status = SupervisedStatus::DegradedSingleAxis;
+            out.heading_deg = *heading;
+            out.stale = false;
+            out.staleness_s = staleness_s_;
+            out.diagnostics += " | degraded: single-axis estimate";
+            if (sink != nullptr) sink->event(status_event(out.status), out.attempts);
+            ladder.set_value(static_cast<std::int64_t>(out.status));
+            return out;
+        }
     }
 
     // Both axes implicated (or nothing to reconstruct from): hold the

@@ -20,11 +20,21 @@
 /// pins |H| in count units, so a healthy count on one axis plus the
 /// circle radius determines the other axis up to sign, and the sign is
 /// taken from heading continuity.
+///
+/// Every rung of the ladder is a *plan rewrite* (core/plan.hpp), not a
+/// separate code path: the supervisor compiles the compass's full
+/// MeasurementPlan once, a retry executes with_re_excite(plan), and
+/// degraded mode executes with_re_excite(truncate_to_axis(plan,
+/// healthy_axis)) — a fresh count on the surviving axis — before
+/// reconstructing the heading from the remembered circle radius. All
+/// attempts run through one PlanExecutor, so traces and physics
+/// samples look the same whichever rung served the heading.
 
 #include <optional>
 #include <string>
 
 #include "core/compass.hpp"
+#include "core/plan.hpp"
 #include "fault/health_monitor.hpp"
 
 namespace fxg::fault {
@@ -83,15 +93,27 @@ public:
     [[nodiscard]] HealthMonitor& monitor() noexcept { return monitor_; }
     [[nodiscard]] const SupervisorConfig& config() const noexcept { return config_; }
 
+    /// The compiled plans the ladder executes: attempt 0 runs plan(),
+    /// each retry runs retry_plan() (= ReExcite + plan).
+    [[nodiscard]] const compass::MeasurementPlan& plan() const noexcept {
+        return plan_;
+    }
+    [[nodiscard]] const compass::MeasurementPlan& retry_plan() const noexcept {
+        return retry_plan_;
+    }
+
 private:
-    /// Attempts the single-axis reconstruction; nullopt when more or
-    /// fewer than exactly one axis is implicated or no last-good exists.
+    /// Reconstructs the heading from a fresh count on the one healthy
+    /// axis plus the last-good circle radius; nullopt when no last-good
+    /// exists or the count is inconsistent with the remembered radius.
     [[nodiscard]] std::optional<double> reconstruct_heading(
-        const compass::Measurement& m, const HealthReport& report) const;
+        analog::Channel healthy, std::int64_t good_count) const;
 
     compass::Compass& compass_;
     SupervisorConfig config_;
     HealthMonitor monitor_;
+    compass::MeasurementPlan plan_;        ///< the compass's full plan
+    compass::MeasurementPlan retry_plan_;  ///< ReExcite-prefixed rewrite
     std::optional<SupervisedMeasurement> last_good_;
     double staleness_s_ = 0.0;  ///< accumulated simulated time since last good
 };

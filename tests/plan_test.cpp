@@ -1,0 +1,416 @@
+/// \file plan_test.cpp
+/// The measurement-plan layer's contracts: compile_plan produces the
+/// paper's canonical control sequence, the rewrites (re-excite prefix,
+/// single-axis truncation) transform it correctly, and — the load-
+/// bearing one — executing the compiled plan is bit-identical to the
+/// historical hand-sequenced measure() path on both engines, with
+/// faults armed and a telemetry sink attached. Also the TaskPool the
+/// fleet now schedules through: index coverage, serial fallback,
+/// thread reuse, and concurrent batches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/compass.hpp"
+#include "core/compass_fleet.hpp"
+#include "core/plan.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/supervisor.hpp"
+#include "magnetics/earth_field.hpp"
+#include "magnetics/units.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/trace.hpp"
+#include "util/angle.hpp"
+#include "util/task_pool.hpp"
+
+using namespace fxg;
+
+namespace {
+
+magnetics::EarthField site() {
+    return magnetics::EarthField(magnetics::microtesla(48.0), 67.0);
+}
+
+compass::CompassConfig lite_config(sim::EngineKind engine = sim::EngineKind::Block) {
+    compass::CompassConfig cfg;
+    cfg.steps_per_period = 1024;
+    cfg.periods_per_axis = 4;
+    cfg.engine = engine;
+    return cfg;
+}
+
+/// Sink that only counts emitted MeasurementSamples.
+struct SampleCounter final : telemetry::TelemetrySink {
+    int samples = 0;
+    telemetry::SpanId begin_span(const char*, int) override {
+        return telemetry::kNoSpan;
+    }
+    void end_span(telemetry::SpanId, std::int64_t) override {}
+    void event(const char*, double) override {}
+    void on_sample(const telemetry::MeasurementSample&) override { ++samples; }
+};
+
+/// The historical measure() sequence, hand-stated through the public
+/// pipeline accessors on a fresh engine instance — the reference the
+/// plan executor must reproduce bit for bit.
+compass::Measurement reference_measure(compass::Compass& c, sim::EngineKind kind) {
+    const compass::CompassConfig& cfg = c.config();
+    const auto engine = sim::make_engine(kind);
+    compass::Measurement m;
+
+    c.front_end().reset_window();
+
+    const double ha = cfg.front_end.oscillator.amplitude_a *
+                      cfg.front_end.sensor.field_per_amp();
+    const double hk = cfg.front_end.sensor.hk_a_per_m;
+    for (const auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        const double h = c.front_end().sensor(ch).external_field();
+        if (std::fabs(h) + cfg.saturation_margin * hk >= ha) {
+            m.field_in_range = false;
+        }
+    }
+
+    const double dt =
+        (1.0 / cfg.front_end.oscillator.frequency_hz) / cfg.steps_per_period;
+    const int settle_steps = cfg.settle_periods * cfg.steps_per_period;
+    const int count_steps = cfg.periods_per_axis * cfg.steps_per_period;
+
+    if (cfg.power_gating) c.front_end().enable(true);
+    c.counter().enable(true);
+    for (const auto ch : {analog::Channel::X, analog::Channel::Y}) {
+        c.front_end().select(ch);
+        engine->advance(c.front_end(), ch, settle_steps, dt, nullptr, m.energy_j);
+        c.counter().clear();
+        engine->advance(c.front_end(), ch, count_steps, dt, &c.counter(),
+                        m.energy_j);
+        const std::int64_t count = c.counter().count();
+        m.duration_s += (settle_steps + count_steps) * dt;
+        if (ch == analog::Channel::X) {
+            m.count_x = count - c.calibration().offset_x;
+        } else {
+            m.count_y = count - c.calibration().offset_y;
+            if (c.calibration().scale_y != 1.0) {
+                m.count_y = static_cast<std::int64_t>(std::llround(
+                    static_cast<double>(m.count_y) * c.calibration().scale_y));
+            }
+        }
+    }
+    c.counter().enable(false);
+    if (cfg.power_gating) c.front_end().enable(false);
+
+    m.heading_deg = c.cordic().heading_deg(m.count_x, m.count_y);
+    m.heading_float_deg = magnetics::EarthField::heading_from_components(
+        static_cast<double>(m.count_x), static_cast<double>(m.count_y));
+    m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
+    return m;
+}
+
+void expect_bit_identical(const compass::Measurement& a,
+                          const compass::Measurement& b) {
+    EXPECT_EQ(a.count_x, b.count_x);
+    EXPECT_EQ(a.count_y, b.count_y);
+    EXPECT_EQ(a.heading_deg, b.heading_deg);
+    EXPECT_EQ(a.heading_float_deg, b.heading_float_deg);
+    EXPECT_EQ(a.duration_s, b.duration_s);
+    EXPECT_EQ(a.energy_j, b.energy_j);
+    EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+    EXPECT_EQ(a.field_in_range, b.field_in_range);
+}
+
+// --- Plan compilation -------------------------------------------------
+
+TEST(PlanCompile, CanonicalStageSequence) {
+    compass::CompassConfig cfg;
+    const compass::MeasurementPlan plan = compass::compile_plan(cfg);
+
+    using compass::StageKind;
+    const std::vector<compass::PlanStage> expected = {
+        {StageKind::PowerUp},
+        {StageKind::MuxSwitch, analog::Channel::X},
+        {StageKind::Settle, analog::Channel::X, cfg.settle_periods},
+        {StageKind::Count, analog::Channel::X, cfg.periods_per_axis},
+        {StageKind::MuxSwitch, analog::Channel::Y},
+        {StageKind::Settle, analog::Channel::Y, cfg.settle_periods},
+        {StageKind::Count, analog::Channel::Y, cfg.periods_per_axis},
+        {StageKind::PowerDown},
+        {StageKind::Cordic},
+    };
+    EXPECT_EQ(plan.stages, expected);
+    EXPECT_EQ(plan.steps_per_period, cfg.steps_per_period);
+    EXPECT_TRUE(plan.complete());
+    EXPECT_TRUE(plan.counts(analog::Channel::X));
+    EXPECT_TRUE(plan.counts(analog::Channel::Y));
+    EXPECT_EQ(plan.total_steps(),
+              2ull * (cfg.settle_periods + cfg.periods_per_axis) *
+                  cfg.steps_per_period);
+}
+
+TEST(PlanCompile, RejectsSameConfigsAsCompass) {
+    compass::CompassConfig cfg;
+    cfg.periods_per_axis = 0;
+    EXPECT_THROW(compass::compile_plan(cfg), std::invalid_argument);
+    cfg = {};
+    cfg.settle_periods = -1;
+    EXPECT_THROW(compass::compile_plan(cfg), std::invalid_argument);
+    cfg = {};
+    cfg.steps_per_period = 32;
+    EXPECT_THROW(compass::compile_plan(cfg), std::invalid_argument);
+}
+
+TEST(PlanCompile, CompassCarriesItsCompiledPlan) {
+    const compass::CompassConfig cfg = lite_config();
+    compass::Compass compass(cfg);
+    EXPECT_EQ(compass.plan().stages, compass::compile_plan(cfg).stages);
+}
+
+// --- Rewrites ---------------------------------------------------------
+
+TEST(PlanRewrites, WithReExcitePrefixesAPowerCycle) {
+    const compass::MeasurementPlan plan =
+        compass::compile_plan(compass::CompassConfig{});
+    const compass::MeasurementPlan retry = compass::with_re_excite(plan);
+    ASSERT_EQ(retry.stages.size(), plan.stages.size() + 1);
+    EXPECT_EQ(retry.stages.front().kind, compass::StageKind::ReExcite);
+    for (std::size_t i = 0; i < plan.stages.size(); ++i) {
+        EXPECT_EQ(retry.stages[i + 1], plan.stages[i]);
+    }
+}
+
+TEST(PlanRewrites, TruncateToAxisDropsOtherAxisAndCordic) {
+    const compass::MeasurementPlan plan =
+        compass::compile_plan(compass::CompassConfig{});
+    const compass::MeasurementPlan y_only =
+        compass::truncate_to_axis(plan, analog::Channel::Y);
+    EXPECT_FALSE(y_only.complete());
+    EXPECT_FALSE(y_only.counts(analog::Channel::X));
+    EXPECT_TRUE(y_only.counts(analog::Channel::Y));
+    EXPECT_EQ(y_only.total_steps(), plan.total_steps() / 2);
+    for (const compass::PlanStage& s : y_only.stages) {
+        if (s.kind == compass::StageKind::MuxSwitch ||
+            s.kind == compass::StageKind::Settle ||
+            s.kind == compass::StageKind::Count) {
+            EXPECT_EQ(s.channel, analog::Channel::Y);
+        }
+        EXPECT_NE(s.kind, compass::StageKind::Cordic);
+    }
+}
+
+// --- Plan execution vs the hand-sequenced reference -------------------
+
+TEST(PlanEquivalence, BitIdenticalToHandSequencedReference) {
+    for (const auto kind : {sim::EngineKind::Scalar, sim::EngineKind::Block}) {
+        SCOPED_TRACE(sim::to_string(kind));
+        compass::CompassConfig cfg = lite_config(kind);
+        cfg.front_end.pickup_noise_rms_v = 0.5e-3;  // nontrivial noise stream
+        const compass::CountCalibration cal{.offset_x = 3, .offset_y = -2,
+                                            .scale_y = 1.01};
+
+        compass::Compass planned(cfg);
+        planned.set_calibration(cal);
+        planned.set_environment(site(), 123.0);
+        telemetry::TraceSession trace;
+        planned.set_telemetry(&trace);  // tracing must not change the bits
+
+        compass::Compass reference(cfg);
+        reference.set_calibration(cal);
+        reference.set_environment(site(), 123.0);
+
+        // Two back-to-back measurements: the second exercises the
+        // window reset and the monotone noise stream.
+        for (int i = 0; i < 2; ++i) {
+            SCOPED_TRACE(i);
+            const compass::Measurement a = planned.measure();
+            const compass::Measurement b = reference_measure(reference, kind);
+            expect_bit_identical(a, b);
+        }
+    }
+}
+
+TEST(PlanEquivalence, HoldsWithFaultsArmed) {
+    for (const auto kind : {sim::EngineKind::Scalar, sim::EngineKind::Block}) {
+        SCOPED_TRACE(sim::to_string(kind));
+        const compass::CompassConfig cfg = lite_config(kind);
+        compass::Compass planned(cfg);
+        compass::Compass reference(cfg);
+        planned.set_environment(site(), 301.0);
+        reference.set_environment(site(), 301.0);
+
+        // Identical schedules, one injector per compass (an injector
+        // arms exactly one target).
+        const auto schedule = [](fault::FaultInjector& injector) {
+            injector.add({.fault = fault::FaultClass::NoiseBurst,
+                          .channel = analog::Channel::Y,
+                          .magnitude = 0.05,
+                          .start_sample = 2048,
+                          .duration_samples = 4096,
+                          .seed = 7});
+            injector.add({.fault = fault::FaultClass::ComparatorOffsetDrift,
+                          .channel = analog::Channel::X,
+                          .magnitude = 0.01});
+        };
+        fault::FaultInjector inj_a;
+        fault::FaultInjector inj_b;
+        schedule(inj_a);
+        schedule(inj_b);
+        inj_a.arm(planned);
+        inj_b.arm(reference);
+
+        telemetry::TraceSession trace;
+        planned.set_telemetry(&trace);
+        expect_bit_identical(planned.measure(), reference_measure(reference, kind));
+    }
+}
+
+TEST(PlanExecutor, TruncatedPlanCountsOneAxisAndEmitsNoSample) {
+    compass::Compass compass(lite_config());
+    compass.set_environment(site(), 45.0);
+    SampleCounter counter;
+    compass.set_telemetry(&counter);
+    compass::PlanExecutor executor(compass);
+
+    const compass::Measurement full = executor.run(compass.plan());
+    EXPECT_EQ(counter.samples, 1);  // a complete plan emits its sample
+    EXPECT_NE(full.count_y, 0);
+
+    const compass::Measurement partial = executor.run(compass::with_re_excite(
+        compass::truncate_to_axis(compass.plan(), analog::Channel::Y)));
+    EXPECT_EQ(counter.samples, 1);  // a truncated plan does not
+    EXPECT_EQ(partial.count_x, 0);
+    EXPECT_EQ(partial.count_y, full.count_y);  // same stream position: re-excite
+                                               // resets, y is the first axis
+    EXPECT_EQ(partial.heading_deg, 0.0);       // no Cordic stage ran
+    EXPECT_GT(partial.energy_j, 0.0);
+    EXPECT_EQ(partial.duration_s, full.duration_s / 2.0);
+}
+
+TEST(PlanExecutor, TruncatedPlanTracesOnlyTheKeptAxis) {
+    compass::Compass compass(lite_config());
+    compass.set_environment(site(), 45.0);
+    telemetry::TraceSession trace;
+    compass.set_telemetry(&trace);
+    compass::PlanExecutor executor(compass);
+    static_cast<void>(executor.run(
+        compass::truncate_to_axis(compass.plan(), analog::Channel::X)));
+
+    bool saw_x_axis = false;
+    for (const telemetry::SpanRecord& s : trace.spans()) {
+        const std::string name = s.name;
+        EXPECT_NE(name, "cordic");
+        if (name == "axis") {
+            EXPECT_EQ(s.channel, 0);
+            saw_x_axis = true;
+        }
+    }
+    EXPECT_TRUE(saw_x_axis);
+}
+
+// --- Supervisor ladder as plan rewrites -------------------------------
+
+TEST(SupervisorPlans, LadderRungsAreRewritesOfTheCompiledPlan) {
+    compass::Compass compass(lite_config());
+    fault::MeasurementSupervisor supervisor(compass);
+    EXPECT_EQ(supervisor.plan().stages, compass.plan().stages);
+    ASSERT_FALSE(supervisor.retry_plan().stages.empty());
+    EXPECT_EQ(supervisor.retry_plan().stages.front().kind,
+              compass::StageKind::ReExcite);
+    EXPECT_EQ(supervisor.retry_plan().stages.size(),
+              compass.plan().stages.size() + 1);
+}
+
+TEST(SupervisorPlans, DegradedRungExecutesTruncatedRewrite) {
+    compass::Compass compass(lite_config());
+    compass.set_environment(site(), 200.0);
+    fault::SupervisorConfig cfg;
+    cfg.health.min_horizontal_ut = 10.0;
+    cfg.health.max_horizontal_ut = 30.0;
+    fault::MeasurementSupervisor supervisor(compass, cfg);
+    ASSERT_EQ(supervisor.measure().status, fault::SupervisedStatus::Ok);
+
+    fault::FaultInjector injector;
+    injector.add({.fault = fault::FaultClass::DetectorStuckLow,
+                  .channel = analog::Channel::Y});
+    injector.arm(compass);
+    const fault::SupervisedMeasurement result = supervisor.measure();
+    EXPECT_EQ(result.status, fault::SupervisedStatus::DegradedSingleAxis);
+    EXPECT_LT(util::angular_abs_diff_deg(result.heading_deg, 200.0), 5.0);
+}
+
+// --- TaskPool ---------------------------------------------------------
+
+TEST(TaskPool, VisitsEveryIndexExactlyOnce) {
+    util::TaskPool pool;
+    constexpr int kN = 100;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.parallel_for(kN, 4, [&](int i) { visits[i].fetch_add(1); });
+    for (int i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(TaskPool, SerialFallbackRunsOnTheCaller) {
+    util::TaskPool pool;
+    std::atomic<int> off_thread{0};
+    const std::thread::id caller = std::this_thread::get_id();
+    pool.parallel_for(16, 1, [&](int) {
+        if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+    });
+    EXPECT_EQ(off_thread.load(), 0);
+    EXPECT_EQ(pool.thread_count(), 0);  // serial path never spawns workers
+}
+
+TEST(TaskPool, ReusesWorkersAcrossBatches) {
+    util::TaskPool pool;
+    std::atomic<int> total{0};
+    pool.parallel_for(16, 4, [&](int) { total.fetch_add(1); });
+    const int workers_after_first = pool.thread_count();
+    EXPECT_EQ(workers_after_first, 3);  // caller is the 4th worker
+    pool.parallel_for(16, 4, [&](int) { total.fetch_add(1); });
+    EXPECT_EQ(pool.thread_count(), workers_after_first);  // no churn
+    pool.parallel_for(16, 2, [&](int) { total.fetch_add(1); });
+    EXPECT_EQ(pool.thread_count(), workers_after_first);  // no shrink either
+    EXPECT_EQ(total.load(), 48);
+}
+
+TEST(TaskPool, ConcurrentBatchesFromMultipleThreads) {
+    util::TaskPool pool;
+    constexpr int kN = 64;
+    std::vector<std::atomic<int>> a(kN);
+    std::vector<std::atomic<int>> b(kN);
+    std::thread other(
+        [&] { pool.parallel_for(kN, 3, [&](int i) { a[i].fetch_add(1); }); });
+    pool.parallel_for(kN, 3, [&](int i) { b[i].fetch_add(1); });
+    other.join();
+    for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(a[i].load(), 1) << i;
+        EXPECT_EQ(b[i].load(), 1) << i;
+    }
+}
+
+TEST(TaskPool, FleetOnExplicitPoolMatchesSerialFleet) {
+    compass::CompassConfig cfg = lite_config();
+    cfg.periods_per_axis = 2;
+    constexpr int kFleet = 6;
+    std::vector<double> headings;
+    for (int i = 0; i < kFleet; ++i) headings.push_back(i * 60.0 + 5.0);
+
+    util::TaskPool pool;
+    compass::CompassFleet parallel_fleet(kFleet, cfg, pool);
+    compass::CompassFleet serial_fleet(kFleet, cfg);
+    parallel_fleet.set_environments(site(), headings);
+    serial_fleet.set_environments(site(), headings);
+
+    const std::vector<compass::Measurement> par = parallel_fleet.measure_all(4);
+    const std::vector<compass::Measurement> ser = serial_fleet.measure_all(1);
+    ASSERT_EQ(par.size(), ser.size());
+    for (int i = 0; i < kFleet; ++i) {
+        SCOPED_TRACE(i);
+        expect_bit_identical(par[i], ser[i]);
+    }
+    EXPECT_EQ(pool.thread_count(), 3);  // clamped to the requested 4 workers
+}
+
+}  // namespace
