@@ -14,6 +14,11 @@ HeadingFilter::HeadingFilter(double alpha) : alpha_(alpha) {
 }
 
 double HeadingFilter::update(double new_heading_deg) {
+    // A single NaN/Inf sample would poison the vector state permanently
+    // (every later heading_deg() would be NaN); reject it loudly.
+    if (!std::isfinite(new_heading_deg)) {
+        throw std::invalid_argument("HeadingFilter: heading must be finite");
+    }
     const double rad = util::deg_to_rad(new_heading_deg);
     if (!primed_) {
         x_ = std::cos(rad);

@@ -19,6 +19,8 @@ public:
     explicit HeadingFilter(double alpha = 0.25);
 
     /// Feeds one measurement; returns the filtered heading [0, 360).
+    /// Throws std::invalid_argument on a non-finite heading — a NaN
+    /// would otherwise poison the vector state permanently.
     double update(double heading_deg);
 
     /// Filtered heading, or nullopt before the first sample.

@@ -175,6 +175,10 @@ Measurement PlanExecutor::run(const MeasurementPlan& plan) {
                     telemetry::Span count_span(sink, "count", ch);
                     c.engine_->advance(c.front_end_, stage.channel, steps,
                                        plan.dt_s, &c.counter_, m.energy_j);
+                    // An overflow trap aborts here, at the window
+                    // boundary — identical state whichever engine (and
+                    // block size) consumed the window.
+                    c.counter_.service_trap();
                     count = c.counter_.count();
                     count_span.set_value(count);
                 }

@@ -1,11 +1,29 @@
 #include "digital/cordic.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "util/angle.hpp"
 
 namespace fxg::digital {
+
+namespace {
+
+/// |t| as an unsigned value — well-defined for INT64_MIN (2^63), where
+/// std::llabs / unary minus would overflow.
+std::uint64_t unsigned_abs(std::int64_t t) noexcept {
+    const auto u = static_cast<std::uint64_t>(t);
+    return t < 0 ? ~u + 1 : u;
+}
+
+/// Largest input magnitude heading_deg() feeds into the first-quadrant
+/// core without pre-scaling. Chosen so the datapath never overflows:
+/// with frac_bits <= 20 the registers start at < 2^60 and the CORDIC
+/// gain (< 1.647) plus the cross-term additions keep them below 2^62.
+constexpr int kCoreMagnitudeBits = 40;
+
+}  // namespace
 
 CordicUnit::CordicUnit(int cycles, int frac_bits) : cycles_(cycles), frac_bits_(frac_bits) {
     if (cycles < 1 || cycles > 30) throw std::invalid_argument("CordicUnit: cycles 1..30");
@@ -23,6 +41,15 @@ CordicUnit::CordicUnit(int cycles, int frac_bits) : cycles_(cycles), frac_bits_(
 CordicResult CordicUnit::arctan(std::int64_t y, std::int64_t x) const {
     if (y < 0 || x <= 0) {
         throw std::domain_error("CordicUnit::arctan: needs x > 0, y >= 0");
+    }
+    // The registers hold value << frac_bits and grow by the CORDIC gain
+    // plus cross-term additions during the loop; inputs above this
+    // bound would silently overflow them mid-iteration. heading_deg()
+    // pre-scales its operands below the bound, so this only fires on
+    // direct misuse of the first-quadrant core.
+    const std::int64_t limit = std::int64_t{1} << (60 - frac_bits_);
+    if (x > limit || y > limit) {
+        throw std::domain_error("CordicUnit::arctan: input exceeds the datapath range");
     }
     // "y_reg := y * 128; x_reg := x * 128"
     std::int64_t y_reg = y << frac_bits_;
@@ -56,33 +83,65 @@ double CordicUnit::heading_deg(std::int64_t x, std::int64_t y) const {
 
 double CordicUnit::heading_deg(std::int64_t x, std::int64_t y,
                                CordicResult* detail) const {
-    // heading = atan2(v, u) with u = x, v = -y (see EarthField).
-    const std::int64_t u = x;
-    const std::int64_t v = -y;
-    if (u == 0 && v == 0) {
+    // heading = atan2(v, u) with u = x, v = -y (see EarthField). The
+    // magnitudes run through unsigned arithmetic so the full int64
+    // range — including INT64_MIN, whose negation would overflow — is
+    // well-defined.
+    std::uint64_t a = unsigned_abs(y);  // |v| == |y|
+    std::uint64_t b = unsigned_abs(x);  // |u|
+    if (a == 0 && b == 0) {
         if (detail != nullptr) *detail = CordicResult{};
         return 0.0;
     }
-    const std::int64_t a = std::llabs(v);
-    const std::int64_t b = std::llabs(u);
-    // Octant folding: run the core on the smaller/larger ratio so the
-    // input angle is always in [0, 45] where the greedy loop is tightest.
+    // Counts wider than the core's datapath headroom are pre-scaled by
+    // a common power of two. The ratio — hence the angle — is preserved
+    // to ~2^-39, far below the ROM resolution; any magnitude the
+    // counter's widest register (62 bits) can produce stays exact in
+    // the sense that the fold below sees an equivalent ratio. Ordinary
+    // counts shift by 0 and keep the historical bit-exact path.
+    // ... and counts much *smaller* than the core's fixed-point LSB
+    // budget are pre-scaled up: at magnitudes of a few LSBs the >> k
+    // micro-rotations truncate to zero and the loop stalls, blowing the
+    // documented bound. Either shift preserves the ratio (left shifts
+    // exactly), so the core always sees operands in its sweet spot.
+    const int excess = std::bit_width(a > b ? a : b) - kCoreMagnitudeBits;
+    if (excess > 0) {
+        a >>= excess;
+        b >>= excess;
+    } else if (excess < 0) {
+        a <<= -excess;
+        b <<= -excess;
+    }
+    const bool u_nonneg = x >= 0;
+    const bool v_nonneg = y <= 0;  // sign of v = -y
+    // A zero axis bypasses the core: the greedy non-restoring loop
+    // always rotates, so even arctan(0, b) carries the +-last-ROM-angle
+    // residual — but a zero count is exactly a cardinal heading, and
+    // the display must not show 0.7 degrees of phantom deviation (nor
+    // may the 180-ang fold below turn the residual into a near-180
+    // flip of a due-north reading).
     double ang;
     CordicResult core;
+    if (a == 0 || b == 0) {
+        core = CordicResult{};
+        ang = a == 0 ? 0.0 : 90.0;
+    } else
+    // Octant folding: run the core on the smaller/larger ratio so the
+    // input angle is always in [0, 45] where the greedy loop is tightest.
     if (a <= b) {
-        core = arctan(a, b == 0 ? 1 : b);
+        core = arctan(static_cast<std::int64_t>(a), static_cast<std::int64_t>(b));
         ang = core.angle_deg;
     } else {
-        core = arctan(b, a);
+        core = arctan(static_cast<std::int64_t>(b), static_cast<std::int64_t>(a));
         ang = 90.0 - core.angle_deg;
     }
     if (detail != nullptr) *detail = core;
     double heading;
-    if (u >= 0 && v >= 0) {
+    if (u_nonneg && v_nonneg) {
         heading = ang;
-    } else if (u < 0 && v >= 0) {
+    } else if (!u_nonneg && v_nonneg) {
         heading = 180.0 - ang;
-    } else if (u < 0) {
+    } else if (!u_nonneg) {
         heading = 180.0 + ang;
     } else {
         heading = 360.0 - ang;

@@ -48,13 +48,19 @@ public:
     explicit CordicUnit(int cycles = 8, int frac_bits = 7);
 
     /// arctan(y/x) for x > 0, y >= 0 (first quadrant), inputs as raw
-    /// integers (e.g. up/down-counter outputs).
+    /// integers (e.g. up/down-counter outputs). Inputs are bounded by
+    /// the 64-bit datapath: values above 2^(60 - frac_bits) throw
+    /// std::domain_error instead of silently overflowing the registers
+    /// mid-loop (heading_deg() pre-scales, so it never trips this).
     [[nodiscard]] CordicResult arctan(std::int64_t y, std::int64_t x) const;
 
     /// Full-circle compass heading [deg, 0..360) from signed counter
     /// values, with octant folding around the first-quadrant core.
     /// Convention matches magnetics::EarthField::heading_from_components:
-    /// heading = atan2(-y, x).
+    /// heading = atan2(-y, x). Total over the whole int64 range
+    /// (including INT64_MIN and magnitudes beyond the core's headroom,
+    /// which are pre-scaled by a common power of two); never NaN, never
+    /// throws, and exactly 0/90/180/270 when one axis count is zero.
     [[nodiscard]] double heading_deg(std::int64_t x, std::int64_t y) const;
 
     /// Same computation, additionally reporting the first-quadrant

@@ -21,17 +21,22 @@ void UpDownCounter::set_hardware(const CounterHardware& hw) {
     hardware_engaged_ = hw.width_bits > 0 || hw.stuck_bit >= 0;
 }
 
-std::int64_t UpDownCounter::apply_hardware(std::int64_t count) {
+void UpDownCounter::apply_hardware(std::int64_t& count) {
     if (hardware_.width_bits > 0) {
         // Two's-complement wrap into the register width (C++20 signed
-        // shifts are defined as exactly this).
+        // shifts are defined as exactly this) — including the
+        // most-negative/most-positive register values, where the wrap
+        // flips the sign. The register always takes the wrapped value:
+        // a trap is only *latched* here (pending, sticky) and raised by
+        // service_trap() at the end of the count window, so the
+        // register keeps counting modulo 2^w in the meantime — the
+        // per-tick state is identical whether the trap is enabled or
+        // not, and identical between step() and step_block().
         const int shift = 64 - hardware_.width_bits;
         const std::int64_t wrapped = (count << shift) >> shift;
         if (wrapped != count) {
             overflowed_ = true;
-            if (hardware_.trap_on_overflow) {
-                throw std::overflow_error("UpDownCounter: register overflow");
-            }
+            trap_pending_ |= hardware_.trap_on_overflow;
             count = wrapped;
         }
     }
@@ -45,7 +50,12 @@ std::int64_t UpDownCounter::apply_hardware(std::int64_t count) {
             count = (count << shift) >> shift;  // re-extend the sign
         }
     }
-    return count;
+}
+
+void UpDownCounter::service_trap() {
+    if (!trap_pending_) return;
+    trap_pending_ = false;
+    throw std::overflow_error("UpDownCounter: register overflow");
 }
 
 void UpDownCounter::step(bool high, double dt_s) {
@@ -59,7 +69,7 @@ void UpDownCounter::step(bool high, double dt_s) {
     const auto ticks = static_cast<std::int64_t>(whole);
     count_ += high ? ticks : -ticks;
     active_ticks_ += static_cast<std::uint64_t>(ticks);
-    if (hardware_engaged_) count_ = apply_hardware(count_);
+    if (hardware_engaged_) apply_hardware(count_);
 }
 
 void UpDownCounter::step_block(const std::uint8_t* high, const std::uint8_t* valid,
@@ -81,7 +91,7 @@ void UpDownCounter::step_block(const std::uint8_t* high, const std::uint8_t* val
         const auto ticks = static_cast<std::int64_t>(whole);
         count += high[k] ? ticks : -ticks;
         active += static_cast<std::uint64_t>(ticks);
-        if (hw) count = apply_hardware(count);
+        if (hw) apply_hardware(count);
     }
     tick_accumulator_ = acc;
     count_ = count;
@@ -94,6 +104,7 @@ void UpDownCounter::reset() noexcept {
     active_ticks_ = 0;
     enabled_ = true;
     overflowed_ = false;
+    trap_pending_ = false;
 }
 
 }  // namespace fxg::digital

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "magnetics/units.hpp"
 #include "util/angle.hpp"
@@ -76,7 +77,16 @@ std::string HealthReport::summary() const {
 }
 
 HealthMonitor::HealthMonitor(const HealthMonitorConfig& config)
-    : config_(config), filter_(config.filter_alpha) {}
+    : config_(config), filter_(config.filter_alpha) {
+    // The jump check measures circular distance, which never exceeds
+    // 180 — a larger threshold would silently disable the watchdog (it
+    // could not even catch a 180-degree flip), so reject it loudly.
+    if (config.stationary && !(config.max_heading_jump_deg > 0.0 &&
+                               config.max_heading_jump_deg <= 180.0)) {
+        throw std::invalid_argument(
+            "HealthMonitor: max_heading_jump_deg must be in (0, 180]");
+    }
+}
 
 void HealthMonitor::reset() noexcept { filter_.reset(); }
 
@@ -179,10 +189,12 @@ HealthReport HealthMonitor::check(const compass::Compass& compass,
     // --- Heading continuity (stationary mounts) ----------------------
     if (config_.stationary) {
         if (const auto tracked = filter_.heading_deg()) {
+            // Circular distance: 359 -> 1 is a 2-degree step, not 358.
             const double jump = util::angular_abs_diff_deg(m.heading_deg, *tracked);
             if (jump > config_.max_heading_jump_deg) {
                 flag(FaultCode::HeadingJump,
-                     format("%.1f deg vs tracked %.1f deg", m.heading_deg, *tracked));
+                     format("jump %.1f deg (%.1f vs tracked %.1f)", jump,
+                            m.heading_deg, *tracked));
             }
         }
         // Learn only from healthy measurements: one bad reading must not

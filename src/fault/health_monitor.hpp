@@ -111,7 +111,9 @@ struct HealthMonitorConfig {
 
     /// Stationary-mount mode: also flag heading jumps against a
     /// heading-filter track. Off by default — a rotating compass jumps
-    /// legitimately.
+    /// legitimately. The jump is the *circular* distance (a 359 -> 1
+    /// transition is a 2-degree step), so the threshold must lie in
+    /// (0, 180] — the constructor rejects values that could never fire.
     bool stationary = false;
     double max_heading_jump_deg = 30.0;
     double filter_alpha = 0.25;

@@ -68,21 +68,29 @@ std::optional<double> MeasurementSupervisor::reconstruct_heading(
 
     // Two sign candidates; heading continuity picks the branch.
     const bool bad_x = healthy == analog::Channel::Y;
-    double best = 0.0;
-    double best_err = 1e9;
+    double candidate[2];
+    double err[2];
+    int idx = 0;
     for (const double sign : {+1.0, -1.0}) {
         const double cx = bad_x ? sign * missing : good;
         const double cy = bad_x ? good : sign * missing;
-        const double heading =
-            magnetics::EarthField::heading_from_components(cx, cy);
-        const double err =
-            util::angular_abs_diff_deg(heading, last_good_->heading_deg);
-        if (err < best_err) {
-            best_err = err;
-            best = heading;
-        }
+        candidate[idx] = magnetics::EarthField::heading_from_components(cx, cy);
+        err[idx] =
+            util::angular_abs_diff_deg(candidate[idx], last_good_->heading_deg);
+        ++idx;
     }
-    return best;
+    // Ambiguous geometry: when the last good heading sits (near)
+    // equidistant from two genuinely different candidates — the healthy
+    // count close to zero with the track near the mirror axis — the
+    // branch choice would be decided by noise, and the loser is a
+    // mirrored heading up to 180 degrees off. Refuse instead; the
+    // ladder falls through to HoldLastGood.
+    if (std::fabs(err[0] - err[1]) <= config_.reconstruct_ambiguity_deg &&
+        util::angular_abs_diff_deg(candidate[0], candidate[1]) >
+            config_.reconstruct_ambiguity_deg) {
+        return std::nullopt;
+    }
+    return err[0] <= err[1] ? candidate[0] : candidate[1];
 }
 
 SupervisedMeasurement MeasurementSupervisor::measure() {

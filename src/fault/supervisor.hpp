@@ -19,7 +19,9 @@
 /// to the field magnitude (paper section 4): the last good measurement
 /// pins |H| in count units, so a healthy count on one axis plus the
 /// circle radius determines the other axis up to sign, and the sign is
-/// taken from heading continuity.
+/// taken from heading continuity. Near the ambiguous geometry — both
+/// sign candidates about equally far from the last good heading — no
+/// estimate is served (the ladder holds the last good heading instead).
 ///
 /// Every rung of the ladder is a *plan rewrite* (core/plan.hpp), not a
 /// separate code path: the supervisor compiles the compass's full
@@ -55,6 +57,13 @@ struct SupervisorConfig {
     int max_retries = 2;
     /// Longest the supervisor will keep serving a stale heading [s].
     double max_hold_s = 30.0;
+    /// Degraded single-axis mode: the missing axis is known only up to
+    /// sign, giving two heading candidates. When their distances to the
+    /// last good heading differ by no more than this (while the
+    /// candidates themselves genuinely differ), the branch choice would
+    /// be a coin flip on noise — the supervisor refuses to reconstruct
+    /// and holds the last good heading instead. [deg]
+    double reconstruct_ambiguity_deg = 10.0;
     HealthMonitorConfig health;
 };
 
@@ -105,7 +114,8 @@ public:
 private:
     /// Reconstructs the heading from a fresh count on the one healthy
     /// axis plus the last-good circle radius; nullopt when no last-good
-    /// exists or the count is inconsistent with the remembered radius.
+    /// exists, the count is inconsistent with the remembered radius, or
+    /// the two sign candidates are ambiguously plausible.
     [[nodiscard]] std::optional<double> reconstruct_heading(
         analog::Channel healthy, std::int64_t good_count) const;
 

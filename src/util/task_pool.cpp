@@ -21,8 +21,15 @@ int TaskPool::thread_count() const {
 }
 
 TaskPool& TaskPool::shared() {
-    static TaskPool pool;
-    return pool;
+    // Intentionally leaked. A plain function-local static would be
+    // destroyed during static destruction — before destructors of
+    // earlier-constructed objects (and detached threads racing process
+    // teardown) that may still schedule a batch, handing them a joined
+    // pool whose mutex is gone. Leaking keeps shared() valid for the
+    // whole process lifetime; the workers and their stacks are
+    // reclaimed by process exit.
+    static TaskPool* pool = new TaskPool();
+    return *pool;
 }
 
 void TaskPool::ensure_threads(int count) {

@@ -57,6 +57,13 @@ public:
     /// The process-wide shared pool (lazily constructed, sized on
     /// demand). Fleets default to scheduling through this instance so
     /// every batch in the process reuses one set of workers.
+    ///
+    /// Lifetime contract: the instance is intentionally *leaked* — it
+    /// is never destroyed, so shared() stays valid through static
+    /// destruction (a fleet measurement running from a destructor at
+    /// process teardown must not touch a joined pool). Its worker
+    /// threads are reclaimed by process exit. Code that needs
+    /// deterministic worker shutdown should own its own TaskPool.
     [[nodiscard]] static TaskPool& shared();
 
 private:

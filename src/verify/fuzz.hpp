@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file fuzz.hpp
+/// Seeded differential fuzz/property harness for the compass pipeline.
+///
+/// The library stacks four layers that all promise exact identities —
+/// scalar vs block sim::SimEngine, compiled vs rewritten
+/// MeasurementPlan, behavioural CORDIC vs floating atan2 (within the
+/// documented bound), finite-width counter register vs the unbounded
+/// reference, telemetry-attached vs telemetry-free execution. Those
+/// contracts are only as good as the configurations they were checked
+/// on; this harness generates randomized configurations (field
+/// magnitude 25..65 uT, headings including exact cardinals, noise,
+/// excitation ratio, counter width, fault mix) and checks one oracle
+/// pair per case:
+///
+///   EngineParity      scalar vs block engine: counts, headings,
+///                     energy, stream statistics, register state — and
+///                     identical abort behaviour under overflow traps;
+///   PlanRewrite       with_re_excite(plan) is bit-identical to plan on
+///                     a fresh pipeline; truncate_to_axis keeps the
+///                     kept axis's count bit-identical (prefix
+///                     identity) and the stage algebra adds up;
+///   CordicAtan        heading_deg() is total (never throws, never NaN,
+///                     always in [0, 360)) over the whole int64 input
+///                     plane, and circularly within the analytic error
+///                     bound of std::atan2 — including zero axes, +-1
+///                     LSB around cardinals, and INT64_MIN/MAX;
+///   CounterWidth      a finite-width register run is congruent to the
+///                     unbounded run (two's-complement sign-extension),
+///                     exactly equal when the sticky flag stayed clear;
+///   TelemetryIdentity a measurement with a trace+probes sink attached
+///                     is bit-identical to one without.
+///
+/// Everything is a pure function of (seed, index): generate_case() is
+/// deterministic, so any failure is replayed by number alone, and
+/// shrink.hpp minimizes failing cases to a one-line literal.
+/// tests/fuzz_test.cpp runs the fixed-seed corpus; bench_fuzz_soak
+/// runs larger rotating-seed corpora and emits BENCH_fuzz.json.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compass.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace fxg::verify {
+
+/// One oracle pair (see file comment). Cases round-robin over these.
+enum class Oracle {
+    EngineParity,
+    PlanRewrite,
+    CordicAtan,
+    CounterWidth,
+    TelemetryIdentity,
+};
+
+inline constexpr int kOracleCount = 5;
+
+[[nodiscard]] const char* to_string(Oracle oracle) noexcept;
+
+/// One generated property-test case: a full pipeline configuration plus
+/// environment, register geometry and fault schedule. For CordicAtan
+/// only raw_x/raw_y and the CORDIC geometry matter.
+struct FuzzCase {
+    std::uint64_t seed = 0;
+    std::uint64_t index = 0;
+    Oracle oracle = Oracle::EngineParity;
+
+    compass::CompassConfig config;
+    double field_ut = 48.0;        ///< total field magnitude [uT]
+    double inclination_deg = 67.0; ///< dip angle
+    double heading_deg = 0.0;      ///< physical heading
+
+    int counter_width_bits = 0;    ///< 0 = unbounded register
+    bool trap_on_overflow = false;
+    std::vector<fault::FaultSpec> faults;
+
+    std::int64_t raw_x = 0;        ///< CordicAtan operands
+    std::int64_t raw_y = 0;
+
+    /// One-line repro literal (the shrinker's output format): every
+    /// field that differs from the defaults, plus seed/index so the
+    /// case can also be regenerated exactly.
+    [[nodiscard]] std::string to_literal() const;
+};
+
+/// Deterministically generates case `index` of corpus `seed`. Same
+/// (seed, index) always yields the same case, independent of platform
+/// (mt19937_64 + explicitly ordered draws).
+[[nodiscard]] FuzzCase generate_case(std::uint64_t seed, std::uint64_t index);
+
+/// Runs one case against its oracle pair. nullopt = all identities
+/// held; otherwise a human-readable description of the first mismatch.
+[[nodiscard]] std::optional<std::string> run_case(const FuzzCase& c);
+
+struct FuzzFailure {
+    FuzzCase failing;
+    std::string mismatch;
+};
+
+/// Corpus outcome. `mismatches` counts every failing case; `failures`
+/// keeps the first `max_failures` of them (by index) for reporting.
+struct FuzzReport {
+    std::uint64_t cases = 0;
+    std::uint64_t mismatches = 0;
+    std::vector<FuzzFailure> failures;
+
+    [[nodiscard]] bool ok() const noexcept { return mismatches == 0; }
+};
+
+/// Runs cases [0, cases) of corpus `seed`. With threads > 1 the cases
+/// are fanned out over a util::TaskPool; results are independent of the
+/// thread count (cases are pure functions, failures re-sorted by
+/// index).
+[[nodiscard]] FuzzReport run_corpus(std::uint64_t seed, std::uint64_t cases,
+                                    std::size_t max_failures = 8, int threads = 1);
+
+}  // namespace fxg::verify

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file shrink.hpp
+/// Greedy config shrinker for failing fuzz cases.
+///
+/// A raw failing FuzzCase carries every knob the generator randomized —
+/// noise, mismatch, fault schedules, odd window geometry — most of which
+/// usually have nothing to do with the failure. shrink_case() repeatedly
+/// tries reductions (drop a fault, zero the noise, shrink the window,
+/// widen the register, snap the heading to a cardinal, halve the raw
+/// CORDIC operands, ...) and keeps each one only if the case still
+/// fails, until a fixpoint. The minimized case's to_literal() is the
+/// one-line repro to paste into a regression test.
+
+#include <functional>
+
+#include "verify/fuzz.hpp"
+
+namespace fxg::verify {
+
+/// Returns true if the (candidate) case still exhibits the failure.
+using FailPredicate = std::function<bool(const FuzzCase&)>;
+
+/// Minimizes `failing` under `still_fails`. Runs reduction sweeps until
+/// none is accepted or `max_rounds` sweeps have run; every intermediate
+/// accepted case fails, so the result always fails too.
+[[nodiscard]] FuzzCase shrink_case(const FuzzCase& failing,
+                                   const FailPredicate& still_fails,
+                                   int max_rounds = 32);
+
+/// Convenience overload: "still fails" = run_case() reports a mismatch
+/// (a harness exception also counts as failing).
+[[nodiscard]] FuzzCase shrink_case(const FuzzCase& failing, int max_rounds = 32);
+
+}  // namespace fxg::verify

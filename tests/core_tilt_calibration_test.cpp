@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/calibration.hpp"
 #include "core/compass.hpp"
@@ -173,6 +175,21 @@ TEST(HeadingFilter, ResetAndValidation) {
     EXPECT_FALSE(f.heading_deg().has_value());
     EXPECT_THROW(HeadingFilter(0.0), std::invalid_argument);
     EXPECT_THROW(HeadingFilter(1.5), std::invalid_argument);
+}
+
+TEST(HeadingFilter, RejectsNonFiniteHeadings) {
+    // Regression: a single NaN sample used to poison the averaged unit
+    // vector permanently — every later heading_deg() returned NaN with
+    // no way to notice short of reset(). Reject loudly, keep the state.
+    HeadingFilter f(0.3);
+    f.update(45.0);
+    EXPECT_THROW(f.update(std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+    EXPECT_THROW(f.update(std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
+    ASSERT_TRUE(f.heading_deg().has_value());
+    EXPECT_NEAR(*f.heading_deg(), 45.0, 1e-9);
+    EXPECT_NEAR(f.update(45.0), 45.0, 1e-9);
 }
 
 // ------------------------------------------------------------ power budget

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "digital/cordic.hpp"
 #include "digital/cordic_gate.hpp"
@@ -29,12 +31,100 @@ TEST(Cordic, RomHoldsAtanConstants) {
 }
 
 TEST(Cordic, ExactAxes) {
+    // Regression: a zero count on one axis IS a cardinal heading and
+    // must bypass the core — the non-restoring loop always rotates, so
+    // it would otherwise return the +-last-ROM-angle residual (a
+    // phantom ~0.5 deg deviation on a due-north reading, and after the
+    // 180 - ang fold a near-180 flip of the displayed direction).
     const CordicUnit unit;
     EXPECT_NEAR(unit.arctan(0, 1000).angle_deg, 0.0, 1e-12);
-    EXPECT_NEAR(unit.heading_deg(1000, 0), 0.0, 1e-12);
-    EXPECT_NEAR(unit.heading_deg(0, -1000), 90.0, 0.5);
-    EXPECT_NEAR(unit.heading_deg(-1000, 0), 180.0, 0.5);
-    EXPECT_NEAR(unit.heading_deg(0, 1000), 270.0, 0.5);
+    for (const std::int64_t mag : {std::int64_t{1}, std::int64_t{1000},
+                                   std::int64_t{1} << 40}) {
+        EXPECT_EQ(unit.heading_deg(mag, 0), 0.0) << mag;
+        EXPECT_EQ(unit.heading_deg(0, -mag), 90.0) << mag;
+        EXPECT_EQ(unit.heading_deg(-mag, 0), 180.0) << mag;
+        EXPECT_EQ(unit.heading_deg(0, mag), 270.0) << mag;
+    }
+}
+
+TEST(Cordic, OneLsbOffCardinalStaysNearTheCardinal) {
+    // +-1 LSB of count around each cardinal: the result must stay
+    // within the error bound of the true (tiny) angle — in particular
+    // no NaN and no 180-degree flip from folding artefacts.
+    const CordicUnit unit;
+    const double bound = unit.error_bound_deg() + 0.2;
+    const std::int64_t big = 100000;
+    for (const std::int64_t lsb : {std::int64_t{-1}, std::int64_t{1}}) {
+        const struct {
+            std::int64_t x, y;
+            double cardinal;
+        } cases[] = {
+            {big, lsb, 0.0}, {lsb, -big, 90.0}, {-big, lsb, 180.0}, {lsb, big, 270.0},
+        };
+        for (const auto& c : cases) {
+            const double h = unit.heading_deg(c.x, c.y);
+            EXPECT_TRUE(std::isfinite(h)) << c.x << "," << c.y;
+            EXPECT_LT(util::angular_abs_diff_deg(h, c.cardinal), bound)
+                << c.x << "," << c.y << " -> " << h;
+        }
+    }
+}
+
+TEST(Cordic, TotalOverInt64IncludingExtremes) {
+    // heading_deg() must be total: never throw, never NaN, always in
+    // [0, 360), across the whole int64 plane including INT64_MIN
+    // (whose negation overflows) and INT64_MAX.
+    const CordicUnit unit;
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    for (const std::int64_t x : {kMin, kMax, std::int64_t{0}, std::int64_t{-1}}) {
+        for (const std::int64_t y : {kMin, kMax, std::int64_t{0}, std::int64_t{1}}) {
+            const double h = unit.heading_deg(x, y);
+            EXPECT_TRUE(std::isfinite(h)) << x << "," << y;
+            EXPECT_GE(h, 0.0);
+            EXPECT_LT(h, 360.0);
+        }
+    }
+    EXPECT_EQ(unit.heading_deg(0, 0), 0.0);
+    // Equal extreme magnitudes sit exactly on a diagonal.
+    EXPECT_NEAR(unit.heading_deg(kMax, kMax), 315.0, 1.0);
+    EXPECT_NEAR(unit.heading_deg(kMin, kMin), 135.0, 1.0);
+}
+
+TEST(Cordic, TinyAndHugeMagnitudesHoldTheBound) {
+    // The pre-scaling (up for counts of a few LSBs, down for counts
+    // beyond the core datapath) must keep every magnitude within the
+    // documented bound of atan2. Small magnitudes are the regression:
+    // unscaled, the >> k micro-rotations truncate to zero and stall.
+    const CordicUnit unit;
+    const double bound = unit.error_bound_deg() + 0.5;
+    for (const std::int64_t scale :
+         {std::int64_t{1}, std::int64_t{50}, std::int64_t{1} << 30,
+          std::int64_t{1} << 55}) {
+        for (int deg = 5; deg < 360; deg += 35) {
+            const double rad = util::deg_to_rad(static_cast<double>(deg));
+            const auto x = static_cast<std::int64_t>(
+                std::llround(static_cast<double>(scale) * std::cos(rad)));
+            const auto y = static_cast<std::int64_t>(
+                std::llround(-static_cast<double>(scale) * std::sin(rad)));
+            if (x == 0 || y == 0) continue;  // cardinals covered above
+            const double h = unit.heading_deg(x, y);
+            const double ref = util::wrap_deg_360(util::rad_to_deg(
+                std::atan2(-static_cast<double>(y), static_cast<double>(x))));
+            EXPECT_LT(util::angular_abs_diff_deg(h, ref), bound)
+                << "scale " << scale << " deg " << deg;
+        }
+    }
+}
+
+TEST(Cordic, ArctanRejectsOperandsBeyondTheDatapath) {
+    // arctan() keeps its documented bounded domain (heading_deg is the
+    // total API; it pre-scales before calling in here).
+    const CordicUnit unit(8, 7);
+    const std::int64_t limit = std::int64_t{1} << (60 - 7);
+    EXPECT_NO_THROW(static_cast<void>(unit.arctan(limit / 2, limit)));
+    EXPECT_THROW(static_cast<void>(unit.arctan(1, limit * 2)), std::domain_error);
+    EXPECT_THROW(static_cast<void>(unit.arctan(-1, 1000)), std::domain_error);
 }
 
 TEST(Cordic, FortyFiveDegrees) {

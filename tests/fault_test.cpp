@@ -96,11 +96,43 @@ TEST(CounterHardware, WrapsTwosComplementWithStickyFlag) {
     EXPECT_FALSE(counter.overflowed());
 }
 
-TEST(CounterHardware, TrapOnOverflowThrows) {
+TEST(CounterHardware, TrapLatchesPendingAndServicesAtWindowEnd) {
     digital::UpDownCounter counter(1.0e6);
     counter.set_hardware({.width_bits = 4, .trap_on_overflow = true});
     for (int i = 0; i < 7; ++i) counter.step(true, 1.0e-6);
-    EXPECT_THROW(counter.step(true, 1.0e-6), std::overflow_error);
+    EXPECT_FALSE(counter.trap_pending());
+    // The wrapping tick latches the trap but never throws mid-window:
+    // the register keeps counting modulo 2^w.
+    EXPECT_NO_THROW(counter.step(true, 1.0e-6));
+    EXPECT_EQ(counter.count(), -8);
+    EXPECT_TRUE(counter.overflowed());
+    EXPECT_TRUE(counter.trap_pending());
+    EXPECT_NO_THROW(counter.step(true, 1.0e-6));
+    EXPECT_EQ(counter.count(), -7);
+    // service_trap() raises once, clears pending, keeps the sticky flag.
+    EXPECT_THROW(counter.service_trap(), std::overflow_error);
+    EXPECT_FALSE(counter.trap_pending());
+    EXPECT_TRUE(counter.overflowed());
+    EXPECT_NO_THROW(counter.service_trap());
+}
+
+TEST(CounterHardware, WrapsAtBothRegisterExtremes) {
+    // Down-counting through the most-negative register value must wrap
+    // to the most-positive one (two's complement), set the sticky flag,
+    // and involve no undefined arithmetic — the mirror image of the
+    // positive-edge wrap above.
+    digital::UpDownCounter counter(1.0e6);
+    counter.set_hardware({.width_bits = 4});  // range [-8, 7]
+    for (int i = 0; i < 8; ++i) counter.step(false, 1.0e-6);
+    EXPECT_EQ(counter.count(), -8);
+    EXPECT_FALSE(counter.overflowed());
+    counter.step(false, 1.0e-6);  // -9 wraps to +7
+    EXPECT_EQ(counter.count(), 7);
+    EXPECT_TRUE(counter.overflowed());
+    // And straight back across the positive edge in the same run.
+    counter.step(true, 1.0e-6);  // 8 wraps to -8
+    EXPECT_EQ(counter.count(), -8);
+    EXPECT_TRUE(counter.overflowed());
 }
 
 TEST(CounterHardware, StuckBitForcesRegisterBit) {
@@ -263,6 +295,45 @@ TEST(HealthMonitor, DetectsHeadingJumpWhenStationary) {
     EXPECT_TRUE(report.has(FaultCode::HeadingJump)) << report.summary();
 }
 
+TEST(HealthMonitor, HeadingJumpIsCircularAcrossTheSeam) {
+    // Regression: the jump watchdog must use circular distance — a
+    // 359 -> 3 transition is a 4-degree step, not a 356-degree one, and
+    // must NOT trip a 30-degree threshold.
+    compass::Compass compass(lite_config());
+    fault::HealthMonitorConfig cfg = site_monitor();
+    cfg.stationary = true;
+    fault::HealthMonitor monitor(cfg);
+    compass.set_environment(site(), 359.0);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(monitor.check(compass, compass.measure()).ok);
+    }
+    compass.set_environment(site(), 3.0);
+    const auto seam = monitor.check(compass, compass.measure());
+    EXPECT_TRUE(seam.ok) << seam.summary();
+    // The watchdog is still armed: a genuine jump across the seam fires.
+    compass.set_environment(site(), 120.0);
+    const auto jump = monitor.check(compass, compass.measure());
+    EXPECT_FALSE(jump.ok);
+    EXPECT_TRUE(jump.has(FaultCode::HeadingJump)) << jump.summary();
+}
+
+TEST(HealthMonitor, ValidatesHeadingJumpThreshold) {
+    // Circular distance never exceeds 180, so a larger threshold (or a
+    // non-positive one) would silently disable the stationary watchdog.
+    fault::HealthMonitorConfig cfg = site_monitor();
+    cfg.stationary = true;
+    cfg.max_heading_jump_deg = 0.0;
+    EXPECT_THROW(fault::HealthMonitor{cfg}, std::invalid_argument);
+    cfg.max_heading_jump_deg = 200.0;
+    EXPECT_THROW(fault::HealthMonitor{cfg}, std::invalid_argument);
+    cfg.max_heading_jump_deg = 180.0;
+    EXPECT_NO_THROW(fault::HealthMonitor{cfg});
+    // Non-stationary monitors never read the threshold; any value is fine.
+    cfg.stationary = false;
+    cfg.max_heading_jump_deg = 0.0;
+    EXPECT_NO_THROW(fault::HealthMonitor{cfg});
+}
+
 // --- Injector mechanics ----------------------------------------------
 
 TEST(FaultInjector, ValidatesSchedule) {
@@ -421,6 +492,53 @@ TEST(Supervisor, SingleAxisFaultDegradesToEstimate) {
     // The healthy X axis plus the remembered field magnitude pins the
     // heading to a few degrees.
     EXPECT_LT(util::angular_abs_diff_deg(result.heading_deg, 200.0), 5.0)
+        << "estimated " << result.heading_deg;
+}
+
+TEST(Supervisor, AmbiguousSingleAxisGeometryHoldsInsteadOfGuessing) {
+    // Regression: last good heading 90 deg, field now along x (the
+    // surviving Y count is ~0). The two reconstruction candidates are
+    // ~0 and ~180 deg — both ~90 deg from the track, so the branch
+    // choice would be decided by noise and the loser is 180 deg off.
+    // The supervisor must refuse the estimate and hold instead of
+    // publishing a coin-flip heading.
+    compass::Compass compass(lite_config());
+    compass.set_environment(site(), 90.0);
+    fault::SupervisorConfig cfg;
+    cfg.health = site_monitor();
+    fault::MeasurementSupervisor supervisor(compass, cfg);
+    const auto good = supervisor.measure();
+    ASSERT_EQ(good.status, fault::SupervisedStatus::Ok);
+
+    compass.set_environment(site(), 0.0);
+    fault::FaultInjector injector;
+    injector.add({.fault = FaultClass::DetectorStuckLow, .channel = analog::Channel::X});
+    injector.arm(compass);
+    const auto result = supervisor.measure();
+    EXPECT_EQ(result.status, fault::SupervisedStatus::HoldLastGood)
+        << result.diagnostics;
+    EXPECT_TRUE(result.stale);
+    EXPECT_EQ(result.heading_deg, good.heading_deg);
+}
+
+TEST(Supervisor, UnambiguousSingleAxisGeometryStillDegrades) {
+    // Control for the ambiguity guard: with the track well away from
+    // the mirror axis the same X fault must still yield a live
+    // single-axis estimate, not a hold.
+    compass::Compass compass(lite_config());
+    compass.set_environment(site(), 340.0);
+    fault::SupervisorConfig cfg;
+    cfg.health = site_monitor();
+    fault::MeasurementSupervisor supervisor(compass, cfg);
+    ASSERT_EQ(supervisor.measure().status, fault::SupervisedStatus::Ok);
+
+    fault::FaultInjector injector;
+    injector.add({.fault = FaultClass::DetectorStuckLow, .channel = analog::Channel::X});
+    injector.arm(compass);
+    const auto result = supervisor.measure();
+    EXPECT_EQ(result.status, fault::SupervisedStatus::DegradedSingleAxis)
+        << result.diagnostics;
+    EXPECT_LT(util::angular_abs_diff_deg(result.heading_deg, 340.0), 5.0)
         << "estimated " << result.heading_deg;
 }
 

@@ -343,6 +343,35 @@ TEST(SupervisorPlans, DegradedRungExecutesTruncatedRewrite) {
 
 // --- TaskPool ---------------------------------------------------------
 
+// Regression for TaskPool::shared()'s lifetime contract. This object is
+// constructed during static initialization of the test binary — before
+// main(), and before the shared pool's first use — so its destructor
+// runs AFTER the pool's destructor would under a plain function-local
+// static. A fleet measurement running from such a late destructor then
+// dispatches into a pool whose workers have been joined: deadlock or
+// use-after-destruction. shared() therefore leaks its instance; this
+// probe re-enters it after main() returns and aborts the process (test
+// failure via non-zero exit) if the dispatch misbehaves. The TSan CI
+// job runs this binary, so the teardown path is raced-checked too.
+struct SharedPoolStaticDestructionProbe {
+    ~SharedPoolStaticDestructionProbe() {
+        std::atomic<int> sum{0};
+        util::TaskPool::shared().parallel_for(64, 4, [&](int i) { sum += i; });
+        if (sum.load() != 64 * 63 / 2) std::abort();
+    }
+};
+const SharedPoolStaticDestructionProbe shared_pool_static_destruction_probe;
+
+TEST(TaskPool, SharedSurvivesStaticDestruction) {
+    // Prime the shared pool during normal runtime (spawns its workers);
+    // the load-bearing assertion is the namespace-scope probe above,
+    // which re-enters the same pool after main() has returned.
+    std::atomic<int> sum{0};
+    util::TaskPool::shared().parallel_for(8, 2, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 28);
+    EXPECT_GE(util::TaskPool::shared().thread_count(), 1);
+}
+
 TEST(TaskPool, VisitsEveryIndexExactlyOnce) {
     util::TaskPool pool;
     constexpr int kN = 100;
