@@ -17,6 +17,7 @@
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/simd.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/shrink.hpp"
 
@@ -48,9 +49,13 @@ int main(int argc, char** argv) {
     const int threads = static_cast<int>(
         flag_u64(argc, argv, "--threads", hw > 0 ? hw : 4));
 
-    std::printf("fuzz soak: seed=%llu cases=%llu threads=%d\n",
+    // The EngineParity oracle diffs the SoA lane engine against the
+    // scalar reference in every case, so each soak also exercises the
+    // active SIMD backend — say which one this run covered.
+    std::printf("fuzz soak: seed=%llu cases=%llu threads=%d simd=%s (%d lanes)\n",
                 static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(cases), threads);
+                static_cast<unsigned long long>(cases), threads,
+                util::simd::backend_name(), util::simd::kLanes);
 
     const auto t0 = telemetry::Clock::now();
     const verify::FuzzReport report = verify::run_corpus(seed, cases, 8, threads);
@@ -76,6 +81,8 @@ int main(int argc, char** argv) {
     registry.counter("fuzz_mismatches", "cases")
         .inc(static_cast<double>(report.mismatches));
     registry.gauge("fuzz_seed", "seed").set(static_cast<double>(seed));
+    registry.gauge("fuzz_simd_lanes", "lanes")
+        .set(static_cast<double>(util::simd::kLanes));
     registry.gauge("fuzz_rate", "cases_per_s").set(rate);
     registry.gauge("fuzz_elapsed", "s").set(elapsed_s);
     telemetry::write_bench_json("BENCH_fuzz.json",

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -22,8 +23,10 @@
 #include "sensor/fluxgate_device.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices.hpp"
+#include "sim/lane_engine.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/probes.hpp"
+#include "util/simd.hpp"
 
 using namespace fxg;
 
@@ -203,7 +206,27 @@ double mean_latency_ms(compass::Compass& compass, telemetry::PhysicsProbes& prob
     return count == 0 ? 0.0 : 1e3 * (latency.sum() - sum0) / count;
 }
 
-void write_perf_json() {
+/// Sustained single-thread fleet throughput [measurements/s] at a given
+/// dispatch strategy. No warm-up pass: at these batch sizes the one-off
+/// scratch allocation is noise against the simulation itself.
+double fleet_rate(int fleet_n, compass::FleetExecution exec, int reps,
+                  const magnetics::EarthField& field) {
+    compass::CompassFleet fleet(fleet_n);
+    fleet.set_execution(exec);
+    std::vector<double> headings;
+    headings.reserve(static_cast<std::size_t>(fleet_n));
+    for (int i = 0; i < fleet_n; ++i) {
+        headings.push_back(i * 360.0 / fleet_n + 3.0);
+    }
+    fleet.set_environments(field, headings);
+    const auto t0 = telemetry::Clock::now();
+    for (int r = 0; r < reps; ++r) static_cast<void>(fleet.measure_all(1));
+    const double elapsed =
+        std::chrono::duration<double>(telemetry::Clock::now() - t0).count();
+    return elapsed > 0.0 ? reps * static_cast<double>(fleet_n) / elapsed : 0.0;
+}
+
+void write_perf_json(bool large) {
     telemetry::MetricsRegistry registry;
     telemetry::PhysicsProbes probes(registry);
     const telemetry::Histogram& latency =
@@ -259,6 +282,43 @@ void write_perf_json() {
         }
     }
 
+    // Lane engine vs block engine at fleet scale, equal thread count
+    // (one): the block fleet is pinned PerMember (one block-engine plan
+    // execution per member, the previous production path), the lane
+    // fleet keeps Auto (SoA lane groups through run_lanes). n=1k is
+    // small enough that gather/scatter overhead still shows; n=64k is
+    // simulation-bound. The speedup gauges are the headline acceptance
+    // numbers of the lane engine.
+    registry.gauge("fxg_simd_lanes_per_stripe", "lanes")
+        .set(static_cast<double>(sim::LaneEngine::lanes_per_stripe()));
+    for (const int n : {1000, 64000}) {
+        const int reps = n <= 1000 ? 3 : 1;
+        const double block =
+            fleet_rate(n, compass::FleetExecution::PerMember, reps, field);
+        const double lane =
+            fleet_rate(n, compass::FleetExecution::Auto, reps, field);
+        const std::string tag = "_n" + std::to_string(n);
+        registry.gauge("fxg_fleet_block" + tag + "_measurements_per_s", "1/s")
+            .set(block);
+        registry.gauge("fxg_fleet_lane" + tag + "_measurements_per_s", "1/s")
+            .set(lane);
+        registry.gauge("fxg_lane_speedup_over_block" + tag, "x")
+            .set(block > 0.0 ? lane / block : 0.0);
+        std::printf("fleet n=%d [%s]: block %.1f meas/s, lane %.1f meas/s (%.2fx)\n",
+                    n, sim::LaneEngine::backend_name(), block, lane,
+                    block > 0.0 ? lane / block : 0.0);
+    }
+    if (large) {
+        // One-million-member lane-only gauge (several minutes of
+        // simulation): opt-in via --large, excluded from routine runs.
+        const double lane =
+            fleet_rate(1000000, compass::FleetExecution::Auto, 1, field);
+        registry.gauge("fxg_fleet_lane_n1000000_measurements_per_s", "1/s")
+            .set(lane);
+        std::printf("fleet n=1000000 [%s]: lane %.1f meas/s\n",
+                    sim::LaneEngine::backend_name(), lane);
+    }
+
     telemetry::write_bench_json("BENCH_perf.json",
                                 telemetry::bench_json_records(registry));
     std::printf("\nscalar %.3f ms, block %.3f ms (%.2fx), fleet(n=8) %.1f meas/s\n",
@@ -271,10 +331,21 @@ void write_perf_json() {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // --large opts into the n=1M lane gauge; strip it before the
+    // benchmark library sees (and rejects) it.
+    bool large = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--large") == 0) {
+            large = true;
+            for (int j = i; j < argc - 1; ++j) argv[j] = argv[j + 1];
+            --argc;
+            --i;
+        }
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    write_perf_json();
+    write_perf_json(large);
     return 0;
 }

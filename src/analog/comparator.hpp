@@ -45,6 +45,9 @@ public:
     }
     [[nodiscard]] double offset_fault() const noexcept { return offset_fault_v_; }
 
+    /// Direct latch access for the lane engine's gather/scatter seam.
+    void set_output(bool state) noexcept { state_ = state; }
+
     void reset() noexcept { state_ = false; }
 
     [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }

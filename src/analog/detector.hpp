@@ -48,6 +48,29 @@ public:
         return positive_.offset_fault();
     }
 
+    /// Evolving latch state (both comparators plus the edge logic), for
+    /// the lane engine's gather/scatter seam. Only meaningful for a
+    /// noise-free detector — the lane engine refuses noisy detectors,
+    /// whose comparators hold private RNG streams this cannot carry.
+    struct State {
+        bool positive = false;
+        bool negative = false;
+        bool prev_pos = false;
+        bool prev_neg = false;
+        bool out = false;
+    };
+
+    [[nodiscard]] State save_state() const noexcept {
+        return {positive_.output(), negative_.output(), prev_pos_, prev_neg_, out_};
+    }
+    void load_state(const State& s) noexcept {
+        positive_.set_output(s.positive);
+        negative_.set_output(s.negative);
+        prev_pos_ = s.prev_pos;
+        prev_neg_ = s.prev_neg;
+        out_ = s.out;
+    }
+
     void reset();
 
     [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }

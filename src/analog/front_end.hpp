@@ -246,6 +246,57 @@ public:
         return sensors_[static_cast<std::size_t>(ch)];
     }
 
+    // --- Lane-engine gather/scatter seam (sim/lane_engine.cpp) --------
+    //
+    // The SoA lane kernel lifts the hot per-sample state out of the
+    // stage objects, advances many front ends in lockstep, and writes
+    // the state back at stage boundaries. These accessors exist for
+    // that round-trip; after a scatter the front end is bit-identical
+    // to one that executed the same samples through step().
+
+    [[nodiscard]] AnalogMux& mux() noexcept { return mux_; }
+    [[nodiscard]] sensor::FluxgateSensor& sensor_mut(Channel ch) noexcept {
+        return sensors_[static_cast<std::size_t>(ch)];
+    }
+
+    /// The shared band-limited pickup noise source. The lane engine
+    /// draws per-lane samples from each member's own source so every
+    /// lane reproduces exactly the RNG stream its scalar run would see.
+    [[nodiscard]] NoiseSource& pickup_noise() noexcept { return pickup_noise_; }
+    [[nodiscard]] double noise_filter_state() const noexcept { return noise_state_; }
+    void set_noise_filter_state(double state) noexcept { noise_state_ = state; }
+
+    /// Stream-window accumulator state (per-channel stats, the edge
+    /// detector's memory, and the monotone sample index).
+    struct StreamWindowState {
+        std::array<StreamStats, 2> stats{};
+        std::array<std::uint8_t, 2> prev{};
+        std::array<bool, 2> has_prev{};
+        std::uint64_t sample_index = 0;
+    };
+
+    [[nodiscard]] StreamWindowState save_window_state() const noexcept {
+        return {stats_, stats_prev_, stats_has_prev_, sample_index_};
+    }
+    void load_window_state(const StreamWindowState& s) noexcept {
+        stats_ = s.stats;
+        stats_prev_ = s.prev;
+        stats_has_prev_ = s.has_prev;
+        sample_index_ = s.sample_index;
+    }
+
+    /// Feeds a block of already-computed emitted streams through the
+    /// tap -> sample-index -> statistics pipeline, exactly as
+    /// step_block() does for streams it computed itself. The lane
+    /// engine uses this for members with a tap attached (fault
+    /// injection), so stream faults see the same chunks, mutate the
+    /// same bytes and update the same statistics as on the per-member
+    /// path. The arrays are mutated in place by the tap.
+    void ingest_samples(int n, std::uint8_t* det_x, std::uint8_t* det_y,
+                        std::uint8_t* valid_x, std::uint8_t* valid_y) {
+        finish_samples(n, det_x, det_y, valid_x, valid_y);
+    }
+
 private:
     static sensor::FluxgateParams y_params(const FrontEndConfig& config);
 

@@ -39,6 +39,24 @@ public:
     /// True when the output is valid (settled after the last switch).
     [[nodiscard]] bool settled() const noexcept { return since_switch_s_ >= settle_s_; }
 
+    /// Settling dead time after a switch [s].
+    [[nodiscard]] double settle_time_s() const noexcept { return settle_s_; }
+
+    /// Evolving state for the lane engine's gather/scatter seam.
+    /// load_state restores the channel *without* restarting the
+    /// settling timer (unlike select()), which is exactly what putting
+    /// a suspended pipeline back together requires.
+    struct State {
+        Channel channel = Channel::X;
+        double since_switch_s = 0.0;
+    };
+
+    [[nodiscard]] State save_state() const noexcept { return {channel_, since_switch_s_}; }
+    void load_state(const State& s) noexcept {
+        channel_ = s.channel;
+        since_switch_s_ = s.since_switch_s;
+    }
+
     void reset() noexcept;
 
 private:

@@ -80,6 +80,32 @@ public:
     void set_fault(const OscillatorFault& fault) noexcept { fault_ = fault; }
     [[nodiscard]] const OscillatorFault& fault() const noexcept { return fault_; }
 
+    /// Complete evolving state, for the lane engine's gather/scatter
+    /// seam (sim/lane_engine.cpp): the SoA kernel lifts this out, runs
+    /// the identical per-sample arithmetic across lanes, and writes it
+    /// back, so a lane round-trip is indistinguishable from the same
+    /// number of step() calls.
+    struct State {
+        double time_s = 0.0;
+        double phase = 0.0;
+        double output = 0.0;
+        double correction_a = 0.0;
+        double period_integral = 0.0;
+        double period_time = 0.0;
+    };
+
+    [[nodiscard]] State save_state() const noexcept {
+        return {time_s_, phase_, output_, correction_a_, period_integral_, period_time_};
+    }
+    void load_state(const State& s) noexcept {
+        time_s_ = s.time_s;
+        phase_ = s.phase;
+        output_ = s.output;
+        correction_a_ = s.correction_a;
+        period_integral_ = s.period_integral;
+        period_time_ = s.period_time;
+    }
+
     void reset();
 
 private:

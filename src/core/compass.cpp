@@ -17,7 +17,24 @@ Compass::Compass(const CompassConfig& config)
     if (config.steps_per_period < 64) {
         throw std::invalid_argument("Compass: steps_per_period must be >= 64");
     }
-    plan_ = compile_plan(config_);
+    plan_ = std::make_shared<const MeasurementPlan>(compile_plan(config_));
+}
+
+Compass::Compass(const CompassConfig& config,
+                 std::shared_ptr<const MeasurementPlan> plan)
+    : config_(config), front_end_(config.front_end),
+      counter_(config.counter_clock_hz),
+      cordic_(config.cordic_cycles, config.cordic_frac_bits),
+      watch_(static_cast<std::uint64_t>(config.counter_clock_hz)),
+      engine_(sim::make_engine(config.engine)) {
+    if (config.periods_per_axis < 1 || config.settle_periods < 0) {
+        throw std::invalid_argument("Compass: bad period configuration");
+    }
+    if (config.steps_per_period < 64) {
+        throw std::invalid_argument("Compass: steps_per_period must be >= 64");
+    }
+    if (!plan) throw std::invalid_argument("Compass: null shared plan");
+    plan_ = std::move(plan);
 }
 
 void Compass::set_environment(const magnetics::EarthField& field, double heading_deg) {
@@ -31,7 +48,7 @@ void Compass::set_axis_fields(double hx_a_per_m, double hy_a_per_m) {
 }
 
 Measurement Compass::measure() {
-    return PlanExecutor(*this).run(plan_);
+    return PlanExecutor(*this).run(*plan_);
 }
 
 void Compass::re_excite() {

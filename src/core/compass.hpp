@@ -81,22 +81,21 @@ struct CountCalibration {
     double scale_y = 1.0;  ///< multiplies (count_y - offset_y)
 };
 
-/// One complete compass measurement.
-struct Measurement {
-    double heading_deg = 0.0;        ///< digital (CORDIC) heading
-    double heading_float_deg = 0.0;  ///< atan2 of the same counts (reference)
-    std::int64_t count_x = 0;        ///< up/down counter result, x axis
-    std::int64_t count_y = 0;
-    double duration_s = 0.0;         ///< wall-clock time of the measurement
-    double energy_j = 0.0;           ///< front-end energy over the measurement
-    double avg_power_w = 0.0;        ///< mean front-end power while measuring
-    bool field_in_range = true;      ///< core saturated both ways on both axes
-};
+// struct Measurement lives in core/plan.hpp (included above): the plan
+// layer produces it, both per member (PlanExecutor::run) and per lane
+// batch (PlanExecutor::run_lanes).
 
 /// The integrated compass.
 class Compass {
 public:
     explicit Compass(const CompassConfig& config = {});
+
+    /// Shares an already-compiled plan instead of compiling one: `plan`
+    /// must be (equivalent to) compile_plan(config). CompassFleet uses
+    /// this to compile one plan per distinct configuration and hand the
+    /// same immutable stage list to every member.
+    Compass(const CompassConfig& config,
+            std::shared_ptr<const MeasurementPlan> plan);
 
     /// Places the compass in an earth field at a physical heading [deg].
     void set_environment(const magnetics::EarthField& field, double heading_deg);
@@ -113,7 +112,7 @@ public:
     /// The control sequence this compass executes, compiled once from
     /// the configuration at construction. Rewrites of it (retry,
     /// single-axis truncation) run through PlanExecutor.
-    [[nodiscard]] const MeasurementPlan& plan() const noexcept { return plan_; }
+    [[nodiscard]] const MeasurementPlan& plan() const noexcept { return *plan_; }
 
     /// Applies a hard-iron count calibration to subsequent measurements.
     void set_calibration(const CountCalibration& cal) noexcept { calibration_ = cal; }
@@ -174,7 +173,8 @@ private:
     friend class PlanExecutor;
 
     CompassConfig config_;
-    MeasurementPlan plan_;
+    /// Immutable, shareable across a fleet (one compile per config).
+    std::shared_ptr<const MeasurementPlan> plan_;
     analog::FrontEnd front_end_;
     digital::UpDownCounter counter_;
     digital::CordicUnit cordic_;

@@ -1,19 +1,33 @@
 #include "core/compass_fleet.hpp"
 
+#include <algorithm>
 #include <exception>
-#include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
 namespace fxg::compass {
 
+namespace {
+/// Lowest-index captured exception, or nullptr when all slots are ok.
+std::exception_ptr first_error_in_order(const std::vector<std::exception_ptr>& errors) {
+    for (const std::exception_ptr& e : errors) {
+        if (e) return e;
+    }
+    return nullptr;
+}
+}  // namespace
+
 CompassFleet::CompassFleet(int count, const CompassConfig& config,
                            util::TaskPool& pool)
     : pool_(pool) {
     if (count < 1) throw std::invalid_argument("CompassFleet: count must be >= 1");
+    // One compile per fleet: every member shares the same immutable
+    // stage list (asserted via compile_plan_count() in the tests).
+    plan_ = std::make_shared<const MeasurementPlan>(compile_plan(config));
     members_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
-        members_.push_back(std::make_unique<Compass>(config));
+        members_.push_back(std::make_unique<Compass>(config, plan_));
     }
 }
 
@@ -54,12 +68,12 @@ std::exception_ptr CompassFleet::measure_all_impl(int threads,
         threads = static_cast<int>(std::thread::hardware_concurrency());
         if (threads < 1) threads = 1;
     }
-    if (threads > n) threads = n;
 
-    // One member's failure lands in its own slot only; the first caught
-    // exception is additionally kept for the throwing convenience API.
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    // One member's failure lands in its own slot only. Per-slot
+    // exception storage (instead of a first-writer-wins race) makes the
+    // exception measure_all rethrows deterministic: always the lowest
+    // failing member index, whatever the thread interleaving.
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
     auto measure_one = [&](int i) {
         FleetResult& slot = results[static_cast<std::size_t>(i)];
         try {
@@ -67,22 +81,60 @@ std::exception_ptr CompassFleet::measure_all_impl(int threads,
             slot.ok = true;
         } catch (const std::exception& e) {
             slot.error = e.what();
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            errors[static_cast<std::size_t>(i)] = std::current_exception();
         } catch (...) {
             slot.error = "unknown error";
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            errors[static_cast<std::size_t>(i)] = std::current_exception();
         }
     };
 
-    // Members are independent, so the only shared state is the pool's
-    // index cursor and each worker's result slots. The persistent pool
-    // replaces the per-call thread vector this class used to spin up:
-    // batches reuse the same workers, so small fleets no longer pay N
-    // thread creations per measure_all.
-    pool_.parallel_for(n, threads, measure_one);
-    return first_error;
+    if (execution_ == FleetExecution::PerMember) {
+        // Members are independent, so the only shared state is the
+        // pool's index cursor and each worker's result slots.
+        pool_.parallel_for(n, std::min(threads, n), measure_one);
+        return first_error_in_order(errors);
+    }
+
+    // Auto: chunk members into lane groups; each pool task runs one
+    // group through the SoA lane engine (several members per vector
+    // instruction). A group with a traced member runs per-member so
+    // every trace tree stays complete; run_lanes itself falls back for
+    // ineligible configurations. Results are bit-identical either way.
+    const int groups = (n + kLaneGroupSize - 1) / kLaneGroupSize;
+    auto measure_group = [&](int g) {
+        const int begin = g * kLaneGroupSize;
+        const int count = std::min(kLaneGroupSize, n - begin);
+        bool traced = false;
+        for (int i = begin; i < begin + count; ++i) {
+            if (members_[static_cast<std::size_t>(i)]->telemetry() != nullptr) {
+                traced = true;
+            }
+        }
+        if (traced) {
+            for (int i = begin; i < begin + count; ++i) measure_one(i);
+            return;
+        }
+        std::vector<Compass*> lanes(static_cast<std::size_t>(count));
+        std::vector<LaneOutcome> outcomes(static_cast<std::size_t>(count));
+        for (int k = 0; k < count; ++k) {
+            lanes[static_cast<std::size_t>(k)] =
+                members_[static_cast<std::size_t>(begin + k)].get();
+        }
+        PlanExecutor::run_lanes(*plan_, lanes, outcomes);
+        for (int k = 0; k < count; ++k) {
+            const LaneOutcome& out = outcomes[static_cast<std::size_t>(k)];
+            FleetResult& slot = results[static_cast<std::size_t>(begin + k)];
+            if (out.aborted) {
+                slot.error = out.error;
+                errors[static_cast<std::size_t>(begin + k)] = out.error_ptr;
+            } else {
+                slot.measurement = out.measurement;
+                slot.ok = true;
+            }
+        }
+    };
+    pool_.parallel_for(groups, std::min(threads, groups), measure_group);
+    return first_error_in_order(errors);
 }
 
 std::vector<FleetResult> CompassFleet::measure_all_results(int threads) {

@@ -31,6 +31,20 @@ struct FleetResult {
     std::string error;          ///< exception message when !ok
 };
 
+/// How measure_all dispatches members.
+enum class FleetExecution {
+    /// Chunk members into lane groups and run each group through the
+    /// SoA SIMD lane engine (PlanExecutor::run_lanes) — bit-identical
+    /// results, several members per vector instruction. Groups holding
+    /// a traced member, an ineligible configuration, or a ReExcite plan
+    /// fall back to the per-member path automatically (a traced member
+    /// must emit its own complete span tree; run_lanes emits one batch
+    /// tree).
+    Auto,
+    /// Always one plan execution per member (the reference path).
+    PerMember,
+};
+
 /// N independent compasses measured as one batch.
 class CompassFleet {
 public:
@@ -46,6 +60,20 @@ public:
     [[nodiscard]] int size() const noexcept {
         return static_cast<int>(members_.size());
     }
+
+    /// Members a lane-batched group spans: a few SIMD stripes per task,
+    /// so the pool still has group-level parallelism to schedule while
+    /// each task amortises its gather/scatter over full stripes.
+    static constexpr int kLaneGroupSize = 16;
+
+    /// Dispatch strategy for measure_all (default Auto — lane-batched
+    /// where eligible; results are bit-identical either way).
+    void set_execution(FleetExecution execution) noexcept { execution_ = execution; }
+    [[nodiscard]] FleetExecution execution() const noexcept { return execution_; }
+
+    /// The control sequence every member executes — compiled exactly
+    /// once per fleet and shared by all members.
+    [[nodiscard]] const MeasurementPlan& plan() const noexcept { return *plan_; }
 
     /// Member access (bounds-checked).
     [[nodiscard]] Compass& at(int i);
@@ -93,7 +121,10 @@ private:
     // engine), and fleet members must keep stable addresses for the
     // worker threads.
     std::vector<std::unique_ptr<Compass>> members_;
+    /// One compile per fleet, shared by every member.
+    std::shared_ptr<const MeasurementPlan> plan_;
     util::TaskPool& pool_;  ///< non-owning; outlives the fleet
+    FleetExecution execution_ = FleetExecution::Auto;
 };
 
 }  // namespace fxg::compass

@@ -1,10 +1,13 @@
 #include "core/plan.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "core/compass.hpp"
+#include "sim/lane_engine.hpp"
 #include "util/angle.hpp"
 
 namespace fxg::compass {
@@ -47,6 +50,14 @@ std::uint64_t MeasurementPlan::total_steps() const noexcept {
     return steps;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_compile_plan_calls{0};
+}  // namespace
+
+std::uint64_t compile_plan_count() noexcept {
+    return g_compile_plan_calls.load(std::memory_order_relaxed);
+}
+
 MeasurementPlan compile_plan(const CompassConfig& config) {
     if (config.periods_per_axis < 1 || config.settle_periods < 0) {
         throw std::invalid_argument("compile_plan: bad period configuration");
@@ -66,6 +77,7 @@ MeasurementPlan compile_plan(const CompassConfig& config) {
     }
     plan.stages.push_back({StageKind::PowerDown});
     plan.stages.push_back({StageKind::Cordic});
+    g_compile_plan_calls.fetch_add(1, std::memory_order_relaxed);
     return plan;
 }
 
@@ -262,6 +274,277 @@ Measurement PlanExecutor::run(const MeasurementPlan& plan) {
         sink->on_sample(s);
     }
     return m;
+}
+
+void PlanExecutor::run_lanes(const MeasurementPlan& plan,
+                             std::span<Compass* const> lanes,
+                             std::span<LaneOutcome> outcomes) {
+    const int n = static_cast<int>(lanes.size());
+    if (n == 0) return;
+    if (outcomes.size() < lanes.size()) {
+        throw std::invalid_argument(
+            "PlanExecutor::run_lanes: one outcome slot per lane required");
+    }
+    for (int i = 0; i < n; ++i) outcomes[static_cast<std::size_t>(i)] = LaneOutcome{};
+
+    // Batch eligibility: every lane's front end must fit a SIMD lane,
+    // and ReExcite (a whole-pipeline power cycle) only exists on the
+    // per-member path. Ineligible batches run member by member with the
+    // identical outcome contract.
+    bool batchable = true;
+    for (const PlanStage& s : plan.stages) {
+        if (s.kind == StageKind::ReExcite) batchable = false;
+    }
+    for (int i = 0; batchable && i < n; ++i) {
+        if (!sim::LaneEngine::eligible(lanes[i]->front_end_)) batchable = false;
+    }
+
+    if (!batchable) {
+        for (int i = 0; i < n; ++i) {
+            LaneOutcome& slot = outcomes[static_cast<std::size_t>(i)];
+            try {
+                slot.measurement = PlanExecutor(*lanes[i]).run(plan);
+            } catch (const std::exception& e) {
+                slot.aborted = true;
+                slot.error = e.what();
+                slot.error_ptr = std::current_exception();
+            } catch (...) {
+                slot.aborted = true;
+                slot.error = "unknown error";
+                slot.error_ptr = std::current_exception();
+            }
+        }
+        return;
+    }
+
+    // Batch spans live on lanes[0]'s sink (one tree per batch); every
+    // traced lane still gets its own MeasurementSample at the end.
+    telemetry::TelemetrySink* sink = lanes[0]->telemetry_;
+    bool any_traced = false;
+    for (int i = 0; i < n; ++i) {
+        if (lanes[i]->telemetry_ != nullptr) any_traced = true;
+    }
+    const telemetry::Clock::time_point wall_start =
+        any_traced ? telemetry::Clock::now() : telemetry::Clock::time_point{};
+    telemetry::Span root(sink, "measure");
+
+    std::vector<char> active(static_cast<std::size_t>(n), 1);
+    std::vector<std::int64_t> raw_x(static_cast<std::size_t>(n), 0);
+    std::vector<std::int64_t> raw_y(static_cast<std::size_t>(n), 0);
+    std::vector<digital::CordicResult> details(static_cast<std::size_t>(n));
+
+    for (int i = 0; i < n; ++i) {
+        Compass& c = *lanes[i];
+        c.front_end_.reset_window();
+        const CompassConfig& cfg = c.config_;
+        const double ha = cfg.front_end.oscillator.amplitude_a *
+                          cfg.front_end.sensor.field_per_amp();
+        const double hk = cfg.front_end.sensor.hk_a_per_m;
+        for (const auto ch : {analog::Channel::X, analog::Channel::Y}) {
+            const double h = c.front_end_.sensor(ch).external_field();
+            if (std::fabs(h) + cfg.saturation_margin * hk >= ha) {
+                outcomes[static_cast<std::size_t>(i)].measurement.field_in_range =
+                    false;
+            }
+        }
+    }
+
+    sim::LaneEngine engine;
+    std::vector<sim::LanePort> ports;
+    ports.reserve(static_cast<std::size_t>(n));
+    const auto build_ports = [&](bool counting) {
+        ports.clear();
+        for (int i = 0; i < n; ++i) {
+            if (!active[static_cast<std::size_t>(i)]) continue;
+            Compass& c = *lanes[i];
+            ports.push_back({&c.front_end_, counting ? &c.counter_ : nullptr,
+                             &outcomes[static_cast<std::size_t>(i)]
+                                  .measurement.energy_j});
+        }
+    };
+
+    std::optional<telemetry::Span> axis;
+    bool axis_value_set = false;
+    int pending_settle_steps = 0;
+    bool ran_cordic = false;
+
+    for (const PlanStage& stage : plan.stages) {
+        switch (stage.kind) {
+            case StageKind::ReExcite:
+                break;  // filtered by the batchable check above
+            case StageKind::PowerUp:
+                for (int i = 0; i < n; ++i) {
+                    if (!active[static_cast<std::size_t>(i)]) continue;
+                    Compass& c = *lanes[i];
+                    if (c.config_.power_gating) c.front_end_.enable(true);
+                    c.counter_.enable(true);
+                }
+                break;
+            case StageKind::MuxSwitch: {
+                const int ch = static_cast<int>(stage.channel);
+                axis.emplace(sink, "axis", ch);
+                axis_value_set = false;
+                telemetry::Span excite(sink, "excite", ch);
+                for (int i = 0; i < n; ++i) {
+                    if (!active[static_cast<std::size_t>(i)]) continue;
+                    lanes[i]->front_end_.select(stage.channel);
+                }
+                break;
+            }
+            case StageKind::Settle: {
+                const int ch = static_cast<int>(stage.channel);
+                const int steps = stage.periods * plan.steps_per_period;
+                telemetry::Span settle(sink, "settle", ch);
+                settle.set_value(steps);
+                {
+                    telemetry::Span eng_span(sink, "engine.lanes", ch);
+                    eng_span.set_value(steps);
+                    build_ports(/*counting=*/false);
+                    engine.advance(ports.data(), static_cast<int>(ports.size()),
+                                   stage.channel, steps, plan.dt_s);
+                }
+                pending_settle_steps += steps;
+                break;
+            }
+            case StageKind::Count: {
+                const int ch = static_cast<int>(stage.channel);
+                const int steps = stage.periods * plan.steps_per_period;
+                for (int i = 0; i < n; ++i) {
+                    if (active[static_cast<std::size_t>(i)]) {
+                        lanes[i]->counter_.clear();
+                    }
+                }
+                {
+                    telemetry::Span count_span(sink, "count", ch);
+                    {
+                        telemetry::Span eng_span(sink, "engine.lanes", ch);
+                        eng_span.set_value(steps);
+                        build_ports(/*counting=*/true);
+                        engine.advance(ports.data(), static_cast<int>(ports.size()),
+                                       stage.channel, steps, plan.dt_s);
+                    }
+                    bool span_value_set = false;
+                    for (int i = 0; i < n; ++i) {
+                        if (!active[static_cast<std::size_t>(i)]) continue;
+                        Compass& c = *lanes[i];
+                        LaneOutcome& slot = outcomes[static_cast<std::size_t>(i)];
+                        try {
+                            // A pending overflow trap evicts this lane at
+                            // the window boundary — the identical abort
+                            // point (state, energy, no duration update, no
+                            // watch tick, no sample) of a run() throw.
+                            c.counter_.service_trap();
+                        } catch (const std::exception& e) {
+                            active[static_cast<std::size_t>(i)] = 0;
+                            slot.aborted = true;
+                            slot.error = e.what();
+                            slot.error_ptr = std::current_exception();
+                            continue;
+                        }
+                        const std::int64_t count = c.counter_.count();
+                        if (!span_value_set) {
+                            count_span.set_value(count);
+                            span_value_set = true;
+                        }
+                        Measurement& m = slot.measurement;
+                        m.duration_s += (pending_settle_steps + steps) * plan.dt_s;
+                        (stage.channel == analog::Channel::X ? raw_x : raw_y)[
+                            static_cast<std::size_t>(i)] = count;
+                        if (stage.channel == analog::Channel::X) {
+                            m.count_x = count - c.calibration_.offset_x;
+                        } else {
+                            m.count_y = count - c.calibration_.offset_y;
+                            if (c.calibration_.scale_y != 1.0) {
+                                m.count_y = static_cast<std::int64_t>(std::llround(
+                                    static_cast<double>(m.count_y) *
+                                    c.calibration_.scale_y));
+                            }
+                        }
+                        if (axis && !axis_value_set) {
+                            axis->set_value(count);
+                            axis_value_set = true;
+                        }
+                    }
+                }
+                pending_settle_steps = 0;
+                axis.reset();
+                break;
+            }
+            case StageKind::PowerDown:
+                for (int i = 0; i < n; ++i) {
+                    if (!active[static_cast<std::size_t>(i)]) continue;
+                    Compass& c = *lanes[i];
+                    c.counter_.enable(false);
+                    if (c.config_.power_gating) c.front_end_.enable(false);
+                }
+                break;
+            case StageKind::Cordic: {
+                telemetry::Span cordic_span(sink, "cordic");
+                bool span_value_set = false;
+                for (int i = 0; i < n; ++i) {
+                    if (!active[static_cast<std::size_t>(i)]) continue;
+                    Compass& c = *lanes[i];
+                    Measurement& m = outcomes[static_cast<std::size_t>(i)].measurement;
+                    const bool traced_lane = c.telemetry_ != nullptr;
+                    m.heading_deg = c.cordic_.heading_deg(
+                        m.count_x, m.count_y,
+                        traced_lane ? &details[static_cast<std::size_t>(i)]
+                                    : nullptr);
+                    if (!span_value_set) {
+                        cordic_span.set_value(
+                            details[static_cast<std::size_t>(i)].rotations);
+                        span_value_set = true;
+                    }
+                    m.heading_float_deg =
+                        magnetics::EarthField::heading_from_components(
+                            static_cast<double>(m.count_x),
+                            static_cast<double>(m.count_y));
+                    c.display_.show_direction(m.heading_deg);
+                }
+                ran_cordic = true;
+                break;
+            }
+        }
+    }
+
+    for (int i = 0; i < n; ++i) {
+        if (!active[static_cast<std::size_t>(i)]) continue;
+        Compass& c = *lanes[i];
+        Measurement& m = outcomes[static_cast<std::size_t>(i)].measurement;
+        m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
+        c.watch_.tick(static_cast<std::uint64_t>(
+            std::llround(m.duration_s * c.config_.counter_clock_hz)));
+        if (c.telemetry_ != nullptr && ran_cordic) {
+            const analog::StreamStatsSnapshot stats = c.front_end_.snapshot();
+            const analog::StreamStats& sx = stats[analog::Channel::X];
+            const analog::StreamStats& sy = stats[analog::Channel::Y];
+            telemetry::MeasurementSample s;
+            s.member = c.telemetry_member_;
+            s.raw_count_x = raw_x[static_cast<std::size_t>(i)];
+            s.raw_count_y = raw_y[static_cast<std::size_t>(i)];
+            s.count_x = m.count_x;
+            s.count_y = m.count_y;
+            s.duty_x = sx.duty();
+            s.duty_y = sy.duty();
+            s.pulse_shift_x = sx.pulse_shift();
+            s.pulse_shift_y = sy.pulse_shift();
+            s.valid_fraction_x = sx.valid_fraction();
+            s.valid_fraction_y = sy.valid_fraction();
+            s.edges_x = sx.edges;
+            s.edges_y = sy.edges;
+            s.cordic_rotations = details[static_cast<std::size_t>(i)].rotations;
+            s.cordic_residual_deg =
+                util::angular_abs_diff_deg(m.heading_deg, m.heading_float_deg);
+            s.heading_deg = m.heading_deg;
+            s.duration_s = m.duration_s;
+            s.latency_s = std::chrono::duration<double>(telemetry::Clock::now() -
+                                                        wall_start)
+                              .count();
+            s.energy_j = m.energy_j;
+            s.field_in_range = m.field_in_range;
+            c.telemetry_->on_sample(s);
+        }
+    }
 }
 
 }  // namespace fxg::compass

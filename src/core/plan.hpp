@@ -30,6 +30,9 @@
 /// both engines (asserted by tests/plan_test.cpp).
 
 #include <cstdint>
+#include <exception>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "analog/mux.hpp"
@@ -37,7 +40,6 @@
 namespace fxg::compass {
 
 struct CompassConfig;
-struct Measurement;
 class Compass;
 
 /// One step of the control sequence.
@@ -87,6 +89,12 @@ struct MeasurementPlan {
 /// configuration errors the Compass constructor rejects.
 [[nodiscard]] MeasurementPlan compile_plan(const CompassConfig& config);
 
+/// Process-wide number of successful compile_plan() calls. Regression
+/// seam for the one-compile-per-config contract: a CompassFleet of N
+/// members must compile its shared plan once, not N times
+/// (tests/lane_engine_test.cpp asserts the delta across a fleet build).
+[[nodiscard]] std::uint64_t compile_plan_count() noexcept;
+
 /// Retry rewrite: the same plan prefixed with a ReExcite power cycle.
 [[nodiscard]] MeasurementPlan with_re_excite(const MeasurementPlan& plan);
 
@@ -94,6 +102,32 @@ struct MeasurementPlan {
 /// the Cordic stage (one axis cannot produce a heading on its own).
 [[nodiscard]] MeasurementPlan truncate_to_axis(const MeasurementPlan& plan,
                                                analog::Channel keep);
+
+/// One complete compass measurement. (Defined here — not in
+/// compass.hpp — because the plan layer produces it: run() returns one
+/// and LaneOutcome carries one per lane.)
+struct Measurement {
+    double heading_deg = 0.0;        ///< digital (CORDIC) heading
+    double heading_float_deg = 0.0;  ///< atan2 of the same counts (reference)
+    std::int64_t count_x = 0;        ///< up/down counter result, x axis
+    std::int64_t count_y = 0;
+    double duration_s = 0.0;         ///< wall-clock time of the measurement
+    double energy_j = 0.0;           ///< front-end energy over the measurement
+    double avg_power_w = 0.0;        ///< mean front-end power while measuring
+    bool field_in_range = true;      ///< core saturated both ways on both axes
+};
+
+/// Outcome of one lane of a PlanExecutor::run_lanes batch. A lane whose
+/// counter traps (register overflow with trap_on_overflow set) is
+/// evicted at the count-window boundary — the exact point run() would
+/// have thrown — and reported here instead of by exception, so one
+/// faulty member never aborts its batch.
+struct LaneOutcome {
+    Measurement measurement{};     ///< complete only when !aborted
+    bool aborted = false;          ///< lane evicted by a counter trap / error
+    std::string error;             ///< exception text when aborted
+    std::exception_ptr error_ptr;  ///< the same error, rethrowable
+};
 
 /// Runs MeasurementPlans over one Compass's pipeline. The executor owns
 /// the per-stage telemetry spans ("measure" root, "axis" grouping with
@@ -111,6 +145,25 @@ public:
     /// produced; for a truncated plan only the counted axis' count (and
     /// duration/energy) are meaningful and no heading is computed.
     Measurement run(const MeasurementPlan& plan);
+
+    /// Executes one plan across a batch of compasses through the SoA
+    /// lane engine (sim/lane_engine.hpp): every Settle/Count stage
+    /// advances all surviving lanes with one SIMD kernel sweep, and the
+    /// per-stage telemetry spans ("measure"/"axis"/"settle"/"count"
+    /// plus an "engine.lanes" advance span) are emitted once per batch
+    /// on lanes[0]'s sink. Per-lane results — counts, heading, energy,
+    /// duration, stream statistics, trap abort point — are bit-identical
+    /// to PlanExecutor(*lanes[i]).run(plan) member by member; traced
+    /// lanes still emit their own MeasurementSample on their own sink.
+    ///
+    /// Total: lanes whose configuration the lane engine cannot take
+    /// (LaneEngine::eligible) — or any plan containing ReExcite — fall
+    /// back to the per-member path, with exceptions captured into the
+    /// lane's LaneOutcome either way. `lanes` must be distinct,
+    /// non-null, and outcomes.size() >= lanes.size().
+    static void run_lanes(const MeasurementPlan& plan,
+                          std::span<Compass* const> lanes,
+                          std::span<LaneOutcome> outcomes);
 
 private:
     Compass& compass_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace fxg::magnetics {
 
 namespace {
@@ -25,7 +27,13 @@ TanhCore::TanhCore(double ms, double hk) : ms_(ms), hk_(hk) {
     require_positive(hk, "TanhCore hk");
 }
 
-double TanhCore::magnetisation(double h) const { return ms_ * std::tanh(h / hk_); }
+// util::simd::tanh1 rather than std::tanh: the lane engine evaluates
+// this saturation curve with the vector tanh, and bit-identity between
+// per-member and lane execution requires one tanh shared by every
+// engine path. tanh1 *is* the vector implementation run on one lane.
+double TanhCore::magnetisation(double h) const {
+    return ms_ * util::simd::tanh1(h / hk_);
+}
 
 double TanhCore::advance(double h) {
     last_h_ = h;
@@ -37,12 +45,12 @@ void TanhCore::advance_block(const double* h, double* m_out, int n) {
     // Same expression as magnetisation(); the division is kept (not
     // turned into a reciprocal multiply) so results stay bit-identical
     // to the scalar path.
-    for (int k = 0; k < n; ++k) m_out[k] = ms_ * std::tanh(h[k] / hk_);
+    for (int k = 0; k < n; ++k) m_out[k] = ms_ * util::simd::tanh1(h[k] / hk_);
     last_h_ = h[n - 1];
 }
 
 double TanhCore::susceptibility() const {
-    const double t = std::tanh(last_h_ / hk_);
+    const double t = util::simd::tanh1(last_h_ / hk_);
     return (ms_ / hk_) * (1.0 - t * t);
 }
 

@@ -74,8 +74,39 @@ public:
     /// Clears all dynamic state back to the demagnetised condition.
     void reset();
 
+    /// Evolving sensor state (excluding the core model's own state, see
+    /// core_mut()), for the lane engine's gather/scatter seam.
+    struct State {
+        double h_core = 0.0;
+        double b_core = 0.0;
+        double v_pickup = 0.0;
+        double v_excitation = 0.0;
+        double lambda_pickup_prev = 0.0;
+        double lambda_exc_prev = 0.0;
+        bool first_step = true;
+    };
+
+    [[nodiscard]] State save_state() const noexcept {
+        return {h_core_,       b_core_,          v_pickup_, v_excitation_,
+                lambda_pickup_prev_, lambda_exc_prev_, first_step_};
+    }
+    void load_state(const State& s) noexcept {
+        h_core_ = s.h_core;
+        b_core_ = s.b_core;
+        v_pickup_ = s.v_pickup;
+        v_excitation_ = s.v_excitation;
+        lambda_pickup_prev_ = s.lambda_pickup_prev;
+        lambda_exc_prev_ = s.lambda_exc_prev;
+        first_step_ = s.first_step;
+    }
+
     [[nodiscard]] const FluxgateParams& params() const noexcept { return params_; }
     [[nodiscard]] const magnetics::CoreModel& core() const noexcept { return *core_; }
+
+    /// Mutable core access for the lane engine: non-Tanh cores advance
+    /// per lane through this (exact virtual dispatch), and the TanhCore
+    /// fast path re-syncs last-H through one advance() at scatter time.
+    [[nodiscard]] magnetics::CoreModel& core_mut() noexcept { return *core_; }
 
 private:
     FluxgateParams params_;

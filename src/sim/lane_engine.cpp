@@ -1,0 +1,750 @@
+#include "sim/lane_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "magnetics/core_model.hpp"
+#include "magnetics/units.hpp"
+#include "sensor/fluxgate.hpp"
+#include "util/simd.hpp"
+
+namespace fxg::sim {
+
+namespace v = util::simd;
+
+namespace {
+
+constexpr int W = v::kLanes;
+
+/// Builds a per-lane mask from a 0.0/1.0 array.
+inline v::mask mask_from01(const double* b01) {
+    return v::cmp_gt(v::load(b01), v::splat(0.5));
+}
+
+inline bool bit_of(unsigned bits, int lane) { return ((bits >> lane) & 1u) != 0; }
+
+}  // namespace
+
+bool LaneEngine::eligible(const analog::FrontEnd& front_end) noexcept {
+    const analog::FrontEndConfig& c = front_end.config();
+    // Simultaneous mode duplicates the whole chain (two oscillators,
+    // per-sample interleaved noise draws) — per-member engines handle
+    // it. A noisy detector holds two private RNG streams per channel
+    // inside the comparators, which the State seam deliberately cannot
+    // carry.
+    return c.mode == analog::FrontEndMode::Multiplexed &&
+           c.detector.noise_rms_v == 0.0;
+}
+
+int LaneEngine::lanes_per_stripe() noexcept { return v::kLanes; }
+
+const char* LaneEngine::backend_name() noexcept { return v::backend_name(); }
+
+void LaneEngine::advance(const LanePort* lanes, int n_lanes, analog::Channel channel,
+                         int steps, double dt_s) {
+    // A zero-step advance performs no member work at all on the scalar
+    // path (no samples, no tap call, no index motion) — mirror that.
+    if (n_lanes <= 0 || steps <= 0) return;
+    det_bits_.resize(static_cast<std::size_t>(steps));
+    valid_bits_.resize(static_cast<std::size_t>(steps));
+    bytes_.resize(static_cast<std::size_t>(steps) * 4);
+    for (int base = 0; base < n_lanes;) {
+        const int rem = n_lanes - base;
+        // Pair stripes whenever more than one stripe of lanes remains:
+        // the interleaved kernel overlaps their dependency chains. A
+        // trailing partial stripe rides along as pad lanes.
+        const int take = rem > W ? std::min(2 * W, rem) : rem;
+        if (take > W) {
+            advance_group<2>(lanes + base, take, channel, steps, dt_s);
+        } else {
+            advance_group<1>(lanes + base, take, channel, steps, dt_s);
+        }
+        base += take;
+    }
+}
+
+template <int S>
+void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel channel,
+                               int steps, double dt_s) {
+    using analog::Channel;
+    constexpr int GW = S * W;  // lanes in the group
+    // det_bits_/valid_bits_ pack one bit per group lane into a byte.
+    static_assert(GW <= 8);
+
+    // ---- Gather: per-lane constants and evolving state ----------------
+    //
+    // Every constant below is computed with exactly the expression the
+    // corresponding stage's step()/step_block() hoists, so the per-lane
+    // arithmetic in the kernel is bit-identical to the per-member path.
+    // Remainder lanes (l >= n) replicate lane 0's values with all
+    // member-touching flags off: the vector ops are lane-independent,
+    // so pad lanes are inert ballast whose results are never scattered.
+
+    analog::FrontEnd* fe[GW];
+    digital::UpDownCounter* ctr[GW];
+    magnetics::CoreModel* core[GW];
+    analog::NoiseSource* noise_src[GW];
+    Channel active_ch[GW];
+    bool lane_tap[GW];
+    bool lane_hw[GW];
+    bool lane_noise[GW];
+    bool lane_first[GW];
+    bool lane_soa_count[GW];
+
+    alignas(32) double freq_a[GW], gain_a[GW], curv_a[GW], dc_a[GW], cgain_a[GW],
+        correct01_a[GW];
+    alignas(32) double vig_a[GW], fs_a[GW], linfs_a[GW], lim_a[GW], neglim_a[GW];
+    alignas(32) double fpa_a[GW], hext_a[GW], hk_a[GW], ms_a[GW], nap_a[GW],
+        nae_a[GW];
+    double r_exc_a[GW];
+    alignas(32) double settle_a[GW], off_a[GW], fall_a[GW], rise_a[GW];
+    alignas(32) double bias_a[GW], supply_a[GW];
+    alignas(32) double inc_a[GW], count01_a[GW], first01_a[GW];
+    double nalpha[GW], ndrive[GW], nst[GW];
+
+    alignas(32) double time_a[GW], phase_a[GW], corr_a[GW], pint_a[GW], ptime_a[GW];
+    alignas(32) double since_a[GW], lp_a[GW], le_a[GW], acc_a[GW], e_a[GW];
+    alignas(32) double pos01_a[GW], neg01_a[GW], prevpos01_a[GW], prevneg01_a[GW],
+        out01_a[GW], statprev01_a[GW], hasprev01_a[GW];
+    alignas(32) std::int64_t cnt_a[GW], act_a[GW];
+
+    bool stripe_generic = false;
+    bool stripe_noise = false;
+    bool stripe_capture = false;
+
+    for (int l = 0; l < GW; ++l) {
+        if (l >= n) {
+            // Pad lane: copy lane 0's numeric inputs, disable everything.
+            fe[l] = nullptr;
+            ctr[l] = nullptr;
+            core[l] = nullptr;
+            noise_src[l] = nullptr;
+            active_ch[l] = active_ch[0];
+            lane_tap[l] = lane_hw[l] = lane_noise[l] = lane_first[l] = false;
+            lane_soa_count[l] = false;
+            freq_a[l] = freq_a[0]; gain_a[l] = gain_a[0]; curv_a[l] = curv_a[0];
+            dc_a[l] = dc_a[0]; cgain_a[l] = cgain_a[0]; correct01_a[l] = correct01_a[0];
+            vig_a[l] = vig_a[0]; fs_a[l] = fs_a[0]; linfs_a[l] = linfs_a[0];
+            lim_a[l] = lim_a[0]; neglim_a[l] = neglim_a[0];
+            fpa_a[l] = fpa_a[0]; hext_a[l] = hext_a[0]; hk_a[l] = hk_a[0];
+            ms_a[l] = ms_a[0]; nap_a[l] = nap_a[0]; nae_a[l] = nae_a[0];
+            r_exc_a[l] = r_exc_a[0];
+            settle_a[l] = settle_a[0]; off_a[l] = off_a[0]; fall_a[l] = fall_a[0];
+            rise_a[l] = rise_a[0];
+            bias_a[l] = bias_a[0]; supply_a[l] = supply_a[0];
+            inc_a[l] = inc_a[0]; count01_a[l] = 0.0; first01_a[l] = first01_a[0];
+            nalpha[l] = ndrive[l] = nst[l] = 0.0;
+            time_a[l] = time_a[0]; phase_a[l] = phase_a[0]; corr_a[l] = corr_a[0];
+            pint_a[l] = pint_a[0]; ptime_a[l] = ptime_a[0]; since_a[l] = since_a[0];
+            lp_a[l] = lp_a[0]; le_a[l] = le_a[0]; acc_a[l] = acc_a[0];
+            e_a[l] = e_a[0];
+            pos01_a[l] = pos01_a[0]; neg01_a[l] = neg01_a[0];
+            prevpos01_a[l] = prevpos01_a[0]; prevneg01_a[l] = prevneg01_a[0];
+            out01_a[l] = out01_a[0]; statprev01_a[l] = statprev01_a[0];
+            hasprev01_a[l] = hasprev01_a[0];
+            cnt_a[l] = 0; act_a[l] = 0;
+            continue;
+        }
+
+        analog::FrontEnd& f = *lanes[l].front_end;
+        fe[l] = &f;
+        ctr[l] = lanes[l].counter;
+        const analog::FrontEndConfig& c = f.config();
+        const Channel ach = f.selected();
+        active_ch[l] = ach;
+
+        // Oscillator (TriangleOscillator::step_block hoists).
+        const analog::TriangleOscillator& osc = f.oscillator();
+        const analog::TriangleOscillatorConfig& oc = osc.config();
+        const analog::OscillatorFault& ofault = osc.fault();
+        freq_a[l] = oc.frequency_hz * ofault.frequency_scale;
+        gain_a[l] = oc.amplitude_a * (1.0 + oc.amplitude_error) *
+                    ofault.amplitude_scale;
+        curv_a[l] = oc.curvature;
+        dc_a[l] = oc.dc_offset_a + ofault.extra_dc_a;
+        correct01_a[l] =
+            (oc.offset_correction && !ofault.correction_stuck) ? 1.0 : 0.0;
+        cgain_a[l] = oc.correction_gain;
+        const analog::TriangleOscillator::State os = osc.save_state();
+        time_a[l] = os.time_s;
+        phase_a[l] = os.phase;
+        corr_a[l] = os.correction_a;
+        pint_a[l] = os.period_integral;
+        ptime_a[l] = os.period_time;
+
+        // V-I converter (ViConverter::drive_block hoists; the converter
+        // is pure configuration, reconstructed here).
+        const analog::ViConverterConfig& vc = c.vi;
+        const double r_load = c.sensor.r_excitation_ohm;
+        const double lin = vc.nonlinearity / (1.0 + r_load / vc.linearising_r_ohm);
+        double swing = vc.supply_v - 2.0 * vc.headroom_v;
+        if (!vc.balanced_differential) swing *= 0.5;
+        const double limit = swing / r_load;
+        vig_a[l] = 1.0 + vc.gain_error;
+        fs_a[l] = vc.full_scale_a;
+        linfs_a[l] = lin * vc.full_scale_a;
+        lim_a[l] = limit;
+        neglim_a[l] = -limit;
+
+        // Active sensor (FluxgateSensor::step_block hoists). The stuck
+        // mux makes the active channel a per-lane property.
+        sensor::FluxgateSensor& sen = f.sensor_mut(ach);
+        const sensor::FluxgateParams& sp = sen.params();
+        fpa_a[l] = sp.field_per_amp();
+        hext_a[l] = sen.external_field();
+        nap_a[l] = sp.n_pickup * sp.core_area_m2;
+        nae_a[l] = sp.n_excitation * sp.core_area_m2;
+        r_exc_a[l] = sp.r_excitation_ohm;
+        core[l] = &sen.core_mut();
+        hk_a[l] = core[l]->knee_field();
+        ms_a[l] = core[l]->saturation_magnetisation();
+        if (dynamic_cast<const magnetics::TanhCore*>(core[l]) == nullptr) {
+            stripe_generic = true;
+        }
+        const sensor::FluxgateSensor::State ss = sen.save_state();
+        lp_a[l] = ss.lambda_pickup_prev;
+        le_a[l] = ss.lambda_exc_prev;
+        lane_first[l] = ss.first_step;
+        first01_a[l] = ss.first_step ? 1.0 : 0.0;
+
+        // Mux.
+        settle_a[l] = f.mux().settle_time_s();
+        since_a[l] = f.mux().save_state().since_switch_s;
+
+        // Active detector (Comparator::step_block hoists).
+        analog::PulsePositionDetector& det = f.detector(ach);
+        const analog::DetectorConfig& dcf = det.config();
+        const double half_hyst = 0.5 * dcf.comparator_hysteresis_v;
+        off_a[l] = dcf.comparator_offset_v + det.comparator_offset_fault();
+        fall_a[l] = dcf.threshold_v - half_hyst;
+        rise_a[l] = dcf.threshold_v + half_hyst;
+        const analog::PulsePositionDetector::State ds = det.save_state();
+        pos01_a[l] = ds.positive ? 1.0 : 0.0;
+        neg01_a[l] = ds.negative ? 1.0 : 0.0;
+        prevpos01_a[l] = ds.prev_pos ? 1.0 : 0.0;
+        prevneg01_a[l] = ds.prev_neg ? 1.0 : 0.0;
+        out01_a[l] = ds.out ? 1.0 : 0.0;
+
+        // Power model (FrontEnd::step_block hoists; multiplexed =>
+        // oscillator_count() == instances == 1).
+        bias_a[l] = c.osc_bias_a * f.oscillator_count() +
+                    (c.vi_bias_a + c.det_bias_a) * 1;
+        supply_a[l] = c.supply_v;
+
+        // Band-limited pickup noise (FrontEnd::add_noise_block hoists);
+        // draws stay on the member's own source so the lane reproduces
+        // exactly the RNG stream its scalar run would consume.
+        lane_noise[l] = c.pickup_noise_rms_v != 0.0;
+        noise_src[l] = &f.pickup_noise();
+        if (lane_noise[l]) {
+            const double alpha = std::clamp(
+                1.0 - std::exp(-2.0 * std::numbers::pi *
+                               c.pickup_noise_bandwidth_hz * dt_s),
+                1e-9, 1.0);
+            nalpha[l] = alpha;
+            ndrive[l] = c.pickup_noise_rms_v * std::sqrt((2.0 - alpha) / alpha);
+            nst[l] = f.noise_filter_state();
+            stripe_noise = true;
+        } else {
+            nalpha[l] = ndrive[l] = nst[l] = 0.0;
+        }
+
+        // Stream-window statistics of the active channel.
+        const analog::FrontEnd::StreamWindowState ws = f.save_window_state();
+        const auto ai = static_cast<std::size_t>(ach);
+        statprev01_a[l] = ws.prev[ai] ? 1.0 : 0.0;
+        hasprev01_a[l] = ws.has_prev[ai] ? 1.0 : 0.0;
+
+        // Counter: ideal counters fold in SoA; lanes with a tap or an
+        // engaged hardware register delegate to the member object over
+        // the captured byte streams (wrap/stuck/trap logic and the tap
+        // contract both live there).
+        lane_tap[l] = f.sample_tap() != nullptr;
+        lane_hw[l] = ctr[l] != nullptr && ctr[l]->hardware_engaged();
+        lane_soa_count[l] = ctr[l] != nullptr && !lane_tap[l] && !lane_hw[l] &&
+                            ctr[l]->enabled() && ach == channel;
+        count01_a[l] = lane_soa_count[l] ? 1.0 : 0.0;
+        inc_a[l] = ctr[l] != nullptr ? dt_s * ctr[l]->clock_hz() : 0.0;
+        if (lane_soa_count[l]) {
+            const digital::UpDownCounter::State cs = ctr[l]->save_state();
+            acc_a[l] = cs.tick_accumulator;
+            cnt_a[l] = cs.count;
+            act_a[l] = static_cast<std::int64_t>(cs.active_ticks);
+        } else {
+            acc_a[l] = 0.0;
+            cnt_a[l] = 0;
+            act_a[l] = 0;
+        }
+
+        e_a[l] = *lanes[l].energy_j;
+
+        if (lane_tap[l] || (lane_hw[l] && ach == channel)) stripe_capture = true;
+    }
+
+    // ---- Vector kernel: all lanes, one sample per iteration -----------
+    //
+    // Every statement runs across the group's S stripes (tiny inner
+    // loops the compiler unrolls completely) before the next, so the
+    // S per-stripe dependency spines sit interleaved in the
+    // instruction stream and execute concurrently.
+
+    const v::dvec dt_v = v::splat(dt_s);
+    const v::dvec zero_v = v::splat(0.0);
+    const v::dvec one_v = v::splat(1.0);
+    const v::dvec two_v = v::splat(2.0);
+    const v::dvec four_v = v::splat(4.0);
+    const v::dvec neg4_v = v::splat(-4.0);
+    const v::dvec quarter_v = v::splat(0.25);
+    const v::dvec threeq_v = v::splat(0.75);
+    const v::dvec sign_v = v::splat(-0.0);
+    const v::dvec mu0_v = v::splat(magnetics::kMu0);
+    const v::ivec izero_v = v::i_splat(0);
+
+    v::dvec freq_v[S], gain_v[S], curv_v[S], dc_v[S], cgain_v[S];
+    v::mask correct_m[S];
+    v::dvec vig_v[S], fs_v[S], linfs_v[S], lim_v[S], neglim_v[S];
+    v::dvec fpa_v[S], hext_v[S], hk_v[S], ms_v[S], nap_v[S], nae_v[S];
+    v::dvec settle_v[S], off_v[S], fall_v[S], rise_v[S];
+    v::dvec bias_v[S], supply_v[S], inc_v[S];
+    v::mask count_m[S];
+
+    v::dvec time_v[S], phase_v[S], corr_v[S], pint_v[S], ptime_v[S];
+    v::dvec since_v[S], lpprev_v[S], leprev_v[S], leold_v[S];
+    v::mask first_m[S], pos_m[S], neg_m[S], prevpos_m[S], prevneg_m[S];
+    v::mask out_m[S], statprev_m[S], hasprev_m[S];
+    v::dvec acc_v[S], e_v[S];
+    v::ivec cnt_v[S], act_v[S], vs_v[S], hs_v[S], edges_v[S];
+    // Loop-carried last-sample values needed at scatter.
+    v::dvec o_v[S], idrv_v[S], h_v[S], b_v[S], vpick_v[S];
+
+    #pragma GCC unroll 8
+    for (int s = 0; s < S; ++s) {
+        const int g = s * W;
+        freq_v[s] = v::load(freq_a + g);
+        gain_v[s] = v::load(gain_a + g);
+        curv_v[s] = v::load(curv_a + g);
+        dc_v[s] = v::load(dc_a + g);
+        cgain_v[s] = v::load(cgain_a + g);
+        correct_m[s] = mask_from01(correct01_a + g);
+        vig_v[s] = v::load(vig_a + g);
+        fs_v[s] = v::load(fs_a + g);
+        linfs_v[s] = v::load(linfs_a + g);
+        lim_v[s] = v::load(lim_a + g);
+        neglim_v[s] = v::load(neglim_a + g);
+        fpa_v[s] = v::load(fpa_a + g);
+        hext_v[s] = v::load(hext_a + g);
+        hk_v[s] = v::load(hk_a + g);
+        ms_v[s] = v::load(ms_a + g);
+        nap_v[s] = v::load(nap_a + g);
+        nae_v[s] = v::load(nae_a + g);
+        settle_v[s] = v::load(settle_a + g);
+        off_v[s] = v::load(off_a + g);
+        fall_v[s] = v::load(fall_a + g);
+        rise_v[s] = v::load(rise_a + g);
+        bias_v[s] = v::load(bias_a + g);
+        supply_v[s] = v::load(supply_a + g);
+        inc_v[s] = v::load(inc_a + g);
+        count_m[s] = mask_from01(count01_a + g);
+
+        time_v[s] = v::load(time_a + g);
+        phase_v[s] = v::load(phase_a + g);
+        corr_v[s] = v::load(corr_a + g);
+        pint_v[s] = v::load(pint_a + g);
+        ptime_v[s] = v::load(ptime_a + g);
+        since_v[s] = v::load(since_a + g);
+        lpprev_v[s] = v::load(lp_a + g);
+        leprev_v[s] = v::load(le_a + g);
+        leold_v[s] = leprev_v[s];
+        first_m[s] = mask_from01(first01_a + g);
+        pos_m[s] = mask_from01(pos01_a + g);
+        neg_m[s] = mask_from01(neg01_a + g);
+        prevpos_m[s] = mask_from01(prevpos01_a + g);
+        prevneg_m[s] = mask_from01(prevneg01_a + g);
+        out_m[s] = mask_from01(out01_a + g);
+        statprev_m[s] = mask_from01(statprev01_a + g);
+        hasprev_m[s] = mask_from01(hasprev01_a + g);
+        acc_v[s] = v::load(acc_a + g);
+        cnt_v[s] = v::i_load(cnt_a + g);
+        act_v[s] = v::i_load(act_a + g);
+        vs_v[s] = izero_v;
+        hs_v[s] = izero_v;
+        edges_v[s] = izero_v;
+        e_v[s] = v::load(e_a + g);
+        o_v[s] = zero_v;
+        idrv_v[s] = zero_v;
+        h_v[s] = zero_v;
+        b_v[s] = zero_v;
+        vpick_v[s] = zero_v;
+    }
+
+    alignas(32) double h_s[GW], m_s[GW], v_s[GW];
+
+    // The sample loop is tiled and split into three passes. One fused
+    // per-sample body carries ~30 live vectors per stripe — far beyond
+    // the register file — so the compiler spills and reloads most
+    // state on every sample. Each pass below keeps only its own
+    // stage's state live (inter-pass values ride in small L1-resident
+    // tile buffers), and successive samples within a pass are nearly
+    // independent, so the out-of-order core overlaps their long
+    // divide/exp chains. The per-lane arithmetic and its ordering are
+    // untouched: every lane still executes exactly the scalar
+    // sequence, sample by sample.
+    constexpr int T = 64;  // 3 buffers * S * T * sizeof(dvec) stays in L1
+    v::dvec bidrv[S * T];
+    v::dvec bvdet[S * T];
+    v::mask bsettle[S * T];
+
+    for (int k0 = 0; k0 < steps; k0 += T) {
+        const int tn = std::min(T, steps - k0);
+
+        // Pass A: oscillator, V-I converter, mux settling, supply
+        // power/energy.
+        for (int t = 0; t < tn; ++t) {
+            #pragma GCC unroll 8
+            for (int s = 0; s < S; ++s) {
+                // Oscillator (TriangleOscillator::step).
+                time_v[s] = v::add(time_v[s], dt_v);
+                phase_v[s] = v::add(phase_v[s], v::mul(dt_v, freq_v[s]));
+                const v::mask wrapped = v::cmp_ge(phase_v[s], one_v);
+                // A wrap happens once per excitation period
+                // (1/steps_per_period samples); the wrap bookkeeping —
+                // including a vector divide — is skipped entirely on
+                // the other samples. The blends are identity when
+                // `wrapped` is all-false, so the skip is exact.
+                const bool any_wrap = v::movemask(wrapped) != 0;
+                if (any_wrap) {
+                    phase_v[s] = v::blend(
+                        wrapped, v::sub(phase_v[s], v::floor(phase_v[s])),
+                        phase_v[s]);
+                }
+                const v::dvec f4p = v::mul(four_v, phase_v[s]);
+                const v::mask seg1 = v::cmp_gt(quarter_v, phase_v[s]);
+                const v::mask seg2 = v::cmp_gt(threeq_v, phase_v[s]);
+                const v::dvec w = v::blend(
+                    seg1, f4p,
+                    v::blend(seg2, v::sub(two_v, f4p), v::add(neg4_v, f4p)));
+                const v::dvec shaped = v::add(
+                    w, v::mul(curv_v[s], v::sub(v::mul(v::mul(w, w), w), w)));
+                o_v[s] =
+                    v::add(v::add(v::mul(gain_v[s], shaped), dc_v[s]), corr_v[s]);
+                pint_v[s] = v::add(pint_v[s], v::mul(o_v[s], dt_v));
+                ptime_v[s] = v::add(ptime_v[s], dt_v);
+                if (any_wrap) {
+                    const v::mask upd = v::m_and(
+                        wrapped,
+                        v::m_and(correct_m[s], v::cmp_gt(ptime_v[s], zero_v)));
+                    corr_v[s] = v::blend(
+                        upd,
+                        v::sub(corr_v[s],
+                               v::mul(cgain_v[s], v::div(pint_v[s], ptime_v[s]))),
+                        corr_v[s]);
+                    pint_v[s] = v::blend(wrapped, zero_v, pint_v[s]);
+                    ptime_v[s] = v::blend(wrapped, zero_v, ptime_v[s]);
+                }
+
+                // V-I converter (ViConverter::drive).
+                const v::dvec u = v::div(o_v[s], fs_v[s]);
+                idrv_v[s] = v::add(v::mul(vig_v[s], o_v[s]),
+                                   v::mul(v::mul(v::mul(linfs_v[s], u), u), u));
+                idrv_v[s] = v::min(v::max(idrv_v[s], neglim_v[s]), lim_v[s]);
+
+                // Mux settling.
+                since_v[s] = v::add(since_v[s], dt_v);
+
+                // Supply power and energy (FrontEnd::step_block tail;
+                // the energy chain continues each member's running
+                // sum).
+                const v::dvec drive = v::bit_andnot(sign_v, idrv_v[s]);  // fabs
+                const v::dvec p = v::mul(v::add(bias_v[s], drive), supply_v[s]);
+                e_v[s] = v::add(e_v[s], v::mul(p, dt_v));
+
+                bidrv[s * T + t] = idrv_v[s];
+                bsettle[s * T + t] = v::cmp_ge(since_v[s], settle_v[s]);
+            }
+        }
+
+        // Pass B: fluxgate sensor chain and pickup noise -> the
+        // detector's input voltage.
+        for (int t = 0; t < tn; ++t) {
+            v::dvec vdet_v[S];
+
+            #pragma GCC unroll 8
+            for (int s = 0; s < S; ++s) {
+                // Active fluxgate sensor (FluxgateSensor::step).
+                h_v[s] = v::add(v::mul(fpa_v[s], bidrv[s * T + t]), hext_v[s]);
+            }
+
+            if (!stripe_generic) {
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) {
+                    // TanhCore::advance: ms * tanh(h / hk); vtanh is
+                    // lane-independent, so each lane equals the
+                    // member's call.
+                    const v::dvec m_v =
+                        v::mul(ms_v[s], v::vtanh(v::div(h_v[s], hk_v[s])));
+                    b_v[s] = v::mul(mu0_v, v::add(h_v[s], m_v));
+                }
+            } else {
+                // A non-tanh (hysteretic/Langevin) core in the group:
+                // advance every lane's core through exact virtual
+                // dispatch, in sample order per lane. This also keeps
+                // each core's internal history current, so no
+                // scatter-time resync.
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) v::store(h_s + s * W, h_v[s]);
+                for (int l = 0; l < n; ++l) m_s[l] = core[l]->advance(h_s[l]);
+                for (int l = n; l < GW; ++l) m_s[l] = 0.0;
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) {
+                    b_v[s] = v::mul(mu0_v, v::add(h_v[s], v::load(m_s + s * W)));
+                }
+            }
+
+            #pragma GCC unroll 8
+            for (int s = 0; s < S; ++s) {
+                const v::dvec lp = v::mul(nap_v[s], b_v[s]);
+                const v::dvec le = v::mul(nae_v[s], b_v[s]);
+                vpick_v[s] = v::div(v::sub(lp, lpprev_v[s]), dt_v);
+                vpick_v[s] = v::blend(first_m[s], zero_v, vpick_v[s]);
+                leold_v[s] = leprev_v[s];
+                lpprev_v[s] = lp;
+                leprev_v[s] = le;
+                vdet_v[s] = vpick_v[s];
+            }
+
+            // Pickup noise: per-lane scalar draws from each member's
+            // own source (FrontEnd::add_noise_block arithmetic, same
+            // order).
+            if (stripe_noise) {
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) v::store(v_s + s * W, vdet_v[s]);
+                for (int l = 0; l < n; ++l) {
+                    if (!lane_noise[l]) continue;
+                    nst[l] +=
+                        nalpha[l] * (noise_src[l]->sample() * ndrive[l] - nst[l]);
+                    v_s[l] += nst[l];
+                }
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) vdet_v[s] = v::load(v_s + s * W);
+            }
+
+            #pragma GCC unroll 8
+            for (int s = 0; s < S; ++s) bvdet[s * T + t] = vdet_v[s];
+
+            if (k0 == 0 && t == 0) {
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) first_m[s] = v::m_splat(false);
+            }
+        }
+
+        // Pass C: detector latches, stream statistics, SoA counters,
+        // emitted-stream capture.
+        for (int t = 0; t < tn; ++t) {
+            #pragma GCC unroll 8
+            for (int s = 0; s < S; ++s) {
+                const v::dvec vdet = bvdet[s * T + t];
+                const v::mask settled = bsettle[s * T + t];
+
+                // Pulse-position detector: two latching comparators
+                // (the negative one fed -v, an exact sign flip) plus
+                // set/clear edge logic — clear wins when both fire, as
+                // in the scalar step.
+                const v::dvec vpos = v::sub(vdet, off_v[s]);
+                const v::dvec vneg = v::sub(v::bit_xor(vdet, sign_v), off_v[s]);
+                const v::mask fall_p = v::cmp_gt(fall_v[s], vpos);
+                const v::mask rise_p = v::cmp_gt(vpos, rise_v[s]);
+                pos_m[s] = v::m_or(v::m_andnot(fall_p, pos_m[s]),
+                                   v::m_andnot(pos_m[s], rise_p));
+                const v::mask fall_n = v::cmp_gt(fall_v[s], vneg);
+                const v::mask rise_n = v::cmp_gt(vneg, rise_v[s]);
+                neg_m[s] = v::m_or(v::m_andnot(fall_n, neg_m[s]),
+                                   v::m_andnot(neg_m[s], rise_n));
+                const v::mask set_e = v::m_andnot(pos_m[s], prevpos_m[s]);
+                const v::mask clr_e = v::m_andnot(neg_m[s], prevneg_m[s]);
+                out_m[s] = v::m_andnot(clr_e, v::m_or(out_m[s], set_e));
+                prevpos_m[s] = pos_m[s];
+                prevneg_m[s] = neg_m[s];
+
+                // Stream statistics of the active channel (valid
+                // samples only).
+                vs_v[s] = v::i_add(vs_v[s], v::mask01(settled));
+                hs_v[s] =
+                    v::i_add(hs_v[s], v::mask01(v::m_and(settled, out_m[s])));
+                edges_v[s] = v::i_add(
+                    edges_v[s],
+                    v::mask01(v::m_and(v::m_and(settled, hasprev_m[s]),
+                                       v::m_xor(out_m[s], statprev_m[s]))));
+                statprev_m[s] = v::m_or(v::m_and(settled, out_m[s]),
+                                        v::m_andnot(settled, statprev_m[s]));
+                hasprev_m[s] = v::m_or(hasprev_m[s], settled);
+
+                // Ideal up/down counters in SoA
+                // (UpDownCounter::step_block): invalid lanes hold acc
+                // in [0, 1), so floor() contributes exactly zero ticks
+                // there.
+                const v::mask cval = v::m_and(settled, count_m[s]);
+                acc_v[s] = v::blend(cval, v::add(acc_v[s], inc_v[s]), acc_v[s]);
+                const v::dvec whole = v::floor(acc_v[s]);
+                acc_v[s] = v::sub(acc_v[s], whole);
+                const v::ivec ticks = v::d2i_exact(whole);
+                cnt_v[s] = v::i_add(
+                    cnt_v[s],
+                    v::i_blend(out_m[s], ticks, v::i_sub(izero_v, ticks)));
+                act_v[s] = v::i_add(act_v[s], ticks);
+            }
+
+            // Emitted streams for tap replay / delegated counters, one
+            // bit per group lane (stripe s in bits [s*W, s*W+W)).
+            if (stripe_capture) {
+                unsigned db = 0;
+                unsigned vb = 0;
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) {
+                    db |= v::movemask(out_m[s]) << (s * W);
+                    vb |= v::movemask(bsettle[s * T + t]) << (s * W);
+                }
+                det_bits_[static_cast<std::size_t>(k0 + t)] =
+                    static_cast<std::uint8_t>(db);
+                valid_bits_[static_cast<std::size_t>(k0 + t)] =
+                    static_cast<std::uint8_t>(vb);
+            }
+        }
+    }
+
+    // ---- Scatter: write state back through the stages' seams ----------
+
+    alignas(32) double o_a[GW], i_a[GW], hfin_a[GW], bfin_a[GW], vp_a[GW],
+        leold_a[GW];
+    alignas(32) std::int64_t vs_a[GW], hs_a[GW], edges_a[GW];
+    unsigned pos_b = 0, neg_b = 0, prevpos_b = 0, prevneg_b = 0, out_b = 0,
+             statprev_b = 0, hasprev_b = 0;
+    #pragma GCC unroll 8
+    for (int s = 0; s < S; ++s) {
+        const int g = s * W;
+        v::store(time_a + g, time_v[s]);
+        v::store(phase_a + g, phase_v[s]);
+        v::store(corr_a + g, corr_v[s]);
+        v::store(pint_a + g, pint_v[s]);
+        v::store(ptime_a + g, ptime_v[s]);
+        v::store(since_a + g, since_v[s]);
+        v::store(lp_a + g, lpprev_v[s]);
+        v::store(le_a + g, leprev_v[s]);
+        v::store(o_a + g, o_v[s]);
+        v::store(i_a + g, idrv_v[s]);
+        v::store(hfin_a + g, h_v[s]);
+        v::store(bfin_a + g, b_v[s]);
+        v::store(vp_a + g, vpick_v[s]);
+        v::store(leold_a + g, leold_v[s]);
+        v::store(acc_a + g, acc_v[s]);
+        v::i_store(cnt_a + g, cnt_v[s]);
+        v::i_store(act_a + g, act_v[s]);
+        v::i_store(vs_a + g, vs_v[s]);
+        v::i_store(hs_a + g, hs_v[s]);
+        v::i_store(edges_a + g, edges_v[s]);
+        v::store(e_a + g, e_v[s]);
+        pos_b |= v::movemask(pos_m[s]) << g;
+        neg_b |= v::movemask(neg_m[s]) << g;
+        prevpos_b |= v::movemask(prevpos_m[s]) << g;
+        prevneg_b |= v::movemask(prevneg_m[s]) << g;
+        out_b |= v::movemask(out_m[s]) << g;
+        statprev_b |= v::movemask(statprev_m[s]) << g;
+        hasprev_b |= v::movemask(hasprev_m[s]) << g;
+    }
+
+    std::uint8_t* dx = bytes_.data();
+    std::uint8_t* dy = dx + steps;
+    std::uint8_t* vx = dy + steps;
+    std::uint8_t* vy = vx + steps;
+
+    for (int l = 0; l < n; ++l) {
+        analog::FrontEnd& f = *fe[l];
+        const Channel ach = active_ch[l];
+        const auto ai = static_cast<std::size_t>(ach);
+        const auto ii = 1 - ai;
+
+        f.oscillator().load_state(
+            {time_a[l], phase_a[l], o_a[l], corr_a[l], pint_a[l], ptime_a[l]});
+        f.mux().load_state({ach, since_a[l]});
+
+        // Active sensor. v_excitation is a pure function of the last
+        // two flux linkages (or the resistive drop alone right after
+        // the very first sample), recomputed with the step() ops.
+        double vexc;
+        if (lane_first[l] && steps == 1) {
+            vexc = r_exc_a[l] * i_a[l];
+        } else {
+            vexc = r_exc_a[l] * i_a[l] + (le_a[l] - leold_a[l]) / dt_s;
+        }
+        sensor::FluxgateSensor& sen = f.sensor_mut(ach);
+        sen.load_state({hfin_a[l], bfin_a[l], vp_a[l], vexc, lp_a[l], le_a[l],
+                        /*first_step=*/false});
+        if (!stripe_generic) {
+            // Re-sync the TanhCore's remembered field; the model is
+            // otherwise stateless, so one advance() at the final H
+            // reproduces the state after every per-sample call.
+            core[l]->advance(hfin_a[l]);
+        }
+        f.sensor_mut(ach == Channel::X ? Channel::Y : Channel::X)
+            .step_block_constant(0.0, dt_s, steps);
+
+        f.detector(ach).load_state({bit_of(pos_b, l), bit_of(neg_b, l),
+                                    bit_of(prevpos_b, l), bit_of(prevneg_b, l),
+                                    bit_of(out_b, l)});
+
+        if (lane_noise[l]) f.set_noise_filter_state(nst[l]);
+
+        if (lane_tap[l]) {
+            // Replay the emitted streams through the member's tap ->
+            // index -> statistics pipeline, then clock the member's
+            // counter over the post-tap bytes — exactly the block
+            // engine's ordering with one chunk per stage.
+            std::uint8_t* d_act = ach == Channel::X ? dx : dy;
+            std::uint8_t* v_act = ach == Channel::X ? vx : vy;
+            std::uint8_t* d_idl = ach == Channel::X ? dy : dx;
+            std::uint8_t* v_idl = ach == Channel::X ? vy : vx;
+            std::memset(d_idl, 0, static_cast<std::size_t>(steps));
+            std::memset(v_idl, 0, static_cast<std::size_t>(steps));
+            for (int k = 0; k < steps; ++k) {
+                d_act[k] = static_cast<std::uint8_t>((det_bits_[k] >> l) & 1u);
+                v_act[k] = static_cast<std::uint8_t>((valid_bits_[k] >> l) & 1u);
+            }
+            f.ingest_samples(steps, dx, dy, vx, vy);
+            if (ctr[l] != nullptr) {
+                const std::uint8_t* dch = channel == Channel::X ? dx : dy;
+                const std::uint8_t* vch = channel == Channel::X ? vx : vy;
+                ctr[l]->step_block(dch, vch, dt_s, steps);
+            }
+        } else {
+            // Fold this advance's statistics into the member's window.
+            analog::FrontEnd::StreamWindowState ws = f.save_window_state();
+            ws.stats[ai].samples += static_cast<std::uint64_t>(steps);
+            ws.stats[ai].valid_samples += static_cast<std::uint64_t>(vs_a[l]);
+            ws.stats[ai].high_samples += static_cast<std::uint64_t>(hs_a[l]);
+            ws.stats[ai].edges += static_cast<std::uint64_t>(edges_a[l]);
+            ws.stats[ii].samples += static_cast<std::uint64_t>(steps);
+            ws.prev[ai] = bit_of(statprev_b, l) ? 1 : 0;
+            ws.has_prev[ai] = bit_of(hasprev_b, l);
+            ws.sample_index += static_cast<std::uint64_t>(steps);
+            f.load_window_state(ws);
+
+            if (lane_hw[l] && ach == channel) {
+                // Hardware-register counter: member object applies
+                // wrap/stuck/trap per tick over the emitted bytes.
+                for (int k = 0; k < steps; ++k) {
+                    dx[k] = static_cast<std::uint8_t>((det_bits_[k] >> l) & 1u);
+                    vx[k] = static_cast<std::uint8_t>((valid_bits_[k] >> l) & 1u);
+                }
+                ctr[l]->step_block(dx, vx, dt_s, steps);
+            } else if (lane_soa_count[l]) {
+                ctr[l]->load_state({acc_a[l], cnt_a[l],
+                                    static_cast<std::uint64_t>(act_a[l])});
+            }
+        }
+
+        *lanes[l].energy_j = e_a[l];
+    }
+}
+
+}  // namespace fxg::sim

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file lane_engine.hpp
+/// Structure-of-arrays SIMD lane engine: one compiled plan, N fleet
+/// members per instruction.
+///
+/// The scalar and block engines advance ONE front end at a time; their
+/// inner loop is a chain of dependent scalar operations (oscillator ->
+/// V-I -> core tanh -> detector -> counter) that leaves the vector
+/// units idle. The lane engine turns the fleet dimension into the
+/// vector dimension instead: it gathers the evolving per-sample state
+/// of up to util::simd::kLanes independent members into SoA registers
+/// (oscillator phase/correction, noise filter, flux linkages,
+/// comparator latches, counter accumulator, energy), advances all of
+/// them in lockstep with the identical per-sample arithmetic, and
+/// scatters the state back through the stages' save/load seams at
+/// stage boundaries.
+///
+/// Contract: bit-identical to advancing every member through
+/// FrontEnd::step() / UpDownCounter::step() individually — counter
+/// values, noise streams, energy sums, stream statistics and the abort
+/// point of an overflow trap (asserted three ways against the scalar
+/// and block engines by tests/lane_engine_test.cpp and the
+/// EngineParity fuzz oracle in src/verify/).
+///
+/// Per-member fault isolation is preserved by construction:
+///  * Parametric faults (oscillator drift, comparator offset, stuck
+///    mux) are per-lane constants — a drifting lane computes with its
+///    own constants and perturbs no neighbour.
+///  * Stream faults arrive through the member's SampleTap. Lanes with
+///    a tap attached stay in the SIMD path for the analogue stages;
+///    their emitted detector/valid streams are captured per sample
+///    (one movemask each), unpacked per lane and replayed through
+///    FrontEnd::ingest_samples(), so the tap sees exactly the chunks,
+///    bytes and statistics of the per-member path. Counting for those
+///    lanes runs the member's UpDownCounter::step_block over the
+///    post-tap bytes.
+///  * Members with an engaged counter hardware model (finite width /
+///    stuck bit) likewise keep their counter on the member object so
+///    wrap, stuck-bit and trap latching stay in one place; the
+///    analogue pipeline still runs in SIMD. A lane whose counter traps
+///    is evicted by the caller (PlanExecutor::run_lanes) at the count
+///    window boundary — the scalar abort point — without perturbing
+///    the other lanes.
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/front_end.hpp"
+#include "analog/mux.hpp"
+#include "digital/counter.hpp"
+
+namespace fxg::sim {
+
+/// One fleet member's slice of a lane batch: the front end to advance,
+/// the counter to clock (null during a settle phase, exactly like the
+/// null-counter contract of SimEngine::advance) and the member's
+/// running energy sum.
+struct LanePort {
+    analog::FrontEnd* front_end = nullptr;
+    digital::UpDownCounter* counter = nullptr;  ///< null => settling (deaf)
+    double* energy_j = nullptr;
+};
+
+/// SoA batch engine over independent front ends. Owns only scratch
+/// buffers; all simulation state lives in the member objects and
+/// round-trips per advance() through the stages' State seams.
+class LaneEngine {
+public:
+    LaneEngine() = default;
+
+    /// True when `front_end`'s configuration can run in a SIMD lane:
+    /// the paper's multiplexed architecture with a noise-free detector
+    /// (comparator noise would need per-comparator RNG streams inside
+    /// the vector kernel). Pickup noise, parametric/stream faults, an
+    /// engaged counter hardware model and non-tanh cores are all
+    /// lane-compatible. Enabled/gating state is a precondition of
+    /// advance(), not of eligibility.
+    [[nodiscard]] static bool eligible(const analog::FrontEnd& front_end) noexcept;
+
+    /// Lanes advanced per vector instruction (the active simd width).
+    [[nodiscard]] static int lanes_per_stripe() noexcept;
+
+    /// Active simd backend ("avx2", "neon", "scalar").
+    [[nodiscard]] static const char* backend_name() noexcept;
+
+    /// Advances every lane by `steps` samples of `dt_s`, mirroring
+    /// SimEngine::advance per lane: energy accumulates in sample order
+    /// onto each lane's energy_j, and every settled sample of
+    /// `channel`'s detector output is clocked into the lane's counter
+    /// (when non-null). Preconditions: every front end eligible() and
+    /// enabled (the plan's PowerUp stage has run). Lanes are
+    /// independent; any subset of the same calls on the per-member
+    /// path yields bit-identical member state.
+    void advance(const LanePort* lanes, int n_lanes, analog::Channel channel,
+                 int steps, double dt_s);
+
+private:
+    /// Advances one group of S consecutive stripes (n <= S*kLanes
+    /// lanes) through a single interleaved kernel loop. Each sample's
+    /// arithmetic spine (divide -> exp polynomial -> tanh divide ->
+    /// pickup divide) is a long serial dependency chain; running S
+    /// stripes statement-by-statement through one body gives the
+    /// out-of-order core S independent chains to overlap. Lanes never
+    /// interact, so the result is bit-identical to S separate stripe
+    /// passes.
+    template <int S>
+    void advance_group(const LanePort* lanes, int n, analog::Channel channel,
+                       int steps, double dt_s);
+
+    // Per-group emitted streams, one bit per group lane per sample
+    // (movemask, stripe s in bits [s*kLanes, (s+1)*kLanes)), consumed
+    // by tap replay and delegated counters.
+    std::vector<std::uint8_t> det_bits_;
+    std::vector<std::uint8_t> valid_bits_;
+    // Unpacked per-lane byte streams (det x/y, valid x/y).
+    std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace fxg::sim

@@ -1,0 +1,578 @@
+#pragma once
+
+/// \file simd.hpp
+/// Thin SIMD wrapper for the lane engine (sim/lane_engine.cpp).
+///
+/// Three backends behind one set of free functions:
+///
+///   - AVX2 + FMA on x86-64 (4 double lanes) when the build enables it
+///     (root CMakeLists adds -mavx2 -mfma unless FXG_SIMD=off);
+///   - NEON on aarch64 (2 double lanes);
+///   - a portable scalar fallback (4 "lanes" of plain doubles) that
+///     compiles everywhere and is what FXG_SIMD=off forces.
+///
+/// The contract that makes the lane engine's bit-identity story work:
+/// every operation here is *lane-independent* and rounds exactly like
+/// the obvious scalar expression — add/sub/mul/div/floor are single
+/// IEEE-754 ops, fmadd/fnmadd are a single rounding (std::fma in the
+/// fallback), max/min mirror the x86 (a cmp b) ? a : b semantics, and
+/// blends select whole lanes by the mask's sign bit. Consequently lane
+/// i of any vector computation equals the same computation run on lane
+/// i alone, which is how the remainder-lane tails (scalar calls into
+/// tanh1/exp1) stay bit-identical to full-width stripes, and how the
+/// FXG_SIMD=off build reproduces the AVX2 build bit-for-bit.
+///
+/// vexp/vtanh are the one place the engines need a transcendental.
+/// libm's tanh is correctly rounded but scalar-only and has no
+/// vectorizable contract, so the engines share *this* implementation
+/// (magnetics::TanhCore calls tanh1): Cody–Waite range reduction with
+/// musl's ln2 split, a degree-13 Horner polynomial of explicit fmas,
+/// and 2^k built by integer exponent construction. Accuracy is a few
+/// ulp against libm; consistency across scalar/block/lane paths is
+/// exact by construction. Domain notes: vexp clamps below -708 (the
+/// subnormal region) to exp(-708); vtanh handles +-0 and +-inf but
+/// does not propagate NaN (engine inputs are finite by construction).
+///
+/// detail::ScalarBackend is always compiled, whatever the active
+/// backend, so tests/simd_test.cpp can check intrinsic-vs-fallback
+/// bit-identity inside one binary. kLanes is a compile-time constant
+/// so tests can sweep width-boundary remainders.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(FXG_SIMD_DISABLE) && defined(__AVX2__) && defined(__FMA__)
+#define FXG_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(FXG_SIMD_DISABLE) && defined(__aarch64__)
+#define FXG_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace fxg::util::simd {
+namespace detail {
+
+/// Magic constant for double -> int64 conversion of integer-valued
+/// doubles in (-2^51, 2^51): adding 2^52 + 2^51 pins the value into a
+/// binade where one mantissa ulp is exactly 1.0, so the integer falls
+/// out of the bit pattern by subtraction. Exact for integer inputs.
+inline constexpr double kToIntMagic = 6755399441055744.0;  // 2^52 + 2^51
+
+/// Portable backend: kLanes plain doubles, every op written to round
+/// exactly like its single-instruction SIMD counterpart.
+struct ScalarBackend {
+    static constexpr int kLanes = 4;
+    static constexpr const char* kName = "scalar";
+
+    struct D {
+        double v[kLanes];
+    };
+    struct M {
+        std::uint64_t v[kLanes];  ///< all-ones or all-zeros per lane
+    };
+    struct I {
+        std::int64_t v[kLanes];
+    };
+
+    static D splat(double x) {
+        D r;
+        for (int l = 0; l < kLanes; ++l) r.v[l] = x;
+        return r;
+    }
+    static D load(const double* p) {
+        D r;
+        for (int l = 0; l < kLanes; ++l) r.v[l] = p[l];
+        return r;
+    }
+    static void store(double* p, D a) {
+        for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+    }
+    static double first(D a) { return a.v[0]; }
+
+    static D add(D a, D b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] += b.v[l];
+        return a;
+    }
+    static D sub(D a, D b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] -= b.v[l];
+        return a;
+    }
+    static D mul(D a, D b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] *= b.v[l];
+        return a;
+    }
+    static D div(D a, D b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] /= b.v[l];
+        return a;
+    }
+    static D floor(D a) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] = std::floor(a.v[l]);
+        return a;
+    }
+    /// x86 MAXPD semantics: (a > b) ? a : b — second operand on NaN.
+    static D max(D a, D b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] = a.v[l] > b.v[l] ? a.v[l] : b.v[l];
+        return a;
+    }
+    static D min(D a, D b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] = a.v[l] < b.v[l] ? a.v[l] : b.v[l];
+        return a;
+    }
+    /// Single-rounding fused a*b + c, exactly like the FMA instruction.
+    static D fmadd(D a, D b, D c) {
+        for (int l = 0; l < kLanes; ++l) c.v[l] = std::fma(a.v[l], b.v[l], c.v[l]);
+        return c;
+    }
+    /// c - a*b with a single rounding (FNMADD).
+    static D fnmadd(D a, D b, D c) {
+        for (int l = 0; l < kLanes; ++l) c.v[l] = std::fma(-a.v[l], b.v[l], c.v[l]);
+        return c;
+    }
+
+    static D bit_and(D a, D b) {
+        for (int l = 0; l < kLanes; ++l)
+            a.v[l] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[l]) &
+                                           std::bit_cast<std::uint64_t>(b.v[l]));
+        return a;
+    }
+    static D bit_or(D a, D b) {
+        for (int l = 0; l < kLanes; ++l)
+            a.v[l] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[l]) |
+                                           std::bit_cast<std::uint64_t>(b.v[l]));
+        return a;
+    }
+    static D bit_xor(D a, D b) {
+        for (int l = 0; l < kLanes; ++l)
+            a.v[l] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[l]) ^
+                                           std::bit_cast<std::uint64_t>(b.v[l]));
+        return a;
+    }
+    /// ~a & b (ANDNPD operand order).
+    static D bit_andnot(D a, D b) {
+        for (int l = 0; l < kLanes; ++l)
+            b.v[l] = std::bit_cast<double>(~std::bit_cast<std::uint64_t>(a.v[l]) &
+                                           std::bit_cast<std::uint64_t>(b.v[l]));
+        return b;
+    }
+
+    static M cmp_ge(D a, D b) {
+        M m;
+        for (int l = 0; l < kLanes; ++l) m.v[l] = a.v[l] >= b.v[l] ? ~0ULL : 0ULL;
+        return m;
+    }
+    static M cmp_gt(D a, D b) {
+        M m;
+        for (int l = 0; l < kLanes; ++l) m.v[l] = a.v[l] > b.v[l] ? ~0ULL : 0ULL;
+        return m;
+    }
+    /// m ? a : b per lane (selects by the mask lane's sign bit, like
+    /// BLENDVPD; cmp results are all-ones/all-zeros so this is total).
+    static D blend(M m, D a, D b) {
+        for (int l = 0; l < kLanes; ++l)
+            b.v[l] = (m.v[l] >> 63) ? a.v[l] : b.v[l];
+        return b;
+    }
+
+    static M m_splat(bool b) {
+        M m;
+        for (int l = 0; l < kLanes; ++l) m.v[l] = b ? ~0ULL : 0ULL;
+        return m;
+    }
+    static M m_and(M a, M b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] &= b.v[l];
+        return a;
+    }
+    static M m_or(M a, M b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] |= b.v[l];
+        return a;
+    }
+    static M m_xor(M a, M b) {
+        for (int l = 0; l < kLanes; ++l) a.v[l] ^= b.v[l];
+        return a;
+    }
+    /// ~a & b.
+    static M m_andnot(M a, M b) {
+        for (int l = 0; l < kLanes; ++l) b.v[l] = ~a.v[l] & b.v[l];
+        return b;
+    }
+    static unsigned movemask(M m) {
+        unsigned bits = 0;
+        for (int l = 0; l < kLanes; ++l) bits |= unsigned(m.v[l] >> 63) << l;
+        return bits;
+    }
+    /// 1 for true lanes, 0 for false — for integer accumulation.
+    static I mask01(M m) {
+        I r;
+        for (int l = 0; l < kLanes; ++l) r.v[l] = std::int64_t(m.v[l] >> 63);
+        return r;
+    }
+
+    static I i_splat(std::int64_t x) {
+        I r;
+        for (int l = 0; l < kLanes; ++l) r.v[l] = x;
+        return r;
+    }
+    static I i_load(const std::int64_t* p) {
+        I r;
+        for (int l = 0; l < kLanes; ++l) r.v[l] = p[l];
+        return r;
+    }
+    static void i_store(std::int64_t* p, I a) {
+        for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+    }
+    static I i_add(I a, I b) {
+        for (int l = 0; l < kLanes; ++l)
+            a.v[l] = std::int64_t(std::uint64_t(a.v[l]) + std::uint64_t(b.v[l]));
+        return a;
+    }
+    static I i_sub(I a, I b) {
+        for (int l = 0; l < kLanes; ++l)
+            a.v[l] = std::int64_t(std::uint64_t(a.v[l]) - std::uint64_t(b.v[l]));
+        return a;
+    }
+    static I i_blend(M m, I a, I b) {
+        for (int l = 0; l < kLanes; ++l)
+            b.v[l] = (m.v[l] >> 63) ? a.v[l] : b.v[l];
+        return b;
+    }
+    /// Exact double -> int64 for integer-valued inputs in (-2^51, 2^51).
+    static I d2i_exact(D a) {
+        I r;
+        for (int l = 0; l < kLanes; ++l)
+            r.v[l] = std::int64_t(std::bit_cast<std::uint64_t>(a.v[l] + kToIntMagic) -
+                                  std::bit_cast<std::uint64_t>(kToIntMagic));
+        return r;
+    }
+    /// 2^k by exponent-field construction; k in [-1022, 1024] (1024
+    /// yields +inf, which is the overflow answer vexp wants).
+    static D pow2i(I k) {
+        D r;
+        for (int l = 0; l < kLanes; ++l)
+            r.v[l] = std::bit_cast<double>(std::uint64_t(k.v[l] + 1023) << 52);
+        return r;
+    }
+};
+
+#if defined(FXG_SIMD_AVX2)
+
+struct Avx2Backend {
+    static constexpr int kLanes = 4;
+    static constexpr const char* kName = "avx2";
+
+    using D = __m256d;
+    using M = __m256d;  ///< comparison results, all-ones/all-zeros lanes
+    using I = __m256i;
+
+    static D splat(double x) { return _mm256_set1_pd(x); }
+    static D load(const double* p) { return _mm256_loadu_pd(p); }
+    static void store(double* p, D a) { _mm256_storeu_pd(p, a); }
+    static double first(D a) { return _mm256_cvtsd_f64(a); }
+
+    static D add(D a, D b) { return _mm256_add_pd(a, b); }
+    static D sub(D a, D b) { return _mm256_sub_pd(a, b); }
+    static D mul(D a, D b) { return _mm256_mul_pd(a, b); }
+    static D div(D a, D b) { return _mm256_div_pd(a, b); }
+    static D floor(D a) { return _mm256_floor_pd(a); }
+    static D max(D a, D b) { return _mm256_max_pd(a, b); }
+    static D min(D a, D b) { return _mm256_min_pd(a, b); }
+    static D fmadd(D a, D b, D c) { return _mm256_fmadd_pd(a, b, c); }
+    static D fnmadd(D a, D b, D c) { return _mm256_fnmadd_pd(a, b, c); }
+
+    static D bit_and(D a, D b) { return _mm256_and_pd(a, b); }
+    static D bit_or(D a, D b) { return _mm256_or_pd(a, b); }
+    static D bit_xor(D a, D b) { return _mm256_xor_pd(a, b); }
+    static D bit_andnot(D a, D b) { return _mm256_andnot_pd(a, b); }
+
+    static M cmp_ge(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+    static M cmp_gt(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+    static D blend(M m, D a, D b) { return _mm256_blendv_pd(b, a, m); }
+
+    static M m_splat(bool b) {
+        return b ? _mm256_castsi256_pd(_mm256_set1_epi64x(-1)) : _mm256_setzero_pd();
+    }
+    static M m_and(M a, M b) { return _mm256_and_pd(a, b); }
+    static M m_or(M a, M b) { return _mm256_or_pd(a, b); }
+    static M m_xor(M a, M b) { return _mm256_xor_pd(a, b); }
+    static M m_andnot(M a, M b) { return _mm256_andnot_pd(a, b); }
+    static unsigned movemask(M m) { return unsigned(_mm256_movemask_pd(m)); }
+    static I mask01(M m) {
+        return _mm256_srli_epi64(_mm256_castpd_si256(m), 63);
+    }
+
+    static I i_splat(std::int64_t x) { return _mm256_set1_epi64x(x); }
+    static I i_load(const std::int64_t* p) {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    static void i_store(std::int64_t* p, I a) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a);
+    }
+    static I i_add(I a, I b) { return _mm256_add_epi64(a, b); }
+    static I i_sub(I a, I b) { return _mm256_sub_epi64(a, b); }
+    static I i_blend(M m, I a, I b) {
+        return _mm256_castpd_si256(
+            _mm256_blendv_pd(_mm256_castsi256_pd(b), _mm256_castsi256_pd(a), m));
+    }
+    static I d2i_exact(D a) {
+        const D magic = splat(kToIntMagic);
+        return _mm256_sub_epi64(_mm256_castpd_si256(add(a, magic)),
+                                _mm256_castpd_si256(magic));
+    }
+    static D pow2i(I k) {
+        return _mm256_castsi256_pd(
+            _mm256_slli_epi64(_mm256_add_epi64(k, i_splat(1023)), 52));
+    }
+};
+
+using Active = Avx2Backend;
+
+#elif defined(FXG_SIMD_NEON)
+
+struct NeonBackend {
+    static constexpr int kLanes = 2;
+    static constexpr const char* kName = "neon";
+
+    using D = float64x2_t;
+    using M = uint64x2_t;
+    using I = int64x2_t;
+
+    static D splat(double x) { return vdupq_n_f64(x); }
+    static D load(const double* p) { return vld1q_f64(p); }
+    static void store(double* p, D a) { vst1q_f64(p, a); }
+    static double first(D a) { return vgetq_lane_f64(a, 0); }
+
+    static D add(D a, D b) { return vaddq_f64(a, b); }
+    static D sub(D a, D b) { return vsubq_f64(a, b); }
+    static D mul(D a, D b) { return vmulq_f64(a, b); }
+    static D div(D a, D b) { return vdivq_f64(a, b); }
+    static D floor(D a) { return vrndmq_f64(a); }
+    /// Mirrors the x86 (a > b) ? a : b so all backends agree (NaN
+    /// inputs are outside the engine domain either way).
+    static D max(D a, D b) { return vbslq_f64(vcgtq_f64(a, b), a, b); }
+    static D min(D a, D b) { return vbslq_f64(vcltq_f64(a, b), a, b); }
+    static D fmadd(D a, D b, D c) { return vfmaq_f64(c, a, b); }
+    static D fnmadd(D a, D b, D c) { return vfmsq_f64(c, a, b); }
+
+    static D bit_and(D a, D b) {
+        return vreinterpretq_f64_u64(
+            vandq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+    }
+    static D bit_or(D a, D b) {
+        return vreinterpretq_f64_u64(
+            vorrq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+    }
+    static D bit_xor(D a, D b) {
+        return vreinterpretq_f64_u64(
+            veorq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+    }
+    static D bit_andnot(D a, D b) {
+        return vreinterpretq_f64_u64(
+            vbicq_u64(vreinterpretq_u64_f64(b), vreinterpretq_u64_f64(a)));
+    }
+
+    static M cmp_ge(D a, D b) { return vcgeq_f64(a, b); }
+    static M cmp_gt(D a, D b) { return vcgtq_f64(a, b); }
+    static D blend(M m, D a, D b) { return vbslq_f64(m, a, b); }
+
+    static M m_splat(bool b) { return vdupq_n_u64(b ? ~0ULL : 0ULL); }
+    static M m_and(M a, M b) { return vandq_u64(a, b); }
+    static M m_or(M a, M b) { return vorrq_u64(a, b); }
+    static M m_xor(M a, M b) { return veorq_u64(a, b); }
+    static M m_andnot(M a, M b) { return vbicq_u64(b, a); }
+    static unsigned movemask(M m) {
+        return unsigned(vgetq_lane_u64(m, 0) >> 63) |
+               (unsigned(vgetq_lane_u64(m, 1) >> 63) << 1);
+    }
+    static I mask01(M m) {
+        return vreinterpretq_s64_u64(vshrq_n_u64(m, 63));
+    }
+
+    static I i_splat(std::int64_t x) { return vdupq_n_s64(x); }
+    static I i_load(const std::int64_t* p) { return vld1q_s64(p); }
+    static void i_store(std::int64_t* p, I a) { vst1q_s64(p, a); }
+    static I i_add(I a, I b) { return vaddq_s64(a, b); }
+    static I i_sub(I a, I b) { return vsubq_s64(a, b); }
+    static I i_blend(M m, I a, I b) { return vbslq_s64(m, a, b); }
+    static I d2i_exact(D a) {
+        const D magic = splat(kToIntMagic);
+        return vsubq_s64(vreinterpretq_s64_f64(add(a, magic)),
+                         vreinterpretq_s64_f64(magic));
+    }
+    static D pow2i(I k) {
+        return vreinterpretq_f64_s64(
+            vshlq_n_s64(vaddq_s64(k, i_splat(1023)), 52));
+    }
+};
+
+using Active = NeonBackend;
+
+#else
+
+using Active = ScalarBackend;
+
+#endif
+
+/// Shared exp range reduction: x = k*ln2 + r with |r| <= ln2/2, and
+/// s(r) = (exp(r) - 1) / r as a degree-12 Horner chain of explicit
+/// fmas. From these, exp(x) = (s*r + 1) * 2^k and expm1 falls out
+/// without the 1-ulp-of-1.0 cancellation when k == 0.
+template <class B>
+struct ExpReduction {
+    typename B::D kd;  ///< round-to-nearest(x / ln2), integer-valued
+    typename B::D r;   ///< reduced argument
+    typename B::D s;   ///< (exp(r) - 1) / r polynomial value
+
+    static ExpReduction reduce(typename B::D x) {
+        using D = typename B::D;
+        // Clamp below -708: the subnormal-result region. Callers that
+        // get there (tanh past saturation) have already converged.
+        x = B::max(x, B::splat(-708.0));
+        // k via the +0.5/floor idiom so no backend depends on the FP
+        // rounding mode.
+        const D kd = B::floor(B::add(B::mul(x, B::splat(1.4426950408889634074)),
+                                     B::splat(0.5)));
+        // Cody–Waite with musl's ln2 split: k*ln2_hi is exact for
+        // |k| < 2^20.
+        D r = B::fnmadd(kd, B::splat(6.93147180369123816490e-01), x);
+        r = B::fnmadd(kd, B::splat(1.90821492927058770002e-10), r);
+        D s = B::splat(1.0 / 6227020800.0);
+        s = B::fmadd(s, r, B::splat(1.0 / 479001600.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 39916800.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 3628800.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 362880.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 40320.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 5040.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 720.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 120.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 24.0));
+        s = B::fmadd(s, r, B::splat(1.0 / 6.0));
+        s = B::fmadd(s, r, B::splat(0.5));
+        s = B::fmadd(s, r, B::splat(1.0));
+        return {kd, r, s};
+    }
+};
+
+/// exp(x) over [-708, 709.8); inputs below -708 clamp to exp(-708)
+/// (~3.3e-308). Identical operation sequence on every backend.
+template <class B>
+typename B::D exp_t(typename B::D x) {
+    const auto red = ExpReduction<B>::reduce(x);
+    const auto p = B::fmadd(red.s, red.r, B::splat(1.0));
+    return B::mul(p, B::pow2i(B::d2i_exact(red.kd)));
+}
+
+/// expm1(x) = exp(x) - 1 with full relative accuracy near zero: when
+/// the reduction lands in k == 0 the result is s*r directly (no
+/// cancellation); otherwise (exp(r) * 2^k) - 1 as one fma, where the
+/// subtraction is benign because |exp(x)| is at least ~sqrt(2) away
+/// from 1.
+template <class B>
+typename B::D expm1_t(typename B::D x) {
+    using D = typename B::D;
+    const auto red = ExpReduction<B>::reduce(x);
+    const D near_zero = B::mul(red.s, red.r);
+    const D p = B::fmadd(red.s, red.r, B::splat(1.0));
+    const D scaled = B::fmadd(p, B::pow2i(B::d2i_exact(red.kd)), B::splat(-1.0));
+    const D zero = B::splat(0.0);
+    const auto k_is_zero =
+        B::m_and(B::cmp_ge(red.kd, zero), B::cmp_ge(zero, red.kd));
+    return B::blend(k_is_zero, near_zero, scaled);
+}
+
+/// tanh(x) = sign(x) * -q / (2 + q) with q = expm1(-2|x|), saturating
+/// to +-1 for |x| >= 19 (where the quotient rounds to 1.0 anyway, so
+/// there is no step against libm). Finite inputs only.
+template <class B>
+typename B::D tanh_t(typename B::D x) {
+    using D = typename B::D;
+    const D sign_bit = B::splat(-0.0);
+    const D sign = B::bit_and(x, sign_bit);
+    const D ax = B::bit_andnot(sign_bit, x);
+    const D q = expm1_t<B>(B::mul(ax, B::splat(-2.0)));
+    // 0 - q (not a sign flip) so tanh(+-0) keeps libm's +-0.
+    D r = B::div(B::sub(B::splat(0.0), q), B::add(B::splat(2.0), q));
+    r = B::blend(B::cmp_ge(ax, B::splat(19.0)), B::splat(1.0), r);
+    return B::bit_or(r, sign);
+}
+
+}  // namespace detail
+
+/// Active backend lane count — tests sweep sizes around multiples of
+/// this to cover remainder tails.
+inline constexpr int kLanes = detail::Active::kLanes;
+
+[[nodiscard]] inline const char* backend_name() noexcept {
+    return detail::Active::kName;
+}
+
+using dvec = detail::Active::D;
+using mask = detail::Active::M;
+using ivec = detail::Active::I;
+
+inline dvec splat(double x) { return detail::Active::splat(x); }
+inline dvec load(const double* p) { return detail::Active::load(p); }
+inline void store(double* p, dvec a) { detail::Active::store(p, a); }
+inline double first(dvec a) { return detail::Active::first(a); }
+inline dvec add(dvec a, dvec b) { return detail::Active::add(a, b); }
+inline dvec sub(dvec a, dvec b) { return detail::Active::sub(a, b); }
+inline dvec mul(dvec a, dvec b) { return detail::Active::mul(a, b); }
+inline dvec div(dvec a, dvec b) { return detail::Active::div(a, b); }
+inline dvec floor(dvec a) { return detail::Active::floor(a); }
+inline dvec max(dvec a, dvec b) { return detail::Active::max(a, b); }
+inline dvec min(dvec a, dvec b) { return detail::Active::min(a, b); }
+inline dvec fmadd(dvec a, dvec b, dvec c) { return detail::Active::fmadd(a, b, c); }
+inline dvec fnmadd(dvec a, dvec b, dvec c) { return detail::Active::fnmadd(a, b, c); }
+inline dvec bit_and(dvec a, dvec b) { return detail::Active::bit_and(a, b); }
+inline dvec bit_or(dvec a, dvec b) { return detail::Active::bit_or(a, b); }
+inline dvec bit_xor(dvec a, dvec b) { return detail::Active::bit_xor(a, b); }
+inline dvec bit_andnot(dvec a, dvec b) { return detail::Active::bit_andnot(a, b); }
+inline mask cmp_ge(dvec a, dvec b) { return detail::Active::cmp_ge(a, b); }
+inline mask cmp_gt(dvec a, dvec b) { return detail::Active::cmp_gt(a, b); }
+inline dvec blend(mask m, dvec a, dvec b) { return detail::Active::blend(m, a, b); }
+inline mask m_splat(bool b) { return detail::Active::m_splat(b); }
+inline mask m_and(mask a, mask b) { return detail::Active::m_and(a, b); }
+inline mask m_or(mask a, mask b) { return detail::Active::m_or(a, b); }
+inline mask m_xor(mask a, mask b) { return detail::Active::m_xor(a, b); }
+inline mask m_andnot(mask a, mask b) { return detail::Active::m_andnot(a, b); }
+inline unsigned movemask(mask m) { return detail::Active::movemask(m); }
+inline ivec mask01(mask m) { return detail::Active::mask01(m); }
+inline ivec i_splat(std::int64_t x) { return detail::Active::i_splat(x); }
+inline ivec i_load(const std::int64_t* p) { return detail::Active::i_load(p); }
+inline void i_store(std::int64_t* p, ivec a) { detail::Active::i_store(p, a); }
+inline ivec i_add(ivec a, ivec b) { return detail::Active::i_add(a, b); }
+inline ivec i_sub(ivec a, ivec b) { return detail::Active::i_sub(a, b); }
+inline ivec i_blend(mask m, ivec a, ivec b) { return detail::Active::i_blend(m, a, b); }
+inline ivec d2i_exact(dvec a) { return detail::Active::d2i_exact(a); }
+
+inline dvec vexp(dvec x) { return detail::exp_t<detail::Active>(x); }
+inline dvec vexpm1(dvec x) { return detail::expm1_t<detail::Active>(x); }
+inline dvec vtanh(dvec x) { return detail::tanh_t<detail::Active>(x); }
+
+/// Scalar exp through the vector pipeline: lane 0 of the splat result.
+/// Bit-identical to any lane of vexp on the same input (every op is
+/// lane-independent), which is what makes remainder-lane tails exact.
+[[nodiscard]] inline double exp1(double x) { return first(vexp(splat(x))); }
+
+/// Scalar tanh through the vector pipeline; the engines' shared
+/// transcendental (magnetics::TanhCore calls this, so scalar, block
+/// and lane paths agree bit-for-bit by construction).
+[[nodiscard]] inline double tanh1(double x) { return first(vtanh(splat(x))); }
+
+/// Elementwise tanh over an array: full stripes through vtanh, the
+/// width-boundary remainder through tanh1 (bit-identical by the
+/// lane-independence contract).
+inline void tanh_array(const double* x, double* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) store(out + i, vtanh(load(x + i)));
+    for (; i < n; ++i) out[i] = tanh1(x[i]);
+}
+
+/// Elementwise exp over an array, same stripe/tail split as tanh_array.
+inline void exp_array(const double* x, double* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) store(out + i, vexp(load(x + i)));
+    for (; i < n; ++i) out[i] = exp1(x[i]);
+}
+
+}  // namespace fxg::util::simd

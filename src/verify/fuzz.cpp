@@ -167,6 +167,24 @@ Outcome measure_outcome(compass::Compass& comp) {
     return o;
 }
 
+/// Runs one measurement through the SoA lane engine as a batch of one
+/// (PlanExecutor::run_lanes) and captures the same Outcome the scalar
+/// and block rigs expose. An aborted lane reports its (partial)
+/// measurement through the LaneOutcome slot; the per-member path loses
+/// it to the exception, so mirror that here and compare the abort point
+/// through the captured pipeline state instead.
+Outcome lanes_outcome(compass::Compass& comp) {
+    Outcome o;
+    compass::Compass* const lanes[1] = {&comp};
+    compass::LaneOutcome slot[1];
+    compass::PlanExecutor::run_lanes(comp.plan(), lanes, slot);
+    o.aborted = slot[0].aborted;
+    o.error = slot[0].error;
+    if (!slot[0].aborted) o.m = slot[0].measurement;
+    capture_state(comp, o);
+    return o;
+}
+
 Outcome plan_outcome(compass::Compass& comp, const compass::MeasurementPlan& plan) {
     Outcome o;
     compass::PlanExecutor executor(comp);
@@ -240,14 +258,35 @@ std::int64_t sign_extend(std::int64_t v, int width) {
 // ----------------------------------------------------------- oracles
 
 std::optional<std::string> run_engine_parity(const FuzzCase& c) {
+    // Three-way: scalar vs block vs SoA lane engine (batch of one), the
+    // latter both bare and with a trace+probes sink attached — batch
+    // spans and per-lane samples must not perturb the arithmetic.
     Rig scalar(c, sim::EngineKind::Scalar, c.counter_width_bits, c.trap_on_overflow);
     Rig block(c, sim::EngineKind::Block, c.counter_width_bits, c.trap_on_overflow);
+    Rig lane(c, sim::EngineKind::Block, c.counter_width_bits, c.trap_on_overflow);
+    Rig lane_traced(c, sim::EngineKind::Block, c.counter_width_bits,
+                    c.trap_on_overflow);
+    telemetry::TraceSession trace;
+    telemetry::MetricsRegistry registry;
+    telemetry::PhysicsProbes probes(registry);
+    telemetry::TeeSink tee({&trace, &probes});
+    lane_traced.compass.set_telemetry(&tee);
     for (int rep = 0; rep < 2; ++rep) {
         const Outcome a = measure_outcome(scalar.compass);
         const Outcome b = measure_outcome(block.compass);
         if (auto d = diff_outcomes(a, b)) {
             return format("engine parity (scalar vs block), rep %d: %s", rep,
                           d->c_str());
+        }
+        const Outcome l = lanes_outcome(lane.compass);
+        if (auto d = diff_outcomes(a, l)) {
+            return format("engine parity (scalar vs lanes), rep %d: %s", rep,
+                          d->c_str());
+        }
+        const Outcome lt = lanes_outcome(lane_traced.compass);
+        if (auto d = diff_outcomes(a, lt)) {
+            return format("engine parity (scalar vs traced lanes), rep %d: %s",
+                          rep, d->c_str());
         }
     }
     return std::nullopt;

@@ -14,9 +14,11 @@
 /// excitation ratio, counter width, fault mix) and checks one oracle
 /// pair per case:
 ///
-///   EngineParity      scalar vs block engine: counts, headings,
-///                     energy, stream statistics, register state — and
-///                     identical abort behaviour under overflow traps;
+///   EngineParity      three-way scalar vs block vs SoA lane engine
+///                     (run_lanes batch of one, bare and with a trace
+///                     sink attached): counts, headings, energy, stream
+///                     statistics, register state — and identical abort
+///                     behaviour under overflow traps;
 ///   PlanRewrite       with_re_excite(plan) is bit-identical to plan on
 ///                     a fresh pipeline; truncate_to_axis keeps the
 ///                     kept axis's count bit-identical (prefix

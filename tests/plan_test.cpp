@@ -428,6 +428,12 @@ TEST(TaskPool, FleetOnExplicitPoolMatchesSerialFleet) {
 
     util::TaskPool pool;
     compass::CompassFleet parallel_fleet(kFleet, cfg, pool);
+    // Pin the pooled fleet to the per-member path so the worker-count
+    // expectations below stay meaningful (Auto folds 6 members into a
+    // single lane-group task, which runs inline). The serial fleet
+    // keeps the Auto default, so this also cross-checks lane-batched
+    // results against threaded per-member results bit for bit.
+    parallel_fleet.set_execution(compass::FleetExecution::PerMember);
     compass::CompassFleet serial_fleet(kFleet, cfg);
     parallel_fleet.set_environments(site(), headings);
     serial_fleet.set_environments(site(), headings);
