@@ -1,19 +1,37 @@
 /// \file bench_fuzz_soak.cpp
 /// Differential fuzz soak over the verify:: oracle pairs.
 ///
-/// Runs a seeded corpus (default 30000 cases, overridable) through
-/// verify::run_corpus, reports throughput and the mismatch count to
-/// BENCH_fuzz.json, and exits non-zero on any mismatch after printing
-/// each shrunk one-line repro literal. CI runs a fixed seed on every
-/// push plus a rotating-seed soak (--seed=<run id>) for fresh coverage.
+/// Runs a seeded corpus (default 30000 cases, overridable) in chunks
+/// through verify::run_chunk, reports throughput and the mismatch count
+/// to BENCH_fuzz.json, and exits non-zero on any mismatch after
+/// printing each shrunk one-line repro literal. CI runs a fixed seed on
+/// every push plus a rotating-seed soak (--seed=<run id>) for fresh
+/// coverage.
+///
+/// The soak is crash-recoverable: with --checkpoint-every=N a progress
+/// checkpoint (a .fxgsnap container: one SOAK section with the cursor
+/// and the running corpus digest, one FAIL section per recorded
+/// failure) is written atomically after every N cases, and
+/// --resume-from continues a killed run from its last checkpoint. The
+/// corpus digest — CRC-32 folded over every (index, pass/fail) pair in
+/// index order — is printed at the end of every complete run, so a
+/// resumed soak can be checked byte-for-byte against an uninterrupted
+/// one (CI's soak-kill-resume job does exactly that).
 ///
 ///   bench_fuzz_soak [--cases=N] [--seed=S] [--threads=T]
+///                   [--checkpoint-every=N] [--checkpoint=path]
+///                   [--resume-from=path]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include "snapshot/format.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -24,6 +42,13 @@
 using namespace fxg;
 
 namespace {
+
+constexpr std::uint32_t kSoakTag = snapshot::section_tag('S', 'O', 'A', 'K');
+constexpr std::uint32_t kFailTag = snapshot::section_tag('F', 'A', 'I', 'L');
+
+/// Failures the checkpoint carries (cases are regenerable from (seed,
+/// index), so the index plus the mismatch text is a complete record).
+constexpr std::size_t kMaxRecordedFailures = 64;
 
 double seconds_since(telemetry::Clock::time_point t0) {
     return std::chrono::duration<double>(telemetry::Clock::now() - t0).count();
@@ -40,6 +65,107 @@ std::uint64_t flag_u64(int argc, char** argv, const char* name,
     return fallback;
 }
 
+const char* flag_str(int argc, char** argv, const char* name,
+                     const char* fallback) {
+    const std::size_t len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+            return argv[i] + len + 1;
+        }
+    }
+    return fallback;
+}
+
+/// Everything a resumed soak needs to converge to the identical result:
+/// the corpus identity, the cursor, and the running digest/failures.
+struct SoakProgress {
+    std::uint64_t seed = 0;
+    std::uint64_t cases = 0;
+    std::uint64_t next_index = 0;
+    std::uint64_t mismatches = 0;
+    std::uint32_t digest = 0;
+    std::vector<std::pair<std::uint64_t, std::string>> failures;
+};
+
+/// Folds one case's outcome into the corpus digest: CRC-32 over
+/// (index:u64 LE, ok:u8), continued from the running value. Chunking
+/// and resume points cannot change the fold — it only sees per-case
+/// results in index order.
+void fold_case(std::uint32_t& digest, std::uint64_t index, bool ok) {
+    std::uint8_t buf[9];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(index >> (8 * i));
+    buf[8] = ok ? 1 : 0;
+    digest = snapshot::crc32(buf, sizeof buf, digest);
+}
+
+std::vector<std::uint8_t> encode_progress(const SoakProgress& p) {
+    snapshot::SnapshotWriter w;
+    w.begin_section(kSoakTag);
+    w.put_u64(p.seed);
+    w.put_u64(p.cases);
+    w.put_u64(p.next_index);
+    w.put_u64(p.mismatches);
+    w.put_u32(p.digest);
+    w.put_u64(p.failures.size());
+    w.end_section();
+    for (const auto& [index, mismatch] : p.failures) {
+        w.begin_section(kFailTag);
+        w.put_u64(index);
+        w.put_string(mismatch);
+        w.end_section();
+    }
+    return w.finish();
+}
+
+SoakProgress decode_progress(std::span<const std::uint8_t> bytes) {
+    snapshot::SnapshotReader r(bytes);
+    SoakProgress p;
+    r.enter_section(kSoakTag);
+    p.seed = r.get_u64();
+    p.cases = r.get_u64();
+    p.next_index = r.get_u64();
+    p.mismatches = r.get_u64();
+    p.digest = r.get_u32();
+    const std::uint64_t n_failures = r.get_u64();
+    r.leave_section();
+    for (std::uint64_t i = 0; i < n_failures; ++i) {
+        r.enter_section(kFailTag);
+        const std::uint64_t index = r.get_u64();
+        p.failures.emplace_back(index, r.get_string());
+        r.leave_section();
+    }
+    if (!r.at_end()) throw snapshot::SnapshotError("checkpoint has trailing sections");
+    return p;
+}
+
+bool read_file(const char* path, std::vector<std::uint8_t>& out) {
+    std::FILE* f = std::fopen(path, "rb");
+    if (!f) return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+    const bool ok =
+        out.empty() || std::fread(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    return ok;
+}
+
+/// Atomic checkpoint write: the bytes land under a temporary name and
+/// rename() into place, so a crash mid-write can never leave a torn
+/// checkpoint — the previous one survives intact.
+bool write_checkpoint(const std::string& path, const SoakProgress& p) {
+    const std::vector<std::uint8_t> bytes = encode_progress(p);
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) return false;
+    const bool wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote || !flushed) return false;
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,6 +174,44 @@ int main(int argc, char** argv) {
     const unsigned hw = std::thread::hardware_concurrency();
     const int threads = static_cast<int>(
         flag_u64(argc, argv, "--threads", hw > 0 ? hw : 4));
+    const std::uint64_t checkpoint_every =
+        flag_u64(argc, argv, "--checkpoint-every", 0);
+    const std::string checkpoint_path =
+        flag_str(argc, argv, "--checkpoint", "fuzz_soak.fxgsnap");
+    const char* resume_from = flag_str(argc, argv, "--resume-from", nullptr);
+
+    SoakProgress progress;
+    progress.seed = seed;
+    progress.cases = cases;
+    if (resume_from) {
+        std::vector<std::uint8_t> bytes;
+        if (!read_file(resume_from, bytes)) {
+            std::fprintf(stderr, "cannot read checkpoint %s\n", resume_from);
+            return 2;
+        }
+        try {
+            progress = decode_progress(bytes);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "checkpoint %s rejected: %s\n", resume_from,
+                         e.what());
+            return 2;
+        }
+        if (progress.seed != seed || progress.cases != cases) {
+            std::fprintf(stderr,
+                         "checkpoint %s is for seed=%llu cases=%llu, this run is "
+                         "seed=%llu cases=%llu\n",
+                         resume_from,
+                         static_cast<unsigned long long>(progress.seed),
+                         static_cast<unsigned long long>(progress.cases),
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(cases));
+            return 2;
+        }
+        std::printf("resuming from %s at index %llu (%llu mismatches so far)\n",
+                    resume_from,
+                    static_cast<unsigned long long>(progress.next_index),
+                    static_cast<unsigned long long>(progress.mismatches));
+    }
 
     // The EngineParity oracle diffs the SoA lane engine against the
     // scalar reference in every case, so each soak also exercises the
@@ -57,37 +221,68 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cases), threads,
                 util::simd::backend_name(), util::simd::kLanes);
 
+    const std::uint64_t first_index = progress.next_index;
     const auto t0 = telemetry::Clock::now();
-    const verify::FuzzReport report = verify::run_corpus(seed, cases, 8, threads);
+    while (progress.next_index < cases) {
+        const std::uint64_t remaining = cases - progress.next_index;
+        const std::uint64_t n =
+            checkpoint_every > 0 ? std::min(checkpoint_every, remaining) : remaining;
+        const verify::ChunkResult chunk =
+            verify::run_chunk(seed, progress.next_index, n, threads);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            fold_case(progress.digest, progress.next_index + i,
+                      chunk.ok[static_cast<std::size_t>(i)] != 0);
+        }
+        for (const verify::FuzzFailure& failure : chunk.failures) {
+            ++progress.mismatches;
+            if (progress.failures.size() < kMaxRecordedFailures) {
+                progress.failures.emplace_back(failure.failing.index,
+                                               failure.mismatch);
+            }
+        }
+        progress.next_index += n;
+        if (checkpoint_every > 0 && !write_checkpoint(checkpoint_path, progress)) {
+            std::fprintf(stderr, "cannot write checkpoint %s\n",
+                         checkpoint_path.c_str());
+            return 2;
+        }
+    }
     const double elapsed_s = seconds_since(t0);
-    const double rate = elapsed_s > 0.0 ? static_cast<double>(report.cases) / elapsed_s
-                                        : 0.0;
+    const std::uint64_t ran = cases - first_index;
+    const double rate =
+        elapsed_s > 0.0 ? static_cast<double>(ran) / elapsed_s : 0.0;
 
     std::printf("  %llu cases in %.2f s (%.0f cases/s), %llu mismatches\n",
-                static_cast<unsigned long long>(report.cases), elapsed_s, rate,
-                static_cast<unsigned long long>(report.mismatches));
+                static_cast<unsigned long long>(ran), elapsed_s, rate,
+                static_cast<unsigned long long>(progress.mismatches));
+    std::printf("corpus digest %08x\n", progress.digest);
 
-    for (const verify::FuzzFailure& failure : report.failures) {
+    std::size_t reported = 0;
+    for (const auto& [index, mismatch] : progress.failures) {
+        if (reported++ >= 8) break;
         std::printf("\nMISMATCH at (seed=%llu, index=%llu): %s\n",
-                    static_cast<unsigned long long>(failure.failing.seed),
-                    static_cast<unsigned long long>(failure.failing.index),
-                    failure.mismatch.c_str());
-        const verify::FuzzCase shrunk = verify::shrink_case(failure.failing);
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(index), mismatch.c_str());
+        // Cases are pure functions of (seed, index): regenerate for the
+        // shrinker instead of serializing the whole case.
+        const verify::FuzzCase shrunk =
+            verify::shrink_case(verify::generate_case(seed, index));
         std::printf("  shrunk repro: %s\n", shrunk.to_literal().c_str());
     }
 
     telemetry::MetricsRegistry registry;
-    registry.counter("fuzz_cases", "cases").inc(static_cast<double>(report.cases));
-    registry.counter("fuzz_mismatches", "cases")
-        .inc(static_cast<double>(report.mismatches));
+    registry.counter("fuzz_cases", "cases").inc(cases);
+    registry.counter("fuzz_mismatches", "cases").inc(progress.mismatches);
     registry.gauge("fuzz_seed", "seed").set(static_cast<double>(seed));
     registry.gauge("fuzz_simd_lanes", "lanes")
         .set(static_cast<double>(util::simd::kLanes));
     registry.gauge("fuzz_rate", "cases_per_s").set(rate);
     registry.gauge("fuzz_elapsed", "s").set(elapsed_s);
+    registry.gauge("fuzz_corpus_digest", "crc32")
+        .set(static_cast<double>(progress.digest));
     telemetry::write_bench_json("BENCH_fuzz.json",
                                 telemetry::bench_json_records(registry));
     std::printf("wrote BENCH_fuzz.json\n");
 
-    return report.ok() ? 0 : 1;
+    return progress.mismatches == 0 ? 0 : 1;
 }

@@ -48,6 +48,11 @@ public:
     /// Direct latch access for the lane engine's gather/scatter seam.
     void set_output(bool state) noexcept { state_ = state; }
 
+    /// The private input-noise source (snapshot seam: its RNG position
+    /// is part of the comparator's evolving state).
+    [[nodiscard]] NoiseSource& noise_source() noexcept { return noise_; }
+    [[nodiscard]] const NoiseSource& noise_source() const noexcept { return noise_; }
+
     void reset() noexcept { state_ = false; }
 
     [[nodiscard]] const ComparatorConfig& config() const noexcept { return config_; }

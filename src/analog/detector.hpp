@@ -71,6 +71,15 @@ public:
         out_ = s.out;
     }
 
+    /// Per-polarity comparator access (snapshot seam: a suspended
+    /// detector's comparator noise streams serialize through it).
+    [[nodiscard]] Comparator& comparator(bool positive) noexcept {
+        return positive ? positive_ : negative_;
+    }
+    [[nodiscard]] const Comparator& comparator(bool positive) const noexcept {
+        return positive ? positive_ : negative_;
+    }
+
     void reset();
 
     [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }

@@ -212,6 +212,17 @@ public:
     void set_mux_stuck(Channel channel);
     void clear_mux_stuck() noexcept { mux_stuck_ = false; }
     [[nodiscard]] bool mux_stuck() const noexcept { return mux_stuck_; }
+    [[nodiscard]] Channel mux_stuck_channel() const noexcept {
+        return mux_stuck_channel_;
+    }
+
+    /// Restores the latched-mux fault flags verbatim (snapshot seam).
+    /// Unlike set_mux_stuck(), does NOT run a select() — the mux channel
+    /// and settling timer are restored separately through the mux state.
+    void restore_mux_stuck(bool stuck, Channel channel) noexcept {
+        mux_stuck_ = stuck;
+        mux_stuck_channel_ = channel;
+    }
 
     /// Post-tap stream statistics of the current observation window
     /// (what the digital control logic actually saw).
@@ -239,6 +250,12 @@ public:
     [[nodiscard]] TriangleOscillator& oscillator() noexcept { return oscillator_; }
     [[nodiscard]] PulsePositionDetector& detector(Channel ch) noexcept {
         return detectors_[static_cast<std::size_t>(ch)];
+    }
+
+    /// The second oscillator (only stepped in simultaneous mode, but
+    /// always part of the serialized state so restore is mode-agnostic).
+    [[nodiscard]] TriangleOscillator& oscillator_y() noexcept {
+        return oscillator_y_;
     }
 
     [[nodiscard]] const FrontEndConfig& config() const noexcept { return config_; }

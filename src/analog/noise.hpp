@@ -21,6 +21,11 @@ public:
     [[nodiscard]] double stddev() const noexcept { return stddev_; }
     void set_stddev(double s) noexcept { stddev_ = s; }
 
+    /// The private RNG stream (snapshot seam: suspending a pipeline has
+    /// to carry every noise stream's exact position).
+    [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+    [[nodiscard]] const util::Rng& rng() const noexcept { return rng_; }
+
 private:
     double stddev_;
     util::Rng rng_;

@@ -171,6 +171,7 @@ private:
     /// The executor drives the private pipeline stages on the plan's
     /// behalf — it is the only component with that access.
     friend class PlanExecutor;
+    friend class PlanRun;
 
     CompassConfig config_;
     /// Immutable, shareable across a fleet (one compile per config).

@@ -35,6 +35,20 @@ public:
 
     [[nodiscard]] double alpha() const noexcept { return alpha_; }
 
+    /// Evolving vector state (snapshot seam); alpha is configuration.
+    struct State {
+        double x = 0.0;
+        double y = 0.0;
+        bool primed = false;
+    };
+
+    [[nodiscard]] State save_state() const noexcept { return {x_, y_, primed_}; }
+    void load_state(const State& s) noexcept {
+        x_ = s.x;
+        y_ = s.y;
+        primed_ = s.primed;
+    }
+
 private:
     double alpha_;
     double x_ = 0.0;

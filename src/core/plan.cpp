@@ -108,18 +108,19 @@ MeasurementPlan truncate_to_axis(const MeasurementPlan& plan,
     return out;
 }
 
-Measurement PlanExecutor::run(const MeasurementPlan& plan) {
+PlanRun::PlanRun(Compass& compass, const MeasurementPlan& plan)
+    : compass_(compass),
+      plan_(plan),
+      sink_(compass.telemetry_),
+      // Wall-clock latency is only metered while someone listens — the
+      // disabled path must not even read a clock.
+      traced_(sink_ != nullptr),
+      wall_start_(traced_ ? telemetry::Clock::now()
+                          : telemetry::Clock::time_point{}) {
+    root_.emplace(sink_, "measure");
+
     Compass& c = compass_;
     const CompassConfig& cfg = c.config_;
-    Measurement m;
-    telemetry::TelemetrySink* sink = c.telemetry_;
-
-    // Wall-clock latency is only metered while someone listens — the
-    // disabled path must not even read a clock.
-    const bool traced = sink != nullptr;
-    const telemetry::Clock::time_point wall_start =
-        traced ? telemetry::Clock::now() : telemetry::Clock::time_point{};
-    telemetry::Span root(sink, "measure");
 
     // Fresh observation window: the front-end stream statistics (used by
     // the fault subsystem's health checks and the telemetry probes)
@@ -135,124 +136,135 @@ Measurement PlanExecutor::run(const MeasurementPlan& plan) {
     for (const auto ch : {analog::Channel::X, analog::Channel::Y}) {
         const double h = c.front_end_.sensor(ch).external_field();
         if (std::fabs(h) + cfg.saturation_margin * hk >= ha) {
-            m.field_in_range = false;
+            m_.field_in_range = false;
         }
     }
+}
 
-    // Per-axis execution state. The "axis" span groups one channel's
-    // excite/settle/count stages exactly as the historical call sites
-    // nested them; settle steps are folded into the duration at the
-    // Count stage so the floating-point sum matches bit for bit.
-    std::optional<telemetry::Span> axis;
-    std::int64_t raw[2] = {0, 0};
-    int pending_settle_steps = 0;
-    digital::CordicResult cordic_detail;
-    bool ran_cordic = false;
+bool PlanRun::done() const noexcept {
+    return next_stage_ >= plan_.stages.size();
+}
 
-    for (const PlanStage& stage : plan.stages) {
-        switch (stage.kind) {
-            case StageKind::ReExcite:
-                c.re_excite();
-                break;
-            case StageKind::PowerUp:
-                if (cfg.power_gating) c.front_end_.enable(true);
-                c.counter_.enable(true);
-                break;
-            case StageKind::MuxSwitch: {
-                const int ch = static_cast<int>(stage.channel);
-                axis.emplace(sink, "axis", ch);
-                // Excite: route the excitation onto this channel (the
-                // per-axis power-up the control logic performs before
-                // the mux settles).
-                telemetry::Span excite(sink, "excite", ch);
-                c.front_end_.select(stage.channel);
-                break;
-            }
-            case StageKind::Settle: {
-                const int ch = static_cast<int>(stage.channel);
-                const int steps = stage.periods * plan.steps_per_period;
-                telemetry::Span settle(sink, "settle", ch);
-                settle.set_value(steps);
+bool PlanRun::step() {
+    if (done()) return false;
+    Compass& c = compass_;
+    const CompassConfig& cfg = c.config_;
+    const MeasurementPlan& plan = plan_;
+    const PlanStage& stage = plan.stages[next_stage_];
+
+    // The "axis" span groups one channel's excite/settle/count stages
+    // exactly as the historical call sites nested them; settle steps are
+    // folded into the duration at the Count stage so the floating-point
+    // sum matches bit for bit.
+    switch (stage.kind) {
+        case StageKind::ReExcite:
+            c.re_excite();
+            break;
+        case StageKind::PowerUp:
+            if (cfg.power_gating) c.front_end_.enable(true);
+            c.counter_.enable(true);
+            break;
+        case StageKind::MuxSwitch: {
+            const int ch = static_cast<int>(stage.channel);
+            axis_.emplace(sink_, "axis", ch);
+            // Excite: route the excitation onto this channel (the
+            // per-axis power-up the control logic performs before
+            // the mux settles).
+            telemetry::Span excite(sink_, "excite", ch);
+            c.front_end_.select(stage.channel);
+            break;
+        }
+        case StageKind::Settle: {
+            const int ch = static_cast<int>(stage.channel);
+            const int steps = stage.periods * plan.steps_per_period;
+            telemetry::Span settle(sink_, "settle", ch);
+            settle.set_value(steps);
+            c.engine_->advance(c.front_end_, stage.channel, steps,
+                               plan.dt_s, nullptr, m_.energy_j);
+            pending_settle_steps_ += steps;
+            break;
+        }
+        case StageKind::Count: {
+            const int ch = static_cast<int>(stage.channel);
+            const int steps = stage.periods * plan.steps_per_period;
+            c.counter_.clear();
+            std::int64_t count;
+            {
+                telemetry::Span count_span(sink_, "count", ch);
                 c.engine_->advance(c.front_end_, stage.channel, steps,
-                                   plan.dt_s, nullptr, m.energy_j);
-                pending_settle_steps += steps;
-                break;
+                                   plan.dt_s, &c.counter_, m_.energy_j);
+                // An overflow trap aborts here, at the window
+                // boundary — identical state whichever engine (and
+                // block size) consumed the window.
+                c.counter_.service_trap();
+                count = c.counter_.count();
+                count_span.set_value(count);
             }
-            case StageKind::Count: {
-                const int ch = static_cast<int>(stage.channel);
-                const int steps = stage.periods * plan.steps_per_period;
-                c.counter_.clear();
-                std::int64_t count;
-                {
-                    telemetry::Span count_span(sink, "count", ch);
-                    c.engine_->advance(c.front_end_, stage.channel, steps,
-                                       plan.dt_s, &c.counter_, m.energy_j);
-                    // An overflow trap aborts here, at the window
-                    // boundary — identical state whichever engine (and
-                    // block size) consumed the window.
-                    c.counter_.service_trap();
-                    count = c.counter_.count();
-                    count_span.set_value(count);
+            m_.duration_s += (pending_settle_steps_ + steps) * plan.dt_s;
+            pending_settle_steps_ = 0;
+            raw_[ch] = count;
+            // Calibration (hard-iron offset; soft-iron rescale of y
+            // into the circular domain the arctan assumes, rounded
+            // back to the integer counts the hardware would carry).
+            if (stage.channel == analog::Channel::X) {
+                m_.count_x = count - c.calibration_.offset_x;
+            } else {
+                m_.count_y = count - c.calibration_.offset_y;
+                if (c.calibration_.scale_y != 1.0) {
+                    m_.count_y = static_cast<std::int64_t>(std::llround(
+                        static_cast<double>(m_.count_y) *
+                        c.calibration_.scale_y));
                 }
-                m.duration_s += (pending_settle_steps + steps) * plan.dt_s;
-                pending_settle_steps = 0;
-                raw[ch] = count;
-                // Calibration (hard-iron offset; soft-iron rescale of y
-                // into the circular domain the arctan assumes, rounded
-                // back to the integer counts the hardware would carry).
-                if (stage.channel == analog::Channel::X) {
-                    m.count_x = count - c.calibration_.offset_x;
-                } else {
-                    m.count_y = count - c.calibration_.offset_y;
-                    if (c.calibration_.scale_y != 1.0) {
-                        m.count_y = static_cast<std::int64_t>(std::llround(
-                            static_cast<double>(m.count_y) *
-                            c.calibration_.scale_y));
-                    }
-                }
-                if (axis) {
-                    axis->set_value(count);
-                    axis.reset();
-                }
-                break;
             }
-            case StageKind::PowerDown:
-                c.counter_.enable(false);
-                if (cfg.power_gating) c.front_end_.enable(false);
-                break;
-            case StageKind::Cordic: {
-                telemetry::Span cordic_span(sink, "cordic");
-                m.heading_deg = c.cordic_.heading_deg(
-                    m.count_x, m.count_y, traced ? &cordic_detail : nullptr);
-                cordic_span.set_value(cordic_detail.rotations);
-                m.heading_float_deg =
-                    magnetics::EarthField::heading_from_components(
-                        static_cast<double>(m.count_x),
-                        static_cast<double>(m.count_y));
-                c.display_.show_direction(m.heading_deg);
-                ran_cordic = true;
-                break;
+            if (axis_) {
+                axis_->set_value(count);
+                axis_.reset();
             }
+            break;
+        }
+        case StageKind::PowerDown:
+            c.counter_.enable(false);
+            if (cfg.power_gating) c.front_end_.enable(false);
+            break;
+        case StageKind::Cordic: {
+            telemetry::Span cordic_span(sink_, "cordic");
+            m_.heading_deg = c.cordic_.heading_deg(
+                m_.count_x, m_.count_y, traced_ ? &cordic_detail_ : nullptr);
+            cordic_span.set_value(cordic_detail_.rotations);
+            m_.heading_float_deg =
+                magnetics::EarthField::heading_from_components(
+                    static_cast<double>(m_.count_x),
+                    static_cast<double>(m_.count_y));
+            c.display_.show_direction(m_.heading_deg);
+            ran_cordic_ = true;
+            break;
         }
     }
+    ++next_stage_;
+    return true;
+}
 
-    m.avg_power_w = m.duration_s > 0.0 ? m.energy_j / m.duration_s : 0.0;
+Measurement PlanRun::finish() {
+    Compass& c = compass_;
+    const CompassConfig& cfg = c.config_;
+
+    m_.avg_power_w = m_.duration_s > 0.0 ? m_.energy_j / m_.duration_s : 0.0;
     c.watch_.tick(static_cast<std::uint64_t>(
-        std::llround(m.duration_s * cfg.counter_clock_hz)));
+        std::llround(m_.duration_s * cfg.counter_clock_hz)));
 
     // One MeasurementSample per completed (heading-producing) plan; a
     // truncated plan has no heading and only one live channel, so its
     // probes would be garbage.
-    if (traced && ran_cordic) {
+    if (traced_ && ran_cordic_) {
         const analog::StreamStatsSnapshot stats = c.front_end_.snapshot();
         const analog::StreamStats& sx = stats[analog::Channel::X];
         const analog::StreamStats& sy = stats[analog::Channel::Y];
         telemetry::MeasurementSample s;
         s.member = c.telemetry_member_;
-        s.raw_count_x = raw[0];
-        s.raw_count_y = raw[1];
-        s.count_x = m.count_x;
-        s.count_y = m.count_y;
+        s.raw_count_x = raw_[0];
+        s.raw_count_y = raw_[1];
+        s.count_x = m_.count_x;
+        s.count_y = m_.count_y;
         s.duty_x = sx.duty();
         s.duty_y = sy.duty();
         s.pulse_shift_x = sx.pulse_shift();
@@ -261,19 +273,53 @@ Measurement PlanExecutor::run(const MeasurementPlan& plan) {
         s.valid_fraction_y = sy.valid_fraction();
         s.edges_x = sx.edges;
         s.edges_y = sy.edges;
-        s.cordic_rotations = cordic_detail.rotations;
+        s.cordic_rotations = cordic_detail_.rotations;
         s.cordic_residual_deg =
-            util::angular_abs_diff_deg(m.heading_deg, m.heading_float_deg);
-        s.heading_deg = m.heading_deg;
-        s.duration_s = m.duration_s;
+            util::angular_abs_diff_deg(m_.heading_deg, m_.heading_float_deg);
+        s.heading_deg = m_.heading_deg;
+        s.duration_s = m_.duration_s;
         s.latency_s =
-            std::chrono::duration<double>(telemetry::Clock::now() - wall_start)
+            std::chrono::duration<double>(telemetry::Clock::now() - wall_start_)
                 .count();
-        s.energy_j = m.energy_j;
-        s.field_in_range = m.field_in_range;
-        sink->on_sample(s);
+        s.energy_j = m_.energy_j;
+        s.field_in_range = m_.field_in_range;
+        sink_->on_sample(s);
     }
-    return m;
+    root_.reset();
+    return m_;
+}
+
+PlanRun::State PlanRun::save_state() const noexcept {
+    State s;
+    s.next_stage = static_cast<std::uint32_t>(next_stage_);
+    s.m = m_;
+    s.raw_x = raw_[0];
+    s.raw_y = raw_[1];
+    s.pending_settle_steps = pending_settle_steps_;
+    s.ran_cordic = ran_cordic_;
+    s.cordic = cordic_detail_;
+    return s;
+}
+
+void PlanRun::load_state(const State& s) {
+    if (s.next_stage > plan_.stages.size()) {
+        throw std::invalid_argument(
+            "PlanRun::load_state: next_stage beyond the plan's stage count");
+    }
+    next_stage_ = s.next_stage;
+    m_ = s.m;
+    raw_[0] = s.raw_x;
+    raw_[1] = s.raw_y;
+    pending_settle_steps_ = s.pending_settle_steps;
+    ran_cordic_ = s.ran_cordic;
+    cordic_detail_ = s.cordic;
+}
+
+Measurement PlanExecutor::run(const MeasurementPlan& plan) {
+    PlanRun run(compass_, plan);
+    while (run.step()) {
+    }
+    return run.finish();
 }
 
 void PlanExecutor::run_lanes(const MeasurementPlan& plan,

@@ -29,13 +29,17 @@
 /// heading, energy — to the historical hand-sequenced measure() path on
 /// both engines (asserted by tests/plan_test.cpp).
 
+#include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "analog/mux.hpp"
+#include "digital/cordic.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fxg::compass {
 
@@ -167,6 +171,80 @@ public:
 
 private:
     Compass& compass_;
+};
+
+/// Resumable stage-stepped execution of one plan against one compass —
+/// the unit the snapshot layer (src/snapshot) suspends and restores.
+/// PlanExecutor::run(plan) is exactly: construct, step() until false,
+/// finish(); but a PlanRun can also stop at any stage boundary,
+/// serialize its position (save_state), and a freshly constructed
+/// PlanRun over an equally restored compass can load_state() and
+/// continue bit-identically.
+///
+/// Restore ordering contract: construct the PlanRun FIRST (construction
+/// starts a fresh observation window and runs the field range check,
+/// like any fresh measurement), then restore the compass pipeline
+/// state, then load_state(). Two trace-only differences on a resumed
+/// run: the wall-clock latency restarts at construction, and a run
+/// restored mid-axis does not reopen the surrounding "axis" span.
+/// Measurement bits are unaffected by both.
+class PlanRun {
+public:
+    /// Opens the root "measure" span, starts a fresh observation window
+    /// and runs the field range check — the entry actions of a fresh
+    /// measurement. Non-owning: compass and plan must outlive the run.
+    PlanRun(Compass& compass, const MeasurementPlan& plan);
+
+    /// Executes the next stage; returns false (doing nothing) once all
+    /// stages have run. May throw (counter overflow trap at a Count
+    /// boundary) — the run is then spent, like an aborted measurement.
+    bool step();
+
+    [[nodiscard]] bool done() const noexcept;
+
+    /// Index of the next stage to execute (== plan().stages.size() when
+    /// done) — the resume position a snapshot records.
+    [[nodiscard]] std::size_t next_stage() const noexcept { return next_stage_; }
+
+    [[nodiscard]] const MeasurementPlan& plan() const noexcept { return plan_; }
+
+    /// Final power accounting, watch tick and (when traced) the
+    /// MeasurementSample emission; closes the root span and returns the
+    /// measurement. Call once, after done().
+    Measurement finish();
+
+    /// Execution position at a stage boundary (snapshot seam): all the
+    /// between-stage state the stage loop carries.
+    struct State {
+        std::uint32_t next_stage = 0;
+        Measurement m{};
+        std::int64_t raw_x = 0;
+        std::int64_t raw_y = 0;
+        int pending_settle_steps = 0;
+        bool ran_cordic = false;
+        digital::CordicResult cordic{};
+    };
+
+    [[nodiscard]] State save_state() const noexcept;
+
+    /// Overwrites the execution position. Throws std::invalid_argument
+    /// when next_stage exceeds the plan's stage count.
+    void load_state(const State& s);
+
+private:
+    Compass& compass_;
+    const MeasurementPlan& plan_;
+    telemetry::TelemetrySink* sink_;
+    bool traced_;
+    telemetry::Clock::time_point wall_start_;
+    std::optional<telemetry::Span> root_;
+    std::optional<telemetry::Span> axis_;
+    Measurement m_;
+    std::int64_t raw_[2] = {0, 0};
+    int pending_settle_steps_ = 0;
+    digital::CordicResult cordic_detail_;
+    bool ran_cordic_ = false;
+    std::size_t next_stage_ = 0;
 };
 
 }  // namespace fxg::compass

@@ -57,6 +57,22 @@ public:
     /// 16-point cardinal name ("N", "NNE", ..., "NNW") for a heading.
     static const char* cardinal_name(double heading_deg);
 
+    /// Complete display state (snapshot seam).
+    struct State {
+        DisplayMode mode = DisplayMode::Direction;
+        std::array<SegmentPattern, 4> digits{kBlank, kBlank, kBlank, kBlank};
+        std::array<int, 4> values{-1, -1, -1, -1};
+    };
+
+    [[nodiscard]] State save_state() const noexcept {
+        return {mode_, digits_, values_};
+    }
+    void load_state(const State& s) noexcept {
+        mode_ = s.mode;
+        digits_ = s.digits;
+        values_ = s.values;
+    }
+
 private:
     DisplayMode mode_ = DisplayMode::Direction;
     std::array<SegmentPattern, 4> digits_{kBlank, kBlank, kBlank, kBlank};

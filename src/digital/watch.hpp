@@ -58,6 +58,34 @@ public:
 
     [[nodiscard]] bool alarm_armed() const noexcept { return alarm_armed_; }
 
+    /// Complete evolving state (snapshot seam). clock_hz is configuration
+    /// and deliberately not part of it.
+    struct State {
+        std::uint64_t phase = 0;
+        int hours = 0;
+        int minutes = 0;
+        int seconds = 0;
+        std::uint64_t rollovers = 0;
+        bool alarm_armed = false;
+        bool alarm_fired = false;
+        int alarm_second = 0;
+    };
+
+    [[nodiscard]] State save_state() const noexcept {
+        return {phase_,     hours_,       minutes_,     seconds_,
+                rollovers_, alarm_armed_, alarm_fired_, alarm_second_};
+    }
+    void load_state(const State& s) noexcept {
+        phase_ = s.phase;
+        hours_ = s.hours;
+        minutes_ = s.minutes;
+        seconds_ = s.seconds;
+        rollovers_ = s.rollovers;
+        alarm_armed_ = s.alarm_armed;
+        alarm_fired_ = s.alarm_fired;
+        alarm_second_ = s.alarm_second;
+    }
+
 private:
     [[nodiscard]] int second_of_day() const noexcept {
         return (hours_ * 60 + minutes_) * 60 + seconds_;

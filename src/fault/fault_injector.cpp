@@ -169,6 +169,36 @@ void FaultInjector::disarm() {
     target_ = nullptr;
 }
 
+FaultInjector::TapState FaultInjector::save_tap_state() const {
+    if (!armed()) {
+        throw std::logic_error("FaultInjector::save_tap_state: not armed");
+    }
+    TapState s;
+    s.base_sample = base_sample_;
+    s.frozen.reserve(states_.size());
+    s.has_frozen.reserve(states_.size());
+    for (const StreamState& st : states_) {
+        s.frozen.push_back(st.frozen);
+        s.has_frozen.push_back(st.has_frozen ? 1 : 0);
+    }
+    return s;
+}
+
+void FaultInjector::load_tap_state(const TapState& s) {
+    if (!armed()) {
+        throw std::invalid_argument("FaultInjector::load_tap_state: not armed");
+    }
+    if (s.frozen.size() != specs_.size() || s.has_frozen.size() != specs_.size()) {
+        throw std::invalid_argument(
+            "FaultInjector::load_tap_state: spec count mismatch");
+    }
+    base_sample_ = s.base_sample;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        states_[i].frozen = s.frozen[i];
+        states_[i].has_frozen = s.has_frozen[i] != 0;
+    }
+}
+
 bool FaultInjector::active(const FaultSpec& spec, std::uint64_t rel) noexcept {
     if (rel < spec.start_sample) return false;
     const std::uint64_t offset = rel - spec.start_sample;

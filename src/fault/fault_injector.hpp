@@ -132,6 +132,24 @@ public:
                     std::uint8_t* detector_y, std::uint8_t* valid_x,
                     std::uint8_t* valid_y) override;
 
+    /// Sequential stream-fault state (snapshot seam): the arm-time
+    /// sample base plus each spec's PickupOpen freeze latch. NoiseBurst
+    /// is stateless (its flips hash the spec seed with the absolute
+    /// sample index), so this is the injector's entire evolving state.
+    struct TapState {
+        std::uint64_t base_sample = 0;
+        std::vector<std::uint8_t> frozen;      ///< per spec, in add() order
+        std::vector<std::uint8_t> has_frozen;  ///< per spec, 0/1
+    };
+
+    /// Requires the injector to be armed (the state is only meaningful
+    /// relative to an armed spec list).
+    [[nodiscard]] TapState save_tap_state() const;
+
+    /// Restores the stream state onto an injector armed with the same
+    /// number of specs; throws std::invalid_argument otherwise.
+    void load_tap_state(const TapState& s);
+
 private:
     /// Whether `spec` is active at sample `rel` (relative to arm()).
     [[nodiscard]] static bool active(const FaultSpec& spec, std::uint64_t rel) noexcept;

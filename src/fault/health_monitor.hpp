@@ -138,6 +138,13 @@ public:
         return config_;
     }
 
+    /// The heading track (snapshot seam: its filter state is part of the
+    /// supervisor ladder state a restored member resumes from).
+    [[nodiscard]] compass::HeadingFilter& filter() noexcept { return filter_; }
+    [[nodiscard]] const compass::HeadingFilter& filter() const noexcept {
+        return filter_;
+    }
+
 private:
     HealthMonitorConfig config_;
     compass::HeadingFilter filter_;

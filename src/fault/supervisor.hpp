@@ -111,6 +111,29 @@ public:
         return retry_plan_;
     }
 
+    /// Accumulated simulated time since the last good heading [s].
+    [[nodiscard]] double staleness_s() const noexcept { return staleness_s_; }
+
+    /// Everything the ladder carries between measure() calls (snapshot
+    /// seam). Config and the compiled plans are rebuilt from the compass
+    /// configuration, not serialized. A member restored mid-ladder —
+    /// e.g. holding a stale last-good heading — resumes at the same
+    /// rung, not from Healthy.
+    struct LadderState {
+        std::optional<SupervisedMeasurement> last_good;
+        double staleness_s = 0.0;
+        compass::HeadingFilter::State filter;
+    };
+
+    [[nodiscard]] LadderState save_ladder_state() const {
+        return {last_good_, staleness_s_, monitor_.filter().save_state()};
+    }
+    void load_ladder_state(const LadderState& s) {
+        last_good_ = s.last_good;
+        staleness_s_ = s.staleness_s;
+        monitor_.filter().load_state(s.filter);
+    }
+
 private:
     /// Reconstructs the heading from a fresh count on the one healthy
     /// axis plus the last-good circle radius; nullopt when no last-good

@@ -14,6 +14,13 @@ void require_positive(double v, const char* what) {
     if (!(v > 0.0)) throw std::invalid_argument(std::string(what) + " must be > 0");
 }
 
+void require_state_size(const std::vector<double>& state, std::size_t expected,
+                        const char* what) {
+    if (state.size() != expected) {
+        throw std::invalid_argument(std::string(what) + " state size mismatch");
+    }
+}
+
 }  // namespace
 
 void CoreModel::advance_block(const double* h, double* m_out, int n) {
@@ -58,6 +65,13 @@ void TanhCore::reset() { last_h_ = 0.0; }
 
 std::unique_ptr<CoreModel> TanhCore::clone() const {
     return std::make_unique<TanhCore>(*this);
+}
+
+std::vector<double> TanhCore::save_state() const { return {last_h_}; }
+
+void TanhCore::load_state(const std::vector<double>& state) {
+    require_state_size(state, 1, "TanhCore");
+    last_h_ = state[0];
 }
 
 // ------------------------------------------------------------ LangevinCore
@@ -105,6 +119,13 @@ void LangevinCore::reset() { last_h_ = 0.0; }
 
 std::unique_ptr<CoreModel> LangevinCore::clone() const {
     return std::make_unique<LangevinCore>(*this);
+}
+
+std::vector<double> LangevinCore::save_state() const { return {last_h_}; }
+
+void LangevinCore::load_state(const std::vector<double>& state) {
+    require_state_size(state, 1, "LangevinCore");
+    last_h_ = state[0];
 }
 
 // ------------------------------------------------------- JilesAthertonCore
@@ -163,6 +184,17 @@ void JilesAthertonCore::reset() {
 
 std::unique_ptr<CoreModel> JilesAthertonCore::clone() const {
     return std::make_unique<JilesAthertonCore>(*this);
+}
+
+std::vector<double> JilesAthertonCore::save_state() const {
+    return {m_, h_, last_dmdh_};
+}
+
+void JilesAthertonCore::load_state(const std::vector<double>& state) {
+    require_state_size(state, 3, "JilesAthertonCore");
+    m_ = state[0];
+    h_ = state[1];
+    last_dmdh_ = state[2];
 }
 
 }  // namespace fxg::magnetics

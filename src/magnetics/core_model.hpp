@@ -21,6 +21,7 @@
 /// their magnetisation history; anhysteretic cores simply evaluate.
 
 #include <memory>
+#include <vector>
 
 namespace fxg::magnetics {
 
@@ -59,6 +60,13 @@ public:
 
     /// Deep copy (models are value-like but used polymorphically).
     [[nodiscard]] virtual std::unique_ptr<CoreModel> clone() const = 0;
+
+    /// Evolving state as an opaque double vector (snapshot seam). The
+    /// layout is model-specific; load_state() requires a vector produced
+    /// by save_state() of the same concrete model and throws
+    /// std::invalid_argument on a size mismatch.
+    [[nodiscard]] virtual std::vector<double> save_state() const = 0;
+    virtual void load_state(const std::vector<double>& state) = 0;
 };
 
 /// Anhysteretic hyperbolic-tangent core: M(H) = Ms * tanh(H / Hk).
@@ -75,6 +83,8 @@ public:
     [[nodiscard]] double saturation_magnetisation() const override { return ms_; }
     [[nodiscard]] double knee_field() const override { return hk_; }
     [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
+    [[nodiscard]] std::vector<double> save_state() const override;
+    void load_state(const std::vector<double>& state) override;
 
     /// Closed-form magnetisation (stateless evaluation).
     [[nodiscard]] double magnetisation(double h) const;
@@ -97,6 +107,8 @@ public:
     [[nodiscard]] double saturation_magnetisation() const override { return ms_; }
     [[nodiscard]] double knee_field() const override { return 3.0 * a_; }
     [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
+    [[nodiscard]] std::vector<double> save_state() const override;
+    void load_state(const std::vector<double>& state) override;
 
     [[nodiscard]] double magnetisation(double h) const;
 
@@ -129,6 +141,8 @@ public:
     [[nodiscard]] double saturation_magnetisation() const override { return p_.ms; }
     [[nodiscard]] double knee_field() const override { return 3.0 * p_.a; }
     [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
+    [[nodiscard]] std::vector<double> save_state() const override;
+    void load_state(const std::vector<double>& state) override;
 
     [[nodiscard]] const JilesAthertonParams& params() const noexcept { return p_; }
 

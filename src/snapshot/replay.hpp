@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file replay.hpp
+/// Record/replay log of per-tick field inputs (DESIGN.md §13). A
+/// measurement "tick" is one external-field update followed by one
+/// measurement; logging the (hx, hy) pair fed to each tick is all it
+/// takes to re-drive a restored compass bit-exactly, because everything
+/// else the pipeline consumes is deterministic state the snapshot
+/// carries.
+///
+/// Grammar (all integers little-endian):
+///
+///   log   := magic[8] version:u32 frame*
+///   frame := tick:u64 hx_bits:u64 hy_bits:u64 frame_crc:u32
+///
+/// Each frame carries its own CRC over the preceding 24 frame bytes, so
+/// a log torn by a crash mid-append loses at most the partial tail
+/// frame: read_replay() in TolerateTornTail mode returns every intact
+/// frame and flags the damage, while Strict mode fails closed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snapshot/format.hpp"
+
+namespace fxg::snapshot {
+
+inline constexpr char kReplayMagic[8] = {'F', 'X', 'G', 'R', 'P', 'L', 'Y', '1'};
+inline constexpr std::uint32_t kReplayFormatVersion = 1;
+
+/// One tick's field input [A/m], as fed to Compass::set_axis_fields.
+struct TickInput {
+    std::uint64_t tick = 0;
+    double hx_a_per_m = 0.0;
+    double hy_a_per_m = 0.0;
+};
+
+/// Appends frames to an in-memory log buffer.
+class ReplayWriter {
+public:
+    /// Writes the magic and version.
+    ReplayWriter();
+
+    void append(const TickInput& in);
+
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+        return buf_;
+    }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Parsed log contents.
+struct ReplayLog {
+    std::vector<TickInput> ticks;
+    bool torn_tail = false;     ///< tolerant mode stopped at a damaged tail
+    std::size_t valid_bytes = 0;  ///< length of the cleanly parsed prefix
+};
+
+enum class ReplayMode {
+    Strict,            ///< any damage throws SnapshotError
+    TolerateTornTail,  ///< crash recovery: keep the intact prefix
+};
+
+/// Parses a replay log. Header damage (bad magic/version, short header)
+/// always throws — a torn tail can only ever lose frames, not the
+/// header a writer emits first.
+[[nodiscard]] ReplayLog read_replay(std::span<const std::uint8_t> bytes,
+                                    ReplayMode mode = ReplayMode::Strict);
+
+}  // namespace fxg::snapshot

@@ -7,7 +7,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "snapshot/version.hpp"
 #include "util/csv.hpp"
+
+// Injected by the build (telemetry/CMakeLists.txt) from `git rev-parse`;
+// builds outside a git checkout get the fallback.
+#ifndef FXG_GIT_SHA
+#define FXG_GIT_SHA "unknown"
+#endif
 
 namespace fxg::telemetry {
 
@@ -221,9 +228,13 @@ std::string bench_json_text(const std::vector<BenchRecord>& records) {
     out << "[\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const BenchRecord& r = records[i];
-        out << "  {\"name\":\"" << json_escape(r.name.c_str())
-            << "\",\"value\":" << format_double(r.value) << ",\"unit\":\""
-            << json_escape(r.unit.c_str()) << "\"}"
+        out << "  {\"name\":\"" << json_escape(r.name.c_str()) << "\",\"value\":";
+        if (r.text.empty()) {
+            out << format_double(r.value);
+        } else {
+            out << '"' << json_escape(r.text.c_str()) << '"';
+        }
+        out << ",\"unit\":\"" << json_escape(r.unit.c_str()) << "\"}"
             << (i + 1 < records.size() ? "," : "") << '\n';
     }
     out << "]\n";
@@ -232,9 +243,17 @@ std::string bench_json_text(const std::vector<BenchRecord>& records) {
 
 void write_bench_json(const std::string& path,
                       const std::vector<BenchRecord>& records) {
+    std::vector<BenchRecord> stamped;
+    stamped.reserve(records.size() + 2);
+    stamped.push_back({"fxg_snapshot_format_version",
+                       static_cast<double>(snapshot::kSnapshotFormatVersion),
+                       "version",
+                       ""});
+    stamped.push_back({"fxg_git_sha", 0.0, "commit", FXG_GIT_SHA});
+    stamped.insert(stamped.end(), records.begin(), records.end());
     std::ofstream f(path);
     if (!f) throw std::runtime_error("write_bench_json: cannot open " + path);
-    f << bench_json_text(records);
+    f << bench_json_text(stamped);
     if (!f) throw std::runtime_error("write_bench_json: write failed for " + path);
 }
 

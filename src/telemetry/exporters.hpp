@@ -63,11 +63,14 @@ struct ParsedTrace {
 
 // ------------------------------------------------------------ bench JSON
 
-/// One machine-readable bench data point.
+/// One machine-readable bench data point. When `text` is non-empty the
+/// record's JSON value is that string instead of the number (used for
+/// provenance stamps like the git SHA).
 struct BenchRecord {
     std::string name;
     double value = 0.0;
     std::string unit;
+    std::string text;
 };
 
 /// Flattens a registry into bench records (counters and gauges as-is;
@@ -79,7 +82,11 @@ struct BenchRecord {
 [[nodiscard]] std::string bench_json_text(const std::vector<BenchRecord>& records);
 
 /// Writes bench_json_text to a file; throws std::runtime_error on
-/// failure.
+/// failure. Every file is stamped with two leading provenance records —
+/// fxg_snapshot_format_version (the .fxgsnap version the binary was
+/// built against) and fxg_git_sha (the commit, "unknown" outside a git
+/// checkout) — so a trajectory point can always be tied back to the
+/// code and snapshot format that produced it.
 void write_bench_json(const std::string& path,
                       const std::vector<BenchRecord>& records);
 

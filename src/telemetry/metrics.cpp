@@ -32,6 +32,18 @@ std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
 }
 
+void Histogram::load(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+                     double sum) {
+    if (buckets.size() != bounds_.size() + 1) {
+        throw std::invalid_argument("Histogram::load: bucket count mismatch");
+    }
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets_[i].store(buckets[i], std::memory_order_relaxed);
+    }
+    count_.store(count, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
+}
+
 MetricsRegistry::Slot& MetricsRegistry::find_or_create(const std::string& name,
                                                        MetricKind kind,
                                                        const std::string& unit,

@@ -33,6 +33,12 @@ public:
         return value_.load(std::memory_order_relaxed);
     }
 
+    /// Overwrites the count (snapshot-restore seam only — counters stay
+    /// monotone through inc() everywhere else).
+    void load(std::uint64_t v) noexcept {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
 private:
     std::atomic<std::uint64_t> value_{0};
 };
@@ -70,6 +76,12 @@ public:
     [[nodiscard]] double sum() const noexcept {
         return sum_.load(std::memory_order_relaxed);
     }
+
+    /// Overwrites all accumulators (snapshot-restore seam). `buckets`
+    /// must have bounds().size() + 1 entries (the last is the overflow
+    /// bucket); throws std::invalid_argument otherwise.
+    void load(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+              double sum);
 
 private:
     std::vector<double> bounds_;

@@ -35,6 +35,7 @@ public:
 
     /// Access to the raw engine for std distributions not wrapped here.
     std::mt19937_64& engine() noexcept { return engine_; }
+    [[nodiscard]] const std::mt19937_64& engine() const noexcept { return engine_; }
 
 private:
     std::mt19937_64 engine_;

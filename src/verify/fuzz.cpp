@@ -11,6 +11,8 @@
 #include "core/plan.hpp"
 #include "magnetics/earth_field.hpp"
 #include "magnetics/units.hpp"
+#include "snapshot/replay.hpp"
+#include "snapshot/state.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/probes.hpp"
 #include "telemetry/sink.hpp"
@@ -439,6 +441,118 @@ std::optional<std::string> run_counter_width(const FuzzCase& c) {
     return std::nullopt;
 }
 
+/// A Rig plus its own trace+probes sink (attached when the case asks
+/// for telemetry): the snapshot oracle runs three of these and the
+/// sinks must never leak state between them.
+struct SnapRig {
+    Rig rig;
+    telemetry::TraceSession trace;
+    telemetry::MetricsRegistry registry;
+    telemetry::PhysicsProbes probes;
+    telemetry::TeeSink tee;
+
+    explicit SnapRig(const FuzzCase& c)
+        : rig(c, c.config.engine, c.counter_width_bits, c.trap_on_overflow),
+          probes(registry),
+          tee({&trace, &probes}) {
+        if (c.with_telemetry) rig.compass.set_telemetry(&tee);
+    }
+};
+
+std::optional<std::string> run_snapshot_roundtrip(const FuzzCase& c) {
+    // Three rigs. A runs all T ticks uninterrupted (the reference) and
+    // records each tick's axis fields into a replay log. B runs the
+    // same ticks but is snapshotted at the tick-k boundary — its ticks
+    // must still match A's (taking a snapshot is observation, not
+    // perturbation). C is a fresh rig restored from B's snapshot that
+    // replays ticks k..T-1 from the log — every continued tick and the
+    // final re-snapshot bytes must be bit-identical to A's.
+    const magnetics::EarthField field(magnetics::microtesla(c.field_ut),
+                                      c.inclination_deg);
+    const int T = c.ticks;
+    const int k = c.snapshot_at;
+
+    auto tick = [&](SnapRig& r) {
+        return c.use_lanes ? lanes_outcome(r.rig.compass)
+                           : measure_outcome(r.rig.compass);
+    };
+    auto save_opts = [](SnapRig& r) {
+        snapshot::SaveOptions opts;
+        if (r.rig.injector.armed()) opts.injector = &r.rig.injector;
+        return opts;
+    };
+
+    SnapRig a(c);
+    SnapRig b(c);
+    snapshot::ReplayWriter replay;
+    std::vector<Outcome> ref;
+    std::vector<std::uint8_t> snap;
+
+    for (int t = 0; t < T; ++t) {
+        if (t == k) snap = snapshot::snapshot_compass(b.rig.compass, save_opts(b));
+        // The per-tick input: a slow heading sweep, recorded as the
+        // exact axis fields the sensors saw.
+        const double heading = util::wrap_deg_360(c.heading_deg + 23.7 * t);
+        a.rig.compass.set_environment(field, heading);
+        b.rig.compass.set_environment(field, heading);
+        const analog::FrontEnd& fe = a.rig.compass.front_end();
+        replay.append({static_cast<std::uint64_t>(t),
+                       fe.sensor(analog::Channel::X).external_field(),
+                       fe.sensor(analog::Channel::Y).external_field()});
+        ref.push_back(tick(a));
+        const Outcome ob = tick(b);
+        if (auto d = diff_outcomes(ref.back(), ob)) {
+            return format("snapshot at boundary %d perturbed the donor, tick %d: %s",
+                          k, t, d->c_str());
+        }
+    }
+
+    SnapRig cc(c);
+    try {
+        snapshot::RestoreTargets targets;
+        if (cc.rig.injector.armed()) targets.injector = &cc.rig.injector;
+        snapshot::restore_compass(snap, cc.rig.compass, targets);
+    } catch (const std::exception& e) {
+        return format("restore at boundary %d failed: %s", k, e.what());
+    }
+
+    snapshot::ReplayLog log;
+    try {
+        log = snapshot::read_replay(replay.bytes());
+    } catch (const std::exception& e) {
+        return format("replay log round-trip failed: %s", e.what());
+    }
+    if (log.ticks.size() != static_cast<std::size_t>(T)) {
+        return format("replay log has %zu ticks, recorded %d", log.ticks.size(), T);
+    }
+
+    for (int t = k; t < T; ++t) {
+        const snapshot::TickInput& in = log.ticks[static_cast<std::size_t>(t)];
+        if (in.tick != static_cast<std::uint64_t>(t)) {
+            return format("replay log tick %d stored as %" PRIu64, t, in.tick);
+        }
+        cc.rig.compass.set_axis_fields(in.hx_a_per_m, in.hy_a_per_m);
+        const Outcome oc = tick(cc);
+        if (auto d = diff_outcomes(ref[static_cast<std::size_t>(t)], oc)) {
+            return format("restored run diverged at tick %d (snapshot at %d): %s",
+                          t, k, d->c_str());
+        }
+    }
+
+    // Strongest check: the complete serialized state after the final
+    // tick — every register, RNG stream, latch and sticky flag — is
+    // byte-identical across all three runs.
+    const std::vector<std::uint8_t> end_a =
+        snapshot::snapshot_compass(a.rig.compass, save_opts(a));
+    if (snapshot::snapshot_compass(b.rig.compass, save_opts(b)) != end_a) {
+        return "donor's final snapshot bytes diverged from the reference";
+    }
+    if (snapshot::snapshot_compass(cc.rig.compass, save_opts(cc)) != end_a) {
+        return "restored run's final snapshot bytes diverged from the reference";
+    }
+    return std::nullopt;
+}
+
 std::optional<std::string> run_telemetry_identity(const FuzzCase& c) {
     Rig plain(c, c.config.engine, c.counter_width_bits, false);
     Rig traced(c, c.config.engine, c.counter_width_bits, false);
@@ -469,16 +583,18 @@ const char* to_string(Oracle oracle) noexcept {
         case Oracle::CordicAtan: return "CordicAtan";
         case Oracle::CounterWidth: return "CounterWidth";
         case Oracle::TelemetryIdentity: return "TelemetryIdentity";
+        case Oracle::SnapshotRoundTrip: return "SnapshotRoundTrip";
     }
     return "?";
 }
 
-FuzzCase generate_case(std::uint64_t seed, std::uint64_t index) {
+FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
+                       std::optional<Oracle> force) {
     util::Rng rng(mix(seed, index));
     FuzzCase c;
     c.seed = seed;
     c.index = index;
-    c.oracle = static_cast<Oracle>(index % kOracleCount);
+    c.oracle = force.value_or(static_cast<Oracle>(index % kOracleCount));
 
     compass::CompassConfig& cfg = c.config;
     static constexpr int kSteps[] = {64, 96, 128, 256};
@@ -595,6 +711,22 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index) {
             }
             break;
         }
+        case Oracle::SnapshotRoundTrip: {
+            if (rng.chance(0.4)) {
+                c.counter_width_bits = static_cast<int>(rng.uniform_int(8, 14));
+                c.trap_on_overflow = rng.chance(0.4);
+            }
+            const int n = static_cast<int>(rng.uniform_int(0, 2));
+            for (int i = 0; i < n; ++i) {
+                c.faults.push_back(
+                    random_fault_spec(rng, c.counter_width_bits, window, true));
+            }
+            c.ticks = static_cast<int>(rng.uniform_int(2, 4));
+            c.snapshot_at = static_cast<int>(rng.uniform_int(1, c.ticks - 1));
+            c.with_telemetry = rng.chance(0.5);
+            c.use_lanes = rng.chance(0.5);
+            break;
+        }
     }
     return c;
 }
@@ -606,6 +738,7 @@ std::optional<std::string> run_case(const FuzzCase& c) {
         case Oracle::CordicAtan: return run_cordic_atan(c);
         case Oracle::CounterWidth: return run_counter_width(c);
         case Oracle::TelemetryIdentity: return run_telemetry_identity(c);
+        case Oracle::SnapshotRoundTrip: return run_snapshot_roundtrip(c);
     }
     return "unknown oracle";
 }
@@ -626,6 +759,10 @@ std::string FuzzCase::to_literal() const {
     if (oracle == Oracle::CordicAtan) {
         out += format(", raw=(%" PRId64 ", %" PRId64 ")", raw_x, raw_y);
     }
+    if (oracle == Oracle::SnapshotRoundTrip) {
+        out += format(", ticks=%d, snapshot_at=%d, telemetry=%d, lanes=%d", ticks,
+                      snapshot_at, with_telemetry ? 1 : 0, use_lanes ? 1 : 0);
+    }
     out += ", faults=[";
     for (std::size_t i = 0; i < faults.size(); ++i) {
         const fault::FaultSpec& f = faults[i];
@@ -643,14 +780,15 @@ std::string FuzzCase::to_literal() const {
 }
 
 FuzzReport run_corpus(std::uint64_t seed, std::uint64_t cases,
-                      std::size_t max_failures, int threads) {
+                      std::size_t max_failures, int threads,
+                      std::optional<Oracle> force) {
     FuzzReport report;
     report.cases = cases;
     if (cases == 0) return report;
 
     std::mutex mutex;
     auto run_one = [&](int i) {
-        const FuzzCase c = generate_case(seed, static_cast<std::uint64_t>(i));
+        const FuzzCase c = generate_case(seed, static_cast<std::uint64_t>(i), force);
         std::optional<std::string> mismatch;
         try {
             mismatch = run_case(c);
@@ -680,6 +818,45 @@ FuzzReport run_corpus(std::uint64_t seed, std::uint64_t cases,
               });
     if (report.failures.size() > max_failures) report.failures.resize(max_failures);
     return report;
+}
+
+ChunkResult run_chunk(std::uint64_t seed, std::uint64_t first, std::uint64_t count,
+                      int threads, std::optional<Oracle> force) {
+    ChunkResult result;
+    result.ok.assign(count, 0);
+    if (count == 0) return result;
+
+    std::mutex mutex;
+    auto run_one = [&](int i) {
+        const std::uint64_t index = first + static_cast<std::uint64_t>(i);
+        const FuzzCase c = generate_case(seed, index, force);
+        std::optional<std::string> mismatch;
+        try {
+            mismatch = run_case(c);
+        } catch (const std::exception& e) {
+            mismatch = format("harness exception: %s", e.what());
+        }
+        if (mismatch) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            result.failures.push_back({c, std::move(*mismatch)});
+        } else {
+            // ok[] slots are disjoint per task: no lock needed.
+            result.ok[static_cast<std::size_t>(i)] = 1;
+        }
+    };
+
+    if (threads <= 1) {
+        for (std::uint64_t i = 0; i < count; ++i) run_one(static_cast<int>(i));
+    } else {
+        util::TaskPool pool;
+        pool.parallel_for(static_cast<int>(count), threads, run_one);
+    }
+
+    std::sort(result.failures.begin(), result.failures.end(),
+              [](const FuzzFailure& a, const FuzzFailure& b) {
+                  return a.failing.index < b.failing.index;
+              });
+    return result;
 }
 
 }  // namespace fxg::verify

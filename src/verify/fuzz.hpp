@@ -33,6 +33,14 @@
 ///                     exactly equal when the sticky flag stayed clear;
 ///   TelemetryIdentity a measurement with a trace+probes sink attached
 ///                     is bit-identical to one without.
+///   SnapshotRoundTrip run k of T ticks, snapshot, restore into a fresh
+///                     rig, replay the recorded per-tick field inputs
+///                     and continue: every remaining tick and the final
+///                     re-snapshot bytes are bit-identical to the
+///                     uninterrupted run — under armed faults, attached
+///                     sinks, finite registers and traps, across the
+///                     scalar/block/lane engines. Also proves taking a
+///                     snapshot never perturbs the donor.
 ///
 /// Everything is a pure function of (seed, index): generate_case() is
 /// deterministic, so any failure is replayed by number alone, and
@@ -57,9 +65,10 @@ enum class Oracle {
     CordicAtan,
     CounterWidth,
     TelemetryIdentity,
+    SnapshotRoundTrip,
 };
 
-inline constexpr int kOracleCount = 5;
+inline constexpr int kOracleCount = 6;
 
 [[nodiscard]] const char* to_string(Oracle oracle) noexcept;
 
@@ -83,6 +92,11 @@ struct FuzzCase {
     std::int64_t raw_x = 0;        ///< CordicAtan operands
     std::int64_t raw_y = 0;
 
+    int ticks = 1;                 ///< SnapshotRoundTrip: measurements per run
+    int snapshot_at = 0;           ///< tick boundary the snapshot is taken at
+    bool with_telemetry = false;   ///< attach trace+probes sinks to every rig
+    bool use_lanes = false;        ///< tick through the SoA lane engine
+
     /// One-line repro literal (the shrinker's output format): every
     /// field that differs from the defaults, plus seed/index so the
     /// case can also be regenerated exactly.
@@ -91,8 +105,11 @@ struct FuzzCase {
 
 /// Deterministically generates case `index` of corpus `seed`. Same
 /// (seed, index) always yields the same case, independent of platform
-/// (mt19937_64 + explicitly ordered draws).
-[[nodiscard]] FuzzCase generate_case(std::uint64_t seed, std::uint64_t index);
+/// (mt19937_64 + explicitly ordered draws). `force` pins the oracle
+/// (the knob draws stay those of the forced oracle) — used by the
+/// snapshot round-trip corpus and targeted soaks.
+[[nodiscard]] FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
+                                     std::optional<Oracle> force = std::nullopt);
 
 /// Runs one case against its oracle pair. nullopt = all identities
 /// held; otherwise a human-readable description of the first mismatch.
@@ -118,6 +135,22 @@ struct FuzzReport {
 /// thread count (cases are pure functions, failures re-sorted by
 /// index).
 [[nodiscard]] FuzzReport run_corpus(std::uint64_t seed, std::uint64_t cases,
-                                    std::size_t max_failures = 8, int threads = 1);
+                                    std::size_t max_failures = 8, int threads = 1,
+                                    std::optional<Oracle> force = std::nullopt);
+
+/// Outcome of one contiguous chunk of a corpus — the checkpointing unit
+/// of bench_fuzz_soak. `ok[i]` is 1 when case `first + i` passed, so a
+/// resumed soak can fold the identical corpus digest the uninterrupted
+/// run would have produced.
+struct ChunkResult {
+    std::vector<std::uint8_t> ok;
+    std::vector<FuzzFailure> failures;  ///< sorted by index, untruncated
+};
+
+/// Runs cases [first, first + count) of corpus `seed`. Results are
+/// independent of the thread count, as in run_corpus.
+[[nodiscard]] ChunkResult run_chunk(std::uint64_t seed, std::uint64_t first,
+                                    std::uint64_t count, int threads = 1,
+                                    std::optional<Oracle> force = std::nullopt);
 
 }  // namespace fxg::verify

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <thread>
 
@@ -39,6 +40,38 @@ TEST(FuzzCorpus, FixedSeedCorpusHasZeroMismatches) {
                       << "): " << failure.mismatch << "\n  shrunk repro: "
                       << verify::shrink_case(failure.failing).to_literal();
     }
+}
+
+TEST(FuzzCorpus, SnapshotRoundTripForcedCorpusIsBitExact) {
+    // ISSUE acceptance: the snapshot round-trip oracle alone over a
+    // 10k-case fixed-seed corpus, zero mismatches.
+    const verify::FuzzReport report =
+        verify::run_corpus(kCorpusSeed, 10000, 8, soak_threads(),
+                           verify::Oracle::SnapshotRoundTrip);
+    EXPECT_EQ(report.cases, 10000u);
+    EXPECT_TRUE(report.ok());
+    for (const verify::FuzzFailure& failure : report.failures) {
+        ADD_FAILURE() << "(seed=" << failure.failing.seed
+                      << ", index=" << failure.failing.index
+                      << "): " << failure.mismatch;
+    }
+}
+
+TEST(FuzzCorpus, ChunkedRunMatchesTheWholeCorpus) {
+    // run_chunk is the soak checkpointing unit: chunked pass/fail bits
+    // must agree with one uninterrupted run_corpus over the same range.
+    const verify::FuzzReport whole = verify::run_corpus(kCorpusSeed, 120, 200, 4);
+    std::uint64_t chunked_failures = 0;
+    for (std::uint64_t first = 0; first < 120; first += 40) {
+        const verify::ChunkResult chunk =
+            verify::run_chunk(kCorpusSeed, first, 40, 4);
+        ASSERT_EQ(chunk.ok.size(), 40u);
+        for (std::uint8_t ok : chunk.ok) chunked_failures += ok ? 0 : 1;
+        EXPECT_EQ(chunk.failures.size(),
+                  static_cast<std::size_t>(
+                      std::count(chunk.ok.begin(), chunk.ok.end(), 0)));
+    }
+    EXPECT_EQ(chunked_failures, whole.mismatches);
 }
 
 TEST(FuzzCorpus, GenerationIsDeterministic) {
