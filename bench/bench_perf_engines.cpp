@@ -26,6 +26,7 @@
 #include "sim/lane_engine.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/probes.hpp"
+#include "telemetry/trace.hpp"
 #include "util/simd.hpp"
 
 using namespace fxg;
@@ -317,6 +318,32 @@ void write_perf_json(bool large) {
             .set(lane);
         std::printf("fleet n=1000000 [%s]: lane %.1f meas/s\n",
                     sim::LaneEngine::backend_name(), lane);
+    }
+
+    // Per-plan-stage latency: trace a batch of measurements and fold
+    // every span's wall-clock duration into a per-stage histogram
+    // (fxg_stage_<name>_seconds). bench_json_records flattens each into
+    // _count/_sum/_mean plus interpolated _p50/_p99/_p999 — the
+    // per-stage trajectory bench_diff guards against regression.
+    {
+        compass::Compass compass;
+        compass.set_environment(field, 123.0);
+        telemetry::TraceSession trace;
+        compass.set_telemetry(&trace);
+        for (int i = 0; i < kReps; ++i) static_cast<void>(compass.measure());
+        compass.set_telemetry(nullptr);
+        const std::vector<double> stage_bounds = {1e-7, 3e-7, 1e-6, 3e-6, 1e-5,
+                                                  3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+                                                  1e-2, 3e-2, 1e-1};
+        for (const telemetry::SpanRecord& s : trace.spans()) {
+            std::string stage(s.name);
+            for (char& c : stage) {
+                if (c == '.') c = '_';
+            }
+            registry
+                .histogram("fxg_stage_" + stage + "_seconds", stage_bounds, "s")
+                .observe(1e-9 * static_cast<double>(s.end_ns - s.start_ns));
+        }
     }
 
     telemetry::write_bench_json("BENCH_perf.json",

@@ -22,6 +22,13 @@
 /// and without a sink is asserted outright. Results go to
 /// BENCH_telemetry.json as {name, value, unit} records sourced from a
 /// telemetry MetricsRegistry.
+///
+/// The always-on FlightRecorder gets the same treatment: its per-record
+/// ring push is timed in a hot loop and multiplied by the touchpoint
+/// count, and that cost must ALSO stay under the 1 % budget — the black
+/// box rides along on every fleet by default, so it is held to the
+/// disabled-path standard, not the enabled-path one. Bit-identity with
+/// the recorder attached is asserted as well.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,6 +38,7 @@
 #include "magnetics/earth_field.hpp"
 #include "magnetics/units.hpp"
 #include "telemetry/exporters.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/probes.hpp"
 #include "telemetry/sink.hpp"
 #include "telemetry/trace.hpp"
@@ -99,6 +107,18 @@ int main() {
     const double disabled_cost = static_cast<double>(touchpoints) * t_touch;
     const double disabled_pct = 100.0 * disabled_cost / (t_measure - disabled_cost);
 
+    // --- 3b. cost of one always-on black-box record ------------------
+    telemetry::FlightRecorder recorder;
+    constexpr int kRecorderEvents = 2'000'000;
+    const auto tr0 = telemetry::Clock::now();
+    for (int i = 0; i < kRecorderEvents; ++i) {
+        recorder.event("overhead.blackbox", static_cast<double>(i));
+    }
+    const double t_record = seconds_since(tr0) / kRecorderEvents;
+    const double recorder_cost = static_cast<double>(touchpoints) * t_record;
+    const double recorder_pct =
+        100.0 * recorder_cost / (t_measure - disabled_cost);
+
     // --- 4. enabled path, for information ----------------------------
     session.clear();
     const double t_enabled = time_measure_s(traced, kPerBatch, kBatches);
@@ -117,14 +137,26 @@ int main() {
     const bool bit_identical = mc.count_x == mt.count_x && mc.count_y == mt.count_y &&
                                mc.heading_deg == mt.heading_deg &&
                                mc.energy_j == mt.energy_j;
+    compass::Compass recorded(cfg);
+    recorded.set_environment(field, 123.0);
+    telemetry::FlightRecorder check_recorder;
+    recorded.set_telemetry(&check_recorder);
+    const compass::Measurement mr = recorded.measure();
+    const bool recorder_identical =
+        mc.count_x == mr.count_x && mc.count_y == mr.count_y &&
+        mc.heading_deg == mr.heading_deg && mc.energy_j == mr.energy_j;
 
     std::printf("measure() no sink        : %.3f ms\n", t_measure * 1e3);
     std::printf("touchpoints per measure  : %zu\n", touchpoints);
     std::printf("disabled touchpoint cost : %.2f ns\n", t_touch * 1e9);
     std::printf("disabled-path overhead   : %.4f %%   (budget 1 %%)\n", disabled_pct);
+    std::printf("black-box record cost    : %.2f ns\n", t_record * 1e9);
+    std::printf("black-box overhead       : %.4f %%   (budget 1 %%, always on)\n",
+                recorder_pct);
     std::printf("enabled-path overhead    : %.2f %%   (trace + probes attached)\n",
                 enabled_pct);
     std::printf("bit-identical with sink  : %s\n", bit_identical ? "yes" : "NO");
+    std::printf("bit-identical w/recorder : %s\n", recorder_identical ? "yes" : "NO");
 
     // --- export: the metrics registry is the JSON source -------------
     registry.gauge("fxg_overhead_disabled_pct", "%").set(disabled_pct);
@@ -132,14 +164,18 @@ int main() {
     registry.gauge("fxg_touchpoints_per_measure", "touchpoints")
         .set(static_cast<double>(touchpoints));
     registry.gauge("fxg_disabled_touchpoint_ns", "ns").set(t_touch * 1e9);
+    registry.gauge("fxg_overhead_recorder_pct", "%").set(recorder_pct);
+    registry.gauge("fxg_recorder_record_ns", "ns").set(t_record * 1e9);
     registry.gauge("fxg_measure_no_sink_ms", "ms").set(t_measure * 1e3);
     registry.gauge("fxg_measure_traced_ms", "ms").set(t_enabled * 1e3);
     telemetry::write_bench_json("BENCH_telemetry.json",
                                 telemetry::bench_json_records(registry));
     std::puts("\nwrote BENCH_telemetry.json");
 
-    const bool pass = disabled_pct < 1.0 && bit_identical;
-    std::printf("\nzero-cost contract (no sink => < 1%% measure() slowdown)  ->  %s\n",
+    const bool pass = disabled_pct < 1.0 && recorder_pct < 1.0 &&
+                      bit_identical && recorder_identical;
+    std::printf("\nzero-cost contract (no sink => < 1%% measure() slowdown, "
+                "black box < 1%%)  ->  %s\n",
                 pass ? "PASS" : "FAIL");
     return pass ? 0 : 1;
 }

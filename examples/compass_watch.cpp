@@ -4,18 +4,73 @@
 /// plus "common watch options as added features". Renders the 4-digit
 /// LCD as ASCII art while the wearer checks the time, then toggles to
 /// compass mode and turns on the spot.
+///
+/// The closing section demos the observability surface: a fleet with
+/// its always-on flight recorder serving live GET /metrics, /healthz,
+/// /trace and /snapshot from an introspection endpoint — the same
+/// queries `curl` would issue against a long-running fleet.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/compass.hpp"
+#include "core/compass_fleet.hpp"
 #include "digital/display.hpp"
 #include "magnetics/earth_field.hpp"
 #include "magnetics/units.hpp"
+#include "snapshot/state.hpp"
+#include "telemetry/introspect.hpp"
 
 namespace {
 
 void show(const char* caption, fxg::digital::DisplayDriver& display) {
     std::printf("%s\n%s\n", caption, display.ascii_art().c_str());
+}
+
+// First `n` lines of `text`, for quoting endpoint responses.
+std::string head_lines(const std::string& text, int n) {
+    std::size_t pos = 0;
+    for (int i = 0; i < n && pos != std::string::npos; ++i) {
+        pos = text.find('\n', pos);
+        if (pos != std::string::npos) ++pos;
+    }
+    return pos == std::string::npos ? text : text.substr(0, pos);
+}
+
+void demo_introspection(const fxg::magnetics::EarthField& field) {
+    using namespace fxg;
+
+    compass::CompassFleet fleet(8);
+    std::vector<double> headings(8);
+    for (int i = 0; i < 8; ++i) headings[i] = 45.0 * i;
+    fleet.set_environments(field, headings);
+    const int port = fleet.start_introspection(
+        0, [&fleet] { return snapshot::snapshot_fleet(fleet); });
+    std::printf("\n[observability]  introspection endpoint on 127.0.0.1:%d\n",
+                port);
+    std::printf("  try:  curl http://127.0.0.1:%d/metrics\n", port);
+    std::printf("        curl http://127.0.0.1:%d/healthz\n", port);
+    std::printf("        curl http://127.0.0.1:%d/trace\n", port);
+    std::printf("        curl -o fleet.fxgsnap http://127.0.0.1:%d/snapshot\n\n",
+                port);
+
+    fleet.measure_all(2);  // the recorder is always on; nothing to attach
+
+    const std::string health = telemetry::IntrospectionServer::body_of(
+        telemetry::IntrospectionServer::http_get(port, "/healthz"));
+    std::printf("GET /healthz ->\n%s\n", health.c_str());
+
+    const std::string metrics = telemetry::IntrospectionServer::body_of(
+        telemetry::IntrospectionServer::http_get(port, "/metrics"));
+    std::printf("GET /metrics (first lines) ->\n%s...\n",
+                head_lines(metrics, 6).c_str());
+
+    const std::string snap = telemetry::IntrospectionServer::body_of(
+        telemetry::IntrospectionServer::http_get(port, "/snapshot"));
+    std::printf("GET /snapshot -> %zu bytes of .fxgsnap\n", snap.size());
+
+    fleet.stop_introspection();
 }
 
 }  // namespace
@@ -76,5 +131,7 @@ int main() {
                     static_cast<unsigned long long>(sw.laps()[i] / 1000),
                     static_cast<unsigned long long>(sw.laps()[i] % 1000));
     }
+
+    demo_introspection(field);
     return 0;
 }

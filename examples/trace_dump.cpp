@@ -10,6 +10,11 @@
 ///   metrics.csv   the registry as CSV for replotting.
 ///
 /// Files land in the current directory (or the directory in argv[1]).
+///
+/// Bundle mode:  trace_dump --bundle <file.fxgpm> [outdir]
+/// unpacks a postmortem bundle instead — prints the reason, config
+/// fingerprint and trace statistics, and writes the contained trace
+/// JSONL, Prometheus dump(s) and .fxgsnap snapshot next to it.
 
 #include <cstdio>
 #include <fstream>
@@ -20,6 +25,7 @@
 #include "fault/supervisor.hpp"
 #include "magnetics/earth_field.hpp"
 #include "magnetics/units.hpp"
+#include "snapshot/postmortem.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/probes.hpp"
 #include "telemetry/sink.hpp"
@@ -35,10 +41,56 @@ void write_text(const std::string& path, const std::string& text) {
     std::printf("wrote %-13s (%zu bytes)\n", path.c_str(), text.size());
 }
 
+int unpack_bundle(const std::string& path, const std::string& dir) {
+    using namespace fxg;
+    snapshot::PostmortemBundle bundle;
+    try {
+        bundle = snapshot::read_postmortem_file(path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "trace_dump: %s\n", e.what());
+        return 1;
+    }
+    std::printf("postmortem bundle %s\n", path.c_str());
+    std::printf("  reason:             %s\n", bundle.reason.c_str());
+    std::printf("  config fingerprint: %016llx\n",
+                static_cast<unsigned long long>(bundle.config_fingerprint));
+    try {
+        const telemetry::ParsedTrace trace =
+            telemetry::parse_trace_jsonl(bundle.trace_jsonl);
+        std::printf("  trace:              %zu span(s), %zu event(s)\n",
+                    trace.spans.size(), trace.events.size());
+    } catch (const telemetry::TraceParseError& e) {
+        std::printf("  trace:              UNPARSEABLE (%s)\n", e.what());
+    }
+    std::printf("  metric history:     %zu snapshot(s)\n",
+                bundle.metric_history.size());
+    std::printf("  state snapshot:     %zu bytes\n\n", bundle.snapshot.size());
+
+    write_text(dir + "bundle_trace.jsonl", bundle.trace_jsonl);
+    write_text(dir + "bundle_metrics.prom", bundle.metrics_prometheus);
+    for (std::size_t i = 0; i < bundle.metric_history.size(); ++i) {
+        write_text(dir + "bundle_metrics_" + std::to_string(i) + ".prom",
+                   bundle.metric_history[i]);
+    }
+    if (!bundle.snapshot.empty()) {
+        std::ofstream out(dir + "bundle.fxgsnap", std::ios::binary);
+        out.write(reinterpret_cast<const char*>(bundle.snapshot.data()),
+                  static_cast<std::streamsize>(bundle.snapshot.size()));
+        std::printf("wrote %-13s (%zu bytes)\n", "bundle.fxgsnap",
+                    bundle.snapshot.size());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace fxg;
+
+    if (argc > 2 && std::string(argv[1]) == "--bundle") {
+        const std::string outdir = argc > 3 ? std::string(argv[3]) + "/" : "";
+        return unpack_bundle(argv[2], outdir);
+    }
 
     const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
 

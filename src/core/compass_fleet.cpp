@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <exception>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
+
+#include "telemetry/exporters.hpp"
 
 namespace fxg::compass {
 
@@ -20,8 +23,11 @@ std::exception_ptr first_error_in_order(const std::vector<std::exception_ptr>& e
 
 CompassFleet::CompassFleet(int count, const CompassConfig& config,
                            util::TaskPool& pool)
-    : pool_(pool) {
+    : pool_(pool),
+      probes_(registry_),
+      black_box_({&recorder_, &probes_}) {
     if (count < 1) throw std::invalid_argument("CompassFleet: count must be >= 1");
+    recorder_.attach_registry(&registry_);
     // One compile per fleet: every member shares the same immutable
     // stage list (asserted via compile_plan_count() in the tests).
     plan_ = std::make_shared<const MeasurementPlan>(compile_plan(config));
@@ -29,6 +35,7 @@ CompassFleet::CompassFleet(int count, const CompassConfig& config,
     for (int i = 0; i < count; ++i) {
         members_.push_back(std::make_unique<Compass>(config, plan_));
     }
+    attach_sinks(nullptr);  // black box is on from the first measurement
 }
 
 Compass& CompassFleet::at(int i) {
@@ -54,10 +61,69 @@ void CompassFleet::set_environments(const magnetics::EarthField& field,
 }
 
 void CompassFleet::set_telemetry(telemetry::TelemetrySink* sink) noexcept {
+    attach_sinks(sink);
+}
+
+void CompassFleet::attach_sinks(telemetry::TelemetrySink* user_sink) noexcept {
+    telemetry::TelemetrySink* effective = &black_box_;
+    if (user_sink != nullptr) {
+        user_tee_ = std::make_unique<telemetry::TeeSink>(
+            std::vector<telemetry::TelemetrySink*>{&black_box_, user_sink});
+        effective = user_tee_.get();
+    } else {
+        user_tee_.reset();
+    }
     for (int i = 0; i < size(); ++i) {
-        at(i).set_telemetry(sink);
+        at(i).set_telemetry(effective);
         at(i).set_telemetry_member(i);
     }
+}
+
+std::string CompassFleet::health_text() const {
+    std::ostringstream out;
+    out << "ok\n";
+    out << "members " << size() << '\n';
+    out << "execution "
+        << (execution_ == FleetExecution::Auto ? "auto" : "per_member") << '\n';
+    out << "measuring " << measuring_.load(std::memory_order_relaxed) << '\n';
+    out << "batches_total " << batches_total_.load(std::memory_order_relaxed)
+        << '\n';
+    out << "members_measured "
+        << members_measured_.load(std::memory_order_relaxed) << '\n';
+    out << "member_errors " << member_errors_.load(std::memory_order_relaxed)
+        << '\n';
+    out << "recorder_retained " << recorder_.retained() << '\n';
+    out << "recorder_dropped " << recorder_.dropped() << '\n';
+    if (health_extra_) out << health_extra_();
+    return out.str();
+}
+
+int CompassFleet::start_introspection(
+    int port, std::function<std::vector<std::uint8_t>()> snapshot_provider) {
+    if (introspection_ != nullptr && introspection_->running()) {
+        throw std::logic_error("CompassFleet: introspection already running");
+    }
+    telemetry::IntrospectionHandlers handlers;
+    handlers.metrics = [this] { return telemetry::prometheus_text(registry_); };
+    handlers.trace = [this] { return recorder_.trace_jsonl(); };
+    handlers.healthz = [this] { return health_text(); };
+    handlers.snapshot = std::move(snapshot_provider);
+    introspection_ =
+        std::make_unique<telemetry::IntrospectionServer>(std::move(handlers));
+    introspection_->start(pool_, port);
+    return introspection_->port();
+}
+
+void CompassFleet::stop_introspection() {
+    if (introspection_ != nullptr) introspection_->stop();
+}
+
+bool CompassFleet::introspection_running() const {
+    return introspection_ != nullptr && introspection_->running();
+}
+
+int CompassFleet::introspection_port() const {
+    return introspection_running() ? introspection_->port() : 0;
 }
 
 std::exception_ptr CompassFleet::measure_all_impl(int threads,
@@ -82,11 +148,32 @@ std::exception_ptr CompassFleet::measure_all_impl(int threads,
         } catch (const std::exception& e) {
             slot.error = e.what();
             errors[static_cast<std::size_t>(i)] = std::current_exception();
+            if (failure_hook_) failure_hook_(i, slot.error);
         } catch (...) {
             slot.error = "unknown error";
             errors[static_cast<std::size_t>(i)] = std::current_exception();
+            if (failure_hook_) failure_hook_(i, slot.error);
         }
     };
+
+    // /healthz batch bookkeeping (finalized by this RAII so every
+    // return path below is covered).
+    measuring_.fetch_add(1, std::memory_order_relaxed);
+    struct BatchStats {
+        CompassFleet* fleet;
+        const std::vector<FleetResult>* results;
+        ~BatchStats() {
+            std::uint64_t failed = 0;
+            for (const FleetResult& r : *results) {
+                if (!r.ok) ++failed;
+            }
+            fleet->members_measured_.fetch_add(results->size() - failed,
+                                               std::memory_order_relaxed);
+            fleet->member_errors_.fetch_add(failed, std::memory_order_relaxed);
+            fleet->batches_total_.fetch_add(1, std::memory_order_relaxed);
+            fleet->measuring_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    } stats{this, &results};
 
     if (execution_ == FleetExecution::PerMember) {
         // Members are independent, so the only shared state is the
@@ -106,7 +193,12 @@ std::exception_ptr CompassFleet::measure_all_impl(int threads,
         const int count = std::min(kLaneGroupSize, n - begin);
         bool traced = false;
         for (int i = begin; i < begin + count; ++i) {
-            if (members_[static_cast<std::size_t>(i)]->telemetry() != nullptr) {
+            const telemetry::TelemetrySink* sink =
+                members_[static_cast<std::size_t>(i)]->telemetry();
+            // Only sinks that reconstruct per-member span trees force
+            // the fallback; the always-on black box aggregates and
+            // keeps the lane path (it answers false here).
+            if (sink != nullptr && sink->requires_member_trace()) {
                 traced = true;
             }
         }
@@ -127,6 +219,7 @@ std::exception_ptr CompassFleet::measure_all_impl(int threads,
             if (out.aborted) {
                 slot.error = out.error;
                 errors[static_cast<std::size_t>(begin + k)] = out.error_ptr;
+                if (failure_hook_) failure_hook_(begin + k, slot.error);
             } else {
                 slot.measurement = out.measurement;
                 slot.ok = true;

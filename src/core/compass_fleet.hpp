@@ -12,12 +12,20 @@
 /// measuring each compass serially — threading changes wall-clock
 /// time, nothing else.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/compass.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/introspect.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/probes.hpp"
 #include "util/task_pool.hpp"
 
 namespace fxg::compass {
@@ -88,14 +96,74 @@ public:
     void set_environments(const magnetics::EarthField& field,
                           const std::vector<double>& headings_deg);
 
-    /// Attaches one shared telemetry sink to every member (nullptr
-    /// detaches) and stamps each member's index into its samples, so
-    /// fleet-wide traces and per-member latency metrics aggregate in a
-    /// single sink. The sink must be thread-safe (TraceSession,
-    /// PhysicsProbes and TeeSink all are) — measure_all's workers feed
-    /// it concurrently; span nesting stays correct because sessions
-    /// track nesting per thread.
+    /// Attaches one shared telemetry sink to every member and stamps
+    /// each member's index into its samples, so fleet-wide traces and
+    /// per-member latency metrics aggregate in a single sink. The sink
+    /// must be thread-safe (TraceSession, PhysicsProbes and TeeSink all
+    /// are) — measure_all's workers feed it concurrently; span nesting
+    /// stays correct because sessions track nesting per thread.
+    ///
+    /// The fleet's built-in black box (flight recorder + physics
+    /// probes) is always attached alongside: passing a sink tees it
+    /// with the black box, passing nullptr reverts to the black box
+    /// alone — members never actually run sinkless. Lane batching
+    /// survives unless the user sink requires_member_trace() (a
+    /// TraceSession does; the black box does not).
     void set_telemetry(telemetry::TelemetrySink* sink) noexcept;
+
+    // ------------------------------------------------------ black box
+
+    /// The always-on metrics registry the built-in probes feed.
+    [[nodiscard]] telemetry::MetricsRegistry& metrics() noexcept {
+        return registry_;
+    }
+    [[nodiscard]] const telemetry::MetricsRegistry& metrics() const noexcept {
+        return registry_;
+    }
+
+    /// The always-on flight recorder retaining the recent past.
+    [[nodiscard]] telemetry::FlightRecorder& flight_recorder() noexcept {
+        return recorder_;
+    }
+
+    /// Called (from worker threads — must be thread-safe) for every
+    /// member whose measurement threw, with the member index and the
+    /// exception text. This is the postmortem trigger seam: a black-box
+    /// owner freezes the recorder and emits a bundle from here.
+    void set_member_failure_hook(
+        std::function<void(int, const std::string&)> hook) {
+        failure_hook_ = std::move(hook);
+    }
+
+    /// Extra lines appended to the /healthz body (e.g. a supervisor's
+    /// ladder status). Called from the introspection thread.
+    void set_health_extra(std::function<std::string()> extra) {
+        health_extra_ = std::move(extra);
+    }
+
+    /// Plain-text liveness summary served at /healthz.
+    [[nodiscard]] std::string health_text() const;
+
+    // -------------------------------------------------- introspection
+
+    /// Starts the HTTP introspection endpoint on 127.0.0.1:`port`
+    /// (0 = kernel-assigned) serving /metrics, /trace and /healthz from
+    /// the black box, plus /snapshot when `snapshot_provider` is given
+    /// (the fleet itself cannot produce .fxgsnap bytes — the snapshot
+    /// codec lives above core in the dependency order, so the owner
+    /// supplies it; see examples/compass_watch). Returns the bound
+    /// port. The accept loop runs on this fleet's TaskPool.
+    int start_introspection(
+        int port = 0,
+        std::function<std::vector<std::uint8_t>()> snapshot_provider = {});
+
+    /// Stops the endpoint (idempotent; blocks until the loop exits).
+    void stop_introspection();
+
+    [[nodiscard]] bool introspection_running() const;
+
+    /// Bound port while running (0 otherwise).
+    [[nodiscard]] int introspection_port() const;
 
     /// Runs one measurement on every member and returns a per-member
     /// FleetResult in member order. A member that throws is reported in
@@ -117,6 +185,10 @@ private:
     /// the first caught exception (nullptr when all ok).
     std::exception_ptr measure_all_impl(int threads, std::vector<FleetResult>& results);
 
+    /// Installs `user_sink` (may be null) teed with the black box on
+    /// every member.
+    void attach_sinks(telemetry::TelemetrySink* user_sink) noexcept;
+
     // unique_ptr: Compass is neither copyable nor movable (it owns its
     // engine), and fleet members must keep stable addresses for the
     // worker threads.
@@ -125,6 +197,25 @@ private:
     std::shared_ptr<const MeasurementPlan> plan_;
     util::TaskPool& pool_;  ///< non-owning; outlives the fleet
     FleetExecution execution_ = FleetExecution::Auto;
+
+    // Black box, always attached (declaration order matters: probes
+    // and the tee reference earlier members).
+    telemetry::MetricsRegistry registry_;
+    telemetry::FlightRecorder recorder_;
+    telemetry::PhysicsProbes probes_;
+    telemetry::TeeSink black_box_;
+    /// Tee of {black box, user sink} when a user sink is attached.
+    std::unique_ptr<telemetry::TeeSink> user_tee_;
+
+    std::function<void(int, const std::string&)> failure_hook_;
+    std::function<std::string()> health_extra_;
+    std::unique_ptr<telemetry::IntrospectionServer> introspection_;
+
+    // Batch statistics for /healthz.
+    std::atomic<int> measuring_{0};  ///< batches currently in flight
+    std::atomic<std::uint64_t> batches_total_{0};
+    std::atomic<std::uint64_t> members_measured_{0};
+    std::atomic<std::uint64_t> member_errors_{0};
 };
 
 }  // namespace fxg::compass

@@ -94,6 +94,19 @@ std::optional<double> MeasurementSupervisor::reconstruct_heading(
 }
 
 SupervisedMeasurement MeasurementSupervisor::measure() {
+    bool any_abort = false;
+    SupervisedMeasurement out = measure_impl(any_abort);
+    if (postmortem_hook_) {
+        const bool deep_rung = static_cast<int>(out.status) >=
+                               static_cast<int>(postmortem_trigger_.min_rung);
+        if (deep_rung || (postmortem_trigger_.on_abort && any_abort)) {
+            postmortem_hook_(out);
+        }
+    }
+    return out;
+}
+
+SupervisedMeasurement MeasurementSupervisor::measure_impl(bool& any_abort) {
     SupervisedMeasurement out;
     const int attempts_allowed = 1 + (config_.max_retries > 0 ? config_.max_retries : 0);
 
@@ -120,6 +133,7 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
             out.measurement = executor.run(attempt_plan);
         } catch (const std::exception& e) {
             aborted = true;
+            any_abort = true;
             out.health = HealthReport{};
             out.health.ok = false;
             out.health.findings.push_back(
@@ -174,6 +188,7 @@ SupervisedMeasurement MeasurementSupervisor::measure() {
                                                        : partial.count_y);
         } catch (const std::exception&) {
             // The surviving axis aborted too: fall through the ladder.
+            any_abort = true;
         }
         if (heading) {
             out.status = SupervisedStatus::DegradedSingleAxis;

@@ -32,6 +32,7 @@
 /// attempts run through one PlanExecutor, so traces and physics
 /// samples look the same whichever rung served the heading.
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -91,6 +92,31 @@ public:
     /// MeasurementAborted finding and consumes an attempt).
     SupervisedMeasurement measure();
 
+    /// When a postmortem hook fires.
+    struct PostmortemTrigger {
+        /// Fire when the ladder ends on this rung or deeper (enum order
+        /// is the ladder order).
+        SupervisedStatus min_rung = SupervisedStatus::DegradedSingleAxis;
+        /// Also fire when any attempt aborted (counter trap, injected
+        /// throw), even if a later rung recovered above min_rung.
+        bool on_abort = true;
+    };
+
+    /// Black-box seam: called from measure(), after the ladder settles,
+    /// whenever `trigger` matches the outcome — the hook freezes a
+    /// flight recorder and writes a postmortem bundle (see
+    /// snapshot/postmortem.hpp). An empty hook disables it.
+    void set_postmortem_hook(
+        std::function<void(const SupervisedMeasurement&)> hook,
+        PostmortemTrigger trigger) {
+        postmortem_hook_ = std::move(hook);
+        postmortem_trigger_ = trigger;
+    }
+    void set_postmortem_hook(
+        std::function<void(const SupervisedMeasurement&)> hook) {
+        set_postmortem_hook(std::move(hook), PostmortemTrigger{});
+    }
+
     /// Last measurement that passed the health check, if any.
     [[nodiscard]] const std::optional<SupervisedMeasurement>& last_good() const noexcept {
         return last_good_;
@@ -142,6 +168,9 @@ private:
     [[nodiscard]] std::optional<double> reconstruct_heading(
         analog::Channel healthy, std::int64_t good_count) const;
 
+    /// The ladder proper; `any_abort` reports whether any attempt threw.
+    SupervisedMeasurement measure_impl(bool& any_abort);
+
     compass::Compass& compass_;
     SupervisorConfig config_;
     HealthMonitor monitor_;
@@ -149,6 +178,8 @@ private:
     compass::MeasurementPlan retry_plan_;  ///< ReExcite-prefixed rewrite
     std::optional<SupervisedMeasurement> last_good_;
     double staleness_s_ = 0.0;  ///< accumulated simulated time since last good
+    std::function<void(const SupervisedMeasurement&)> postmortem_hook_;
+    PostmortemTrigger postmortem_trigger_;
 };
 
 }  // namespace fxg::fault

@@ -1,0 +1,192 @@
+#include "snapshot/postmortem.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <sys/stat.h>
+
+#include "telemetry/exporters.hpp"
+
+namespace fxg::snapshot {
+
+namespace {
+
+constexpr std::uint32_t kTagBundle = section_tag('P', 'M', 'R', 'T');
+constexpr std::uint32_t kTagMeta = section_tag('M', 'E', 'T', 'A');
+constexpr std::uint32_t kTagTrace = section_tag('T', 'R', 'C', 'E');
+constexpr std::uint32_t kTagProm = section_tag('P', 'R', 'O', 'M');
+constexpr std::uint32_t kTagSnap = section_tag('S', 'N', 'A', 'P');
+
+bool file_exists(const std::string& path) {
+    struct stat st {};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_postmortem(const PostmortemBundle& bundle) {
+    SnapshotWriter w;
+    w.begin_section(kTagBundle);
+
+    w.begin_section(kTagMeta);
+    w.put_string(bundle.reason);
+    w.put_u64(bundle.config_fingerprint);
+    w.put_u64(bundle.metric_history.size());
+    w.put_u64(bundle.snapshot.size());
+    w.end_section();
+
+    w.begin_section(kTagTrace);
+    w.put_string(bundle.trace_jsonl);
+    w.end_section();
+
+    w.begin_section(kTagProm);
+    w.put_string(bundle.metrics_prometheus);
+    w.put_u64(bundle.metric_history.size());
+    for (const std::string& s : bundle.metric_history) w.put_string(s);
+    w.end_section();
+
+    w.begin_section(kTagSnap);
+    w.put_u64(bundle.snapshot.size());
+    if (!bundle.snapshot.empty()) {
+        w.put_bytes(bundle.snapshot.data(), bundle.snapshot.size());
+    }
+    w.end_section();
+
+    w.end_section();
+    return w.finish();
+}
+
+PostmortemBundle decode_postmortem(std::span<const std::uint8_t> bytes) {
+    SnapshotReader r(bytes);
+    PostmortemBundle bundle;
+    r.enter_section(kTagBundle);
+
+    r.enter_section(kTagMeta);
+    bundle.reason = r.get_string();
+    bundle.config_fingerprint = r.get_u64();
+    const std::uint64_t history_count = r.get_u64();
+    const std::uint64_t snapshot_size = r.get_u64();
+    r.leave_section();
+
+    r.enter_section(kTagTrace);
+    bundle.trace_jsonl = r.get_string();
+    r.leave_section();
+
+    r.enter_section(kTagProm);
+    bundle.metrics_prometheus = r.get_string();
+    const std::uint64_t stored_history = r.get_u64();
+    if (stored_history != history_count) {
+        throw SnapshotError("postmortem: META/PROM history count mismatch");
+    }
+    bundle.metric_history.reserve(stored_history);
+    for (std::uint64_t i = 0; i < stored_history; ++i) {
+        bundle.metric_history.push_back(r.get_string());
+    }
+    r.leave_section();
+
+    r.enter_section(kTagSnap);
+    const std::uint64_t stored_size = r.get_u64();
+    if (stored_size != snapshot_size) {
+        throw SnapshotError("postmortem: META/SNAP size mismatch");
+    }
+    bundle.snapshot.resize(stored_size);
+    if (stored_size > 0) {
+        r.get_bytes(bundle.snapshot.data(), bundle.snapshot.size());
+    }
+    r.leave_section();
+
+    r.leave_section();
+    return bundle;
+}
+
+void write_postmortem_file(const std::string& path,
+                           const PostmortemBundle& bundle) {
+    const std::vector<std::uint8_t> bytes = encode_postmortem(bundle);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            throw std::runtime_error("postmortem: cannot open " + tmp);
+        }
+        f.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        f.flush();
+        if (!f) {
+            throw std::runtime_error("postmortem: write failed for " + tmp);
+        }
+    }
+    // rename(2) is atomic within a filesystem: readers see either no
+    // file or the complete bundle, never a torn one.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string what = std::string("postmortem: rename to ") + path +
+                                 ": " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        throw std::runtime_error(what);
+    }
+}
+
+PostmortemBundle read_postmortem_file(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("postmortem: cannot open " + path);
+    std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(f),
+                                    std::istreambuf_iterator<char>()};
+    return decode_postmortem(bytes);
+}
+
+BlackBox::BlackBox(telemetry::FlightRecorder& recorder,
+                   const telemetry::MetricsRegistry& registry, Config config)
+    : recorder_(recorder), registry_(registry), config_(std::move(config)) {}
+
+std::string BlackBox::emit(const std::string& reason) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.max_bundles > 0 && emitted_ >= config_.max_bundles) return "";
+
+    // Freeze for the whole gather so the trace, the metrics and the
+    // state snapshot describe the same instant.
+    telemetry::FlightRecorder::Freeze freeze(recorder_);
+
+    PostmortemBundle bundle;
+    bundle.reason = reason;
+    bundle.config_fingerprint = fingerprint_;
+    bundle.trace_jsonl = recorder_.trace_jsonl();
+    bundle.metrics_prometheus = telemetry::prometheus_text(registry_);
+    bundle.metric_history = recorder_.metric_snapshots();
+    if (snapshot_source_) bundle.snapshot = snapshot_source_();
+
+    // Deterministic numbered names (no wall clock — replay and tests
+    // stay reproducible); skip indices already on disk so bundles from
+    // an earlier run of the same process name survive.
+    std::string path;
+    for (std::uint64_t n = emitted_;; ++n) {
+        path = config_.directory + "/" + config_.prefix + "_" +
+               std::to_string(n) + kPostmortemExtension;
+        if (!file_exists(path)) break;
+    }
+    write_postmortem_file(path, bundle);
+    ++emitted_;
+    return path;
+}
+
+std::uint64_t BlackBox::emitted() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return emitted_;
+}
+
+std::function<void(const fault::SupervisedMeasurement&)>
+BlackBox::supervisor_hook() {
+    return [this](const fault::SupervisedMeasurement& m) {
+        emit(std::string("supervisor: ") + fault::to_string(m.status) +
+             " after " + std::to_string(m.attempts) +
+             " attempt(s): " + m.diagnostics);
+    };
+}
+
+std::function<void(int, const std::string&)> BlackBox::fleet_hook() {
+    return [this](int member, const std::string& error) {
+        emit("fleet member " + std::to_string(member) + ": " + error);
+    };
+}
+
+}  // namespace fxg::snapshot

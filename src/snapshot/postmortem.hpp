@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file postmortem.hpp
+/// Postmortem bundles: the black-box recording a failing system leaves
+/// behind. One bundle is a single .fxgpm file in the format.hpp
+/// container (magic, version, per-section + whole-file CRCs), holding
+/// everything needed to explain and *replay* a fault after the fact:
+///
+///   PMRT                        the bundle (top-level section)
+///    +- META  reason text, config fingerprint, counts
+///    +- TRCE  flight-recorder trace as JSONL (parse_trace_jsonl
+///             grammar — torn tails fail loudly, see TraceParseError)
+///    +- PROM  final Prometheus metrics dump + the recorder's retained
+///             periodic snapshots (the trajectory into the fault)
+///    +- SNAP  a .fxgsnap state snapshot (may be empty when the owner
+///             supplied no snapshot source)
+///
+/// Files are written atomically — the bytes go to `<path>.tmp`, fsynced
+/// and renamed — so a crash mid-write can never leave a half bundle
+/// where a reader looks for one.
+///
+/// The BlackBox class ties a FlightRecorder + MetricsRegistry +
+/// snapshot source together behind the two trigger seams the rest of
+/// the system exposes: MeasurementSupervisor::set_postmortem_hook and
+/// CompassFleet::set_member_failure_hook.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/supervisor.hpp"
+#include "snapshot/format.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fxg::snapshot {
+
+/// Decoded (or to-be-encoded) contents of a .fxgpm file.
+struct PostmortemBundle {
+    std::string reason;  ///< what tripped (ladder rung, member error, ...)
+    std::uint64_t config_fingerprint = 0;  ///< keying the SNAP section
+    std::string trace_jsonl;               ///< recent past, JSONL
+    std::string metrics_prometheus;        ///< metrics at the freeze
+    std::vector<std::string> metric_history;  ///< periodic snapshots, oldest first
+    std::vector<std::uint8_t> snapshot;    ///< .fxgsnap bytes (may be empty)
+};
+
+/// Conventional file extension for bundle files.
+inline constexpr const char* kPostmortemExtension = ".fxgpm";
+
+[[nodiscard]] std::vector<std::uint8_t> encode_postmortem(
+    const PostmortemBundle& bundle);
+
+/// Throws SnapshotError on corruption (the container CRCs fail closed).
+[[nodiscard]] PostmortemBundle decode_postmortem(
+    std::span<const std::uint8_t> bytes);
+
+/// Atomic tmp+rename write; throws std::runtime_error on I/O failure.
+void write_postmortem_file(const std::string& path,
+                           const PostmortemBundle& bundle);
+
+/// Reads and decodes a bundle file; throws on I/O failure or corruption.
+[[nodiscard]] PostmortemBundle read_postmortem_file(const std::string& path);
+
+/// The wiring: freezes the recorder and emits a bundle file whenever a
+/// trigger fires. Thread-safe — fleet failure hooks run on worker
+/// threads, possibly several at once.
+class BlackBox {
+public:
+    struct Config {
+        std::string directory = ".";       ///< where bundles land
+        std::string prefix = "postmortem"; ///< <dir>/<prefix>_<n>.fxgpm
+        /// Emission cap per BlackBox (a fault storm in a 64k fleet must
+        /// not write 64k bundles). 0 = unlimited.
+        std::uint64_t max_bundles = 8;
+    };
+
+    /// Recorder and registry must outlive the black box.
+    BlackBox(telemetry::FlightRecorder& recorder,
+             const telemetry::MetricsRegistry& registry, Config config);
+    BlackBox(telemetry::FlightRecorder& recorder,
+             const telemetry::MetricsRegistry& registry)
+        : BlackBox(recorder, registry, Config{}) {}
+
+    /// Snapshot bytes to embed in each bundle (e.g. a bound
+    /// snapshot_member call). Called under the recorder freeze; must be
+    /// thread-safe against the measuring system.
+    void set_snapshot_source(std::function<std::vector<std::uint8_t>()> source) {
+        snapshot_source_ = std::move(source);
+    }
+
+    /// Fingerprint stamped into bundles (config_fingerprint of the
+    /// snapshotted pipeline).
+    void set_fingerprint(std::uint64_t fingerprint) noexcept {
+        fingerprint_ = fingerprint;
+    }
+
+    /// Freezes the recorder, gathers all sections and writes the next
+    /// numbered bundle file. Returns the path, or "" when the cap was
+    /// reached. I/O errors propagate as std::runtime_error.
+    std::string emit(const std::string& reason);
+
+    /// Bundles written by this black box.
+    [[nodiscard]] std::uint64_t emitted() const;
+
+    /// Adapter for MeasurementSupervisor::set_postmortem_hook.
+    [[nodiscard]] std::function<void(const fault::SupervisedMeasurement&)>
+    supervisor_hook();
+
+    /// Adapter for CompassFleet::set_member_failure_hook.
+    [[nodiscard]] std::function<void(int, const std::string&)> fleet_hook();
+
+private:
+    telemetry::FlightRecorder& recorder_;
+    const telemetry::MetricsRegistry& registry_;
+    Config config_;
+    std::function<std::vector<std::uint8_t>()> snapshot_source_;
+    std::uint64_t fingerprint_ = 0;
+
+    mutable std::mutex mutex_;
+    std::uint64_t emitted_ = 0;
+};
+
+}  // namespace fxg::snapshot

@@ -46,35 +46,86 @@ std::string format_double(double v) {
 
 // ---- minimal JSONL field scanner (reads back our own output) --------
 
-/// Returns the raw token after `"key":` in `line`, or empty if absent.
-std::string raw_field(const std::string& line, const std::string& key) {
+/// Result of scanning for `"key":` — distinguishes an absent key from
+/// an empty value, and remembers whether the value was a JSON string
+/// (string-typed tokens must not be fed to the numeric parsers).
+struct FieldScan {
+    bool found = false;
+    bool is_string = false;
+    bool terminated = true;  ///< string values: saw the closing quote
+    std::string raw;
+};
+
+FieldScan scan_field(const std::string& line, const std::string& key) {
+    FieldScan scan;
     const std::string needle = "\"" + key + "\":";
     const auto pos = line.find(needle);
-    if (pos == std::string::npos) return {};
+    if (pos == std::string::npos) return scan;
+    scan.found = true;
     std::size_t i = pos + needle.size();
     if (i < line.size() && line[i] == '"') {  // string value
-        std::string out;
-        for (++i; i < line.size() && line[i] != '"'; ++i) {
+        scan.is_string = true;
+        scan.terminated = false;
+        for (++i; i < line.size(); ++i) {
+            if (line[i] == '"') {
+                scan.terminated = true;
+                break;
+            }
             if (line[i] == '\\' && i + 1 < line.size()) ++i;
-            out.push_back(line[i]);
+            scan.raw.push_back(line[i]);
         }
-        return out;
+        return scan;
     }
     std::size_t end = i;
     while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
-    return line.substr(i, end - i);
+    scan.raw = line.substr(i, end - i);
+    return scan;
 }
 
-std::int64_t int_field(const std::string& line, const std::string& key) {
-    const std::string raw = raw_field(line, key);
-    if (raw.empty()) throw std::runtime_error("trace JSONL: missing field " + key);
-    return std::strtoll(raw.c_str(), nullptr, 10);
+std::string string_field(const std::string& line, const std::string& key,
+                         std::size_t line_no) {
+    const FieldScan scan = scan_field(line, key);
+    if (!scan.found) throw TraceParseError(line_no, "missing field \"" + key + "\"");
+    if (!scan.is_string) {
+        throw TraceParseError(line_no, "field \"" + key + "\" is not a string");
+    }
+    if (!scan.terminated) {
+        throw TraceParseError(line_no,
+                              "unterminated string in field \"" + key + "\"");
+    }
+    return scan.raw;
 }
 
-double double_field(const std::string& line, const std::string& key) {
-    const std::string raw = raw_field(line, key);
-    if (raw.empty()) throw std::runtime_error("trace JSONL: missing field " + key);
-    return std::strtod(raw.c_str(), nullptr);
+std::int64_t int_field(const std::string& line, const std::string& key,
+                       std::size_t line_no) {
+    const FieldScan scan = scan_field(line, key);
+    if (!scan.found) throw TraceParseError(line_no, "missing field \"" + key + "\"");
+    if (scan.is_string || scan.raw.empty()) {
+        throw TraceParseError(line_no, "field \"" + key + "\" is not an integer");
+    }
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(scan.raw.c_str(), &end, 10);
+    if (end != scan.raw.c_str() + scan.raw.size()) {
+        throw TraceParseError(line_no, "garbage in integer field \"" + key +
+                                           "\": '" + scan.raw + "'");
+    }
+    return v;
+}
+
+double double_field(const std::string& line, const std::string& key,
+                    std::size_t line_no) {
+    const FieldScan scan = scan_field(line, key);
+    if (!scan.found) throw TraceParseError(line_no, "missing field \"" + key + "\"");
+    if (scan.is_string || scan.raw.empty()) {
+        throw TraceParseError(line_no, "field \"" + key + "\" is not a number");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(scan.raw.c_str(), &end);
+    if (end != scan.raw.c_str() + scan.raw.size()) {
+        throw TraceParseError(line_no, "garbage in number field \"" + key +
+                                           "\": '" + scan.raw + "'");
+    }
+    return v;
 }
 
 }  // namespace
@@ -100,29 +151,40 @@ ParsedTrace parse_trace_jsonl(const std::string& text) {
     ParsedTrace trace;
     std::istringstream in(text);
     std::string line;
+    std::size_t line_no = 0;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty()) continue;
-        const std::string type = raw_field(line, "type");
+        // A postmortem tail torn mid-record fails loudly here rather
+        // than yielding a half-parsed span.
+        if (line.front() != '{') {
+            throw TraceParseError(line_no, "not a JSON object");
+        }
+        if (line.back() != '}') {
+            throw TraceParseError(line_no, "truncated record (no closing '}')");
+        }
+        const std::string type = string_field(line, "type", line_no);
         if (type == "span") {
             ParsedSpan s;
-            s.id = static_cast<SpanId>(int_field(line, "id"));
-            s.parent = static_cast<SpanId>(int_field(line, "parent"));
-            s.name = raw_field(line, "name");
-            s.channel = static_cast<int>(int_field(line, "ch"));
-            s.start_ns = static_cast<std::uint64_t>(int_field(line, "start_ns"));
-            s.end_ns = static_cast<std::uint64_t>(int_field(line, "end_ns"));
-            s.value = int_field(line, "value");
+            s.id = static_cast<SpanId>(int_field(line, "id", line_no));
+            s.parent = static_cast<SpanId>(int_field(line, "parent", line_no));
+            s.name = string_field(line, "name", line_no);
+            s.channel = static_cast<int>(int_field(line, "ch", line_no));
+            s.start_ns =
+                static_cast<std::uint64_t>(int_field(line, "start_ns", line_no));
+            s.end_ns =
+                static_cast<std::uint64_t>(int_field(line, "end_ns", line_no));
+            s.value = int_field(line, "value", line_no);
             trace.spans.push_back(std::move(s));
         } else if (type == "event") {
             ParsedEvent e;
-            e.parent = static_cast<SpanId>(int_field(line, "parent"));
-            e.name = raw_field(line, "name");
-            e.t_ns = static_cast<std::uint64_t>(int_field(line, "t_ns"));
-            e.value = double_field(line, "value");
+            e.parent = static_cast<SpanId>(int_field(line, "parent", line_no));
+            e.name = string_field(line, "name", line_no);
+            e.t_ns = static_cast<std::uint64_t>(int_field(line, "t_ns", line_no));
+            e.value = double_field(line, "value", line_no);
             trace.events.push_back(std::move(e));
         } else {
-            throw std::runtime_error("trace JSONL: unknown record type '" + type +
-                                     "'");
+            throw TraceParseError(line_no, "unknown record type '" + type + "'");
         }
     }
     return trace;
@@ -216,9 +278,60 @@ std::vector<BenchRecord> bench_json_records(const MetricsRegistry& registry) {
                 records.push_back({e.name + "_sum", h.sum(), e.unit});
                 records.push_back(
                     {e.name + "_mean", count > 0.0 ? h.sum() / count : 0.0, e.unit});
+                records.push_back({e.name + "_p50", h.quantile(0.50), e.unit});
+                records.push_back({e.name + "_p99", h.quantile(0.99), e.unit});
+                records.push_back({e.name + "_p999", h.quantile(0.999), e.unit});
                 break;
             }
         }
+    }
+    return records;
+}
+
+std::vector<BenchRecord> parse_bench_json(const std::string& text) {
+    std::vector<BenchRecord> records;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Skip the array brackets and whitespace-only lines; every
+        // record sits on its own line, the way bench_json_text writes
+        // them.
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const char c = line[first];
+        if (c == '[' || c == ']') continue;
+        if (c != '{') {
+            throw std::runtime_error("bench JSON line " + std::to_string(line_no) +
+                                     ": not a record object");
+        }
+        const FieldScan name = scan_field(line, "name");
+        const FieldScan value = scan_field(line, "value");
+        const FieldScan unit = scan_field(line, "unit");
+        if (!name.found || !name.is_string || !name.terminated) {
+            throw std::runtime_error("bench JSON line " + std::to_string(line_no) +
+                                     ": missing or malformed \"name\"");
+        }
+        if (!value.found) {
+            throw std::runtime_error("bench JSON line " + std::to_string(line_no) +
+                                     ": missing \"value\"");
+        }
+        BenchRecord r;
+        r.name = name.raw;
+        r.unit = unit.found && unit.is_string ? unit.raw : "";
+        if (value.is_string) {
+            r.text = value.raw;
+        } else {
+            char* end = nullptr;
+            r.value = std::strtod(value.raw.c_str(), &end);
+            if (value.raw.empty() || end != value.raw.c_str() + value.raw.size()) {
+                throw std::runtime_error("bench JSON line " +
+                                         std::to_string(line_no) +
+                                         ": non-numeric \"value\"");
+            }
+        }
+        records.push_back(std::move(r));
     }
     return records;
 }

@@ -14,6 +14,7 @@
 ///     {name, value, unit} records the BENCH_*.json perf-trajectory
 ///     files are made of.
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,8 +50,25 @@ struct ParsedTrace {
     std::vector<ParsedEvent> events;
 };
 
-/// Parses text produced by trace_to_jsonl. Throws std::runtime_error on
-/// malformed input.
+/// Raised by parse_trace_jsonl on malformed input. `line()` is the
+/// 1-based line number of the offending record — a torn postmortem tail
+/// names where it tore instead of misparsing silently.
+class TraceParseError : public std::runtime_error {
+public:
+    TraceParseError(std::size_t line, const std::string& detail)
+        : std::runtime_error("trace JSONL line " + std::to_string(line) + ": " +
+                             detail),
+          line_(line) {}
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Parses text produced by trace_to_jsonl (or a flight recorder's
+/// drain). Throws TraceParseError naming the offending line on
+/// truncated, garbage or non-numeric input.
 [[nodiscard]] ParsedTrace parse_trace_jsonl(const std::string& text);
 
 // ------------------------------------------------------------ metrics
@@ -74,9 +92,15 @@ struct BenchRecord {
 };
 
 /// Flattens a registry into bench records (counters and gauges as-is;
-/// histograms as _count, _sum and _mean).
+/// histograms as _count, _sum, _mean and interpolated _p50/_p99/_p999).
 [[nodiscard]] std::vector<BenchRecord> bench_json_records(
     const MetricsRegistry& registry);
+
+/// Parses a BENCH_*.json file written by bench_json_text /
+/// write_bench_json back into records (string-valued records come back
+/// with `text` set and value 0). Throws std::runtime_error naming the
+/// offending line on malformed input — bench_diff relies on this.
+[[nodiscard]] std::vector<BenchRecord> parse_bench_json(const std::string& text);
 
 /// Renders records as a JSON array, one record per line.
 [[nodiscard]] std::string bench_json_text(const std::vector<BenchRecord>& records);

@@ -1,0 +1,241 @@
+#include "telemetry/introspect.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/task_pool.hpp"
+
+namespace fxg::telemetry {
+
+namespace {
+
+/// Reads until EOF or error (the server closes after one response).
+std::string read_all(int fd) {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n <= 0) break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+}
+
+void write_all(int fd, const char* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n <= 0) return;  // peer went away; nothing useful to do
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string make_response(const char* status, const char* content_type,
+                          const std::string& body) {
+    std::string out = "HTTP/1.0 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(IntrospectionHandlers handlers)
+    : handlers_(std::move(handlers)) {}
+
+IntrospectionServer::~IntrospectionServer() { stop(); }
+
+void IntrospectionServer::start(util::TaskPool& pool, int port) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (running_) {
+            throw std::runtime_error("IntrospectionServer: already running");
+        }
+        stopping_ = false;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw std::runtime_error(std::string("IntrospectionServer: socket: ") +
+                                 std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, 16) < 0) {
+        const std::string what =
+            std::string("IntrospectionServer: bind/listen: ") +
+            std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error(what);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+    // Non-blocking listen socket + short poll timeout: close()ing a
+    // blocking accept() from another thread does not wake it on Linux,
+    // so the loop must poll to notice stop().
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        listen_fd_ = fd;
+        port_ = ntohs(addr.sin_port);
+        running_ = true;
+    }
+    pool.post([this] { serve_loop(); });
+}
+
+void IntrospectionServer::stop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    loop_exited_.wait(lock, [this] { return !running_; });
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+bool IntrospectionServer::running() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+int IntrospectionServer::port() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return port_;
+}
+
+void IntrospectionServer::serve_loop() {
+    int fd;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        fd = listen_fd_;
+    }
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) break;
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0) continue;
+        const int client = ::accept(fd, nullptr, nullptr);
+        if (client < 0) continue;
+        // Bound reads so a stalled client cannot wedge the loop.
+        timeval tv{1, 0};
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        handle_client(client);
+        ::close(client);
+    }
+    {
+        // Notify under the lock: the moment stop()'s waiter can observe
+        // running_ == false it may destroy this object, so the notify
+        // must already be complete by then.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        running_ = false;
+        loop_exited_.notify_all();
+    }
+}
+
+void IntrospectionServer::handle_client(int client_fd) {
+    // Read the request line ("GET /path HTTP/1.0"); headers past the
+    // first line are irrelevant to every route we serve.
+    std::string request;
+    char buf[1024];
+    for (;;) {
+        const ssize_t n = ::read(client_fd, buf, sizeof buf);
+        if (n <= 0) break;
+        request.append(buf, static_cast<std::size_t>(n));
+        if (request.find('\n') != std::string::npos) break;
+        if (request.size() > 16 * 1024) break;  // not a request we serve
+    }
+    const auto line_end = request.find('\n');
+    if (line_end == std::string::npos) return;
+    const std::string line = request.substr(0, line_end);
+    if (line.rfind("GET ", 0) != 0) {
+        const std::string resp = make_response("405 Method Not Allowed",
+                                               "text/plain", "GET only\n");
+        write_all(client_fd, resp.data(), resp.size());
+        return;
+    }
+    const auto path_end = line.find(' ', 4);
+    const std::string path = line.substr(
+        4, path_end == std::string::npos ? std::string::npos : path_end - 4);
+
+    std::string response;
+    try {
+        if (path == "/metrics" && handlers_.metrics) {
+            response = make_response("200 OK", "text/plain; version=0.0.4",
+                                     handlers_.metrics());
+        } else if (path == "/trace" && handlers_.trace) {
+            response =
+                make_response("200 OK", "application/jsonl", handlers_.trace());
+        } else if (path == "/healthz" && handlers_.healthz) {
+            response = make_response("200 OK", "text/plain", handlers_.healthz());
+        } else if (path == "/snapshot" && handlers_.snapshot) {
+            const std::vector<std::uint8_t> bytes = handlers_.snapshot();
+            response = make_response(
+                "200 OK", "application/octet-stream",
+                std::string(reinterpret_cast<const char*>(bytes.data()),
+                            bytes.size()));
+        } else {
+            response = make_response("404 Not Found", "text/plain",
+                                     "unknown path " + path + "\n");
+        }
+    } catch (const std::exception& e) {
+        response = make_response("500 Internal Server Error", "text/plain",
+                                 std::string(e.what()) + "\n");
+    }
+    write_all(client_fd, response.data(), response.size());
+}
+
+std::string IntrospectionServer::http_get(int port, const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw std::runtime_error(std::string("http_get: socket: ") +
+                                 std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+        const std::string what =
+            std::string("http_get: connect: ") + std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error(what);
+    }
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    write_all(fd, request.data(), request.size());
+    ::shutdown(fd, SHUT_WR);
+    std::string response = read_all(fd);
+    ::close(fd);
+    return response;
+}
+
+std::string IntrospectionServer::body_of(const std::string& response) {
+    const auto pos = response.find("\r\n\r\n");
+    if (pos == std::string::npos) return response;
+    return response.substr(pos + 4);
+}
+
+}  // namespace fxg::telemetry

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file introspect.hpp
+/// Live introspection endpoint: a deliberately minimal HTTP/1.0
+/// listener bound to 127.0.0.1, serving the observability surfaces the
+/// telemetry layer already renders:
+///
+///   GET /metrics   Prometheus exposition text (prometheus_text);
+///   GET /trace     flight-recorder JSONL (parse_trace_jsonl grammar);
+///   GET /healthz   plain-text liveness + supervisor/health state;
+///   GET /snapshot  a .fxgsnap state snapshot (binary download).
+///
+/// The server owns no domain knowledge: each route is a std::function
+/// provider the owner (CompassFleet, an example, a test) fills in, so
+/// the telemetry library stays below core/fault/snapshot in the
+/// dependency order. The accept loop runs as a single detached task on
+/// a util::TaskPool (TaskPool::post); the listen socket is non-blocking
+/// and the loop polls with a short timeout so stop() terminates it
+/// promptly — stop() blocks until the loop has exited, which MUST
+/// happen before the pool is destroyed.
+///
+/// One request per connection, no keep-alive, no TLS, loopback only:
+/// this is a debugging porthole, not a web server.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fxg::util {
+class TaskPool;
+}
+
+namespace fxg::telemetry {
+
+/// Route providers. Any that is empty answers 404. Providers are
+/// called from the server thread and must be thread-safe against the
+/// system they observe; a provider that throws answers 500 with the
+/// exception text.
+struct IntrospectionHandlers {
+    std::function<std::string()> metrics;
+    std::function<std::string()> trace;
+    std::function<std::string()> healthz;
+    std::function<std::vector<std::uint8_t>()> snapshot;
+};
+
+class IntrospectionServer {
+public:
+    explicit IntrospectionServer(IntrospectionHandlers handlers);
+
+    /// Calls stop().
+    ~IntrospectionServer();
+
+    IntrospectionServer(const IntrospectionServer&) = delete;
+    IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+    /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and
+    /// starts the accept loop on `pool`. Throws std::runtime_error on
+    /// socket failure; calling start() while running throws.
+    void start(util::TaskPool& pool, int port = 0);
+
+    /// Idempotent; blocks until the accept loop has exited.
+    void stop();
+
+    [[nodiscard]] bool running() const;
+
+    /// The bound port (valid after start()).
+    [[nodiscard]] int port() const;
+
+    /// Blocking loopback GET, for tests and examples: connects to
+    /// 127.0.0.1:`port`, sends `GET <path> HTTP/1.0` and returns the
+    /// raw response (headers + body). Throws std::runtime_error on
+    /// connection failure.
+    [[nodiscard]] static std::string http_get(int port, const std::string& path);
+
+    /// The body part of a raw http_get() response (after the first
+    /// blank line; the whole input if none).
+    [[nodiscard]] static std::string body_of(const std::string& response);
+
+private:
+    void serve_loop();
+    void handle_client(int client_fd);
+
+    IntrospectionHandlers handlers_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable loop_exited_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    bool running_ = false;   ///< accept loop alive
+    bool stopping_ = false;  ///< stop requested
+};
+
+}  // namespace fxg::telemetry

@@ -27,6 +27,35 @@ void Histogram::observe(double x) noexcept {
     sum_.fetch_add(x, std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile among `total` observations. q=1
+    // must land on the last observation, so scale by total, not total-1
+    // (bucket positions are cumulative counts).
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+        if (c == 0) continue;
+        if (static_cast<double>(cumulative + c) >= target) {
+            if (i == bounds_.size()) {
+                // Overflow bucket: no finite upper edge to interpolate
+                // toward; report the largest known edge.
+                return bounds_.back();
+            }
+            const double hi = bounds_[i];
+            const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+            const double position =
+                (target - static_cast<double>(cumulative)) / static_cast<double>(c);
+            return lo + (hi - lo) * std::clamp(position, 0.0, 1.0);
+        }
+        cumulative += c;
+    }
+    return bounds_.back();  // unreachable with a consistent count()
+}
+
 std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
     if (i > bounds_.size()) return 0;
     return buckets_[i].load(std::memory_order_relaxed);

@@ -77,6 +77,13 @@ public:
         return sum_.load(std::memory_order_relaxed);
     }
 
+    /// Interpolated quantile estimate from the bucket counts. `q` is
+    /// clamped to [0, 1]. Within a bucket the mass is assumed uniform;
+    /// the first finite bucket's lower edge is min(0.0, bounds[0]) and
+    /// a quantile landing in the overflow bucket reports bounds.back()
+    /// (the histogram has no upper edge there). Empty histogram: 0.0.
+    [[nodiscard]] double quantile(double q) const noexcept;
+
     /// Overwrites all accumulators (snapshot-restore seam). `buckets`
     /// must have bounds().size() + 1 entries (the last is the overflow
     /// bucket); throws std::invalid_argument otherwise.

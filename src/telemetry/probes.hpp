@@ -45,6 +45,12 @@ public:
 
     void on_sample(const MeasurementSample& sample) override;
 
+    /// Probes only aggregate into the registry; they never need the
+    /// per-member execution path, so lane batching stays intact.
+    [[nodiscard]] bool requires_member_trace() const noexcept override {
+        return false;
+    }
+
 private:
     MetricsRegistry& registry_;
 

@@ -37,4 +37,11 @@ void TeeSink::on_sample(const MeasurementSample& sample) {
     for (TelemetrySink* c : children_) c->on_sample(sample);
 }
 
+bool TeeSink::requires_member_trace() const noexcept {
+    for (const TelemetrySink* c : children_) {
+        if (c->requires_member_trace()) return true;
+    }
+    return false;
+}
+
 }  // namespace fxg::telemetry

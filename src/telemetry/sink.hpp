@@ -93,6 +93,17 @@ public:
     /// One measurement's physics (Compass::measure() emits exactly one
     /// per completed measurement).
     virtual void on_sample(const MeasurementSample& sample) = 0;
+
+    /// Whether a fleet member carrying this sink needs the per-member
+    /// execution path. Sinks that reconstruct per-member span nesting
+    /// (TraceSession) return true — the default — and CompassFleet
+    /// falls back to member-at-a-time dispatch for their lane group.
+    /// Sinks that only aggregate (FlightRecorder, PhysicsProbes) return
+    /// false so the SoA lane engine keeps its batch speedup; a TeeSink
+    /// is the OR of its children.
+    [[nodiscard]] virtual bool requires_member_trace() const noexcept {
+        return true;
+    }
 };
 
 /// RAII span: begin on construction, end on destruction. With a null
@@ -130,6 +141,7 @@ public:
     void end_span(SpanId id, std::int64_t value) override;
     void event(const char* name, double value) override;
     void on_sample(const MeasurementSample& sample) override;
+    [[nodiscard]] bool requires_member_trace() const noexcept override;
 
 private:
     std::vector<TelemetrySink*> children_;

@@ -81,9 +81,15 @@ void TaskPool::parallel_for(int n, int max_workers,
     // The caller is one of the max_workers executors; the pool supplies
     // the rest. One queue entry per helper caps the batch's concurrency
     // without dedicating threads: a helper that arrives after the
-    // cursor drained simply finds no work and moves on.
+    // cursor drained simply finds no work and moves on. Workers pinned
+    // by long-running posted tasks don't count toward the helpers.
     const int helpers = max_workers - 1;
-    ensure_threads(helpers);
+    int target;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        target = helpers + detached_active_;
+    }
+    ensure_threads(target);
 
     auto batch = std::make_shared<Batch>();
     batch->fn = &fn;
@@ -98,6 +104,29 @@ void TaskPool::parallel_for(int n, int max_workers,
     drain(batch);
     std::unique_lock<std::mutex> lock(batch->mutex);
     batch->done.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+void TaskPool::post(std::function<void()> task) {
+    auto batch = std::make_shared<Batch>();
+    batch->owned_fn = [this, task = std::move(task)](int) {
+        task();
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --detached_active_;
+    };
+    batch->fn = &batch->owned_fn;
+    batch->n = 1;
+    batch->remaining = 1;
+    int target;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++detached_active_;
+        // One worker per active posted task, plus one kept free so a
+        // concurrent parallel_for always has a helper to recruit.
+        target = detached_active_ + 1;
+        queue_.push_back(std::move(batch));
+    }
+    ensure_threads(target);
+    wake_.notify_one();
 }
 
 }  // namespace fxg::util

@@ -51,6 +51,16 @@ public:
     /// on the calling thread without touching the pool.
     void parallel_for(int n, int max_workers, const std::function<void(int)>& fn);
 
+    /// Runs `task` once on a pool worker and returns immediately. The
+    /// pool grows so that long-running posted tasks (e.g. an
+    /// introspection server's accept loop) never starve parallel_for
+    /// batches: one extra worker is kept available per active posted
+    /// task. A posted task must return before the pool is destroyed —
+    /// the destructor joins workers, so a task that outlives its
+    /// submitter's stop() call would deadlock teardown. shared() is
+    /// never destroyed and is exempt from that concern.
+    void post(std::function<void()> task);
+
     /// Workers currently alive.
     [[nodiscard]] int thread_count() const;
 
@@ -72,6 +82,8 @@ private:
         std::mutex mutex;
         std::condition_variable done;
         const std::function<void(int)>* fn = nullptr;
+        /// Detached batches (post) own their function; `fn` points here.
+        std::function<void(int)> owned_fn;
         int n = 0;
         int next = 0;       ///< next unclaimed index (under mutex)
         int remaining = 0;  ///< items not yet completed
@@ -86,6 +98,7 @@ private:
     std::condition_variable wake_;
     std::deque<std::shared_ptr<Batch>> queue_;  ///< batches with unclaimed items
     std::vector<std::thread> workers_;
+    int detached_active_ = 0;  ///< posted tasks not yet finished (under mutex_)
     bool stopping_ = false;
 };
 

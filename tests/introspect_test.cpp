@@ -1,0 +1,190 @@
+/// \file introspect_test.cpp
+/// The live introspection endpoint (telemetry::IntrospectionServer and
+/// its CompassFleet wiring): every route serves real data over a
+/// loopback socket, unknown routes 404, the /snapshot bytes restore a
+/// clone fleet bit-exactly, and — the acceptance criterion — GETs
+/// succeed *while* the fleet is measuring on its worker pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compass.hpp"
+#include "core/compass_fleet.hpp"
+#include "magnetics/earth_field.hpp"
+#include "magnetics/units.hpp"
+#include "snapshot/state.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/introspect.hpp"
+#include "util/task_pool.hpp"
+
+using namespace fxg;
+using telemetry::IntrospectionServer;
+
+namespace {
+
+magnetics::EarthField site() {
+    return magnetics::EarthField(magnetics::microtesla(48.0), 67.0);
+}
+
+compass::CompassConfig small_config() {
+    compass::CompassConfig cfg;
+    cfg.steps_per_period = 64;
+    cfg.periods_per_axis = 1;
+    cfg.settle_periods = 1;
+    return cfg;
+}
+
+std::vector<double> ring_headings(int n) {
+    std::vector<double> headings(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        headings[static_cast<std::size_t>(i)] = 360.0 * i / n;
+    }
+    return headings;
+}
+
+void expect_equal_measurements(const compass::Measurement& a,
+                               const compass::Measurement& b) {
+    EXPECT_EQ(a.count_x, b.count_x);
+    EXPECT_EQ(a.count_y, b.count_y);
+    EXPECT_EQ(a.heading_deg, b.heading_deg);
+    EXPECT_EQ(a.heading_float_deg, b.heading_float_deg);
+}
+
+}  // namespace
+
+TEST(IntrospectTest, ServerStandaloneServesHandlersAndRejectsUnknownRoutes) {
+    telemetry::IntrospectionHandlers handlers;
+    handlers.metrics = [] { return std::string("# TYPE x counter\nx 1\n"); };
+    handlers.healthz = [] { return std::string("ok\n"); };
+    handlers.trace = [] { return std::string(""); };
+
+    IntrospectionServer server(handlers);
+    util::TaskPool pool;
+    server.start(pool);
+    const int port = server.port();
+    ASSERT_GT(port, 0);
+    EXPECT_TRUE(server.running());
+
+    const std::string metrics = IntrospectionServer::http_get(port, "/metrics");
+    EXPECT_NE(metrics.find("200"), std::string::npos);
+    EXPECT_NE(IntrospectionServer::body_of(metrics).find("# TYPE x counter"),
+              std::string::npos);
+
+    EXPECT_NE(IntrospectionServer::http_get(port, "/nonsense").find("404"),
+              std::string::npos);
+    // No snapshot handler installed: the route exists but reports 404.
+    EXPECT_NE(IntrospectionServer::http_get(port, "/snapshot").find("404"),
+              std::string::npos);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // stop() is idempotent.
+    server.stop();
+}
+
+TEST(IntrospectTest, FleetEndpointsServeMetricsTraceHealthAndSnapshot) {
+    compass::CompassFleet fleet(4, small_config());
+    fleet.set_environments(site(), ring_headings(4));
+    const int port = fleet.start_introspection(
+        0, [&fleet] { return snapshot::snapshot_fleet(fleet); });
+    ASSERT_GT(port, 0);
+    EXPECT_TRUE(fleet.introspection_running());
+    EXPECT_EQ(fleet.introspection_port(), port);
+
+    static_cast<void>(fleet.measure_all());
+    // Replaying this snapshot must reproduce the *next* batch.
+    const std::string snap_body = IntrospectionServer::body_of(
+        IntrospectionServer::http_get(port, "/snapshot"));
+    const std::vector<compass::Measurement> expected = fleet.measure_all();
+
+    const std::string metrics = IntrospectionServer::body_of(
+        IntrospectionServer::http_get(port, "/metrics"));
+    EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+    EXPECT_NE(metrics.find("fxg_measurements_total"), std::string::npos);
+
+    const std::string health = IntrospectionServer::body_of(
+        IntrospectionServer::http_get(port, "/healthz"));
+    EXPECT_NE(health.find("ok"), std::string::npos);
+    EXPECT_NE(health.find("members 4"), std::string::npos);
+
+    const std::string trace = IntrospectionServer::body_of(
+        IntrospectionServer::http_get(port, "/trace"));
+    const telemetry::ParsedTrace parsed = telemetry::parse_trace_jsonl(trace);
+    EXPECT_GT(parsed.spans.size(), 0u);
+
+    // The served .fxgsnap restores a clone fleet that replays the
+    // reference batch bit for bit.
+    const std::vector<std::uint8_t> snap_bytes(snap_body.begin(), snap_body.end());
+    compass::CompassFleet clone(4, small_config());
+    clone.set_environments(site(), ring_headings(4));
+    snapshot::restore_fleet(snap_bytes, clone);
+    const std::vector<compass::Measurement> replayed = clone.measure_all();
+    ASSERT_EQ(replayed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        expect_equal_measurements(replayed[i], expected[i]);
+    }
+
+    fleet.stop_introspection();
+    EXPECT_FALSE(fleet.introspection_running());
+    EXPECT_EQ(fleet.introspection_port(), 0);
+}
+
+TEST(IntrospectTest, DoubleStartRefusedAndRestartWorks) {
+    compass::CompassFleet fleet(2, small_config());
+    const int port = fleet.start_introspection();
+    ASSERT_GT(port, 0);
+    EXPECT_THROW(static_cast<void>(fleet.start_introspection()),
+                 std::logic_error);
+    fleet.stop_introspection();
+    const int port2 = fleet.start_introspection();
+    ASSERT_GT(port2, 0);
+    fleet.stop_introspection();
+}
+
+TEST(IntrospectTest, EndpointsStayLiveWhileTheFleetIsMeasuring) {
+    // Acceptance criterion: live GET /metrics and /healthz while a
+    // measurement loop runs on the fleet's own pool.
+    compass::CompassFleet fleet(8, small_config());
+    fleet.set_environments(site(), ring_headings(8));
+    const int port = fleet.start_introspection();
+    ASSERT_GT(port, 0);
+
+    std::atomic<bool> stop{false};
+    std::thread measurer([&fleet, &stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            static_cast<void>(fleet.measure_all(2));
+        }
+    });
+
+    int saw_measuring = 0;
+    for (int i = 0; i < 25; ++i) {
+        const std::string metrics = IntrospectionServer::http_get(port, "/metrics");
+        EXPECT_NE(metrics.find("200"), std::string::npos) << "GET " << i;
+        const std::string health = IntrospectionServer::http_get(port, "/healthz");
+        EXPECT_NE(health.find("200"), std::string::npos) << "GET " << i;
+        if (IntrospectionServer::body_of(health).find("measuring 1") !=
+            std::string::npos) {
+            ++saw_measuring;
+        }
+        const std::string trace = IntrospectionServer::http_get(port, "/trace");
+        EXPECT_NE(trace.find("200"), std::string::npos) << "GET " << i;
+        EXPECT_NO_THROW(static_cast<void>(
+            telemetry::parse_trace_jsonl(IntrospectionServer::body_of(trace))));
+    }
+
+    stop.store(true, std::memory_order_relaxed);
+    measurer.join();
+    fleet.stop_introspection();
+
+    // Not asserted (timing), but usually the health text catches the
+    // fleet mid-batch at least once; log when it never did.
+    if (saw_measuring == 0) {
+        std::puts("note: /healthz never observed an in-flight batch");
+    }
+}

@@ -442,4 +442,155 @@ TEST(TeeSink, FansOutToAllChildrenWithIdMapping) {
     }
 }
 
+// ------------------------------------------------------------ quantiles
+
+TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+    telemetry::MetricsRegistry registry;
+    auto& h = registry.histogram("empty", {1.0, 2.0}, "s");
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Metrics, QuantileWithAllMassInOneBucketInterpolatesWithinIt) {
+    telemetry::MetricsRegistry registry;
+    auto& h = registry.histogram("one_bucket", {1.0, 2.0, 4.0}, "s");
+    for (int i = 0; i < 10; ++i) h.observe(1.5);  // all in (1, 2]
+
+    // Every quantile lands inside the (1, 2] bucket, linearly.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+    EXPECT_GT(h.quantile(0.1), 1.0);
+    EXPECT_LT(h.quantile(0.1), 1.5);
+    // Out-of-range q is clamped, not UB.
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(Metrics, QuantileInOverflowBucketReturnsLastFiniteEdge) {
+    telemetry::MetricsRegistry registry;
+    auto& h = registry.histogram("overflow", {1.0, 2.0}, "s");
+    h.observe(0.5);
+    for (int i = 0; i < 9; ++i) h.observe(100.0);  // 90% beyond the last edge
+
+    // The overflow bucket has no upper edge to interpolate toward: the
+    // honest answer is the last finite bound.
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+    // ...while the finite mass below still resolves normally.
+    EXPECT_LE(h.quantile(0.05), 1.0);
+}
+
+TEST(Metrics, QuantileHitsExactBucketBoundaries) {
+    telemetry::MetricsRegistry registry;
+    auto& h = registry.histogram("edges", {1.0, 2.0, 4.0}, "s");
+    h.observe(0.5);  // bucket 0: (min(0,1), 1]
+    h.observe(1.5);  // bucket 1: (1, 2]
+    h.observe(3.0);  // bucket 2: (2, 4]
+    h.observe(9.0);  // overflow
+
+    // q = k/4 exhausts exactly k observations: the cumulative count
+    // meets the target right at each bucket's upper edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    // The first bucket's lower edge is min(0, bounds[0]) = 0.
+    EXPECT_GT(h.quantile(0.125), 0.0);
+    EXPECT_LT(h.quantile(0.125), 1.0);
+}
+
+// ---------------------------------------------------- malformed JSONL
+
+TEST(Exporters, ParserNamesTheOffendingLine) {
+    const std::string good =
+        "{\"type\":\"event\",\"parent\":0,\"name\":\"ok\",\"t_ns\":1,"
+        "\"seq\":1,\"value\":2}";
+
+    const auto line_of = [](const std::string& text) -> std::size_t {
+        try {
+            static_cast<void>(telemetry::parse_trace_jsonl(text));
+        } catch (const telemetry::TraceParseError& e) {
+            return e.line();
+        }
+        return 0;  // no throw
+    };
+
+    // Truncated record (no closing brace) on line 2.
+    EXPECT_EQ(line_of(good + "\n{\"type\":\"event\",\"name\":\"x"), 2u);
+    // Not a JSON object at all.
+    EXPECT_EQ(line_of("hello world\n"), 1u);
+    // Missing a required field.
+    EXPECT_EQ(line_of(good + "\n{\"type\":\"event\",\"name\":\"x\"}"), 2u);
+    // Garbage where a number belongs.
+    EXPECT_EQ(line_of("{\"type\":\"event\",\"parent\":0,\"name\":\"x\","
+                      "\"t_ns\":banana,\"seq\":1,\"value\":2}"),
+              1u);
+    // Unterminated string value (every other field is well-formed).
+    EXPECT_EQ(line_of("{\"type\":\"span\",\"id\":1,\"parent\":0,"
+                      "\"ch\":-1,\"start_ns\":1,\"end_ns\":2,"
+                      "\"seq\":1,\"value\":0,\"name\":\"oops}"),
+              1u);
+    // Unknown record type.
+    EXPECT_EQ(line_of("{\"type\":\"widget\",\"name\":\"x\"}"), 1u);
+
+    // The error text carries the line number for humans too.
+    try {
+        static_cast<void>(telemetry::parse_trace_jsonl(good + "\nnope"));
+        FAIL() << "expected TraceParseError";
+    } catch (const telemetry::TraceParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+
+    // And the good line alone still parses.
+    EXPECT_NO_THROW(static_cast<void>(telemetry::parse_trace_jsonl(good)));
+}
+
+// ------------------------------------------------------- bench records
+
+TEST(Exporters, BenchJsonRoundTripsAndCarriesQuantiles) {
+    telemetry::MetricsRegistry registry;
+    registry.counter("fxg_measurements_total").inc(5);
+    registry.gauge("fxg_heading_deg").set(123.5);
+    auto& h = registry.histogram("fxg_stage_settle_seconds", {1.0, 2.0, 4.0}, "s");
+    for (const double x : {0.5, 1.5, 3.0, 9.0}) h.observe(x);
+
+    const std::vector<telemetry::BenchRecord> records =
+        telemetry::bench_json_records(registry);
+    const auto find = [&](const std::string& name) -> const telemetry::BenchRecord* {
+        for (const auto& r : records) {
+            if (r.name == name) return &r;
+        }
+        return nullptr;
+    };
+    // Histograms flatten to _count/_sum/_mean plus the sentry quantiles.
+    for (const char* suffix : {"_count", "_sum", "_mean", "_p50", "_p99", "_p999"}) {
+        EXPECT_NE(find(std::string("fxg_stage_settle_seconds") + suffix), nullptr)
+            << suffix;
+    }
+    EXPECT_DOUBLE_EQ(find("fxg_stage_settle_seconds_p50")->value, h.quantile(0.5));
+
+    // Text → records → text is lossless (the bench_diff contract).
+    const std::string text = telemetry::bench_json_text(records);
+    const std::vector<telemetry::BenchRecord> reparsed =
+        telemetry::parse_bench_json(text);
+    ASSERT_EQ(reparsed.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(reparsed[i].name, records[i].name);
+        EXPECT_DOUBLE_EQ(reparsed[i].value, records[i].value);
+        EXPECT_EQ(reparsed[i].unit, records[i].unit);
+        EXPECT_EQ(reparsed[i].text, records[i].text);
+    }
+
+    // Malformed bench JSON names its line.
+    try {
+        static_cast<void>(telemetry::parse_bench_json("[\n{\"name\": 12}\n]\n"));
+        FAIL() << "expected a parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+            << e.what();
+    }
+}
+
 }  // namespace
