@@ -19,8 +19,13 @@
 /// one (CI's soak-kill-resume job does exactly that).
 ///
 ///   bench_fuzz_soak [--cases=N] [--seed=S] [--threads=T]
-///                   [--checkpoint-every=N] [--checkpoint=path]
-///                   [--resume-from=path]
+///                   [--oracle=name] [--checkpoint-every=N]
+///                   [--checkpoint=path] [--resume-from=path]
+///
+/// --oracle pins every case to one oracle (e.g. --oracle=scenario or
+/// the exact enum name ScenarioDeterminism) instead of round-robining
+/// over all of them — CI's scenario leg soaks the time-varying
+/// environment path this way.
 
 #include <algorithm>
 #include <cstdio>
@@ -166,6 +171,34 @@ bool write_checkpoint(const std::string& path, const SoakProgress& p) {
     return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
+/// Maps an --oracle flag value to the forced oracle: the exact enum
+/// name (as printed by verify::to_string) or a lowercase shorthand
+/// ("parity", "plan", "cordic", "counter", "telemetry", "snapshot",
+/// "scenario"). Returns nullopt for "all"/"" and exits on a bad name.
+std::optional<verify::Oracle> parse_oracle(const char* name) {
+    if (name == nullptr || *name == '\0' || std::strcmp(name, "all") == 0) {
+        return std::nullopt;
+    }
+    static constexpr std::pair<const char*, verify::Oracle> kShorthand[] = {
+        {"parity", verify::Oracle::EngineParity},
+        {"plan", verify::Oracle::PlanRewrite},
+        {"cordic", verify::Oracle::CordicAtan},
+        {"counter", verify::Oracle::CounterWidth},
+        {"telemetry", verify::Oracle::TelemetryIdentity},
+        {"snapshot", verify::Oracle::SnapshotRoundTrip},
+        {"scenario", verify::Oracle::ScenarioDeterminism},
+    };
+    for (const auto& [key, oracle] : kShorthand) {
+        if (std::strcmp(name, key) == 0) return oracle;
+    }
+    for (int i = 0; i < verify::kOracleCount; ++i) {
+        const auto oracle = static_cast<verify::Oracle>(i);
+        if (std::strcmp(name, verify::to_string(oracle)) == 0) return oracle;
+    }
+    std::fprintf(stderr, "unknown --oracle=%s (try scenario, parity, ...)\n", name);
+    std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +212,8 @@ int main(int argc, char** argv) {
     const std::string checkpoint_path =
         flag_str(argc, argv, "--checkpoint", "fuzz_soak.fxgsnap");
     const char* resume_from = flag_str(argc, argv, "--resume-from", nullptr);
+    const std::optional<verify::Oracle> force =
+        parse_oracle(flag_str(argc, argv, "--oracle", nullptr));
 
     SoakProgress progress;
     progress.seed = seed;
@@ -216,10 +251,12 @@ int main(int argc, char** argv) {
     // The EngineParity oracle diffs the SoA lane engine against the
     // scalar reference in every case, so each soak also exercises the
     // active SIMD backend — say which one this run covered.
-    std::printf("fuzz soak: seed=%llu cases=%llu threads=%d simd=%s (%d lanes)\n",
-                static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(cases), threads,
-                util::simd::backend_name(), util::simd::kLanes);
+    std::printf(
+        "fuzz soak: seed=%llu cases=%llu threads=%d oracle=%s simd=%s (%d lanes)\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(cases), threads,
+        force ? verify::to_string(*force) : "all", util::simd::backend_name(),
+        util::simd::kLanes);
 
     const std::uint64_t first_index = progress.next_index;
     const auto t0 = telemetry::Clock::now();
@@ -228,7 +265,7 @@ int main(int argc, char** argv) {
         const std::uint64_t n =
             checkpoint_every > 0 ? std::min(checkpoint_every, remaining) : remaining;
         const verify::ChunkResult chunk =
-            verify::run_chunk(seed, progress.next_index, n, threads);
+            verify::run_chunk(seed, progress.next_index, n, threads, force);
         for (std::uint64_t i = 0; i < n; ++i) {
             fold_case(progress.digest, progress.next_index + i,
                       chunk.ok[static_cast<std::size_t>(i)] != 0);
@@ -266,7 +303,7 @@ int main(int argc, char** argv) {
         // Cases are pure functions of (seed, index): regenerate for the
         // shrinker instead of serializing the whole case.
         const verify::FuzzCase shrunk =
-            verify::shrink_case(verify::generate_case(seed, index));
+            verify::shrink_case(verify::generate_case(seed, index, force));
         std::printf("  shrunk repro: %s\n", shrunk.to_literal().c_str());
     }
 

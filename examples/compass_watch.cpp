@@ -11,6 +11,7 @@
 /// queries `curl` would issue against a long-running fleet.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/compass_fleet.hpp"
 #include "digital/display.hpp"
 #include "magnetics/earth_field.hpp"
+#include "magnetics/scenario.hpp"
 #include "magnetics/units.hpp"
 #include "snapshot/state.hpp"
 #include "telemetry/introspect.hpp"
@@ -36,6 +38,41 @@ std::string head_lines(const std::string& text, int n) {
         if (pos != std::string::npos) ++pos;
     }
     return pos == std::string::npos ? text : text.substr(0, pos);
+}
+
+// --scenario: instead of teleporting the heading between cardinal
+// points, the wearer's slow full turn is described declaratively as a
+// magnetics::Scenario, compiled onto the watch's sample grid and
+// installed as its FieldSource; ground truth per fix comes from the
+// compiled scenario itself.
+void demo_scenario_turn(fxg::compass::Compass& watch,
+                        const fxg::magnetics::EarthField& field) {
+    using namespace fxg;
+
+    const std::uint64_t steps = watch.plan().total_steps();
+    const double dt_s = watch.plan().dt_s;
+    const double tick_s = static_cast<double>(steps) * dt_s;
+    constexpr int kFixes = 12;
+
+    magnetics::Scenario scn;
+    scn.label = "slow turn on the spot";
+    scn.field = field;
+    scn.initial_heading_deg = 15.0;
+    scn.turn(360.0 / (kFixes * tick_s), kFixes * tick_s);
+    const auto src = magnetics::compile_scenario(scn, dt_s);
+    watch.set_field_source(src);
+
+    std::puts("[compass mode]  one slow turn on the spot (scenario-driven):");
+    for (int fix = 0; fix < kFixes; ++fix) {
+        const std::uint64_t begin =
+            watch.front_end().save_window_state().sample_index;
+        const compass::Measurement m = watch.measure();
+        const double truth = src->true_heading_deg(begin + steps / 2);
+        std::printf("true %6.1f deg -> LCD reads %s (%s)\n", truth,
+                    watch.display().text().c_str(),
+                    digital::DisplayDriver::cardinal_name(m.heading_deg));
+    }
+    show("", watch.display());
 }
 
 void demo_introspection(const fxg::magnetics::EarthField& field) {
@@ -75,8 +112,18 @@ void demo_introspection(const fxg::magnetics::EarthField& field) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace fxg;
+
+    bool use_scenario = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scenario") == 0) {
+            use_scenario = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--scenario]\n", argv[0]);
+            return 2;
+        }
+    }
 
     const magnetics::EarthField field(magnetics::microtesla(48.0), 67.0);
     compass::Compass watch;
@@ -92,14 +139,18 @@ int main() {
     show("[time mode]  19 minutes later", watch.display());
 
     // Switch to compass mode and turn on the spot.
-    std::puts("[compass mode]  turning on the spot:");
-    for (double heading : {0.0, 90.0, 180.0, 270.0}) {
-        watch.set_environment(field, heading);
-        const compass::Measurement m = watch.measure();
-        std::printf("facing %5.1f deg -> LCD reads %s (%s)\n", heading,
-                    watch.display().text().c_str(),
-                    digital::DisplayDriver::cardinal_name(m.heading_deg));
-        show("", watch.display());
+    if (use_scenario) {
+        demo_scenario_turn(watch, field);
+    } else {
+        std::puts("[compass mode]  turning on the spot:");
+        for (double heading : {0.0, 90.0, 180.0, 270.0}) {
+            watch.set_environment(field, heading);
+            const compass::Measurement m = watch.measure();
+            std::printf("facing %5.1f deg -> LCD reads %s (%s)\n", heading,
+                        watch.display().text().c_str(),
+                        digital::DisplayDriver::cardinal_name(m.heading_deg));
+            show("", watch.display());
+        }
     }
 
     std::printf("watch time after the session: %02d:%02d:%02d (%llu midnight "

@@ -16,6 +16,7 @@ void FrontEndBlock::resize(int n) {
 sensor::FluxgateParams FrontEnd::y_params(const FrontEndConfig& config) {
     sensor::FluxgateParams p = config.sensor;
     p.n_excitation *= (1.0 + config.sensor_mismatch);
+    p.sens_temp_coeff_per_c += config.sensor_temp_mismatch_per_c;
     p.label += " (y)";
     return p;
 }
@@ -53,6 +54,21 @@ double FrontEnd::noise_sample(double dt_s) {
 
 void FrontEnd::set_field(Channel channel, double h_a_per_m) {
     sensors_[static_cast<std::size_t>(channel)].set_external_field(h_a_per_m);
+}
+
+void FrontEnd::apply_field_tick(const magnetics::FieldTick& tick) {
+    sensors_[0].set_external_field(tick.hx_a_per_m);
+    sensors_[1].set_external_field(tick.hy_a_per_m);
+    sensors_[0].set_temperature(tick.temp_c);
+    sensors_[1].set_temperature(tick.temp_c);
+    ambient_temp_c_ = tick.temp_c;
+}
+
+void FrontEnd::set_field_source(std::shared_ptr<const magnetics::FieldSource> source) {
+    field_source_ = std::move(source);
+    if (field_source_ != nullptr) {
+        apply_field_tick(field_source_->field_at(sample_index_));
+    }
 }
 
 void FrontEnd::select(Channel channel) {
@@ -128,6 +144,12 @@ struct ScalarSampleBytes {
 }  // namespace
 
 FrontEndSample FrontEnd::step(double dt_s) {
+    // The environment is applied before the sample it belongs to, and
+    // regardless of power gating — the field is still there when the
+    // analogue section is off.
+    if (field_source_ != nullptr) {
+        apply_field_tick(field_source_->field_at(sample_index_));
+    }
     FrontEndSample sample;
     if (!enabled_) {
         // Gated off: keep sensors relaxed, report leakage only.
@@ -210,13 +232,42 @@ void FrontEnd::add_noise_block_pair(double dt_s, int n, double* vx, double* vy) 
 void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
     out.resize(n);
     if (n <= 0) return;
+    if (field_source_ == nullptr) {
+        step_block_run(dt_s, n, out, 0);
+        return;
+    }
+    // Chunk the block at the source's constancy boundaries: inside a
+    // run the environment is constant, so the historic hoisted fast
+    // path applies verbatim (bit-identical to per-sample stepping by
+    // the step_block == n x step contract). A ConstantFieldSource
+    // answers kForever and the whole block is one run; a continuously
+    // varying source degenerates to per-sample runs.
+    int done = 0;
+    while (done < n) {
+        magnetics::FieldTick tick;
+        const std::uint64_t end = field_source_->constant_until(sample_index_, &tick);
+        apply_field_tick(tick);
+        const auto remaining = static_cast<std::uint64_t>(n - done);
+        const std::uint64_t span = end > sample_index_ ? end - sample_index_ : 1;
+        const int run = static_cast<int>(std::min(remaining, span));
+        step_block_run(dt_s, run, out, done);
+        done += run;
+    }
+}
+
+void FrontEnd::step_block_run(double dt_s, int n, FrontEndBlock& out, int offset) {
+    if (n <= 0) return;
+    std::uint8_t* det[2] = {out.detector[0].data() + offset,
+                            out.detector[1].data() + offset};
+    std::uint8_t* valid[2] = {out.valid[0].data() + offset,
+                              out.valid[1].data() + offset};
+    double* power = out.power_w.data() + offset;
     if (!enabled_) {
         // Gated off: sensors relax at zero drive, leakage power only.
         for (auto& s : sensors_) s.step_block_constant(0.0, dt_s, n);
         const double leak = momentary_power_w(0.0);
-        std::fill(out.power_w.begin(), out.power_w.end(), leak);
-        finish_samples(n, out.detector[0].data(), out.detector[1].data(),
-                       out.valid[0].data(), out.valid[1].data());
+        std::fill_n(power, n, leak);
+        finish_samples(n, det[0], det[1], valid[0], valid[1]);
         return;
     }
     blk_i_.resize(static_cast<std::size_t>(n));
@@ -228,11 +279,11 @@ void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
     if (config_.mode == FrontEndMode::Multiplexed) {
         const auto active = static_cast<std::size_t>(mux_.selected());
         const auto idle = 1 - active;
-        mux_.step_block(dt_s, n, out.valid[active].data());
+        mux_.step_block(dt_s, n, valid[active]);
         sensors_[active].step_block(blk_i_.data(), dt_s, n, blk_v_.data());
         add_noise_block(dt_s, n, blk_v_.data());
         sensors_[idle].step_block_constant(0.0, dt_s, n);
-        detectors_[active].step_block(blk_v_.data(), n, out.detector[active].data());
+        detectors_[active].step_block(blk_v_.data(), n, det[active]);
     } else {
         blk_iy_.resize(static_cast<std::size_t>(n));
         blk_vy_.resize(static_cast<std::size_t>(n));
@@ -241,10 +292,10 @@ void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
         sensors_[0].step_block(blk_i_.data(), dt_s, n, blk_v_.data());
         sensors_[1].step_block(blk_iy_.data(), dt_s, n, blk_vy_.data());
         add_noise_block_pair(dt_s, n, blk_v_.data(), blk_vy_.data());
-        detectors_[0].step_block(blk_v_.data(), n, out.detector[0].data());
-        detectors_[1].step_block(blk_vy_.data(), n, out.detector[1].data());
-        std::fill(out.valid[0].begin(), out.valid[0].end(), std::uint8_t{1});
-        std::fill(out.valid[1].begin(), out.valid[1].end(), std::uint8_t{1});
+        detectors_[0].step_block(blk_v_.data(), n, det[0]);
+        detectors_[1].step_block(blk_vy_.data(), n, det[1]);
+        std::fill_n(valid[0], n, std::uint8_t{1});
+        std::fill_n(valid[1], n, std::uint8_t{1});
     }
 
     // Supply power, same grouping as momentary_power_w().
@@ -255,11 +306,10 @@ void FrontEnd::step_block(double dt_s, int n, FrontEndBlock& out) {
     const double* i_drive = blk_i_.data();
     for (int k = 0; k < n; ++k) {
         const double drive = std::fabs(i_drive[k]) * instances;
-        out.power_w[k] = (bias + drive) * supply;
+        power[k] = (bias + drive) * supply;
     }
 
-    finish_samples(n, out.detector[0].data(), out.detector[1].data(),
-                   out.valid[0].data(), out.valid[1].data());
+    finish_samples(n, det[0], det[1], valid[0], valid[1]);
 }
 
 void FrontEnd::reset() {
@@ -277,6 +327,11 @@ void FrontEnd::reset() {
         mux_.select(mux_stuck_channel_);
     }
     reset_window();
+    // Re-apply the environment at the (un-rewound) playhead so
+    // external_field() readers see current values before the next step.
+    if (field_source_ != nullptr) {
+        apply_field_tick(field_source_->field_at(sample_index_));
+    }
 }
 
 }  // namespace fxg::analog

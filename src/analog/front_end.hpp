@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analog/detector.hpp"
@@ -16,6 +17,7 @@
 #include "analog/noise.hpp"
 #include "analog/oscillator.hpp"
 #include "analog/vi_converter.hpp"
+#include "magnetics/field_source.hpp"
 #include "sensor/fluxgate.hpp"
 
 namespace fxg::analog {
@@ -44,6 +46,13 @@ struct FrontEndConfig {
     /// Fractional mismatch applied to the Y sensor's excitation winding
     /// (models sensor-to-sensor process spread).
     double sensor_mismatch = 0.0;
+
+    /// Additional sensitivity temperature coefficient on the Y sensor
+    /// only [1/degC] (die-to-die spread of the scale-factor tempco).
+    /// The x/y asymmetry is what turns ambient temperature drift into a
+    /// heading error; the calibration layer's TempCompensation
+    /// polynomial exists to cancel it. Default 0 — no drift.
+    double sensor_temp_mismatch_per_c = 0.0;
 
     /// Pickup-referred noise (RMS volts), band-limited: the pickup coil
     /// plus comparator input pole filter thermal noise to roughly the
@@ -158,8 +167,41 @@ class FrontEnd {
 public:
     explicit FrontEnd(const FrontEndConfig& config = {});
 
-    /// Sets the external axial field on a sensor [A/m].
+    /// Sets the external axial field on a sensor [A/m]. With a field
+    /// source installed this only holds until the next sample, which
+    /// re-applies the source's tick — prefer set_field_source().
     void set_field(Channel channel, double h_a_per_m);
+
+    // --- Time-varying environment seam (magnetics/field_source.hpp) ---
+
+    /// Installs a per-tick environment provider (nullptr detaches and
+    /// freezes the environment at its last applied values). The source
+    /// is queried at the FrontEnd's monotone sample index — the
+    /// scenario playhead — and its tick is applied to both sensors
+    /// before each sample on every engine path (scalar, block, lanes).
+    /// The current tick is applied immediately on installation so
+    /// external_field() readers (range checks, lane gathers) see it.
+    void set_field_source(std::shared_ptr<const magnetics::FieldSource> source);
+
+    [[nodiscard]] const magnetics::FieldSource* field_source() const noexcept {
+        return field_source_.get();
+    }
+    [[nodiscard]] std::shared_ptr<const magnetics::FieldSource> field_source_ptr()
+        const noexcept {
+        return field_source_;
+    }
+
+    /// Applies one environment tick to both sensors (axial fields and
+    /// core temperature). The lane engine calls this from gather and
+    /// scatter so its members track the same environment the scalar
+    /// path would have applied.
+    void apply_field_tick(const magnetics::FieldTick& tick);
+
+    /// Ambient temperature of the last applied environment tick [deg C]
+    /// (25 when no temperature was ever applied). The calibration
+    /// layer's temperature compensation reads this at the end of a
+    /// count window.
+    [[nodiscard]] double ambient_temp_c() const noexcept { return ambient_temp_c_; }
 
     /// Routes the excitation to a channel (multiplexed mode only; the
     /// call is accepted but ignored in simultaneous mode).
@@ -327,6 +369,8 @@ private:
     NoiseSource pickup_noise_;
     double noise_state_ = 0.0;  ///< one-pole noise-shaping filter state
     bool enabled_ = true;
+    std::shared_ptr<const magnetics::FieldSource> field_source_;
+    double ambient_temp_c_ = 25.0;      ///< last applied tick's temperature
     SampleTap* tap_ = nullptr;          ///< non-owning stream hook
     std::uint64_t sample_index_ = 0;    ///< samples emitted (monotone)
     bool mux_stuck_ = false;            ///< select() frozen by a fault
@@ -350,6 +394,13 @@ private:
     /// Simultaneous-mode variant: per sample adds one noise draw to
     /// vx[k] then one to vy[k], matching the scalar interleaving.
     void add_noise_block_pair(double dt_s, int n, double* vx, double* vy);
+
+    /// One run of block samples under the already-applied environment,
+    /// writing outputs at `offset` into pre-sized buffers. step_block()
+    /// chunks a block into runs at the field source's constancy
+    /// boundaries and calls this per run; without a source the whole
+    /// block is one run, which is the historic (bit-identical) path.
+    void step_block_run(double dt_s, int n, FrontEndBlock& out, int offset);
 
     /// Runs the sample tap (if attached) over a block of emitted
     /// streams, advances the sample index and folds the (post-tap)

@@ -1,8 +1,11 @@
 #include "core/calibration.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <memory>
 #include <stdexcept>
 
+#include "magnetics/field_source.hpp"
 #include "spice/matrix.hpp"
 
 namespace fxg::compass {
@@ -106,6 +109,93 @@ CountCalibration calibrate_soft_iron(Compass& compass,
     cal.scale_y = fit.radius_x / fit.radius_y;
     compass.set_calibration(cal);
     return cal;
+}
+
+TempCompensation fit_temp_compensation(Compass& compass,
+                                       const magnetics::EarthField& field,
+                                       const std::vector<double>& temps_c,
+                                       int degree, double t_ref_c) {
+    if (degree < 1) {
+        throw std::invalid_argument("fit_temp_compensation: degree >= 1");
+    }
+    if (temps_c.size() < static_cast<std::size_t>(degree) + 1) {
+        throw std::invalid_argument(
+            "fit_temp_compensation: need at least degree + 1 sweep temperatures");
+    }
+
+    // Collect the raw gain ratio with any previous temperature
+    // compensation switched off (offsets and scale_y stay active; being
+    // temperature-independent they cancel out of the normalised fit).
+    CountCalibration cal = compass.calibration();
+    cal.temp = {};
+    compass.set_calibration(cal);
+
+    const magnetics::HorizontalField fx = field.at_heading(0.0);
+    const magnetics::HorizontalField fy = field.at_heading(90.0);
+    std::vector<double> ratio;
+    ratio.reserve(temps_c.size());
+    for (const double t : temps_c) {
+        compass.set_field_source(std::make_shared<magnetics::ConstantFieldSource>(
+            fx.hx_a_per_m, fx.hy_a_per_m, t));
+        const Measurement mx = compass.measure();
+        compass.set_field_source(std::make_shared<magnetics::ConstantFieldSource>(
+            fy.hx_a_per_m, fy.hy_a_per_m, t));
+        const Measurement my = compass.measure();
+        const double cy = std::fabs(static_cast<double>(my.count_y));
+        if (!(cy > 0.0) || mx.count_x <= 0) {
+            throw std::invalid_argument(
+                "fit_temp_compensation: degenerate counts (field too weak "
+                "or sensors saturated at a sweep temperature)");
+        }
+        ratio.push_back(static_cast<double>(mx.count_x) / cy);
+    }
+
+    // Least-squares polynomial r(T) ~ sum c_j (T - t_ref)^j via the
+    // (degree+1)^2 normal equations.
+    const int terms = degree + 1;
+    spice::DenseMatrix m(static_cast<std::size_t>(terms),
+                         static_cast<std::size_t>(terms));
+    std::vector<double> rhs(static_cast<std::size_t>(terms), 0.0);
+    std::vector<double> pow_u(static_cast<std::size_t>(terms), 1.0);
+    for (std::size_t k = 0; k < temps_c.size(); ++k) {
+        const double u = temps_c[k] - t_ref_c;
+        pow_u[0] = 1.0;
+        for (int j = 1; j < terms; ++j) pow_u[static_cast<std::size_t>(j)] =
+            pow_u[static_cast<std::size_t>(j - 1)] * u;
+        for (int i = 0; i < terms; ++i) {
+            for (int j = 0; j < terms; ++j) {
+                m(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
+                    pow_u[static_cast<std::size_t>(i)] *
+                    pow_u[static_cast<std::size_t>(j)];
+            }
+            rhs[static_cast<std::size_t>(i)] +=
+                pow_u[static_cast<std::size_t>(i)] * ratio[k];
+        }
+    }
+    std::vector<double> c;
+    try {
+        c = spice::lu_solve(m, rhs);
+    } catch (const spice::SingularMatrixError&) {
+        throw std::invalid_argument(
+            "fit_temp_compensation: sweep temperatures are degenerate");
+    }
+    if (!(std::fabs(c[0]) > 0.0)) {
+        throw std::invalid_argument(
+            "fit_temp_compensation: fitted ratio vanishes at t_ref");
+    }
+
+    // Normalise to gain(t_ref) = 1 so the compensation composes with the
+    // existing (t_ref-era) scale_y: gain(T) = r(T) / r(t_ref).
+    TempCompensation comp;
+    comp.t_ref_c = t_ref_c;
+    comp.coeff.resize(static_cast<std::size_t>(terms));
+    for (int j = 0; j < terms; ++j) {
+        comp.coeff[static_cast<std::size_t>(j)] =
+            c[static_cast<std::size_t>(j)] / c[0];
+    }
+    cal.temp = comp;
+    compass.set_calibration(cal);
+    return comp;
 }
 
 CountCalibration calibrate_hard_iron(Compass& compass,

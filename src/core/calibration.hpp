@@ -61,4 +61,24 @@ CountCalibration calibrate_soft_iron(Compass& compass,
                                      const magnetics::EarthField& field,
                                      int points = 16);
 
+/// Temperature-sweep calibration of the x/y sensitivity mismatch.
+///
+/// The pulse-position readout rejects Ms/Hk drift almost completely
+/// (the pulse centres sit at H_core = 0 regardless of the knee), but a
+/// *sensitivity* temperature coefficient that differs between the two
+/// sensors bends the count-gain ratio — and therefore the heading —
+/// with ambient temperature. This routine measures that ratio directly:
+/// at each sweep temperature it holds the compass at heading 0 (pure x
+/// response) and heading 90 (pure y response) via a ConstantFieldSource
+/// carrying the temperature, forms r(T) = count_x / |count_y|, fits a
+/// least-squares polynomial of the given degree in (T - t_ref_c), and
+/// normalises it so gain(t_ref_c) = 1. The result is installed into the
+/// compass's current calibration (offsets and scale_y untouched) and
+/// returned. Needs at least degree + 1 sweep temperatures.
+TempCompensation fit_temp_compensation(Compass& compass,
+                                       const magnetics::EarthField& field,
+                                       const std::vector<double>& temps_c,
+                                       int degree = 2,
+                                       double t_ref_c = 25.0);
+
 }  // namespace fxg::compass

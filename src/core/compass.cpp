@@ -43,8 +43,19 @@ void Compass::set_environment(const magnetics::EarthField& field, double heading
 }
 
 void Compass::set_axis_fields(double hx_a_per_m, double hy_a_per_m) {
-    front_end_.set_field(analog::Channel::X, hx_a_per_m);
-    front_end_.set_field(analog::Channel::Y, hy_a_per_m);
+    // Sugar for a constant environment (see the header's naming note).
+    // Installing a source rather than poking the sensors keeps every
+    // caller — tests, benches, sweeps — on the FieldSource seam.
+    front_end_.set_field_source(
+        magnetics::make_constant_field(hx_a_per_m, hy_a_per_m));
+}
+
+void Compass::set_field_source(std::shared_ptr<const magnetics::FieldSource> source) {
+    front_end_.set_field_source(std::move(source));
+}
+
+const magnetics::FieldSource* Compass::field_source() const noexcept {
+    return front_end_.field_source();
 }
 
 Measurement Compass::measure() {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "analog/front_end.hpp"
 #include "core/plan.hpp"
@@ -71,14 +72,43 @@ struct CompassConfig {
     sim::EngineKind engine = sim::EngineKind::Block;
 };
 
+/// Polynomial temperature compensation of the y-axis count gain
+/// (core/calibration's fit_temp_compensation produces one). The x/y
+/// sensitivity-tempco mismatch makes the count-gain ratio drift with
+/// ambient temperature; multiplying the calibrated y scale by
+///   gain(T) = c0 + c1 (T - Tref) + c2 (T - Tref)^2 + ...
+/// restores the ratio the arctan needs. An empty coefficient list means
+/// disabled — the count path is then bit-identical to the
+/// pre-temperature calibration. Like the field source itself this is
+/// configuration, not evolving state: it is not serialized in
+/// snapshots and must be reinstalled on a restored compass.
+struct TempCompensation {
+    double t_ref_c = 25.0;
+    std::vector<double> coeff;  ///< gain polynomial in (T - Tref); empty = off
+
+    [[nodiscard]] bool enabled() const noexcept { return !coeff.empty(); }
+
+    /// Horner evaluation of the gain polynomial at temp_c.
+    [[nodiscard]] double gain_at(double temp_c) const noexcept {
+        if (coeff.empty()) return 1.0;
+        const double dt = temp_c - t_ref_c;
+        double g = coeff.back();
+        for (std::size_t i = coeff.size() - 1; i-- > 0;) g = g * dt + coeff[i];
+        return g;
+    }
+};
+
 /// Count-domain calibration applied to the raw counter values:
 /// hard-iron offsets plus a soft-iron gain correction that rescales the
 /// y axis so the count locus becomes a centred circle before the
-/// arctan (see calibration.hpp for the fitting routines).
+/// arctan (see calibration.hpp for the fitting routines), optionally
+/// modulated by a temperature-compensation polynomial evaluated at the
+/// front end's ambient temperature.
 struct CountCalibration {
     std::int64_t offset_x = 0;
     std::int64_t offset_y = 0;
     double scale_y = 1.0;  ///< multiplies (count_y - offset_y)
+    TempCompensation temp;  ///< optional temperature gain compensation
 };
 
 // struct Measurement lives in core/plan.hpp (included above): the plan
@@ -98,11 +128,32 @@ public:
             std::shared_ptr<const MeasurementPlan> plan);
 
     /// Places the compass in an earth field at a physical heading [deg].
+    /// Sugar for set_field_source(ConstantFieldSource) — see
+    /// set_axis_fields for the naming note.
     void set_environment(const magnetics::EarthField& field, double heading_deg);
 
     /// Directly sets the two sensor-axis field components [A/m]
     /// (for tests that bypass the EarthField geometry).
+    ///
+    /// \deprecated Naming predates the time-varying environment layer:
+    /// despite the imperative name this no longer pokes scalar fields
+    /// into the sensors — it installs a ConstantFieldSource, i.e. it is
+    /// sugar for set_field_source(make_constant_field(hx, hy)). Behaviour
+    /// is bit-identical to the historic direct path on every engine. New
+    /// code that means "constant environment" can keep calling it; code
+    /// that wants a time-varying environment should use
+    /// set_field_source() with a compiled Scenario.
     void set_axis_fields(double hx_a_per_m, double hy_a_per_m);
+
+    /// Installs a per-tick environment provider — typically a
+    /// compile_scenario() result — consumed by whichever engine runs
+    /// the measurement (scalar, block or fleet lanes). The provider is
+    /// queried at the front end's monotone sample counter, so scenario
+    /// time advances across measurements and survives snapshot/restore
+    /// (reinstall the same source on the restored compass; it is
+    /// configuration, not serialized state). nullptr detaches.
+    void set_field_source(std::shared_ptr<const magnetics::FieldSource> source);
+    [[nodiscard]] const magnetics::FieldSource* field_source() const noexcept;
 
     /// Runs one full measurement through the mixed-signal pipeline and
     /// updates the display: executes the compiled plan() on the

@@ -60,6 +60,11 @@ void CompassFleet::set_environments(const magnetics::EarthField& field,
     for (int i = 0; i < size(); ++i) at(i).set_environment(field, headings_deg[i]);
 }
 
+void CompassFleet::set_field_source(
+    std::shared_ptr<const magnetics::FieldSource> source) {
+    for (int i = 0; i < size(); ++i) at(i).set_field_source(source);
+}
+
 void CompassFleet::set_telemetry(telemetry::TelemetrySink* sink) noexcept {
     attach_sinks(sink);
 }

@@ -96,6 +96,13 @@ public:
     void set_environments(const magnetics::EarthField& field,
                           const std::vector<double>& headings_deg);
 
+    /// Installs one shared per-tick environment provider (typically a
+    /// compiled Scenario) on every member. FieldSource is immutable and
+    /// queried const from the engines, so a single compiled scenario is
+    /// safely shared across all members and worker threads; each member
+    /// still samples it at its own playhead.
+    void set_field_source(std::shared_ptr<const magnetics::FieldSource> source);
+
     /// Attaches one shared telemetry sink to every member and stamps
     /// each member's index into its samples, so fleet-wide traces and
     /// per-member latency metrics aggregate in a single sink. The sink

@@ -210,10 +210,17 @@ bool PlanRun::step() {
                 m_.count_x = count - c.calibration_.offset_x;
             } else {
                 m_.count_y = count - c.calibration_.offset_y;
-                if (c.calibration_.scale_y != 1.0) {
+                // Temperature compensation rides on the soft-iron gain:
+                // with it disabled `scale` is exactly scale_y, so the
+                // historic count path is bit-identical.
+                double scale = c.calibration_.scale_y;
+                if (c.calibration_.temp.enabled()) {
+                    scale *= c.calibration_.temp.gain_at(
+                        c.front_end_.ambient_temp_c());
+                }
+                if (scale != 1.0) {
                     m_.count_y = static_cast<std::int64_t>(std::llround(
-                        static_cast<double>(m_.count_y) *
-                        c.calibration_.scale_y));
+                        static_cast<double>(m_.count_y) * scale));
                 }
             }
             if (axis_) {
@@ -500,10 +507,17 @@ void PlanExecutor::run_lanes(const MeasurementPlan& plan,
                             m.count_x = count - c.calibration_.offset_x;
                         } else {
                             m.count_y = count - c.calibration_.offset_y;
-                            if (c.calibration_.scale_y != 1.0) {
+                            // Identical expression to PlanRun::step — the
+                            // lane batch must calibrate bit-for-bit like
+                            // the per-member path.
+                            double scale = c.calibration_.scale_y;
+                            if (c.calibration_.temp.enabled()) {
+                                scale *= c.calibration_.temp.gain_at(
+                                    c.front_end_.ambient_temp_c());
+                            }
+                            if (scale != 1.0) {
                                 m.count_y = static_cast<std::int64_t>(std::llround(
-                                    static_cast<double>(m.count_y) *
-                                    c.calibration_.scale_y));
+                                    static_cast<double>(m.count_y) * scale));
                             }
                         }
                         if (axis && !axis_value_set) {

@@ -29,9 +29,27 @@ void CoreModel::advance_block(const double* h, double* m_out, int n) {
 
 // ---------------------------------------------------------------- TanhCore
 
-TanhCore::TanhCore(double ms, double hk) : ms_(ms), hk_(hk) {
+TanhCore::TanhCore(double ms, double hk, double ms_temp_coeff_per_c,
+                   double hk_temp_coeff_per_c, double t_ref_c)
+    : ms_(ms), hk_(hk), ms0_(ms), hk0_(hk), ms_tc_(ms_temp_coeff_per_c),
+      hk_tc_(hk_temp_coeff_per_c), t_ref_c_(t_ref_c) {
     require_positive(ms, "TanhCore ms");
     require_positive(hk, "TanhCore hk");
+}
+
+double TanhCore::ms_at(double temp_c) const noexcept {
+    const double v = ms0_ * (1.0 + ms_tc_ * (temp_c - t_ref_c_));
+    return v > 1e-12 ? v : 1e-12;
+}
+
+double TanhCore::hk_at(double temp_c) const noexcept {
+    const double v = hk0_ * (1.0 + hk_tc_ * (temp_c - t_ref_c_));
+    return v > 1e-12 ? v : 1e-12;
+}
+
+void TanhCore::set_temperature(double temp_c) {
+    ms_ = ms_at(temp_c);
+    hk_ = hk_at(temp_c);
 }
 
 // util::simd::tanh1 rather than std::tanh: the lane engine evaluates

@@ -58,6 +58,15 @@ public:
     /// pulse-position method keys off this threshold.
     [[nodiscard]] virtual double knee_field() const = 0;
 
+    /// Sets the ambient core temperature [deg C]. The behavioural
+    /// TanhCore scales Ms and Hk linearly in (T - Tref) (see TanhCore);
+    /// the model-sensitivity cores (Langevin, Jiles-Atherton) ignore it.
+    /// Temperature is configuration-like, not evolving state: it is NOT
+    /// part of save_state()/load_state() — the environment (FieldSource)
+    /// re-applies it on every tick, so a restored core converges on the
+    /// first sample after restore.
+    virtual void set_temperature(double /*temp_c*/) {}
+
     /// Deep copy (models are value-like but used polymorphically).
     [[nodiscard]] virtual std::unique_ptr<CoreModel> clone() const = 0;
 
@@ -69,12 +78,26 @@ public:
     virtual void load_state(const std::vector<double>& state) = 0;
 };
 
-/// Anhysteretic hyperbolic-tangent core: M(H) = Ms * tanh(H / Hk).
+/// Anhysteretic hyperbolic-tangent core: M(H) = Ms(T) * tanh(H / Hk(T)).
+///
+/// Temperature model (motivated by fluxgate temperature-compensation
+/// practice): both material parameters drift linearly around a
+/// reference temperature,
+///     Ms(T) = Ms0 (1 + a_ms (T - Tref)),
+///     Hk(T) = Hk0 (1 + a_hk (T - Tref)),
+/// floored to a tiny positive value so a pathological scenario cannot
+/// drive them through zero. The default coefficients are exactly 0, in
+/// which case the effective values are bit-identical to Ms0/Hk0 and the
+/// model behaves precisely as the historic temperature-free core.
 class TanhCore final : public CoreModel {
 public:
-    /// \param ms saturation magnetisation [A/m]
-    /// \param hk knee field [A/m] — M reaches 76% Ms at H = Hk.
-    TanhCore(double ms, double hk);
+    /// \param ms saturation magnetisation at Tref [A/m]
+    /// \param hk knee field at Tref [A/m] — M reaches 76% Ms at H = Hk.
+    /// \param ms_temp_coeff_per_c relative Ms drift per deg C
+    /// \param hk_temp_coeff_per_c relative Hk drift per deg C
+    /// \param t_ref_c reference temperature [deg C]
+    TanhCore(double ms, double hk, double ms_temp_coeff_per_c = 0.0,
+             double hk_temp_coeff_per_c = 0.0, double t_ref_c = 25.0);
 
     double advance(double h) override;
     void advance_block(const double* h, double* m_out, int n) override;
@@ -82,6 +105,7 @@ public:
     void reset() override;
     [[nodiscard]] double saturation_magnetisation() const override { return ms_; }
     [[nodiscard]] double knee_field() const override { return hk_; }
+    void set_temperature(double temp_c) override;
     [[nodiscard]] std::unique_ptr<CoreModel> clone() const override;
     [[nodiscard]] std::vector<double> save_state() const override;
     void load_state(const std::vector<double>& state) override;
@@ -89,9 +113,26 @@ public:
     /// Closed-form magnetisation (stateless evaluation).
     [[nodiscard]] double magnetisation(double h) const;
 
+    /// Effective Ms/Hk at an arbitrary temperature — the exact
+    /// expressions set_temperature() installs. The lane engine fills
+    /// its per-sample parameter stripes through these, so the vector
+    /// kernel sees bit-identical values to the scalar path.
+    [[nodiscard]] double ms_at(double temp_c) const noexcept;
+    [[nodiscard]] double hk_at(double temp_c) const noexcept;
+
+    /// True when either temperature coefficient is nonzero.
+    [[nodiscard]] bool temperature_sensitive() const noexcept {
+        return ms_tc_ != 0.0 || hk_tc_ != 0.0;
+    }
+
 private:
-    double ms_;
-    double hk_;
+    double ms_;        ///< effective Ms at the current temperature
+    double hk_;        ///< effective Hk at the current temperature
+    double ms0_;       ///< Ms at Tref
+    double hk0_;       ///< Hk at Tref
+    double ms_tc_;     ///< relative Ms drift [1/degC]
+    double hk_tc_;     ///< relative Hk drift [1/degC]
+    double t_ref_c_;   ///< reference temperature [degC]
     double last_h_ = 0.0;
 };
 

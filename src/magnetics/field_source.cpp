@@ -1,0 +1,11 @@
+#include "magnetics/field_source.hpp"
+
+namespace fxg::magnetics {
+
+std::shared_ptr<const FieldSource> make_constant_field(double hx_a_per_m,
+                                                       double hy_a_per_m,
+                                                       double temp_c) {
+    return std::make_shared<ConstantFieldSource>(hx_a_per_m, hy_a_per_m, temp_c);
+}
+
+}  // namespace fxg::magnetics

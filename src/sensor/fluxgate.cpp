@@ -11,13 +11,19 @@ FluxgateSensor::FluxgateSensor(FluxgateParams params,
                                std::unique_ptr<magnetics::CoreModel> core)
     : params_(std::move(params)), core_(std::move(core)) {
     if (!core_) {
-        core_ = std::make_unique<magnetics::TanhCore>(params_.ms_a_per_m,
-                                                      params_.hk_a_per_m);
+        core_ = std::make_unique<magnetics::TanhCore>(
+            params_.ms_a_per_m, params_.hk_a_per_m, params_.ms_temp_coeff_per_c,
+            params_.hk_temp_coeff_per_c, params_.t_ref_c);
     }
+    temp_sensitive_ = params_.ms_temp_coeff_per_c != 0.0 ||
+                      params_.hk_temp_coeff_per_c != 0.0 ||
+                      params_.sens_temp_coeff_per_c != 0.0;
 }
 
 FluxgateSensor::FluxgateSensor(const FluxgateSensor& other)
-    : params_(other.params_), core_(other.core_->clone()), h_ext_(other.h_ext_),
+    : params_(other.params_), core_(other.core_->clone()),
+      temp_sensitive_(other.temp_sensitive_), fpa_scale_(other.fpa_scale_),
+      h_ext_(other.h_ext_),
       h_core_(other.h_core_), b_core_(other.b_core_), v_pickup_(other.v_pickup_),
       v_excitation_(other.v_excitation_),
       lambda_pickup_prev_(other.lambda_pickup_prev_),
@@ -25,7 +31,7 @@ FluxgateSensor::FluxgateSensor(const FluxgateSensor& other)
 
 double FluxgateSensor::step(double i_excitation_a, double dt_s) {
     if (!(dt_s > 0.0)) throw std::invalid_argument("FluxgateSensor::step: dt must be > 0");
-    h_core_ = params_.field_per_amp() * i_excitation_a + h_ext_;
+    h_core_ = effective_field_per_amp() * i_excitation_a + h_ext_;
     const double m = core_->advance(h_core_);
     b_core_ = magnetics::kMu0 * (h_core_ + m);
     const double lambda_pickup = params_.n_pickup * params_.core_area_m2 * b_core_;
@@ -58,7 +64,7 @@ void FluxgateSensor::step_block(const double* i_exc, double dt_s, int n, double*
     // Hoisted parameter products; grouping matches the scalar step()
     // expressions exactly (left-to-right association) so every sample is
     // bit-identical to the one-at-a-time path.
-    const double fpa = params_.field_per_amp();
+    const double fpa = effective_field_per_amp();
     const double h_ext = h_ext_;
     for (int k = 0; k < n; ++k) h[k] = fpa * i_exc[k] + h_ext;
     core_->advance_block(h, m, n);
@@ -106,6 +112,18 @@ void FluxgateSensor::step_block_constant(double i_excitation_a, double dt_s, int
     // (hysteretic cores see dh = 0 on the second step and hold).
     step(i_excitation_a, dt_s);
     if (n > 1) step(i_excitation_a, dt_s);
+}
+
+void FluxgateSensor::step_block_env(double i_excitation_a, const double* h_ext,
+                                    const double* temp_c, double dt_s, int n) {
+    // Deliberately the literal per-sample sequence: with the axial field
+    // (and possibly Ms/Hk) changing under it, the flux linkage moves
+    // every step, so there is no stationary state to shortcut to.
+    for (int k = 0; k < n; ++k) {
+        set_external_field(h_ext[k]);
+        if (temp_c != nullptr) set_temperature(temp_c[k]);
+        step(i_excitation_a, dt_s);
+    }
 }
 
 bool FluxgateSensor::saturated() const noexcept {

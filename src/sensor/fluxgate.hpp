@@ -37,6 +37,38 @@ public:
     void set_external_field(double h_a_per_m) noexcept { h_ext_ = h_a_per_m; }
     [[nodiscard]] double external_field() const noexcept { return h_ext_; }
 
+    /// Sets the ambient core temperature [deg C]: updates the core
+    /// model's Ms/Hk and the sensor's effective sensitivity. Applied
+    /// only when the parameter set declares a nonzero temperature
+    /// coefficient, so temperature-free sensors (the default) pay
+    /// nothing and stay bit-identical to the historic model.
+    void set_temperature(double temp_c) {
+        if (temp_sensitive_) {
+            core_->set_temperature(temp_c);
+            fpa_scale_ = fpa_scale_at(temp_c);
+        }
+    }
+    [[nodiscard]] bool temperature_sensitive() const noexcept {
+        return temp_sensitive_;
+    }
+
+    /// Effective field-per-amp at the current temperature [A/m per A]:
+    /// params().field_per_amp() times the sensitivity drift factor
+    /// (exactly 1.0 when temperature-free). The one expression every
+    /// engine path uses for the excitation field term.
+    [[nodiscard]] double effective_field_per_amp() const noexcept {
+        return params_.field_per_amp() * fpa_scale_;
+    }
+
+    /// The sensitivity drift factor at an arbitrary temperature — the
+    /// exact expression set_temperature() installs; the lane engine
+    /// fills per-sample parameter stripes through this.
+    [[nodiscard]] double fpa_scale_at(double temp_c) const noexcept {
+        const double v =
+            1.0 + params_.sens_temp_coeff_per_c * (temp_c - params_.t_ref_c);
+        return v > 1e-12 ? v : 1e-12;
+    }
+
     /// Advances one time step with the given excitation current [A].
     /// Returns the open-circuit pickup voltage [V] over this step.
     double step(double i_excitation_a, double dt_s);
@@ -53,6 +85,16 @@ public:
     /// for the de-selected (idle) sensor of a multiplexed front end.
     /// Bit-identical to n step(i, dt) calls.
     void step_block_constant(double i_excitation_a, double dt_s, int n);
+
+    /// Advances `n` steps at a constant excitation current under a
+    /// per-sample environment: h_ext[k] (and, when `temp_c` is non-null,
+    /// the core temperature temp_c[k]) is applied before sample k.
+    /// Bit-identical to n {set_external_field; set_temperature; step}
+    /// triples — the path a time-varying FieldSource drives the idle
+    /// sensor of a multiplexed front end through, where the changing
+    /// axial field induces real pickup voltage even at zero drive.
+    void step_block_env(double i_excitation_a, const double* h_ext,
+                        const double* temp_c, double dt_s, int n);
 
     /// Open-circuit pickup voltage of the last step [V].
     [[nodiscard]] double pickup_voltage() const noexcept { return v_pickup_; }
@@ -111,6 +153,8 @@ public:
 private:
     FluxgateParams params_;
     std::unique_ptr<magnetics::CoreModel> core_;
+    bool temp_sensitive_ = false;
+    double fpa_scale_ = 1.0;  ///< sensitivity drift factor at current temp
     double h_ext_ = 0.0;
     double h_core_ = 0.0;
     double b_core_ = 0.0;

@@ -15,8 +15,9 @@ std::unique_ptr<magnetics::CoreModel> make_core(const FluxgateParams& params,
                                                 CoreKind kind) {
     switch (kind) {
         case CoreKind::Tanh:
-            return std::make_unique<magnetics::TanhCore>(params.ms_a_per_m,
-                                                         params.hk_a_per_m);
+            return std::make_unique<magnetics::TanhCore>(
+                params.ms_a_per_m, params.hk_a_per_m, params.ms_temp_coeff_per_c,
+                params.hk_temp_coeff_per_c, params.t_ref_c);
         case CoreKind::Langevin:
             // Langevin knee sits near 3a.
             return std::make_unique<magnetics::LangevinCore>(params.ms_a_per_m,

@@ -38,6 +38,30 @@ struct FluxgateParams {
     double ms_a_per_m = 8.0e5;       ///< saturation magnetisation
     double hk_a_per_m = 40.0;        ///< knee (saturation threshold) field
 
+    // Temperature dependence of the core material around t_ref_c:
+    //   Ms(T) = Ms (1 + ms_temp_coeff_per_c (T - Tref)), likewise Hk.
+    // Defaults are exactly zero — temperature-free, bit-identical to the
+    // historic model. Permalloy-like films sit around -1e-4..-1e-3 /degC
+    // on Ms; an asymmetry between the x and y sensors (via
+    // FrontEndConfig::sensor_mismatch analogues or hand-tuned params) is
+    // what turns drift into a heading error the calibration layer's
+    // TempCompensation polynomial corrects.
+    double ms_temp_coeff_per_c = 0.0;  ///< relative Ms drift [1/degC]
+    double hk_temp_coeff_per_c = 0.0;  ///< relative Hk drift [1/degC]
+    double t_ref_c = 25.0;             ///< reference temperature [degC]
+
+    // Sensitivity (scale-factor) drift: thermal expansion of the
+    // micro-machined coil geometry changes the field produced per
+    // ampere, so the excitation amplitude in field units — the
+    // denominator of the pulse-position transfer law D = 1/2 + H/(2Ha)
+    // — drifts with temperature:
+    //   fpa(T) = field_per_amp() (1 + sens_temp_coeff_per_c (T - Tref)).
+    // Unlike Ms/Hk drift (which the pulse-position readout largely
+    // rejects by construction), a *mismatch* of this coefficient
+    // between the x and y sensors bends the heading directly; the
+    // calibration layer's TempCompensation polynomial corrects it.
+    double sens_temp_coeff_per_c = 0.0;  ///< relative sensitivity drift [1/degC]
+
     /// Field produced per ampere of excitation current [A/m per A].
     [[nodiscard]] double field_per_amp() const noexcept {
         return n_excitation / core_length_m;

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "magnetics/core_model.hpp"
+#include "magnetics/field_source.hpp"
 #include "magnetics/units.hpp"
 #include "sensor/fluxgate.hpp"
 #include "util/simd.hpp"
@@ -72,6 +73,9 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
     constexpr int GW = S * W;  // lanes in the group
     // det_bits_/valid_bits_ pack one bit per group lane into a byte.
     static_assert(GW <= 8);
+    // Sample-loop tile length (declared here because the environment
+    // change flags below are per tile).
+    constexpr int T = 64;  // 3 buffers * S * T * sizeof(dvec) stays in L1
 
     // ---- Gather: per-lane constants and evolving state ----------------
     //
@@ -86,12 +90,16 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
     digital::UpDownCounter* ctr[GW];
     magnetics::CoreModel* core[GW];
     analog::NoiseSource* noise_src[GW];
+    const magnetics::FieldSource* src[GW];
+    std::uint64_t lidx0[GW];
     Channel active_ch[GW];
     bool lane_tap[GW];
     bool lane_hw[GW];
     bool lane_noise[GW];
     bool lane_first[GW];
     bool lane_soa_count[GW];
+    bool lane_dyn[GW];   ///< field source varies within this advance
+    bool lane_tdyn[GW];  ///< lane_dyn and the sensors are temp-sensitive
 
     alignas(32) double freq_a[GW], gain_a[GW], curv_a[GW], dc_a[GW], cgain_a[GW],
         correct01_a[GW];
@@ -113,6 +121,8 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
     bool stripe_generic = false;
     bool stripe_noise = false;
     bool stripe_capture = false;
+    bool group_dyn = false;
+    bool group_tdyn = false;
 
     for (int l = 0; l < GW; ++l) {
         if (l >= n) {
@@ -121,9 +131,12 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
             ctr[l] = nullptr;
             core[l] = nullptr;
             noise_src[l] = nullptr;
+            src[l] = nullptr;
+            lidx0[l] = 0;
             active_ch[l] = active_ch[0];
             lane_tap[l] = lane_hw[l] = lane_noise[l] = lane_first[l] = false;
             lane_soa_count[l] = false;
+            lane_dyn[l] = lane_tdyn[l] = false;
             freq_a[l] = freq_a[0]; gain_a[l] = gain_a[0]; curv_a[l] = curv_a[0];
             dc_a[l] = dc_a[0]; cgain_a[l] = cgain_a[0]; correct01_a[l] = correct01_a[0];
             vig_a[l] = vig_a[0]; fs_a[l] = fs_a[0]; linfs_a[l] = linfs_a[0];
@@ -188,11 +201,36 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
         lim_a[l] = limit;
         neglim_a[l] = -limit;
 
+        // Time-varying environment: resolve the lane's field source at
+        // its entry sample index and apply that tick now, so every
+        // field/temperature-derived value gathered below is exactly
+        // what the scalar step() would see on the first sample. A
+        // constant source reports kForever and takes no further part
+        // in the kernel.
+        src[l] = f.field_source();
+        lidx0[l] = 0;
+        lane_dyn[l] = lane_tdyn[l] = false;
+        if (src[l] != nullptr) {
+            lidx0[l] = f.save_window_state().sample_index;
+            magnetics::FieldTick tick;
+            const std::uint64_t end = src[l]->constant_until(lidx0[l], &tick);
+            f.apply_field_tick(tick);
+            lane_dyn[l] =
+                end < lidx0[l] + static_cast<std::uint64_t>(steps);
+            if (lane_dyn[l]) {
+                group_dyn = true;
+                if (f.sensor(ach).temperature_sensitive()) {
+                    lane_tdyn[l] = true;
+                    group_tdyn = true;
+                }
+            }
+        }
+
         // Active sensor (FluxgateSensor::step_block hoists). The stuck
         // mux makes the active channel a per-lane property.
         sensor::FluxgateSensor& sen = f.sensor_mut(ach);
         const sensor::FluxgateParams& sp = sen.params();
-        fpa_a[l] = sp.field_per_amp();
+        fpa_a[l] = sen.effective_field_per_amp();
         hext_a[l] = sen.external_field();
         nap_a[l] = sp.n_pickup * sp.core_area_m2;
         nae_a[l] = sp.n_excitation * sp.core_area_m2;
@@ -281,6 +319,113 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
         e_a[l] = *lanes[l].energy_j;
 
         if (lane_tap[l] || (lane_hw[l] && ach == channel)) stripe_capture = true;
+    }
+
+    // ---- Time-varying environment streams ------------------------------
+    //
+    // Only when some lane's field actually changes inside this advance:
+    // per-sample interleaved buffers carry the active-axis field (and,
+    // for temperature-sensitive sensors, the Ms/Hk/sensitivity values
+    // the scalar set_temperature() would install) so Pass B can reload
+    // its stripe vectors; per-lane contiguous buffers carry the
+    // idle-axis field and temperature for the scatter-time
+    // step_block_env replay. Each value is computed with exactly the
+    // member-path expression (TanhCore::ms_at/hk_at,
+    // FluxgateSensor::fpa_scale_at), so the lanes stay bit-identical.
+    const int ntiles = (steps + T - 1) / T;
+    if (group_dyn) {
+        const auto ns = static_cast<std::size_t>(steps);
+        env_h_.resize(ns * GW);
+        idle_h_.resize(ns * GW);
+        idle_t_.resize(ns * GW);
+        if (group_tdyn) {
+            env_ms_.resize(ns * GW);
+            env_hk_.resize(ns * GW);
+            env_fpa_.resize(ns * GW);
+        }
+        // Seed every column with the gather constants (pad lanes
+        // replicated lane 0's), then overwrite the varying lanes.
+        for (std::size_t k = 0; k < ns; ++k) {
+            for (int l = 0; l < GW; ++l) env_h_[k * GW + l] = hext_a[l];
+            if (group_tdyn) {
+                for (int l = 0; l < GW; ++l) {
+                    env_ms_[k * GW + l] = ms_a[l];
+                    env_hk_[k * GW + l] = hk_a[l];
+                    env_fpa_[k * GW + l] = fpa_a[l];
+                }
+            }
+        }
+        for (int l = 0; l < n; ++l) {
+            if (!lane_dyn[l]) continue;
+            const sensor::FluxgateSensor& sen = fe[l]->sensor(active_ch[l]);
+            const auto* tc = dynamic_cast<const magnetics::TanhCore*>(core[l]);
+            const double fpa0 = sen.params().field_per_amp();
+            int k = 0;
+            while (k < steps) {
+                magnetics::FieldTick tick;
+                const std::uint64_t begin = lidx0[l] + static_cast<std::uint64_t>(k);
+                const std::uint64_t end = src[l]->constant_until(begin, &tick);
+                const std::uint64_t span = end > begin ? end - begin : 1;
+                const int run = static_cast<int>(std::min(
+                    span, static_cast<std::uint64_t>(steps - k)));
+                const double hact =
+                    active_ch[l] == Channel::X ? tick.hx_a_per_m : tick.hy_a_per_m;
+                const double hidl =
+                    active_ch[l] == Channel::X ? tick.hy_a_per_m : tick.hx_a_per_m;
+                double msv = ms_a[l];
+                double hkv = hk_a[l];
+                double fpav = fpa_a[l];
+                if (lane_tdyn[l]) {
+                    if (tc != nullptr) {
+                        msv = tc->ms_at(tick.temp_c);
+                        hkv = tc->hk_at(tick.temp_c);
+                    }
+                    fpav = fpa0 * sen.fpa_scale_at(tick.temp_c);
+                }
+                for (int j = k; j < k + run; ++j) {
+                    env_h_[static_cast<std::size_t>(j) * GW + l] = hact;
+                    idle_h_[static_cast<std::size_t>(l) * ns +
+                            static_cast<std::size_t>(j)] = hidl;
+                    idle_t_[static_cast<std::size_t>(l) * ns +
+                            static_cast<std::size_t>(j)] = tick.temp_c;
+                    if (group_tdyn) {
+                        env_ms_[static_cast<std::size_t>(j) * GW + l] = msv;
+                        env_hk_[static_cast<std::size_t>(j) * GW + l] = hkv;
+                        env_fpa_[static_cast<std::size_t>(j) * GW + l] = fpav;
+                    }
+                }
+                k += run;
+            }
+        }
+        // Classify each tile: 0 = every varying lane holds the value
+        // already loaded in the stripe vectors (skip — the common case
+        // between scenario events), 1 = constant inside the tile but
+        // changed at its boundary (one reload), 2 = changes inside the
+        // tile (per-sample reloads).
+        tile_env_.assign(static_cast<std::size_t>(ntiles), 0);
+        const auto env_differs = [&](int l, std::size_t i, std::size_t j) {
+            if (env_h_[i * GW + l] != env_h_[j * GW + l]) return true;
+            if (!group_tdyn || !lane_tdyn[l]) return false;
+            return env_ms_[i * GW + l] != env_ms_[j * GW + l] ||
+                   env_hk_[i * GW + l] != env_hk_[j * GW + l] ||
+                   env_fpa_[i * GW + l] != env_fpa_[j * GW + l];
+        };
+        for (int ti = 0; ti < ntiles; ++ti) {
+            const auto a = static_cast<std::size_t>(ti) * T;
+            const auto b = std::min(a + T, ns);
+            std::uint8_t flag = 0;
+            for (int l = 0; l < n && flag < 2; ++l) {
+                if (!lane_dyn[l]) continue;
+                if (a > 0 && env_differs(l, a, a - 1)) flag = 1;
+                for (std::size_t k = a + 1; k < b; ++k) {
+                    if (env_differs(l, k, a)) {
+                        flag = 2;
+                        break;
+                    }
+                }
+            }
+            tile_env_[static_cast<std::size_t>(ti)] = flag;
+        }
     }
 
     // ---- Vector kernel: all lanes, one sample per iteration -----------
@@ -391,7 +536,6 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
     // divide/exp chains. The per-lane arithmetic and its ordering are
     // untouched: every lane still executes exactly the scalar
     // sequence, sample by sample.
-    constexpr int T = 64;  // 3 buffers * S * T * sizeof(dvec) stays in L1
     v::dvec bidrv[S * T];
     v::dvec bvdet[S * T];
     v::mask bsettle[S * T];
@@ -467,8 +611,42 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
 
         // Pass B: fluxgate sensor chain and pickup noise -> the
         // detector's input voltage.
+        //
+        // Environment reload for this tile (movemask-of-change style:
+        // the flag was precomputed at gather, and 0 — the constant-
+        // field case and the span between scenario events — costs one
+        // predictable branch).
+        std::uint8_t envf = 0;
+        if (group_dyn) {
+            envf = tile_env_[static_cast<std::size_t>(k0 / T)];
+            if (envf != 0) {
+                const std::size_t g0 = static_cast<std::size_t>(k0) * GW;
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) {
+                    hext_v[s] = v::load(env_h_.data() + g0 + s * W);
+                    if (group_tdyn) {
+                        ms_v[s] = v::load(env_ms_.data() + g0 + s * W);
+                        hk_v[s] = v::load(env_hk_.data() + g0 + s * W);
+                        fpa_v[s] = v::load(env_fpa_.data() + g0 + s * W);
+                    }
+                }
+            }
+        }
         for (int t = 0; t < tn; ++t) {
             v::dvec vdet_v[S];
+
+            if (envf == 2) {
+                const std::size_t gk = static_cast<std::size_t>(k0 + t) * GW;
+                #pragma GCC unroll 8
+                for (int s = 0; s < S; ++s) {
+                    hext_v[s] = v::load(env_h_.data() + gk + s * W);
+                    if (group_tdyn) {
+                        ms_v[s] = v::load(env_ms_.data() + gk + s * W);
+                        hk_v[s] = v::load(env_hk_.data() + gk + s * W);
+                        fpa_v[s] = v::load(env_fpa_.data() + gk + s * W);
+                    }
+                }
+            }
 
             #pragma GCC unroll 8
             for (int s = 0; s < S; ++s) {
@@ -494,7 +672,17 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
                 // scatter-time resync.
                 #pragma GCC unroll 8
                 for (int s = 0; s < S; ++s) v::store(h_s + s * W, h_v[s]);
-                for (int l = 0; l < n; ++l) m_s[l] = core[l]->advance(h_s[l]);
+                for (int l = 0; l < n; ++l) {
+                    if (lane_tdyn[l]) {
+                        // Scalar order: the sensor applies the tick's
+                        // temperature to the core before each advance.
+                        core[l]->set_temperature(
+                            idle_t_[static_cast<std::size_t>(l) *
+                                        static_cast<std::size_t>(steps) +
+                                    static_cast<std::size_t>(k0 + t)]);
+                    }
+                    m_s[l] = core[l]->advance(h_s[l]);
+                }
                 for (int l = n; l < GW; ++l) m_s[l] = 0.0;
                 #pragma GCC unroll 8
                 for (int s = 0; s < S; ++s) {
@@ -668,6 +856,15 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
             {time_a[l], phase_a[l], o_a[l], corr_a[l], pint_a[l], ptime_a[l]});
         f.mux().load_state({ach, since_a[l]});
 
+        // Dynamic environment: land on the last sample's tick exactly
+        // as the scalar path would have left it (h_ext on both sensors,
+        // ambient temperature, and — before the TanhCore re-sync below
+        // — the final effective Ms/Hk/sensitivity).
+        if (lane_dyn[l]) {
+            f.apply_field_tick(src[l]->field_at(
+                lidx0[l] + static_cast<std::uint64_t>(steps) - 1));
+        }
+
         // Active sensor. v_excitation is a pure function of the last
         // two flux linkages (or the resistive drop alone right after
         // the very first sample), recomputed with the step() ops.
@@ -686,8 +883,21 @@ void LaneEngine::advance_group(const LanePort* lanes, int n, analog::Channel cha
             // reproduces the state after every per-sample call.
             core[l]->advance(hfin_a[l]);
         }
-        f.sensor_mut(ach == Channel::X ? Channel::Y : Channel::X)
-            .step_block_constant(0.0, dt_s, steps);
+        sensor::FluxgateSensor& idle_sen =
+            f.sensor_mut(ach == Channel::X ? Channel::Y : Channel::X);
+        if (lane_dyn[l]) {
+            // A varying axial field induces real pickup voltage even at
+            // zero drive, so the idle sensor replays the per-sample
+            // environment instead of taking the stationary shortcut.
+            const auto off = static_cast<std::size_t>(l) *
+                             static_cast<std::size_t>(steps);
+            idle_sen.step_block_env(
+                0.0, idle_h_.data() + off,
+                idle_sen.temperature_sensitive() ? idle_t_.data() + off : nullptr,
+                dt_s, steps);
+        } else {
+            idle_sen.step_block_constant(0.0, dt_s, steps);
+        }
 
         f.detector(ach).load_state({bit_of(pos_b, l), bit_of(neg_b, l),
                                     bit_of(prevpos_b, l), bit_of(prevneg_b, l),

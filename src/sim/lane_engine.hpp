@@ -115,6 +115,17 @@ private:
     std::vector<std::uint8_t> valid_bits_;
     // Unpacked per-lane byte streams (det x/y, valid x/y).
     std::vector<std::uint8_t> bytes_;
+    // Time-varying environment scratch, filled only when some lane's
+    // FieldSource actually varies within the advance (constant sources
+    // never touch these): per-sample interleaved active-axis field and
+    // temperature-derived core/sensitivity parameters
+    // [sample * group_width + lane], per-tile change flags (0 =
+    // unchanged, 1 = reload at tile start, 2 = per-sample), and
+    // per-lane contiguous idle-axis field / ambient temperature
+    // streams replayed through FluxgateSensor::step_block_env.
+    std::vector<double> env_h_, env_ms_, env_hk_, env_fpa_;
+    std::vector<double> idle_h_, idle_t_;
+    std::vector<std::uint8_t> tile_env_;
 };
 
 }  // namespace fxg::sim

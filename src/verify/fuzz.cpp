@@ -10,7 +10,9 @@
 
 #include "core/plan.hpp"
 #include "magnetics/earth_field.hpp"
+#include "magnetics/scenario.hpp"
 #include "magnetics/units.hpp"
+#include "sim/lane_engine.hpp"
 #include "snapshot/replay.hpp"
 #include "snapshot/state.hpp"
 #include "telemetry/metrics.hpp"
@@ -273,6 +275,20 @@ std::optional<std::string> run_engine_parity(const FuzzCase& c) {
     telemetry::PhysicsProbes probes(registry);
     telemetry::TeeSink tee({&trace, &probes});
     lane_traced.compass.set_telemetry(&tee);
+    // Seam identity: set_environment installs a ConstantFieldSource.
+    // This rig detaches the source and writes the same axis fields
+    // directly into the sensors — the pre-seam plumbing — which must
+    // stay bit-identical on every engine.
+    Rig direct(c, sim::EngineKind::Block, c.counter_width_bits, c.trap_on_overflow);
+    {
+        const magnetics::HorizontalField hf =
+            magnetics::EarthField(magnetics::microtesla(c.field_ut),
+                                  c.inclination_deg)
+                .at_heading(c.heading_deg);
+        direct.compass.set_field_source(nullptr);
+        direct.compass.front_end().set_field(analog::Channel::X, hf.hx_a_per_m);
+        direct.compass.front_end().set_field(analog::Channel::Y, hf.hy_a_per_m);
+    }
     for (int rep = 0; rep < 2; ++rep) {
         const Outcome a = measure_outcome(scalar.compass);
         const Outcome b = measure_outcome(block.compass);
@@ -288,6 +304,12 @@ std::optional<std::string> run_engine_parity(const FuzzCase& c) {
         const Outcome lt = lanes_outcome(lane_traced.compass);
         if (auto d = diff_outcomes(a, lt)) {
             return format("engine parity (scalar vs traced lanes), rep %d: %s",
+                          rep, d->c_str());
+        }
+        const Outcome dr = measure_outcome(direct.compass);
+        if (auto d = diff_outcomes(b, dr)) {
+            return format("engine parity (ConstantFieldSource vs direct fields), "
+                          "rep %d: %s",
                           rep, d->c_str());
         }
     }
@@ -574,6 +596,95 @@ std::optional<std::string> run_telemetry_identity(const FuzzCase& c) {
     return std::nullopt;
 }
 
+std::optional<std::string> run_scenario_determinism(const FuzzCase& c) {
+    // One compiled time-varying scenario (turn leg, optional anomaly,
+    // optional interference burst, temperature ramp over temp-sensitive
+    // sensors), shared by every rig. Identities checked per tick while
+    // the playhead advances across measurements:
+    //   * determinism — two identical scalar rigs stay bit-identical;
+    //   * scalar vs block — step_block's constant_until chunking;
+    //   * scalar vs lanes — the SoA env-stream path (when eligible);
+    //   * telemetry — a traced block rig must not perturb anything.
+    const compass::MeasurementPlan plan =
+        compass::compile_plan(rig_config(c, sim::EngineKind::Scalar));
+    const double tick_s = static_cast<double>(plan.total_steps()) * plan.dt_s;
+    const double total_s = tick_s * c.ticks;
+
+    magnetics::Scenario scn;
+    scn.label = "fuzz";
+    scn.field = magnetics::EarthField(magnetics::microtesla(c.field_ut),
+                                      c.inclination_deg);
+    scn.initial_heading_deg = c.heading_deg;
+    scn.hold(0.2 * total_s).turn(c.scn_rate_deg_s, 0.5 * total_s).hold(0.3 * total_s);
+    if (c.scn_anomaly_a_per_m != 0.0) {
+        scn.anomaly(0.15 * total_s, 0.3 * total_s, c.scn_anomaly_a_per_m,
+                    -0.5 * c.scn_anomaly_a_per_m);
+    }
+    if (c.scn_burst_a_per_m != 0.0) {
+        scn.burst(0.45 * total_s, 0.35 * total_s, c.scn_burst_a_per_m,
+                  c.scn_burst_hz);
+    }
+    scn.temperature(0.0, 25.0).temperature(total_s, c.scn_temp_hi_c);
+
+    std::shared_ptr<const magnetics::CompiledScenario> src;
+    try {
+        src = magnetics::compile_scenario(scn, plan.dt_s);
+    } catch (const std::exception& e) {
+        return format("compile_scenario failed: %s", e.what());
+    }
+
+    Rig s1(c, sim::EngineKind::Scalar, c.counter_width_bits, c.trap_on_overflow);
+    Rig s2(c, sim::EngineKind::Scalar, c.counter_width_bits, c.trap_on_overflow);
+    Rig bk(c, sim::EngineKind::Block, c.counter_width_bits, c.trap_on_overflow);
+    Rig ln(c, sim::EngineKind::Block, c.counter_width_bits, c.trap_on_overflow);
+    Rig tr(c, sim::EngineKind::Block, c.counter_width_bits, c.trap_on_overflow);
+    s1.compass.set_field_source(src);
+    s2.compass.set_field_source(src);
+    bk.compass.set_field_source(src);
+    ln.compass.set_field_source(src);
+    tr.compass.set_field_source(src);
+    telemetry::TraceSession trace;
+    telemetry::MetricsRegistry registry;
+    telemetry::PhysicsProbes probes(registry);
+    telemetry::TeeSink tee({&trace, &probes});
+    if (c.with_telemetry) tr.compass.set_telemetry(&tee);
+    const bool lanes_ok =
+        c.use_lanes && sim::LaneEngine::eligible(ln.compass.front_end());
+
+    for (int t = 0; t < c.ticks; ++t) {
+        const double want = src->true_heading_deg(
+            s1.compass.front_end().save_window_state().sample_index);
+        if (!std::isfinite(want) || want < 0.0 || want >= 360.0) {
+            return format("true_heading_deg out of [0, 360) at tick %d: %.17g", t,
+                          want);
+        }
+        const Outcome a = measure_outcome(s1.compass);
+        const Outcome a2 = measure_outcome(s2.compass);
+        if (auto d = diff_outcomes(a, a2)) {
+            return format("scenario determinism, tick %d: %s", t, d->c_str());
+        }
+        const Outcome b = measure_outcome(bk.compass);
+        if (auto d = diff_outcomes(a, b)) {
+            return format("scenario scalar vs block, tick %d: %s", t, d->c_str());
+        }
+        if (lanes_ok) {
+            const Outcome l = lanes_outcome(ln.compass);
+            if (auto d = diff_outcomes(a, l)) {
+                return format("scenario scalar vs lanes, tick %d: %s", t,
+                              d->c_str());
+            }
+        }
+        if (c.with_telemetry) {
+            const Outcome o = measure_outcome(tr.compass);
+            if (auto d = diff_outcomes(b, o)) {
+                return format("scenario telemetry on/off, tick %d: %s", t,
+                              d->c_str());
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 }  // namespace
 
 const char* to_string(Oracle oracle) noexcept {
@@ -584,6 +695,7 @@ const char* to_string(Oracle oracle) noexcept {
         case Oracle::CounterWidth: return "CounterWidth";
         case Oracle::TelemetryIdentity: return "TelemetryIdentity";
         case Oracle::SnapshotRoundTrip: return "SnapshotRoundTrip";
+        case Oracle::ScenarioDeterminism: return "ScenarioDeterminism";
     }
     return "?";
 }
@@ -727,6 +839,37 @@ FuzzCase generate_case(std::uint64_t seed, std::uint64_t index,
             c.use_lanes = rng.chance(0.5);
             break;
         }
+        case Oracle::ScenarioDeterminism: {
+            // Thermal coefficients so the temperature ramp exercises the
+            // core/sensitivity model; the per-axis mismatch is what makes
+            // the drift heading-visible.
+            cfg.front_end.sensor.ms_temp_coeff_per_c = rng.uniform(-4e-4, 4e-4);
+            cfg.front_end.sensor.hk_temp_coeff_per_c = rng.uniform(-4e-4, 4e-4);
+            cfg.front_end.sensor.sens_temp_coeff_per_c = rng.uniform(-3e-4, 3e-4);
+            cfg.front_end.sensor_temp_mismatch_per_c = rng.uniform(-2e-4, 2e-4);
+            if (rng.chance(0.3)) {
+                c.counter_width_bits = static_cast<int>(rng.uniform_int(8, 14));
+                c.trap_on_overflow = rng.chance(0.4);
+            }
+            const int n = static_cast<int>(rng.uniform_int(0, 1));
+            for (int i = 0; i < n; ++i) {
+                c.faults.push_back(
+                    random_fault_spec(rng, c.counter_width_bits, window, true));
+            }
+            c.ticks = static_cast<int>(rng.uniform_int(2, 4));
+            c.with_telemetry = rng.chance(0.4);
+            c.use_lanes = rng.chance(0.7);
+            // A tick lasts a few oscillator periods, so rates/frequencies
+            // are scaled up to make the field move visibly inside a run.
+            c.scn_rate_deg_s = rng.uniform(-2.0e4, 2.0e4);
+            if (rng.chance(0.6)) c.scn_anomaly_a_per_m = rng.uniform(-6.0, 6.0);
+            if (rng.chance(0.6)) {
+                c.scn_burst_a_per_m = rng.uniform(0.5, 4.0);
+                c.scn_burst_hz = rng.uniform(200.0, 5000.0);
+            }
+            c.scn_temp_hi_c = rng.uniform(-20.0, 60.0);
+            break;
+        }
     }
     return c;
 }
@@ -739,6 +882,7 @@ std::optional<std::string> run_case(const FuzzCase& c) {
         case Oracle::CounterWidth: return run_counter_width(c);
         case Oracle::TelemetryIdentity: return run_telemetry_identity(c);
         case Oracle::SnapshotRoundTrip: return run_snapshot_roundtrip(c);
+        case Oracle::ScenarioDeterminism: return run_scenario_determinism(c);
     }
     return "unknown oracle";
 }
@@ -762,6 +906,18 @@ std::string FuzzCase::to_literal() const {
     if (oracle == Oracle::SnapshotRoundTrip) {
         out += format(", ticks=%d, snapshot_at=%d, telemetry=%d, lanes=%d", ticks,
                       snapshot_at, with_telemetry ? 1 : 0, use_lanes ? 1 : 0);
+    }
+    if (oracle == Oracle::ScenarioDeterminism) {
+        out += format(", ticks=%d, telemetry=%d, lanes=%d, scn={rate=%.6g, "
+                      "anomaly=%.6g, burst=%.6g@%.6gHz, temp_hi=%.6g, "
+                      "tempco=%.4g/%.4g/%.4g, mismatch=%.4g}",
+                      ticks, with_telemetry ? 1 : 0, use_lanes ? 1 : 0,
+                      scn_rate_deg_s, scn_anomaly_a_per_m, scn_burst_a_per_m,
+                      scn_burst_hz, scn_temp_hi_c,
+                      config.front_end.sensor.ms_temp_coeff_per_c,
+                      config.front_end.sensor.hk_temp_coeff_per_c,
+                      config.front_end.sensor.sens_temp_coeff_per_c,
+                      config.front_end.sensor_temp_mismatch_per_c);
     }
     out += ", faults=[";
     for (std::size_t i = 0; i < faults.size(); ++i) {

@@ -41,6 +41,14 @@
 ///                     sinks, finite registers and traps, across the
 ///                     scalar/block/lane engines. Also proves taking a
 ///                     snapshot never perturbs the donor.
+///   ScenarioDeterminism one compiled time-varying Scenario (turns,
+///                     anomalies, interference bursts, temperature
+///                     drift on temp-sensitive sensors) shared by
+///                     several fresh rigs: identical rigs produce
+///                     bit-identical measurement traces, and the
+///                     scalar, block and SoA lane engines agree on
+///                     every tick while the playhead advances across
+///                     measurements.
 ///
 /// Everything is a pure function of (seed, index): generate_case() is
 /// deterministic, so any failure is replayed by number alone, and
@@ -66,9 +74,10 @@ enum class Oracle {
     CounterWidth,
     TelemetryIdentity,
     SnapshotRoundTrip,
+    ScenarioDeterminism,
 };
 
-inline constexpr int kOracleCount = 6;
+inline constexpr int kOracleCount = 7;
 
 [[nodiscard]] const char* to_string(Oracle oracle) noexcept;
 
@@ -92,10 +101,19 @@ struct FuzzCase {
     std::int64_t raw_x = 0;        ///< CordicAtan operands
     std::int64_t raw_y = 0;
 
-    int ticks = 1;                 ///< SnapshotRoundTrip: measurements per run
+    int ticks = 1;                 ///< Snapshot/Scenario: measurements per run
     int snapshot_at = 0;           ///< tick boundary the snapshot is taken at
     bool with_telemetry = false;   ///< attach trace+probes sinks to every rig
     bool use_lanes = false;        ///< tick through the SoA lane engine
+
+    // ScenarioDeterminism knobs (the scenario shape is derived from
+    // these plus the plan's tick duration, so it is replayable from the
+    // literal alone).
+    double scn_rate_deg_s = 0.0;      ///< turn rate of the middle leg
+    double scn_anomaly_a_per_m = 0.0; ///< anomaly amplitude (0 = none)
+    double scn_burst_a_per_m = 0.0;   ///< interference amplitude (0 = none)
+    double scn_burst_hz = 0.0;        ///< interference frequency
+    double scn_temp_hi_c = 25.0;      ///< temperature ramp endpoint
 
     /// One-line repro literal (the shrinker's output format): every
     /// field that differs from the defaults, plus seed/index so the

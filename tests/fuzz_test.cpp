@@ -57,6 +57,40 @@ TEST(FuzzCorpus, SnapshotRoundTripForcedCorpusIsBitExact) {
     }
 }
 
+TEST(FuzzCorpus, EngineParityForcedCorpusIsBitExact) {
+    // ISSUE acceptance: ConstantFieldSource is bit-identical on the
+    // scalar, block and SoA lane engines — and to the pre-seam direct
+    // field path — over a 10k-case forced EngineParity corpus.
+    const verify::FuzzReport report =
+        verify::run_corpus(kCorpusSeed, 10000, 8, soak_threads(),
+                           verify::Oracle::EngineParity);
+    EXPECT_EQ(report.cases, 10000u);
+    EXPECT_TRUE(report.ok());
+    for (const verify::FuzzFailure& failure : report.failures) {
+        ADD_FAILURE() << "(seed=" << failure.failing.seed
+                      << ", index=" << failure.failing.index
+                      << "): " << failure.mismatch;
+    }
+}
+
+TEST(FuzzCorpus, ScenarioDeterminismForcedCorpusIsBitExact) {
+    // The time-varying environment oracle alone: same compiled scenario
+    // + same seed => bit-identical traces, across engines. Heavier per
+    // case (five rigs, multiple ticks), so a smaller forced corpus; the
+    // mixed 10k corpus above adds another ~1400 scenario cases.
+    const verify::FuzzReport report =
+        verify::run_corpus(kCorpusSeed, 1500, 8, soak_threads(),
+                           verify::Oracle::ScenarioDeterminism);
+    EXPECT_EQ(report.cases, 1500u);
+    EXPECT_TRUE(report.ok());
+    for (const verify::FuzzFailure& failure : report.failures) {
+        ADD_FAILURE() << "(seed=" << failure.failing.seed
+                      << ", index=" << failure.failing.index
+                      << "): " << failure.mismatch << "\n  shrunk repro: "
+                      << verify::shrink_case(failure.failing).to_literal();
+    }
+}
+
 TEST(FuzzCorpus, ChunkedRunMatchesTheWholeCorpus) {
     // run_chunk is the soak checkpointing unit: chunked pass/fail bits
     // must agree with one uninterrupted run_corpus over the same range.

@@ -209,7 +209,7 @@ TEST(PlanEquivalence, BitIdenticalToHandSequencedReference) {
         compass::CompassConfig cfg = lite_config(kind);
         cfg.front_end.pickup_noise_rms_v = 0.5e-3;  // nontrivial noise stream
         const compass::CountCalibration cal{.offset_x = 3, .offset_y = -2,
-                                            .scale_y = 1.01};
+                                            .scale_y = 1.01, .temp = {}};
 
         compass::Compass planned(cfg);
         planned.set_calibration(cal);

@@ -22,6 +22,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/supervisor.hpp"
 #include "magnetics/earth_field.hpp"
+#include "magnetics/scenario.hpp"
 #include "magnetics/units.hpp"
 #include "snapshot/format.hpp"
 #include "snapshot/replay.hpp"
@@ -697,4 +698,126 @@ TEST(MetricsSnapshot, HistogramBoundsConflictRejected) {
     target.histogram("h", {1.0, 3.0}).observe(0.5);
     EXPECT_THROW(snapshot::restore_metrics(snap, target), snapshot::SnapshotError);
     EXPECT_EQ(target.histogram("h", {1.0, 3.0}).count(), 1u);
+}
+
+// ------------------------------------------------- mid-scenario restore
+
+namespace {
+
+/// A feature-dense compiled scenario sized to `ticks` measurements of
+/// `cfg`'s plan: a turn through the middle ticks, an anomaly window, a
+/// temperature ramp. Shared by the restore tests below.
+std::shared_ptr<const magnetics::CompiledScenario> restore_scenario(
+    const compass::CompassConfig& cfg, int ticks) {
+    const compass::MeasurementPlan plan = compass::compile_plan(cfg);
+    const double total_s =
+        static_cast<double>(ticks) * static_cast<double>(plan.total_steps()) *
+        plan.dt_s;
+    magnetics::Scenario scn;
+    scn.field = kField;
+    scn.initial_heading_deg = 40.0;
+    scn.hold(0.25 * total_s).turn(3000.0, 0.5 * total_s).hold(0.25 * total_s);
+    scn.anomaly(0.3 * total_s, 0.3 * total_s, 1.5, -0.5);
+    scn.temperature(0.0, 25.0).temperature(total_s, 45.0);
+    return magnetics::compile_scenario(scn, plan.dt_s);
+}
+
+}  // namespace
+
+TEST(ScenarioSnapshot, MidScenarioRestoreReplaysBitExactly) {
+    // Restore at an arbitrary tick of a time-varying scenario, reinstall
+    // the same compiled source (field sources are configuration, not
+    // serialized state), and the replay must be bit-identical to the
+    // uninterrupted run — including the final snapshot bytes.
+    constexpr int kTicks = 4;
+    for (const sim::EngineKind kind : {sim::EngineKind::Scalar, sim::EngineKind::Block}) {
+        SCOPED_TRACE(sim::to_string(kind));
+        compass::CompassConfig cfg = small_config();
+        cfg.engine = kind;
+        const auto src = restore_scenario(cfg, kTicks);
+
+        compass::Compass ref(cfg);
+        ref.set_field_source(src);
+        std::vector<compass::Measurement> expected;
+        for (int t = 0; t < kTicks; ++t) expected.push_back(ref.measure());
+        const std::vector<std::uint8_t> ref_final = snapshot::snapshot_compass(ref);
+
+        for (int k = 1; k < kTicks; ++k) {
+            SCOPED_TRACE(k);
+            compass::Compass donor(cfg);
+            donor.set_field_source(src);
+            for (int t = 0; t < k; ++t) {
+                expect_equal_measurements(donor.measure(), expected[static_cast<std::size_t>(t)]);
+            }
+            const std::vector<std::uint8_t> snap = snapshot::snapshot_compass(donor);
+
+            compass::Compass resumed(cfg);
+            snapshot::restore_compass(snap, resumed);
+            // The restore carries the playhead, but not the source.
+            EXPECT_EQ(resumed.front_end().field_source(), nullptr);
+            EXPECT_EQ(resumed.front_end().save_window_state().sample_index,
+                      static_cast<std::uint64_t>(k) * ref.plan().total_steps());
+            resumed.set_field_source(src);
+            for (int t = k; t < kTicks; ++t) {
+                expect_equal_measurements(resumed.measure(), expected[static_cast<std::size_t>(t)]);
+            }
+            EXPECT_EQ(snapshot::snapshot_compass(resumed), ref_final);
+        }
+    }
+}
+
+TEST(ScenarioSnapshot, RestoredCompassContinuesOnTheLaneBatchPath) {
+    // A mid-scenario restore can also finish its run through the SoA
+    // lane engine: restore, reinstall the source, and run the remaining
+    // ticks as PlanExecutor::run_lanes batches — bit-identical to the
+    // uninterrupted per-member run.
+    constexpr int kTicks = 4;
+    compass::CompassConfig cfg = small_config();
+    cfg.engine = sim::EngineKind::Block;
+    const auto src = restore_scenario(cfg, kTicks);
+
+    compass::Compass ref(cfg);
+    ref.set_field_source(src);
+    std::vector<compass::Measurement> expected;
+    for (int t = 0; t < kTicks; ++t) expected.push_back(ref.measure());
+
+    compass::Compass donor(cfg);
+    donor.set_field_source(src);
+    (void)donor.measure();
+    (void)donor.measure();
+    const std::vector<std::uint8_t> snap = snapshot::snapshot_compass(donor);
+
+    compass::Compass resumed(cfg);
+    snapshot::restore_compass(snap, resumed);
+    resumed.set_field_source(src);
+    for (int t = 2; t < kTicks; ++t) {
+        compass::Compass* lanes[1] = {&resumed};
+        compass::LaneOutcome outcome[1];
+        compass::PlanExecutor::run_lanes(resumed.plan(), lanes, outcome);
+        ASSERT_FALSE(outcome[0].aborted) << outcome[0].error;
+        expect_equal_measurements(outcome[0].measurement,
+                                  expected[static_cast<std::size_t>(t)]);
+    }
+}
+
+TEST(ScenarioSnapshot, CrossEngineRestoreFailsClosed) {
+    // The engine kind is part of the config fingerprint: a mid-scenario
+    // snapshot from one engine must not restore onto another (the
+    // engines are bit-identical, but state layout equivalence is the
+    // fingerprint's promise, not ours to assume) — and the rejected
+    // target is untouched.
+    compass::CompassConfig cfg = small_config();
+    cfg.engine = sim::EngineKind::Scalar;
+    const auto src = restore_scenario(cfg, 2);
+    compass::Compass donor(cfg);
+    donor.set_field_source(src);
+    (void)donor.measure();
+    const std::vector<std::uint8_t> snap = snapshot::snapshot_compass(donor);
+
+    compass::CompassConfig other = cfg;
+    other.engine = sim::EngineKind::Block;
+    compass::Compass target(other);
+    const std::vector<std::uint8_t> before = snapshot::snapshot_compass(target);
+    EXPECT_THROW(snapshot::restore_compass(snap, target), snapshot::SnapshotError);
+    EXPECT_EQ(snapshot::snapshot_compass(target), before);
 }
