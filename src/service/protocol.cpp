@@ -1,0 +1,250 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+
+#include "snapshot/format.hpp"
+
+namespace fxg::service {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reads over a payload.
+class PayloadReader {
+public:
+    explicit PayloadReader(const std::vector<std::uint8_t>& bytes)
+        : bytes_(bytes) {}
+
+    std::uint8_t get_u8() {
+        require(1);
+        return bytes_[off_++];
+    }
+
+    std::uint32_t get_u32() {
+        require(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(bytes_[off_ + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        }
+        off_ += 4;
+        return v;
+    }
+
+    std::uint64_t get_u64() {
+        require(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(bytes_[off_ + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        }
+        off_ += 8;
+        return v;
+    }
+
+    std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+    double get_f64() {
+        const std::uint64_t bits = get_u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string get_string() {
+        const std::uint32_t n = get_u32();
+        require(n);
+        std::string s(reinterpret_cast<const char*>(bytes_.data() + off_), n);
+        off_ += n;
+        return s;
+    }
+
+    void expect_end() const {
+        if (off_ != bytes_.size()) {
+            throw ProtocolError("protocol: trailing bytes in payload");
+        }
+    }
+
+private:
+    void require(std::size_t n) const {
+        if (bytes_.size() - off_ < n) {
+            throw ProtocolError("protocol: payload truncated");
+        }
+    }
+
+    const std::vector<std::uint8_t>& bytes_;
+    std::size_t off_ = 0;
+};
+
+std::vector<std::uint8_t> frame_bytes(MessageKind kind,
+                                      const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> out;
+    out.reserve(kFrameHeaderSize + payload.size());
+    put_u32(out, kFrameMagic);
+    put_u16(out, kProtocolVersion);
+    put_u16(out, static_cast<std::uint16_t>(kind));
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    put_u32(out, snapshot::crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::uint32_t read_u32_at(const std::vector<std::uint8_t>& buf, std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(buf[at + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    return v;
+}
+
+std::uint16_t read_u16_at(const std::vector<std::uint8_t>& buf, std::size_t at) {
+    return static_cast<std::uint16_t>(buf[at] |
+                                      (static_cast<std::uint16_t>(buf[at + 1]) << 8));
+}
+
+}  // namespace
+
+const char* to_string(ReplyStatus status) noexcept {
+    switch (status) {
+        case ReplyStatus::Ok: return "Ok";
+        case ReplyStatus::Degraded: return "Degraded";
+        case ReplyStatus::Stale: return "Stale";
+        case ReplyStatus::Shed: return "Shed";
+        case ReplyStatus::Error: return "Error";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t> encode_request(const HeadingRequest& r) {
+    std::vector<std::uint8_t> payload;
+    put_u64(payload, r.request_id);
+    put_u32(payload, r.flags);
+    return frame_bytes(MessageKind::HeadingRequest, payload);
+}
+
+std::vector<std::uint8_t> encode_reply(const HeadingReply& r) {
+    std::vector<std::uint8_t> payload;
+    put_u64(payload, r.request_id);
+    payload.push_back(static_cast<std::uint8_t>(r.status));
+    payload.push_back(r.stale ? 1 : 0);
+    put_u32(payload, r.retry_after_ms);
+    put_u32(payload, r.member);
+    put_u32(payload, r.attempts);
+    put_f64(payload, r.heading_deg);
+    put_u64(payload, static_cast<std::uint64_t>(r.count_x));
+    put_u64(payload, static_cast<std::uint64_t>(r.count_y));
+    put_u32(payload, static_cast<std::uint32_t>(r.detail.size()));
+    payload.insert(payload.end(), r.detail.begin(), r.detail.end());
+    return frame_bytes(MessageKind::HeadingReply, payload);
+}
+
+HeadingRequest decode_request(const Frame& frame) {
+    if (frame.kind != MessageKind::HeadingRequest) {
+        throw ProtocolError("protocol: frame is not a HeadingRequest");
+    }
+    PayloadReader in(frame.payload);
+    HeadingRequest r;
+    r.request_id = in.get_u64();
+    r.flags = in.get_u32();
+    in.expect_end();
+    if (r.flags != 0) {
+        throw ProtocolError("protocol: reserved request flags set");
+    }
+    return r;
+}
+
+HeadingReply decode_reply(const Frame& frame) {
+    if (frame.kind != MessageKind::HeadingReply) {
+        throw ProtocolError("protocol: frame is not a HeadingReply");
+    }
+    PayloadReader in(frame.payload);
+    HeadingReply r;
+    r.request_id = in.get_u64();
+    const std::uint8_t status = in.get_u8();
+    if (status > static_cast<std::uint8_t>(ReplyStatus::Error)) {
+        throw ProtocolError("protocol: unknown reply status");
+    }
+    r.status = static_cast<ReplyStatus>(status);
+    r.stale = in.get_u8() != 0;
+    r.retry_after_ms = in.get_u32();
+    r.member = in.get_u32();
+    r.attempts = in.get_u32();
+    r.heading_deg = in.get_f64();
+    r.count_x = in.get_i64();
+    r.count_y = in.get_i64();
+    r.detail = in.get_string();
+    in.expect_end();
+    return r;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection's buffer stays proportional to its unread bytes.
+    if (off_ > 0 && off_ == buf_.size()) {
+        buf_.clear();
+        off_ = 0;
+    } else if (off_ > 4096) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+        off_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameReader::next(Frame& out) {
+    if (buf_.size() - off_ < kFrameHeaderSize) return false;
+    if (read_u32_at(buf_, off_) != kFrameMagic) {
+        throw ProtocolError("protocol: bad frame magic");
+    }
+    const std::uint16_t version = read_u16_at(buf_, off_ + 4);
+    if (version != kProtocolVersion) {
+        throw ProtocolError("protocol: version mismatch (peer v" +
+                            std::to_string(version) + ", this v" +
+                            std::to_string(kProtocolVersion) + ")");
+    }
+    const std::uint16_t kind = read_u16_at(buf_, off_ + 6);
+    if (kind != static_cast<std::uint16_t>(MessageKind::HeadingRequest) &&
+        kind != static_cast<std::uint16_t>(MessageKind::HeadingReply)) {
+        throw ProtocolError("protocol: unknown message kind " +
+                            std::to_string(kind));
+    }
+    const std::uint32_t len = read_u32_at(buf_, off_ + 8);
+    if (len > kMaxPayload) {
+        throw ProtocolError("protocol: oversized payload (" +
+                            std::to_string(len) + " bytes)");
+    }
+    if (buf_.size() - off_ < kFrameHeaderSize + len) return false;
+    const std::uint32_t want_crc = read_u32_at(buf_, off_ + 12);
+    const std::uint8_t* payload = buf_.data() + off_ + kFrameHeaderSize;
+    if (snapshot::crc32(payload, len) != want_crc) {
+        throw ProtocolError("protocol: payload CRC mismatch");
+    }
+    out.kind = static_cast<MessageKind>(kind);
+    out.payload.assign(payload, payload + len);
+    off_ += kFrameHeaderSize + len;
+    return true;
+}
+
+}  // namespace fxg::service

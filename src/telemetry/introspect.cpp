@@ -7,36 +7,59 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include "util/task_pool.hpp"
 
 namespace fxg::telemetry {
 
-namespace {
+namespace detail {
 
-/// Reads until EOF or error (the server closes after one response).
 std::string read_all(int fd) {
     std::string out;
     char buf[4096];
     for (;;) {
-        const ssize_t n = ::read(fd, buf, sizeof buf);
-        if (n <= 0) break;
-        out.append(buf, static_cast<std::size_t>(n));
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) break;  // orderly EOF
+        if (errno == EINTR) continue;  // a signal is not a hang-up
+        // A receive timeout (SO_RCVTIMEO) surfaces as EAGAIN: the peer
+        // stalled, so hand back what arrived — same as EOF, but chosen,
+        // not mistaken for one. Every other error also ends the read.
+        break;
     }
     return out;
 }
 
-void write_all(int fd, const char* data, std::size_t size) {
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
     std::size_t off = 0;
     while (off < size) {
-        const ssize_t n = ::write(fd, data + off, size - off);
-        if (n <= 0) return;  // peer went away; nothing useful to do
-        off += static_cast<std::size_t>(n);
+        // MSG_NOSIGNAL: a peer that closed mid-response must produce
+        // EPIPE, not a SIGPIPE that kills the whole process.
+        const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;  // peer went away (EPIPE/ECONNRESET/...) or hard error
     }
+    return true;
 }
+
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
 
 std::string make_response(const char* status, const char* content_type,
                           const std::string& body) {
@@ -50,12 +73,42 @@ std::string make_response(const char* status, const char* content_type,
     return out;
 }
 
+void set_nonblocking(int fd) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
 }  // namespace
+
+/// One accepted client, owned by the serve loop. A connection is a
+/// two-state machine: reading the request line, then flushing the
+/// response; both sides are non-blocking and driven by poll readiness,
+/// so a stalled peer never blocks any other connection.
+struct IntrospectionServer::Connection {
+    int fd = -1;
+    std::string request;    ///< bytes read so far (until the first '\n')
+    std::string response;   ///< rendered response being flushed
+    std::size_t written = 0;
+    bool responding = false;
+    Clock::time_point deadline{};
+};
 
 IntrospectionServer::IntrospectionServer(IntrospectionHandlers handlers)
     : handlers_(std::move(handlers)) {}
 
 IntrospectionServer::~IntrospectionServer() { stop(); }
+
+void IntrospectionServer::set_limits(const IntrospectionLimits& limits) {
+    if (limits.max_connections < 1 || limits.request_deadline_s <= 0.0) {
+        throw std::invalid_argument(
+            "IntrospectionServer: limits must be positive");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+        throw std::runtime_error(
+            "IntrospectionServer: set_limits while running");
+    }
+    limits_ = limits;
+}
 
 void IntrospectionServer::start(util::TaskPool& pool, int port) {
     {
@@ -92,7 +145,7 @@ void IntrospectionServer::start(util::TaskPool& pool, int port) {
     // Non-blocking listen socket + short poll timeout: close()ing a
     // blocking accept() from another thread does not wake it on Linux,
     // so the loop must poll to notice stop().
-    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    set_nonblocking(fd);
 
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -124,27 +177,136 @@ int IntrospectionServer::port() const {
 }
 
 void IntrospectionServer::serve_loop() {
-    int fd;
+    int listen_fd;
+    IntrospectionLimits limits;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        fd = listen_fd_;
+        listen_fd = listen_fd_;
+        limits = limits_;
     }
+    const auto deadline_budget = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(limits.request_deadline_s));
+
+    std::vector<std::unique_ptr<Connection>> conns;
+    std::vector<pollfd> pfds;
+
     for (;;) {
         {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_) break;
         }
-        pollfd pfd{fd, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 100);
-        if (ready <= 0) continue;
-        const int client = ::accept(fd, nullptr, nullptr);
-        if (client < 0) continue;
-        // Bound reads so a stalled client cannot wedge the loop.
-        timeval tv{1, 0};
-        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-        handle_client(client);
-        ::close(client);
+
+        // Rebuild the poll set each pass (the table is tiny). Slot 0 is
+        // the listener — only watched while a connection slot is free,
+        // so a full table parks new clients in the accept backlog
+        // instead of busy-looping on a ready listener.
+        pfds.clear();
+        const bool can_accept =
+            static_cast<int>(conns.size()) < limits.max_connections;
+        pfds.push_back(
+            pollfd{listen_fd, static_cast<short>(can_accept ? POLLIN : 0), 0});
+        for (const auto& c : conns) {
+            pfds.push_back(pollfd{
+                c->fd, static_cast<short>(c->responding ? POLLOUT : POLLIN), 0});
+        }
+
+        const int ready = ::poll(pfds.data(),
+                                 static_cast<nfds_t>(pfds.size()), 100);
+        if (ready < 0) {
+            if (errno == EINTR) continue;  // a signal is not an error
+            break;  // poll itself failed; bail out rather than spin
+        }
+        const Clock::time_point now = Clock::now();
+
+        // Accept every pending client while slots remain.
+        if ((pfds[0].revents & POLLIN) != 0) {
+            while (static_cast<int>(conns.size()) < limits.max_connections) {
+                const int client = ::accept(listen_fd, nullptr, nullptr);
+                if (client < 0) {
+                    if (errno == EINTR) continue;
+                    break;  // EAGAIN: backlog drained
+                }
+                set_nonblocking(client);
+                auto conn = std::make_unique<Connection>();
+                conn->fd = client;
+                conn->deadline = now + deadline_budget;
+                conns.push_back(std::move(conn));
+            }
+        }
+
+        // Drive each connection by its poll readiness; drop it on
+        // completion, peer hangup or deadline expiry. Only the
+        // connections that were in THIS poll set have revents —
+        // just-accepted ones (conns grew above) wait for the next pass.
+        std::size_t polled = pfds.size() - 1;
+        for (std::size_t i = 0; i < polled; ++i) {
+            Connection& c = *conns[i];
+            const short revents = pfds[i + 1].revents;
+            bool done = false;
+
+            if (!c.responding && (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+                char buf[1024];
+                for (;;) {
+                    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+                    if (n > 0) {
+                        c.request.append(buf, static_cast<std::size_t>(n));
+                        if (c.request.find('\n') != std::string::npos) break;
+                        if (c.request.size() > 16 * 1024) break;  // not ours
+                        continue;
+                    }
+                    if (n < 0 && errno == EINTR) continue;
+                    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                        break;  // drained; wait for the next POLLIN
+                    }
+                    done = true;  // EOF before a request line, or hard error
+                    break;
+                }
+                const auto line_end = c.request.find('\n');
+                if (!done && (line_end != std::string::npos ||
+                              c.request.size() > 16 * 1024)) {
+                    if (line_end == std::string::npos) {
+                        done = true;  // oversized garbage, no request line
+                    } else {
+                        c.response =
+                            build_response(c.request.substr(0, line_end));
+                        c.responding = true;
+                    }
+                }
+            }
+
+            if (!done && c.responding &&
+                (revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+                while (c.written < c.response.size()) {
+                    const ssize_t n =
+                        ::send(c.fd, c.response.data() + c.written,
+                               c.response.size() - c.written, MSG_NOSIGNAL);
+                    if (n > 0) {
+                        c.written += static_cast<std::size_t>(n);
+                        continue;
+                    }
+                    if (n < 0 && errno == EINTR) continue;
+                    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                        break;  // socket buffer full; wait for POLLOUT
+                    }
+                    done = true;  // peer gone mid-response (EPIPE, no signal)
+                    break;
+                }
+                if (c.written == c.response.size()) done = true;
+            }
+
+            if (!done && now >= c.deadline) done = true;
+
+            if (done) {
+                ::close(c.fd);
+                conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+                pfds.erase(pfds.begin() + static_cast<std::ptrdiff_t>(i + 1));
+                --polled;
+                --i;
+            }
+        }
     }
+
+    for (const auto& c : conns) ::close(c->fd);
     {
         // Notify under the lock: the moment stop()'s waiter can observe
         // running_ == false it may destroy this object, so the notify
@@ -155,56 +317,44 @@ void IntrospectionServer::serve_loop() {
     }
 }
 
-void IntrospectionServer::handle_client(int client_fd) {
-    // Read the request line ("GET /path HTTP/1.0"); headers past the
-    // first line are irrelevant to every route we serve.
-    std::string request;
-    char buf[1024];
-    for (;;) {
-        const ssize_t n = ::read(client_fd, buf, sizeof buf);
-        if (n <= 0) break;
-        request.append(buf, static_cast<std::size_t>(n));
-        if (request.find('\n') != std::string::npos) break;
-        if (request.size() > 16 * 1024) break;  // not a request we serve
-    }
-    const auto line_end = request.find('\n');
-    if (line_end == std::string::npos) return;
-    const std::string line = request.substr(0, line_end);
+std::string IntrospectionServer::build_response(const std::string& line) const {
     if (line.rfind("GET ", 0) != 0) {
-        const std::string resp = make_response("405 Method Not Allowed",
-                                               "text/plain", "GET only\n");
-        write_all(client_fd, resp.data(), resp.size());
-        return;
+        return make_response("405 Method Not Allowed", "text/plain",
+                             "GET only\n");
     }
     const auto path_end = line.find(' ', 4);
     const std::string path = line.substr(
         4, path_end == std::string::npos ? std::string::npos : path_end - 4);
 
-    std::string response;
     try {
         if (path == "/metrics" && handlers_.metrics) {
-            response = make_response("200 OK", "text/plain; version=0.0.4",
-                                     handlers_.metrics());
-        } else if (path == "/trace" && handlers_.trace) {
-            response =
-                make_response("200 OK", "application/jsonl", handlers_.trace());
-        } else if (path == "/healthz" && handlers_.healthz) {
-            response = make_response("200 OK", "text/plain", handlers_.healthz());
-        } else if (path == "/snapshot" && handlers_.snapshot) {
-            const std::vector<std::uint8_t> bytes = handlers_.snapshot();
-            response = make_response(
-                "200 OK", "application/octet-stream",
-                std::string(reinterpret_cast<const char*>(bytes.data()),
-                            bytes.size()));
-        } else {
-            response = make_response("404 Not Found", "text/plain",
-                                     "unknown path " + path + "\n");
+            return make_response("200 OK", "text/plain; version=0.0.4",
+                                 handlers_.metrics());
         }
+        if (path == "/trace" && handlers_.trace) {
+            return make_response("200 OK", "application/jsonl",
+                                 handlers_.trace());
+        }
+        if (path == "/healthz" && handlers_.healthz) {
+            return make_response("200 OK", "text/plain", handlers_.healthz());
+        }
+        if (path == "/snapshot" && handlers_.snapshot) {
+            const std::vector<std::uint8_t> bytes = handlers_.snapshot();
+            // bytes.data() may be null when empty — never hand that to
+            // the std::string(ptr, len) constructor.
+            std::string body;
+            if (!bytes.empty()) {
+                body.assign(reinterpret_cast<const char*>(bytes.data()),
+                            bytes.size());
+            }
+            return make_response("200 OK", "application/octet-stream", body);
+        }
+        return make_response("404 Not Found", "text/plain",
+                             "unknown path " + path + "\n");
     } catch (const std::exception& e) {
-        response = make_response("500 Internal Server Error", "text/plain",
-                                 std::string(e.what()) + "\n");
+        return make_response("500 Internal Server Error", "text/plain",
+                             std::string(e.what()) + "\n");
     }
-    write_all(client_fd, response.data(), response.size());
 }
 
 std::string IntrospectionServer::http_get(int port, const std::string& path) {
@@ -217,17 +367,21 @@ std::string IntrospectionServer::http_get(int port, const std::string& path) {
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-        0) {
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
         const std::string what =
             std::string("http_get: connect: ") + std::strerror(errno);
         ::close(fd);
         throw std::runtime_error(what);
     }
     const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-    write_all(fd, request.data(), request.size());
+    static_cast<void>(detail::write_all(fd, request.data(), request.size()));
     ::shutdown(fd, SHUT_WR);
-    std::string response = read_all(fd);
+    std::string response = detail::read_all(fd);
     ::close(fd);
     return response;
 }

@@ -19,10 +19,20 @@
 /// promptly — stop() blocks until the loop has exited, which MUST
 /// happen before the pool is destroyed.
 ///
+/// Connection handling is a poll-multiplexed state machine, not a
+/// blocking read/write per client: every client socket is non-blocking,
+/// all of them are polled together, and each connection carries its own
+/// wall-clock deadline. One stalled client therefore costs one table
+/// slot — never the loop (the slow-loris bug the blocking version had).
+/// All socket writes go through ::send(MSG_NOSIGNAL), so a peer that
+/// disconnects mid-response produces EPIPE — not a process-killing
+/// SIGPIPE — and EINTR is always a retry, never EOF.
+///
 /// One request per connection, no keep-alive, no TLS, loopback only:
 /// this is a debugging porthole, not a web server.
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -35,6 +45,21 @@ class TaskPool;
 
 namespace fxg::telemetry {
 
+namespace detail {
+
+/// Reads `fd` to EOF (blocking socket), retrying on EINTR. Returns the
+/// bytes that arrived before EOF/error. An EAGAIN/EWOULDBLOCK from a
+/// receive timeout (SO_RCVTIMEO) ends the read like EOF — explicitly,
+/// not by accident — so a stalled peer yields what was received.
+[[nodiscard]] std::string read_all(int fd);
+
+/// Writes the whole buffer with ::send(MSG_NOSIGNAL), retrying on
+/// EINTR and short sends. Returns false when the peer is gone (EPIPE /
+/// ECONNRESET / any other hard error) — never raises SIGPIPE.
+bool write_all(int fd, const char* data, std::size_t size) noexcept;
+
+}  // namespace detail
+
 /// Route providers. Any that is empty answers 404. Providers are
 /// called from the server thread and must be thread-safe against the
 /// system they observe; a provider that throws answers 500 with the
@@ -46,6 +71,17 @@ struct IntrospectionHandlers {
     std::function<std::vector<std::uint8_t>()> snapshot;
 };
 
+/// Server tuning knobs (defaults suit the debugging-porthole role).
+struct IntrospectionLimits {
+    /// Concurrently open client connections. Excess connections wait in
+    /// the kernel accept backlog; they are not failed.
+    int max_connections = 32;
+    /// Wall-clock budget per connection, accept to last byte written.
+    /// A client that has not completed its request/response exchange by
+    /// the deadline is closed — the bound on what a slow-loris can pin.
+    double request_deadline_s = 2.0;
+};
+
 class IntrospectionServer {
 public:
     explicit IntrospectionServer(IntrospectionHandlers handlers);
@@ -55,6 +91,10 @@ public:
 
     IntrospectionServer(const IntrospectionServer&) = delete;
     IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+    /// Must be called before start(); throws std::invalid_argument on
+    /// non-positive limits.
+    void set_limits(const IntrospectionLimits& limits);
 
     /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and
     /// starts the accept loop on `pool`. Throws std::runtime_error on
@@ -80,10 +120,15 @@ public:
     [[nodiscard]] static std::string body_of(const std::string& response);
 
 private:
+    struct Connection;
+
     void serve_loop();
-    void handle_client(int client_fd);
+    /// Renders the response for one request line (route dispatch; a
+    /// throwing handler becomes a 500).
+    [[nodiscard]] std::string build_response(const std::string& line) const;
 
     IntrospectionHandlers handlers_;
+    IntrospectionLimits limits_;
 
     mutable std::mutex mutex_;
     std::condition_variable loop_exited_;

@@ -7,7 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -54,6 +62,32 @@ void expect_equal_measurements(const compass::Measurement& a,
     EXPECT_EQ(a.count_y, b.count_y);
     EXPECT_EQ(a.heading_deg, b.heading_deg);
     EXPECT_EQ(a.heading_float_deg, b.heading_float_deg);
+}
+
+/// A raw loopback connection for abuse tests (partial requests, abrupt
+/// disconnects) — http_get is too polite for those.
+int raw_connect(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    return fd;
+}
+
+/// SIGUSR1 handler installed WITHOUT SA_RESTART, so a blocking recv/
+/// send on the signalled thread returns EINTR instead of restarting —
+/// the exact condition the detail:: helpers must survive.
+void install_noop_sigusr1() {
+    struct sigaction sa{};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately no SA_RESTART
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, nullptr), 0);
 }
 
 }  // namespace
@@ -187,4 +221,203 @@ TEST(IntrospectTest, EndpointsStayLiveWhileTheFleetIsMeasuring) {
     if (saw_measuring == 0) {
         std::puts("note: /healthz never observed an in-flight batch");
     }
+}
+
+// ------------------------------------------------- network-bug regressions
+
+TEST(IntrospectTest, DetailReadAllRetriesEintrInsteadOfTruncating) {
+    install_noop_sigusr1();
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    std::string received;
+    std::thread reader([&] { received = telemetry::detail::read_all(sv[0]); });
+    const pthread_t reader_handle = reader.native_handle();
+
+    // First half, then a burst of signals at the (likely blocked)
+    // reader, then the second half. The old `EINTR == EOF` bug returns
+    // early with only the first half; the fix retries and reads on.
+    const std::string first(4096, 'a'), second(4096, 'b');
+    ASSERT_TRUE(
+        telemetry::detail::write_all(sv[1], first.data(), first.size()));
+    for (int i = 0; i < 20; ++i) {
+        pthread_kill(reader_handle, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(
+        telemetry::detail::write_all(sv[1], second.data(), second.size()));
+    ::shutdown(sv[1], SHUT_WR);
+    reader.join();
+
+    EXPECT_EQ(received.size(), first.size() + second.size());
+    EXPECT_EQ(received, first + second);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(IntrospectTest, DetailWriteAllSurvivesPeerGoneWithoutSigpipe) {
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::close(sv[0]);  // peer vanishes before we write
+
+    // Without MSG_NOSIGNAL this raises SIGPIPE and kills the test
+    // process outright; with it, the helper reports failure and lives.
+    const std::string body(64 * 1024, 'x');
+    EXPECT_FALSE(telemetry::detail::write_all(sv[1], body.data(), body.size()));
+    ::close(sv[1]);
+}
+
+TEST(IntrospectTest, DetailWriteAllRetriesEintrAcrossAFullSocketBuffer) {
+    install_noop_sigusr1();
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    // A payload much larger than the socket buffer forces send() to
+    // block partway; signals during the stall force EINTR returns.
+    const std::string payload(1 << 20, 'z');
+    std::atomic<bool> write_ok{false};
+    std::thread writer([&] {
+        write_ok =
+            telemetry::detail::write_all(sv[1], payload.data(), payload.size());
+        ::shutdown(sv[1], SHUT_WR);
+    });
+    const pthread_t writer_handle = writer.native_handle();
+    for (int i = 0; i < 20; ++i) {
+        pthread_kill(writer_handle, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::string received = telemetry::detail::read_all(sv[0]);
+    writer.join();
+
+    EXPECT_TRUE(write_ok.load());
+    EXPECT_EQ(received.size(), payload.size());
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(IntrospectTest, ServerSurvivesClientsDisconnectingMidTrace) {
+    // Regression for the SIGPIPE death: a client that requests the
+    // (large) /trace body and slams the connection shut mid-response
+    // used to kill the whole process on the resulting write().
+    compass::CompassFleet fleet(2, small_config());
+    fleet.set_environments(site(), ring_headings(2));
+    for (int i = 0; i < 20; ++i) static_cast<void>(fleet.measure_all());
+    const int port = fleet.start_introspection();
+    ASSERT_GT(port, 0);
+
+    for (int round = 0; round < 6; ++round) {
+        const int fd = raw_connect(port);
+        const char req[] = "GET /trace HTTP/1.0\r\n\r\n";
+        ASSERT_GT(::send(fd, req, sizeof req - 1, MSG_NOSIGNAL), 0);
+        char first_bytes[32];
+        static_cast<void>(::recv(fd, first_bytes, sizeof first_bytes, 0));
+        ::close(fd);  // mid-response: the server still has bytes to send
+    }
+
+    // Still alive and still serving complete responses.
+    EXPECT_TRUE(fleet.introspection_running());
+    const std::string trace = IntrospectionServer::body_of(
+        IntrospectionServer::http_get(port, "/trace"));
+    EXPECT_NO_THROW(static_cast<void>(telemetry::parse_trace_jsonl(trace)));
+    fleet.stop_introspection();
+}
+
+TEST(IntrospectTest, SlowLorisDoesNotBlockFastClients) {
+    telemetry::IntrospectionHandlers handlers;
+    handlers.healthz = [] { return std::string("ok\n"); };
+    IntrospectionServer server(handlers);
+    telemetry::IntrospectionLimits limits;
+    limits.request_deadline_s = 1.0;
+    server.set_limits(limits);
+    util::TaskPool pool;
+    server.start(pool);
+    const int port = server.port();
+
+    // The loris: half a request line, then silence.
+    const int loris = raw_connect(port);
+    const char stall[] = "GET /hea";
+    ASSERT_GT(::send(loris, stall, sizeof stall - 1, MSG_NOSIGNAL), 0);
+
+    // Fast clients complete while the loris is mid-stall (the old
+    // single-connection loop served nobody until the stalled client's
+    // timeout). Generous bound: well under the 1 s deadline.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 3; ++i) {
+        const std::string health = IntrospectionServer::http_get(port, "/healthz");
+        EXPECT_NE(health.find("200"), std::string::npos);
+    }
+    const double fast_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(fast_s, 0.9) << "fast clients were stuck behind the loris";
+
+    // The deadline eventually reclaims the stalled connection: the
+    // loris sees EOF (or a reset) rather than holding a slot forever.
+    char sink[16];
+    ssize_t n;
+    do {
+        n = ::recv(loris, sink, sizeof sink, 0);
+    } while (n < 0 && errno == EINTR);
+    EXPECT_LE(n, 0);
+    ::close(loris);
+    server.stop();
+}
+
+TEST(IntrospectTest, EmptySnapshotBodyIsServedNotUndefined) {
+    // Regression: an empty snapshot used to build std::string from
+    // bytes.data() == nullptr — UB. Now it must serve a clean 200 with
+    // Content-Length: 0.
+    telemetry::IntrospectionHandlers handlers;
+    handlers.snapshot = [] { return std::vector<std::uint8_t>{}; };
+    IntrospectionServer server(handlers);
+    util::TaskPool pool;
+    server.start(pool);
+
+    const std::string response =
+        IntrospectionServer::http_get(server.port(), "/snapshot");
+    EXPECT_NE(response.find("200"), std::string::npos);
+    EXPECT_NE(response.find("Content-Length: 0"), std::string::npos);
+    EXPECT_TRUE(IntrospectionServer::body_of(response).empty());
+    server.stop();
+}
+
+TEST(IntrospectTest, SetLimitsValidatesAndRefusesWhileRunning) {
+    telemetry::IntrospectionHandlers handlers;
+    handlers.healthz = [] { return std::string("ok\n"); };
+    IntrospectionServer server(handlers);
+
+    telemetry::IntrospectionLimits bad;
+    bad.max_connections = 0;
+    EXPECT_THROW(server.set_limits(bad), std::invalid_argument);
+    bad.max_connections = 4;
+    bad.request_deadline_s = 0.0;
+    EXPECT_THROW(server.set_limits(bad), std::invalid_argument);
+
+    telemetry::IntrospectionLimits good;
+    server.set_limits(good);
+    util::TaskPool pool;
+    server.start(pool);
+    EXPECT_THROW(server.set_limits(good), std::runtime_error);
+    server.stop();
+}
+
+TEST(IntrospectTest, StandaloneServerRestartRebindsPortZero) {
+    telemetry::IntrospectionHandlers handlers;
+    handlers.healthz = [] { return std::string("ok\n"); };
+    IntrospectionServer server(handlers);
+    util::TaskPool pool;
+
+    server.start(pool);
+    const int port1 = server.port();
+    ASSERT_GT(port1, 0);
+    EXPECT_NE(IntrospectionServer::http_get(port1, "/healthz").find("200"),
+              std::string::npos);
+    server.stop();
+
+    server.start(pool);  // port 0 again: rebinding must succeed
+    const int port2 = server.port();
+    ASSERT_GT(port2, 0);
+    EXPECT_NE(IntrospectionServer::http_get(port2, "/healthz").find("200"),
+              std::string::npos);
+    server.stop();
 }

@@ -1,0 +1,441 @@
+/// \file service_test.cpp
+/// The compassd service stack (DESIGN.md §16): wire-protocol framing
+/// (round trip, CRC discipline, version gate, incremental reassembly),
+/// the CompassService daemon end to end over a real loopback socket —
+/// query serving, request coalescing into fleet batches, admission
+/// control (pending-queue and connection budgets, Retry-After
+/// semantics), degraded serving from a fault-tripped member, abrupt
+/// client disconnects, malformed-stream handling and restart.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "magnetics/earth_field.hpp"
+#include "magnetics/units.hpp"
+#include "service/client.hpp"
+#include "service/compassd.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/introspect.hpp"
+
+using namespace fxg;
+using service::Frame;
+using service::FrameReader;
+using service::HeadingReply;
+using service::HeadingRequest;
+using service::ProtocolError;
+using service::ReplyStatus;
+
+namespace {
+
+magnetics::EarthField site() {
+    return magnetics::EarthField(magnetics::microtesla(48.0), 67.0);
+}
+
+/// Small, fast pipeline for socket-focused tests.
+compass::CompassConfig small_config() {
+    compass::CompassConfig cfg;
+    cfg.steps_per_period = 64;
+    cfg.periods_per_axis = 1;
+    cfg.settle_periods = 1;
+    return cfg;
+}
+
+service::ServiceConfig small_service(int members) {
+    service::ServiceConfig cfg;
+    cfg.members = members;
+    cfg.compass = small_config();
+    return cfg;
+}
+
+HeadingReply sample_reply() {
+    HeadingReply r;
+    r.request_id = 0x1122334455667788ull;
+    r.status = ReplyStatus::Degraded;
+    r.stale = true;
+    r.retry_after_ms = 125;
+    r.member = 7;
+    r.attempts = 3;
+    r.heading_deg = 211.375;
+    r.count_x = -123456789;
+    r.count_y = 987654321;
+    r.detail = "single-axis reconstruction";
+    return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServiceProtocolTest, RequestRoundTripsThroughFraming) {
+    const std::vector<std::uint8_t> bytes =
+        service::encode_request(HeadingRequest{0xDEADBEEFCAFEull, 0});
+    EXPECT_EQ(bytes.size(), service::kFrameHeaderSize + 12);
+
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    const HeadingRequest decoded = service::decode_request(frame);
+    EXPECT_EQ(decoded.request_id, 0xDEADBEEFCAFEull);
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServiceProtocolTest, ReplyRoundTripsEveryField) {
+    const HeadingReply sent = sample_reply();
+    const std::vector<std::uint8_t> bytes = service::encode_reply(sent);
+
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    const HeadingReply r = service::decode_reply(frame);
+    EXPECT_EQ(r.request_id, sent.request_id);
+    EXPECT_EQ(r.status, sent.status);
+    EXPECT_EQ(r.stale, sent.stale);
+    EXPECT_EQ(r.retry_after_ms, sent.retry_after_ms);
+    EXPECT_EQ(r.member, sent.member);
+    EXPECT_EQ(r.attempts, sent.attempts);
+    EXPECT_EQ(r.heading_deg, sent.heading_deg);
+    EXPECT_EQ(r.count_x, sent.count_x);
+    EXPECT_EQ(r.count_y, sent.count_y);
+    EXPECT_EQ(r.detail, sent.detail);
+}
+
+TEST(ServiceProtocolTest, ReaderReassemblesByteAtATimeAndBackToBack) {
+    std::vector<std::uint8_t> stream =
+        service::encode_request(HeadingRequest{1, 0});
+    const std::vector<std::uint8_t> second =
+        service::encode_reply(sample_reply());
+    stream.insert(stream.end(), second.begin(), second.end());
+
+    FrameReader reader;
+    Frame frame;
+    int got = 0;
+    for (const std::uint8_t byte : stream) {
+        reader.feed(&byte, 1);
+        while (reader.next(frame)) ++got;
+    }
+    EXPECT_EQ(got, 2);
+}
+
+TEST(ServiceProtocolTest, CorruptPayloadCrcIsRejected) {
+    std::vector<std::uint8_t> bytes =
+        service::encode_request(HeadingRequest{42, 0});
+    bytes.back() ^= 0x01;  // flip one payload bit; header CRC now lies
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_THROW(static_cast<void>(reader.next(frame)), ProtocolError);
+}
+
+TEST(ServiceProtocolTest, VersionMismatchAndBadMagicAreRejected) {
+    std::vector<std::uint8_t> bytes =
+        service::encode_request(HeadingRequest{42, 0});
+    std::vector<std::uint8_t> wrong_version = bytes;
+    wrong_version[4] = 0x7F;  // version field, little-endian low byte
+    FrameReader reader;
+    reader.feed(wrong_version.data(), wrong_version.size());
+    Frame frame;
+    EXPECT_THROW(static_cast<void>(reader.next(frame)), ProtocolError);
+
+    std::vector<std::uint8_t> wrong_magic = bytes;
+    wrong_magic[0] ^= 0xFF;
+    FrameReader reader2;
+    reader2.feed(wrong_magic.data(), wrong_magic.size());
+    EXPECT_THROW(static_cast<void>(reader2.next(frame)), ProtocolError);
+}
+
+TEST(ServiceProtocolTest, OversizedPayloadAndUnknownKindAreRejected) {
+    std::vector<std::uint8_t> bytes =
+        service::encode_request(HeadingRequest{42, 0});
+    std::vector<std::uint8_t> oversized = bytes;
+    oversized[8] = 0xFF;  // payload_len little-endian
+    oversized[9] = 0xFF;
+    oversized[10] = 0xFF;
+    oversized[11] = 0x7F;
+    FrameReader reader;
+    reader.feed(oversized.data(), oversized.size());
+    Frame frame;
+    EXPECT_THROW(static_cast<void>(reader.next(frame)), ProtocolError);
+
+    std::vector<std::uint8_t> unknown_kind = bytes;
+    unknown_kind[6] = 0x77;
+    FrameReader reader2;
+    reader2.feed(unknown_kind.data(), unknown_kind.size());
+    EXPECT_THROW(static_cast<void>(reader2.next(frame)), ProtocolError);
+}
+
+TEST(ServiceProtocolTest, ReservedRequestFlagsAndTrailingBytesAreRejected) {
+    Frame frame;
+    frame.kind = service::MessageKind::HeadingRequest;
+    frame.payload.assign(12, 0);
+    frame.payload[8] = 0x01;  // reserved flag bit set
+    EXPECT_THROW(static_cast<void>(service::decode_request(frame)),
+                 ProtocolError);
+
+    frame.payload.assign(13, 0);  // 12 valid bytes + 1 trailing
+    EXPECT_THROW(static_cast<void>(service::decode_request(frame)),
+                 ProtocolError);
+
+    frame.payload.assign(5, 0);  // truncated
+    EXPECT_THROW(static_cast<void>(service::decode_request(frame)),
+                 ProtocolError);
+}
+
+// ----------------------------------------------------------------- service
+
+TEST(ServiceTest, ServesHeadingQueriesEndToEnd) {
+    service::CompassService daemon(small_service(2));
+    daemon.fleet().set_environment(0, site(), 0.0);
+    daemon.fleet().set_environment(1, site(), 90.0);
+    daemon.start();
+    ASSERT_GT(daemon.port(), 0);
+
+    service::QueryClient client(daemon.port());
+    // Round-robin member assignment: queries land on members 0, 1, 0...
+    const HeadingReply first = client.query(1);
+    EXPECT_EQ(first.status, ReplyStatus::Ok);
+    EXPECT_EQ(first.member, 0u);
+    EXPECT_NEAR(first.heading_deg, 0.0, 2.0);
+
+    const HeadingReply second = client.query(2);
+    EXPECT_EQ(second.status, ReplyStatus::Ok);
+    EXPECT_EQ(second.member, 1u);
+    EXPECT_NEAR(second.heading_deg, 90.0, 2.0);
+
+    const service::ServiceStats stats = daemon.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.replies_ok, 2u);
+    EXPECT_EQ(stats.protocol_errors, 0u);
+    EXPECT_GE(daemon.metrics().counter("fxg_service_requests_total").value(),
+              2u);
+    daemon.stop();
+    EXPECT_FALSE(daemon.running());
+}
+
+TEST(ServiceTest, PipelinedQueriesCoalesceIntoFewerBatches) {
+    service::CompassService daemon(small_service(4));
+    for (int i = 0; i < 4; ++i) {
+        daemon.fleet().set_environment(i, site(), 90.0 * i);
+    }
+    daemon.start();
+
+    constexpr int kQueries = 32;
+    service::QueryClient client(daemon.port());
+    for (int i = 0; i < kQueries; ++i) {
+        client.send(static_cast<std::uint64_t>(i) + 1);
+    }
+    for (int i = 0; i < kQueries; ++i) {
+        const HeadingReply reply = client.recv();
+        EXPECT_EQ(reply.status, ReplyStatus::Ok);
+    }
+
+    // All 32 arrived in one burst: the io loop admits them together and
+    // the batch loop swaps the whole queue, so far fewer fleet batches
+    // than queries ran (worst case: one mid-burst swap).
+    const service::ServiceStats stats = daemon.stats();
+    EXPECT_EQ(stats.requests, kQueries);
+    EXPECT_LT(stats.batches, static_cast<std::uint64_t>(kQueries));
+    daemon.stop();
+}
+
+TEST(ServiceTest, PendingBudgetShedsWithRetryAfter) {
+    service::ServiceConfig cfg = small_service(1);
+    cfg.max_pending = 1;
+    cfg.retry_after_ms = 77;
+    service::CompassService daemon(cfg);
+    daemon.fleet().set_environment(0, site(), 10.0);
+    daemon.start();
+
+    constexpr int kQueries = 16;
+    service::QueryClient client(daemon.port());
+    for (int i = 0; i < kQueries; ++i) {
+        client.send(static_cast<std::uint64_t>(i) + 1);
+    }
+    int ok = 0, shed = 0;
+    for (int i = 0; i < kQueries; ++i) {
+        const HeadingReply reply = client.recv();
+        if (reply.status == ReplyStatus::Shed) {
+            ++shed;
+            EXPECT_EQ(reply.retry_after_ms, 77u);
+        } else {
+            EXPECT_EQ(reply.status, ReplyStatus::Ok);
+            ++ok;
+        }
+    }
+    // The burst lands while at most one query fits the admission bound:
+    // at least one is served, at least one is refused, nothing is lost.
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(shed, 1);
+    EXPECT_EQ(ok + shed, kQueries);
+    EXPECT_EQ(daemon.stats().shed, static_cast<std::uint64_t>(shed));
+    daemon.stop();
+}
+
+TEST(ServiceTest, ConnectionBudgetShedsExcessConnections) {
+    service::ServiceConfig cfg = small_service(1);
+    cfg.max_connections = 1;
+    service::CompassService daemon(cfg);
+    daemon.fleet().set_environment(0, site(), 10.0);
+    daemon.start();
+
+    service::QueryClient first(daemon.port());
+    EXPECT_EQ(first.query(1).status, ReplyStatus::Ok);  // holds the slot
+
+    service::QueryClient second(daemon.port());
+    const HeadingReply refused = second.recv();  // server speaks first
+    EXPECT_EQ(refused.status, ReplyStatus::Shed);
+    EXPECT_EQ(refused.retry_after_ms, cfg.retry_after_ms);
+    // ... and closes: the next read sees EOF.
+    EXPECT_THROW(static_cast<void>(second.recv()), std::runtime_error);
+
+    // The in-budget connection is unaffected.
+    EXPECT_EQ(first.query(2).status, ReplyStatus::Ok);
+    daemon.stop();
+}
+
+TEST(ServiceTest, FaultTrippedMemberServesDegradedNotError) {
+    service::CompassService daemon(small_service(1));
+    daemon.fleet().set_environment(0, site(), 30.0);
+    daemon.start();  // warmup anchors the ladder's last-good heading
+
+    service::QueryClient client(daemon.port());
+    const HeadingReply healthy = client.query(1);
+    EXPECT_EQ(healthy.status, ReplyStatus::Ok);
+
+    // The x-axis detector dies under load.
+    fault::FaultInjector injector;
+    fault::FaultSpec spec;
+    spec.fault = fault::FaultClass::DetectorStuckLow;
+    spec.channel = analog::Channel::X;
+    injector.add(spec);
+    injector.arm(daemon.fleet().at(0));
+
+    for (std::uint64_t id = 2; id <= 4; ++id) {
+        const HeadingReply reply = client.query(id);
+        EXPECT_EQ(reply.status, ReplyStatus::Degraded)
+            << "query " << id << ": " << reply.detail;
+        EXPECT_GT(reply.attempts, 1u);
+        EXPECT_NE(reply.detail.find("ladder"), std::string::npos);
+    }
+    EXPECT_GE(daemon.stats().replies_degraded, 3u);
+    EXPECT_GE(daemon.metrics().counter("fxg_service_degraded_total").value(),
+              3u);
+
+    injector.disarm();
+    daemon.stop();
+}
+
+TEST(ServiceTest, ClientVanishingMidStreamCostsOnlyItsConnection) {
+    service::CompassService daemon(small_service(2));
+    daemon.fleet().set_environment(0, site(), 0.0);
+    daemon.fleet().set_environment(1, site(), 180.0);
+    daemon.start();
+
+    // Several clients fire a query and slam the connection shut without
+    // reading the reply — the server ends up writing into dead sockets.
+    for (int round = 0; round < 8; ++round) {
+        service::QueryClient victim(daemon.port());
+        victim.send(static_cast<std::uint64_t>(round) + 100);
+        victim.close();
+    }
+
+    // The daemon shrugged: still running, still serving.
+    service::QueryClient survivor(daemon.port());
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+        EXPECT_EQ(survivor.query(id).status, ReplyStatus::Ok);
+    }
+    EXPECT_TRUE(daemon.running());
+    daemon.stop();
+}
+
+TEST(ServiceTest, GarbageStreamGetsErrorReplyAndClose) {
+    service::CompassService daemon(small_service(1));
+    daemon.fleet().set_environment(0, site(), 10.0);
+    daemon.start();
+
+    service::QueryClient client(daemon.port());
+    const char garbage[] = "GET /metrics HTTP/1.0\r\n\r\n";  // wrong porthole
+    ASSERT_GT(::send(client.fd(), garbage, sizeof garbage - 1, MSG_NOSIGNAL),
+              0);
+    const HeadingReply reply = client.recv();
+    EXPECT_EQ(reply.status, ReplyStatus::Error);
+    EXPECT_NE(reply.detail.find("magic"), std::string::npos);
+    // The server closed the poisoned connection after replying.
+    EXPECT_THROW(static_cast<void>(client.recv()), std::runtime_error);
+    EXPECT_EQ(daemon.stats().protocol_errors, 1u);
+
+    // Clean clients are unaffected.
+    service::QueryClient clean(daemon.port());
+    EXPECT_EQ(clean.query(1).status, ReplyStatus::Ok);
+    daemon.stop();
+}
+
+TEST(ServiceTest, RestartServesAgainAndStopIsIdempotent) {
+    service::CompassService daemon(small_service(1));
+    daemon.fleet().set_environment(0, site(), 10.0);
+
+    daemon.start();
+    EXPECT_THROW(daemon.start(), std::runtime_error);  // double start
+    {
+        service::QueryClient client(daemon.port());
+        EXPECT_EQ(client.query(1).status, ReplyStatus::Ok);
+    }
+    daemon.stop();
+    daemon.stop();  // idempotent
+    EXPECT_FALSE(daemon.running());
+
+    daemon.start();  // port 0: a fresh kernel-assigned port
+    ASSERT_GT(daemon.port(), 0);
+    {
+        service::QueryClient client(daemon.port());
+        EXPECT_EQ(client.query(2).status, ReplyStatus::Ok);
+    }
+    daemon.stop();
+}
+
+TEST(ServiceTest, IntrospectionRidesAlongServingLiveTelemetry) {
+    service::ServiceConfig cfg = small_service(2);
+    cfg.introspection_port = 0;
+    service::CompassService daemon(cfg);
+    daemon.fleet().set_environment(0, site(), 0.0);
+    daemon.fleet().set_environment(1, site(), 90.0);
+    daemon.start();
+    ASSERT_GT(daemon.introspection_port(), 0);
+
+    service::QueryClient client(daemon.port());
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+        static_cast<void>(client.query(id));
+    }
+
+    using telemetry::IntrospectionServer;
+    const int http = daemon.introspection_port();
+    const std::string metrics =
+        IntrospectionServer::body_of(IntrospectionServer::http_get(http, "/metrics"));
+    EXPECT_NE(metrics.find("fxg_service_requests_total"), std::string::npos);
+    EXPECT_NE(metrics.find("fxg_service_latency_seconds"), std::string::npos);
+
+    const std::string health =
+        IntrospectionServer::body_of(IntrospectionServer::http_get(http, "/healthz"));
+    EXPECT_NE(health.find("service_requests 4"), std::string::npos);
+    EXPECT_NE(health.find("service_batches"), std::string::npos);
+
+    // /snapshot is served by the service's own provider, serialized
+    // against the batch loop.
+    const std::string snap =
+        IntrospectionServer::http_get(http, "/snapshot");
+    EXPECT_NE(snap.find("200"), std::string::npos);
+    EXPECT_FALSE(IntrospectionServer::body_of(snap).empty());
+
+    daemon.stop();
+    EXPECT_EQ(daemon.introspection_port(), 0);
+}
